@@ -1,0 +1,68 @@
+"""E1 — Figures 1-3: pattern evaluation on the paper's document.
+
+Regenerates the result sets the paper states for R1-R4 and times the
+matching engine on them.
+"""
+
+from repro.pattern.engine import evaluate_pattern
+
+from benchmarks.conftest import emit_table
+
+
+def _dotted(tuples):
+    return sorted(
+        tuple(".".join(map(str, node.position())) for node in group)
+        for group in tuples
+    )
+
+
+def bench_r1_different_candidates(benchmark, figures, figure1):
+    result = benchmark(lambda: evaluate_pattern(figures.r1, figure1))
+    assert _dotted(result) == [
+        ("0.0.2", "0.1.2"),
+        ("0.0.2", "0.1.3"),
+        ("0.0.3", "0.1.2"),
+        ("0.0.3", "0.1.3"),
+    ]
+
+
+def bench_r2_same_candidate(benchmark, figures, figure1):
+    result = benchmark(lambda: evaluate_pattern(figures.r2, figure1))
+    assert _dotted(result) == [("0.0.2", "0.0.3"), ("0.1.2", "0.1.3")]
+
+
+def bench_r3_levels(benchmark, figures, figure1):
+    result = benchmark(lambda: evaluate_pattern(figures.r3, figure1))
+    assert _dotted(result) == [("0.0.1",), ("0.1.1",)]
+
+
+def bench_r4_empty_by_order(benchmark, figures, figure1):
+    result = benchmark(lambda: evaluate_pattern(figures.r4, figure1))
+    assert result == []
+
+
+def bench_e1_report(benchmark, figures, figure1):
+    """Emit the E1 table: paper-stated vs measured result sets."""
+
+    def run():
+        return {
+            name: _dotted(evaluate_pattern(getattr(figures, name), figure1))
+            for name in ("r1", "r2", "r3", "r4")
+        }
+
+    results = benchmark(run)
+    expected = {
+        "r1": "4 cross-candidate exam pairs",
+        "r2": "2 same-candidate exam pairs",
+        "r3": "2 level nodes",
+        "r4": "empty (order violation)",
+    }
+    rows = [
+        [name.upper(), expected[name], len(results[name]), results[name]]
+        for name in ("r1", "r2", "r3", "r4")
+    ]
+    emit_table(
+        "E1: pattern evaluations on Figure 1 (paper-stated vs measured)",
+        ["pattern", "paper states", "measured #", "measured tuples"],
+        rows,
+    )

@@ -1,0 +1,64 @@
+"""E2 — Figures 4-5: FD satisfaction checking (fd1-fd5).
+
+Verifies every FD verdict the paper implies for its document and times
+the checker on both the toy document and a mid-size session.
+"""
+
+import pytest
+
+from repro.fd.satisfaction import check_fd
+from repro.workload.exams import generate_session
+
+from benchmarks.conftest import emit_table
+
+FD_NAMES = ("fd1", "fd2", "fd3", "fd4", "fd5")
+
+
+@pytest.mark.parametrize("name", FD_NAMES)
+def bench_fd_on_figure1(benchmark, figures, figure1, name):
+    fd = getattr(figures, name)
+    report = benchmark(lambda: check_fd(fd, figure1))
+    assert report.satisfied
+
+
+@pytest.mark.parametrize("name", ("fd1", "fd2"))
+def bench_fd_on_mid_session(benchmark, figures, name):
+    document = generate_session(100, seed=2)
+    fd = getattr(figures, name)
+    report = benchmark.pedantic(
+        lambda: check_fd(fd, document), rounds=3, iterations=1
+    )
+    assert report.satisfied
+
+
+def bench_violation_detection(benchmark, figures):
+    document = generate_session(50, seed=3, violate_fd1=1)
+    report = benchmark.pedantic(
+        lambda: check_fd(figures.fd1, document), rounds=3, iterations=1
+    )
+    assert not report.satisfied
+    assert report.violations
+
+
+def bench_e2_report(benchmark, figures, figure1):
+    def run():
+        return {
+            name: check_fd(getattr(figures, name), figure1)
+            for name in FD_NAMES
+        }
+
+    reports = benchmark(run)
+    rows = [
+        [
+            name,
+            getattr(figures, name).describe().split(": ", 1)[1],
+            "SATISFIED" if reports[name].satisfied else "VIOLATED",
+            reports[name].mapping_count,
+        ]
+        for name in FD_NAMES
+    ]
+    emit_table(
+        "E2: FD verdicts on the Figure 1 document",
+        ["fd", "definition", "verdict", "mappings"],
+        rows,
+    )

@@ -1,0 +1,85 @@
+"""E3 — Examples 5-6: the independence analyses of Section 5.
+
+Times the criterion on every (fd, U) pair of the paper, with and without
+the Example 6 schema, and regenerates the verdict table.
+"""
+
+import pytest
+
+from repro.independence.criterion import check_independence
+
+from benchmarks.conftest import emit_table
+
+FD_NAMES = ("fd1", "fd2", "fd3", "fd4", "fd5")
+
+# verdicts implied by the paper (Examples 5 and 6) and by the semantics
+EXPECTED = {
+    ("fd1", False): "independent",
+    ("fd2", False): "independent",
+    ("fd3", False): "unknown",   # Example 5: U impacts fd3
+    ("fd4", False): "unknown",
+    ("fd5", False): "unknown",
+    ("fd1", True): "independent",
+    ("fd2", True): "independent",
+    ("fd3", True): "unknown",
+    ("fd4", True): "unknown",
+    ("fd5", True): "independent",  # Example 6
+}
+
+
+@pytest.mark.parametrize("name", FD_NAMES)
+def bench_ic_without_schema(benchmark, figures, name):
+    fd = getattr(figures, name)
+    result = benchmark.pedantic(
+        lambda: check_independence(fd, figures.update_class, want_witness=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.verdict.value == EXPECTED[(name, False)]
+
+
+@pytest.mark.parametrize("name", FD_NAMES)
+def bench_ic_with_schema(benchmark, figures, schema, name):
+    fd = getattr(figures, name)
+    result = benchmark.pedantic(
+        lambda: check_independence(
+            fd, figures.update_class, schema=schema, want_witness=False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.verdict.value == EXPECTED[(name, True)]
+
+
+def bench_e3_report(benchmark, figures, schema):
+    def run():
+        rows = []
+        for name in FD_NAMES:
+            fd = getattr(figures, name)
+            plain = check_independence(
+                fd, figures.update_class, want_witness=False
+            )
+            schemed = check_independence(
+                fd, figures.update_class, schema=schema, want_witness=False
+            )
+            rows.append(
+                [
+                    name,
+                    plain.verdict.value.upper(),
+                    schemed.verdict.value.upper(),
+                    plain.automaton_size,
+                    schemed.automaton_size,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    emit_table(
+        "E3: IC verdicts for the paper's pairs (U = level updates)",
+        ["fd", "no schema", "with schema", "|A| plain", "|A| with A_S"],
+        rows,
+    )
+    for row in rows:
+        name = row[0]
+        assert row[1] == EXPECTED[(name, False)].upper()
+        assert row[2] == EXPECTED[(name, True)].upper()

@@ -1,0 +1,85 @@
+"""T10 — view-update independence (the [9] companion machinery).
+
+The abstract recalls that the regular-tree-pattern technique was first
+used to detect independence of *views* from update classes; Section 5
+transfers it to FDs.  This bench runs the view criterion for the paper's
+queries R1-R3 against the update class U, checks the verdicts against
+dynamic ground truth (apply an update, re-evaluate the view), and times
+the analysis.
+"""
+
+import time
+
+import pytest
+
+from repro.independence.views import check_view_independence
+from repro.pattern.engine import evaluate_pattern
+from repro.update.apply import Update, apply_update
+from repro.update.operations import set_text
+from repro.workload.exams import generate_session
+from repro.xmlmodel.equality import value_key
+
+from benchmarks.conftest import emit_table
+
+EXPECTED = {"r1": True, "r2": True, "r3": False}
+
+
+@pytest.mark.parametrize("name", ("r1", "r2", "r3"))
+def bench_view_criterion(benchmark, figures, name):
+    view = getattr(figures, name)
+    result = benchmark.pedantic(
+        lambda: check_view_independence(
+            view, figures.update_class, want_witness=False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.independent == EXPECTED[name]
+
+
+def _view_snapshot(view, document):
+    return [
+        tuple(value_key(node) for node in row)
+        for row in evaluate_pattern(view, document)
+    ]
+
+
+def bench_t10_report(benchmark, figures):
+    document = generate_session(40, seed=33)
+    update = Update(figures.update_class, set_text("Z"))
+    updated = apply_update(document, update)
+
+    rows = []
+    for name in ("r1", "r2", "r3"):
+        view = getattr(figures, name)
+        started = time.perf_counter()
+        result = check_view_independence(
+            view, figures.update_class, want_witness=False
+        )
+        elapsed = time.perf_counter() - started
+        changed = _view_snapshot(view, document) != _view_snapshot(
+            view, updated
+        )
+        rows.append(
+            [
+                name.upper(),
+                result.verdict.value.upper(),
+                "changed" if changed else "unchanged",
+                f"{elapsed * 1000:.1f}",
+            ]
+        )
+        # soundness: certified views must not change
+        if result.independent:
+            assert not changed
+    emit_table(
+        "T10: view-update independence (views R1-R3 vs level updates U)",
+        ["view", "view-IC verdict", "dynamic check (40 candidates)", "time (ms)"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: check_view_independence(
+            figures.r1, figures.update_class, want_witness=False
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,132 @@
+"""T12 — the machinery on a second domain: a bibliographic store.
+
+Everything so far ran on the paper's exam-session domain.  This bench
+repeats the headline measurements on an unrelated schema (books,
+publishers, reviews, keys): the full IC admission matrix for the store's
+FD set against its update classes, and the guarded-batch savings that
+matrix buys on a concrete update stream.
+"""
+
+import time
+
+import pytest
+
+from repro.fd.sets import FDSet
+from repro.independence.criterion import check_independence
+from repro.update.apply import Update
+from repro.update.batch import UpdateBatch
+from repro.update.operations import set_text
+from repro.workload.library import (
+    generate_library,
+    library_fds,
+    library_schema,
+    library_update_classes,
+)
+
+from benchmarks.conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def store():
+    return generate_library(120, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fds():
+    return library_fds()
+
+
+@pytest.fixture(scope="module")
+def lib_schema():
+    return library_schema()
+
+
+def bench_admission_matrix(benchmark, fds, lib_schema):
+    classes = library_update_classes()
+
+    def run():
+        return {
+            (fd.name, name): check_independence(
+                fd, update_class, schema=lib_schema, want_witness=False
+            ).independent
+            for fd in fds
+            for name, update_class in classes.items()
+        }
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    # at least the clear-cut rows must hold
+    assert matrix[("isbn-title", "price-updates")]
+    assert not matrix[("isbn-title", "title-updates")]
+    assert not matrix[("publisher-city", "city-updates")]
+
+
+def bench_t12_report(benchmark, store, fds, lib_schema):
+    classes = library_update_classes()
+
+    # 1. the admission matrix, timed
+    rows = []
+    certified: set[tuple[str, str]] = set()
+    total_ic_time = 0.0
+    for name, update_class in classes.items():
+        row = [name]
+        for fd in fds:
+            started = time.perf_counter()
+            result = check_independence(
+                fd, update_class, schema=lib_schema, want_witness=False
+            )
+            total_ic_time += time.perf_counter() - started
+            row.append("✓ safe" if result.independent else "recheck")
+            if result.independent:
+                certified.add((fd.name, name))
+        rows.append(row)
+    emit_table(
+        f"T12a: admission matrix for the library store "
+        f"(total IC time {total_ic_time * 1000:.0f} ms)",
+        ["update class"] + [fd.name for fd in fds],
+        rows,
+    )
+
+    # 2. a guarded batch stream exploiting the certificates
+    fd_set = FDSet(fds)
+    batch = UpdateBatch(
+        [
+            Update(classes["price-updates"], set_text("42")),
+            Update(classes["review-grades"], set_text("5")),
+        ]
+    )
+    started = time.perf_counter()
+    outcome_naive = batch.apply_guarded(store, fds=list(fd_set))
+    naive_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    outcome_certified = batch.apply_guarded(
+        store, fds=list(fd_set), certified=certified
+    )
+    certified_time = time.perf_counter() - started
+
+    assert outcome_naive.committed and outcome_certified.committed
+    emit_table(
+        "T12b: guarded batch (prices + grades) with and without IC certificates",
+        ["mode", "checks run", "checks skipped", "time (ms)"],
+        [
+            [
+                "no certificates",
+                outcome_naive.checks_run,
+                outcome_naive.checks_skipped,
+                f"{naive_time * 1000:.1f}",
+            ],
+            [
+                "with IC certificates",
+                outcome_certified.checks_run,
+                outcome_certified.checks_skipped,
+                f"{certified_time * 1000:.1f}",
+            ],
+        ],
+    )
+    assert outcome_certified.checks_skipped > outcome_naive.checks_skipped
+
+    benchmark.pedantic(
+        lambda: batch.apply_guarded(store, fds=list(fd_set), certified=certified),
+        rounds=2,
+        iterations=1,
+    )

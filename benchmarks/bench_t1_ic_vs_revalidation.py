@@ -1,0 +1,103 @@
+"""T1 — the experimental study the paper's conclusion calls for.
+
+    "an implementation of our independence criterion and an experimental
+     study are of course still missing [...] particularly in order to
+     estimate how much time it saves to launch the independence
+     criterion instead of verifying the functional dependency again."
+
+Setup: the exam-session schema at growing document sizes.  The FD is
+``fd1`` (discipline+mark determine rank), the update class is the
+paper's ``U`` (level updates for candidates with exams left).
+
+* Baseline: apply an update and re-check fd1 on the document ([14]-style
+  revalidation) — cost grows with the document.
+* Criterion: run IC once on (fd1, U) — cost does not depend on any
+  document, and here the verdict is INDEPENDENT, so every revalidation
+  is saved.
+
+Expected shape: revalidation time grows roughly linearly in candidates;
+IC time is a flat one-off; the crossover sits at toy document sizes.
+"""
+
+import time
+
+import pytest
+
+from repro.independence.criterion import check_independence
+from repro.independence.revalidate import revalidation_check
+from repro.update.apply import Update
+from repro.update.operations import set_text
+from repro.workload.exams import generate_session
+
+from benchmarks.conftest import emit_table
+
+SIZES = (10, 30, 100, 300, 1000)
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return {size: generate_session(size, seed=1) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_revalidation(benchmark, figures, documents, size):
+    document = documents[size]
+    update = Update(figures.update_class, set_text("E"))
+    outcome = benchmark.pedantic(
+        lambda: revalidation_check(figures.fd1, document, update),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.satisfied_before and outcome.satisfied_after
+
+
+def bench_criterion_is_document_free(benchmark, figures):
+    result = benchmark.pedantic(
+        lambda: check_independence(
+            figures.fd1, figures.update_class, want_witness=False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.independent
+
+
+def bench_t1_report(benchmark, figures, documents):
+    """Emit the T1 table: per-size revalidation cost vs one-off IC."""
+    update = Update(figures.update_class, set_text("E"))
+
+    ic_result = check_independence(
+        figures.fd1, figures.update_class, want_witness=False
+    )
+    started = time.perf_counter()
+    check_independence(figures.fd1, figures.update_class, want_witness=False)
+    ic_seconds = time.perf_counter() - started
+    assert ic_result.independent
+
+    rows = []
+    for size in SIZES:
+        document = documents[size]
+        started = time.perf_counter()
+        revalidation_check(figures.fd1, document, update)
+        reval_seconds = time.perf_counter() - started
+        rows.append(
+            [
+                size,
+                document.size(),
+                f"{reval_seconds * 1000:.1f}",
+                f"{ic_seconds * 1000:.1f}",
+                f"{reval_seconds / ic_seconds:.1f}x",
+            ]
+        )
+    emit_table(
+        "T1: revalidation vs criterion IC (fd1 vs U, verdict INDEPENDENT)",
+        ["candidates", "nodes", "revalidate (ms)", "IC once (ms)", "saving/update"],
+        rows,
+    )
+
+    # keep one measured number under pytest-benchmark for the record
+    benchmark.pedantic(
+        lambda: revalidation_check(figures.fd1, documents[SIZES[0]], update),
+        rounds=3,
+        iterations=1,
+    )

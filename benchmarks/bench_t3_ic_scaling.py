@@ -1,0 +1,105 @@
+"""T3 — wall-clock scaling of the criterion IC.
+
+Proposition 3 puts emptiness testing in polynomial time.  The bench
+measures end-to-end IC time (construction + emptiness) along three axes:
+FD chain length, update chain length, and schema width — the growth must
+look polynomial (no doubling-input/order-of-magnitude blow-ups).
+"""
+
+import time
+
+import pytest
+
+from repro.independence.criterion import check_independence
+from repro.schema.dtd import Schema
+
+from benchmarks.bench_t2_automaton_size import _chain_fd, _chain_update
+from benchmarks.conftest import emit_table
+
+
+def _wide_schema(width: int) -> Schema:
+    return Schema.from_rules(
+        "r",
+        {
+            "r": " ".join(f"l{i}*" for i in range(width)),
+            **{f"l{i}": "#text" for i in range(width)},
+        },
+    )
+
+
+@pytest.mark.parametrize("length", (2, 4, 8, 16))
+def bench_ic_fd_chain(benchmark, length):
+    fd = _chain_fd(length)
+    update_class = _chain_update(2)
+    benchmark.pedantic(
+        lambda: check_independence(fd, update_class, want_witness=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("length", (2, 4, 8, 16))
+def bench_ic_update_chain(benchmark, length):
+    fd = _chain_fd(2)
+    update_class = _chain_update(length)
+    benchmark.pedantic(
+        lambda: check_independence(fd, update_class, want_witness=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("width", (2, 4, 8))
+def bench_ic_schema_width(benchmark, width):
+    fd = _chain_fd(2)
+    update_class = _chain_update(2)
+    schema = _wide_schema(width)
+    benchmark.pedantic(
+        lambda: check_independence(
+            fd, update_class, schema=schema, want_witness=False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_t3_report(benchmark):
+    def measure(fd, update_class, schema=None) -> float:
+        started = time.perf_counter()
+        check_independence(fd, update_class, schema=schema, want_witness=False)
+        return time.perf_counter() - started
+
+    rows = []
+    previous = None
+    for length in (2, 4, 8, 16, 32):
+        elapsed = measure(_chain_fd(length), _chain_update(2))
+        growth = "-" if previous is None else f"{elapsed / previous:.2f}x"
+        rows.append([f"FD chain {length}", f"{elapsed * 1000:.1f}", growth])
+        previous = elapsed
+
+    previous = None
+    for length in (2, 4, 8, 16, 32):
+        elapsed = measure(_chain_fd(2), _chain_update(length))
+        growth = "-" if previous is None else f"{elapsed / previous:.2f}x"
+        rows.append([f"U chain {length}", f"{elapsed * 1000:.1f}", growth])
+        previous = elapsed
+
+    previous = None
+    for width in (2, 4, 8, 16):
+        elapsed = measure(_chain_fd(2), _chain_update(2), _wide_schema(width))
+        growth = "-" if previous is None else f"{elapsed / previous:.2f}x"
+        rows.append([f"schema width {width}", f"{elapsed * 1000:.1f}", growth])
+        previous = elapsed
+
+    emit_table(
+        "T3: IC wall-clock scaling (doubling inputs)",
+        ["input", "IC time (ms)", "growth vs previous"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: check_independence(
+            _chain_fd(4), _chain_update(4), want_witness=False
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,153 @@
+"""T4 — soundness and precision of the criterion IC.
+
+IC is sufficient but not complete: UNKNOWN verdicts may hide truly
+independent pairs.  The bench samples random (FD, update-class) pairs,
+obtains bounded-space ground truth by exhaustive impact search, and
+reports the confusion table:
+
+* soundness (must be perfect): no pair certified INDEPENDENT may have a
+  brute-force impact witness;
+* precision: the fraction of search-independent pairs that IC certifies
+  (the paper makes no quantitative claim here — this characterizes the
+  criterion's usefulness).
+
+Ground truth is bounded (documents of depth <= 3, label-preserving
+replacement pools), so "no impact found" over-approximates independence;
+that only makes the soundness check stricter and the reported recall a
+lower bound.
+"""
+
+import random
+
+from repro.independence.criterion import check_independence
+from repro.independence.exhaustive import exhaustive_impact_search
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_update_class,
+)
+
+from benchmarks.conftest import emit_table
+
+LABELS = ("a", "b")
+PAIR_COUNT = 25
+
+
+def _dangerous_pairs():
+    """Handcrafted pairs with reachable impacts, so the ground-truth
+    search exercises the 'unknown + impact found' cell of the table."""
+    from repro.fd.fd import FunctionalDependency
+    from repro.pattern.builder import build_pattern, edge
+    from repro.update.update_class import UpdateClass
+
+    def fd(selected_spec):
+        return FunctionalDependency(
+            build_pattern(selected_spec, selected=("p1", "q")), context="c"
+        )
+
+    pairs = []
+    # update rewrites the FD target subtrees directly
+    pairs.append(
+        (
+            fd(edge("doc", name="c")(edge("a")(edge("b", name="p1"), edge("b", name="q")))),
+            UpdateClass(build_pattern(edge("doc.a.b", name="s"), selected=("s",))),
+        )
+    )
+    # update rewrites below the condition image
+    pairs.append(
+        (
+            fd(edge("doc", name="c")(edge("a", name="p1"), edge("b", name="q"))),
+            UpdateClass(build_pattern(edge("doc.b.#text", name="s"), selected=("s",))),
+        )
+    )
+    # update rewrites an unselected trace node's subtree... the a node
+    pairs.append(
+        (
+            fd(edge("doc", name="c")(edge("a")(edge("b", name="p1"), edge("b", name="q")))),
+            UpdateClass(build_pattern(edge("doc.a", name="s"), selected=("s",))),
+        )
+    )
+    return pairs
+
+
+def _sample_pair(seed: int):
+    dangerous = _dangerous_pairs()
+    if seed < len(dangerous):
+        return dangerous[seed]
+    rng = random.Random(seed)
+    fd = random_functional_dependency(
+        rng, labels=LABELS, node_count=3, max_length=2,
+        star_probability=0.15, wildcard_probability=0.05,
+    )
+    update_class = random_update_class(
+        rng, labels=LABELS, node_count=2, max_length=2,
+        star_probability=0.15, wildcard_probability=0.05,
+    )
+    return fd, update_class
+
+
+def _ground_truth(fd, update_class) -> bool:
+    """True when the bounded search finds an impact."""
+    return exhaustive_impact_search(
+        fd,
+        update_class,
+        labels=LABELS,
+        values=("0", "1"),
+        max_depth=3,
+        max_children=2,
+        max_documents=150,
+        max_updates_per_document=512,
+    ).impacted
+
+
+def bench_ic_verdicts_on_random_pairs(benchmark):
+    pairs = [_sample_pair(seed) for seed in range(PAIR_COUNT)]
+
+    def run():
+        return [
+            check_independence(fd, update_class, want_witness=False).independent
+            for fd, update_class in pairs
+        ]
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(verdicts) == PAIR_COUNT
+
+
+def bench_t4_report(benchmark):
+    def run():
+        certified_safe = 0
+        certified_impacted = 0  # soundness violations: must stay 0
+        unknown_safe = 0
+        unknown_impacted = 0
+        for seed in range(PAIR_COUNT):
+            fd, update_class = _sample_pair(seed)
+            independent = check_independence(
+                fd, update_class, want_witness=False
+            ).independent
+            impacted = _ground_truth(fd, update_class)
+            if independent and impacted:
+                certified_impacted += 1
+            elif independent:
+                certified_safe += 1
+            elif impacted:
+                unknown_impacted += 1
+            else:
+                unknown_safe += 1
+        return certified_safe, certified_impacted, unknown_safe, unknown_impacted
+
+    certified_safe, certified_impacted, unknown_safe, unknown_impacted = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    total_safe = certified_safe + unknown_safe
+    recall = certified_safe / total_safe if total_safe else float("nan")
+    emit_table(
+        "T4: IC vs bounded ground truth on random pairs",
+        ["outcome", "count"],
+        [
+            ["IC independent, search finds no impact (correct)", certified_safe],
+            ["IC independent, search finds impact (UNSOUND!)", certified_impacted],
+            ["IC unknown, search finds no impact (missed)", unknown_safe],
+            ["IC unknown, search finds impact (correct)", unknown_impacted],
+            ["recall on search-independent pairs", f"{recall:.2f}"],
+        ],
+    )
+    assert certified_impacted == 0  # Proposition 2, operationally

@@ -1,0 +1,95 @@
+"""T5 — the Proposition 1 gadget at work, and its cost growth.
+
+Families of regex-inclusion instances of growing size run through the
+independence gadget pipeline.  Correctness: the pipeline agrees with the
+direct DFA inclusion test on every instance and dynamically confirms
+each non-inclusion as a real update-FD impact.  The timing series shows
+how the gadget cost scales with the instances (the determinization in
+the pipeline is the designed-in exponential of the PSPACE lower bound —
+visible in the `nth-from-last` family).
+"""
+
+import time
+
+import pytest
+
+from repro.independence.hardness import inclusion_via_independence
+from repro.regex.dfa import compile_regex
+from repro.regex.ops import language_included
+
+from benchmarks.conftest import emit_table
+
+
+def _counting_pair(n: int) -> tuple[str, str]:
+    """L(η) = A^n, L(η') = words of length n over {A,B} — included."""
+    eta = ".".join(["A"] * n)
+    eta_prime = ".".join(["(A|B)"] * n)
+    return eta, eta_prime
+
+
+def _nth_from_last_pair(n: int) -> tuple[str, str]:
+    """The classic family: 'some A at position n from the end' vs
+    'B at position n from the end' — never included."""
+    tail = ".".join(["(A|B)"] * (n - 1)) if n > 1 else ""
+    eta = "(A|B)*.A" + ("." + tail if tail else "")
+    eta_prime = "(A|B)*.B" + ("." + tail if tail else "")
+    return eta, eta_prime
+
+
+@pytest.mark.parametrize("n", (2, 4, 8))
+def bench_included_family(benchmark, n):
+    eta, eta_prime = _counting_pair(n)
+    decision = benchmark.pedantic(
+        lambda: inclusion_via_independence(eta, eta_prime),
+        rounds=3,
+        iterations=1,
+    )
+    assert decision.included
+
+
+@pytest.mark.parametrize("n", (2, 4, 6))
+def bench_hard_family(benchmark, n):
+    eta, eta_prime = _nth_from_last_pair(n)
+    decision = benchmark.pedantic(
+        lambda: inclusion_via_independence(eta, eta_prime),
+        rounds=3,
+        iterations=1,
+    )
+    assert not decision.included
+    assert decision.impact_confirmed
+
+
+def bench_t5_report(benchmark):
+    rows = []
+    for family, maker, sizes in (
+        ("A^n vs (A|B)^n", _counting_pair, (2, 4, 8, 12)),
+        ("nth-from-last", _nth_from_last_pair, (2, 4, 6, 8)),
+    ):
+        for n in sizes:
+            eta, eta_prime = maker(n)
+            started = time.perf_counter()
+            decision = inclusion_via_independence(eta, eta_prime)
+            elapsed = time.perf_counter() - started
+            direct = language_included(
+                compile_regex(eta), compile_regex(eta_prime)
+            )
+            assert decision.included == direct
+            rows.append(
+                [
+                    family,
+                    n,
+                    "⊆" if decision.included else "⊄",
+                    "confirmed" if decision.impact_confirmed else "-",
+                    f"{elapsed * 1000:.1f}",
+                ]
+            )
+    emit_table(
+        "T5: inclusion decided via the independence gadget",
+        ["family", "n", "verdict", "impact", "time (ms)"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: inclusion_via_independence(*_nth_from_last_pair(4)),
+        rounds=2,
+        iterations=1,
+    )

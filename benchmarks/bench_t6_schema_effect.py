@@ -1,0 +1,110 @@
+"""T6 — how schema knowledge upgrades independence verdicts.
+
+Generalizes Example 6: the same (fd, U) pairs are analyzed against a
+family of progressively stronger exam-session schemas.  The expected
+shape: with no (or weak) schema constraints fd5-style pairs stay
+UNKNOWN; once the schema enforces the toBePassed/firstJob-Year
+exclusivity the verdict flips to INDEPENDENT — the same flip Example 6
+describes.
+"""
+
+import time
+
+import pytest
+
+from repro.independence.criterion import check_independence
+from repro.schema.dtd import Schema
+
+from benchmarks.conftest import emit_table
+
+BASE_RULES = {
+    "level": "#text",
+    "exam": "date discipline mark rank",
+    "date": "#text",
+    "discipline": "#text",
+    "mark": "#text",
+    "rank": "#text",
+    "toBePassed": "discipline*",
+    "firstJob-Year": "#text",
+}
+
+
+def _schema(candidate_rule: str) -> Schema:
+    return Schema.from_rules(
+        document_element="session",
+        rules={
+            "session": "candidate*",
+            "candidate": candidate_rule,
+            **BASE_RULES,
+        },
+    )
+
+
+SCHEMAS = {
+    "free-mix": _schema(
+        "@IDN level exam* toBePassed* firstJob-Year*"
+    ),
+    "at-most-one-each": _schema(
+        "@IDN level exam* toBePassed? firstJob-Year?"
+    ),
+    "exclusive (Example 6)": _schema(
+        "@IDN level exam* (toBePassed | firstJob-Year)"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(SCHEMAS))
+def bench_fd5_under_schema(benchmark, figures, name):
+    schema = SCHEMAS[name]
+    result = benchmark.pedantic(
+        lambda: check_independence(
+            figures.fd5, figures.update_class, schema=schema, want_witness=False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    expected_independent = name == "exclusive (Example 6)"
+    assert result.independent == expected_independent
+
+
+def bench_t6_report(benchmark, figures):
+    rows = []
+    for fd_name in ("fd3", "fd4", "fd5"):
+        fd = getattr(figures, fd_name)
+        no_schema = check_independence(
+            fd, figures.update_class, want_witness=False
+        )
+        row = [fd_name, no_schema.verdict.value.upper()]
+        for schema in SCHEMAS.values():
+            started = time.perf_counter()
+            result = check_independence(
+                fd, figures.update_class, schema=schema, want_witness=False
+            )
+            elapsed = time.perf_counter() - started
+            row.append(
+                f"{result.verdict.value.upper()} ({elapsed * 1000:.0f}ms)"
+            )
+        rows.append(row)
+    emit_table(
+        "T6: schema effect on IC verdicts (update class U)",
+        ["fd", "no schema"] + list(SCHEMAS),
+        rows,
+    )
+    # the Example 6 flip: only fd5 becomes independent, and only under
+    # the exclusive schema
+    fd5_row = rows[-1]
+    assert fd5_row[1] == "UNKNOWN"
+    assert fd5_row[2].startswith("UNKNOWN")
+    assert fd5_row[3].startswith("UNKNOWN")
+    assert fd5_row[4].startswith("INDEPENDENT")
+
+    benchmark.pedantic(
+        lambda: check_independence(
+            figures.fd5,
+            figures.update_class,
+            schema=SCHEMAS["exclusive (Example 6)"],
+            want_witness=False,
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,119 @@
+"""T7 — throughput of the pattern-matching engine.
+
+The engine underlies everything (query evaluation, FD checking, update
+selection), so the study measures evaluation time against document size
+and against mapping multiplicity:
+
+* linear-ish growth for the monadic level query and the update class;
+* quadratic growth for R1-style pair queries whose result sets are
+  themselves quadratic (time proportional to output, not worse).
+"""
+
+import time
+
+import pytest
+
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.engine import enumerate_mappings, evaluate_pattern, has_mapping
+from repro.workload.exams import generate_session
+
+from benchmarks.conftest import emit_table
+
+SIZES = (10, 30, 100, 300)
+
+
+def _r1_small():
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session")
+    builder.child(session, "candidate.exam", name="s1")
+    builder.child(session, "candidate.exam", name="s2")
+    return builder.pattern("s1", "s2")
+
+
+def _levels_query():
+    builder = PatternBuilder()
+    candidate = builder.child(builder.root, "session.candidate")
+    builder.child(candidate, "level", name="s")
+    return builder.pattern("s")
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return {size: generate_session(size, seed=9) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_monadic_query(benchmark, documents, size):
+    pattern = _levels_query()
+    result = benchmark.pedantic(
+        lambda: evaluate_pattern(pattern, documents[size]),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == size
+
+
+@pytest.mark.parametrize("size", (10, 30, 100))
+def bench_pair_query(benchmark, documents, size):
+    pattern = _r1_small()
+    result = benchmark.pedantic(
+        lambda: evaluate_pattern(pattern, documents[size]),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) > size  # quadratically many pairs
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_existence_check(benchmark, documents, size):
+    pattern = _levels_query()
+    assert benchmark.pedantic(
+        lambda: has_mapping(pattern, documents[size]),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_t7_report(benchmark, documents):
+    rows = []
+    for size in SIZES:
+        document = documents[size]
+        level_pattern = _levels_query()
+        started = time.perf_counter()
+        levels = evaluate_pattern(level_pattern, document)
+        level_time = time.perf_counter() - started
+
+        pair_pattern = _r1_small()
+        started = time.perf_counter()
+        pairs = sum(1 for _ in enumerate_mappings(pair_pattern, document))
+        pair_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        has_mapping(level_pattern, document)
+        exist_time = time.perf_counter() - started
+
+        rows.append(
+            [
+                size,
+                document.size(),
+                f"{level_time * 1000:.1f} ({len(levels)})",
+                f"{pair_time * 1000:.1f} ({pairs})",
+                f"{exist_time * 1000:.2f}",
+            ]
+        )
+    emit_table(
+        "T7: pattern engine throughput",
+        [
+            "candidates",
+            "nodes",
+            "levels eval ms (results)",
+            "pairs eval ms (mappings)",
+            "existence ms",
+        ],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: evaluate_pattern(_levels_query(), documents[30]),
+        rounds=3,
+        iterations=1,
+    )

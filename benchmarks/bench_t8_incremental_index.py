@@ -1,0 +1,140 @@
+"""T8 — three ways to keep an FD trustworthy under updates.
+
+Extends T1 with the *strong* baseline the related-work section of the
+paper describes (the [14]-style approach using stored information from
+previous verification passes):
+
+* **naive revalidation** — re-check the FD from scratch after each
+  update: cost grows with the document;
+* **incremental index** — :class:`repro.fd.index.FDIndex` absorbs each
+  subtree replacement by touching only mappings whose dangerous region
+  meets the update: cost grows with the touched region;
+* **criterion IC** — one document-free verdict per update *class*; when
+  INDEPENDENT (as for fd1 vs level updates) per-update cost is zero.
+
+Expected shape: naive ≫ incremental ≫ IC-amortized, with the
+incremental index exact on every update and IC exact but class-level.
+"""
+
+import time
+
+import pytest
+
+from repro.fd.index import FDIndex
+from repro.fd.satisfaction import document_satisfies
+from repro.independence.criterion import check_independence
+from repro.workload.exams import generate_session
+from repro.xmlmodel.builder import elem, text
+
+from benchmarks.conftest import emit_table
+
+SIZES = (30, 100, 300)
+UPDATES_PER_RUN = 20
+
+
+def _level_positions(document):
+    positions = []
+    for candidate in document.node_at((0,)).find_all("candidate"):
+        positions.append(candidate.find("level").position())
+    return positions
+
+
+def _run_naive(fd, document, positions):
+    working = document.clone()
+    for index, position in enumerate(positions[:UPDATES_PER_RUN]):
+        from repro.xmlmodel.edit import replace_subtree
+
+        replace_subtree(
+            working.node_at(position), elem("level", text(f"L{index}"))
+        )
+        document_satisfies(fd, working)
+
+
+def _run_indexed(fd, document, positions):
+    index = FDIndex(fd, document.clone())
+    for count, position in enumerate(positions[:UPDATES_PER_RUN]):
+        index.apply_replacement(position, elem("level", text(f"L{count}")))
+        index.is_satisfied()
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return {size: generate_session(size, seed=21) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_naive_revalidation_stream(benchmark, figures, documents, size):
+    document = documents[size]
+    positions = _level_positions(document)
+    benchmark.pedantic(
+        lambda: _run_naive(figures.fd1, document, positions),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_indexed_stream(benchmark, figures, documents, size):
+    document = documents[size]
+    positions = _level_positions(document)
+    benchmark.pedantic(
+        lambda: _run_indexed(figures.fd1, document, positions),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def bench_t8_report(benchmark, figures, documents):
+    ic_started = time.perf_counter()
+    verdict = check_independence(
+        figures.fd1, figures.update_class, want_witness=False
+    )
+    ic_seconds = time.perf_counter() - ic_started
+    assert verdict.independent
+
+    rows = []
+    for size in SIZES:
+        document = documents[size]
+        positions = _level_positions(document)
+
+        started = time.perf_counter()
+        _run_naive(figures.fd1, document, positions)
+        naive = time.perf_counter() - started
+
+        started = time.perf_counter()
+        index = FDIndex(figures.fd1, document.clone())
+        build = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for count, position in enumerate(positions[:UPDATES_PER_RUN]):
+            index.apply_replacement(position, elem("level", text(f"L{count}")))
+            index.is_satisfied()
+        incremental = time.perf_counter() - started
+
+        rows.append(
+            [
+                size,
+                f"{naive * 1000:.1f}",
+                f"{build * 1000:.1f}",
+                f"{incremental * 1000:.1f}",
+                f"{ic_seconds * 1000:.1f} (class-level)",
+            ]
+        )
+    emit_table(
+        f"T8: {UPDATES_PER_RUN} level updates — naive vs index vs IC (fd1)",
+        [
+            "candidates",
+            "naive recheck (ms)",
+            "index build (ms)",
+            "index maintain (ms)",
+            "IC once (ms)",
+        ],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: _run_indexed(
+            figures.fd1, documents[SIZES[0]], _level_positions(documents[SIZES[0]])
+        ),
+        rounds=2,
+        iterations=1,
+    )

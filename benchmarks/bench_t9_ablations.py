@@ -1,0 +1,145 @@
+"""T9 — ablations of the design choices DESIGN.md calls out.
+
+Three internal decisions are switched off to measure what they buy:
+
+* **typed emptiness** (criterion decides via witness construction under
+  XML typing) vs the classical untyped fixpoint: the typed variant can
+  certify pairs the untyped one cannot (patterns forcing children under
+  leaf-typed labels), at comparable cost;
+* **DFA minimization** of edge regexes: effect on the trace-automaton
+  and product sizes;
+* **existence memoization** in the matching engine: `has_mapping` versus
+  enumerating the first mapping.
+"""
+
+import time
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.independence.criterion import check_independence
+from repro.independence.language import dangerous_language
+from repro.pattern.builder import build_pattern, edge
+from repro.pattern.engine import enumerate_mappings, has_mapping
+from repro.regex.dfa import dfa_from_nfa
+from repro.regex.nfa import nfa_from_regex
+from repro.regex.parser import parse_regex
+from repro.tautomata.emptiness import automaton_is_empty, witness_document
+from repro.update.update_class import UpdateClass
+from repro.workload.exams import generate_session
+
+from benchmarks.conftest import emit_table
+
+
+def _leaf_typed_pair():
+    """A pair where only the typed check certifies independence: the
+    dangerous documents would need children under an attribute node."""
+    fd = FunctionalDependency(
+        build_pattern(
+            edge("r", name="c")(
+                edge("item")(edge("@k", name="p1"), edge("v", name="q"))
+            ),
+            selected=("p1", "q"),
+        ),
+        context="c",
+    )
+    update_class = UpdateClass(
+        build_pattern(edge("r.item.@k.below", name="s"), selected=("s",))
+    )
+    return fd, update_class
+
+
+def bench_typed_vs_untyped_emptiness(benchmark):
+    fd, update_class = _leaf_typed_pair()
+    language = dangerous_language(fd, update_class)
+
+    untyped_nonempty = not automaton_is_empty(language.automaton)
+    typed_witness = witness_document(language.automaton)
+
+    def run():
+        return witness_document(language.automaton)
+
+    benchmark(run)
+    # the untyped fixpoint believes a dangerous tree exists; the typed
+    # witness search knows @k can never have children
+    assert untyped_nonempty
+    assert typed_witness is None
+    assert check_independence(fd, update_class).independent
+
+
+def bench_t9_typed_emptiness_report(benchmark):
+    fd, update_class = _leaf_typed_pair()
+    language = dangerous_language(fd, update_class)
+
+    started = time.perf_counter()
+    untyped = not automaton_is_empty(language.automaton)
+    untyped_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    typed = witness_document(language.automaton) is not None
+    typed_time = time.perf_counter() - started
+
+    emit_table(
+        "T9a: typed vs untyped emptiness on a leaf-typed pair",
+        ["variant", "says L non-empty?", "verdict", "time (ms)"],
+        [
+            [
+                "untyped fixpoint",
+                untyped,
+                "UNKNOWN (false alarm)",
+                f"{untyped_time * 1000:.1f}",
+            ],
+            [
+                "typed witness search",
+                typed,
+                "INDEPENDENT (correct)",
+                f"{typed_time * 1000:.1f}",
+            ],
+        ],
+    )
+    assert untyped and not typed
+    benchmark(lambda: witness_document(language.automaton))
+
+
+def bench_t9_minimization_report(benchmark):
+    """Size effect of minimizing edge-regex DFAs."""
+    from repro.regex.minimize import minimize_dfa
+
+    rows = []
+    for source in ("(a|a|a).(b|b)", "(a.b)*|(a.b)*", "a?.a?.a?.a?", "~*.x.~*"):
+        expression = parse_regex(source)
+        raw = dfa_from_nfa(nfa_from_regex(expression))
+        minimal = minimize_dfa(raw)
+        rows.append(
+            [source, raw.state_count, minimal.state_count,
+             f"{raw.state_count / minimal.state_count:.1f}x"]
+        )
+    emit_table(
+        "T9b: edge-regex DFA minimization",
+        ["regex", "raw DFA states", "minimized", "shrink"],
+        rows,
+    )
+    expression = parse_regex("a?.a?.a?.a?")
+    benchmark(lambda: minimize_dfa(dfa_from_nfa(nfa_from_regex(expression))))
+
+
+@pytest.mark.parametrize("size", (30, 100))
+def bench_memoized_existence(benchmark, figures, size):
+    document = generate_session(size, seed=5)
+    pattern = figures.fd1.pattern
+    result = benchmark.pedantic(
+        lambda: has_mapping(pattern, document), rounds=3, iterations=1
+    )
+    assert result
+
+
+@pytest.mark.parametrize("size", (30, 100))
+def bench_first_mapping_enumeration(benchmark, figures, size):
+    document = generate_session(size, seed=5)
+    pattern = figures.fd1.pattern
+    result = benchmark.pedantic(
+        lambda: next(enumerate_mappings(pattern, document), None),
+        rounds=3,
+        iterations=1,
+    )
+    assert result is not None

@@ -1,0 +1,50 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Each ``bench_*.py`` module regenerates one experiment of EXPERIMENTS.md
+(E1-E3 reproduce the paper's worked examples; T1-T7 are the missing
+experimental study the paper's conclusion calls for).  Timing goes
+through pytest-benchmark; the experiment *tables* — the rows recorded in
+EXPERIMENTS.md — are printed by the same modules, so
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema.dtd import Schema
+from repro.workload.exams import exam_schema, paper_document, paper_patterns
+from repro.workload.exams import PaperPatterns
+from repro.xmlmodel.tree import XMLDocument
+
+
+@pytest.fixture(scope="session")
+def figure1() -> XMLDocument:
+    return paper_document()
+
+
+@pytest.fixture(scope="session")
+def figures() -> PaperPatterns:
+    return paper_patterns()
+
+
+@pytest.fixture(scope="session")
+def schema() -> Schema:
+    return exam_schema()
+
+
+def emit_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print an experiment table (the EXPERIMENTS.md rows)."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    print(f"\n--- {title} ---")
+    line = " | ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Proposition 1, executable: regex inclusion ≤ update-FD independence.
+
+For each inclusion instance ``η ⊆ η'?`` the script builds the paper's
+Figure 7 gadget (a functional dependency and an update class over the
+alphabet {A, B, C, F, G, #}) and, when inclusion fails, materializes the
+Figure 8 witness: a document that satisfies the FD together with a
+concrete update of the class that breaks it — then *verifies the impact
+dynamically* by applying the update and re-checking.
+
+Run:  python examples/hardness_reduction.py
+"""
+
+from repro import serialize_document
+from repro.independence.hardness import inclusion_via_independence
+
+INSTANCES = [
+    ("A.B", "A.~"),
+    ("(A.A)*.A", "A*"),
+    ("A*", "(A.A)*.A"),
+    ("A+|B+", "(A|B)+"),
+    ("(A|B)+", "A+|B+"),
+    ("A.(B.A)*", "(A.B)*.A"),
+    ("(A.B)*.A", "A.(B.A)*"),
+    ("(A|B)*.A.(A|B)", "(A|B)*.A.(A|B).(A|B)"),
+]
+
+
+def main() -> None:
+    print("deciding regex inclusion through the independence gadget\n")
+    for eta, eta_prime in INSTANCES:
+        decision = inclusion_via_independence(eta, eta_prime)
+        verdict = "⊆" if decision.included else "⊄"
+        print(f"L({eta}) {verdict} L({eta_prime})")
+        if decision.witness is not None:
+            witness = decision.witness
+            print(
+                f"   counterexample word  : {' '.join(witness.counterexample)}"
+            )
+            print(
+                f"   grafted η' word      : {' '.join(witness.grafted_word)}"
+            )
+            print(
+                "   witness document     :",
+                serialize_document(witness.document)[:100] + "...",
+            )
+            print(
+                "   impact verified      :",
+                "yes (FD held before, broken after)"
+                if decision.impact_confirmed
+                else "NO — reduction bug!",
+            )
+            assert decision.impact_confirmed
+        print()
+
+    print(
+        "PSPACE-hardness in action: every non-inclusion became a concrete\n"
+        "document+update pair breaking the gadget FD, so any decision\n"
+        "procedure for independence also decides regex inclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

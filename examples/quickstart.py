@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: patterns, FDs, update classes, and the criterion IC.
+
+Walks the full public API in five minutes:
+
+1. parse an XML document into the tree model;
+2. express a functional dependency as a regular tree pattern;
+3. check it on the document;
+4. declare a class of updates and apply one member;
+5. ask the independence criterion whether the class can ever break the
+   FD — without looking at any document.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FunctionalDependency,
+    PatternBuilder,
+    Update,
+    UpdateClass,
+    apply_update,
+    check_fd,
+    check_independence,
+    parse_document,
+    serialize_document,
+)
+from repro.update.operations import set_text
+
+CATALOG = """
+<catalog>
+  <product sku="A-1">
+    <name>Espresso machine</name>
+    <price>249</price>
+    <stock>12</stock>
+  </product>
+  <product sku="A-2">
+    <name>Grinder</name>
+    <price>99</price>
+    <stock>40</stock>
+  </product>
+  <product sku="A-1">
+    <name>Espresso machine</name>
+    <price>249</price>
+    <stock>3</stock>
+  </product>
+</catalog>
+"""
+
+
+def main() -> None:
+    # 1. documents -----------------------------------------------------
+    document = parse_document(CATALOG)
+    print(f"parsed catalog with {document.size()} nodes")
+
+    # 2. an FD as a regular tree pattern -------------------------------
+    # within the catalog, a product's @sku determines its name and price
+    build = PatternBuilder()
+    c = build.child(build.root, "catalog", name="c")
+    product = build.child(c, "product")
+    build.child(product, "@sku", name="p1")
+    build.child(product, "name", name="q")
+    fd_sku_name = FunctionalDependency(
+        build.pattern("p1", "q"), context="c", name="sku-determines-name"
+    )
+    print(fd_sku_name.describe())
+
+    # 3. satisfaction check ---------------------------------------------
+    report = check_fd(fd_sku_name, document)
+    print(report.describe())
+    assert report.satisfied  # duplicate sku rows agree on the name
+
+    # 4. a class of updates and one member ------------------------------
+    build = PatternBuilder()
+    product = build.child(build.root, "catalog.product")
+    build.child(product, "stock", name="s")
+    stock_updates = UpdateClass(build.pattern("s"), name="stock-updates")
+
+    restock = Update(stock_updates, set_text("100"), name="restock")
+    updated = apply_update(document, restock)
+    print("after restock:", serialize_document(updated)[:80], "...")
+
+    # 5. the independence criterion --------------------------------------
+    # IC reasons over *all* documents and *all* members of the class: it
+    # certifies that stock updates can never break the sku->name FD.
+    result = check_independence(fd_sku_name, stock_updates)
+    print(result.describe())
+    assert result.independent
+
+    # a class touching names is flagged, with a dangerous document
+    build = PatternBuilder()
+    product = build.child(build.root, "catalog.product")
+    build.child(product, "name", name="s")
+    name_updates = UpdateClass(build.pattern("s"), name="name-updates")
+    risky = check_independence(fd_sku_name, name_updates)
+    print(risky.describe())
+    assert not risky.independent
+    print("dangerous document:", serialize_document(risky.witness))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""repro — regular tree patterns for XML updates and functional dependencies.
+
+A complete implementation of *"Regular tree patterns: a uniform formalism
+for update queries and functional dependencies in XML"* (Gire & Idabal,
+EDBT 2010 Workshops): the pattern formalism and its matching semantics,
+XML functional dependencies and their satisfaction checking, update
+classes, the PSPACE-hardness gadget, and the polynomial independence
+criterion IC built on bottom-up hedge automata — plus the XML document
+model, regex/automata substrates, schemas, a positive-CoreXPath front
+end, and workload generators for the experimental study.
+
+Quickstart::
+
+    from repro import (
+        PatternBuilder, FunctionalDependency, UpdateClass,
+        check_independence, parse_document,
+    )
+
+    build = PatternBuilder()
+    c = build.child(build.root, "library", name="c")
+    book = build.child(c, "book")
+    build.child(book, "isbn", name="p1")
+    build.child(book, "title", name="q")
+    fd = FunctionalDependency(build.pattern("p1", "q"), context="c")
+
+    build = PatternBuilder()
+    book = build.child(build.root, "library.book")
+    build.child(book, "price", name="s")
+    updates = UpdateClass(build.pattern("s"))
+
+    result = check_independence(fd, updates)
+    print(result.describe())   # INDEPENDENT: prices never meet isbn/title
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced study.
+"""
+
+from repro.errors import (
+    AutomatonError,
+    FDError,
+    ImproperRegexError,
+    IndependenceError,
+    PatternError,
+    RegexError,
+    RegexParseError,
+    ReproError,
+    SchemaError,
+    UpdateError,
+    XMLModelError,
+    XMLParseError,
+    XPathError,
+)
+from repro.xmlmodel import (
+    NodeType,
+    XMLDocument,
+    XMLNode,
+    attr,
+    doc,
+    elem,
+    nodes_value_equal,
+    parse_document,
+    serialize_document,
+    text,
+    value_key,
+)
+from repro.regex import compile_regex, parse_regex
+from repro.pattern import (
+    Mapping,
+    PatternBuilder,
+    RegularTreePattern,
+    RegularTreeTemplate,
+    build_pattern,
+    edge,
+    enumerate_mappings,
+    evaluate_pattern,
+    has_mapping,
+)
+from repro.fd import (
+    EqualityType,
+    FDIndex,
+    FDReport,
+    FDSet,
+    FunctionalDependency,
+    LinearFD,
+    check_fd,
+    document_satisfies,
+    translate_linear_fd,
+)
+from repro.update import Update, UpdateBatch, UpdateClass, apply_update
+from repro.schema import Schema, schema_automaton
+from repro.independence import (
+    IndependenceResult,
+    Verdict,
+    check_independence,
+    check_view_independence,
+    dangerous_language,
+    exhaustive_impact_search,
+    hardness_gadget,
+    inclusion_via_independence,
+    revalidation_check,
+)
+from repro.fd.keys import absolute_key, relative_key
+from repro.xpath import (
+    evaluate_xpath,
+    parse_xpath,
+    pattern_from_xpath,
+    update_class_from_xpath,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "XMLModelError",
+    "XMLParseError",
+    "RegexError",
+    "RegexParseError",
+    "ImproperRegexError",
+    "PatternError",
+    "FDError",
+    "UpdateError",
+    "SchemaError",
+    "AutomatonError",
+    "XPathError",
+    "IndependenceError",
+    # xml model
+    "NodeType",
+    "XMLDocument",
+    "XMLNode",
+    "doc",
+    "elem",
+    "attr",
+    "text",
+    "parse_document",
+    "serialize_document",
+    "nodes_value_equal",
+    "value_key",
+    # regex
+    "parse_regex",
+    "compile_regex",
+    # patterns
+    "PatternBuilder",
+    "RegularTreePattern",
+    "RegularTreeTemplate",
+    "Mapping",
+    "build_pattern",
+    "edge",
+    "enumerate_mappings",
+    "evaluate_pattern",
+    "has_mapping",
+    # functional dependencies
+    "EqualityType",
+    "FunctionalDependency",
+    "FDIndex",
+    "FDReport",
+    "FDSet",
+    "LinearFD",
+    "check_fd",
+    "document_satisfies",
+    "translate_linear_fd",
+    # updates
+    "Update",
+    "UpdateBatch",
+    "UpdateClass",
+    "apply_update",
+    # schema
+    "Schema",
+    "schema_automaton",
+    # keys
+    "absolute_key",
+    "relative_key",
+    # independence
+    "IndependenceResult",
+    "Verdict",
+    "check_independence",
+    "check_view_independence",
+    "dangerous_language",
+    "exhaustive_impact_search",
+    "hardness_gadget",
+    "inclusion_via_independence",
+    "revalidation_check",
+    # xpath
+    "parse_xpath",
+    "evaluate_xpath",
+    "pattern_from_xpath",
+    "update_class_from_xpath",
+]

@@ -1,0 +1,198 @@
+"""Command-line interface: validate, check, update-guard from the shell.
+
+Installed as ``repro-xml`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Subcommands:
+
+``validate``
+    Validate a document against a schema file.
+
+``check-fd``
+    Check a linear-syntax FD on a document, reporting violations.
+
+``independence``
+    Run the criterion IC for a linear-syntax FD against an XPath-defined
+    update class, optionally under a schema; prints the verdict and, on
+    UNKNOWN, the dangerous witness document.
+
+``evaluate``
+    Evaluate a positive CoreXPath expression on a document.
+
+Examples::
+
+    repro-xml validate store.xml --schema store.schema
+    repro-xml check-fd store.xml \\
+        --fd "(/orders, ((order/@id) -> order/customer/name))"
+    repro-xml independence \\
+        --fd "(/orders, ((order/@id) -> order/customer/name))" \\
+        --update-xpath "/orders/order/status" --schema store.schema
+    repro-xml evaluate store.xml --xpath "//line/product"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.fd.linear import LinearFD, translate_linear_fd
+from repro.fd.satisfaction import check_fd
+from repro.independence.criterion import check_independence
+from repro.schema.dtd import Schema
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document, serialize_node
+from repro.xpath.evaluate import evaluate_xpath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.translate import update_class_from_xpath
+
+
+def _load_document(path: str):
+    return parse_document(Path(path).read_text())
+
+
+def _load_schema(path: str) -> Schema:
+    return Schema.parse_text(Path(path).read_text())
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    document = _load_document(args.document)
+    schema = _load_schema(args.schema)
+    if schema.is_valid(document):
+        print(f"{args.document}: VALID against {args.schema}")
+        return 0
+    print(f"{args.document}: INVALID against {args.schema}")
+    return 1
+
+
+def _cmd_check_fd(args: argparse.Namespace) -> int:
+    document = _load_document(args.document)
+    fd = translate_linear_fd(LinearFD.parse(args.fd, name="cli-fd"))
+    report = check_fd(fd, document, max_violations=args.max_violations)
+    print(report.describe())
+    return 0 if report.satisfied else 1
+
+
+def _cmd_independence(args: argparse.Namespace) -> int:
+    fd = translate_linear_fd(LinearFD.parse(args.fd, name="cli-fd"))
+    update_class = update_class_from_xpath(args.update_xpath)
+    schema = _load_schema(args.schema) if args.schema else None
+    result = check_independence(fd, update_class, schema=schema)
+    print(result.describe())
+    if result.witness is not None and args.show_witness:
+        print("dangerous document:")
+        print(serialize_document(result.witness, indent=2))
+    return 0 if result.independent else 2
+
+
+def _cmd_stream_check(args: argparse.Namespace) -> int:
+    from repro.fd.streaming import StreamingFDValidator
+
+    linear = LinearFD.parse(args.fd, name="cli-fd")
+    validator = StreamingFDValidator(linear)
+    report = validator.validate_text(Path(args.document).read_text())
+    status = "SATISFIED" if report.satisfied else "VIOLATED"
+    print(
+        f"cli-fd: {status} ({report.assignment_count} assignments over "
+        f"{report.context_count} contexts, "
+        f"{report.violation_count} violations; single pass)"
+    )
+    return 0 if report.satisfied else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    document = _load_document(args.document)
+    path = parse_xpath(args.xpath)
+    nodes = evaluate_xpath(path, document)
+    for node in nodes:
+        position = ".".join(map(str, node.position()))
+        if node.node_type.value == "e":
+            rendered = serialize_node(node)
+        else:
+            rendered = f'{node.label}="{node.value}"'
+        print(f"{position}\t{rendered}")
+    print(f"# {len(nodes)} node(s)", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for the ``repro-xml`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-xml",
+        description=(
+            "Regular tree patterns: XML FD checking and update-FD "
+            "independence analysis (Gire & Idabal, EDBT 2010 Workshops)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate a document against a schema file"
+    )
+    validate.add_argument("document")
+    validate.add_argument("--schema", required=True)
+    validate.set_defaults(handler=_cmd_validate)
+
+    check = commands.add_parser(
+        "check-fd", help="check a linear-syntax FD on a document"
+    )
+    check.add_argument("document")
+    check.add_argument(
+        "--fd",
+        required=True,
+        help='e.g. "(/orders, ((order/@id) -> order/customer/name))"',
+    )
+    check.add_argument("--max-violations", type=int, default=5)
+    check.set_defaults(handler=_cmd_check_fd)
+
+    independence = commands.add_parser(
+        "independence",
+        help="run the criterion IC for an FD against an XPath update class",
+    )
+    independence.add_argument("--fd", required=True)
+    independence.add_argument(
+        "--update-xpath",
+        required=True,
+        help='e.g. "/orders/order/status"',
+    )
+    independence.add_argument("--schema")
+    independence.add_argument(
+        "--show-witness",
+        action="store_true",
+        help="print the dangerous document on UNKNOWN verdicts",
+    )
+    independence.set_defaults(handler=_cmd_independence)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="evaluate a positive CoreXPath expression"
+    )
+    evaluate.add_argument("document")
+    evaluate.add_argument("--xpath", required=True)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    stream = commands.add_parser(
+        "stream-check",
+        help="single-pass (bounded-memory) check of a linear-syntax FD",
+    )
+    stream.add_argument("document")
+    stream.add_argument("--fd", required=True)
+    stream.set_defaults(handler=_cmd_stream_check)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 64
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 66
+
+
+if __name__ == "__main__":
+    sys.exit(main())

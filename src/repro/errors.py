@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream code can catch library failures with a single ``except`` clause
+while still being able to distinguish parse errors from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class XMLModelError(ReproError):
+    """Violation of the tree-domain document model (Section 2.1)."""
+
+
+class XMLParseError(ReproError):
+    """Raised when XML text cannot be parsed into a document."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class RegexError(ReproError):
+    """Base class for regular-expression layer errors."""
+
+
+class RegexParseError(RegexError):
+    """Raised when a regular expression over labels cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ImproperRegexError(RegexError):
+    """Raised when a pattern edge regex accepts the empty word.
+
+    Definition 1 of the paper requires every edge expression to be
+    *proper*: its language must not contain the empty word.
+    """
+
+
+class PatternError(ReproError):
+    """Structural error in a regular tree pattern (Definition 1)."""
+
+
+class FDError(ReproError):
+    """Structural error in an XML functional dependency (Definition 4)."""
+
+
+class UpdateError(ReproError):
+    """Error in an update class or a concrete update operation."""
+
+
+class SchemaError(ReproError):
+    """Error in a schema definition or its compilation to an automaton."""
+
+
+class AutomatonError(ReproError):
+    """Structural error in a word or hedge automaton."""
+
+
+class XPathError(ReproError):
+    """Error while parsing or translating a CoreXPath expression."""
+
+
+class IndependenceError(ReproError):
+    """Error while setting up an update-FD independence analysis.
+
+    Most prominently raised when the update class does not satisfy the
+    paper's restriction that every updated node is a leaf of the update
+    template (Section 5).
+    """

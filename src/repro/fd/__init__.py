@@ -1,0 +1,44 @@
+"""XML functional dependencies expressed as regular tree patterns.
+
+Implements Section 3 of the paper:
+
+* :mod:`repro.fd.fd` -- Definition 4: an FD is a pattern whose selected
+  tuple is ``(p1..pn, q)`` with equality types, plus a context node;
+* :mod:`repro.fd.satisfaction` -- Definition 5: satisfaction checking
+  with violation witnesses;
+* :mod:`repro.fd.linear` -- the linear-path formalism of [8]
+  ``(C, (P1[E1], ..., Pn[En] -> Q[E]))`` and its prefix-factorizing
+  translation into regular tree patterns.
+"""
+
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.fd.satisfaction import FDReport, Violation, check_fd, document_satisfies
+from repro.fd.linear import LinearFD, LinearPath, translate_linear_fd
+from repro.fd.index import FDIndex
+from repro.fd.keys import absolute_key, relative_key
+from repro.fd.sets import FDSet, FDSetIndex, FDSetIndependence, FDSetReport
+from repro.fd.streaming import StreamingFDValidator, StreamingReport
+from repro.fd.implication import ImplicationResult, bounded_implication
+
+__all__ = [
+    "EqualityType",
+    "FunctionalDependency",
+    "FDReport",
+    "Violation",
+    "check_fd",
+    "document_satisfies",
+    "LinearFD",
+    "LinearPath",
+    "translate_linear_fd",
+    "FDIndex",
+    "FDSet",
+    "absolute_key",
+    "relative_key",
+    "StreamingFDValidator",
+    "StreamingReport",
+    "ImplicationResult",
+    "bounded_implication",
+    "FDSetIndex",
+    "FDSetIndependence",
+    "FDSetReport",
+]

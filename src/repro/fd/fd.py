@@ -1,0 +1,118 @@
+"""XML functional dependencies (Definition 4).
+
+An FD is ``fd = (FD, c)`` where ``FD`` is an (n+1)-ary regular tree
+pattern selecting the condition nodes ``p1..pn`` and the target node
+``q`` (the *last* component of the selected tuple), each with an equality
+type, and ``c`` is a template node that is an ancestor of every selected
+node (the *context*).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from repro.errors import FDError
+from repro.pattern.template import (
+    RegularTreePattern,
+    TemplatePosition,
+)
+
+
+class EqualityType(enum.Enum):
+    """How two node images are compared (Definition 3 notations)."""
+
+    VALUE = "V"
+    NODE = "N"
+
+
+class FunctionalDependency:
+    """``fd = (FD, c)`` with equality-typed condition and target nodes.
+
+    Parameters
+    ----------
+    pattern:
+        The regular tree pattern; its selected tuple is read as
+        ``(p1, ..., pn, q)`` — at least two nodes (one condition, one
+        target).
+    context:
+        Template node (name or position) that must be an ancestor of
+        every selected node.
+    condition_types / target_type:
+        Equality types; defaults are all-VALUE, as in the paper's
+        shorthand where ``p`` means ``p[V]``.
+    name:
+        Optional human-readable identifier used in reports.
+    """
+
+    def __init__(
+        self,
+        pattern: RegularTreePattern,
+        context: str | TemplatePosition,
+        condition_types: Sequence[EqualityType] | None = None,
+        target_type: EqualityType = EqualityType.VALUE,
+        name: str | None = None,
+    ) -> None:
+        if pattern.arity < 2:
+            raise FDError(
+                "an FD pattern must select at least one condition node and "
+                "one target node"
+            )
+        self.pattern = pattern
+        self.context = pattern.template.position_of(context)
+        self.condition_positions = pattern.selected[:-1]
+        self.target_position = pattern.selected[-1]
+        if condition_types is None:
+            condition_types = [EqualityType.VALUE] * len(self.condition_positions)
+        if len(condition_types) != len(self.condition_positions):
+            raise FDError(
+                f"{len(self.condition_positions)} condition nodes but "
+                f"{len(condition_types)} condition equality types"
+            )
+        self.condition_types = tuple(condition_types)
+        self.target_type = target_type
+        self.name = name or "fd"
+        self._validate()
+
+    def _validate(self) -> None:
+        template = self.pattern.template
+        for position in self.pattern.selected:
+            if not template.is_ancestor(self.context, position, strict=False) or (
+                position == self.context
+            ):
+                raise FDError(
+                    f"context {self.context} must be a strict ancestor of "
+                    f"selected node {position}"
+                )
+
+    @property
+    def condition_count(self) -> int:
+        """Number of condition nodes ``n``."""
+        return len(self.condition_positions)
+
+    def size(self) -> int:
+        """``|FD|`` — the size of the underlying pattern."""
+        return self.pattern.size()
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports and examples."""
+        template = self.pattern.template
+        reverse = {pos: name for name, pos in template.names.items()}
+
+        def render(position: TemplatePosition, equality: EqualityType) -> str:
+            label = reverse.get(position, str(position))
+            suffix = "" if equality is EqualityType.VALUE else "[N]"
+            return f"{label}{suffix}"
+
+        conditions = ", ".join(
+            render(position, equality)
+            for position, equality in zip(
+                self.condition_positions, self.condition_types
+            )
+        )
+        target = render(self.target_position, self.target_type)
+        context = reverse.get(self.context, str(self.context))
+        return f"{self.name}: context={context}; ({conditions}) -> {target}"
+
+    def __repr__(self) -> str:
+        return f"<FunctionalDependency {self.describe()}>"

@@ -1,0 +1,277 @@
+"""Incremental FD maintenance: the stored-information approach of [14].
+
+The paper's related-work discussion contrasts the criterion IC with the
+approach of [14], which keeps auxiliary information from previous
+verification passes and re-validates FDs after each update using it.
+This module implements that comparison point as a real data structure:
+
+:class:`FDIndex` materializes, per mapping of the FD pattern, the group
+key (context identity + condition keys), the target key, and the
+mapping's *dangerous region* — its trace positions plus the subtrees
+under its selected-node images.  Satisfaction is then a counter lookup,
+and a subtree replacement at position ``p`` is absorbed incrementally:
+
+* mappings whose trace enters ``subtree(p)`` are dropped (their
+  structure may be gone) and rediscovered by a region-restricted
+  re-enumeration (:func:`repro.pattern.engine.enumerate_mappings_touching`);
+* mappings with a selected image strictly above ``p`` merely have stale
+  keys — they are re-keyed in place, no re-matching needed;
+* all other mappings are untouched — the common case, and exactly the
+  complement of the Definition 6 dangerous region, which is the formal
+  reason the criterion IC works.
+
+The index is the strong baseline for experiment T8: IC (document-free,
+per class) vs indexed revalidation (per update, proportional to the
+touched region) vs naive revalidation (per update, proportional to the
+document).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import Counter
+
+from repro.errors import FDError
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.fd.satisfaction import _node_key
+from repro.pattern.engine import enumerate_mappings, enumerate_mappings_touching
+from repro.pattern.mapping import Mapping
+from repro.xmlmodel.edit import replace_subtree
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+Position = tuple[int, ...]
+
+
+def _is_prefix(prefix: Position, position: Position) -> bool:
+    return position[: len(prefix)] == prefix
+
+
+@dataclasses.dataclass
+class _Record:
+    """Materialized facts about one mapping."""
+
+    group_key: tuple
+    target_key: object
+    image_positions: tuple[Position, ...]
+    trace_positions: frozenset[Position]
+    selected_positions: tuple[Position, ...]
+
+    def structurally_affected_by(self, position: Position) -> bool:
+        """Does the replacement at ``position`` enter this trace?"""
+        return any(
+            _is_prefix(position, trace) for trace in self.trace_positions
+        )
+
+    def value_affected_by(self, position: Position) -> bool:
+        """Is ``position`` strictly below one of the selected images?"""
+        return any(
+            _is_prefix(selected, position) and selected != position
+            for selected in self.selected_positions
+        )
+
+
+class FDIndex:
+    """Materialized groups of one FD over one (mutable) document."""
+
+    def __init__(self, fd: FunctionalDependency, document: XMLDocument) -> None:
+        self.fd = fd
+        self.document = document
+        self._records: dict[int, _Record] = {}
+        self._next_id = itertools.count()
+        self._groups: dict[tuple, Counter] = {}
+        self._violating_groups: set[tuple] = set()
+        self._memo: dict[int, tuple] = {}
+        for mapping in enumerate_mappings(fd.pattern, document):
+            self._add_mapping(mapping)
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _record_of(self, mapping: Mapping) -> _Record:
+        fd = self.fd
+        context_node = mapping.images[fd.context]
+        condition_keys = tuple(
+            _node_key(mapping.images[position], equality, self._memo)
+            for position, equality in zip(
+                fd.condition_positions, fd.condition_types
+            )
+        )
+        target_node = mapping.images[fd.target_position]
+        # node-equality keys must survive re-keying across edits, so use
+        # positions (stable under in-place replacement) instead of ids
+        group_key = (context_node.position(),) + tuple(
+            key if equality is EqualityType.VALUE else mapping.images[p].position()
+            for key, (p, equality) in zip(
+                condition_keys,
+                zip(fd.condition_positions, fd.condition_types),
+            )
+        )
+        if fd.target_type is EqualityType.VALUE:
+            target_key: object = _node_key(
+                target_node, EqualityType.VALUE, self._memo
+            )
+        else:
+            target_key = ("node", target_node.position())
+        selected = tuple(
+            mapping.images[position].position()
+            for position in fd.pattern.selected
+        )
+        return _Record(
+            group_key=group_key,
+            target_key=target_key,
+            image_positions=tuple(
+                node.position() for node in mapping.images.values()
+            ),
+            trace_positions=frozenset(
+                node.position() for node in mapping.trace_node_set()
+            ),
+            selected_positions=selected,
+        )
+
+    def _add_record(self, record: _Record) -> int:
+        handle = next(self._next_id)
+        self._records[handle] = record
+        counter = self._groups.setdefault(record.group_key, Counter())
+        counter[record.target_key] += 1
+        if len(counter) > 1:
+            self._violating_groups.add(record.group_key)
+        return handle
+
+    def _add_mapping(self, mapping: Mapping) -> int:
+        return self._add_record(self._record_of(mapping))
+
+    def _remove_record(self, handle: int) -> _Record:
+        record = self._records.pop(handle)
+        counter = self._groups[record.group_key]
+        counter[record.target_key] -= 1
+        if counter[record.target_key] == 0:
+            del counter[record.target_key]
+        if not counter:
+            del self._groups[record.group_key]
+            self._violating_groups.discard(record.group_key)
+        elif len(counter) <= 1:
+            self._violating_groups.discard(record.group_key)
+        return record
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def mapping_count(self) -> int:
+        """Number of materialized mappings."""
+        return len(self._records)
+
+    @property
+    def group_count(self) -> int:
+        """Number of (context, condition) groups."""
+        return len(self._groups)
+
+    def is_satisfied(self) -> bool:
+        """Is the FD currently satisfied? O(1)."""
+        return not self._violating_groups
+
+    def violating_group_keys(self) -> list[tuple]:
+        """Group keys with more than one distinct target key."""
+        return sorted(self._violating_groups, key=repr)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def apply_replacement(
+        self, position: Position | XMLNode, replacement: XMLNode
+    ) -> dict[str, int]:
+        """Replace the subtree at ``position`` and absorb the change.
+
+        Returns maintenance statistics: how many records were dropped,
+        re-keyed, kept and re-discovered — the quantities experiment T8
+        reports against full re-validation.
+        """
+        if isinstance(position, XMLNode):
+            position = position.position()
+        position = tuple(position)
+        if not position:
+            raise FDError("cannot replace the document root")
+        target = self.document.node_at(position)
+
+        dropped = 0
+        rekeyed = 0
+        stale_handles = []
+        rekey_handles = []
+        for handle, record in self._records.items():
+            if record.structurally_affected_by(position):
+                stale_handles.append(handle)
+            elif record.value_affected_by(position):
+                rekey_handles.append(handle)
+        for handle in stale_handles:
+            self._remove_record(handle)
+            dropped += 1
+
+        rekey_records = [self._remove_record(h) for h in rekey_handles]
+
+        replace_subtree(target, replacement)
+        new_root = self.document.node_at(position)
+
+        self._memo = {}
+        # re-key value-affected records in place: their mapping structure
+        # is intact, only keys derived from subtree values changed
+        for record in rekey_records:
+            refreshed = _Record(
+                group_key=self._rebuild_group_key(record),
+                target_key=self._rebuild_target_key(record),
+                image_positions=record.image_positions,
+                trace_positions=record.trace_positions,
+                selected_positions=record.selected_positions,
+            )
+            self._add_record(refreshed)
+            rekeyed += 1
+
+        # re-discover mappings that enter the replaced subtree
+        rediscovered = 0
+        for mapping in enumerate_mappings_touching(
+            self.fd.pattern, self.document, new_root
+        ):
+            self._add_mapping(mapping)
+            rediscovered += 1
+        self._memo.clear()
+
+        return {
+            "dropped": dropped,
+            "rekeyed": rekeyed,
+            "rediscovered": rediscovered,
+            "kept": len(self._records) - rekeyed - rediscovered,
+        }
+
+    def _rebuild_group_key(self, record: _Record) -> tuple:
+        fd = self.fd
+        context_position = record.group_key[0]
+        parts: list[object] = [context_position]
+        for selected_position, (template_pos, equality) in zip(
+            record.selected_positions[:-1],
+            zip(fd.condition_positions, fd.condition_types),
+        ):
+            if equality is EqualityType.VALUE:
+                node = self.document.node_at(selected_position)
+                parts.append(_node_key(node, EqualityType.VALUE, self._memo))
+            else:
+                parts.append(selected_position)
+        return tuple(parts)
+
+    def _rebuild_target_key(self, record: _Record) -> object:
+        fd = self.fd
+        target_position = record.selected_positions[-1]
+        if fd.target_type is EqualityType.VALUE:
+            node = self.document.node_at(target_position)
+            return _node_key(node, EqualityType.VALUE, self._memo)
+        return ("node", target_position)
+
+    def __repr__(self) -> str:
+        status = "satisfied" if self.is_satisfied() else "VIOLATED"
+        return (
+            f"<FDIndex {self.fd.name}: {self.mapping_count} mappings, "
+            f"{self.group_count} groups, {status}>"
+        )

@@ -1,0 +1,82 @@
+"""XML keys as a special case of pattern-based FDs.
+
+The introduction surveys the XML-keys literature ([3, 5, 1, 16, 19, 17])
+that regular tree patterns federate.  A *key* says: within each context
+node, the values of the key paths identify the target node — i.e. an FD
+whose target carries *node* equality:
+
+    key:      (C, (P1, ..., Pn  ->  Q[N]))
+
+:func:`absolute_key` anchors the context at the document root,
+:func:`relative_key` at an arbitrary context path — the two flavours of
+the keys literature.  Both compile down to ordinary
+:class:`~repro.fd.fd.FunctionalDependency` objects via the [8]-style
+translation, so satisfaction checking, incremental maintenance and the
+independence criterion apply unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.fd.linear import LinearFD, LinearPath, translate_linear_fd
+
+
+def relative_key(
+    context: LinearPath | str,
+    target: LinearPath | str,
+    key_paths: Sequence[LinearPath | str],
+    name: str | None = None,
+) -> FunctionalDependency:
+    """A relative key: within each context, the key-path values (taken
+    relative to the *target*) identify the target node.
+
+    ``relative_key("/session", "candidate", ["@IDN"])`` reads: within a
+    session, a candidate is identified by its ``@IDN``.
+    """
+    target_path = target if isinstance(target, LinearPath) else LinearPath.parse(target)
+    conditions = []
+    for key_path in key_paths:
+        relative = (
+            key_path if isinstance(key_path, LinearPath) else LinearPath.parse(key_path)
+        )
+        conditions.append(LinearPath(target_path.steps + relative.steps))
+    linear = LinearFD.build(
+        context=context,
+        conditions=conditions,
+        target=(target_path, EqualityType.NODE),
+        name=name or f"key({target_path})",
+    )
+    return translate_linear_fd(linear)
+
+
+def absolute_key(
+    target: LinearPath | str,
+    key_paths: Sequence[LinearPath | str],
+    name: str | None = None,
+) -> FunctionalDependency:
+    """An absolute key: the context is the whole document.
+
+    The target path must have at least two steps (the first becomes the
+    context anchor) — XML documents have a single document element, so
+    anchoring there loses no generality.
+    """
+    target_path = target if isinstance(target, LinearPath) else LinearPath.parse(target)
+    if len(target_path.steps) < 2:
+        # context at the document element: use its label as context path
+        # and the remainder (empty) is impossible; treat the document
+        # element itself as context anchor with target below it is the
+        # only sensible reading, so require two steps.
+        raise ValueError(
+            "an absolute key needs a target path of >= 2 steps "
+            "(document-element anchor + target)"
+        )
+    context = LinearPath(target_path.steps[:1])
+    remainder = LinearPath(target_path.steps[1:])
+    return relative_key(
+        context,
+        remainder,
+        key_paths,
+        name=name or f"key(//{target_path})",
+    )

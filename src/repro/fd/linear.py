@@ -1,0 +1,258 @@
+"""The linear-path FD formalism of [8] and its translation to patterns.
+
+In [8] a functional dependency is written
+
+    (C, (P1[E1], ..., Pn[En] -> Q[E]))
+
+where ``C`` is an absolute simple linear path selecting the context node
+and the ``Pi``/``Q`` are simple linear paths relative to the context.
+Section 3.2 of the paper shows how to translate such an expression into a
+regular tree pattern: the paths become label words; the longest common
+prefix shared between any two words is factorized through intermediate
+template nodes.  Applied to ``expr1``/``expr2`` this gives back exactly
+the patterns ``FD1``/``FD2`` of Figure 4.
+
+The translation adds what [8] lacks: mappings must respect the template's
+sibling order (the paper flags this as the one semantic difference).
+Conversely, the paper proves two structural limits of translated
+patterns — sibling edges never share a label prefix, and every leaf is a
+condition/target node — which is why ``fd3``/``fd4`` of Figure 5 are not
+expressible here; :func:`translate_linear_fd` raises on inputs that would
+need those shapes (duplicate paths).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.errors import FDError
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.template import TemplatePosition
+from repro.regex.ast import Concat, Regex, Symbol
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearPath:
+    """A simple linear path: a non-empty sequence of labels."""
+
+    steps: tuple[str, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "LinearPath":
+        """Parse ``a/b/@c`` syntax (a leading ``/`` is ignored)."""
+        raw = text.strip()
+        if raw.startswith("/"):
+            raw = raw[1:]
+        steps = tuple(step for step in raw.split("/") if step)
+        if not steps:
+            raise FDError(f"empty linear path {text!r}")
+        return cls(steps)
+
+    def __str__(self) -> str:
+        return "/".join(self.steps)
+
+
+def _as_path(path: LinearPath | str) -> LinearPath:
+    if isinstance(path, str):
+        return LinearPath.parse(path)
+    return path
+
+
+@dataclasses.dataclass
+class LinearFD:
+    """``(C, (P1[E1], ..., Pn[En] -> Q[E]))`` as in [8]."""
+
+    context: LinearPath
+    conditions: list[tuple[LinearPath, EqualityType]]
+    target: tuple[LinearPath, EqualityType]
+    name: str = "linear-fd"
+
+    @classmethod
+    def build(
+        cls,
+        context: LinearPath | str,
+        conditions: Sequence[LinearPath | str | tuple],
+        target: LinearPath | str | tuple,
+        name: str = "linear-fd",
+    ) -> "LinearFD":
+        """Convenience constructor accepting strings; a ``(path, type)``
+        tuple overrides the default VALUE equality."""
+
+        def normalize(item: LinearPath | str | tuple) -> tuple[LinearPath, EqualityType]:
+            if isinstance(item, tuple):
+                path, equality = item
+                return _as_path(path), equality
+            return _as_path(item), EqualityType.VALUE
+
+        return cls(
+            context=_as_path(context),
+            conditions=[normalize(item) for item in conditions],
+            target=normalize(target),
+            name=name,
+        )
+
+    @classmethod
+    def parse(cls, text: str, name: str = "linear-fd") -> "LinearFD":
+        """Parse the concrete [8]-style syntax used by the CLI.
+
+        Format: ``(context, ((P1, P2, ...) -> Q))``, each ``Pi``/``Q``
+        optionally suffixed ``[N]`` for node equality.  Example::
+
+            (/session, ((candidate/exam/discipline,
+                         candidate/exam/mark) -> candidate/exam/rank))
+        """
+
+        def strip_parens(chunk: str) -> str:
+            chunk = chunk.strip()
+            while chunk.startswith("(") and chunk.endswith(")"):
+                depth = 0
+                balanced = True
+                for index, char in enumerate(chunk):
+                    if char == "(":
+                        depth += 1
+                    elif char == ")":
+                        depth -= 1
+                        if depth == 0 and index != len(chunk) - 1:
+                            balanced = False
+                            break
+                if not balanced:
+                    break
+                chunk = chunk[1:-1].strip()
+            return chunk
+
+        def parse_item(chunk: str) -> tuple[LinearPath, EqualityType]:
+            chunk = chunk.strip()
+            equality = EqualityType.VALUE
+            if chunk.endswith("[N]"):
+                equality = EqualityType.NODE
+                chunk = chunk[:-3].strip()
+            elif chunk.endswith("[V]"):
+                chunk = chunk[:-3].strip()
+            return LinearPath.parse(chunk), equality
+
+        body = strip_parens(text)
+        depth = 0
+        split_at = None
+        for index, char in enumerate(body):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            elif char == "," and depth == 0:
+                split_at = index
+                break
+        if split_at is None:
+            raise FDError(f"expected '(context, (...))' in {text!r}")
+        context = body[:split_at].strip()
+        rest = strip_parens(body[split_at + 1 :])
+        if "->" not in rest:
+            raise FDError(f"expected '->' in {text!r}")
+        left, target = rest.rsplit("->", 1)
+        left = strip_parens(left.rstrip().rstrip(","))
+        conditions = [
+            parse_item(chunk) for chunk in left.split(",") if chunk.strip()
+        ]
+        if not conditions:
+            raise FDError(f"no condition paths in {text!r}")
+        return cls(
+            context=LinearPath.parse(context),
+            conditions=conditions,
+            target=parse_item(target),
+            name=name,
+        )
+
+    def __str__(self) -> str:
+        conditions = ", ".join(
+            f"{path}{'' if eq is EqualityType.VALUE else '[N]'}"
+            for path, eq in self.conditions
+        )
+        path, equality = self.target
+        suffix = "" if equality is EqualityType.VALUE else "[N]"
+        return f"({self.context}, (({conditions}) -> {path}{suffix}))"
+
+
+class _TrieNode:
+    """Node of the prefix trie over the relative paths."""
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.terminal_of: list[int] = []  # indices into the path list
+
+
+def _word_regex(labels: Sequence[str]) -> Regex:
+    parts = [Symbol(label) for label in labels]
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+def translate_linear_fd(linear: LinearFD) -> FunctionalDependency:
+    """Translate a [8]-style FD into a pattern-based one (Section 3.2).
+
+    Intermediate template nodes are introduced exactly at the branching
+    points of the prefix trie of the relative paths, so the longest
+    common prefix of any two paths is factorized — applied to the paper's
+    ``expr1``/``expr2`` this reproduces ``FD1``/``FD2`` of Figure 4.
+    """
+    paths = [path for path, _ in linear.conditions] + [linear.target[0]]
+    seen: set[tuple[str, ...]] = set()
+    for path in paths:
+        if path.steps in seen:
+            raise FDError(
+                f"duplicate relative path {path} — [8] patterns cannot "
+                f"repeat a path (compare fd3 of the paper, which needs a "
+                f"genuine regular tree pattern)"
+            )
+        seen.add(path.steps)
+
+    trie = _TrieNode()
+    for index, path in enumerate(paths):
+        node = trie
+        for step in path.steps:
+            node = node.children.setdefault(step, _TrieNode())
+        node.terminal_of.append(index)
+
+    builder = PatternBuilder()
+    context_position = builder.child(
+        builder.root, _word_regex(linear.context.steps), name="c"
+    )
+
+    selected_positions: dict[int, TemplatePosition] = {}
+
+    def emit(node: _TrieNode, parent: TemplatePosition, pending: list[str]) -> None:
+        """Walk the trie, contracting non-branching runs into edge words."""
+        is_template_node = bool(node.terminal_of) or len(node.children) != 1
+        if node is trie:
+            is_template_node = True  # the context node itself
+        if is_template_node and node is not trie:
+            position = builder.child(parent, _word_regex(pending))
+            for index in node.terminal_of:
+                selected_positions[index] = position
+            parent = position
+            pending = []
+        for step, child in node.children.items():
+            emit(child, parent, pending + [step])
+
+    emit(trie, context_position, [])
+
+    if trie.terminal_of:
+        raise FDError("a relative path cannot be empty (target = context)")
+
+    selected = [selected_positions[index] for index in range(len(paths))]
+    # name the selected nodes p1..pn, q for diagnostics
+    template_names = dict(builder._names)
+    for rank, position in enumerate(selected[:-1]):
+        template_names.setdefault(f"p{rank + 1}", position)
+    template_names.setdefault("q", selected[-1])
+    builder._names = template_names
+
+    pattern = builder.pattern(*selected)
+    return FunctionalDependency(
+        pattern,
+        context="c",
+        condition_types=[equality for _, equality in linear.conditions],
+        target_type=linear.target[1],
+        name=linear.name,
+    )

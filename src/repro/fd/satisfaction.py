@@ -1,0 +1,141 @@
+"""FD satisfaction checking (Definition 5).
+
+A document satisfies ``(FD, c)`` when any two traces that agree on the
+context node (node equality) and on every condition node (per its
+equality type) also agree on the target node.  Both node equality and
+value equality are equivalences, so the check groups all mappings by
+``(context identity, condition keys)`` and verifies that each group has a
+single target key — linear in the number of mappings instead of the
+quadratic pairwise formulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.pattern.engine import enumerate_mappings
+from repro.pattern.mapping import Mapping
+from repro.xmlmodel.equality import value_key
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """A witness pair of mappings violating the FD."""
+
+    first: Mapping
+    second: Mapping
+    context_node: XMLNode
+    first_target: XMLNode
+    second_target: XMLNode
+
+    def describe(self) -> str:
+        """One-line human-readable account of the violating pair."""
+        first_pos = ".".join(map(str, self.first_target.position()))
+        second_pos = ".".join(map(str, self.second_target.position()))
+        context_pos = ".".join(map(str, self.context_node.position())) or "ε"
+        return (
+            f"under context node {context_pos}: targets at {first_pos} "
+            f"and {second_pos} disagree"
+        )
+
+
+@dataclasses.dataclass
+class FDReport:
+    """Outcome of checking one FD on one document."""
+
+    fd: FunctionalDependency
+    satisfied: bool
+    mapping_count: int
+    group_count: int
+    violations: list[Violation]
+
+    def describe(self) -> str:
+        """Summary line plus one line per violation witness."""
+        status = "SATISFIED" if self.satisfied else "VIOLATED"
+        summary = (
+            f"{self.fd.name}: {status} "
+            f"({self.mapping_count} mappings, {self.group_count} groups)"
+        )
+        for violation in self.violations:
+            summary += f"\n  {violation.describe()}"
+        return summary
+
+
+def _node_key(
+    node: XMLNode, equality: EqualityType, memo: dict[int, tuple]
+) -> tuple | int:
+    if equality is EqualityType.NODE:
+        return id(node)
+    return value_key(node, memo)
+
+
+def check_fd(
+    fd: FunctionalDependency,
+    document: XMLDocument,
+    max_violations: int = 5,
+) -> FDReport:
+    """Check one FD, returning a report with violation witnesses."""
+    memo: dict[int, tuple] = {}
+    groups: dict[tuple, tuple[tuple | int, Mapping]] = {}
+    mapping_count = 0
+    violations: list[Violation] = []
+
+    for mapping in enumerate_mappings(fd.pattern, document):
+        mapping_count += 1
+        context_node = mapping.images[fd.context]
+        condition_keys = tuple(
+            _node_key(mapping.images[position], equality, memo)
+            for position, equality in zip(
+                fd.condition_positions, fd.condition_types
+            )
+        )
+        group_key = (id(context_node),) + condition_keys
+        target_node = mapping.images[fd.target_position]
+        target_key = _node_key(target_node, fd.target_type, memo)
+
+        existing = groups.get(group_key)
+        if existing is None:
+            groups[group_key] = (target_key, mapping)
+        elif existing[0] != target_key:
+            if len(violations) < max_violations:
+                violations.append(
+                    Violation(
+                        first=existing[1],
+                        second=mapping,
+                        context_node=context_node,
+                        first_target=existing[1].images[fd.target_position],
+                        second_target=target_node,
+                    )
+                )
+
+    return FDReport(
+        fd=fd,
+        satisfied=not violations,
+        mapping_count=mapping_count,
+        group_count=len(groups),
+        violations=violations,
+    )
+
+
+def document_satisfies(fd: FunctionalDependency, document: XMLDocument) -> bool:
+    """Boolean form of :func:`check_fd` (stops at the first violation)."""
+    memo: dict[int, tuple] = {}
+    groups: dict[tuple, tuple | int] = {}
+    for mapping in enumerate_mappings(fd.pattern, document):
+        context_node = mapping.images[fd.context]
+        condition_keys = tuple(
+            _node_key(mapping.images[position], equality, memo)
+            for position, equality in zip(
+                fd.condition_positions, fd.condition_types
+            )
+        )
+        group_key = (id(context_node),) + condition_keys
+        target_key = _node_key(mapping.images[fd.target_position], fd.target_type, memo)
+        existing = groups.get(group_key)
+        if existing is None:
+            groups[group_key] = target_key
+        elif existing != target_key:
+            return False
+    return True

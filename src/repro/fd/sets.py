@@ -1,0 +1,183 @@
+"""Sets of functional dependencies checked and analyzed together.
+
+A document store rarely has a single constraint; :class:`FDSet` bundles
+FDs for joint satisfaction checking, joint incremental maintenance (one
+:class:`repro.fd.index.FDIndex` each) and joint independence analysis
+against an update class — the verdict being the conjunction the paper's
+introduction describes ("the impact of a set of updates on a set of XML
+functional dependencies").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator
+
+from repro.errors import FDError
+from repro.fd.fd import FunctionalDependency
+from repro.fd.index import FDIndex
+from repro.fd.satisfaction import FDReport, check_fd
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+class FDSet:
+    """An ordered collection of named functional dependencies."""
+
+    def __init__(self, fds: Iterable[FunctionalDependency] = ()) -> None:
+        self._fds: list[FunctionalDependency] = []
+        self._by_name: dict[str, FunctionalDependency] = {}
+        for fd in fds:
+            self.add(fd)
+
+    def add(self, fd: FunctionalDependency) -> None:
+        """Add an FD; names must be unique within the set."""
+        if fd.name in self._by_name:
+            raise FDError(f"duplicate FD name {fd.name!r} in set")
+        self._fds.append(fd)
+        self._by_name[fd.name] = fd
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __getitem__(self, name: str) -> FunctionalDependency:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise FDError(f"no FD named {name!r} in set") from exc
+
+    # ------------------------------------------------------------------
+
+    def check_all(self, document: XMLDocument) -> "FDSetReport":
+        """Check every FD on the document."""
+        reports = {fd.name: check_fd(fd, document) for fd in self._fds}
+        return FDSetReport(reports=reports)
+
+    def document_satisfies_all(self, document: XMLDocument) -> bool:
+        """Conjunction of all satisfaction checks (early exit)."""
+        from repro.fd.satisfaction import document_satisfies
+
+        return all(document_satisfies(fd, document) for fd in self._fds)
+
+    def build_indexes(self, document: XMLDocument) -> "FDSetIndex":
+        """Materialize an incremental index per FD over one document."""
+        return FDSetIndex(self, document)
+
+    def check_independence_all(
+        self, update_class, schema=None, want_witness: bool = False
+    ) -> "FDSetIndependence":
+        """Run the criterion IC against every FD in the set."""
+        from repro.independence.criterion import check_independence
+
+        results = {
+            fd.name: check_independence(
+                fd, update_class, schema=schema, want_witness=want_witness
+            )
+            for fd in self._fds
+        }
+        return FDSetIndependence(results=results)
+
+    def __repr__(self) -> str:
+        return f"<FDSet {sorted(self._by_name)}>"
+
+
+@dataclasses.dataclass
+class FDSetReport:
+    """Joint satisfaction report."""
+
+    reports: dict[str, FDReport]
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(report.satisfied for report in self.reports.values())
+
+    def violated_names(self) -> list[str]:
+        """Names of FDs the document violates, sorted."""
+        return sorted(
+            name for name, report in self.reports.items() if not report.satisfied
+        )
+
+    def describe(self) -> str:
+        """One report block per FD, in name order."""
+        return "\n".join(
+            self.reports[name].describe() for name in sorted(self.reports)
+        )
+
+
+@dataclasses.dataclass
+class FDSetIndependence:
+    """Joint IC verdicts against one update class."""
+
+    results: dict[str, object]
+
+    @property
+    def all_independent(self) -> bool:
+        """True when the class is certified safe for the *whole* set."""
+        return all(result.independent for result in self.results.values())
+
+    def unknown_names(self) -> list[str]:
+        """Names of FDs the criterion could not certify, sorted."""
+        return sorted(
+            name
+            for name, result in self.results.items()
+            if not result.independent
+        )
+
+    def describe(self) -> str:
+        """One verdict line per FD, in name order."""
+        return "\n".join(
+            self.results[name].describe() for name in sorted(self.results)
+        )
+
+
+class FDSetIndex:
+    """One incremental index per FD, maintained over a shared document.
+
+    All indexes share the same underlying document object: a replacement
+    is applied to the tree once (through the first index) and the others
+    absorb the already-changed positions.
+    """
+
+    def __init__(self, fds: FDSet, document: XMLDocument) -> None:
+        self.document = document
+        self.indexes: dict[str, FDIndex] = {
+            fd.name: FDIndex(fd, document) for fd in fds
+        }
+
+    def is_satisfied(self) -> bool:
+        """Are all FDs currently satisfied? O(|set|)."""
+        return all(index.is_satisfied() for index in self.indexes.values())
+
+    def violated_names(self) -> list[str]:
+        """Names of FDs currently violated, per the live indexes."""
+        return sorted(
+            name
+            for name, index in self.indexes.items()
+            if not index.is_satisfied()
+        )
+
+    def apply_replacement(
+        self, position, replacement: XMLNode
+    ) -> dict[str, dict[str, int]]:
+        """Replace one subtree, updating every index.
+
+        The tree mutation happens exactly once; subsequent indexes see
+        the subtree already replaced and absorb it by replacing it with
+        itself (their bookkeeping still needs the drop/rediscover pass).
+        """
+        stats: dict[str, dict[str, int]] = {}
+        names = sorted(self.indexes)
+        first = True
+        for name in names:
+            index = self.indexes[name]
+            if first:
+                stats[name] = index.apply_replacement(position, replacement)
+                first = False
+            else:
+                current = index.document.node_at(tuple(position))
+                stats[name] = index.apply_replacement(
+                    position, current.clone()
+                )
+        return stats

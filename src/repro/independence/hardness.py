@@ -1,0 +1,223 @@
+"""The Proposition 1 reduction: regex inclusion → update-FD independence.
+
+The paper proves PSPACE-hardness by turning a regular-expression
+inclusion instance ``η ⊆ η'?`` into an independence instance (its
+Figures 7-8).  This module implements an executable gadget with the same
+mechanics (the lost figure is reconstructed; see DESIGN.md):
+
+* FD: under an ``A`` context, every ``B`` child that owns a ``C·η'·#``
+  witness path must map its ``F`` value to its ``G`` value;
+* U: selects the *first* ``C`` child of a ``B`` that also owns a later
+  ``C·η·#`` witness path (prefix-disjoint sibling edges make "another
+  C child" precise).
+
+For label-preserving updates the gadget's FD is independent w.r.t. U
+exactly when ``L(η) ⊆ L(η')``:
+
+* if ``w ∈ L(η) \\ L(η')`` exists, the Figure 8 style document — two
+  ``B`` branches with equal ``F`` values, different ``G`` values and a
+  ``C·w·#`` witness each — satisfies the FD (no ``η'`` witness), and the
+  update grafting ``C·w'·#`` (any ``w' ∈ L(η')``) onto the selected
+  ``C`` children creates two violating traces;
+* if ``L(η) ⊆ L(η')``, every updated ``B`` node already carried an
+  ``η'`` witness, and updates never touch ``F``/``G`` subtrees, so any
+  violating trace pair in ``q(D)`` already existed in ``D``.
+
+Degenerate case: ``L(η') = ∅`` makes the FD vacuous (no trace can ever
+exist), so independence holds even when inclusion fails; the paper's
+reduction implicitly assumes a non-empty right-hand language and so does
+:func:`violation_witness_for`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import IndependenceError
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.builder import PatternBuilder
+from repro.regex.ast import Concat, Regex, Symbol
+from repro.regex.dfa import compile_regex
+from repro.regex.ops import shortest_accepted_word, shortest_counterexample
+from repro.regex.parser import parse_regex
+from repro.update.operations import transform
+from repro.update.apply import Update
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.builder import doc, elem, text
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+HASH_LABEL = "#end"  # the paper's '#' marker (a valid element label here)
+
+
+def _as_regex(expression: Regex | str) -> Regex:
+    if isinstance(expression, str):
+        return parse_regex(expression)
+    return expression
+
+
+@dataclasses.dataclass
+class HardnessGadget:
+    """The (fd, U) pair encoding an inclusion instance."""
+
+    eta: Regex
+    eta_prime: Regex
+    fd: FunctionalDependency
+    update_class: UpdateClass
+
+
+def hardness_gadget(
+    eta: Regex | str, eta_prime: Regex | str
+) -> HardnessGadget:
+    """Build the Figure 7 style (fd, U) pair for ``η ⊆ η'?``."""
+    eta = _as_regex(eta)
+    eta_prime = _as_regex(eta_prime)
+    for expression, name in ((eta, "η"), (eta_prime, "η'")):
+        if HASH_LABEL in expression.symbols():
+            raise IndependenceError(
+                f"{name} must not use the reserved marker label {HASH_LABEL!r}"
+            )
+
+    fd_builder = PatternBuilder()
+    context = fd_builder.child(fd_builder.root, "A", name="c")
+    branch = fd_builder.child(context, "B")
+    fd_builder.child(branch, "F", name="p1")
+    fd_builder.child(branch, "G", name="q")
+    fd_builder.child(
+        branch, Concat([Symbol("C"), eta_prime, Symbol(HASH_LABEL)])
+    )
+    fd = FunctionalDependency(
+        fd_builder.pattern("p1", "q"), context="c", name="hardness-fd"
+    )
+
+    u_builder = PatternBuilder()
+    a_node = u_builder.child(u_builder.root, "A")
+    b_node = u_builder.child(a_node, "B")
+    u_builder.child(b_node, "C", name="s")
+    u_builder.child(b_node, Concat([Symbol("C"), eta, Symbol(HASH_LABEL)]))
+    update_class = UpdateClass(u_builder.pattern("s"), name="hardness-U")
+
+    return HardnessGadget(
+        eta=eta, eta_prime=eta_prime, fd=fd, update_class=update_class
+    )
+
+
+def _chain(word: tuple[str, ...]) -> XMLNode:
+    """``C → word... → #end`` as a nested element chain."""
+    node = elem(HASH_LABEL)
+    for label in reversed(word):
+        node = elem(label, node)
+    return elem("C", node)
+
+
+def _branch(f_value: str, g_value: str, word: tuple[str, ...]) -> XMLNode:
+    return elem(
+        "B",
+        elem("F", text(f_value)),
+        elem("G", text(g_value)),
+        elem("C"),  # the update target (first C child, initially empty)
+        _chain(word),  # the later C child carrying the η witness
+    )
+
+
+@dataclasses.dataclass
+class HardnessWitness:
+    """A concrete impact witness for a non-inclusion instance."""
+
+    document: XMLDocument
+    update: Update
+    counterexample: tuple[str, ...]
+    grafted_word: tuple[str, ...]
+
+
+def violation_witness_for(
+    gadget: HardnessGadget,
+) -> HardnessWitness | None:
+    """The Figure 8 construction, or ``None`` when ``η ⊆ η'``.
+
+    Returns a document satisfying the gadget FD together with a concrete
+    label-preserving update of the gadget class whose application breaks
+    the FD — checkable with :func:`repro.independence.revalidate`.
+    """
+    eta_dfa = compile_regex(gadget.eta)
+    prime_dfa = compile_regex(gadget.eta_prime)
+    counterexample = shortest_counterexample(eta_dfa, prime_dfa)
+    if counterexample is None:
+        return None
+    if "*other*" in counterexample:
+        counterexample = tuple(
+            "Z" if piece == "*other*" else piece for piece in counterexample
+        )
+    grafted = shortest_accepted_word(prime_dfa)
+    if grafted is None:
+        # η' is empty: the FD is vacuous and cannot be impacted
+        return None
+    if "*other*" in grafted:
+        grafted = tuple("Z" if piece == "*other*" else piece for piece in grafted)
+
+    document = doc(
+        elem(
+            "A",
+            _branch("1", "x", counterexample),
+            _branch("1", "y", counterexample),
+        )
+    )
+
+    def graft(old: XMLNode) -> XMLNode:
+        replacement = _chain(grafted)  # rooted at C: label-preserving
+        return replacement
+
+    update = Update(
+        gadget.update_class, transform(graft), name="graft-eta-prime-path"
+    )
+    return HardnessWitness(
+        document=document,
+        update=update,
+        counterexample=counterexample,
+        grafted_word=grafted,
+    )
+
+
+@dataclasses.dataclass
+class InclusionDecision:
+    """Outcome of deciding inclusion through the gadget."""
+
+    included: bool
+    gadget: HardnessGadget
+    witness: HardnessWitness | None
+    impact_confirmed: bool | None
+
+
+def inclusion_via_independence(
+    eta: Regex | str, eta_prime: Regex | str
+) -> InclusionDecision:
+    """Decide ``L(η) ⊆ L(η')`` and, on failure, *demonstrate* the impact.
+
+    When inclusion fails, the returned witness has been dynamically
+    verified: the document satisfies the FD, the updated document does
+    not — the executable content of Proposition 1.
+    """
+    from repro.fd.satisfaction import document_satisfies
+    from repro.update.apply import apply_update
+
+    gadget = hardness_gadget(eta, eta_prime)
+    witness = violation_witness_for(gadget)
+    if witness is None:
+        included = shortest_counterexample(
+            compile_regex(gadget.eta), compile_regex(gadget.eta_prime)
+        ) is None
+        return InclusionDecision(
+            included=included,
+            gadget=gadget,
+            witness=None,
+            impact_confirmed=None,
+        )
+
+    before_ok = document_satisfies(gadget.fd, witness.document)
+    updated = apply_update(witness.document, witness.update)
+    after_ok = document_satisfies(gadget.fd, updated)
+    return InclusionDecision(
+        included=False,
+        gadget=gadget,
+        witness=witness,
+        impact_confirmed=before_ok and not after_ok,
+    )

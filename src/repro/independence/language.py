@@ -1,0 +1,189 @@
+"""The dangerous-document language ``L`` (Definition 6).
+
+``L`` contains the schema-valid documents in which some node is
+*simultaneously*
+
+* selected by a mapping of the update class ``U``, and
+* inside the trace of a mapping of the FD pattern, or inside a subtree
+  rooted at the image of a condition/target node of that mapping.
+
+Proposition 2 shows ``L = ∅`` implies independence.  Following the
+Proposition 3 sketch, the automaton for ``L`` is assembled as:
+
+1. ``A_FD`` — trace automaton of the FD pattern with region tracking,
+   so "state ≠ BOT" characterizes trace-or-region membership;
+2. ``A_U`` — trace automaton of the update pattern, whose
+   ``img(s_U, ·)`` states mark update-selected nodes;
+3. ``B`` — the *flagged product*: states ``(fd, u, flag)`` where the
+   flag records that the subtree contains the designated dangerous node.
+   A node may *become* designated when its U-state is a selected image
+   and its FD-state is not ``BOT``; otherwise the flag is the
+   exactly-one-flagged-child disjunction.  ``B`` accepts at
+   ``(ACC, ACC, 1)``;
+4. ``A = A_S × B`` when a schema is given.
+
+As in the paper, the construction requires the update class to select a
+leaf of its template (otherwise the "the update trace survives the
+update" step of Proposition 2 fails) — violations raise
+:class:`repro.errors.IndependenceError`.
+
+One honesty note recorded in DESIGN.md: Proposition 2's case (b)
+implicitly assumes the performer preserves the label of the updated
+node's root (XQuery-Update-style content replacement).  The criterion is
+sound for label-preserving updates; the exhaustive study T4 measures
+both regimes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import IndependenceError
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.template import ROOT_POSITION
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.tautomata.from_pattern import ACC, PatternAutomaton, trace_automaton
+from repro.tautomata.hedge import HedgeAutomaton, Rule, State
+from repro.tautomata.horizontal import (
+    FlagOnceHorizontal,
+    ProductHorizontal,
+    ProjectedHorizontal,
+)
+from repro.tautomata.ops import product_automaton
+from repro.update.update_class import UpdateClass
+
+
+def _fd_component(symbol: State) -> State:
+    assert isinstance(symbol, tuple)
+    return symbol[0]
+
+
+def _u_component(symbol: State) -> State:
+    assert isinstance(symbol, tuple)
+    return symbol[1]
+
+
+def _flag_component(symbol: State) -> bool:
+    assert isinstance(symbol, tuple)
+    return bool(symbol[2])
+
+
+@dataclasses.dataclass
+class DangerousLanguage:
+    """The automaton for ``L`` plus its ingredients (for size studies)."""
+
+    fd: FunctionalDependency
+    update_class: UpdateClass
+    schema: Schema | None
+    fd_automaton: PatternAutomaton
+    update_automaton: PatternAutomaton
+    flagged_product: HedgeAutomaton
+    automaton: HedgeAutomaton  # the final A (== flagged_product without schema)
+
+    def size(self) -> int:
+        """Size of the final automaton (tracked against Prop. 3)."""
+        return self.automaton.size()
+
+
+def _flagged_product(
+    fd_automaton: PatternAutomaton, update_automaton: PatternAutomaton
+) -> HedgeAutomaton:
+    """The automaton ``B`` for condition (ii) of Definition 6."""
+    selected_images = update_automaton.selected_image_states
+    bot = fd_automaton.bot_state
+    rules: list[Rule] = []
+    for fd_rule in fd_automaton.automaton.rules:
+        for u_rule in update_automaton.automaton.rules:
+            labels = fd_rule.labels.intersect(u_rule.labels)
+            if labels.is_empty():
+                continue
+            base = [
+                ProjectedHorizontal(fd_rule.horizontal, _fd_component),
+                ProjectedHorizontal(u_rule.horizontal, _u_component),
+            ]
+            # flag 0: no designated node below
+            rules.append(
+                Rule(
+                    state=(fd_rule.state, u_rule.state, 0),
+                    labels=labels,
+                    horizontal=ProductHorizontal(
+                        base + [FlagOnceHorizontal(0, _flag_component)]
+                    ),
+                )
+            )
+            # flag 1 via exactly one flagged child
+            rules.append(
+                Rule(
+                    state=(fd_rule.state, u_rule.state, 1),
+                    labels=labels,
+                    horizontal=ProductHorizontal(
+                        base + [FlagOnceHorizontal(1, _flag_component)]
+                    ),
+                )
+            )
+            # flag 1 by designation: this node is update-selected and on
+            # the FD trace or inside a selected-subtree region
+            if u_rule.state in selected_images and fd_rule.state != bot:
+                rules.append(
+                    Rule(
+                        state=(fd_rule.state, u_rule.state, 1),
+                        labels=labels,
+                        horizontal=ProductHorizontal(
+                            base + [FlagOnceHorizontal(0, _flag_component)]
+                        ),
+                    )
+                )
+    return HedgeAutomaton(
+        rules,
+        accepting=[(ACC, ACC, 1)],
+        name="B",
+    )
+
+
+def dangerous_language(
+    fd: FunctionalDependency,
+    update_class: UpdateClass,
+    schema: Schema | None = None,
+) -> DangerousLanguage:
+    """Build the automaton recognizing ``L`` (Definition 6)."""
+    if not update_class.selected_nodes_are_template_leaves():
+        raise IndependenceError(
+            f"update class {update_class.name} selects a non-leaf template "
+            f"node; the Section 5 analysis requires updated nodes to be "
+            f"leaves of T_U"
+        )
+    if ROOT_POSITION in update_class.selected_positions:
+        raise IndependenceError(
+            "an update class cannot select the document root"
+        )
+
+    alphabet = set(fd.pattern.template.alphabet())
+    alphabet |= update_class.pattern.template.alphabet()
+    if schema is not None:
+        alphabet |= schema.alphabet()
+
+    fd_automaton = trace_automaton(
+        fd.pattern, alphabet, track_regions=True, name="A_FD"
+    )
+    update_automaton = trace_automaton(
+        update_class.pattern, alphabet, track_regions=False, name="A_U"
+    )
+    flagged = _flagged_product(fd_automaton, update_automaton)
+
+    if schema is None:
+        final = flagged
+    else:
+        final = product_automaton(
+            schema_automaton(schema), flagged, name="A_S×B"
+        )
+
+    return DangerousLanguage(
+        fd=fd,
+        update_class=update_class,
+        schema=schema,
+        fd_automaton=fd_automaton,
+        update_automaton=update_automaton,
+        flagged_product=flagged,
+        automaton=final,
+    )

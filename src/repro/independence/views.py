@@ -1,0 +1,126 @@
+"""View-update independence: the companion result of [9].
+
+The paper's abstract and related-work section recall that the same
+technique was first used (by the same authors, reference [9]) to detect
+independence of *view queries* from update classes: a view defined by an
+n-ary regular tree pattern is unaffected by every update of a class
+``U`` whenever no document lets an update touch the view's trace or the
+subtrees it returns.
+
+That dangerous region is *identical* to the FD case — ``N(trace)`` plus
+the subtrees rooted at selected-node images — so the construction of
+:mod:`repro.independence.language` applies verbatim with the view
+pattern in place of the FD pattern.  This module packages that reuse:
+
+* :func:`view_dangerous_language` — the automaton for the view variant
+  of Definition 6;
+* :func:`check_view_independence` — the polynomial criterion: when the
+  language is empty, every update of the class leaves ``V(D)`` (as a
+  forest of subtrees) unchanged on every (schema-valid) document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.errors import IndependenceError
+from repro.independence.criterion import Verdict
+from repro.independence.language import _flagged_product
+from repro.pattern.template import ROOT_POSITION, RegularTreePattern
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.tautomata.emptiness import witness_document
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.hedge import HedgeAutomaton
+from repro.tautomata.ops import product_automaton
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.tree import XMLDocument
+
+
+@dataclasses.dataclass
+class ViewIndependenceResult:
+    """Verdict of the view-update criterion."""
+
+    verdict: Verdict
+    view: RegularTreePattern
+    update_class: UpdateClass
+    schema: Schema | None
+    automaton: HedgeAutomaton
+    witness: XMLDocument | None
+    automaton_size: int
+    elapsed_seconds: float
+
+    @property
+    def independent(self) -> bool:
+        return self.verdict is Verdict.INDEPENDENT
+
+    def describe(self) -> str:
+        """One-line human-readable account of the verdict."""
+        schema_part = "no schema" if self.schema is None else "with schema"
+        return (
+            f"view-IC(view/{self.view.arity}-ary, {self.update_class.name}) "
+            f"[{schema_part}]: {self.verdict.value.upper()} "
+            f"(|A|={self.automaton_size}, "
+            f"{self.elapsed_seconds * 1000:.2f} ms)"
+        )
+
+
+def view_dangerous_language(
+    view: RegularTreePattern,
+    update_class: UpdateClass,
+    schema: Schema | None = None,
+) -> HedgeAutomaton:
+    """The automaton recognizing the view variant of the language ``L``."""
+    if not update_class.selected_nodes_are_template_leaves():
+        raise IndependenceError(
+            f"update class {update_class.name} selects a non-leaf template "
+            f"node; the independence analysis requires updated nodes to be "
+            f"leaves of T_U"
+        )
+    if ROOT_POSITION in update_class.selected_positions:
+        raise IndependenceError(
+            "an update class cannot select the document root"
+        )
+
+    alphabet = set(view.template.alphabet())
+    alphabet |= update_class.pattern.template.alphabet()
+    if schema is not None:
+        alphabet |= schema.alphabet()
+
+    view_automaton = trace_automaton(
+        view, alphabet, track_regions=True, name="A_V"
+    )
+    update_automaton = trace_automaton(
+        update_class.pattern, alphabet, track_regions=False, name="A_U"
+    )
+    flagged = _flagged_product(view_automaton, update_automaton)
+    if schema is None:
+        return flagged
+    return product_automaton(schema_automaton(schema), flagged, name="A_S×B")
+
+
+def check_view_independence(
+    view: RegularTreePattern,
+    update_class: UpdateClass,
+    schema: Schema | None = None,
+    want_witness: bool = True,
+) -> ViewIndependenceResult:
+    """Certify that no update of the class can change the view's result."""
+    started = time.perf_counter()
+    automaton = view_dangerous_language(view, update_class, schema=schema)
+    witness = witness_document(automaton)
+    empty = witness is None
+    if not want_witness:
+        witness = None
+    elapsed = time.perf_counter() - started
+    return ViewIndependenceResult(
+        verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
+        view=view,
+        update_class=update_class,
+        schema=schema,
+        automaton=automaton,
+        witness=witness,
+        automaton_size=automaton.size(),
+        elapsed_seconds=elapsed,
+    )

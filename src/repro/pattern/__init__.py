@@ -1,0 +1,48 @@
+"""Regular tree patterns (Definitions 1-2 of the paper).
+
+An *n-ary regular tree pattern* is a tree-shaped template whose edges
+carry proper regular expressions over the label alphabet, together with a
+tuple of selected template nodes.  Evaluating a pattern on a document
+enumerates *mappings* — embeddings of the template into the document that
+preserve document order and use prefix-disjoint paths for sibling edges —
+and returns the tuples of subtrees rooted at the images of the selected
+nodes.
+
+* :mod:`repro.pattern.template` -- templates and patterns;
+* :mod:`repro.pattern.builder` -- two construction styles (imperative
+  :class:`PatternBuilder` and nested :func:`build_pattern` specs);
+* :mod:`repro.pattern.engine` -- the matching engine;
+* :mod:`repro.pattern.mapping` -- mappings and traces.
+"""
+
+from repro.pattern.template import RegularTreePattern, RegularTreeTemplate
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.mapping import Mapping
+from repro.pattern.analysis import (
+    SatisfiabilityResult,
+    fd_is_vacuous,
+    pattern_satisfiable,
+)
+from repro.pattern.engine import (
+    enumerate_mappings,
+    enumerate_mappings_touching,
+    evaluate_pattern,
+    has_mapping,
+    selected_node_tuples,
+)
+
+__all__ = [
+    "RegularTreePattern",
+    "RegularTreeTemplate",
+    "SatisfiabilityResult",
+    "fd_is_vacuous",
+    "pattern_satisfiable",
+    "PatternBuilder",
+    "build_pattern",
+    "edge",
+    "Mapping",
+    "enumerate_mappings",
+    "evaluate_pattern",
+    "has_mapping",
+    "selected_node_tuples",
+]

@@ -1,0 +1,76 @@
+"""Static analysis of patterns: satisfiability and vacuity.
+
+A pattern is *satisfiable* (w.r.t. an optional schema) when some
+(schema-valid) document contains a trace of it — the emptiness question
+for ``A_R`` (× ``A_S``), decidable in polynomial time with the
+Proposition 3 machinery.  Applications:
+
+* authoring feedback: a pattern that can never match is a bug;
+* *vacuous FDs*: an FD whose pattern is unsatisfiable under the schema
+  is satisfied by every valid document, hence trivially independent of
+  every update class — a cheap pre-check before the full criterion;
+* witness documents for satisfiable patterns double as test fixtures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.template import RegularTreePattern
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.tautomata.emptiness import witness_document
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.ops import product_automaton
+from repro.xmlmodel.tree import XMLDocument
+
+
+@dataclasses.dataclass
+class SatisfiabilityResult:
+    """Outcome of the satisfiability analysis."""
+
+    satisfiable: bool
+    witness: XMLDocument | None
+    automaton_size: int
+
+
+def pattern_satisfiable(
+    pattern: RegularTreePattern,
+    schema: Schema | None = None,
+    want_witness: bool = True,
+) -> SatisfiabilityResult:
+    """Can any (schema-valid) document contain a trace of the pattern?
+
+    Emptiness is decided through typed witness construction, so the
+    answer quantifies over real documents (attribute/text leaves cannot
+    carry children).
+    """
+    alphabet = set(pattern.template.alphabet())
+    if schema is not None:
+        alphabet |= schema.alphabet()
+    automaton = trace_automaton(pattern, alphabet, name="A_R").automaton
+    if schema is not None:
+        automaton = product_automaton(
+            schema_automaton(schema), automaton, name="A_S×A_R"
+        )
+    witness = witness_document(automaton)
+    return SatisfiabilityResult(
+        satisfiable=witness is not None,
+        witness=witness if want_witness else None,
+        automaton_size=automaton.size(),
+    )
+
+
+def fd_is_vacuous(
+    fd: FunctionalDependency, schema: Schema | None = None
+) -> bool:
+    """True when no (schema-valid) document has any trace of the FD.
+
+    A vacuous FD is satisfied everywhere, so it is independent of every
+    update class; :func:`repro.independence.check_independence` reaches
+    the same verdict, but this check explains *why*.
+    """
+    return not pattern_satisfiable(
+        fd.pattern, schema=schema, want_witness=False
+    ).satisfiable

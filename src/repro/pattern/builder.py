@@ -1,0 +1,124 @@
+"""Two construction styles for regular tree patterns.
+
+Imperative builder (explicit, reads like the paper's figures)::
+
+    b = PatternBuilder()
+    c = b.child(b.root, "session", name="c")
+    m = b.child(c, "candidate.exam")
+    p1 = b.child(m, "discipline", name="p1")
+    p2 = b.child(m, "mark", name="p2")
+    q = b.child(m, "rank", name="q")
+    fd1_pattern = b.pattern(p1, p2, q)
+
+Nested specs (compact, good for tables of patterns)::
+
+    fd1_pattern = build_pattern(
+        edge("session", name="c")(
+            edge("candidate.exam")(
+                edge("discipline", name="p1"),
+                edge("mark", name="p2"),
+                edge("rank", name="q"),
+            )
+        ),
+        selected=("p1", "p2", "q"),
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import PatternError
+from repro.pattern.template import (
+    ROOT_POSITION,
+    RegularTreePattern,
+    RegularTreeTemplate,
+    TemplatePosition,
+)
+from repro.regex.ast import Regex
+
+
+class PatternBuilder:
+    """Incremental construction of a template, node by node."""
+
+    root: TemplatePosition = ROOT_POSITION
+
+    def __init__(self) -> None:
+        self._edges: dict[TemplatePosition, Regex | str] = {}
+        self._names: dict[str, TemplatePosition] = {}
+        self._child_counts: dict[TemplatePosition, int] = {ROOT_POSITION: 0}
+
+    def child(
+        self,
+        parent: TemplatePosition,
+        regex: Regex | str,
+        name: str | None = None,
+    ) -> TemplatePosition:
+        """Add a new child under ``parent``; returns its position.
+
+        ``regex`` labels the incoming edge.  Children are appended left to
+        right, which fixes the template's sibling order (and therefore
+        the document-order requirements of Definition 2).
+        """
+        if parent not in self._child_counts:
+            raise PatternError(f"unknown parent position {parent}")
+        index = self._child_counts[parent]
+        position = parent + (index,)
+        self._child_counts[parent] = index + 1
+        self._child_counts[position] = 0
+        self._edges[position] = regex
+        if name is not None:
+            if name in self._names:
+                raise PatternError(f"duplicate node name {name!r}")
+            self._names[name] = position
+        return position
+
+    def template(self) -> RegularTreeTemplate:
+        """Freeze the construction into a template."""
+        return RegularTreeTemplate(self._edges, names=self._names)
+
+    def pattern(
+        self, *selected: str | TemplatePosition
+    ) -> RegularTreePattern:
+        """Freeze and select the given nodes (names or positions)."""
+        return RegularTreePattern(self.template(), list(selected))
+
+
+class edge:
+    """One node of a nested pattern spec; call it to attach children."""
+
+    def __init__(self, regex: Regex | str, name: str | None = None) -> None:
+        self.regex = regex
+        self.name = name
+        self.children: tuple["edge", ...] = ()
+
+    def __call__(self, *children: "edge") -> "edge":
+        attached = edge(self.regex, self.name)
+        attached.children = children
+        return attached
+
+
+def build_pattern(
+    *top_level: edge, selected: Sequence[str | TemplatePosition]
+) -> RegularTreePattern:
+    """Build a pattern from nested :class:`edge` specs under the root."""
+    builder = PatternBuilder()
+    _attach(builder, builder.root, top_level)
+    return builder.pattern(*selected)
+
+
+def build_template(*top_level: edge) -> RegularTreeTemplate:
+    """Build a bare template from nested :class:`edge` specs."""
+    builder = PatternBuilder()
+    _attach(builder, builder.root, top_level)
+    return builder.template()
+
+
+def _attach(
+    builder: PatternBuilder,
+    parent: TemplatePosition,
+    specs: Sequence[edge],
+) -> None:
+    for spec in specs:
+        position = builder.child(parent, spec.regex, name=spec.name)
+        _attach(builder, position, spec.children)

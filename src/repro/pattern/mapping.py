@@ -1,0 +1,70 @@
+"""Mappings of a pattern into a document, and their traces (Definition 2).
+
+A :class:`Mapping` records the image of every template node.  Because a
+document is a tree, the path realizing each template edge is the unique
+tree path between the two images, so the mapping alone determines the
+trace (the smallest subtree of the document containing the image set).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+
+from repro.pattern.template import (
+    ROOT_POSITION,
+    RegularTreePattern,
+    RegularTreeTemplate,
+    TemplatePosition,
+)
+from repro.xmlmodel.axes import path_between
+from repro.xmlmodel.tree import XMLNode
+
+
+class Mapping:
+    """An embedding ``π`` of a template into a document."""
+
+    __slots__ = ("template", "images")
+
+    def __init__(
+        self,
+        template: RegularTreeTemplate,
+        images: MappingABC[TemplatePosition, XMLNode],
+    ) -> None:
+        self.template = template
+        self.images: dict[TemplatePosition, XMLNode] = dict(images)
+
+    def image_of(self, node: str | TemplatePosition) -> XMLNode:
+        """The document node ``π(w)`` for a template node (name or position)."""
+        return self.images[self.template.position_of(node)]
+
+    def trace_node_set(self) -> list[XMLNode]:
+        """Nodes of ``trace_π(R, D)`` in no particular order (cheap)."""
+        seen: dict[int, XMLNode] = {}
+        root = self.images[ROOT_POSITION]
+        seen[id(root)] = root
+        for child in self.template.nodes:
+            if child == ROOT_POSITION:
+                continue
+            parent = child[:-1]
+            for node in path_between(self.images[parent], self.images[child]):
+                seen[id(node)] = node
+        return list(seen.values())
+
+    def trace_nodes(self) -> list[XMLNode]:
+        """Nodes of ``trace_π(R, D)`` in document order.
+
+        The trace is the union of the unique document paths realizing the
+        template edges, root included.
+        """
+        return sorted(self.trace_node_set(), key=lambda node: node.position())
+
+    def selected_images(self, pattern: RegularTreePattern) -> tuple[XMLNode, ...]:
+        """Images of the pattern's selected tuple, in tuple order."""
+        return tuple(self.images[position] for position in pattern.selected)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            f"{position}→{'.'.join(map(str, node.position())) or 'ε'}"
+            for position, node in sorted(self.images.items())
+        )
+        return f"<Mapping {rendered}>"

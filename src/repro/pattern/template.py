@@ -1,0 +1,225 @@
+"""Regular tree templates and regular tree patterns (Definition 1).
+
+Template nodes are identified by their tree-domain positions (tuples of
+child indices, the root being the empty tuple), exactly as in the paper
+where N is a tree domain.  Each non-root node's *incoming* edge carries a
+proper regular expression over labels; the association is stored per
+child node since each node has exactly one incoming edge.
+
+Nodes may additionally carry human-readable names (``"c"``, ``"p1"`` ...)
+used by the FD layer and by diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping as MappingABC, Sequence
+
+from repro.errors import ImproperRegexError, PatternError
+from repro.regex.ast import Regex
+from repro.regex.dfa import DFA, compile_regex
+from repro.regex.parser import parse_regex
+
+TemplatePosition = tuple[int, ...]
+
+ROOT_POSITION: TemplatePosition = ()
+
+
+class RegularTreeTemplate:
+    """The template ``T = (Σ, N, E, ℰ)`` of a regular tree pattern.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from each non-root template position to the regular
+        expression of its incoming edge.  Positions must form a tree
+        domain (parent-closed, sibling-index-closed).
+    names:
+        Optional mapping from node names to positions.
+    """
+
+    def __init__(
+        self,
+        edges: MappingABC[TemplatePosition, Regex | str],
+        names: MappingABC[str, TemplatePosition] | None = None,
+    ) -> None:
+        parsed: dict[TemplatePosition, Regex] = {}
+        for position, expression in edges.items():
+            if isinstance(expression, str):
+                expression = parse_regex(expression)
+            parsed[tuple(position)] = expression
+        self.edge_regexes = parsed
+        self.nodes: frozenset[TemplatePosition] = frozenset(parsed) | {ROOT_POSITION}
+        self.names: dict[str, TemplatePosition] = dict(names or {})
+        self._validate()
+        self._children: dict[TemplatePosition, tuple[TemplatePosition, ...]] = {}
+        for node in self.nodes:
+            kids = sorted(
+                (child for child in self.nodes if child[:-1] == node and child != node),
+                key=lambda child: child[-1],
+            )
+            self._children[node] = tuple(kids)
+        self._dfa_cache: dict[TemplatePosition, DFA] = {}
+
+    def _validate(self) -> None:
+        for position in self.edge_regexes:
+            if not position:
+                raise PatternError("the root node has no incoming edge")
+            parent = position[:-1]
+            if parent not in self.nodes:
+                raise PatternError(
+                    f"template positions are not parent-closed: {position} "
+                    f"has no parent {parent}"
+                )
+            if position[-1] > 0 and position[:-1] + (position[-1] - 1,) not in self.nodes:
+                raise PatternError(
+                    f"template positions skip sibling index before {position}"
+                )
+        for position, expression in self.edge_regexes.items():
+            if expression.nullable():
+                raise ImproperRegexError(
+                    f"edge regex into {position} accepts the empty word; "
+                    f"Definition 1 requires proper expressions: {expression}"
+                )
+        for name, position in self.names.items():
+            if tuple(position) not in self.nodes:
+                raise PatternError(
+                    f"named node {name!r} refers to unknown position {position}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def children(self, position: TemplatePosition) -> tuple[TemplatePosition, ...]:
+        """Ordered child positions of a template node."""
+        return self._children[position]
+
+    def is_leaf(self, position: TemplatePosition) -> bool:
+        """True when the template node has no outgoing edges."""
+        return not self._children[position]
+
+    def leaves(self) -> tuple[TemplatePosition, ...]:
+        """All template leaves in document order."""
+        return tuple(sorted(node for node in self.nodes if self.is_leaf(node)))
+
+    def edge_regex(self, position: TemplatePosition) -> Regex:
+        """The regex of the incoming edge of a non-root node."""
+        try:
+            return self.edge_regexes[position]
+        except KeyError as exc:
+            raise PatternError(f"no edge into position {position}") from exc
+
+    def edge_dfa(self, position: TemplatePosition) -> DFA:
+        """Minimal DFA of the incoming edge regex (cached)."""
+        dfa = self._dfa_cache.get(position)
+        if dfa is None:
+            dfa = compile_regex(self.edge_regexes[position])
+            self._dfa_cache[position] = dfa
+        return dfa
+
+    def position_of(self, node: str | TemplatePosition) -> TemplatePosition:
+        """Resolve a name or a position to a validated position."""
+        if isinstance(node, str):
+            try:
+                return self.names[node]
+            except KeyError as exc:
+                raise PatternError(f"unknown node name {node!r}") from exc
+        position = tuple(node)
+        if position not in self.nodes:
+            raise PatternError(f"unknown template position {position}")
+        return position
+
+    def alphabet(self) -> set[str]:
+        """Explicit labels mentioned by any edge regex."""
+        labels: set[str] = set()
+        for expression in self.edge_regexes.values():
+            labels |= expression.symbols()
+        return labels
+
+    def max_arity(self) -> int:
+        """Maximal number of children of a template node (``a_R``)."""
+        if not self._children:
+            return 0
+        return max(len(kids) for kids in self._children.values())
+
+    def size(self) -> int:
+        """``|R| = |Σ| + Σ_e |A_e|`` as in Definition 1."""
+        automata = sum(
+            self.edge_dfa(position).state_count for position in self.edge_regexes
+        )
+        return len(self.alphabet()) + automata
+
+    def is_ancestor(
+        self, ancestor: TemplatePosition, node: TemplatePosition, strict: bool = True
+    ) -> bool:
+        """Ancestor test on template positions."""
+        if ancestor == node:
+            return not strict
+        return len(ancestor) < len(node) and node[: len(ancestor)] == ancestor
+
+    def describe(self) -> str:
+        """A compact multi-line rendering for diagnostics."""
+        lines = ["ROOT"]
+        reverse_names = {pos: name for name, pos in self.names.items()}
+        for position in sorted(self.nodes - {ROOT_POSITION}):
+            indent = "  " * len(position)
+            name = reverse_names.get(position)
+            suffix = f"  ({name})" if name else ""
+            lines.append(
+                f"{indent}--[{self.edge_regexes[position]}]--> {position}{suffix}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<RegularTreeTemplate with {len(self.nodes)} nodes>"
+
+
+class RegularTreePattern:
+    """An n-ary regular tree pattern ``R = (T, π̄)`` (Definition 1)."""
+
+    def __init__(
+        self,
+        template: RegularTreeTemplate,
+        selected: Sequence[str | TemplatePosition],
+    ) -> None:
+        self.template = template
+        self.selected: tuple[TemplatePosition, ...] = tuple(
+            template.position_of(node) for node in selected
+        )
+        if not self.selected:
+            raise PatternError("a pattern must select at least one node")
+
+    @property
+    def arity(self) -> int:
+        """Number of selected nodes (``n`` in "n-ary")."""
+        return len(self.selected)
+
+    @property
+    def is_monadic(self) -> bool:
+        """True for 1-ary patterns (used by update classes)."""
+        return self.arity == 1
+
+    def size(self) -> int:
+        """``|R|`` per Definition 1 (independent of the selected tuple)."""
+        return self.template.size()
+
+    def selected_names(self) -> tuple[str, ...]:
+        """Names of selected nodes where available, else position strings."""
+        reverse = {pos: name for name, pos in self.template.names.items()}
+        return tuple(
+            reverse.get(position, str(position)) for position in self.selected
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<RegularTreePattern arity={self.arity} "
+            f"template_nodes={len(self.template.nodes)}>"
+        )
+
+
+def pattern_from_edges(
+    edges: MappingABC[TemplatePosition, Regex | str],
+    selected: Iterable[str | TemplatePosition],
+    names: MappingABC[str, TemplatePosition] | None = None,
+) -> RegularTreePattern:
+    """Convenience one-call constructor from raw edge data."""
+    template = RegularTreeTemplate(edges, names=names)
+    return RegularTreePattern(template, list(selected))

@@ -1,0 +1,74 @@
+"""Regular expressions over label alphabets and their automata.
+
+Pattern edges in the paper carry *proper* regular expressions over the
+label alphabet Σ (Definition 1).  Labels are multi-character symbols
+(``candidate``, ``@IDN``, ``#text``), so this engine works on words that
+are sequences of labels, not characters.
+
+Layer map:
+
+* :mod:`repro.regex.ast` -- expression trees with nullability/alphabet;
+* :mod:`repro.regex.parser` -- concrete syntax (see module docstring);
+* :mod:`repro.regex.nfa` -- Thompson construction;
+* :mod:`repro.regex.dfa` -- subset construction, total DFAs with an
+  implicit OTHER letter so unknown document labels are handled;
+* :mod:`repro.regex.minimize` -- Hopcroft minimization;
+* :mod:`repro.regex.ops` -- product, complement, inclusion, emptiness,
+  shortest witness words.
+"""
+
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.nfa import NFA, nfa_from_regex
+from repro.regex.dfa import DFA, OTHER, compile_regex, dfa_from_nfa
+from repro.regex.minimize import minimize_dfa
+from repro.regex.ops import (
+    dfa_complement,
+    dfa_difference,
+    dfa_intersection,
+    dfa_union,
+    languages_equivalent,
+    language_included,
+    language_is_empty,
+    shortest_accepted_word,
+    shortest_counterexample,
+)
+
+__all__ = [
+    "AnySymbol",
+    "Concat",
+    "Epsilon",
+    "Optional",
+    "Plus",
+    "Regex",
+    "Star",
+    "Symbol",
+    "Union",
+    "parse_regex",
+    "NFA",
+    "nfa_from_regex",
+    "DFA",
+    "OTHER",
+    "compile_regex",
+    "dfa_from_nfa",
+    "minimize_dfa",
+    "dfa_complement",
+    "dfa_difference",
+    "dfa_intersection",
+    "dfa_union",
+    "languages_equivalent",
+    "language_included",
+    "language_is_empty",
+    "shortest_accepted_word",
+    "shortest_counterexample",
+]

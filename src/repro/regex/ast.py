@@ -1,0 +1,206 @@
+"""Expression trees for regular expressions over label alphabets.
+
+Words are sequences of labels.  The node kinds are the classical ones
+(empty word, single symbol, concatenation, union, Kleene star/plus,
+optional) plus :class:`AnySymbol`, a single-label wildcard written ``~``
+in the concrete syntax.  The wildcard keeps patterns usable on documents
+whose full alphabet is open-ended.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+
+class Regex:
+    """Base class of all regular-expression nodes."""
+
+    def nullable(self) -> bool:
+        """True when the language contains the empty word.
+
+        Definition 1 requires edge expressions to be *proper*, i.e. not
+        nullable; the check is used by pattern validation.
+        """
+        raise NotImplementedError
+
+    def symbols(self) -> set[str]:
+        """All explicit label symbols occurring in the expression."""
+        return set(symbol for symbol in self._iter_symbols())
+
+    def uses_wildcard(self) -> bool:
+        """True when the expression contains the ``~`` wildcard."""
+        return any(isinstance(node, AnySymbol) for node in self.walk())
+
+    def walk(self) -> Iterator["Regex"]:
+        """Yield this node and all sub-expressions."""
+        yield self
+        for child in self._children():
+            yield from child.walk()
+
+    def _children(self) -> Sequence["Regex"]:
+        return ()
+
+    def _iter_symbols(self) -> Iterator[str]:
+        for node in self.walk():
+            if isinstance(node, Symbol):
+                yield node.label
+
+    # Equality is structural, which makes expressions usable as dict keys
+    # and keeps tests straightforward.
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Regex) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class Epsilon(Regex):
+    """The empty word."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def _key(self) -> tuple:
+        return ("eps",)
+
+    def __str__(self) -> str:
+        return "()"
+
+
+class Symbol(Regex):
+    """A single explicit label."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def nullable(self) -> bool:
+        return False
+
+    def _key(self) -> tuple:
+        return ("sym", self.label)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class AnySymbol(Regex):
+    """The single-label wildcard ``~`` (matches every label)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def _key(self) -> tuple:
+        return ("any",)
+
+    def __str__(self) -> str:
+        return "~"
+
+
+class Concat(Regex):
+    """Concatenation of two or more expressions."""
+
+    def __init__(self, parts: Sequence[Regex]) -> None:
+        flattened: list[Regex] = []
+        for part in parts:
+            if isinstance(part, Concat):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def _children(self) -> Sequence[Regex]:
+        return self.parts
+
+    def _key(self) -> tuple:
+        return ("cat", tuple(part._key() for part in self.parts))
+
+    def __str__(self) -> str:
+        rendered = []
+        for part in self.parts:
+            if isinstance(part, Union):
+                rendered.append(f"({part})")
+            else:
+                rendered.append(str(part))
+        return ".".join(rendered)
+
+
+class Union(Regex):
+    """Alternation of two or more expressions."""
+
+    def __init__(self, parts: Sequence[Regex]) -> None:
+        flattened: list[Regex] = []
+        for part in parts:
+            if isinstance(part, Union):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def _children(self) -> Sequence[Regex]:
+        return self.parts
+
+    def _key(self) -> tuple:
+        return ("alt", tuple(part._key() for part in self.parts))
+
+    def __str__(self) -> str:
+        return "|".join(str(part) for part in self.parts)
+
+
+class _Postfix(Regex):
+    """Shared shape of the three postfix operators."""
+
+    operator = "?"
+
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def _children(self) -> Sequence[Regex]:
+        return (self.inner,)
+
+    def _key(self) -> tuple:
+        return (self.operator, self.inner._key())
+
+    def __str__(self) -> str:
+        if isinstance(self.inner, (Symbol, AnySymbol)):
+            return f"{self.inner}{self.operator}"
+        return f"({self.inner}){self.operator}"
+
+
+class Star(_Postfix):
+    """Kleene star: zero or more repetitions."""
+
+    operator = "*"
+
+    def nullable(self) -> bool:
+        return True
+
+
+class Plus(_Postfix):
+    """One or more repetitions."""
+
+    operator = "+"
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+
+class Optional(_Postfix):
+    """Zero or one occurrence."""
+
+    operator = "?"
+
+    def nullable(self) -> bool:
+        return True

@@ -1,0 +1,70 @@
+"""DFA minimization by partition refinement.
+
+Unreachable and dead states are removed first (modulo one sink kept to
+preserve totality), then Moore-style refinement merges equivalent states.
+The letters considered are the explicit alphabet plus the OTHER letter.
+"""
+
+from __future__ import annotations
+
+from repro.regex.dfa import DFA
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return a language-equivalent DFA with a minimal number of states."""
+    reachable = _reachable_states(dfa)
+    letters = sorted(dfa.alphabet)
+
+    # Initial partition: accepting vs non-accepting (restricted to the
+    # reachable part; everything unreachable is dropped).
+    states = sorted(reachable)
+    block_of: dict[int, int] = {}
+    for state in states:
+        block_of[state] = 0 if state in dfa.accepting else 1
+
+    changed = True
+    while changed:
+        changed = False
+        signatures: dict[tuple, int] = {}
+        new_block_of: dict[int, int] = {}
+        for state in states:
+            signature = (
+                block_of[state],
+                tuple(block_of[dfa.step(state, letter)] for letter in letters),
+                block_of[dfa.other[state]],
+            )
+            block = signatures.setdefault(signature, len(signatures))
+            new_block_of[state] = block
+        if len(set(new_block_of.values())) != len(set(block_of.values())):
+            changed = True
+        block_of = new_block_of
+
+    block_count = len(set(block_of.values()))
+    transitions: list[dict[str, int]] = [dict() for _ in range(block_count)]
+    other: list[int] = [0] * block_count
+    filled = [False] * block_count
+    for state in states:
+        block = block_of[state]
+        if filled[block]:
+            continue
+        filled[block] = True
+        transitions[block] = {
+            letter: block_of[dfa.step(state, letter)] for letter in letters
+        }
+        other[block] = block_of[dfa.other[state]]
+    accepting = {block_of[state] for state in states if state in dfa.accepting}
+    return DFA(dfa.alphabet, transitions, other, block_of[dfa.start], accepting)
+
+
+def _reachable_states(dfa: DFA) -> set[int]:
+    reachable = {dfa.start}
+    frontier = [dfa.start]
+    while frontier:
+        state = frontier.pop()
+        targets = set(dfa.transitions[state].values())
+        targets.add(dfa.other[state])
+        for target in targets:
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    return reachable

@@ -1,0 +1,139 @@
+"""Thompson construction: regular expressions to epsilon-NFAs.
+
+Transitions are keyed by explicit labels or by the :data:`WILDCARD`
+sentinel (produced by the ``~`` wildcard), which matches every label.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+
+class _Wildcard:
+    """Sentinel transition key that matches any label."""
+
+    def __repr__(self) -> str:
+        return "<WILDCARD>"
+
+
+WILDCARD = _Wildcard()
+
+
+class NFA:
+    """An epsilon-NFA over label words with a single accept state."""
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[object, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+        self.start = self._new_state()
+        self.accept = self._new_state()
+
+    def _new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilon.append(set())
+        return len(self.transitions) - 1
+
+    def _add_edge(self, source: int, symbol: object, target: int) -> None:
+        self.transitions[source].setdefault(symbol, set()).add(target)
+
+    def _add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon[source].add(target)
+
+    @property
+    def state_count(self) -> int:
+        return len(self.transitions)
+
+    def symbols(self) -> set[str]:
+        """All explicit labels on transitions (wildcard excluded)."""
+        labels: set[str] = set()
+        for edges in self.transitions:
+            for symbol in edges:
+                if symbol is not WILDCARD:
+                    labels.add(symbol)  # type: ignore[arg-type]
+        return labels
+
+    def epsilon_closure(self, states: set[int]) -> frozenset[int]:
+        """Closure of a state set under epsilon moves."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon[state]:
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def move(self, states: frozenset[int], label: str) -> set[int]:
+        """States reachable from ``states`` by consuming ``label``."""
+        result: set[int] = set()
+        for state in states:
+            edges = self.transitions[state]
+            result.update(edges.get(label, ()))
+            result.update(edges.get(WILDCARD, ()))
+        return result
+
+    def accepts(self, word: tuple[str, ...] | list[str]) -> bool:
+        """Direct NFA simulation (used to cross-check the DFA layer)."""
+        current = self.epsilon_closure({self.start})
+        for label in word:
+            current = self.epsilon_closure(self.move(current, label))
+            if not current:
+                return False
+        return self.accept in current
+
+
+def nfa_from_regex(expression: Regex) -> NFA:
+    """Compile an expression tree into an epsilon-NFA (Thompson)."""
+    nfa = NFA()
+    _build(nfa, expression, nfa.start, nfa.accept)
+    return nfa
+
+
+def _build(nfa: NFA, expression: Regex, source: int, target: int) -> None:
+    if isinstance(expression, Epsilon):
+        nfa._add_epsilon(source, target)
+    elif isinstance(expression, Symbol):
+        nfa._add_edge(source, expression.label, target)
+    elif isinstance(expression, AnySymbol):
+        nfa._add_edge(source, WILDCARD, target)
+    elif isinstance(expression, Concat):
+        current = source
+        for part in expression.parts[:-1]:
+            mid = nfa._new_state()
+            _build(nfa, part, current, mid)
+            current = mid
+        _build(nfa, expression.parts[-1], current, target)
+    elif isinstance(expression, Union):
+        for part in expression.parts:
+            entry = nfa._new_state()
+            exit_ = nfa._new_state()
+            nfa._add_epsilon(source, entry)
+            nfa._add_epsilon(exit_, target)
+            _build(nfa, part, entry, exit_)
+    elif isinstance(expression, Star):
+        hub = nfa._new_state()
+        nfa._add_epsilon(source, hub)
+        nfa._add_epsilon(hub, target)
+        entry = nfa._new_state()
+        exit_ = nfa._new_state()
+        nfa._add_epsilon(hub, entry)
+        nfa._add_epsilon(exit_, hub)
+        _build(nfa, expression.inner, entry, exit_)
+    elif isinstance(expression, Plus):
+        _build(nfa, Concat([expression.inner, Star(expression.inner)]), source, target)
+    elif isinstance(expression, Optional):
+        nfa._add_epsilon(source, target)
+        _build(nfa, expression.inner, source, target)
+    else:  # pragma: no cover - exhaustive over the AST
+        raise TypeError(f"unknown regex node {expression!r}")

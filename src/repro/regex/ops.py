@@ -1,0 +1,123 @@
+"""Language operations on total DFAs.
+
+All binary operations first align the two automata on the union of their
+explicit alphabets (OTHER semantics make this lossless), then run a
+product construction.  Inclusion — the PSPACE-hard core of the paper's
+Proposition 1 reduction — is ``L1 ∩ complement(L2) = ∅``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.regex.dfa import DFA
+
+
+def dfa_complement(dfa: DFA) -> DFA:
+    """Complement of the language (totality makes this a flip)."""
+    accepting = set(range(dfa.state_count)) - set(dfa.accepting)
+    return DFA(dfa.alphabet, dfa.transitions, dfa.other, dfa.start, accepting)
+
+
+def _product(first: DFA, second: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
+    alphabet = first.alphabet | second.alphabet
+    left = first.with_alphabet(alphabet)
+    right = second.with_alphabet(alphabet)
+    letters = sorted(alphabet)
+
+    index: dict[tuple[int, int], int] = {(left.start, right.start): 0}
+    order: list[tuple[int, int]] = [(left.start, right.start)]
+    transitions: list[dict[str, int]] = []
+    other: list[int] = []
+
+    position = 0
+    while position < len(order):
+        l_state, r_state = order[position]
+        position += 1
+        row: dict[str, int] = {}
+        for letter in letters:
+            pair = (left.step(l_state, letter), right.step(r_state, letter))
+            target = index.get(pair)
+            if target is None:
+                target = len(order)
+                index[pair] = target
+                order.append(pair)
+            row[letter] = target
+        pair = (left.other[l_state], right.other[r_state])
+        other_target = index.get(pair)
+        if other_target is None:
+            other_target = len(order)
+            index[pair] = other_target
+            order.append(pair)
+        transitions.append(row)
+        other.append(other_target)
+
+    accepting = [
+        i
+        for i, (l_state, r_state) in enumerate(order)
+        if accept(l_state in left.accepting, r_state in right.accepting)
+    ]
+    return DFA(alphabet, transitions, other, 0, accepting)
+
+
+def dfa_intersection(first: DFA, second: DFA) -> DFA:
+    """DFA for ``L(first) ∩ L(second)``."""
+    return _product(first, second, lambda a, b: a and b)
+
+
+def dfa_union(first: DFA, second: DFA) -> DFA:
+    """DFA for ``L(first) ∪ L(second)``."""
+    return _product(first, second, lambda a, b: a or b)
+
+
+def dfa_difference(first: DFA, second: DFA) -> DFA:
+    """DFA for ``L(first) \\ L(second)``."""
+    return _product(first, second, lambda a, b: a and not b)
+
+
+def language_is_empty(dfa: DFA) -> bool:
+    """True when no word is accepted."""
+    return shortest_accepted_word(dfa) is None
+
+
+def shortest_accepted_word(dfa: DFA) -> tuple[str, ...] | None:
+    """A shortest accepted word, or ``None`` for the empty language.
+
+    Out-of-alphabet steps are rendered with the reserved pseudo-label
+    ``"*other*"``; callers that need a concrete document label replace it
+    with any label outside the automaton's alphabet.
+    """
+    if dfa.start in dfa.accepting:
+        return ()
+    letters = sorted(dfa.alphabet)
+    seen = {dfa.start}
+    queue: deque[tuple[int, tuple[str, ...]]] = deque([(dfa.start, ())])
+    while queue:
+        state, word = queue.popleft()
+        moves = [(letter, dfa.step(state, letter)) for letter in letters]
+        moves.append(("*other*", dfa.other[state]))
+        for letter, target in moves:
+            if target in seen:
+                continue
+            extended = word + (letter,)
+            if target in dfa.accepting:
+                return extended
+            seen.add(target)
+            queue.append((target, extended))
+    return None
+
+
+def language_included(first: DFA, second: DFA) -> bool:
+    """Decide ``L(first) ⊆ L(second)``."""
+    return language_is_empty(dfa_difference(first, second))
+
+
+def shortest_counterexample(first: DFA, second: DFA) -> tuple[str, ...] | None:
+    """A shortest word in ``L(first) \\ L(second)``, or ``None``."""
+    return shortest_accepted_word(dfa_difference(first, second))
+
+
+def languages_equivalent(first: DFA, second: DFA) -> bool:
+    """Decide ``L(first) = L(second)``."""
+    return language_included(first, second) and language_included(second, first)

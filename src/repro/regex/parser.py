@@ -1,0 +1,166 @@
+"""Concrete syntax for label regular expressions.
+
+Grammar (labels are multi-character tokens)::
+
+    union   := concat ('|' concat)*
+    concat  := postfix (('.' | whitespace)? postfix)*
+    postfix := atom ('*' | '+' | '?')*
+    atom    := LABEL | '~' | '(' union ')' | '()'
+
+* ``LABEL`` matches ``[A-Za-z_@#][A-Za-z0-9_\\-:#]*``, which covers
+  element names, attribute labels (``@IDN``) and the text label
+  (``#text``).
+* ``~`` is the single-label wildcard.
+* ``()`` denotes the empty word (useful inside unions; a bare edge regex
+  must remain proper overall).
+* Concatenation is written with ``.`` or plain juxtaposition separated by
+  whitespace: ``session.candidate`` and ``session candidate`` are equal.
+
+Examples from the paper: ``candidate``, ``exam``, ``toBePassed``,
+``candidate.exam.mark.#text``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexParseError
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+_LABEL_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_@#")
+_LABEL_CHARS = (
+    set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_-:#")
+)
+
+
+class _Tokens:
+    """Token stream over the regex source text."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens: list[tuple[str, str, int]] = []
+        index = 0
+        while index < len(source):
+            char = source[index]
+            if char in " \t\r\n":
+                index += 1
+                continue
+            if char in "|.*+?~":
+                self.tokens.append(("op", char, index))
+                index += 1
+            elif char == "(":
+                if source.startswith("()", index):
+                    self.tokens.append(("eps", "()", index))
+                    index += 2
+                else:
+                    self.tokens.append(("op", "(", index))
+                    index += 1
+            elif char == ")":
+                self.tokens.append(("op", ")", index))
+                index += 1
+            elif char in _LABEL_START:
+                start = index
+                index += 1
+                while index < len(source) and source[index] in _LABEL_CHARS:
+                    index += 1
+                self.tokens.append(("label", source[start:index], start))
+            else:
+                raise RegexParseError(f"unexpected character {char!r}", index)
+        self.position = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.position >= len(self.tokens):
+            return None
+        return self.tokens[self.position]
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise RegexParseError("unexpected end of expression")
+        self.position += 1
+        return token
+
+
+def parse_regex(source: str) -> Regex:
+    """Parse the concrete syntax into a :class:`Regex` tree."""
+    tokens = _Tokens(source)
+    expression = _parse_union(tokens)
+    trailing = tokens.peek()
+    if trailing is not None:
+        raise RegexParseError(
+            f"unexpected token {trailing[1]!r}", trailing[2]
+        )
+    return expression
+
+
+def _parse_union(tokens: _Tokens) -> Regex:
+    parts = [_parse_concat(tokens)]
+    while True:
+        token = tokens.peek()
+        if token is None or token[1] != "|":
+            break
+        tokens.next()
+        parts.append(_parse_concat(tokens))
+    if len(parts) == 1:
+        return parts[0]
+    return Union(parts)
+
+
+def _parse_concat(tokens: _Tokens) -> Regex:
+    parts = [_parse_postfix(tokens)]
+    while True:
+        token = tokens.peek()
+        if token is None:
+            break
+        kind, value, _ = token
+        if kind == "op" and value == ".":
+            tokens.next()
+            parts.append(_parse_postfix(tokens))
+        elif kind in ("label", "eps") or (kind == "op" and value in "(~"):
+            # plain juxtaposition
+            parts.append(_parse_postfix(tokens))
+        else:
+            break
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+def _parse_postfix(tokens: _Tokens) -> Regex:
+    expression = _parse_atom(tokens)
+    while True:
+        token = tokens.peek()
+        if token is None or token[0] != "op" or token[1] not in "*+?":
+            break
+        _, operator, _ = tokens.next()
+        if operator == "*":
+            expression = Star(expression)
+        elif operator == "+":
+            expression = Plus(expression)
+        else:
+            expression = Optional(expression)
+    return expression
+
+
+def _parse_atom(tokens: _Tokens) -> Regex:
+    kind, value, position = tokens.next()
+    if kind == "label":
+        return Symbol(value)
+    if kind == "eps":
+        return Epsilon()
+    if kind == "op" and value == "~":
+        return AnySymbol()
+    if kind == "op" and value == "(":
+        inner = _parse_union(tokens)
+        closing = tokens.next()
+        if closing[1] != ")":
+            raise RegexParseError("expected ')'", closing[2])
+        return inner
+    raise RegexParseError(f"unexpected token {value!r}", position)

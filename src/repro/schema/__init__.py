@@ -1,0 +1,13 @@
+"""Schemas as bottom-up tree automata (Section 5 context).
+
+The paper assumes schemas are given by a regular bottom-up tree automaton
+``A_S``.  :mod:`repro.schema.dtd` provides a DTD-like surface syntax
+(one content-model regex per element label) and :mod:`repro.schema.automaton`
+compiles it to a :class:`repro.tautomata.hedge.HedgeAutomaton`; any
+hand-built hedge automaton can be used in its place.
+"""
+
+from repro.schema.dtd import Schema
+from repro.schema.automaton import schema_automaton
+
+__all__ = ["Schema", "schema_automaton"]

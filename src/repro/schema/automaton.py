@@ -1,0 +1,59 @@
+"""Compiling a schema to a bottom-up hedge automaton ``A_S``.
+
+States are the schema's labels themselves (the state of a valid element
+is its label) plus a distinguished root state; content-model DFAs act
+directly as horizontal languages because the children-state word *is*
+the children-label word.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import Symbol
+from repro.regex.dfa import compile_regex
+from repro.schema.dtd import Schema
+from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
+from repro.tautomata.horizontal import DFAHorizontal, EmptyWordHorizontal
+from repro.xmlmodel.tree import NodeType, ROOT_LABEL, label_node_type
+
+ROOT_STATE = ("schema-root",)
+
+
+def schema_automaton(schema: Schema, name: str | None = None) -> HedgeAutomaton:
+    """``A_S``: accepts exactly the documents valid w.r.t. the schema."""
+    rules: list[Rule] = []
+    for label, model in schema.content_models.items():
+        rules.append(
+            Rule(
+                state=label,
+                labels=LabelSpec.exactly(label),
+                horizontal=DFAHorizontal(schema.content_dfa(label)),
+            )
+        )
+    leaf_labels = {
+        symbol
+        for model in schema.content_models.values()
+        for symbol in model.symbols()
+        if label_node_type(symbol) is not NodeType.ELEMENT
+    }
+    for label in sorted(leaf_labels):
+        rules.append(
+            Rule(
+                state=label,
+                labels=LabelSpec.exactly(label),
+                horizontal=EmptyWordHorizontal(),
+            )
+        )
+    rules.append(
+        Rule(
+            state=ROOT_STATE,
+            labels=LabelSpec.exactly(ROOT_LABEL),
+            horizontal=DFAHorizontal(
+                compile_regex(Symbol(schema.document_element))
+            ),
+        )
+    )
+    return HedgeAutomaton(
+        rules,
+        accepting=[ROOT_STATE],
+        name=name or "A_S",
+    )

@@ -1,0 +1,206 @@
+"""DTD-like schemas: one content-model regular expression per element.
+
+A schema declares a document element and, for every element label, a
+regular expression over child labels (attribute labels and ``#text``
+included, in order — the model treats attributes as leading leaf
+children).  Example, the exam-session schema of the paper's Example 6::
+
+    Schema.from_rules(
+        document_element="session",
+        rules={
+            "session": "candidate*",
+            "candidate": "@IDN level exam* (toBePassed | firstJob-Year)",
+            "level": "#text",
+            ...
+        },
+    )
+
+Validation is implemented twice on purpose: a direct recursive check
+(fast path, used when documents are validated in bulk) and compilation to
+a hedge automaton (used inside the independence product); tests assert
+the two agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SchemaError
+from repro.regex.ast import Regex
+from repro.regex.dfa import DFA, compile_regex
+from repro.regex.parser import parse_regex
+from repro.xmlmodel.tree import (
+    NodeType,
+    ROOT_LABEL,
+    XMLDocument,
+    XMLNode,
+    label_node_type,
+)
+
+
+class Schema:
+    """A schema: a document element plus content models per element."""
+
+    def __init__(
+        self,
+        document_element: str,
+        content_models: Mapping[str, Regex],
+    ) -> None:
+        self.document_element = document_element
+        self.content_models: dict[str, Regex] = dict(content_models)
+        self._dfas: dict[str, DFA] = {}
+        self._validate()
+
+    @classmethod
+    def from_rules(
+        cls, document_element: str, rules: Mapping[str, str | Regex]
+    ) -> "Schema":
+        """Build from concrete-syntax content models."""
+        parsed = {
+            label: parse_regex(model) if isinstance(model, str) else model
+            for label, model in rules.items()
+        }
+        return cls(document_element, parsed)
+
+    @classmethod
+    def parse_text(cls, text: str) -> "Schema":
+        """Parse the schema text format used by files and the CLI.
+
+        One rule per line, ``label := content-model``; the document
+        element is declared with ``!document <label>`` (defaults to the
+        first rule's label); ``#`` starts a comment.  Example::
+
+            !document session
+            session   := candidate*
+            candidate := @IDN level exam* (toBePassed | firstJob-Year)
+            level     := #text
+        """
+        document_element: str | None = None
+        rules: dict[str, str] = {}
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if line.startswith("#") or not line:
+                continue
+            if line.startswith("!document"):
+                document_element = line[len("!document") :].strip()
+                continue
+            if ":=" not in line:
+                raise SchemaError(
+                    f"line {line_number}: expected 'label := model', got {raw!r}"
+                )
+            label, model = line.split(":=", 1)
+            label = label.strip()
+            if label in rules:
+                raise SchemaError(
+                    f"line {line_number}: duplicate rule for {label!r}"
+                )
+            rules[label] = model.strip()
+        if not rules:
+            raise SchemaError("schema text contains no rules")
+        if document_element is None:
+            document_element = next(iter(rules))
+        return cls.from_rules(document_element, rules)
+
+    def _validate(self) -> None:
+        if label_node_type(self.document_element) is not NodeType.ELEMENT:
+            raise SchemaError(
+                f"document element {self.document_element!r} must be an element label"
+            )
+        declared = set(self.content_models)
+        for label in declared:
+            if label_node_type(label) is not NodeType.ELEMENT:
+                raise SchemaError(
+                    f"content models belong to element labels, not {label!r}"
+                )
+        for label, model in self.content_models.items():
+            for symbol in model.symbols():
+                if label_node_type(symbol) is NodeType.ELEMENT and (
+                    symbol not in declared
+                ):
+                    raise SchemaError(
+                        f"content model of {label!r} references undeclared "
+                        f"element {symbol!r}"
+                    )
+            if model.uses_wildcard():
+                raise SchemaError(
+                    f"content model of {label!r} uses the wildcard; schemas "
+                    f"must be closed"
+                )
+        if self.document_element not in declared:
+            raise SchemaError(
+                f"document element {self.document_element!r} has no content model"
+            )
+
+    # ------------------------------------------------------------------
+
+    def alphabet(self) -> set[str]:
+        """All labels the schema mentions (elements, attributes, text)."""
+        labels = set(self.content_models)
+        for model in self.content_models.values():
+            labels |= model.symbols()
+        return labels
+
+    def ambiguous_content_models(self) -> list[str]:
+        """Element labels whose content model is not 1-unambiguous.
+
+        The XML specification requires DTD content models to be
+        deterministic (one-unambiguous); this library accepts ambiguous
+        models — the automata handle them fine — but exposes the check
+        for strict-XML workflows.
+        """
+        from repro.regex.glushkov import is_one_unambiguous
+
+        return sorted(
+            label
+            for label, model in self.content_models.items()
+            if not is_one_unambiguous(model)
+        )
+
+    def require_deterministic(self) -> None:
+        """Raise :class:`SchemaError` on any ambiguous content model."""
+        offending = self.ambiguous_content_models()
+        if offending:
+            raise SchemaError(
+                f"content models of {offending} are not one-unambiguous "
+                f"(XML determinism requirement)"
+            )
+
+    def content_dfa(self, label: str) -> DFA:
+        """The (cached) minimal DFA of one element's content model."""
+        dfa = self._dfas.get(label)
+        if dfa is None:
+            dfa = compile_regex(self.content_models[label])
+            self._dfas[label] = dfa
+        return dfa
+
+    def is_valid(self, document: XMLDocument) -> bool:
+        """Direct validation (the fast path; iterative, depth-safe)."""
+        children = document.root.children
+        if len(children) != 1 or children[0].label != self.document_element:
+            return False
+        stack = [children[0]]
+        while stack:
+            node = stack.pop()
+            if node.label not in self.content_models:
+                return False
+            word = tuple(child.label for child in node.children)
+            if not self.content_dfa(node.label).accepts(word):
+                return False
+            stack.extend(
+                child
+                for child in node.children
+                if child.node_type is NodeType.ELEMENT
+            )
+        return True
+
+    def size(self) -> int:
+        """``|A_S|``-style size: total content-model DFA states."""
+        return sum(
+            self.content_dfa(label).state_count for label in self.content_models
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Schema root={self.document_element!r} "
+            f"({len(self.content_models)} element rules)>"
+        )

@@ -1,0 +1,50 @@
+"""Bottom-up hedge automata: the machinery behind Proposition 3.
+
+Unranked bottom-up tree automata with regular *horizontal languages*
+constraining the word of children states.  The subpackage provides:
+
+* :mod:`repro.tautomata.horizontal` -- horizontal languages as a small
+  protocol with shuffle, DFA-based, product and flag-counting instances;
+* :mod:`repro.tautomata.hedge` -- automata, label specifications and
+  bottom-up runs on documents;
+* :mod:`repro.tautomata.emptiness` -- the least-fixpoint emptiness test
+  with witness-tree extraction;
+* :mod:`repro.tautomata.ops` -- product automata;
+* :mod:`repro.tautomata.from_pattern` -- the ``A_R`` construction: an
+  automaton recognizing documents that contain a trace of a pattern
+  (optionally tracking the subtree *regions* below selected images).
+"""
+
+from repro.tautomata.horizontal import (
+    AllHorizontal,
+    DFAHorizontal,
+    EmptyWordHorizontal,
+    FlagOnceHorizontal,
+    HorizontalLanguage,
+    ProductHorizontal,
+    ProjectedHorizontal,
+    ShuffleHorizontal,
+)
+from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
+from repro.tautomata.emptiness import automaton_is_empty, witness_document
+from repro.tautomata.ops import product_automaton
+from repro.tautomata.from_pattern import PatternAutomaton, trace_automaton
+
+__all__ = [
+    "AllHorizontal",
+    "DFAHorizontal",
+    "EmptyWordHorizontal",
+    "FlagOnceHorizontal",
+    "HorizontalLanguage",
+    "ProductHorizontal",
+    "ProjectedHorizontal",
+    "ShuffleHorizontal",
+    "HedgeAutomaton",
+    "LabelSpec",
+    "Rule",
+    "automaton_is_empty",
+    "witness_document",
+    "product_automaton",
+    "PatternAutomaton",
+    "trace_automaton",
+]

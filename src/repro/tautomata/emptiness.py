@@ -1,0 +1,122 @@
+"""Emptiness testing of hedge automata, with witness extraction.
+
+The classical least fixpoint: a state is *inhabited* when some rule for
+it can fire using only inhabited children states (and a satisfiable label
+specification).  The automaton is empty iff no accepting state is
+inhabited.  This is the polynomial test at the heart of Proposition 3 —
+the independence criterion IC is precisely the emptiness of the product
+automaton recognizing the dangerous-document language ``L``.
+
+Witness extraction keeps, per inhabited state, a smallest-known tree the
+state accepts; for a non-empty automaton this yields a concrete
+"dangerous document" that explains an UNKNOWN independence verdict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.tautomata.hedge import HedgeAutomaton, State
+from repro.tautomata.horizontal import HorizontalLanguage
+from repro.xmlmodel.tree import ROOT_LABEL, XMLDocument, XMLNode, label_node_type, NodeType
+
+
+def _exists_word(
+    horizontal: HorizontalLanguage, symbols: Sequence[State]
+) -> bool:
+    """Is some word over ``symbols`` in the horizontal language?"""
+    return _shortest_word(horizontal, symbols) is not None
+
+
+def _shortest_word(
+    horizontal: HorizontalLanguage, symbols: Sequence[State]
+) -> tuple[State, ...] | None:
+    """BFS for a shortest accepted word over the given symbol set."""
+    start = horizontal.initial()
+    if horizontal.accepting(start):
+        return ()
+    seen = {start}
+    queue: deque[tuple[object, tuple[State, ...]]] = deque([(start, ())])
+    while queue:
+        h_state, word = queue.popleft()
+        for symbol in symbols:
+            next_state = horizontal.step(h_state, symbol)
+            if next_state is None or next_state in seen:
+                continue
+            extended = word + (symbol,)
+            if horizontal.accepting(next_state):
+                return extended
+            seen.add(next_state)
+            queue.append((next_state, extended))
+    return None
+
+
+def inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
+    """All states assignable to at least one tree (least fixpoint)."""
+    inhabited: set[State] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in automaton.rules:
+            if rule.state in inhabited:
+                continue
+            if rule.labels.is_empty():
+                continue
+            if _exists_word(rule.horizontal, sorted(inhabited, key=repr)):
+                inhabited.add(rule.state)
+                changed = True
+    return frozenset(inhabited)
+
+
+def automaton_is_empty(automaton: HedgeAutomaton) -> bool:
+    """True when the automaton accepts no document."""
+    return not (inhabited_states(automaton) & automaton.accepting)
+
+
+def witness_document(automaton: HedgeAutomaton) -> XMLDocument | None:
+    """A document accepted by the automaton, or ``None`` when empty.
+
+    The witness is built during the fixpoint: the first time a state
+    becomes inhabited, the firing rule's label example and a shortest
+    children word over already-witnessed states determine its tree.  The
+    returned tree is small but not guaranteed globally minimal.
+    """
+    witnesses: dict[State, XMLNode] = {}
+    changed = True
+    while changed:
+        changed = False
+        for rule in automaton.rules:
+            if rule.state in witnesses:
+                continue
+            if rule.labels.is_empty():
+                continue
+            word = _shortest_word(
+                rule.horizontal, sorted(witnesses, key=repr)
+            )
+            if word is None:
+                continue
+            label = rule.labels.example_label(prefer_element=bool(word))
+            if word and label_node_type(label) is not NodeType.ELEMENT:
+                # a leaf-typed label cannot carry children; try to find an
+                # element label in the spec, otherwise skip this rule for now
+                continue
+            if label_node_type(label) is NodeType.ELEMENT:
+                node = XMLNode(label)
+                for symbol in word:
+                    node.append_child(witnesses[symbol].clone())
+            else:
+                node = XMLNode(label, value="w")
+            witnesses[rule.state] = node
+            changed = True
+
+    for state in sorted(automaton.accepting, key=repr):
+        witness = witnesses.get(state)
+        if witness is None:
+            continue
+        if witness.label == ROOT_LABEL:
+            return XMLDocument(witness.clone())
+        root = XMLNode(ROOT_LABEL)
+        root.append_child(witness.clone())
+        return XMLDocument(root)
+    return None

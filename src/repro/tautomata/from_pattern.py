@@ -1,0 +1,196 @@
+"""The ``A_R`` construction: from a regular tree pattern to an automaton
+recognizing the documents containing a trace of the pattern.
+
+The paper only sketches this construction (proof of Proposition 3); the
+realization here uses one *role* per document node, which suffices
+because the trace of a mapping is a tree whose paths are pairwise
+disjoint (prefix-disjointness of sibling edges plus tree-uniqueness of
+downward paths):
+
+* ``BOT``                 -- the node is outside the trace;
+* ``("mid", w, q, r)``    -- interior node of the path realizing the
+  template edge into ``w``; ``q`` is the edge-DFA state *before*
+  consuming this node's label; exactly one child continues the path;
+* ``("img", w, q, r)``    -- the node is the image ``π(w)``; the rule
+  only exists for labels taking ``q`` into an accepting DFA state, and
+  the children word must contain, in sibling order, one path-start child
+  per outgoing template edge of ``w`` (the shuffle shape);
+* ``SUB``                 -- strictly below the image of a selected node
+  (only when ``track_regions`` is on);
+* ``ACC``                 -- the document root, image of the template
+  root.
+
+The region bit ``r`` marks roles living inside a selected-node subtree,
+so that "assignable state is not ``BOT``" is exactly the Definition 6
+condition "node belongs to ``N(trace)`` or to a subtree rooted at a
+selected-node image" — the fact the independence construction needs.
+
+Sibling order is enforced by the ordered shuffle requirements, matching
+the engine's argument that document-order preservation reduces to
+increasing first children at every branch point.
+
+State count: ``O(Σ_e |A_e|)`` mid/img states (×2 for the region bit),
+plus three housekeeping states — polynomial exactly as Proposition 3
+needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.pattern.template import (
+    ROOT_POSITION,
+    RegularTreePattern,
+    TemplatePosition,
+)
+from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule, State
+from repro.tautomata.horizontal import ShuffleHorizontal
+from repro.xmlmodel.tree import ROOT_LABEL
+
+BOT: State = ("bot",)
+SUB: State = ("sub",)
+ACC: State = ("acc",)
+
+
+def _label_groups(
+    dfa, q: int, alphabet: frozenset[str]
+) -> list[tuple[LabelSpec, int]]:
+    """Group the labels of the (explicit, global) alphabet by DFA target.
+
+    One extra co-finite group covers every label outside the alphabet,
+    which the DFA sends through its OTHER transition.
+    """
+    groups: dict[int, set[str]] = {}
+    for label in alphabet:
+        groups.setdefault(dfa.step(q, label), set()).add(label)
+    result = [
+        (LabelSpec("in", frozenset(labels)), target)
+        for target, labels in groups.items()
+    ]
+    result.append((LabelSpec("not_in", alphabet), dfa.other[q]))
+    return result
+
+
+@dataclasses.dataclass
+class PatternAutomaton:
+    """``A_R`` plus the state classifications the Section 5 product needs."""
+
+    pattern: RegularTreePattern
+    automaton: HedgeAutomaton
+    selected_image_states: frozenset[State]
+    track_regions: bool
+
+    @property
+    def bot_state(self) -> State:
+        return BOT
+
+    def non_bot_states(self) -> frozenset[State]:
+        """Trace-or-region states (everything except ``BOT``)."""
+        return frozenset(s for s in self.automaton.states() if s != BOT)
+
+
+def trace_automaton(
+    pattern: RegularTreePattern,
+    alphabet: Iterable[str] = (),
+    track_regions: bool = False,
+    name: str | None = None,
+) -> PatternAutomaton:
+    """Build ``A_R`` over the given global label alphabet.
+
+    ``alphabet`` is extended with the pattern's own labels; pass the
+    union of all labels involved in an analysis (other patterns, schema)
+    so product constructions see compatible label groups.
+    """
+    template = pattern.template
+    alphabet = frozenset(alphabet) | frozenset(template.alphabet())
+    selected = set(pattern.selected)
+    region_bits = (0, 1) if track_regions else (0,)
+
+    rules: list[Rule] = []
+
+    def filler(region: int) -> State:
+        return SUB if region else BOT
+
+    def start_requirement(child: TemplatePosition, region: int) -> frozenset[State]:
+        q0 = template.edge_dfa(child).start
+        return frozenset(
+            {("mid", child, q0, region), ("img", child, q0, region)}
+        )
+
+    def image_horizontal(
+        position: TemplatePosition, region: int
+    ) -> ShuffleHorizontal:
+        child_region = 1 if (track_regions and (region or position in selected)) else 0
+        return ShuffleHorizontal(
+            fillers=frozenset({filler(child_region)}),
+            requirements=[
+                start_requirement(child, child_region)
+                for child in template.children(position)
+            ],
+        )
+
+    # BOT everywhere, SUB inside selected regions
+    rules.append(
+        Rule(BOT, LabelSpec.any_label(), ShuffleHorizontal(frozenset({BOT}), []))
+    )
+    if track_regions:
+        rules.append(
+            Rule(SUB, LabelSpec.any_label(), ShuffleHorizontal(frozenset({SUB}), []))
+        )
+
+    # the template root: the document root
+    root_region = 1 if (track_regions and ROOT_POSITION in selected) else 0
+    rules.append(
+        Rule(
+            ACC,
+            LabelSpec.exactly(ROOT_LABEL),
+            image_horizontal(ROOT_POSITION, 0 if not root_region else 0),
+        )
+    )
+
+    # mid/img roles for every non-root template node
+    selected_image_states: set[State] = set()
+    for position in sorted(template.nodes - {ROOT_POSITION}):
+        dfa = template.edge_dfa(position)
+        live = dfa.live_states()
+        for region in region_bits:
+            for q in range(dfa.state_count):
+                if q not in live:
+                    continue
+                for spec, target in _label_groups(dfa, q, alphabet):
+                    if target in live:
+                        rules.append(
+                            Rule(
+                                ("mid", position, q, region),
+                                spec,
+                                ShuffleHorizontal(
+                                    fillers=frozenset({filler(region)}),
+                                    requirements=[
+                                        frozenset(
+                                            {
+                                                ("mid", position, target, region),
+                                                ("img", position, target, region),
+                                            }
+                                        )
+                                    ],
+                                ),
+                            )
+                        )
+                    if target in dfa.accepting:
+                        img_state = ("img", position, q, region)
+                        rules.append(
+                            Rule(img_state, spec, image_horizontal(position, region))
+                        )
+                        if position in selected:
+                            selected_image_states.add(img_state)
+
+    automaton = HedgeAutomaton(
+        rules, accepting=[ACC], name=name or "A_R"
+    )
+    return PatternAutomaton(
+        pattern=pattern,
+        automaton=automaton,
+        selected_image_states=frozenset(selected_image_states),
+        track_regions=track_regions,
+    )

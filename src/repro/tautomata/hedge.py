@@ -1,0 +1,197 @@
+"""Nondeterministic bottom-up hedge automata.
+
+A rule ``(state, labels, horizontal)`` says: a node whose label matches
+``labels`` may be assigned ``state`` provided the word of its children's
+states belongs to the ``horizontal`` language.  A document is accepted
+when its root can be assigned an accepting state.
+
+Label specifications are either finite sets (``in``) or co-finite sets
+(``not_in``), the latter required because pattern wildcards and off-trace
+states must match labels outside any fixed alphabet.
+
+The bottom-up *set run* computes, for every node, the exact set of states
+assignable by some run of its subtree: children subtree runs are
+independent, so a state is assignable iff some choice of child states
+(one from each child's set) is accepted by the rule's horizontal
+language — which a subset simulation over the horizontal automaton
+decides without enumerating words.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.errors import AutomatonError
+from repro.tautomata.horizontal import HorizontalLanguage
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+State = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class LabelSpec:
+    """A finite (``in``) or co-finite (``not_in``) set of labels."""
+
+    mode: str  # "in" | "not_in"
+    labels: frozenset[str]
+
+    @classmethod
+    def exactly(cls, *labels: str) -> "LabelSpec":
+        return cls("in", frozenset(labels))
+
+    @classmethod
+    def any_label(cls) -> "LabelSpec":
+        return cls("not_in", frozenset())
+
+    @classmethod
+    def excluding(cls, labels: Iterable[str]) -> "LabelSpec":
+        return cls("not_in", frozenset(labels))
+
+    def matches(self, label: str) -> bool:
+        """Is the label in the (co-)finite set?"""
+        if self.mode == "in":
+            return label in self.labels
+        return label not in self.labels
+
+    def is_empty(self) -> bool:
+        """True when no label matches."""
+        return self.mode == "in" and not self.labels
+
+    def intersect(self, other: "LabelSpec") -> "LabelSpec":
+        """Set intersection across the four mode combinations."""
+        if self.mode == "in" and other.mode == "in":
+            return LabelSpec("in", self.labels & other.labels)
+        if self.mode == "in":
+            return LabelSpec("in", self.labels - other.labels)
+        if other.mode == "in":
+            return LabelSpec("in", other.labels - self.labels)
+        return LabelSpec("not_in", self.labels | other.labels)
+
+    def example_label(self, prefer_element: bool = True) -> str:
+        """A concrete label in the set (for witness documents).
+
+        For co-finite sets a fresh element-style label outside the
+        exclusions is produced.
+        """
+        if self.mode == "in":
+            if not self.labels:
+                raise AutomatonError("empty label specification has no example")
+            elements = sorted(
+                label
+                for label in self.labels
+                if not label.startswith("@") and label != "#text"
+            )
+            if prefer_element and elements:
+                return elements[0]
+            return min(self.labels)
+        index = 0
+        while True:
+            candidate = f"any{index}"
+            if candidate not in self.labels:
+                return candidate
+            index += 1
+
+    def __str__(self) -> str:
+        rendered = "{" + ",".join(sorted(self.labels)) + "}"
+        return rendered if self.mode == "in" else f"¬{rendered}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One bottom-up transition rule."""
+
+    state: State
+    labels: LabelSpec
+    horizontal: HorizontalLanguage
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.state!r} / {self.labels}>"
+
+
+class HedgeAutomaton:
+    """A nondeterministic bottom-up hedge automaton."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        accepting: Iterable[State],
+        name: str = "hedge",
+    ) -> None:
+        self.rules = list(rules)
+        self.accepting = frozenset(accepting)
+        self.name = name
+        if not self.rules:
+            raise AutomatonError("an automaton needs at least one rule")
+
+    def states(self) -> frozenset[State]:
+        """All states mentioned by rules or acceptance."""
+        return frozenset(rule.state for rule in self.rules) | self.accepting
+
+    def size(self) -> int:
+        """States + rules + total horizontal-automaton states.
+
+        This is the quantity tracked against the Proposition 3 bound in
+        experiment T2.
+        """
+        horizontal = sum(rule.horizontal.size() for rule in self.rules)
+        return len(self.states()) + len(self.rules) + horizontal
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+
+    def assignable_states(
+        self, document: XMLDocument | XMLNode
+    ) -> dict[int, frozenset[State]]:
+        """The exact set of assignable states for every node (by ``id``)."""
+        root = document.root if isinstance(document, XMLDocument) else document
+        assignment: dict[int, frozenset[State]] = {}
+        # children before parents: iterate document order reversed
+        for node in reversed(list(root.iter_subtree())):
+            child_sets = [assignment[id(child)] for child in node.children]
+            states: set[State] = set()
+            for rule in self.rules:
+                if rule.state in states:
+                    continue
+                if not rule.labels.matches(node.label):
+                    continue
+                if self._horizontal_reaches(rule.horizontal, child_sets):
+                    states.add(rule.state)
+            assignment[id(node)] = frozenset(states)
+        return assignment
+
+    @staticmethod
+    def _horizontal_reaches(
+        horizontal: HorizontalLanguage,
+        child_sets: Sequence[frozenset[State]],
+    ) -> bool:
+        current: set = {horizontal.initial()}
+        for child_states in child_sets:
+            if not child_states:
+                return False
+            advanced: set = set()
+            for h_state in current:
+                for symbol in child_states:
+                    next_state = horizontal.step(h_state, symbol)
+                    if next_state is not None:
+                        advanced.add(next_state)
+            if not advanced:
+                return False
+            current = advanced
+        return any(horizontal.accepting(h_state) for h_state in current)
+
+    def root_states(self, document: XMLDocument | XMLNode) -> frozenset[State]:
+        """Assignable states of the document root."""
+        root = document.root if isinstance(document, XMLDocument) else document
+        return self.assignable_states(root)[id(root)]
+
+    def accepts(self, document: XMLDocument | XMLNode) -> bool:
+        """Membership: can the root take an accepting state?"""
+        return bool(self.root_states(document) & self.accepting)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HedgeAutomaton {self.name}: {len(self.states())} states, "
+            f"{len(self.rules)} rules>"
+        )

@@ -1,0 +1,50 @@
+"""Update classes and concrete updates (Section 4 of the paper).
+
+An update ``q = u ∘ U`` decomposes into the *class* ``U`` — a monadic
+regular tree pattern selecting the nodes to be updated — and the
+*performer* ``u``, which replaces the subtree rooted at each selected
+node.  Two updates belong to the same class iff they share ``U``; the
+independence analysis of Section 5 reasons about classes only, with ``u``
+of arbitrary type.
+
+* :mod:`repro.update.update_class` -- classes as monadic patterns;
+* :mod:`repro.update.operations` -- a library of performers (replace,
+  delete, rename, set text, add child, ...);
+* :mod:`repro.update.apply` -- applying an update to a document.
+"""
+
+from repro.update.update_class import UpdateClass
+from repro.update.operations import (
+    Performer,
+    add_child,
+    delete_node,
+    drop_children,
+    keep_unchanged,
+    relabel,
+    replace_with,
+    set_text,
+    transform,
+    unwrap,
+    wrap_in,
+)
+from repro.update.apply import Update, apply_update
+from repro.update.batch import BatchOutcome, UpdateBatch
+
+__all__ = [
+    "UpdateClass",
+    "Performer",
+    "add_child",
+    "delete_node",
+    "drop_children",
+    "keep_unchanged",
+    "relabel",
+    "replace_with",
+    "set_text",
+    "transform",
+    "unwrap",
+    "wrap_in",
+    "Update",
+    "apply_update",
+    "BatchOutcome",
+    "UpdateBatch",
+]

@@ -1,0 +1,68 @@
+"""Applying a concrete update ``q = u ∘ U`` to a document.
+
+Application is non-destructive: the input document is cloned, the update
+class is evaluated on the clone, and the performer replaces each selected
+subtree.  When selected nodes are nested, deeper nodes are processed
+first so that an ancestor's performer sees the already-updated content of
+its subtree; the root itself is never selected for replacement (patterns
+cannot select the reserved ``'/'`` node usefully — replacing it would
+discard the whole document).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UpdateError
+from repro.update.operations import Performer
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.tree import XMLDocument
+
+
+class Update:
+    """A concrete update: a class plus a performer."""
+
+    def __init__(
+        self,
+        update_class: UpdateClass,
+        performer: Performer,
+        name: str | None = None,
+    ) -> None:
+        self.update_class = update_class
+        self.performer = performer
+        self.name = name or f"update-of-{update_class.name}"
+
+    def __call__(self, document: XMLDocument) -> XMLDocument:
+        return apply_update(document, self)
+
+    def __repr__(self) -> str:
+        return f"<Update {self.name} in class {self.update_class.name}>"
+
+
+def apply_update(document: XMLDocument, update: Update) -> XMLDocument:
+    """Return ``q(D)``: a new document with every selected subtree replaced."""
+    working = document.clone()
+    selected = update.update_class.selected_nodes(working)
+    # Deepest-last document order reversed => children before ancestors.
+    for node in reversed(selected):
+        if node.parent is None:
+            raise UpdateError("an update cannot replace the document root")
+        if node.root() is not working.root:
+            # A previously applied replacement discarded this node's
+            # subtree; the ancestor's performer already saw the change.
+            continue
+        # capture the splice point before the performer runs: performers
+        # like wrap_in legitimately detach the old node to re-parent it
+        parent = node.parent
+        index = node.child_index()
+        replacement = update.performer(node)
+        if replacement is node:
+            continue
+        if node.parent is parent:
+            node.detach()
+        if replacement is None:
+            continue
+        if replacement.parent is not None:
+            raise UpdateError(
+                "a performer must return a detached replacement subtree"
+            )
+        parent.insert_child(index, replacement)
+    return working

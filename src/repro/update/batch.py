@@ -1,0 +1,140 @@
+"""Transactional update batches guarded by constraints.
+
+A batch composes several updates and applies them atomically with
+respect to a set of functional dependencies (and optionally a schema):
+either the fully updated document satisfies everything and is committed,
+or the original document is returned untouched together with a report of
+what failed — the store-level behaviour the paper's introduction
+motivates ("the preservation of [constraint] validation on an XML
+document after one or more update operations").
+
+The guard exploits the criterion IC where it can: updates whose class
+was certified independent of an FD skip that FD's recheck entirely
+(pass the certified pairs via ``certified``); everything else is
+re-validated on the candidate result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.satisfaction import check_fd
+from repro.schema.dtd import Schema
+from repro.update.apply import Update, apply_update
+from repro.xmlmodel.tree import XMLDocument
+
+
+@dataclasses.dataclass
+class BatchOutcome:
+    """Result of applying a guarded batch."""
+
+    committed: bool
+    document: XMLDocument  # updated on commit, original on rollback
+    failed_fd_names: list[str]
+    schema_violation: bool
+    checks_run: int
+    checks_skipped: int
+
+    def describe(self) -> str:
+        """One-line commit/rollback summary with check accounting."""
+        if self.committed:
+            return (
+                f"COMMITTED ({self.checks_run} FD checks run, "
+                f"{self.checks_skipped} skipped via IC)"
+            )
+        reasons = []
+        if self.schema_violation:
+            reasons.append("schema violation")
+        reasons.extend(f"FD {name} violated" for name in self.failed_fd_names)
+        return "ROLLED BACK: " + "; ".join(reasons)
+
+
+class UpdateBatch:
+    """An ordered sequence of updates applied as one unit."""
+
+    def __init__(self, updates: Iterable[Update] = ()) -> None:
+        self.updates: list[Update] = list(updates)
+
+    def add(self, update: Update) -> "UpdateBatch":
+        """Append one update; returns the batch for chaining."""
+        self.updates.append(update)
+        return self
+
+    def apply(self, document: XMLDocument) -> XMLDocument:
+        """Apply all updates in order (no guard)."""
+        current = document
+        for update in self.updates:
+            current = apply_update(current, update)
+        return current
+
+    def apply_guarded(
+        self,
+        document: XMLDocument,
+        fds: Sequence[FunctionalDependency] = (),
+        schema: Schema | None = None,
+        certified: Iterable[tuple[str, str]] = (),
+        assume_valid_before: bool = True,
+    ) -> BatchOutcome:
+        """Apply with commit/rollback semantics.
+
+        ``certified`` is a set of ``(fd_name, update_class_name)`` pairs
+        already certified independent (e.g. by running
+        :func:`repro.independence.check_independence` at class-registration
+        time); an FD is skipped when *every* update in the batch is
+        certified against it.  ``assume_valid_before`` skips pre-checks,
+        matching stores that validate on ingestion.
+        """
+        certified_pairs = set(certified)
+
+        if not assume_valid_before:
+            if schema is not None and not schema.is_valid(document):
+                return BatchOutcome(
+                    committed=False,
+                    document=document,
+                    failed_fd_names=[],
+                    schema_violation=True,
+                    checks_run=0,
+                    checks_skipped=0,
+                )
+            for fd in fds:
+                if not check_fd(fd, document).satisfied:
+                    return BatchOutcome(
+                        committed=False,
+                        document=document,
+                        failed_fd_names=[fd.name],
+                        schema_violation=False,
+                        checks_run=1,
+                        checks_skipped=0,
+                    )
+
+        candidate = self.apply(document)
+
+        checks_run = 0
+        checks_skipped = 0
+        failed: list[str] = []
+        schema_violation = False
+        if schema is not None and not schema.is_valid(candidate):
+            schema_violation = True
+        for fd in fds:
+            fully_certified = all(
+                (fd.name, update.update_class.name) in certified_pairs
+                for update in self.updates
+            ) and bool(self.updates)
+            if fully_certified:
+                checks_skipped += 1
+                continue
+            checks_run += 1
+            if not check_fd(fd, candidate).satisfied:
+                failed.append(fd.name)
+
+        committed = not failed and not schema_violation
+        return BatchOutcome(
+            committed=committed,
+            document=candidate if committed else document,
+            failed_fd_names=failed,
+            schema_violation=schema_violation,
+            checks_run=checks_run,
+            checks_skipped=checks_skipped,
+        )

@@ -1,0 +1,145 @@
+"""Performers: the ``u`` part of an update ``q = u ∘ U``.
+
+A performer maps the (detached, still-intact) old subtree rooted at a
+selected node to its replacement: a new subtree, or ``None`` to delete
+the node.  The paper lets ``u`` be arbitrary — insertions and deletions
+are covered because updating a father node can splice anything — and the
+helpers below build the common cases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.xmlmodel.builder import text
+from repro.xmlmodel.tree import NodeType, XMLNode
+
+Performer = Callable[[XMLNode], XMLNode | None]
+
+
+def replace_with(factory: Callable[[], XMLNode]) -> Performer:
+    """Replace every selected subtree by a fresh copy from ``factory``."""
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        return factory()
+
+    return perform
+
+
+def transform(function: Callable[[XMLNode], XMLNode | None]) -> Performer:
+    """Adapter: an arbitrary function of the old subtree."""
+    return function
+
+
+def keep_unchanged() -> Performer:
+    """The identity update (useful as a baseline in experiments)."""
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        return old
+
+    return perform
+
+
+def delete_node() -> Performer:
+    """Delete every selected subtree."""
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        return None
+
+    return perform
+
+
+def set_text(value: str) -> Performer:
+    """Set the textual content of the selected node.
+
+    For attribute/text nodes the value itself is replaced; for element
+    nodes all text children are replaced by a single new text child
+    (other children are kept).
+    """
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        if old.node_type is not NodeType.ELEMENT:
+            replacement = XMLNode(old.label, value=value)
+            return replacement
+        for child in list(old.children):
+            if child.node_type is NodeType.TEXT:
+                child.detach()
+        old.append_child(text(value))
+        return old
+
+    return perform
+
+
+def relabel(new_label: str) -> Performer:
+    """Rename the selected node, keeping value/children."""
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        if old.node_type is NodeType.ELEMENT:
+            replacement = XMLNode(new_label)
+            for child in list(old.children):
+                replacement.append_child(child.detach())
+            return replacement
+        return XMLNode(new_label, value=old.value)
+
+    return perform
+
+
+def add_child(
+    factory: Callable[[], XMLNode], index: int | None = None
+) -> Performer:
+    """Insert a fresh child under every selected element node."""
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        if index is None:
+            old.append_child(factory())
+        else:
+            old.insert_child(index, factory())
+        return old
+
+    return perform
+
+
+def wrap_in(wrapper_label: str) -> Performer:
+    """Wrap the selected subtree in a new element.
+
+    ``<x/>`` becomes ``<wrapper><x/></wrapper>`` — note this changes the
+    label seen at the selected node's position, so it is *not* label
+    preserving (see the DESIGN.md soundness discussion).
+    """
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        wrapper = XMLNode(wrapper_label)
+        if old.parent is not None:
+            old.detach()
+        wrapper.append_child(old)
+        return wrapper
+
+    return perform
+
+
+def unwrap() -> Performer:
+    """Replace the selected element by its first element child.
+
+    Selected nodes without an element child are deleted; like
+    :func:`wrap_in`, generally not label preserving.
+    """
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        for child in list(old.children):
+            if child.node_type is NodeType.ELEMENT:
+                return child.detach()
+        return None
+
+    return perform
+
+
+def drop_children(label: str) -> Performer:
+    """Remove every child with the given label from the selected node."""
+
+    def perform(old: XMLNode) -> XMLNode | None:
+        for child in list(old.children):
+            if child.label == label:
+                child.detach()
+        return old
+
+    return perform

@@ -1,0 +1,75 @@
+"""Update classes: monadic regular tree patterns selecting updated nodes."""
+
+from __future__ import annotations
+
+from repro.errors import UpdateError
+from repro.pattern.engine import enumerate_mappings
+from repro.pattern.template import RegularTreePattern
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+class UpdateClass:
+    """A class of updates ``U = (T_U, s̄_U)`` (Section 4).
+
+    The pattern's selected tuple is the set of nodes to be updated —
+    usually a single node (the paper's running examples) but Definition 6
+    speaks of "selected nodes" of the update trace, so n-ary classes are
+    supported: every image of every selected template node is updated.
+
+    The independence machinery of Section 5 additionally requires every
+    selected template node to be a *leaf of the template* (not of the
+    document); :meth:`selected_nodes_are_template_leaves` exposes that
+    property and the criterion refuses classes lacking it.
+    """
+
+    def __init__(self, pattern: RegularTreePattern, name: str | None = None) -> None:
+        self.pattern = pattern
+        self.name = name or "U"
+
+    @property
+    def selected_position(self):
+        """The template position of ``s_U`` (monadic classes only)."""
+        if not self.pattern.is_monadic:
+            raise UpdateError(
+                f"update class {self.name} selects {self.pattern.arity} "
+                f"nodes; use selected_positions"
+            )
+        return self.pattern.selected[0]
+
+    @property
+    def selected_positions(self):
+        """The template positions of ``s̄_U``."""
+        return self.pattern.selected
+
+    def selected_nodes_are_template_leaves(self) -> bool:
+        """True when every updated node is a leaf of ``T_U`` (Section 5)."""
+        return all(
+            self.pattern.template.is_leaf(position)
+            for position in self.pattern.selected
+        )
+
+    def selected_nodes(self, document: XMLDocument) -> list[XMLNode]:
+        """Evaluate ``U`` on a document: the nodes to be updated.
+
+        Nodes are returned in document order, without duplicates (several
+        mappings — or several components of one selected tuple — may
+        select the same node).
+        """
+        seen: set[int] = set()
+        nodes: list[XMLNode] = []
+        for mapping in enumerate_mappings(self.pattern, document):
+            for position in self.pattern.selected:
+                node = mapping.images[position]
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    nodes.append(node)
+        ranks = {id(node): rank for rank, node in enumerate(document.nodes())}
+        nodes.sort(key=lambda node: ranks[id(node)])
+        return nodes
+
+    def size(self) -> int:
+        """``|U|`` — the size of the underlying pattern."""
+        return self.pattern.size()
+
+    def __repr__(self) -> str:
+        return f"<UpdateClass {self.name} selecting {self.selected_position}>"

@@ -1,0 +1,166 @@
+"""Graphviz (DOT) exports for documents, patterns and automata.
+
+Pure-text rendering — no graphviz dependency; pipe the output through
+``dot -Tsvg`` wherever graphviz is available::
+
+    python -c "from repro.viz import pattern_to_dot; ..." | dot -Tsvg > p.svg
+
+Selected pattern nodes are drawn doubled, the FD context node shaded,
+and update-selected nodes diamond-shaped, matching the visual language
+of the paper's figures (selected nodes grayed, context marked).
+"""
+
+from __future__ import annotations
+
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.template import (
+    ROOT_POSITION,
+    RegularTreePattern,
+    RegularTreeTemplate,
+)  # noqa: F401 — ROOT_POSITION used by mapping_to_dot
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.tree import NodeType, XMLDocument, XMLNode
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def document_to_dot(
+    document: XMLDocument | XMLNode,
+    max_value_length: int = 12,
+    name: str = "document",
+) -> str:
+    """Render a document tree as DOT."""
+    root = document.root if isinstance(document, XMLDocument) else document
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    ids: dict[int, str] = {}
+    for index, node in enumerate(root.iter_subtree()):
+        handle = f"n{index}"
+        ids[id(node)] = handle
+        if node.node_type is NodeType.ELEMENT:
+            label = _escape(node.label)
+            shape = "box"
+        else:
+            value = (node.value or "")[:max_value_length]
+            label = f"{_escape(node.label)}\\n{_escape(value)}"
+            shape = "ellipse" if node.node_type is NodeType.ATTRIBUTE else "plaintext"
+        lines.append(f'  {handle} [label="{label}", shape={shape}];')
+    for node in root.iter_subtree():
+        for child in node.children:
+            lines.append(f"  {ids[id(node)]} -> {ids[id(child)]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def template_to_dot(
+    template: RegularTreeTemplate,
+    selected: tuple = (),
+    context=None,
+    update_selected: tuple = (),
+    name: str = "pattern",
+) -> str:
+    """Render a regular tree template; edge labels carry the regexes."""
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    reverse_names = {pos: nm for nm, pos in template.names.items()}
+
+    def handle(position) -> str:
+        return "root" if position == ROOT_POSITION else (
+            "p" + "_".join(map(str, position))
+        )
+
+    for position in sorted(template.nodes):
+        label = reverse_names.get(
+            position, "/" if position == ROOT_POSITION else "•"
+        )
+        attributes = [f'label="{_escape(label)}"']
+        if position in update_selected:
+            attributes.append("shape=diamond")
+        elif position in selected:
+            attributes.append("shape=doublecircle")
+        else:
+            attributes.append("shape=circle")
+        if context is not None and position == context:
+            attributes.append('style=filled, fillcolor="lightgray"')
+        lines.append(f"  {handle(position)} [{', '.join(attributes)}];")
+    for position in sorted(template.nodes - {ROOT_POSITION}):
+        regex = _escape(str(template.edge_regex(position)))
+        lines.append(
+            f'  {handle(position[:-1])} -> {handle(position)} [label="{regex}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_to_dot(pattern: RegularTreePattern, name: str = "pattern") -> str:
+    """Render a pattern with its selected tuple doubled."""
+    return template_to_dot(
+        pattern.template, selected=pattern.selected, name=name
+    )
+
+
+def fd_to_dot(fd: FunctionalDependency, name: str | None = None) -> str:
+    """Render an FD: context shaded, condition/target nodes doubled."""
+    return template_to_dot(
+        fd.pattern.template,
+        selected=fd.pattern.selected,
+        context=fd.context,
+        name=name or fd.name.replace("-", "_"),
+    )
+
+
+def update_class_to_dot(update_class: UpdateClass, name: str | None = None) -> str:
+    """Render an update class: the updated nodes are diamonds."""
+    return template_to_dot(
+        update_class.pattern.template,
+        update_selected=update_class.pattern.selected,
+        name=name or update_class.name.replace("-", "_"),
+    )
+
+
+def mapping_to_dot(
+    mapping,
+    pattern: RegularTreePattern | None = None,
+    max_value_length: int = 12,
+    name: str = "trace",
+) -> str:
+    """Render a document with one mapping's trace highlighted.
+
+    Trace nodes are shaded; images of selected nodes (when ``pattern``
+    is given) are additionally drawn with thick borders — the dotted and
+    dashed trace outlines of the paper's Figure 1, in DOT form.
+    """
+    root = mapping.images[ROOT_POSITION].root()
+    trace_ids = {id(node) for node in mapping.trace_node_set()}
+    selected_ids = set()
+    if pattern is not None:
+        selected_ids = {id(node) for node in mapping.selected_images(pattern)}
+
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    handles: dict[int, str] = {}
+    for index, node in enumerate(root.iter_subtree()):
+        handle = f"n{index}"
+        handles[id(node)] = handle
+        if node.node_type is NodeType.ELEMENT:
+            label = _escape(node.label)
+            shape = "box"
+        else:
+            value = (node.value or "")[:max_value_length]
+            label = f"{_escape(node.label)}\\n{_escape(value)}"
+            shape = "ellipse"
+        attributes = [f'label="{label}"', f"shape={shape}"]
+        if id(node) in selected_ids:
+            attributes.append("penwidth=3")
+        if id(node) in trace_ids:
+            attributes.append('style=filled, fillcolor="lightgray"')
+        lines.append(f"  {handle} [{', '.join(attributes)}];")
+    for node in root.iter_subtree():
+        for child in node.children:
+            style = (
+                ""
+                if id(node) in trace_ids and id(child) in trace_ids
+                else " [style=dotted]"
+            )
+            lines.append(f"  {handles[id(node)]} -> {handles[id(child)]}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Workload generators: the paper's running example and synthetic scale-ups.
+
+* :mod:`repro.workload.exams` -- the exam-session document of Figure 1
+  plus a parametric generator of arbitrarily large sessions with the same
+  schema, and the patterns of Figures 2-6;
+* :mod:`repro.workload.random_docs` -- random documents over small label
+  alphabets (property tests, precision studies);
+* :mod:`repro.workload.random_patterns` -- random FD/update patterns.
+"""
+
+from repro.workload.exams import (
+    exam_schema,
+    generate_session,
+    paper_document,
+    paper_patterns,
+)
+from repro.workload.library import (
+    generate_library,
+    library_fds,
+    library_schema,
+    library_update_classes,
+)
+from repro.workload.random_docs import random_document
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_pattern,
+    random_update_class,
+)
+
+__all__ = [
+    "exam_schema",
+    "generate_session",
+    "paper_document",
+    "paper_patterns",
+    "generate_library",
+    "library_fds",
+    "library_schema",
+    "library_update_classes",
+    "random_document",
+    "random_functional_dependency",
+    "random_pattern",
+    "random_update_class",
+]

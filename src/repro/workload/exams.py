@@ -1,0 +1,384 @@
+"""The paper's running example and a scalable synthetic generator.
+
+:func:`paper_document` builds exactly the exam-session document of
+Figure 1 (two candidates; the first still has a discipline to pass, the
+second is graduated), with node positions matching those the paper quotes
+(``002``/``003`` are the first candidate's exams, ``012``/``013`` the
+second's, ``001`` is the first candidate's level node).
+
+:func:`paper_patterns` builds the patterns of Figures 2-6: the queries
+``R1``-``R4``, the functional dependencies ``fd1``-``fd5`` and the update
+class ``U``.
+
+:func:`generate_session` scales the same schema to arbitrary sizes for
+the experimental study, with optional injected violations of
+``fd1``/``fd2``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Sequence
+
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.template import RegularTreePattern
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.builder import attr, doc, elem
+from repro.xmlmodel.tree import XMLDocument
+
+DISCIPLINES = (
+    "algebra",
+    "analysis",
+    "astronomy",
+    "biology",
+    "chemistry",
+    "databases",
+    "geometry",
+    "history",
+    "logic",
+    "mechanics",
+    "physics",
+    "statistics",
+)
+
+DATES = tuple(f"2010-03-{day:02d}" for day in range(1, 29))
+
+LEVELS = ("A", "B", "C", "D", "E")
+
+
+def _exam(date: str, discipline: str, mark: int, rank: int):
+    return elem(
+        "exam",
+        elem("date", date),
+        elem("discipline", discipline),
+        elem("mark", str(mark)),
+        elem("rank", str(rank)),
+    )
+
+
+def paper_document() -> XMLDocument:
+    """The exam-session document of Figure 1.
+
+    The first candidate (``C1``) has two exams (positions ``002`` and
+    ``003``), a level node at position ``001`` and a ``toBePassed``
+    child; the second (``C2``) has exams at ``012``/``013`` and a
+    ``firstJob-Year`` child.  Values satisfy ``fd1``-``fd5``.
+    """
+    candidate1 = elem(
+        "candidate",
+        attr("IDN", "C1"),
+        elem("level", "C"),
+        _exam("2010-03-10", "algebra", 12, 2),
+        _exam("2010-03-11", "physics", 8, 5),
+        elem("toBePassed", elem("discipline", "physics")),
+    )
+    candidate2 = elem(
+        "candidate",
+        attr("IDN", "C2"),
+        elem("level", "A"),
+        _exam("2010-03-10", "algebra", 12, 2),
+        _exam("2010-03-12", "chemistry", 17, 1),
+        elem("firstJob-Year", "2011"),
+    )
+    return doc(elem("session", candidate1, candidate2))
+
+
+@dataclasses.dataclass
+class PaperPatterns:
+    """Patterns and constraints from Figures 2-6, rebuilt on each call."""
+
+    r1: RegularTreePattern
+    r2: RegularTreePattern
+    r3: RegularTreePattern
+    r4: RegularTreePattern
+    fd1: FunctionalDependency
+    fd2: FunctionalDependency
+    fd3: FunctionalDependency
+    fd4: FunctionalDependency
+    fd5: FunctionalDependency
+    update_class: UpdateClass
+
+
+def _pattern_r1() -> RegularTreePattern:
+    """Figure 2, R1: exams of two *different* candidates.
+
+    Both edges leave the session node with language ``candidate.exam``;
+    prefix-disjointness (condition (b)) forces the two paths through two
+    distinct candidate children.
+    """
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session")
+    builder.child(session, "candidate.exam", name="s1")
+    builder.child(session, "candidate.exam", name="s2")
+    return builder.pattern("s1", "s2")
+
+
+def _pattern_r2() -> RegularTreePattern:
+    """Figure 2, R2: two exams of the *same* candidate."""
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session")
+    candidate = builder.child(session, "candidate")
+    builder.child(candidate, "exam", name="s1")
+    builder.child(candidate, "exam", name="s2")
+    return builder.pattern("s1", "s2")
+
+
+def _pattern_r3() -> RegularTreePattern:
+    """Figure 3, R3: level nodes of candidates that also have an exam.
+
+    The level edge precedes the exam edge, matching the document order of
+    Figure 1, so mappings exist.
+    """
+    builder = PatternBuilder()
+    candidate = builder.child(builder.root, "session.candidate")
+    builder.child(candidate, "level", name="s")
+    builder.child(candidate, "exam")
+    return builder.pattern("s")
+
+
+def _pattern_r4() -> RegularTreePattern:
+    """Figure 3, R4: like R3 but the exam edge precedes the level edge.
+
+    Mappings must respect sibling order, and in Figure 1 the level node
+    precedes the exams, so the evaluation of R4 is empty — the paper's
+    illustration that patterns are order-sensitive.
+    """
+    builder = PatternBuilder()
+    candidate = builder.child(builder.root, "session.candidate")
+    builder.child(candidate, "exam")
+    builder.child(candidate, "level", name="s")
+    return builder.pattern("s")
+
+
+def _fd1() -> FunctionalDependency:
+    """Example 1 / Figure 4: same discipline + same mark => same rank."""
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session", name="c")
+    exam = builder.child(session, "candidate.exam")
+    builder.child(exam, "discipline", name="p1")
+    builder.child(exam, "mark", name="p2")
+    builder.child(exam, "rank", name="q")
+    return FunctionalDependency(
+        builder.pattern("p1", "p2", "q"), context="c", name="fd1"
+    )
+
+
+def _fd2() -> FunctionalDependency:
+    """Example 2 / Figure 4: one exam per (date, discipline) per candidate.
+
+    The target is the exam node itself with node equality.
+    """
+    builder = PatternBuilder()
+    candidate = builder.child(builder.root, "session.candidate", name="c")
+    exam = builder.child(candidate, "exam", name="q")
+    builder.child(exam, "date", name="p1")
+    builder.child(exam, "discipline", name="p2")
+    return FunctionalDependency(
+        builder.pattern("p1", "p2", "q"),
+        context="c",
+        target_type=EqualityType.NODE,
+        name="fd2",
+    )
+
+
+def _fd3() -> FunctionalDependency:
+    """Example 3 / Figure 5: same marks in two disciplines => same level.
+
+    Needs two sibling ``exam.mark`` edges sharing a label prefix, which
+    the [8] formalism cannot express; condition (b) makes the two marks
+    come from two different exams.
+    """
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session", name="c")
+    candidate = builder.child(session, "candidate")
+    builder.child(candidate, "level", name="q")
+    builder.child(candidate, "exam.mark", name="p1")
+    builder.child(candidate, "exam.mark", name="p2")
+    return FunctionalDependency(
+        builder.pattern("p1", "p2", "q"), context="c", name="fd3"
+    )
+
+
+def _fd4() -> FunctionalDependency:
+    """Example 3 / Figure 5: fd3 restricted to non-graduated candidates.
+
+    The extra ``toBePassed`` leaf is neither condition nor target — the
+    second shape the [8] formalism cannot express.
+    """
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session", name="c")
+    candidate = builder.child(session, "candidate")
+    builder.child(candidate, "level", name="q")
+    builder.child(candidate, "exam.mark", name="p1")
+    builder.child(candidate, "exam.mark", name="p2")
+    builder.child(candidate, "toBePassed")
+    return FunctionalDependency(
+        builder.pattern("p1", "p2", "q"), context="c", name="fd4"
+    )
+
+
+def _fd5() -> FunctionalDependency:
+    """Example 6 / Figure 6: same level => same first-job year.
+
+    Only graduated candidates (those with a ``firstJob-Year`` child) are
+    concerned, which is what makes fd5 independent of the update class
+    under the schema of Example 6.
+    """
+    builder = PatternBuilder()
+    session = builder.child(builder.root, "session", name="c")
+    candidate = builder.child(session, "candidate")
+    builder.child(candidate, "level", name="p1")
+    builder.child(candidate, "firstJob-Year", name="q")
+    return FunctionalDependency(
+        builder.pattern("p1", "q"), context="c", name="fd5"
+    )
+
+
+def _update_class() -> UpdateClass:
+    """Example 4 / Figure 6: update levels of candidates with exams left.
+
+    Selects the ``level`` node of every candidate that has a
+    ``toBePassed`` child; on Figure 1 this is exactly node ``001``.
+    """
+    builder = PatternBuilder()
+    candidate = builder.child(builder.root, "session.candidate")
+    builder.child(candidate, "level", name="s")
+    builder.child(candidate, "toBePassed")
+    return UpdateClass(builder.pattern("s"), name="U")
+
+
+def paper_patterns() -> PaperPatterns:
+    """All patterns/constraints of Figures 2-6, freshly built."""
+    return PaperPatterns(
+        r1=_pattern_r1(),
+        r2=_pattern_r2(),
+        r3=_pattern_r3(),
+        r4=_pattern_r4(),
+        fd1=_fd1(),
+        fd2=_fd2(),
+        fd3=_fd3(),
+        fd4=_fd4(),
+        fd5=_fd5(),
+        update_class=_update_class(),
+    )
+
+
+def exam_schema():
+    """The schema of Example 6 as a :class:`repro.schema.dtd.Schema`.
+
+    Every candidate has an ``@IDN``, a level, one or more exams, and then
+    *either* a ``toBePassed`` *or* a ``firstJob-Year`` child — never both.
+    Imported lazily to keep this module importable without the schema
+    subpackage.
+    """
+    from repro.schema.dtd import Schema
+
+    return Schema.from_rules(
+        document_element="session",
+        rules={
+            "session": "candidate*",
+            "candidate": "@IDN level exam* (toBePassed | firstJob-Year)",
+            "level": "#text",
+            "exam": "date discipline mark rank",
+            "date": "#text",
+            "discipline": "#text",
+            "mark": "#text",
+            "rank": "#text",
+            "toBePassed": "discipline*",
+            "firstJob-Year": "#text",
+        },
+    )
+
+
+def _rank_for(discipline: str, mark: int) -> int:
+    """Deterministic rank so fd1 holds globally by construction."""
+    return (mark * 7 + DISCIPLINES.index(discipline) * 3) % 9 + 1
+
+
+def _level_for(marks: Sequence[int]) -> str:
+    average = sum(marks) / len(marks)
+    if average >= 16:
+        return "A"
+    if average >= 13:
+        return "B"
+    if average >= 10:
+        return "C"
+    if average >= 7:
+        return "D"
+    return "E"
+
+
+def generate_session(
+    candidates: int,
+    exams_per_candidate: int = 3,
+    seed: int = 0,
+    violate_fd1: int = 0,
+    violate_fd2: int = 0,
+) -> XMLDocument:
+    """A synthetic exam session with the Figure 1 schema.
+
+    ``fd1`` holds by construction (ranks are a function of discipline and
+    mark) and ``fd2`` holds because each candidate takes distinct
+    disciplines.  ``violate_fd1``/``violate_fd2`` inject that many
+    violating candidate pairs/candidates at the end of the session.
+    """
+    if exams_per_candidate > len(DISCIPLINES):
+        raise ValueError(
+            f"at most {len(DISCIPLINES)} exams per candidate are supported"
+        )
+    rng = random.Random(seed)
+    session = elem("session")
+    for index in range(candidates):
+        disciplines = rng.sample(DISCIPLINES, exams_per_candidate)
+        marks = [rng.randint(0, 20) for _ in disciplines]
+        candidate = elem("candidate", attr("IDN", f"c{index:05d}"))
+        candidate.append_child(elem("level", _level_for(marks)))
+        for discipline, mark in zip(sorted(disciplines), marks):
+            candidate.append_child(
+                _exam(
+                    rng.choice(DATES),
+                    discipline,
+                    mark,
+                    _rank_for(discipline, mark),
+                )
+            )
+        failed = [d for d, m in zip(sorted(disciplines), marks) if m < 10]
+        if failed:
+            candidate.append_child(
+                elem("toBePassed", *[elem("discipline", d) for d in failed])
+            )
+        else:
+            candidate.append_child(
+                elem("firstJob-Year", str(rng.randint(2010, 2015)))
+            )
+        session.append_child(candidate)
+
+    for index in range(violate_fd1):
+        # two candidates sharing (discipline, mark) with different ranks
+        discipline = DISCIPLINES[index % len(DISCIPLINES)]
+        for offset, rank in ((0, 1), (1, 2)):
+            candidate = elem(
+                "candidate",
+                attr("IDN", f"v1-{index}-{offset}"),
+                elem("level", "C"),
+                _exam("2010-03-01", discipline, 11, rank),
+                elem("firstJob-Year", "2012"),
+            )
+            session.append_child(candidate)
+
+    for index in range(violate_fd2):
+        # one candidate taking the same discipline twice on the same date
+        discipline = DISCIPLINES[index % len(DISCIPLINES)]
+        candidate = elem(
+            "candidate",
+            attr("IDN", f"v2-{index}"),
+            elem("level", "C"),
+            _exam("2010-03-02", discipline, 9, _rank_for(discipline, 9)),
+            _exam("2010-03-02", discipline, 14, _rank_for(discipline, 14)),
+            elem("toBePassed", elem("discipline", discipline)),
+        )
+        session.append_child(candidate)
+
+    return doc(session)

@@ -1,0 +1,88 @@
+"""Random documents over small alphabets, for property tests and T4.
+
+The generator is deliberately biased toward *small, busy* trees: pattern
+matching, FD violation and update impact all need several nodes with
+repeated labels to exercise interesting cases, which sparse uniform trees
+rarely produce.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.xmlmodel.builder import doc, elem, text
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+def random_document(
+    seed: int | random.Random = 0,
+    labels: Sequence[str] = ("a", "b", "c"),
+    values: Sequence[str] = ("0", "1"),
+    max_depth: int = 4,
+    max_children: int = 3,
+    text_probability: float = 0.4,
+) -> XMLDocument:
+    """A random document with a single ``doc``-labeled document element."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    def grow(depth: int) -> XMLNode:
+        node = elem(rng.choice(labels))
+        if depth >= max_depth:
+            if rng.random() < text_probability:
+                node.append_child(text(rng.choice(values)))
+            return node
+        for _ in range(rng.randint(0, max_children)):
+            if rng.random() < text_probability:
+                node.append_child(text(rng.choice(values)))
+            else:
+                node.append_child(grow(depth + 1))
+        return node
+
+    top = elem("doc")
+    for _ in range(rng.randint(1, max_children)):
+        top.append_child(grow(1))
+    return doc(top)
+
+
+def all_documents(
+    labels: Sequence[str],
+    values: Sequence[str],
+    max_depth: int,
+    max_children: int,
+) -> list[XMLDocument]:
+    """Exhaustively enumerate small documents (ground truth for T4).
+
+    Every document has a fixed ``doc`` document element; element shapes
+    range over all trees of bounded depth/branching, and leaves may carry
+    one text child from ``values``.  The count grows very fast — keep the
+    bounds tiny (e.g. depth 2, 2 children, 1-2 labels).
+    """
+
+    def subtrees(depth: int) -> list[XMLNode]:
+        options: list[XMLNode] = []
+        for label in labels:
+            options.append(elem(label))
+            for value in values:
+                options.append(elem(label, text(value)))
+            if depth > 1:
+                children_options = subtrees(depth - 1)
+                for count in range(1, max_children + 1):
+                    options.extend(
+                        elem(label, *(child.clone() for child in combo))
+                        for combo in _tuples(children_options, count)
+                    )
+        return options
+
+    documents = []
+    for count in range(1, max_children + 1):
+        for combo in _tuples(subtrees(max_depth - 1), count):
+            documents.append(doc(elem("doc", *(c.clone() for c in combo))))
+    return documents
+
+
+def _tuples(options: list[XMLNode], count: int) -> list[tuple[XMLNode, ...]]:
+    if count == 0:
+        return [()]
+    shorter = _tuples(options, count - 1)
+    return [(option,) + rest for option in options for rest in shorter]

@@ -1,0 +1,129 @@
+"""Random regular tree patterns, FDs and update classes.
+
+Used by the scaling benchmarks (T2/T3: automaton size and IC time as
+pattern size grows) and by the precision study (T4: random FD/update
+pairs judged both by the polynomial criterion and by brute force).
+
+Generated edge regexes are always proper (Definition 1): every produced
+expression contains at least one mandatory label.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.template import RegularTreePattern, TemplatePosition
+from repro.regex.ast import AnySymbol, Concat, Regex, Star, Symbol, Union
+from repro.update.update_class import UpdateClass
+
+
+def random_proper_regex(
+    rng: random.Random,
+    labels: Sequence[str],
+    max_length: int = 3,
+    star_probability: float = 0.25,
+    union_probability: float = 0.2,
+    wildcard_probability: float = 0.1,
+) -> Regex:
+    """A random proper regex: a concatenation with >= 1 mandatory atom."""
+
+    def atom() -> Regex:
+        if rng.random() < wildcard_probability:
+            return AnySymbol()
+        if rng.random() < union_probability and len(labels) >= 2:
+            picked = rng.sample(labels, 2)
+            return Union([Symbol(picked[0]), Symbol(picked[1])])
+        return Symbol(rng.choice(labels))
+
+    length = rng.randint(1, max_length)
+    parts: list[Regex] = []
+    mandatory_at = rng.randrange(length)
+    for index in range(length):
+        part = atom()
+        if index != mandatory_at and rng.random() < star_probability:
+            part = Star(part)
+        parts.append(part)
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+def random_pattern(
+    seed: int | random.Random = 0,
+    labels: Sequence[str] = ("a", "b", "c"),
+    node_count: int = 4,
+    selected_count: int = 1,
+    max_children: int = 3,
+    **regex_options,
+) -> RegularTreePattern:
+    """A random pattern with ``node_count`` non-root template nodes."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    builder = PatternBuilder()
+    positions: list[TemplatePosition] = [builder.root]
+    child_counts: dict[TemplatePosition, int] = {builder.root: 0}
+    for _ in range(node_count):
+        open_parents = [p for p in positions if child_counts[p] < max_children]
+        parent = rng.choice(open_parents)
+        position = builder.child(
+            parent, random_proper_regex(rng, labels, **regex_options)
+        )
+        child_counts[parent] = child_counts[parent] + 1
+        child_counts[position] = 0
+        positions.append(position)
+    candidates = positions[1:]
+    selected = rng.sample(candidates, min(selected_count, len(candidates)))
+    selected.sort()
+    return builder.pattern(*selected)
+
+
+def random_update_class(
+    seed: int | random.Random = 0,
+    labels: Sequence[str] = ("a", "b", "c"),
+    node_count: int = 3,
+    **options,
+) -> UpdateClass:
+    """A random update class whose selected node is a template leaf."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    while True:
+        pattern = random_pattern(
+            rng, labels, node_count=node_count, selected_count=1, **options
+        )
+        if pattern.template.is_leaf(pattern.selected[0]):
+            return UpdateClass(pattern)
+
+
+def random_functional_dependency(
+    seed: int | random.Random = 0,
+    labels: Sequence[str] = ("a", "b", "c"),
+    node_count: int = 4,
+    condition_count: int = 1,
+    **options,
+) -> FunctionalDependency:
+    """A random FD: context at the first root child, selected below it."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    while True:
+        builder = PatternBuilder()
+        context = builder.child(
+            builder.root, random_proper_regex(rng, labels, **options), name="c"
+        )
+        positions: list[TemplatePosition] = [context]
+        child_counts: dict[TemplatePosition, int] = {context: 0}
+        for _ in range(node_count - 1):
+            parent = rng.choice(positions)
+            position = builder.child(
+                parent, random_proper_regex(rng, labels, **options)
+            )
+            child_counts[parent] = child_counts.get(parent, 0) + 1
+            child_counts[position] = 0
+            positions.append(position)
+        below_context = positions[1:]
+        needed = condition_count + 1
+        if len(below_context) < needed:
+            continue
+        selected = rng.sample(below_context, needed)
+        selected.sort()
+        pattern = builder.pattern(*selected)
+        return FunctionalDependency(pattern, context=context, name="random-fd")

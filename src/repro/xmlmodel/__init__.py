@@ -1,0 +1,74 @@
+"""XML document model: unranked ordered labeled trees over tree domains.
+
+This subpackage implements Section 2.1 of the paper from scratch:
+
+* :mod:`repro.xmlmodel.tree` -- nodes, node types and documents;
+* :mod:`repro.xmlmodel.builder` -- a concise construction DSL;
+* :mod:`repro.xmlmodel.parser` / :mod:`repro.xmlmodel.serializer` --
+  conversion between XML text and the tree model;
+* :mod:`repro.xmlmodel.axes` -- document order, ancestors, paths, LCA;
+* :mod:`repro.xmlmodel.equality` -- value equality (Definition 3) and
+  canonical keys;
+* :mod:`repro.xmlmodel.edit` -- subtree replacement / insertion / deletion.
+"""
+
+from repro.xmlmodel.tree import (
+    ATTRIBUTE_PREFIX,
+    ROOT_LABEL,
+    TEXT_LABEL,
+    NodeType,
+    XMLDocument,
+    XMLNode,
+    label_node_type,
+)
+from repro.xmlmodel.builder import attr, doc, elem, text
+from repro.xmlmodel.parser import parse_document, parse_fragment
+from repro.xmlmodel.serializer import serialize_document, serialize_node
+from repro.xmlmodel.axes import (
+    ancestors,
+    descendants,
+    document_order_index,
+    is_ancestor,
+    lowest_common_ancestor,
+    path_between,
+    path_labels,
+)
+from repro.xmlmodel.equality import nodes_value_equal, value_key
+from repro.xmlmodel.edit import (
+    delete_subtree,
+    insert_child,
+    replace_subtree,
+)
+from repro.xmlmodel.events import iter_events, parse_events
+
+__all__ = [
+    "ATTRIBUTE_PREFIX",
+    "ROOT_LABEL",
+    "TEXT_LABEL",
+    "NodeType",
+    "XMLDocument",
+    "XMLNode",
+    "label_node_type",
+    "attr",
+    "doc",
+    "elem",
+    "text",
+    "parse_document",
+    "parse_fragment",
+    "serialize_document",
+    "serialize_node",
+    "ancestors",
+    "descendants",
+    "document_order_index",
+    "is_ancestor",
+    "lowest_common_ancestor",
+    "path_between",
+    "path_labels",
+    "nodes_value_equal",
+    "value_key",
+    "delete_subtree",
+    "insert_child",
+    "replace_subtree",
+    "iter_events",
+    "parse_events",
+]

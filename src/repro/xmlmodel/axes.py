@@ -1,0 +1,86 @@
+"""Navigation axes: document order, ancestry, paths and LCA.
+
+Document order ("<" in Definition 2) is the standard preorder on tree
+positions: ``u < v`` iff ``u``'s tree-domain word is lexicographically
+smaller than ``v``'s and ``u != v``.  An ancestor therefore precedes all
+of its descendants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+def ancestors(node: XMLNode, include_self: bool = False) -> Iterator[XMLNode]:
+    """Yield ancestors from the node upward to the root."""
+    current = node if include_self else node.parent
+    while current is not None:
+        yield current
+        current = current.parent
+
+
+def descendants(node: XMLNode, include_self: bool = False) -> Iterator[XMLNode]:
+    """Yield descendants in document order."""
+    if include_self:
+        return node.iter_subtree()
+    return node.iter_descendants()
+
+
+def is_ancestor(ancestor: XMLNode, node: XMLNode, strict: bool = True) -> bool:
+    """True when ``ancestor`` lies on the root path of ``node``."""
+    if ancestor is node:
+        return not strict
+    current = node.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+def document_order_index(document: XMLDocument) -> dict[int, int]:
+    """Map ``id(node)`` to its preorder rank in the document.
+
+    The mapping allows O(1) document-order comparisons during pattern
+    matching; it must be recomputed after edits.
+    """
+    return {id(node): rank for rank, node in enumerate(document.nodes())}
+
+
+def lowest_common_ancestor(first: XMLNode, second: XMLNode) -> XMLNode:
+    """Lowest common ancestor of two nodes of the same tree."""
+    seen = {id(node) for node in ancestors(first, include_self=True)}
+    for node in ancestors(second, include_self=True):
+        if id(node) in seen:
+            return node
+    raise XMLModelError("nodes do not belong to the same tree")
+
+
+def path_between(source: XMLNode, target: XMLNode) -> list[XMLNode]:
+    """The downward path ``source = x0, x1, ..., xk = target``.
+
+    Raises :class:`XMLModelError` when ``target`` is not a descendant-or-
+    self of ``source``; paths in the paper always run downward.
+    """
+    chain: list[XMLNode] = []
+    current: XMLNode | None = target
+    while current is not None:
+        chain.append(current)
+        if current is source:
+            return list(reversed(chain))
+        current = current.parent
+    raise XMLModelError("target is not a descendant of source")
+
+
+def path_labels(source: XMLNode, target: XMLNode) -> tuple[str, ...]:
+    """The label word of the path from ``source`` down to ``target``.
+
+    Following Definition 2 (a), the source label is excluded and the
+    target label is included, so an edge regex is matched against
+    ``λ(x1) ... λ(xk)``.
+    """
+    nodes = path_between(source, target)
+    return tuple(node.label for node in nodes[1:])

@@ -1,0 +1,61 @@
+"""Concise construction DSL for document trees.
+
+The helpers compose naturally::
+
+    document = doc(
+        elem(
+            "session",
+            elem(
+                "candidate",
+                attr("IDN", "c1"),
+                elem("exam", elem("mark", text("15"))),
+            ),
+        )
+    )
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.tree import (
+    ATTRIBUTE_PREFIX,
+    TEXT_LABEL,
+    XMLDocument,
+    XMLNode,
+)
+
+
+def elem(label: str, *children: XMLNode | str) -> XMLNode:
+    """Build an element node.
+
+    String arguments are convenience shorthand for text children, so
+    ``elem("mark", "15")`` equals ``elem("mark", text("15"))``.
+    """
+    node = XMLNode(label)
+    for child in children:
+        if isinstance(child, str):
+            node.append_child(text(child))
+        else:
+            node.append_child(child)
+    return node
+
+
+def attr(name: str, value: str) -> XMLNode:
+    """Build an attribute node; the ``@`` prefix is added if missing."""
+    label = name if name.startswith(ATTRIBUTE_PREFIX) else ATTRIBUTE_PREFIX + name
+    return XMLNode(label, value=value)
+
+
+def text(value: str) -> XMLNode:
+    """Build a text node."""
+    return XMLNode(TEXT_LABEL, value=value)
+
+
+def doc(*top_level: XMLNode) -> XMLDocument:
+    """Build a document from top-level nodes placed under the ``'/'`` root."""
+    if not top_level:
+        raise XMLModelError("a document needs at least one top-level node")
+    root = XMLNode("/")
+    for node in top_level:
+        root.append_child(node)
+    return XMLDocument(root)

@@ -1,0 +1,47 @@
+"""In-place document edits used by update application (Section 4).
+
+An update in the paper replaces the subtree rooted at each selected node
+by a new subtree.  Insertions and deletions are expressible through
+replacement of the father node, but the direct primitives below are both
+clearer and cheaper, and are what the concrete update operations of
+:mod:`repro.update.operations` build on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.tree import XMLNode
+
+
+def replace_subtree(target: XMLNode, replacement: XMLNode) -> XMLNode:
+    """Replace the subtree rooted at ``target`` with ``replacement``.
+
+    ``replacement`` must be detached; it takes over ``target``'s position
+    among its siblings.  Returns the (now attached) replacement node.
+    The document root cannot be replaced.
+    """
+    parent = target.parent
+    if parent is None:
+        raise XMLModelError("cannot replace the document root")
+    if replacement.parent is not None:
+        raise XMLModelError("replacement node must be detached")
+    index = target.child_index()
+    parent.children[index] = replacement
+    replacement.parent = parent
+    target.parent = None
+    return replacement
+
+
+def insert_child(parent: XMLNode, child: XMLNode, index: int | None = None) -> XMLNode:
+    """Insert a detached subtree as a child of ``parent``.
+
+    Appends when ``index`` is ``None``.
+    """
+    if index is None:
+        return parent.append_child(child)
+    return parent.insert_child(index, child)
+
+
+def delete_subtree(target: XMLNode) -> XMLNode:
+    """Detach and return the subtree rooted at ``target``."""
+    return target.detach()

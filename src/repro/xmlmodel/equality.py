@@ -1,0 +1,91 @@
+"""Value equality between nodes (Definition 3) and canonical keys.
+
+Two nodes are *value-equal* when they carry the same label, have the same
+type, and either (leaves) the same string value or (elements) position-
+wise value-equal child sequences.  Value equality is an equivalence
+relation, which lets FD checking group traces by a canonical *key*
+instead of doing quadratic pairwise comparisons.
+
+Keys are SHA-256 digests of a canonical encoding rather than nested
+structures: flat keys compare and hash in O(1) regardless of subtree
+depth (nested tuples would recurse past the interpreter limit on deep
+documents) and keep group indexes small.  Two value-equal subtrees have
+equal digests by construction; distinct subtrees collide only with
+cryptographically negligible probability — the property suite
+cross-validates the digests against the direct Definition 3 comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.xmlmodel.tree import NodeType, XMLNode
+
+ValueKey = bytes
+
+
+def value_key(node: XMLNode, memo: dict[int, ValueKey] | None = None) -> ValueKey:
+    """A hashable canonical key such that two nodes are value-equal
+    (Definition 3) iff their keys are equal (modulo SHA-256 collisions).
+
+    An optional ``memo`` dict (keyed by ``id(node)``) lets a caller that
+    computes keys for many overlapping subtrees share work; keys of all
+    visited descendants are recorded in it.  Computed with an explicit
+    post-order stack so deep documents do not hit the recursion limit.
+    """
+    local: dict[int, ValueKey] = memo if memo is not None else {}
+    cached = local.get(id(node))
+    if cached is not None:
+        return cached
+    # post-order: children keys before the parent's
+    stack: list[tuple[XMLNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if id(current) in local:
+            continue
+        if current.node_type is not NodeType.ELEMENT:
+            hasher = hashlib.sha256(b"L|")
+            hasher.update(current.label.encode())
+            hasher.update(b"|")
+            hasher.update(current.node_type.value.encode())
+            hasher.update(b"|")
+            hasher.update((current.value or "").encode())
+            local[id(current)] = hasher.digest()
+            continue
+        if expanded:
+            hasher = hashlib.sha256(b"E|")
+            hasher.update(current.label.encode())
+            hasher.update(b"|")
+            for child in current.children:
+                hasher.update(local[id(child)])
+            local[id(current)] = hasher.digest()
+        else:
+            stack.append((current, True))
+            for child in reversed(current.children):
+                stack.append((child, False))
+    return local[id(node)]
+
+
+def nodes_value_equal(first: XMLNode, second: XMLNode) -> bool:
+    """Direct implementation of Definition 3.
+
+    Equivalent to ``value_key(first) == value_key(second)`` but written
+    as the paper's pairwise comparison (iteratively, with an explicit
+    stack); kept separate so the two can cross-validate each other in
+    property tests.
+    """
+    stack: list[tuple[XMLNode, XMLNode]] = [(first, second)]
+    while stack:
+        left, right = stack.pop()
+        if left.label != right.label:
+            return False
+        if left.node_type is not right.node_type:
+            return False
+        if left.node_type is not NodeType.ELEMENT:
+            if left.value != right.value:
+                return False
+            continue
+        if len(left.children) != len(right.children):
+            return False
+        stack.extend(zip(left.children, right.children))
+    return True

@@ -1,0 +1,98 @@
+"""Serialization of the tree model back to XML text.
+
+The serializer is the inverse of :mod:`repro.xmlmodel.parser` on its
+dialect: attribute children are emitted inside the start tag, text
+children as character data, and element children recursively.  Attribute
+children must precede element/text children for the output to be valid
+XML; mixed placements raise an error rather than silently reordering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.tree import NodeType, XMLDocument, XMLNode
+
+
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def _split_children(node: XMLNode) -> tuple[list[XMLNode], list[XMLNode]]:
+    attributes: list[XMLNode] = []
+    content: list[XMLNode] = []
+    seen_content = False
+    for child in node.children:
+        if child.node_type is NodeType.ATTRIBUTE:
+            if seen_content:
+                raise XMLModelError(
+                    f"attribute {child.label!r} appears after element/text "
+                    f"content of {node.label!r}; XML text cannot express this"
+                )
+            attributes.append(child)
+        else:
+            seen_content = True
+            content.append(child)
+    return attributes, content
+
+
+def _open_tag(node: XMLNode, attributes: list[XMLNode]) -> str:
+    parts = [node.label]
+    for attribute in attributes:
+        name = attribute.label[1:]
+        parts.append(f'{name}="{_escape_attribute(attribute.value or "")}"')
+    return " ".join(parts)
+
+
+def serialize_node(node: XMLNode, indent: int | None = None, _depth: int = 0) -> str:
+    """Serialize a subtree to XML text.
+
+    With ``indent`` set, element-only content is pretty-printed; content
+    containing text nodes is kept inline to preserve values exactly.
+    Rendering uses an explicit stack, so arbitrarily deep trees
+    serialize without hitting the recursion limit.
+    """
+    if node.node_type is NodeType.ATTRIBUTE:
+        raise XMLModelError("attribute nodes are serialized inside their parent tag")
+
+    parts: list[str] = []
+    # entries: ("node", node, depth, force_inline) or ("lit", text)
+    stack: list[tuple] = [("node", node, _depth, indent is None)]
+    while stack:
+        entry = stack.pop()
+        if entry[0] == "lit":
+            parts.append(entry[1])
+            continue
+        _, current, depth, inline = entry
+        if current.node_type is NodeType.TEXT:
+            parts.append(_escape_text(current.value or ""))
+            continue
+        attributes, content = _split_children(current)
+        open_tag = _open_tag(current, attributes)
+        if not content:
+            parts.append(f"<{open_tag}/>")
+            continue
+        has_text = any(
+            child.node_type is NodeType.TEXT for child in content
+        )
+        parts.append(f"<{open_tag}>")
+        if inline or has_text or indent is None:
+            stack.append(("lit", f"</{current.label}>"))
+            for child in reversed(content):
+                stack.append(("node", child, depth + 1, True))
+        else:
+            pad = "\n" + " " * (indent * (depth + 1))
+            close_pad = "\n" + " " * (indent * depth)
+            stack.append(("lit", f"{close_pad}</{current.label}>"))
+            for child in reversed(content):
+                stack.append(("node", child, depth + 1, False))
+                stack.append(("lit", pad))
+    return "".join(parts)
+
+
+def serialize_document(document: XMLDocument, indent: int | None = None) -> str:
+    """Serialize a whole document (requires a single document element)."""
+    return serialize_node(document.document_element, indent=indent)

@@ -1,0 +1,344 @@
+"""Core tree model for XML documents (Section 2.1 of the paper).
+
+A document is an unranked ordered tree labeled over an alphabet that is
+partitioned into element labels, attribute labels and the text label.  We
+follow the paper's conventions:
+
+* the root node carries the reserved element label ``"/"``;
+* attribute labels start with ``"@"`` (e.g. ``"@IDN"``);
+* text nodes carry the reserved label ``"#text"``;
+* element nodes are internal or leaf nodes, attribute and text nodes are
+  always leaves and carry a string value (the ``val`` function).
+
+Positions (tree-domain words of N*) are not stored; they are derived from
+the mutable parent/children structure, so a node's position is always
+consistent with the current shape of its document.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Sequence
+
+from repro.errors import XMLModelError
+
+ROOT_LABEL = "/"
+TEXT_LABEL = "#text"
+ATTRIBUTE_PREFIX = "@"
+
+Position = tuple[int, ...]
+
+
+class NodeType(enum.Enum):
+    """The three node types of the model: element, attribute, text."""
+
+    ELEMENT = "e"
+    ATTRIBUTE = "a"
+    TEXT = "t"
+
+
+def label_node_type(label: str) -> NodeType:
+    """Classify a label into its node type.
+
+    The alphabet partition of the paper is realized syntactically: labels
+    beginning with ``@`` are attribute labels, ``#text`` is the text
+    label, and everything else is an element label.
+    """
+    if label == TEXT_LABEL:
+        return NodeType.TEXT
+    if label.startswith(ATTRIBUTE_PREFIX):
+        return NodeType.ATTRIBUTE
+    return NodeType.ELEMENT
+
+
+class XMLNode:
+    """One node of an XML document tree.
+
+    Parameters
+    ----------
+    label:
+        The node label; its syntax determines the node type.
+    value:
+        The string value for attribute and text nodes (the ``val``
+        function of the paper).  Must be ``None`` for element nodes,
+        whose ``val`` is the identity on their position.
+    children:
+        Child nodes, in document order.  Only element nodes may have
+        children.
+    """
+
+    __slots__ = ("label", "value", "children", "parent")
+
+    def __init__(
+        self,
+        label: str,
+        value: str | None = None,
+        children: Sequence["XMLNode"] | None = None,
+    ) -> None:
+        ntype = label_node_type(label)
+        if ntype is NodeType.ELEMENT:
+            if value is not None:
+                raise XMLModelError(
+                    f"element node {label!r} cannot carry a string value"
+                )
+        else:
+            if children:
+                raise XMLModelError(
+                    f"leaf node {label!r} of type {ntype.value} cannot have children"
+                )
+            if value is None:
+                value = ""
+        self.label = label
+        self.value = value
+        self.children: list[XMLNode] = []
+        self.parent: XMLNode | None = None
+        for child in children or ():
+            self.append_child(child)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def node_type(self) -> NodeType:
+        """The node type derived from the label."""
+        return label_node_type(self.label)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    def append_child(self, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` as the last child of this node."""
+        if self.node_type is not NodeType.ELEMENT:
+            raise XMLModelError(
+                f"cannot attach children to non-element node {self.label!r}"
+            )
+        if child.parent is not None:
+            raise XMLModelError(
+                f"node {child.label!r} already has a parent; detach it first"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_child(self, index: int, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` at position ``index`` in the children list."""
+        if self.node_type is not NodeType.ELEMENT:
+            raise XMLModelError(
+                f"cannot attach children to non-element node {self.label!r}"
+            )
+        if child.parent is not None:
+            raise XMLModelError(
+                f"node {child.label!r} already has a parent; detach it first"
+            )
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def detach(self) -> "XMLNode":
+        """Remove this node from its parent and return it."""
+        if self.parent is None:
+            raise XMLModelError("cannot detach a root node")
+        self.parent.children.remove(self)
+        self.parent = None
+        return self
+
+    def child_index(self) -> int:
+        """Index of this node among its parent's children."""
+        if self.parent is None:
+            raise XMLModelError("root node has no child index")
+        for i, sibling in enumerate(self.parent.children):
+            if sibling is self:
+                return i
+        raise XMLModelError("node is not among its parent's children")
+
+    def position(self) -> Position:
+        """Tree-domain word of this node (empty tuple for the root)."""
+        indices: list[int] = []
+        node: XMLNode = self
+        while node.parent is not None:
+            indices.append(node.child_index())
+            node = node.parent
+        return tuple(reversed(indices))
+
+    def root(self) -> "XMLNode":
+        """The root of the tree containing this node."""
+        node: XMLNode = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        """Number of edges from the root to this node."""
+        count = 0
+        node: XMLNode = self
+        while node.parent is not None:
+            count += 1
+            node = node.parent
+        return count
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def iter_subtree(self) -> Iterator["XMLNode"]:
+        """Yield this node and all descendants in document (pre)order."""
+        stack: list[XMLNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["XMLNode"]:
+        """Yield strict descendants in document order."""
+        subtree = self.iter_subtree()
+        next(subtree)
+        yield from subtree
+
+    def find(self, *labels: str) -> "XMLNode":
+        """Navigate by child labels: ``node.find("a", "b")`` follows the
+        first ``a`` child, then its first ``b`` child.
+
+        Raises :class:`XMLModelError` if a step has no match.
+        """
+        node: XMLNode = self
+        for label in labels:
+            for child in node.children:
+                if child.label == label:
+                    node = child
+                    break
+            else:
+                raise XMLModelError(
+                    f"node {node.label!r} has no child labeled {label!r}"
+                )
+        return node
+
+    def find_all(self, label: str) -> list["XMLNode"]:
+        """All children with the given label, in document order."""
+        return [child for child in self.children if child.label == label]
+
+    def attribute(self, name: str) -> str:
+        """Value of the attribute child ``@name``."""
+        key = name if name.startswith(ATTRIBUTE_PREFIX) else ATTRIBUTE_PREFIX + name
+        for child in self.children:
+            if child.label == key:
+                assert child.value is not None
+                return child.value
+        raise XMLModelError(f"node {self.label!r} has no attribute {key!r}")
+
+    def text_value(self) -> str:
+        """Concatenated value of all text children."""
+        return "".join(
+            child.value or "" for child in self.children if child.label == TEXT_LABEL
+        )
+
+    # ------------------------------------------------------------------
+    # copying and display
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "XMLNode":
+        """Deep copy of the subtree rooted at this node (detached).
+
+        Iterative, so arbitrarily deep subtrees copy without recursion.
+        """
+
+        def bare_copy(node: "XMLNode") -> "XMLNode":
+            copy = XMLNode.__new__(XMLNode)
+            copy.label = node.label
+            copy.value = node.value
+            copy.parent = None
+            copy.children = []
+            return copy
+
+        root_copy = bare_copy(self)
+        stack: list[tuple[XMLNode, XMLNode]] = [(self, root_copy)]
+        while stack:
+            original, duplicate = stack.pop()
+            for child in original.children:
+                child_copy = bare_copy(child)
+                child_copy.parent = duplicate
+                duplicate.children.append(child_copy)
+                if child.children:
+                    stack.append((child, child_copy))
+        return root_copy
+
+    def __repr__(self) -> str:
+        pos = ".".join(map(str, self.position())) or "ε"
+        if self.node_type is NodeType.ELEMENT:
+            return f"<XMLNode {self.label} at {pos} ({len(self.children)} children)>"
+        return f"<XMLNode {self.label}={self.value!r} at {pos}>"
+
+
+class XMLDocument:
+    """An XML document: a rooted tree whose root is labeled ``"/"``.
+
+    The paper's convention is that every document root carries the
+    reserved label ``'/'``; the conventional "document element" of XML
+    practice is then the single element child of that root.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: XMLNode) -> None:
+        if root.label != ROOT_LABEL:
+            raise XMLModelError(
+                f"document root must be labeled {ROOT_LABEL!r}, got {root.label!r}"
+            )
+        if root.parent is not None:
+            raise XMLModelError("document root cannot have a parent")
+        self.root = root
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_document_element(cls, element: XMLNode) -> "XMLDocument":
+        """Wrap a single element under a fresh ``'/'`` root."""
+        root = XMLNode(ROOT_LABEL)
+        root.append_child(element)
+        return cls(root)
+
+    @property
+    def document_element(self) -> XMLNode:
+        """The unique element child of the root.
+
+        Raises :class:`XMLModelError` when the root has zero or several
+        children, which the model permits but XML text syntax does not.
+        """
+        if len(self.root.children) != 1:
+            raise XMLModelError(
+                f"document has {len(self.root.children)} top-level nodes, expected 1"
+            )
+        return self.root.children[0]
+
+    def nodes(self) -> Iterator[XMLNode]:
+        """All nodes in document order, starting with the root."""
+        return self.root.iter_subtree()
+
+    def node_at(self, position: Sequence[int]) -> XMLNode:
+        """Resolve a tree-domain word to its node."""
+        node = self.root
+        for index in position:
+            try:
+                node = node.children[index]
+            except IndexError as exc:
+                raise XMLModelError(
+                    f"position {tuple(position)} is outside the tree domain"
+                ) from exc
+        return node
+
+    def size(self) -> int:
+        """Total number of nodes, root included."""
+        return sum(1 for _ in self.nodes())
+
+    def labels(self) -> set[str]:
+        """The set of labels occurring in the document."""
+        return {node.label for node in self.nodes()}
+
+    def clone(self) -> "XMLDocument":
+        """Deep copy of the whole document."""
+        return XMLDocument(self.root.clone())
+
+    def __repr__(self) -> str:
+        return f"<XMLDocument with {self.size()} nodes>"

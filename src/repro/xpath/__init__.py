@@ -1,0 +1,42 @@
+"""Positive CoreXPath and its translation to regular tree patterns.
+
+The paper's conclusion notes (citing its companion work [10]) that
+regular tree patterns can express every query of the positive fragment
+of CoreXPath, so the Section 5 independence machinery applies when update
+classes are written in XPath.  This subpackage makes that concrete:
+
+* :mod:`repro.xpath.ast` / :mod:`repro.xpath.parser` -- paths with
+  ``child`` (``/``) and ``descendant`` (``//``) axes, name and wildcard
+  tests, and positive existential predicates ``[...]``;
+* :mod:`repro.xpath.evaluate` -- a direct evaluator (the semantic
+  reference);
+* :mod:`repro.xpath.translate` -- the translation to monadic patterns,
+  and :func:`update_class_from_xpath` producing a ready
+  :class:`repro.update.UpdateClass`.
+
+Faithfulness note: pattern semantics is *ordered* and requires sibling
+branches to use distinct children (condition (b)), while XPath
+predicates are unordered and may share witnesses with the continuation
+step.  The translation is exact on the documented fragment (predicates
+whose witnesses are disjoint from the main path and compatible with
+document order); the test suite pins down both the agreements and the
+documented divergences.
+"""
+
+from repro.xpath.ast import Axis, LocationPath, Step
+from repro.xpath.parser import parse_xpath
+from repro.xpath.evaluate import evaluate_xpath
+from repro.xpath.translate import (
+    pattern_from_xpath,
+    update_class_from_xpath,
+)
+
+__all__ = [
+    "Axis",
+    "LocationPath",
+    "Step",
+    "parse_xpath",
+    "evaluate_xpath",
+    "pattern_from_xpath",
+    "update_class_from_xpath",
+]

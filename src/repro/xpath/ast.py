@@ -1,0 +1,52 @@
+"""AST for the positive CoreXPath fragment."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+WILDCARD_TEST = "*"
+
+
+class Axis(enum.Enum):
+    """Supported downward axes."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"  # written '//' (descendant-or-self::node()/child)
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test, positive predicates."""
+
+    axis: Axis
+    test: str  # a label or the wildcard '*'
+    predicates: tuple["LocationPath", ...] = ()
+
+    def __str__(self) -> str:
+        prefix = "//" if self.axis is Axis.DESCENDANT else "/"
+        rendered = f"{prefix}{self.test}"
+        for predicate in self.predicates:
+            rendered += f"[{predicate.render_relative()}]"
+        return rendered
+
+
+@dataclasses.dataclass(frozen=True)
+class LocationPath:
+    """An absolute or relative path: a sequence of steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def render_relative(self) -> str:
+        """Render without a leading slash (predicate position)."""
+        rendered = "".join(str(step) for step in self.steps)
+        if rendered.startswith("/") and not self.absolute:
+            return rendered[1:]
+        return rendered
+
+    def __str__(self) -> str:
+        rendered = "".join(str(step) for step in self.steps)
+        if not self.absolute and rendered.startswith("/"):
+            return rendered[1:]
+        return rendered

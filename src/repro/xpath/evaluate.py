@@ -1,0 +1,58 @@
+"""Direct evaluator for the positive CoreXPath fragment.
+
+This is the *semantic reference* against which the pattern translation
+is tested: standard XPath semantics, unordered predicates, witnesses
+freely shared between predicates and continuation steps.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import Axis, LocationPath, Step, WILDCARD_TEST
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+def _test_matches(step: Step, node: XMLNode) -> bool:
+    return step.test == WILDCARD_TEST or node.label == step.test
+
+
+def _step_candidates(step: Step, node: XMLNode) -> list[XMLNode]:
+    if step.axis is Axis.CHILD:
+        pool = node.children
+    else:
+        pool = list(node.iter_descendants())
+    return [candidate for candidate in pool if _test_matches(step, candidate)]
+
+
+def _holds(path: LocationPath, node: XMLNode) -> bool:
+    """Existential predicate semantics: is the relative path non-empty?"""
+    return bool(_evaluate_from(path, node))
+
+
+def _evaluate_from(path: LocationPath, node: XMLNode) -> list[XMLNode]:
+    current = [node]
+    for step in path.steps:
+        gathered: list[XMLNode] = []
+        seen: set[int] = set()
+        for origin in current:
+            for candidate in _step_candidates(step, origin):
+                if id(candidate) in seen:
+                    continue
+                if all(_holds(pred, candidate) for pred in step.predicates):
+                    seen.add(id(candidate))
+                    gathered.append(candidate)
+        current = gathered
+        if not current:
+            break
+    return current
+
+
+def evaluate_xpath(
+    path: LocationPath, document: XMLDocument | XMLNode
+) -> list[XMLNode]:
+    """Evaluate an absolute path from the document root.
+
+    Returns matching nodes in discovery order (document order for a
+    single-origin evaluation).
+    """
+    root = document.root if isinstance(document, XMLDocument) else document
+    return _evaluate_from(path, root)

@@ -1,0 +1,107 @@
+"""Parser for the positive CoreXPath fragment.
+
+Grammar::
+
+    path      := ('/' | '//')? step (('/' | '//') step)*
+    step      := test predicate*
+    test      := NAME | '@' NAME | '#text' | '*'
+    predicate := '[' relative-path ']'
+
+Absolute paths start with ``/`` (or ``//``); predicate paths are
+relative.  Only downward axes and existential predicates are supported —
+exactly the positive, navigation-only fragment the paper refers to.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathError
+from repro.xpath.ast import Axis, LocationPath, Step, WILDCARD_TEST
+
+_NAME_START = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_@#"
+)
+_NAME_CHARS = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_-:#"
+)
+
+
+class _Cursor:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self) -> str:
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.source.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def read_name(self) -> str:
+        if self.at_end() or self.peek() not in _NAME_START:
+            raise XPathError(f"expected a name at offset {self.pos}")
+        start = self.pos
+        self.pos += 1
+        while not self.at_end() and self.peek() in _NAME_CHARS:
+            self.pos += 1
+        return self.source[start : self.pos]
+
+
+def parse_xpath(source: str) -> LocationPath:
+    """Parse an absolute or relative positive CoreXPath expression."""
+    cursor = _Cursor(source.strip())
+    path = _parse_path(cursor, allow_relative=True)
+    if not cursor.at_end():
+        raise XPathError(
+            f"unexpected trailing input at offset {cursor.pos} in {source!r}"
+        )
+    return path
+
+
+def _parse_path(cursor: _Cursor, allow_relative: bool) -> LocationPath:
+    steps: list[Step] = []
+    absolute = False
+    if cursor.startswith("//"):
+        absolute = True
+        cursor.take("//")
+        steps.append(_parse_step(cursor, Axis.DESCENDANT))
+    elif cursor.startswith("/"):
+        absolute = True
+        cursor.take("/")
+        steps.append(_parse_step(cursor, Axis.CHILD))
+    else:
+        if not allow_relative:
+            raise XPathError("expected an absolute path")
+        steps.append(_parse_step(cursor, Axis.CHILD))
+    while True:
+        if cursor.take("//"):
+            steps.append(_parse_step(cursor, Axis.DESCENDANT))
+        elif cursor.take("/"):
+            steps.append(_parse_step(cursor, Axis.CHILD))
+        else:
+            break
+    return LocationPath(tuple(steps), absolute=absolute)
+
+
+def _parse_step(cursor: _Cursor, axis: Axis) -> Step:
+    if cursor.take("*"):
+        test = WILDCARD_TEST
+    else:
+        test = cursor.read_name()
+    predicates: list[LocationPath] = []
+    while cursor.take("["):
+        inner = _parse_path(cursor, allow_relative=True)
+        predicates.append(
+            LocationPath(inner.steps, absolute=False)
+        )
+        if not cursor.take("]"):
+            raise XPathError(f"unterminated predicate at offset {cursor.pos}")
+    return Step(axis, test, tuple(predicates))

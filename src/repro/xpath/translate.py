@@ -1,0 +1,96 @@
+"""Translating positive CoreXPath into regular tree patterns.
+
+Axes become edge regexes (``/a`` → ``a``; ``//a`` → ``~*.a``; ``*`` →
+``~``) and predicates become extra template branches.  Two divergences
+from XPath semantics follow from Definition 2 and are deliberate —
+patterns are strictly more constrained:
+
+* sibling branches must use *distinct* children (condition (b)), so a
+  predicate witness cannot be the same node as the continuation step's
+  witness;
+* template sibling order must match document order; ``predicate_position``
+  chooses whether predicate branches sit before or after the
+  continuation edge.
+
+On predicate-free paths the translation is exact; the test suite checks
+both the exactness and the documented divergences.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathError
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.template import RegularTreePattern, TemplatePosition
+from repro.regex.ast import AnySymbol, Concat, Regex, Star, Symbol
+from repro.update.update_class import UpdateClass
+from repro.xpath.ast import Axis, LocationPath, Step, WILDCARD_TEST
+from repro.xpath.parser import parse_xpath
+
+
+def _edge_regex(step: Step) -> Regex:
+    atom: Regex = AnySymbol() if step.test == WILDCARD_TEST else Symbol(step.test)
+    if step.axis is Axis.DESCENDANT:
+        return Concat([Star(AnySymbol()), atom])
+    return atom
+
+
+def pattern_from_xpath(
+    path: LocationPath | str,
+    predicate_position: str = "after",
+) -> RegularTreePattern:
+    """A monadic pattern selecting the path's result nodes.
+
+    ``predicate_position`` places predicate branches ``"after"`` or
+    ``"before"`` the continuation edge in template sibling order.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    if not path.absolute:
+        raise XPathError("only absolute paths translate to patterns")
+    if not path.steps:
+        raise XPathError("an empty path selects nothing")
+    if predicate_position not in ("after", "before"):
+        raise XPathError(
+            f"predicate_position must be 'after' or 'before', "
+            f"got {predicate_position!r}"
+        )
+
+    builder = PatternBuilder()
+
+    def attach_predicate(parent: TemplatePosition, predicate: LocationPath) -> None:
+        current = parent
+        for step in predicate.steps:
+            current = builder.child(current, _edge_regex(step))
+            for inner in step.predicates:
+                attach_predicate(current, inner)
+
+    def attach_steps(parent: TemplatePosition, steps: tuple[Step, ...]) -> TemplatePosition:
+        step = steps[0]
+        node = builder.child(parent, _edge_regex(step))
+        if predicate_position == "before":
+            for predicate in step.predicates:
+                attach_predicate(node, predicate)
+        target = attach_steps(node, steps[1:]) if len(steps) > 1 else node
+        if predicate_position == "after":
+            for predicate in step.predicates:
+                attach_predicate(node, predicate)
+        return target
+
+    selected = attach_steps(builder.root, path.steps)
+    return builder.pattern(selected)
+
+
+def update_class_from_xpath(
+    path: LocationPath | str,
+    name: str | None = None,
+    predicate_position: str = "after",
+) -> UpdateClass:
+    """An update class whose selected nodes are the XPath's results.
+
+    Note the Section 5 restriction: for independence analysis the
+    *final* step must carry no predicates (the selected template node
+    must be a leaf); such classes are still constructible and evaluable,
+    only :func:`repro.independence.check_independence` refuses them.
+    """
+    pattern = pattern_from_xpath(path, predicate_position=predicate_position)
+    return UpdateClass(pattern, name=name or f"U[{path}]")

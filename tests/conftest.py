@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's running example, patterns and schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema.dtd import Schema
+from repro.workload.exams import (
+    exam_schema,
+    paper_document,
+    paper_patterns,
+    PaperPatterns,
+)
+from repro.xmlmodel.tree import XMLDocument
+
+
+@pytest.fixture
+def figure1(request) -> XMLDocument:
+    """The exam-session document of Figure 1."""
+    return paper_document()
+
+
+@pytest.fixture
+def figures(request) -> PaperPatterns:
+    """The patterns/FDs/update class of Figures 2-6."""
+    return paper_patterns()
+
+
+@pytest.fixture
+def schema(request) -> Schema:
+    """The exam-session schema of Example 6."""
+    return exam_schema()
+
+
+def positions(nodes) -> list[str]:
+    """Render document nodes as dotted position strings (test helper)."""
+    return [".".join(map(str, node.position())) for node in nodes]
+
+
+def tuple_positions(tuples) -> list[tuple[str, ...]]:
+    """Render tuples of nodes as tuples of dotted positions, sorted."""
+    return sorted(
+        tuple(".".join(map(str, node.position())) for node in group)
+        for group in tuples
+    )

@@ -1,0 +1,85 @@
+"""Unit tests for FD structure (Definition 4)."""
+
+import pytest
+
+from repro.errors import FDError
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.pattern.builder import PatternBuilder
+
+
+def _pattern(selected_names):
+    builder = PatternBuilder()
+    c = builder.child(builder.root, "ctx", name="c")
+    m = builder.child(c, "item")
+    builder.child(m, "key", name="p1")
+    builder.child(m, "other", name="p2")
+    builder.child(m, "val", name="q")
+    return builder.pattern(*selected_names)
+
+
+class TestConstruction:
+    def test_default_equality_types(self):
+        fd = FunctionalDependency(_pattern(["p1", "q"]), context="c")
+        assert fd.condition_types == (EqualityType.VALUE,)
+        assert fd.target_type is EqualityType.VALUE
+
+    def test_target_is_last_selected(self):
+        fd = FunctionalDependency(_pattern(["p1", "p2", "q"]), context="c")
+        assert fd.condition_positions == ((0, 0, 0), (0, 0, 1))
+        assert fd.target_position == (0, 0, 2)
+
+    def test_condition_count(self):
+        fd = FunctionalDependency(_pattern(["p1", "p2", "q"]), context="c")
+        assert fd.condition_count == 2
+
+    def test_requires_two_selected(self):
+        with pytest.raises(FDError):
+            FunctionalDependency(_pattern(["q"]), context="c")
+
+    def test_context_must_be_strict_ancestor(self):
+        with pytest.raises(FDError):
+            FunctionalDependency(_pattern(["p1", "q"]), context="p1")
+
+    def test_context_equal_to_selected_rejected(self):
+        with pytest.raises(FDError):
+            FunctionalDependency(_pattern(["p1", "q"]), context="q")
+
+    def test_root_context_allowed(self):
+        fd = FunctionalDependency(_pattern(["p1", "q"]), context=())
+        assert fd.context == ()
+
+    def test_type_count_mismatch(self):
+        with pytest.raises(FDError):
+            FunctionalDependency(
+                _pattern(["p1", "p2", "q"]),
+                context="c",
+                condition_types=[EqualityType.VALUE],
+            )
+
+    def test_node_equality_types(self):
+        fd = FunctionalDependency(
+            _pattern(["p1", "q"]),
+            context="c",
+            condition_types=[EqualityType.NODE],
+            target_type=EqualityType.NODE,
+        )
+        assert fd.condition_types == (EqualityType.NODE,)
+        assert fd.target_type is EqualityType.NODE
+
+
+class TestDescribe:
+    def test_describe_value_types_unmarked(self):
+        fd = FunctionalDependency(_pattern(["p1", "q"]), context="c", name="myfd")
+        assert fd.describe() == "myfd: context=c; (p1) -> q"
+
+    def test_describe_marks_node_equality(self):
+        fd = FunctionalDependency(
+            _pattern(["p1", "q"]),
+            context="c",
+            target_type=EqualityType.NODE,
+        )
+        assert fd.describe().endswith("-> q[N]")
+
+    def test_size_is_pattern_size(self):
+        fd = FunctionalDependency(_pattern(["p1", "q"]), context="c")
+        assert fd.size() == fd.pattern.size()

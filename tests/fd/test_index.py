@@ -1,0 +1,216 @@
+"""Unit and property tests for incremental FD maintenance."""
+
+import random
+
+import pytest
+
+from repro.errors import FDError
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.fd.index import FDIndex
+from repro.fd.satisfaction import check_fd
+from repro.pattern.builder import build_pattern, edge
+from repro.workload.exams import generate_session, paper_document, paper_patterns
+from repro.xmlmodel.builder import elem, text
+from repro.xmlmodel.parser import parse_document
+
+
+def _key_value_fd():
+    return FunctionalDependency(
+        build_pattern(
+            edge("ctx", name="c")(
+                edge("item")(edge("key", name="p1"), edge("val", name="q"))
+            ),
+            selected=("p1", "q"),
+        ),
+        context="c",
+    )
+
+
+class TestBuild:
+    def test_matches_fresh_check(self, figures, figure1):
+        index = FDIndex(figures.fd1, figure1)
+        report = check_fd(figures.fd1, figure1)
+        assert index.is_satisfied() == report.satisfied
+        assert index.mapping_count == report.mapping_count
+        assert index.group_count == report.group_count
+
+    def test_detects_existing_violation(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item></ctx>"
+        )
+        index = FDIndex(_key_value_fd(), document)
+        assert not index.is_satisfied()
+        assert index.violating_group_keys()
+
+
+class TestIncrementalUpdates:
+    def test_value_breaking_update(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>1</val></item></ctx>"
+        )
+        index = FDIndex(_key_value_fd(), document)
+        assert index.is_satisfied()
+        stats = index.apply_replacement((0, 1, 1), elem("val", text("2")))
+        assert stats["dropped"] == 1
+        assert not index.is_satisfied()
+
+    def test_value_fixing_update(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item></ctx>"
+        )
+        index = FDIndex(_key_value_fd(), document)
+        assert not index.is_satisfied()
+        index.apply_replacement((0, 1, 1), elem("val", text("1")))
+        assert index.is_satisfied()
+
+    def test_rekey_path_below_selected(self):
+        # val has structure below it: replace deep inside the target
+        document = parse_document(
+            "<ctx><item><key>a</key><val><w>1</w></val></item>"
+            "<item><key>a</key><val><w>1</w></val></item></ctx>"
+        )
+        index = FDIndex(_key_value_fd(), document)
+        stats = index.apply_replacement((0, 0, 1, 0), elem("w", text("2")))
+        assert stats["rekeyed"] == 1
+        assert stats["dropped"] == 0
+        assert not index.is_satisfied()
+
+    def test_structural_removal(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item></ctx>"
+        )
+        index = FDIndex(_key_value_fd(), document)
+        # replace the second item with something that no longer matches
+        index.apply_replacement((0, 1), elem("item"))
+        assert index.mapping_count == 1
+        assert index.is_satisfied()
+
+    def test_structural_addition(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item><spare/></ctx>"
+        )
+        index = FDIndex(_key_value_fd(), document)
+        assert index.mapping_count == 1
+        replacement = elem("item", elem("key", text("a")), elem("val", text("2")))
+        stats = index.apply_replacement((0, 1), replacement)
+        assert stats["rediscovered"] == 1
+        assert index.mapping_count == 2
+        assert not index.is_satisfied()
+
+    def test_unrelated_update_keeps_everything(self, figures, figure1):
+        index = FDIndex(figures.fd1, figure1)
+        before = index.mapping_count
+        stats = index.apply_replacement((0, 0, 1), elem("level", text("D")))
+        assert stats["dropped"] == 0
+        assert stats["rekeyed"] == 0
+        assert stats["rediscovered"] == 0
+        assert index.mapping_count == before
+
+    def test_root_replacement_refused(self, figures, figure1):
+        index = FDIndex(figures.fd1, figure1)
+        with pytest.raises(FDError):
+            index.apply_replacement((), elem("session"))
+
+    def test_node_equality_target(self):
+        fd = FunctionalDependency(
+            build_pattern(
+                edge("ctx", name="c")(
+                    edge("item", name="q")(edge("key", name="p1"))
+                ),
+                selected=("p1", "q"),
+            ),
+            context="c",
+            target_type=EqualityType.NODE,
+        )
+        document = parse_document(
+            "<ctx><item><key>a</key></item><item><key>b</key></item></ctx>"
+        )
+        index = FDIndex(fd, document)
+        assert index.is_satisfied()
+        index.apply_replacement((0, 1, 0), elem("key", text("a")))
+        assert not index.is_satisfied()
+
+
+class TestAgainstFreshChecks:
+    """Property: after any edit sequence, the index equals a fresh check."""
+
+    POOL_LABELS = ("level", "rank", "mark", "discipline")
+
+    def _random_replacement(self, rng, document):
+        # pick a random non-root element node and a random replacement
+        nodes = [
+            node
+            for node in document.nodes()
+            if node.parent is not None and node.label in self.POOL_LABELS
+        ]
+        if not nodes:
+            return None
+        target = rng.choice(nodes)
+        value = rng.choice(("1", "7", "12", "C"))
+        return target.position(), elem(target.label, text(value))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_edit_sequences(self, seed):
+        rng = random.Random(seed)
+        figures = paper_patterns()
+        document = generate_session(6, seed=seed)
+        fd = rng.choice((figures.fd1, figures.fd2, figures.fd3))
+        index = FDIndex(fd, document)
+        for _ in range(6):
+            pick = self._random_replacement(rng, index.document)
+            if pick is None:
+                break
+            position, replacement = pick
+            index.apply_replacement(position, replacement)
+            fresh = check_fd(fd, index.document)
+            assert index.is_satisfied() == fresh.satisfied
+            assert index.mapping_count == fresh.mapping_count
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_whole_subtree_replacements(self, seed):
+        rng = random.Random(100 + seed)
+        figures = paper_patterns()
+        document = generate_session(5, seed=seed)
+        index = FDIndex(figures.fd1, document)
+        candidates = document.node_at((0,)).find_all("candidate")
+        for _ in range(3):
+            target = rng.choice(candidates)
+            clone_source = rng.choice(candidates)
+            position = target.position()
+            index.apply_replacement(position, clone_source.clone())
+            candidates = index.document.node_at((0,)).find_all("candidate")
+            fresh = check_fd(figures.fd1, index.document)
+            assert index.is_satisfied() == fresh.satisfied
+            assert index.mapping_count == fresh.mapping_count
+
+
+class TestLibraryDomain:
+    """The index on the second domain, against fresh checks."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_title_rewrites(self, seed):
+        from repro.workload.library import generate_library, library_fds
+
+        fds = {fd.name: fd for fd in library_fds()}
+        document = generate_library(8, seed=seed, violate_key=1)
+        index = FDIndex(fds["isbn-title"], document)
+        assert index.is_satisfied() == check_fd(
+            fds["isbn-title"], document
+        ).satisfied
+
+        # rewrite each title in turn and compare with fresh checks
+        titles = [
+            book.find("title").position()
+            for book in document.node_at((0,)).find_all("book")
+        ]
+        for count, position in enumerate(titles[:4]):
+            index.apply_replacement(
+                position, elem("title", text(f"new-{count}"))
+            )
+            fresh = check_fd(fds["isbn-title"], index.document)
+            assert index.is_satisfied() == fresh.satisfied
+            assert index.mapping_count == fresh.mapping_count

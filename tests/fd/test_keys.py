@@ -1,0 +1,141 @@
+"""Unit tests for XML keys and bounded implication."""
+
+import pytest
+
+from repro.fd.fd import EqualityType
+from repro.fd.implication import bounded_implication
+from repro.fd.keys import absolute_key, relative_key
+from repro.fd.linear import LinearFD, translate_linear_fd
+from repro.fd.satisfaction import document_satisfies
+from repro.xmlmodel.parser import parse_document
+
+
+class TestRelativeKey:
+    def test_key_structure(self):
+        key = relative_key("/session", "candidate", ["@IDN"])
+        assert key.target_type is EqualityType.NODE
+        assert key.condition_count == 1
+
+    def test_key_satisfied(self):
+        key = relative_key("/session", "candidate", ["@IDN"])
+        document = parse_document(
+            '<session><candidate IDN="1"/><candidate IDN="2"/></session>'
+        )
+        assert document_satisfies(key, document)
+
+    def test_duplicate_key_value_violates(self):
+        key = relative_key("/session", "candidate", ["@IDN"])
+        document = parse_document(
+            '<session><candidate IDN="1"/><candidate IDN="1"/></session>'
+        )
+        assert not document_satisfies(key, document)
+
+    def test_relative_scoping(self):
+        # same @id may repeat across different departments
+        key = relative_key("/org/dept", "employee", ["@id"])
+        document = parse_document(
+            "<org>"
+            '<dept><employee id="1"/></dept>'
+            '<dept><employee id="1"/></dept>'
+            "</org>"
+        )
+        assert document_satisfies(key, document)
+
+    def test_composite_key(self):
+        key = relative_key("/log", "entry", ["date", "seq"])
+        ok = parse_document(
+            "<log>"
+            "<entry><date>d1</date><seq>1</seq></entry>"
+            "<entry><date>d1</date><seq>2</seq></entry>"
+            "</log>"
+        )
+        bad = parse_document(
+            "<log>"
+            "<entry><date>d1</date><seq>1</seq></entry>"
+            "<entry><date>d1</date><seq>1</seq></entry>"
+            "</log>"
+        )
+        assert document_satisfies(key, ok)
+        assert not document_satisfies(key, bad)
+
+    def test_key_works_with_independence(self):
+        from repro.independence.criterion import check_independence
+        from repro.xpath.translate import update_class_from_xpath
+
+        key = relative_key("/session", "candidate", ["@IDN"])
+        level_updates = update_class_from_xpath("/session/candidate/level")
+        # rewriting levels cannot create duplicate candidates... but the
+        # level node may lie inside the candidate subtree compared by
+        # node equality conditions?  The key's conditions compare @IDN
+        # values only, and the target is the candidate *node*: the level
+        # subtree is below the target image, hence dangerous
+        result = check_independence(key, level_updates)
+        assert not result.independent  # conservative, as expected
+
+
+class TestAbsoluteKey:
+    def test_absolute_key(self):
+        key = absolute_key("library/book", ["@isbn"])
+        ok = parse_document(
+            '<library><book isbn="1"/><book isbn="2"/></library>'
+        )
+        dup = parse_document(
+            '<library><book isbn="1"/><book isbn="1"/></library>'
+        )
+        assert document_satisfies(key, ok)
+        assert not document_satisfies(key, dup)
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_key("library", ["@id"])
+
+
+class TestBoundedImplication:
+    def _fd(self, conditions, target, name):
+        return translate_linear_fd(
+            LinearFD.build(
+                context="/doc", conditions=conditions, target=target, name=name
+            )
+        )
+
+    def test_reflexive_implication(self):
+        fd = self._fd(["a/b"], "a/b2", "self")
+        result = bounded_implication([fd], fd, labels=("a", "b", "b2"))
+        assert result.holds_in_bounds
+        assert not result.refuted
+
+    def test_refutation_with_counterexample(self):
+        # a->b does not imply b->a
+        a_to_b = self._fd(["item/a"], "item/b", "a-to-b")
+        b_to_a = self._fd(["item/b"], "item/a", "b-to-a")
+        result = bounded_implication(
+            [a_to_b],
+            b_to_a,
+            labels=("item", "a", "b"),
+            max_depth=3,
+            max_children=2,
+        )
+        assert result.refuted
+        counter = result.counterexample
+        assert document_satisfies(a_to_b, counter)
+        assert not document_satisfies(b_to_a, counter)
+
+    def test_augmented_conditions_implied(self):
+        # (a -> c) implies (a, b -> c): more conditions, same target
+        strong = self._fd(["item/a"], "item/c", "strong")
+        weak = self._fd(["item/a", "item/b"], "item/c", "weak")
+        result = bounded_implication(
+            [strong],
+            weak,
+            labels=("item", "a", "b", "c"),
+            max_depth=3,
+            max_children=2,
+            max_documents=400,
+        )
+        assert result.holds_in_bounds
+
+    def test_empty_premises(self):
+        fd = self._fd(["item/a"], "item/b", "alone")
+        result = bounded_implication([], fd, labels=("item", "a", "b"))
+        assert result.refuted  # nothing forces the FD
+        assert not document_satisfies(fd, result.counterexample)

@@ -1,0 +1,179 @@
+"""Unit tests for the [8] linear-path formalism and its translation."""
+
+import pytest
+
+from repro.errors import FDError
+from repro.fd.fd import EqualityType
+from repro.fd.linear import LinearFD, LinearPath, translate_linear_fd
+from repro.fd.satisfaction import document_satisfies
+from repro.workload.exams import paper_document, paper_patterns
+from repro.xmlmodel.parser import parse_document
+
+
+class TestLinearPath:
+    def test_parse(self):
+        assert LinearPath.parse("a/b/c").steps == ("a", "b", "c")
+
+    def test_parse_leading_slash(self):
+        assert LinearPath.parse("/session/candidate").steps == (
+            "session",
+            "candidate",
+        )
+
+    def test_parse_attribute_step(self):
+        assert LinearPath.parse("candidate/@IDN").steps == ("candidate", "@IDN")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FDError):
+            LinearPath.parse("/")
+
+    def test_str(self):
+        assert str(LinearPath.parse("a/b")) == "a/b"
+
+
+class TestExpr1:
+    """expr1 of the paper: its translation gives back FD1 of Figure 4."""
+
+    @pytest.fixture
+    def translated(self):
+        linear = LinearFD.build(
+            context="/session",
+            conditions=["candidate/exam/discipline", "candidate/exam/mark"],
+            target="candidate/exam/rank",
+            name="expr1",
+        )
+        return translate_linear_fd(linear)
+
+    def test_common_prefix_factorized(self, translated):
+        template = translated.pattern.template
+        # root -> c -> intermediate -> {discipline, mark, rank}
+        assert len(template.nodes) == 6
+        intermediate = template.children(translated.context)
+        assert len(intermediate) == 1
+        assert str(template.edge_regex(intermediate[0])) == "candidate.exam"
+
+    def test_selected_structure(self, translated):
+        template = translated.pattern.template
+        labels = [
+            str(template.edge_regex(p)) for p in translated.pattern.selected
+        ]
+        assert labels == ["discipline", "mark", "rank"]
+
+    def test_same_shape_as_figure4_fd1(self, translated):
+        fd1 = paper_patterns().fd1
+        assert translated.pattern.template.nodes == fd1.pattern.template.nodes
+        assert {
+            p: str(r)
+            for p, r in translated.pattern.template.edge_regexes.items()
+        } == {
+            p: str(r) for p, r in fd1.pattern.template.edge_regexes.items()
+        }
+        assert translated.pattern.selected == fd1.pattern.selected
+        assert translated.context == fd1.context
+
+    def test_same_verdicts_as_fd1(self, translated):
+        document = paper_document()
+        assert document_satisfies(translated, document)
+
+
+class TestExpr2:
+    """expr2 of the paper: target is the exam node with node equality."""
+
+    @pytest.fixture
+    def translated(self):
+        linear = LinearFD.build(
+            context="/session/candidate",
+            conditions=["exam/date", "exam/discipline"],
+            target=("exam", EqualityType.NODE),
+            name="expr2",
+        )
+        return translate_linear_fd(linear)
+
+    def test_target_is_branching_prefix_node(self, translated):
+        # exam is a prefix of exam/date and exam/discipline: the target
+        # node is the intermediate node itself
+        template = translated.pattern.template
+        target = translated.target_position
+        assert str(template.edge_regex(target)) == "exam"
+        assert len(template.children(target)) == 2
+
+    def test_equality_types(self, translated):
+        assert translated.target_type is EqualityType.NODE
+        assert all(
+            t is EqualityType.VALUE for t in translated.condition_types
+        )
+
+    def test_matches_figure4_fd2(self, translated):
+        fd2 = paper_patterns().fd2
+        assert translated.pattern.template.nodes == fd2.pattern.template.nodes
+        assert translated.pattern.selected == fd2.pattern.selected
+
+    def test_verdicts(self, translated):
+        assert document_satisfies(translated, paper_document())
+        violating = parse_document(
+            "<session><candidate>"
+            "<exam><date>d1</date><discipline>x</discipline></exam>"
+            "<exam><date>d1</date><discipline>x</discipline></exam>"
+            "</candidate></session>"
+        )
+        assert not document_satisfies(translated, violating)
+
+
+class TestTranslationLimits:
+    def test_duplicate_paths_rejected(self):
+        # fd3 of the paper needs two identical exam/mark branches, which
+        # the [8] formalism cannot express
+        linear = LinearFD.build(
+            context="/session",
+            conditions=["candidate/exam/mark", "candidate/exam/mark"],
+            target="candidate/level",
+        )
+        with pytest.raises(FDError):
+            translate_linear_fd(linear)
+
+    def test_target_equal_to_context_rejected(self):
+        linear = LinearFD.build(
+            context="/a",
+            conditions=["b"],
+            target="b",
+        )
+        # duplicate of the condition path, also invalid
+        with pytest.raises(FDError):
+            translate_linear_fd(linear)
+
+    def test_disjoint_paths_no_factorization(self):
+        linear = LinearFD.build(
+            context="/r",
+            conditions=["a/b"],
+            target="c/d",
+        )
+        fd = translate_linear_fd(linear)
+        template = fd.pattern.template
+        context_children = template.children(fd.context)
+        assert [str(template.edge_regex(p)) for p in context_children] == [
+            "a.b",
+            "c.d",
+        ]
+
+    def test_nested_prefixes(self):
+        linear = LinearFD.build(
+            context="/r",
+            conditions=["a", "a/b"],
+            target="a/b/c",
+        )
+        fd = translate_linear_fd(linear)
+        template = fd.pattern.template
+        # chain r -> a -> b -> c with every node selected
+        assert fd.pattern.selected == (
+            fd.context + (0,),
+            fd.context + (0, 0),
+            fd.context + (0, 0, 0),
+        )
+
+    def test_str_rendering(self):
+        linear = LinearFD.build(
+            context="/s",
+            conditions=["a", ("b", EqualityType.NODE)],
+            target="c",
+        )
+        assert str(linear) == "(s, ((a, b[N]) -> c))"

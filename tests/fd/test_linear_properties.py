@@ -1,0 +1,123 @@
+"""Property tests for the [8] translation (hypothesis).
+
+The paper proves two structural facts about patterns arising from the
+linear-path formalism (Section 3.2 / Example 3) and uses them to show
+fd3/fd4 are not expressible there.  We check both on random inputs:
+
+1. labels of two edges outgoing from the same node never share a first
+   label (the trie factorizes all common prefixes);
+2. every leaf of the template is a condition or target node.
+"""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import FDError
+from repro.fd.linear import LinearFD, LinearPath, translate_linear_fd
+from repro.pattern.template import ROOT_POSITION
+from repro.regex.ast import Concat, Symbol
+
+LABELS = ("a", "b", "c", "@k")
+
+_paths = st.lists(
+    st.sampled_from(LABELS), min_size=1, max_size=4
+).map(tuple)
+
+
+def _first_label(regex) -> str:
+    if isinstance(regex, Symbol):
+        return regex.label
+    assert isinstance(regex, Concat)
+    first = regex.parts[0]
+    assert isinstance(first, Symbol)
+    return first.label
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(_paths, min_size=1, max_size=4, unique=True),
+    _paths,
+)
+def test_translation_structural_properties(condition_steps, target_steps):
+    assume(tuple(target_steps) not in {tuple(c) for c in condition_steps})
+    linear = LinearFD.build(
+        context="ctx",
+        conditions=[LinearPath(steps) for steps in condition_steps],
+        target=LinearPath(target_steps),
+    )
+    fd = translate_linear_fd(linear)
+    template = fd.pattern.template
+
+    # property 1: sibling edges start with distinct labels
+    for node in template.nodes:
+        children = template.children(node)
+        firsts = [_first_label(template.edge_regex(child)) for child in children]
+        assert len(set(firsts)) == len(firsts), (condition_steps, target_steps)
+
+    # property 2: every leaf below the context is condition or target
+    selected = set(fd.pattern.selected)
+    for leaf in template.leaves():
+        if template.is_ancestor(fd.context, leaf, strict=False):
+            assert leaf in selected or leaf == fd.context
+
+    # the target is the last selected node and types align
+    assert fd.target_position == fd.pattern.selected[-1]
+    assert len(fd.condition_types) == len(condition_steps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(_paths, min_size=1, max_size=4, unique=True),
+    _paths,
+)
+def test_translation_deterministic(condition_steps, target_steps):
+    assume(tuple(target_steps) not in {tuple(c) for c in condition_steps})
+    linear = LinearFD.build(
+        context="ctx",
+        conditions=[LinearPath(steps) for steps in condition_steps],
+        target=LinearPath(target_steps),
+    )
+    first = translate_linear_fd(linear)
+    second = translate_linear_fd(linear)
+    assert first.pattern.template.edge_regexes == (
+        second.pattern.template.edge_regexes
+    )
+    assert first.pattern.selected == second.pattern.selected
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_paths, min_size=2, max_size=4), _paths)
+def test_duplicate_paths_always_rejected(condition_steps, target_steps):
+    paths = [tuple(steps) for steps in condition_steps] + [tuple(target_steps)]
+    assume(len(set(paths)) < len(paths))
+    linear = LinearFD.build(
+        context="ctx",
+        conditions=[LinearPath(steps) for steps in condition_steps],
+        target=LinearPath(target_steps),
+    )
+    try:
+        translate_linear_fd(linear)
+    except FDError:
+        return
+    raise AssertionError("duplicate paths must be rejected")
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 10_000))
+def test_selected_count_matches_paths(seed):
+    rng = random.Random(seed)
+    count = rng.randint(1, 4)
+    paths: set[tuple[str, ...]] = set()
+    while len(paths) < count + 1:
+        paths.add(
+            tuple(rng.choice(LABELS) for _ in range(rng.randint(1, 3)))
+        )
+    ordered = sorted(paths)
+    linear = LinearFD.build(
+        context="ctx",
+        conditions=[LinearPath(steps) for steps in ordered[:-1]],
+        target=LinearPath(ordered[-1]),
+    )
+    fd = translate_linear_fd(linear)
+    assert fd.pattern.arity == count + 1

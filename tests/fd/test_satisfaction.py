@@ -1,0 +1,221 @@
+"""Unit tests for FD satisfaction checking (Definition 5)."""
+
+import pytest
+
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.fd.satisfaction import check_fd, document_satisfies
+from repro.pattern.builder import PatternBuilder
+from repro.xmlmodel.parser import parse_document
+
+
+def _key_value_fd(target_type=EqualityType.VALUE):
+    """In each ctx: item/key determines item/val."""
+    builder = PatternBuilder()
+    c = builder.child(builder.root, "ctx", name="c")
+    m = builder.child(c, "item")
+    builder.child(m, "key", name="p1")
+    builder.child(m, "val", name="q")
+    return FunctionalDependency(
+        builder.pattern("p1", "q"), context="c", target_type=target_type
+    )
+
+
+class TestValueSemantics:
+    def test_satisfied_when_keys_differ(self):
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val>1</val></item>"
+            "<item><key>b</key><val>2</val></item>"
+            "</ctx>"
+        )
+        assert document_satisfies(_key_value_fd(), document)
+
+    def test_satisfied_when_same_key_same_value(self):
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>1</val></item>"
+            "</ctx>"
+        )
+        assert document_satisfies(_key_value_fd(), document)
+
+    def test_violated_when_same_key_different_value(self):
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item>"
+            "</ctx>"
+        )
+        assert not document_satisfies(_key_value_fd(), document)
+
+    def test_value_equality_is_structural(self):
+        # val subtrees differ structurally even with equal text
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val><x/>1</val></item>"
+            "<item><key>a</key><val>1</val></item>"
+            "</ctx>"
+        )
+        assert not document_satisfies(_key_value_fd(), document)
+
+    def test_no_mappings_is_vacuous_satisfaction(self):
+        document = parse_document("<ctx><other/></ctx>")
+        report = check_fd(_key_value_fd(), document)
+        assert report.satisfied
+        assert report.mapping_count == 0
+
+
+class TestContextScoping:
+    def test_same_key_in_different_contexts_ok(self):
+        document = parse_document(
+            "<root>"
+            "<ctx><item><key>a</key><val>1</val></item></ctx>"
+            "<ctx><item><key>a</key><val>2</val></item></ctx>"
+            "</root>"
+        )
+        builder = PatternBuilder()
+        c = builder.child(builder.root, "root.ctx", name="c")
+        m = builder.child(c, "item")
+        builder.child(m, "key", name="p1")
+        builder.child(m, "val", name="q")
+        fd = FunctionalDependency(builder.pattern("p1", "q"), context="c")
+        assert document_satisfies(fd, document)
+
+    def test_root_context_is_global(self):
+        document = parse_document(
+            "<root>"
+            "<ctx><item><key>a</key><val>1</val></item></ctx>"
+            "<ctx><item><key>a</key><val>2</val></item></ctx>"
+            "</root>"
+        )
+        builder = PatternBuilder()
+        m = builder.child(builder.root, "root.ctx.item")
+        builder.child(m, "key", name="p1")
+        builder.child(m, "val", name="q")
+        fd = FunctionalDependency(builder.pattern("p1", "q"), context=())
+        assert not document_satisfies(fd, document)
+
+
+class TestNodeEquality:
+    def test_node_target_forbids_two_witnesses(self):
+        # same key in two different items: target item node differs
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key></item>"
+            "<item><key>a</key></item>"
+            "</ctx>"
+        )
+        builder = PatternBuilder()
+        c = builder.child(builder.root, "ctx", name="c")
+        m = builder.child(c, "item", name="q")
+        builder.child(m, "key", name="p1")
+        fd = FunctionalDependency(
+            builder.pattern("p1", "q"),
+            context="c",
+            target_type=EqualityType.NODE,
+        )
+        assert not document_satisfies(fd, document)
+
+    def test_node_condition_distinguishes_equal_values(self):
+        # with NODE condition equality, equal key *values* in different
+        # nodes land in different groups: no constraint applies
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item>"
+            "</ctx>"
+        )
+        builder = PatternBuilder()
+        c = builder.child(builder.root, "ctx", name="c")
+        m = builder.child(c, "item")
+        builder.child(m, "key", name="p1")
+        builder.child(m, "val", name="q")
+        fd = FunctionalDependency(
+            builder.pattern("p1", "q"),
+            context="c",
+            condition_types=[EqualityType.NODE],
+        )
+        assert document_satisfies(fd, document)
+
+
+class TestReports:
+    def test_report_counts(self):
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val>1</val></item>"
+            "<item><key>b</key><val>2</val></item>"
+            "</ctx>"
+        )
+        report = check_fd(_key_value_fd(), document)
+        assert report.mapping_count == 2
+        assert report.group_count == 2
+        assert report.violations == []
+
+    def test_violation_witness_details(self):
+        document = parse_document(
+            "<ctx>"
+            "<item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item>"
+            "</ctx>"
+        )
+        report = check_fd(_key_value_fd(), document)
+        assert not report.satisfied
+        (violation,) = report.violations
+        assert violation.first_target.text_value() == "1"
+        assert violation.second_target.text_value() == "2"
+        assert violation.context_node.label == "ctx"
+        assert "targets at" in violation.describe()
+
+    def test_max_violations_cap(self):
+        items = "".join(
+            f"<item><key>k</key><val>{i}</val></item>" for i in range(6)
+        )
+        document = parse_document(f"<ctx>{items}</ctx>")
+        report = check_fd(_key_value_fd(), document, max_violations=2)
+        assert not report.satisfied
+        assert len(report.violations) == 2
+
+    def test_describe_mentions_status(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item></ctx>"
+        )
+        report = check_fd(_key_value_fd(), document)
+        assert "SATISFIED" in report.describe()
+
+    def test_boolean_and_report_agree(self):
+        for xml in (
+            "<ctx><item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item></ctx>",
+            "<ctx><item><key>a</key><val>1</val></item></ctx>",
+        ):
+            document = parse_document(xml)
+            assert document_satisfies(_key_value_fd(), document) == (
+                check_fd(_key_value_fd(), document).satisfied
+            )
+
+
+class TestMultipleConditions:
+    def test_conjunction_of_conditions(self):
+        builder = PatternBuilder()
+        c = builder.child(builder.root, "ctx", name="c")
+        m = builder.child(c, "item")
+        builder.child(m, "k1", name="p1")
+        builder.child(m, "k2", name="p2")
+        builder.child(m, "val", name="q")
+        fd = FunctionalDependency(builder.pattern("p1", "p2", "q"), context="c")
+
+        agree_on_one_key = parse_document(
+            "<ctx>"
+            "<item><k1>a</k1><k2>x</k2><val>1</val></item>"
+            "<item><k1>a</k1><k2>y</k2><val>2</val></item>"
+            "</ctx>"
+        )
+        assert document_satisfies(fd, agree_on_one_key)
+
+        agree_on_both = parse_document(
+            "<ctx>"
+            "<item><k1>a</k1><k2>x</k2><val>1</val></item>"
+            "<item><k1>a</k1><k2>x</k2><val>2</val></item>"
+            "</ctx>"
+        )
+        assert not document_satisfies(fd, agree_on_both)

@@ -1,0 +1,102 @@
+"""Unit tests for FD sets and their joint operations."""
+
+import pytest
+
+from repro.errors import FDError
+from repro.fd.sets import FDSet
+from repro.workload.exams import generate_session, paper_patterns
+from repro.xmlmodel.builder import elem, text
+
+
+@pytest.fixture
+def fd_set(figures):
+    return FDSet([figures.fd1, figures.fd2, figures.fd3])
+
+
+class TestContainer:
+    def test_length_and_iteration(self, fd_set):
+        assert len(fd_set) == 3
+        assert [fd.name for fd in fd_set] == ["fd1", "fd2", "fd3"]
+
+    def test_lookup_by_name(self, fd_set, figures):
+        assert fd_set["fd2"].name == "fd2"
+
+    def test_unknown_name(self, fd_set):
+        with pytest.raises(FDError):
+            fd_set["nope"]
+
+    def test_duplicate_name_rejected(self, figures):
+        fd_set = FDSet([figures.fd1])
+        with pytest.raises(FDError):
+            fd_set.add(paper_patterns().fd1)
+
+
+class TestJointChecking:
+    def test_all_satisfied(self, fd_set, figure1):
+        report = fd_set.check_all(figure1)
+        assert report.all_satisfied
+        assert report.violated_names() == []
+
+    def test_violated_names(self, fd_set):
+        document = generate_session(5, seed=1, violate_fd1=1)
+        report = fd_set.check_all(document)
+        assert not report.all_satisfied
+        assert "fd1" in report.violated_names()
+
+    def test_boolean_form(self, fd_set, figure1):
+        assert fd_set.document_satisfies_all(figure1)
+
+    def test_describe_covers_each_fd(self, fd_set, figure1):
+        described = fd_set.check_all(figure1).describe()
+        for name in ("fd1", "fd2", "fd3"):
+            assert name in described
+
+
+class TestJointIndependence:
+    def test_verdict_conjunction(self, figures):
+        safe_set = FDSet([figures.fd1, figures.fd2])
+        mixed_set = FDSet([figures.fd1, figures.fd3])
+        assert safe_set.check_independence_all(
+            figures.update_class
+        ).all_independent
+        mixed = mixed_set.check_independence_all(figures.update_class)
+        assert not mixed.all_independent
+        assert mixed.unknown_names() == ["fd3"]
+
+    def test_schema_flips_fd5(self, figures, schema):
+        fd_set = FDSet([figures.fd5])
+        without = fd_set.check_independence_all(figures.update_class)
+        with_schema = fd_set.check_independence_all(
+            figures.update_class, schema=schema
+        )
+        assert not without.all_independent
+        assert with_schema.all_independent
+
+
+class TestJointIndexes:
+    def test_shared_document_maintenance(self, figures):
+        fd_set = FDSet([figures.fd1, figures.fd2])
+        document = generate_session(5, seed=2)
+        joint = fd_set.build_indexes(document)
+        assert joint.is_satisfied()
+
+        # break fd1 by rewriting one rank inconsistently
+        exam = document.node_at((0,)).find("candidate").find_all("exam")[0]
+        rank_position = exam.find("rank").position()
+        joint.apply_replacement(rank_position, elem("rank", text("99")))
+        # break check: either satisfied (if no conflicting pair exists)
+        # or fd1 shows up; fd2 must be unaffected either way
+        assert "fd2" not in joint.violated_names()
+
+    def test_all_indexes_see_the_same_tree(self, figures):
+        fd_set = FDSet([figures.fd1, figures.fd3])
+        document = generate_session(4, seed=3)
+        joint = fd_set.build_indexes(document)
+        level = document.node_at((0,)).find("candidate").find("level")
+        joint.apply_replacement(level.position(), elem("level", text("E")))
+        from repro.fd.satisfaction import check_fd
+
+        for name, index in joint.indexes.items():
+            fresh = check_fd(fd_set[name], joint.document)
+            assert index.is_satisfied() == fresh.satisfied, name
+            assert index.mapping_count == fresh.mapping_count, name

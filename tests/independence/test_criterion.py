@@ -1,0 +1,192 @@
+"""Unit tests for the independence criterion IC (Propositions 2-3)."""
+
+import pytest
+
+from repro.errors import IndependenceError
+from repro.fd.fd import FunctionalDependency
+from repro.fd.satisfaction import document_satisfies
+from repro.independence.criterion import Verdict, check_independence
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.engine import has_mapping
+from repro.update.update_class import UpdateClass
+
+
+def _fd(spec, context, selected):
+    return FunctionalDependency(
+        build_pattern(spec, selected=selected), context=context
+    )
+
+
+def _update(spec, selected=("s",), name="U"):
+    return UpdateClass(build_pattern(spec, selected=selected), name=name)
+
+
+class TestClearIndependence:
+    def test_disjoint_labels(self):
+        fd = _fd(
+            edge("lib", name="c")(
+                edge("book")(edge("isbn", name="p1"), edge("title", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("shop")(edge("price", name="s")))
+        result = check_independence(fd, update)
+        assert result.verdict is Verdict.INDEPENDENT
+        assert result.independent
+        assert result.witness is None
+
+    def test_sibling_subtrees(self):
+        # updates under book/price never meet isbn/title traces
+        fd = _fd(
+            edge("lib", name="c")(
+                edge("book")(edge("isbn", name="p1"), edge("title", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("lib.book.price.amount", name="s"))
+        assert check_independence(fd, update).independent
+
+    def test_updates_below_nothing_relevant(self):
+        # FD about a/b vs updates of z-children anywhere under c
+        fd = _fd(
+            edge("a", name="c")(edge("b", name="p1"), edge("b2", name="q")),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("c.z", name="s"))
+        assert check_independence(fd, update).independent
+
+
+class TestDetectedDanger:
+    def test_update_inside_target_subtree(self):
+        fd = _fd(
+            edge("lib", name="c")(
+                edge("book")(edge("isbn", name="p1"), edge("title", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("lib.book.title.#text", name="s"))
+        result = check_independence(fd, update)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.witness is not None
+
+    def test_update_on_trace_node(self):
+        fd = _fd(
+            edge("a", name="c")(
+                edge("b")(edge("k", name="p1"), edge("v", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("a.b.v", name="s"))
+        result = check_independence(fd, update)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_witness_is_genuinely_dangerous(self):
+        fd = _fd(
+            edge("a", name="c")(
+                edge("b")(edge("k", name="p1"), edge("v", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("a.b.v", name="s"))
+        result = check_independence(fd, update)
+        witness = result.witness
+        # the witness contains both an FD trace and a selected update node
+        assert has_mapping(fd.pattern, witness)
+        assert update.selected_nodes(witness)
+
+    def test_want_witness_false_drops_document(self):
+        fd = _fd(
+            edge("a", name="c")(
+                edge("b")(edge("k", name="p1"), edge("v", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        update = _update(edge("a.b.v", name="s"))
+        result = check_independence(fd, update, want_witness=False)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.witness is None
+
+
+class TestRestrictions:
+    def test_non_leaf_selected_node_refused(self):
+        fd = _fd(
+            edge("a", name="c")(edge("k", name="p1"), edge("v", name="q")),
+            context="c",
+            selected=("p1", "q"),
+        )
+        non_leaf = UpdateClass(
+            build_pattern(edge("x", name="s")(edge("y")), selected=("s",))
+        )
+        with pytest.raises(IndependenceError):
+            check_independence(fd, non_leaf)
+
+    def test_root_selection_refused(self):
+        fd = _fd(
+            edge("a", name="c")(edge("k", name="p1"), edge("v", name="q")),
+            context="c",
+            selected=("p1", "q"),
+        )
+        builder = PatternBuilder()
+        root_class = UpdateClass(builder.pattern(builder.root))
+        with pytest.raises(IndependenceError):
+            check_independence(fd, root_class)
+
+
+class TestPaperExamples:
+    def test_example5_fd3_unknown(self, figures):
+        """Example 5: U impacts fd3, so IC must not certify."""
+        result = check_independence(figures.fd3, figures.update_class)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_example6_fd5_independent_with_schema(self, figures, schema):
+        result = check_independence(
+            figures.fd5, figures.update_class, schema=schema
+        )
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_fd5_unknown_without_schema(self, figures):
+        result = check_independence(figures.fd5, figures.update_class)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_fd5_witness_violates_schema(self, figures, schema):
+        """The no-schema witness must be schema-invalid, explaining why
+        adding the schema flips the verdict."""
+        result = check_independence(figures.fd5, figures.update_class)
+        assert result.witness is not None
+        assert not schema.is_valid(result.witness)
+
+    def test_fd1_vs_level_updates_independent(self, figures):
+        """Level updates never touch discipline/mark/rank traces."""
+        result = check_independence(figures.fd1, figures.update_class)
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_fd2_vs_level_updates_independent(self, figures):
+        result = check_independence(figures.fd2, figures.update_class)
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_fd4_unknown(self, figures):
+        """fd4 constrains exactly the candidates U updates."""
+        result = check_independence(figures.fd4, figures.update_class)
+        assert result.verdict is Verdict.UNKNOWN
+
+
+class TestResultMetadata:
+    def test_describe(self, figures, schema):
+        result = check_independence(
+            figures.fd5, figures.update_class, schema=schema
+        )
+        described = result.describe()
+        assert "INDEPENDENT" in described
+        assert "with schema" in described
+
+    def test_size_and_time_recorded(self, figures):
+        result = check_independence(figures.fd1, figures.update_class)
+        assert result.automaton_size > 0
+        assert result.elapsed_seconds >= 0

@@ -1,0 +1,94 @@
+"""Unit tests for the brute-force impact search (T4's ground truth)."""
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.independence.exhaustive import (
+    default_replacement_pool,
+    exhaustive_impact_search,
+)
+from repro.pattern.builder import build_pattern, edge
+from repro.update.update_class import UpdateClass
+
+
+def _fd(spec, selected, context="c"):
+    return FunctionalDependency(
+        build_pattern(spec, selected=selected), context=context
+    )
+
+
+def _update(spec):
+    return UpdateClass(build_pattern(spec, selected=("s",)))
+
+
+class TestSearch:
+    def test_impact_found_for_target_updates(self):
+        # FD: under doc, a/key determines a/val; U rewrites val subtrees
+        fd = _fd(
+            edge("doc", name="c")(
+                edge("a")(edge("b", name="p1"), edge("b", name="q"))
+            ),
+            selected=("p1", "q"),
+        )
+        update = _update(edge("doc.a.b", name="s"))
+        result = exhaustive_impact_search(
+            fd,
+            update,
+            labels=("a", "b"),
+            values=("0", "1"),
+            max_depth=3,
+            max_children=2,
+            max_documents=200,
+        )
+        assert result.impacted
+        assert result.witness is not None
+
+    def test_witness_is_real(self):
+        from repro.fd.satisfaction import document_satisfies
+
+        fd = _fd(
+            edge("doc", name="c")(
+                edge("a")(edge("b", name="p1"), edge("b", name="q"))
+            ),
+            selected=("p1", "q"),
+        )
+        update = _update(edge("doc.a.b", name="s"))
+        result = exhaustive_impact_search(
+            fd, update, labels=("a", "b"), max_documents=200
+        )
+        witness = result.witness
+        assert document_satisfies(fd, witness.document)
+        assert not document_satisfies(fd, witness.updated_document)
+
+    def test_no_impact_for_unrelated_updates(self):
+        fd = _fd(
+            edge("doc", name="c")(
+                edge("a")(edge("b", name="p1"), edge("b", name="q"))
+            ),
+            selected=("p1", "q"),
+        )
+        update = _update(edge("doc.zzz", name="s"))
+        result = exhaustive_impact_search(
+            fd, update, labels=("a", "b"), max_documents=100
+        )
+        assert not result.impacted
+        assert result.witness is None
+
+    def test_counters_track_work(self):
+        fd = _fd(
+            edge("doc", name="c")(
+                edge("a")(edge("b", name="p1"), edge("b", name="q"))
+            ),
+            selected=("p1", "q"),
+        )
+        update = _update(edge("doc.a.b", name="s"))
+        result = exhaustive_impact_search(
+            fd, update, labels=("a", "b"), max_documents=50
+        )
+        assert result.documents_checked > 0
+        assert result.updates_tried > 0
+
+    def test_label_preserving_restricts_pool(self):
+        pool = default_replacement_pool(("a", "b"), ("0",))
+        labels = {node.label for node in pool}
+        assert labels == {"a", "b"}

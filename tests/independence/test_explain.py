@@ -1,0 +1,86 @@
+"""Tests for the impact-demonstration diagnostic."""
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.satisfaction import document_satisfies
+from repro.independence.criterion import check_independence
+from repro.independence.explain import demonstrate_impact
+from repro.pattern.builder import build_pattern, edge
+from repro.update.update_class import UpdateClass
+
+
+def _fd():
+    return FunctionalDependency(
+        build_pattern(
+            edge("a", name="c")(
+                edge("b")(edge("k", name="p1"), edge("v", name="q"))
+            ),
+            selected=("p1", "q"),
+        ),
+        context="c",
+    )
+
+
+class TestDemonstration:
+    def test_true_positive_unknown(self):
+        fd = _fd()
+        update_class = UpdateClass(
+            build_pattern(edge("a.b.v", name="s"), selected=("s",))
+        )
+        result = check_independence(fd, update_class)
+        assert not result.independent
+        demo = demonstrate_impact(result)
+        assert demo is not None
+        assert document_satisfies(fd, demo.document)
+        assert not document_satisfies(fd, demo.updated_document)
+        assert "impact demonstrated" in demo.describe()
+
+    def test_example5_fd3_demonstrated(self, figures):
+        """The paper's Example 5 impact, synthesized automatically."""
+        result = check_independence(figures.fd3, figures.update_class)
+        demo = demonstrate_impact(result, max_attempts=5000)
+        assert demo is not None
+        assert document_satisfies(figures.fd3, demo.document)
+        assert not document_satisfies(figures.fd3, demo.updated_document)
+        # the synthesized document has the γ structure: two candidates
+        session = demo.document.node_at((0,))
+        assert len(session.find_all("candidate")) >= 2
+
+    def test_original_document_kept_intact(self):
+        fd = _fd()
+        update_class = UpdateClass(
+            build_pattern(edge("a.b.v", name="s"), selected=("s",))
+        )
+        result = check_independence(fd, update_class)
+        demo = demonstrate_impact(result)
+        assert demo.document.size() != 0
+        assert document_satisfies(fd, demo.document)  # unchanged by search
+
+    def test_independent_results_rejected(self, figures):
+        result = check_independence(figures.fd1, figures.update_class)
+        assert result.independent
+        with pytest.raises(ValueError):
+            demonstrate_impact(result)
+
+    def test_missing_witness_rejected(self, figures):
+        result = check_independence(
+            figures.fd3, figures.update_class, want_witness=False
+        )
+        with pytest.raises(ValueError):
+            demonstrate_impact(result)
+
+    def test_bounded_search_can_return_none(self, figures):
+        result = check_independence(figures.fd3, figures.update_class)
+        assert demonstrate_impact(result, max_attempts=1) is None
+
+    def test_schema_respected(self, figures, schema):
+        """Demonstrations under a schema must use valid documents only."""
+        result = check_independence(
+            figures.fd4, figures.update_class, schema=schema
+        )
+        assert not result.independent
+        demo = demonstrate_impact(result, max_attempts=8000)
+        if demo is not None:  # bounded search; if found, must be valid
+            assert schema.is_valid(demo.document)
+            assert schema.is_valid(demo.updated_document)

@@ -1,0 +1,133 @@
+"""Unit tests for the dangerous-language automaton (Definition 6)."""
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.independence.language import dangerous_language
+from repro.pattern.builder import build_pattern, edge
+from repro.pattern.engine import enumerate_mappings
+from repro.tautomata.emptiness import witness_document
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.parser import parse_document
+
+
+@pytest.fixture
+def simple_fd():
+    return FunctionalDependency(
+        build_pattern(
+            edge("a", name="c")(
+                edge("b")(edge("k", name="p1"), edge("v", name="q"))
+            ),
+            selected=("p1", "q"),
+        ),
+        context="c",
+    )
+
+
+def _update(spec):
+    return UpdateClass(build_pattern(spec, selected=("s",)))
+
+
+class TestMembership:
+    def test_document_with_interaction_accepted(self, simple_fd):
+        language = dangerous_language(simple_fd, _update(edge("a.b.v", name="s")))
+        # v is both FD target and update-selected
+        dangerous = parse_document("<a><b><k/><v/></b></a>")
+        assert language.automaton.accepts(dangerous)
+
+    def test_document_without_update_nodes_rejected(self, simple_fd):
+        language = dangerous_language(simple_fd, _update(edge("a.b.v", name="s")))
+        harmless = parse_document("<a><b><k/></b></a>")  # no v at all
+        assert not language.automaton.accepts(harmless)
+
+    def test_document_without_fd_trace_rejected(self, simple_fd):
+        # update node exists but no complete FD trace
+        language = dangerous_language(simple_fd, _update(edge("a.b.v", name="s")))
+        no_k = parse_document("<a><b><v/></b></a>")
+        assert not language.automaton.accepts(no_k)
+
+    def test_disjoint_interaction_rejected(self, simple_fd):
+        # both trace and update node exist, but the update node is not on
+        # the trace nor under a selected node
+        language = dangerous_language(simple_fd, _update(edge("a.z", name="s")))
+        document = parse_document("<a><b><k/><v/></b><z/></a>")
+        assert not language.automaton.accepts(document)
+
+    def test_update_inside_selected_subtree_accepted(self, simple_fd):
+        # update selects nodes strictly below the target image: region case
+        language = dangerous_language(
+            simple_fd, _update(edge("a.b.v.deep", name="s"))
+        )
+        document = parse_document("<a><b><k/><v><deep/></v></b></a>")
+        assert language.automaton.accepts(document)
+
+    def test_update_below_unselected_leaf_rejected(self, simple_fd):
+        # w is a leaf of the FD template but not selected: its subtree is
+        # not part of N(FD_π(D)) and not on the trace
+        fd = FunctionalDependency(
+            build_pattern(
+                edge("a", name="c")(
+                    edge("b")(
+                        edge("k", name="p1"),
+                        edge("v", name="q"),
+                        edge("w"),
+                    )
+                ),
+                selected=("p1", "q"),
+            ),
+            context="c",
+        )
+        language = dangerous_language(fd, _update(edge("a.b.w.deep", name="s")))
+        document = parse_document("<a><b><k/><v/><w><deep/></w></b></a>")
+        assert not language.automaton.accepts(document)
+
+    def test_update_on_unselected_trace_node_accepted(self, simple_fd):
+        # the w leaf itself *is* a trace node
+        fd = FunctionalDependency(
+            build_pattern(
+                edge("a", name="c")(
+                    edge("b")(
+                        edge("k", name="p1"),
+                        edge("v", name="q"),
+                        edge("w"),
+                    )
+                ),
+                selected=("p1", "q"),
+            ),
+            context="c",
+        )
+        language = dangerous_language(fd, _update(edge("a.b.w", name="s")))
+        document = parse_document("<a><b><k/><v/><w><deep/></w></b></a>")
+        assert language.automaton.accepts(document)
+
+
+class TestSchemaRestriction:
+    def test_schema_filters_dangerous_documents(self, figures, schema):
+        unrestricted = dangerous_language(figures.fd5, figures.update_class)
+        restricted = dangerous_language(
+            figures.fd5, figures.update_class, schema=schema
+        )
+        witness = witness_document(unrestricted.automaton)
+        assert witness is not None
+        assert not restricted.automaton.accepts(witness)
+        assert witness_document(restricted.automaton) is None
+
+
+class TestStructure:
+    def test_ingredient_sizes_exposed(self, simple_fd):
+        language = dangerous_language(simple_fd, _update(edge("a.b.v", name="s")))
+        assert language.fd_automaton.automaton.size() > 0
+        assert language.update_automaton.automaton.size() > 0
+        assert language.size() == language.automaton.size()
+        assert language.flagged_product is language.automaton  # no schema
+
+    def test_schema_changes_final_automaton(self, figures, schema):
+        language = dangerous_language(
+            figures.fd5, figures.update_class, schema=schema
+        )
+        assert language.flagged_product is not language.automaton
+
+    def test_fd_regions_tracked_update_not(self, simple_fd):
+        language = dangerous_language(simple_fd, _update(edge("a.b.v", name="s")))
+        assert language.fd_automaton.track_regions
+        assert not language.update_automaton.track_regions

@@ -1,0 +1,66 @@
+"""Unit tests for the apply-then-recheck baseline."""
+
+from repro.independence.revalidate import revalidation_check
+from repro.update.apply import Update
+from repro.update.operations import set_text
+from repro.workload.exams import generate_session, paper_document, paper_patterns
+from repro.xmlmodel.builder import elem, text
+from repro.update.operations import transform
+
+
+class TestRevalidation:
+    def test_harmless_update(self, figures, figure1):
+        update = Update(figures.update_class, set_text("D"))
+        outcome = revalidation_check(figures.fd1, figure1, update)
+        assert outcome.satisfied_before
+        assert outcome.satisfied_after
+        assert not outcome.fd_broken
+
+    def test_example5_impact_realized(self, figures):
+        """Example 5: decreasing levels of candidates with exams left can
+        break fd3 on a suitable document."""
+        document = paper_document()
+        session = document.node_at((0,))
+        # make the two candidates agree on marks in two disciplines
+        # (γ1 has toBePassed, γ2 does not) and share the same level
+        for candidate in session.children:
+            level = candidate.find("level")
+            for child in list(level.children):
+                child.detach()
+            level.append_child(text("B"))
+            for exam, mark in zip(candidate.find_all("exam"), ("10", "12")):
+                mark_node = exam.find("mark")
+                for child in list(mark_node.children):
+                    child.detach()
+                mark_node.append_child(text(mark))
+
+        def decrease(old):
+            return elem("level", text("C"))
+
+        q1 = Update(figures.update_class, transform(decrease), name="q1")
+        outcome = revalidation_check(figures.fd3, document, q1)
+        assert outcome.satisfied_before
+        assert not outcome.satisfied_after
+        assert outcome.fd_broken
+
+    def test_check_before_skippable(self, figures, figure1):
+        update = Update(figures.update_class, set_text("D"))
+        outcome = revalidation_check(
+            figures.fd1, figure1, update, check_before=False
+        )
+        assert outcome.satisfied_before  # assumed
+        assert outcome.satisfied_after
+
+    def test_original_document_unmodified(self, figures, figure1):
+        before = figure1.size()
+        update = Update(figures.update_class, set_text("D"))
+        revalidation_check(figures.fd1, figure1, update)
+        assert figure1.size() == before
+
+    def test_scales_with_document(self, figures):
+        update = Update(figures.update_class, set_text("D"))
+        small = revalidation_check(
+            figures.fd1, generate_session(5, seed=1), update
+        )
+        assert small.satisfied_before
+        assert small.elapsed_seconds >= 0

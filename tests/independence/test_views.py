@@ -1,0 +1,113 @@
+"""Unit tests for view-update independence (the [9] companion result)."""
+
+import pytest
+
+from repro.errors import IndependenceError
+from repro.independence.criterion import Verdict
+from repro.independence.views import check_view_independence
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.engine import evaluate_pattern
+from repro.update.apply import Update, apply_update
+from repro.update.operations import set_text
+from repro.update.update_class import UpdateClass
+from repro.workload.exams import paper_document, paper_patterns
+from repro.xmlmodel.equality import value_key
+
+
+def _update(spec):
+    return UpdateClass(build_pattern(spec, selected=("s",)))
+
+
+class TestVerdicts:
+    def test_disjoint_view_certified(self, figures):
+        """The R1 view (exam pairs) is untouched by level updates."""
+        result = check_view_independence(figures.r1, figures.update_class)
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_view_overlapping_updates_flagged(self, figures):
+        """R3 selects level nodes — exactly what U rewrites."""
+        result = check_view_independence(figures.r3, figures.update_class)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.witness is not None
+
+    def test_update_below_view_result_flagged(self):
+        view = build_pattern(
+            edge("lib")(edge("book", name="s")), selected=("s",)
+        )
+        updates = _update(edge("lib.book.price", name="s"))
+        result = check_view_independence(view, updates)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_update_besides_view_certified(self):
+        view = build_pattern(
+            edge("lib")(edge("book.title", name="s")), selected=("s",)
+        )
+        updates = _update(edge("lib.audit.entry", name="s"))
+        result = check_view_independence(view, updates)
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_nary_view(self, figures):
+        """R2 (same-candidate exam pairs) vs level updates."""
+        result = check_view_independence(figures.r2, figures.update_class)
+        assert result.verdict is Verdict.INDEPENDENT
+
+
+class TestSemantics:
+    def test_certified_view_really_invariant(self, figures):
+        """Dynamic check: the view result is value-identical after any
+        label-preserving member of the class."""
+        document = paper_document()
+        before = [
+            tuple(value_key(node) for node in row)
+            for row in evaluate_pattern(figures.r1, document)
+        ]
+        update = Update(figures.update_class, set_text("Z"))
+        updated = apply_update(document, update)
+        after = [
+            tuple(value_key(node) for node in row)
+            for row in evaluate_pattern(figures.r1, updated)
+        ]
+        assert before == after
+
+    def test_flagged_view_can_really_change(self, figures):
+        document = paper_document()
+        before = [
+            tuple(value_key(node) for node in row)
+            for row in evaluate_pattern(figures.r3, document)
+        ]
+        update = Update(figures.update_class, set_text("Z"))
+        updated = apply_update(document, update)
+        after = [
+            tuple(value_key(node) for node in row)
+            for row in evaluate_pattern(figures.r3, updated)
+        ]
+        assert before != after
+
+
+class TestRestrictions:
+    def test_non_leaf_update_class_refused(self, figures):
+        non_leaf = UpdateClass(
+            build_pattern(edge("x", name="s")(edge("y")), selected=("s",))
+        )
+        with pytest.raises(IndependenceError):
+            check_view_independence(figures.r1, non_leaf)
+
+    def test_schema_can_flip_verdict(self, figures, schema):
+        """A view over firstJob-Year is safe from level updates only
+        when the schema rules out both-children candidates."""
+        builder = PatternBuilder()
+        candidate = builder.child(builder.root, "session.candidate")
+        builder.child(candidate, "level")
+        builder.child(candidate, "firstJob-Year", name="s")
+        view = builder.pattern("s")
+        without = check_view_independence(view, figures.update_class)
+        with_schema = check_view_independence(
+            view, figures.update_class, schema=schema
+        )
+        assert without.verdict is Verdict.UNKNOWN
+        assert with_schema.verdict is Verdict.INDEPENDENT
+
+    def test_describe(self, figures):
+        result = check_view_independence(figures.r1, figures.update_class)
+        assert "view-IC" in result.describe()
+        assert "INDEPENDENT" in result.describe()

@@ -1,0 +1,153 @@
+"""End-to-end scenarios across all layers."""
+
+import pytest
+
+from repro import (
+    EqualityType,
+    FunctionalDependency,
+    LinearFD,
+    PatternBuilder,
+    Schema,
+    Update,
+    UpdateClass,
+    Verdict,
+    apply_update,
+    check_fd,
+    check_independence,
+    document_satisfies,
+    parse_document,
+    revalidation_check,
+    serialize_document,
+    translate_linear_fd,
+    update_class_from_xpath,
+)
+from repro.update.operations import set_text
+from repro.workload.exams import generate_session
+
+
+class TestLibraryScenario:
+    """A bibliographic store: FD ingestion from the [8] syntax, XPath
+    update classes, schema-aware independence, revalidation fallback."""
+
+    @pytest.fixture
+    def schema(self):
+        return Schema.from_rules(
+            document_element="library",
+            rules={
+                "library": "book*",
+                "book": "@isbn title author+ (price | unavailable)",
+                "title": "#text",
+                "author": "#text",
+                "price": "#text",
+                "unavailable": "()",
+            },
+        )
+
+    @pytest.fixture
+    def fd_isbn_title(self):
+        return translate_linear_fd(
+            LinearFD.build(
+                context="/library",
+                conditions=["book/@isbn"],
+                target="book/title",
+                name="isbn-determines-title",
+            )
+        )
+
+    @pytest.fixture
+    def document(self):
+        return parse_document(
+            '<library>'
+            '<book isbn="1"><title>T1</title><author>A</author>'
+            "<price>10</price></book>"
+            '<book isbn="2"><title>T2</title><author>B</author>'
+            "<unavailable/></book>"
+            "</library>"
+        )
+
+    def test_document_is_valid_and_satisfies(self, schema, fd_isbn_title, document):
+        assert schema.is_valid(document)
+        assert document_satisfies(fd_isbn_title, document)
+
+    def test_price_updates_certified_independent(self, schema, fd_isbn_title):
+        price_updates = update_class_from_xpath("/library/book/price")
+        result = check_independence(fd_isbn_title, price_updates, schema=schema)
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_title_updates_flagged(self, schema, fd_isbn_title):
+        title_updates = update_class_from_xpath("/library/book/title")
+        result = check_independence(fd_isbn_title, title_updates, schema=schema)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.witness is not None
+        assert schema.is_valid(result.witness)
+
+    def test_flagged_class_falls_back_to_revalidation(
+        self, fd_isbn_title, document
+    ):
+        title_updates = update_class_from_xpath("/library/book/title")
+        harmless = Update(title_updates, set_text("T1"))
+        outcome = revalidation_check(fd_isbn_title, document, harmless)
+        assert not outcome.fd_broken  # this *particular* update is safe
+
+
+class TestExamPipeline:
+    """The paper's domain at scale: generate, validate, check, update."""
+
+    def test_pipeline(self, figures, schema):
+        document = generate_session(30, seed=11)
+        assert schema.is_valid(document)
+        report = check_fd(figures.fd1, document)
+        assert report.satisfied
+        assert report.mapping_count >= 30
+
+        update = Update(figures.update_class, set_text("E"))
+        updated = apply_update(document, update)
+        assert schema.is_valid(updated)
+        # fd1 untouched by level updates — as certified by IC
+        assert check_independence(figures.fd1, figures.update_class).independent
+        assert document_satisfies(figures.fd1, updated)
+
+    def test_serialization_round_trip_preserves_verdicts(self, figures):
+        document = generate_session(10, seed=12)
+        reparsed = parse_document(serialize_document(document))
+        assert document_satisfies(figures.fd1, document) == (
+            document_satisfies(figures.fd1, reparsed)
+        )
+        assert len(figures.update_class.selected_nodes(document)) == len(
+            figures.update_class.selected_nodes(reparsed)
+        )
+
+
+class TestNodeEqualityEndToEnd:
+    def test_key_like_fd(self):
+        builder = PatternBuilder()
+        c = builder.child(builder.root, "people", name="c")
+        person = builder.child(c, "person", name="q")
+        builder.child(person, "@ssn", name="p1")
+        fd = FunctionalDependency(
+            builder.pattern("p1", "q"),
+            context="c",
+            target_type=EqualityType.NODE,
+            name="ssn-key",
+        )
+        ok = parse_document(
+            '<people><person ssn="1"/><person ssn="2"/></people>'
+        )
+        dup = parse_document(
+            '<people><person ssn="1"/><person ssn="1"/></people>'
+        )
+        assert document_satisfies(fd, ok)
+        assert not document_satisfies(fd, dup)
+
+    def test_key_fd_vs_unrelated_updates(self):
+        builder = PatternBuilder()
+        c = builder.child(builder.root, "people", name="c")
+        person = builder.child(c, "person", name="q")
+        builder.child(person, "@ssn", name="p1")
+        fd = FunctionalDependency(
+            builder.pattern("p1", "q"),
+            context="c",
+            target_type=EqualityType.NODE,
+        )
+        audit_updates = update_class_from_xpath("/people/audit/entry")
+        assert check_independence(fd, audit_updates).independent

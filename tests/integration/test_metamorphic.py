@@ -1,0 +1,167 @@
+"""Metamorphic properties of the independence criterion.
+
+Transformations that must not change a verdict:
+
+* consistent relabeling of the whole instance (FD, update class, schema);
+* enlarging the analysis alphabet with labels nobody uses;
+* swapping the roles of condition and target when both are VALUE-typed
+  over symmetric patterns (weaker: verdicts may only improve — not used);
+* padding the update template with an unrelated sibling branch *below
+  the selected node's parent* must never turn UNKNOWN into INDEPENDENT
+  spuriously (monotonicity: a more constrained U is safer).
+"""
+
+import random
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.independence.criterion import check_independence
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.template import ROOT_POSITION, RegularTreeTemplate
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.update.update_class import UpdateClass
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_update_class,
+)
+
+RENAMING = {"a": "alpha", "b": "beta", "c": "gamma"}
+
+
+def _rename_regex(expression: Regex) -> Regex:
+    if isinstance(expression, Symbol):
+        return Symbol(RENAMING.get(expression.label, expression.label))
+    if isinstance(expression, (AnySymbol, Epsilon)):
+        return expression
+    if isinstance(expression, Concat):
+        return Concat([_rename_regex(p) for p in expression.parts])
+    if isinstance(expression, Union):
+        return Union([_rename_regex(p) for p in expression.parts])
+    if isinstance(expression, Star):
+        return Star(_rename_regex(expression.inner))
+    if isinstance(expression, Plus):
+        return Plus(_rename_regex(expression.inner))
+    if isinstance(expression, Optional):
+        return Optional(_rename_regex(expression.inner))
+    raise TypeError(expression)
+
+
+def _rename_template(template: RegularTreeTemplate) -> RegularTreeTemplate:
+    return RegularTreeTemplate(
+        {
+            position: _rename_regex(regex)
+            for position, regex in template.edge_regexes.items()
+        },
+        names=template.names,
+    )
+
+
+def _rename_fd(fd: FunctionalDependency) -> FunctionalDependency:
+    from repro.pattern.template import RegularTreePattern
+
+    pattern = RegularTreePattern(
+        _rename_template(fd.pattern.template), fd.pattern.selected
+    )
+    return FunctionalDependency(
+        pattern,
+        context=fd.context,
+        condition_types=list(fd.condition_types),
+        target_type=fd.target_type,
+        name=fd.name,
+    )
+
+
+def _rename_update(update_class: UpdateClass) -> UpdateClass:
+    from repro.pattern.template import RegularTreePattern
+
+    pattern = RegularTreePattern(
+        _rename_template(update_class.pattern.template),
+        update_class.pattern.selected,
+    )
+    return UpdateClass(pattern, name=update_class.name)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_relabeling_preserves_verdicts(seed):
+    rng = random.Random(seed)
+    fd = random_functional_dependency(
+        rng, labels=("a", "b"), node_count=3, max_length=2,
+        star_probability=0.2, wildcard_probability=0.1,
+    )
+    update_class = random_update_class(
+        rng, labels=("a", "b"), node_count=2, max_length=2,
+        star_probability=0.2, wildcard_probability=0.1,
+    )
+    original = check_independence(fd, update_class, want_witness=False)
+    renamed = check_independence(
+        _rename_fd(fd), _rename_update(update_class), want_witness=False
+    )
+    assert original.verdict == renamed.verdict, seed
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_unused_alphabet_labels_preserve_verdicts(seed):
+    from repro.independence.language import dangerous_language
+    from repro.tautomata.emptiness import witness_document
+
+    rng = random.Random(seed)
+    fd = random_functional_dependency(
+        rng, labels=("a", "b"), node_count=3, max_length=2
+    )
+    update_class = random_update_class(
+        rng, labels=("a", "b"), node_count=2, max_length=2
+    )
+    baseline = check_independence(fd, update_class, want_witness=False)
+    # rebuild the automata over a larger alphabet by hand
+    from repro.tautomata.from_pattern import trace_automaton
+    from repro.independence.language import _flagged_product
+
+    alphabet = (
+        fd.pattern.template.alphabet()
+        | update_class.pattern.template.alphabet()
+        | {"unused1", "unused2"}
+    )
+    flagged = _flagged_product(
+        trace_automaton(fd.pattern, alphabet, track_regions=True),
+        trace_automaton(update_class.pattern, alphabet),
+    )
+    enlarged_empty = witness_document(flagged) is None
+    assert baseline.independent == enlarged_empty, seed
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_constraining_update_class_is_monotone(seed):
+    """Adding a required sibling branch to U shrinks its selections, so
+    an INDEPENDENT verdict must never flip to UNKNOWN... the converse —
+    UNKNOWN may become INDEPENDENT — is allowed and expected."""
+    rng = random.Random(seed)
+    fd = random_functional_dependency(
+        rng, labels=("a", "b"), node_count=3, max_length=2
+    )
+
+    builder = PatternBuilder()
+    anchor = builder.child(builder.root, "a")
+    builder.child(anchor, "b", name="s")
+    loose = UpdateClass(builder.pattern("s"), name="loose")
+
+    builder = PatternBuilder()
+    anchor = builder.child(builder.root, "a")
+    builder.child(anchor, "b", name="s")
+    builder.child(anchor, "extra-requirement")
+    tight = UpdateClass(builder.pattern("s"), name="tight")
+
+    loose_result = check_independence(fd, loose, want_witness=False)
+    tight_result = check_independence(fd, tight, want_witness=False)
+    if loose_result.independent:
+        assert tight_result.independent, seed

@@ -1,0 +1,104 @@
+"""The central integration property: IC is *sound*.
+
+Proposition 2 states that an empty dangerous language implies
+independence.  Operationally: whenever ``check_independence`` certifies a
+pair, no bounded-space exhaustive search (over schema-valid documents and
+label-preserving updates) may find an impact witness.  The converse need
+not hold — IC is incomplete — so UNKNOWN verdicts carry no obligation.
+"""
+
+import random
+
+import pytest
+
+from repro.independence.criterion import check_independence
+from repro.independence.exhaustive import exhaustive_impact_search
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_update_class,
+)
+
+LABELS = ("a", "b")
+
+
+def _bounded_search(fd, update_class):
+    return exhaustive_impact_search(
+        fd,
+        update_class,
+        labels=LABELS,
+        values=("0", "1"),
+        max_depth=3,
+        max_children=2,
+        max_documents=150,
+        max_updates_per_document=512,
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_certified_pairs_survive_bounded_search(seed):
+    rng = random.Random(seed)
+    fd = random_functional_dependency(
+        rng, labels=LABELS, node_count=3, max_length=2,
+        star_probability=0.15, wildcard_probability=0.05,
+    )
+    update_class = random_update_class(
+        rng, labels=LABELS, node_count=2, max_length=2,
+        star_probability=0.15, wildcard_probability=0.05,
+    )
+    result = check_independence(fd, update_class, want_witness=False)
+    if result.independent:
+        search = _bounded_search(fd, update_class)
+        assert not search.impacted, (
+            f"IC certified independence but brute force found an impact "
+            f"(seed={seed}):\nfd={fd.describe()}\n"
+            f"update={update_class.pattern.template.describe()}"
+        )
+
+
+def test_paper_pairs_soundness(figures, schema):
+    """IC verdicts on the paper's own pairs never contradict search."""
+    pairs = [
+        (figures.fd1, figures.update_class, None),
+        (figures.fd2, figures.update_class, None),
+        (figures.fd5, figures.update_class, schema),
+    ]
+    for fd, update_class, used_schema in pairs:
+        result = check_independence(fd, update_class, schema=used_schema)
+        if not result.independent:
+            continue
+        search = exhaustive_impact_search(
+            fd,
+            update_class,
+            schema=used_schema,
+            labels=("session", "candidate", "level", "toBePassed"),
+            values=("A", "B"),
+            max_depth=3,
+            max_children=2,
+            max_documents=25,
+            max_updates_per_document=64,
+        )
+        assert not search.impacted, fd.name
+
+
+def test_unknown_verdicts_can_be_real_impacts():
+    """Sanity: the exhaustive search does find impacts for pairs IC
+    flags as UNKNOWN (i.e., the soundness test above is not vacuous)."""
+    from repro.fd.fd import FunctionalDependency
+    from repro.pattern.builder import build_pattern, edge
+    from repro.update.update_class import UpdateClass
+
+    fd = FunctionalDependency(
+        build_pattern(
+            edge("doc", name="c")(
+                edge("a")(edge("b", name="p1"), edge("b", name="q"))
+            ),
+            selected=("p1", "q"),
+        ),
+        context="c",
+    )
+    update_class = UpdateClass(
+        build_pattern(edge("doc.a.b", name="s"), selected=("s",))
+    )
+    result = check_independence(fd, update_class, want_witness=False)
+    assert not result.independent
+    assert _bounded_search(fd, update_class).impacted

@@ -1,0 +1,229 @@
+"""Clause-by-clause checks of the paper's Definitions 1-6.
+
+Where the figure tests pin concrete examples, these tests pin each
+formal clause in isolation, so a regression message points at the exact
+definitional requirement that broke.
+"""
+
+import pytest
+
+from repro.errors import FDError, ImproperRegexError, PatternError
+from repro.fd.fd import EqualityType, FunctionalDependency
+from repro.fd.satisfaction import document_satisfies
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.engine import enumerate_mappings, has_mapping
+from repro.pattern.template import ROOT_POSITION, RegularTreeTemplate
+from repro.xmlmodel.builder import attr, doc, elem, text
+from repro.xmlmodel.equality import nodes_value_equal
+from repro.xmlmodel.parser import parse_document
+
+
+class TestDefinition1:
+    """n-ary regular tree patterns."""
+
+    def test_template_is_tree_domain(self):
+        # parent-closed and sibling-closed position sets only
+        RegularTreeTemplate({(0,): "a", (1,): "b", (0, 0): "c"})
+        with pytest.raises(PatternError):
+            RegularTreeTemplate({(1,): "a"})  # missing sibling (0,)
+
+    def test_edges_carry_proper_regexes(self):
+        with pytest.raises(ImproperRegexError):
+            RegularTreeTemplate({(0,): "a*"})
+        with pytest.raises(ImproperRegexError):
+            RegularTreeTemplate({(0,): "a?|b?"})
+
+    def test_selected_tuple_orders_results(self):
+        document = parse_document("<r><x/><y/></r>")
+        xy = build_pattern(
+            edge("r")(edge("x", name="a"), edge("y", name="b")),
+            selected=("a", "b"),
+        )
+        yx = build_pattern(
+            edge("r")(edge("x", name="a"), edge("y", name="b")),
+            selected=("b", "a"),
+        )
+        (m,) = enumerate_mappings(xy, document)
+        assert [n.label for n in m.selected_images(xy)] == ["x", "y"]
+        assert [n.label for n in m.selected_images(yx)] == ["y", "x"]
+
+    def test_size_definition(self):
+        template = RegularTreeTemplate({(0,): "a.(b|c)"})
+        assert template.size() == len({"a", "b", "c"}) + template.edge_dfa(
+            (0,)
+        ).state_count
+
+
+class TestDefinition2:
+    """Mappings: root condition, order, path languages, prefix-disjointness."""
+
+    def test_root_maps_to_slash_root(self):
+        document = parse_document("<a/>")
+        pattern = build_pattern(edge("a", name="s"), selected=("s",))
+        (mapping,) = enumerate_mappings(pattern, document)
+        assert mapping.images[ROOT_POSITION] is document.root
+        assert mapping.images[ROOT_POSITION].label == "/"
+
+    def test_path_word_excludes_source_includes_target(self):
+        # edge regex 'b.c' must match the labels *below* the source node
+        document = parse_document("<a><b><c/></b></a>")
+        good = build_pattern(edge("a", name="x")(edge("b.c", name="s")), selected=("s",))
+        bad = build_pattern(edge("a", name="x")(edge("a.b.c", name="s")), selected=("s",))
+        assert has_mapping(good, document)
+        assert not has_mapping(bad, document)
+
+    def test_order_clause(self):
+        document = parse_document("<r><x/><y/></r>")
+        backwards = build_pattern(
+            edge("r")(edge("y", name="a"), edge("x", name="b")),
+            selected=("a", "b"),
+        )
+        assert not has_mapping(backwards, document)
+
+    def test_prefix_disjointness_clause(self):
+        # two paths from the same template node through one child: banned
+        document = parse_document("<r><m><x/><y/></m></r>")
+        pattern = build_pattern(
+            edge("r")(edge("m.x", name="a"), edge("m.y", name="b")),
+            selected=("a", "b"),
+        )
+        assert not has_mapping(pattern, document)
+        two = parse_document("<r><m><x/></m><m><y/></m></r>")
+        assert has_mapping(pattern, two)
+
+    def test_mapping_strictly_order_preserving_hence_injective(self):
+        document = parse_document("<r><x/></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x", name="a"), edge("x", name="b")),
+            selected=("a", "b"),
+        )
+        # a single x cannot serve both selected nodes
+        assert not has_mapping(pattern, document)
+
+
+class TestDefinition3:
+    """Value equality."""
+
+    def test_leaf_clause(self):
+        assert nodes_value_equal(text("v"), text("v"))
+        assert not nodes_value_equal(text("v"), text("w"))
+
+    def test_type_clause(self):
+        assert not nodes_value_equal(attr("k", "v"), text("v"))
+
+    def test_label_clause(self):
+        assert not nodes_value_equal(elem("a"), elem("b"))
+
+    def test_element_clause_positionwise(self):
+        first = elem("a", elem("x"), elem("y"))
+        second = elem("a", elem("y"), elem("x"))
+        assert not nodes_value_equal(first, second)
+        assert nodes_value_equal(first, first.clone())
+
+
+class TestDefinition4:
+    """FD structure."""
+
+    def test_context_ancestor_requirement(self):
+        pattern = build_pattern(
+            edge("c", name="c")(edge("p", name="p1"), edge("q", name="q")),
+            selected=("p1", "q"),
+        )
+        FunctionalDependency(pattern, context="c")  # fine
+        with pytest.raises(FDError):
+            FunctionalDependency(pattern, context="p1")
+
+    def test_default_equality_is_value(self):
+        pattern = build_pattern(
+            edge("c", name="c")(edge("p", name="p1"), edge("q", name="q")),
+            selected=("p1", "q"),
+        )
+        fd = FunctionalDependency(pattern, context="c")
+        assert all(t is EqualityType.VALUE for t in fd.condition_types)
+        assert fd.target_type is EqualityType.VALUE
+
+
+class TestDefinition5:
+    """FD satisfaction: the two-trace condition."""
+
+    @pytest.fixture
+    def fd(self):
+        pattern = build_pattern(
+            edge("c", name="c")(
+                edge("i")(edge("p", name="p1"), edge("q", name="q"))
+            ),
+            selected=("p1", "q"),
+        )
+        return FunctionalDependency(pattern, context="c")
+
+    def test_clause_a_context_identity(self, fd):
+        # same condition values under *different* context nodes: no link
+        document = parse_document(
+            "<r><c><i><p>1</p><q>a</q></i></c>"
+            "<c><i><p>1</p><q>b</q></i></c></r>"
+        )
+        # re-anchor the pattern under r
+        pattern = build_pattern(
+            edge("r.c", name="c")(
+                edge("i")(edge("p", name="p1"), edge("q", name="q"))
+            ),
+            selected=("p1", "q"),
+        )
+        scoped = FunctionalDependency(pattern, context="c")
+        assert document_satisfies(scoped, document)
+
+    def test_clause_b_condition_equality(self, fd):
+        document = parse_document(
+            "<c><i><p>1</p><q>a</q></i><i><p>2</p><q>b</q></i></c>"
+        )
+        assert document_satisfies(fd, document)
+
+    def test_conclusion_target_equality(self, fd):
+        violating = parse_document(
+            "<c><i><p>1</p><q>a</q></i><i><p>1</p><q>b</q></i></c>"
+        )
+        assert not document_satisfies(fd, violating)
+
+    def test_single_trace_never_violates(self, fd):
+        document = parse_document("<c><i><p>1</p><q>a</q></i></c>")
+        assert document_satisfies(fd, document)
+
+
+class TestDefinition6:
+    """The dangerous language L: both conditions, intersection clause."""
+
+    @pytest.fixture
+    def parts(self):
+        from repro.independence.language import dangerous_language
+        from repro.update.update_class import UpdateClass
+
+        fd = FunctionalDependency(
+            build_pattern(
+                edge("c", name="c")(
+                    edge("i")(edge("p", name="p1"), edge("q", name="q"))
+                ),
+                selected=("p1", "q"),
+            ),
+            context="c",
+        )
+        update_class = UpdateClass(
+            build_pattern(edge("c.i.q", name="s"), selected=("s",))
+        )
+        return fd, update_class, dangerous_language(fd, update_class)
+
+    def test_needs_fd_trace(self, parts):
+        _, _, language = parts
+        missing_p = parse_document("<c><i><q/></i></c>")
+        assert not language.automaton.accepts(missing_p)
+
+    def test_needs_update_trace(self, parts):
+        _, _, language = parts
+        no_q = parse_document("<c><i><p/></i></c>")
+        assert not language.automaton.accepts(no_q)
+
+    def test_needs_intersection(self, parts):
+        fd, update_class, language = parts
+        overlapping = parse_document("<c><i><p/><q/></i></c>")
+        assert language.automaton.accepts(overlapping)
+        assert update_class.selected_nodes(overlapping)
+        assert has_mapping(fd.pattern, overlapping)

@@ -1,0 +1,213 @@
+"""Figure-for-figure reproduction of the paper's worked examples.
+
+Every check in this module pins a statement the paper makes explicitly;
+a failure here means the reproduction diverges from the paper.
+"""
+
+import pytest
+
+from repro.fd.satisfaction import check_fd, document_satisfies
+from repro.pattern.engine import enumerate_mappings, evaluate_pattern
+from repro.xmlmodel.serializer import serialize_document
+
+from tests.conftest import positions, tuple_positions
+
+
+class TestFigure1Document:
+    """The exam-session document, with the node positions the text cites."""
+
+    def test_shape(self, figure1):
+        session = figure1.node_at((0,))
+        assert session.label == "session"
+        assert [c.label for c in session.children] == ["candidate", "candidate"]
+
+    def test_candidate1_positions(self, figure1):
+        assert figure1.node_at((0, 0, 0)).label == "@IDN"
+        assert figure1.node_at((0, 0, 1)).label == "level"
+        assert figure1.node_at((0, 0, 2)).label == "exam"
+        assert figure1.node_at((0, 0, 3)).label == "exam"
+        assert figure1.node_at((0, 0, 4)).label == "toBePassed"
+
+    def test_candidate2_positions(self, figure1):
+        assert figure1.node_at((0, 1, 2)).label == "exam"
+        assert figure1.node_at((0, 1, 3)).label == "exam"
+        assert figure1.node_at((0, 1, 4)).label == "firstJob-Year"
+
+    def test_exam_children_order(self, figure1):
+        exam = figure1.node_at((0, 0, 2))
+        assert [c.label for c in exam.children] == [
+            "date",
+            "discipline",
+            "mark",
+            "rank",
+        ]
+
+    def test_failed_candidate_has_to_be_passed(self, figure1):
+        candidate1 = figure1.node_at((0, 0))
+        marks = [int(e.find("mark").text_value()) for e in candidate1.find_all("exam")]
+        assert any(mark < 10 for mark in marks)
+        assert candidate1.find_all("toBePassed")
+
+    def test_graduated_candidate_has_first_job_year(self, figure1):
+        candidate2 = figure1.node_at((0, 1))
+        marks = [int(e.find("mark").text_value()) for e in candidate2.find_all("exam")]
+        assert all(mark >= 10 for mark in marks)
+        assert candidate2.find_all("firstJob-Year")
+
+
+class TestFigure2Evaluations:
+    """R1(D) and R2(D) exactly as stated in Section 2.2."""
+
+    def test_r1_four_pairs_across_candidates(self, figures, figure1):
+        expected = [
+            ("0.0.2", "0.1.2"),
+            ("0.0.2", "0.1.3"),
+            ("0.0.3", "0.1.2"),
+            ("0.0.3", "0.1.3"),
+        ]
+        assert tuple_positions(evaluate_pattern(figures.r1, figure1)) == expected
+
+    def test_r1_mapping_count(self, figures, figure1):
+        """'there are four mappings of R1 on D'"""
+        assert len(list(enumerate_mappings(figures.r1, figure1))) == 4
+
+    def test_r2_two_pairs_same_candidate(self, figures, figure1):
+        expected = [("0.0.2", "0.0.3"), ("0.1.2", "0.1.3")]
+        assert tuple_positions(evaluate_pattern(figures.r2, figure1)) == expected
+
+    def test_r2_mapping_count(self, figures, figure1):
+        """'there are only two mappings of R2 on D'"""
+        assert len(list(enumerate_mappings(figures.r2, figure1))) == 2
+
+    def test_r1_excludes_same_candidate_pairs(self, figures, figure1):
+        r1_results = tuple_positions(evaluate_pattern(figures.r1, figure1))
+        assert ("0.0.2", "0.0.3") not in r1_results
+
+
+class TestFigure3OrderSensitivity:
+    """R3 selects level nodes; R4 is empty by order (Section 2.2)."""
+
+    def test_r3_selects_levels(self, figures, figure1):
+        results = evaluate_pattern(figures.r3, figure1)
+        assert tuple_positions(results) == [("0.0.1",), ("0.1.1",)]
+        assert all(t[0].label == "level" for t in results)
+
+    def test_r4_empty(self, figures, figure1):
+        assert evaluate_pattern(figures.r4, figure1) == []
+
+
+class TestFigure4FDs:
+    """fd1 and fd2 (Examples 1-2)."""
+
+    def test_fd1_satisfied_on_figure1(self, figures, figure1):
+        report = check_fd(figures.fd1, figure1)
+        assert report.satisfied
+
+    def test_fd1_semantics(self, figures, figure1):
+        """Same discipline + same mark with different rank violates."""
+        # candidates share algebra/12 with rank 2: change one rank
+        rank = figure1.node_at((0, 1, 2)).find("rank")
+        for child in list(rank.children):
+            child.detach()
+        from repro.xmlmodel.builder import text
+
+        rank.append_child(text("9"))
+        assert not document_satisfies(figures.fd1, figure1)
+
+    def test_fd2_satisfied_on_figure1(self, figures, figure1):
+        assert document_satisfies(figures.fd2, figure1)
+
+    def test_fd2_semantics(self, figures, figure1):
+        """Same candidate, same date+discipline on two exams violates."""
+        candidate = figure1.node_at((0, 0))
+        duplicate = figure1.node_at((0, 0, 2)).clone()
+        candidate.insert_child(3, duplicate)
+        assert not document_satisfies(figures.fd2, figure1)
+
+    def test_fd2_same_discipline_different_date_ok(self, figures, figure1):
+        from repro.xmlmodel.builder import text
+
+        candidate = figure1.node_at((0, 0))
+        retake = figure1.node_at((0, 0, 2)).clone()
+        date = retake.find("date")
+        for child in list(date.children):
+            child.detach()
+        date.append_child(text("2010-03-20"))
+        candidate.insert_child(3, retake)
+        assert document_satisfies(figures.fd2, figure1)
+
+
+class TestFigure5FDs:
+    """fd3 and fd4 (Example 3) — beyond the [8] formalism."""
+
+    def test_fd3_satisfied_on_figure1(self, figures, figure1):
+        assert document_satisfies(figures.fd3, figure1)
+
+    def test_fd3_needs_two_different_exams(self, figures):
+        """Condition (b) captures marks from two *different* exams."""
+        from repro.xmlmodel.parser import parse_document
+
+        single_exam = parse_document(
+            "<session><candidate><level>A</level>"
+            "<exam><mark>10</mark></exam></candidate></session>"
+        )
+        assert not list(enumerate_mappings(figures.fd3.pattern, single_exam))
+
+    def test_fd3_violation(self, figures):
+        from repro.xmlmodel.parser import parse_document
+
+        document = parse_document(
+            "<session>"
+            "<candidate><level>A</level>"
+            "<exam><mark>10</mark></exam><exam><mark>12</mark></exam></candidate>"
+            "<candidate><level>B</level>"
+            "<exam><mark>10</mark></exam><exam><mark>12</mark></exam></candidate>"
+            "</session>"
+        )
+        assert not document_satisfies(figures.fd3, document)
+
+    def test_fd4_only_constrains_non_graduated(self, figures):
+        from repro.xmlmodel.parser import parse_document
+
+        # same marks, different levels, but only one has toBePassed:
+        # fd4 does not fire across the pair
+        document = parse_document(
+            "<session>"
+            "<candidate><level>A</level>"
+            "<exam><mark>10</mark></exam><exam><mark>12</mark></exam>"
+            "<toBePassed/></candidate>"
+            "<candidate><level>B</level>"
+            "<exam><mark>10</mark></exam><exam><mark>12</mark></exam></candidate>"
+            "</session>"
+        )
+        assert document_satisfies(figures.fd4, document)
+        assert not document_satisfies(figures.fd3, document)
+
+
+class TestFigure6UpdateClass:
+    """Example 4: the update class U and its members q1, q2."""
+
+    def test_u_selects_only_node_001(self, figures, figure1):
+        """'the class U returns only the node 001 to be updated'"""
+        assert positions(figures.update_class.selected_nodes(figure1)) == [
+            "0.0.1"
+        ]
+
+    def test_q1_and_q2_same_class(self, figures, figure1):
+        from repro.update.apply import Update, apply_update
+        from repro.update.operations import add_child, set_text
+        from repro.xmlmodel.builder import elem
+
+        q1 = Update(figures.update_class, set_text("D"), name="q1")
+        q2 = Update(
+            figures.update_class,
+            add_child(lambda: elem("comment")),
+            name="q2",
+        )
+        after_q1 = apply_update(figure1, q1)
+        after_q2 = apply_update(figure1, q2)
+        assert after_q1.node_at((0, 0, 1)).text_value() == "D"
+        assert after_q2.node_at((0, 0, 1)).find_all("comment")
+        # the graduated candidate's level is untouched by both
+        assert after_q1.node_at((0, 1, 1)).text_value() == "A"
+        assert not after_q2.node_at((0, 1, 1)).find_all("comment")

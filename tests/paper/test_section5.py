@@ -1,0 +1,190 @@
+"""Section 5 reproduction: impact, independence, hardness, criterion."""
+
+import pytest
+
+from repro.fd.satisfaction import document_satisfies
+from repro.independence.criterion import Verdict, check_independence
+from repro.independence.hardness import (
+    hardness_gadget,
+    inclusion_via_independence,
+    violation_witness_for,
+)
+from repro.independence.revalidate import revalidation_check
+from repro.update.apply import Update
+from repro.update.operations import transform
+from repro.xmlmodel.builder import elem, text
+from repro.xmlmodel.parser import parse_document
+
+
+class TestExample5Impact:
+    """'The update q1 of Example 4 has an impact on fd3.'"""
+
+    def _gamma_document(self):
+        """Two candidates with equal marks in two disciplines and equal
+        levels; γ1 has a toBePassed child, γ2 does not."""
+        return parse_document(
+            "<session>"
+            "<candidate><level>B</level>"
+            "<exam><mark>10</mark></exam><exam><mark>12</mark></exam>"
+            "<toBePassed/></candidate>"
+            "<candidate><level>B</level>"
+            "<exam><mark>10</mark></exam><exam><mark>12</mark></exam>"
+            "</candidate>"
+            "</session>"
+        )
+
+    def test_document_satisfies_fd3_before(self, figures):
+        assert document_satisfies(figures.fd3, self._gamma_document())
+
+    def test_q1_updates_only_gamma1(self, figures):
+        document = self._gamma_document()
+        selected = figures.update_class.selected_nodes(document)
+        assert [n.position() for n in selected] == [(0, 0, 0)]
+
+    def test_q1_breaks_fd3(self, figures):
+        q1 = Update(
+            figures.update_class,
+            transform(lambda old: elem("level", text("C"))),
+            name="q1",
+        )
+        outcome = revalidation_check(figures.fd3, self._gamma_document(), q1)
+        assert outcome.fd_broken
+
+    def test_ic_does_not_certify_fd3(self, figures):
+        assert (
+            check_independence(figures.fd3, figures.update_class).verdict
+            is Verdict.UNKNOWN
+        )
+
+
+class TestExample6SchemaIndependence:
+    """fd5 independent of U in the context of the Example 6 schema."""
+
+    def test_schema_requires_exactly_one_outcome(self, schema):
+        both = parse_document(
+            '<session><candidate IDN="C"><level>A</level>'
+            "<exam><date>d</date><discipline>x</discipline>"
+            "<mark>10</mark><rank>1</rank></exam>"
+            "<toBePassed/><firstJob-Year>2011</firstJob-Year>"
+            "</candidate></session>"
+        )
+        neither = parse_document(
+            '<session><candidate IDN="C"><level>A</level>'
+            "<exam><date>d</date><discipline>x</discipline>"
+            "<mark>10</mark><rank>1</rank></exam>"
+            "</candidate></session>"
+        )
+        assert not schema.is_valid(both)
+        assert not schema.is_valid(neither)
+
+    def test_independent_with_schema(self, figures, schema):
+        result = check_independence(
+            figures.fd5, figures.update_class, schema=schema
+        )
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_unknown_without_schema(self, figures):
+        result = check_independence(figures.fd5, figures.update_class)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_dangerous_witness_is_schema_invalid(self, figures, schema):
+        result = check_independence(figures.fd5, figures.update_class)
+        assert result.witness is not None
+        assert not schema.is_valid(result.witness)
+
+
+class TestProposition1:
+    """The reduction from regex inclusion (Figures 7-8)."""
+
+    def test_non_inclusion_gives_verified_impact(self):
+        decision = inclusion_via_independence("A*", "(A.A)*.A")
+        assert not decision.included
+        assert decision.impact_confirmed
+
+    def test_inclusion_gives_no_witness(self):
+        decision = inclusion_via_independence("(A.A)*.A", "A*")
+        assert decision.included
+        assert decision.witness is None
+
+    def test_figure8_shape(self):
+        """The witness document has the Figure 8 structure: branches with
+        value-equal F nodes, different G values, and a C·w·# path with
+        w ∈ L(η) \\ L(η')."""
+        gadget = hardness_gadget("A.A", "A.B")
+        witness = violation_witness_for(gadget)
+        document = witness.document
+        branches = document.node_at((0,)).find_all("B")
+        assert len(branches) == 2
+        f_values = [b.find("F").text_value() for b in branches]
+        g_values = [b.find("G").text_value() for b in branches]
+        assert f_values[0] == f_values[1]
+        assert g_values[0] != g_values[1]
+        # the eta witness path hangs under the second C child
+        chain = branches[0].find_all("C")[1]
+        labels = []
+        node = chain
+        while node.children:
+            node = node.children[0]
+            labels.append(node.label)
+        assert tuple(labels) == witness.counterexample + ("#end",)
+
+    def test_gadget_update_class_respects_leaf_restriction(self):
+        gadget = hardness_gadget("A", "B")
+        assert gadget.update_class.selected_nodes_are_template_leaves()
+
+
+class TestProposition3SizeBound:
+    """|A| is polynomial: measured against aU·aFD·|Σ|·|AS|·|U|·|FD|."""
+
+    def test_size_within_constant_of_bound(self, figures, schema):
+        from repro.independence.language import dangerous_language
+        from repro.schema.automaton import schema_automaton
+
+        for fd in (figures.fd1, figures.fd3, figures.fd5):
+            language = dangerous_language(
+                fd, figures.update_class, schema=schema
+            )
+            a_u = figures.update_class.pattern.template.max_arity()
+            a_fd = fd.pattern.template.max_arity()
+            sigma = len(
+                fd.pattern.template.alphabet()
+                | figures.update_class.pattern.template.alphabet()
+                | schema.alphabet()
+            )
+            bound = (
+                max(a_u, 1)
+                * max(a_fd, 1)
+                * sigma
+                * schema_automaton(schema).size()
+                * figures.update_class.size()
+                * fd.size()
+            )
+            assert language.size() <= bound, fd.name
+
+    def test_polynomial_growth_in_fd_size(self):
+        """Doubling a chain FD roughly doubles |A| (no blow-up)."""
+        from repro.fd.fd import FunctionalDependency
+        from repro.independence.language import dangerous_language
+        from repro.pattern.builder import PatternBuilder, build_pattern, edge
+        from repro.update.update_class import UpdateClass
+
+        update_class = UpdateClass(
+            build_pattern(edge("u.v", name="s"), selected=("s",))
+        )
+        sizes = []
+        for length in (2, 4, 8):
+            builder = PatternBuilder()
+            node = builder.child(builder.root, "c", name="c")
+            for _ in range(length):
+                node = builder.child(node, "x")
+            p1 = builder.child(node, "k", name="p1")
+            q = builder.child(node, "w", name="q")
+            fd = FunctionalDependency(
+                builder.pattern("p1", "q"), context="c"
+            )
+            sizes.append(
+                dangerous_language(fd, update_class).automaton.size()
+            )
+        assert sizes[0] < sizes[1] < sizes[2]
+        # growth factor stays near-linear
+        assert sizes[2] / sizes[1] < 3.0

@@ -1,0 +1,83 @@
+"""Unit tests for pattern satisfiability and FD vacuity."""
+
+import pytest
+
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.analysis import fd_is_vacuous, pattern_satisfiable
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.engine import has_mapping
+from repro.schema.dtd import Schema
+
+
+class TestSatisfiability:
+    def test_plain_pattern_satisfiable(self, figures):
+        result = pattern_satisfiable(figures.r1)
+        assert result.satisfiable
+        assert result.witness is not None
+        assert has_mapping(figures.r1, result.witness)
+
+    def test_attribute_with_children_unsatisfiable(self):
+        pattern = build_pattern(
+            edge("a")(edge("@k", name="x")(edge("b", name="y"))),
+            selected=("x", "y"),
+        )
+        assert not pattern_satisfiable(pattern).satisfiable
+
+    def test_schema_restricts(self, schema, figures):
+        # fd5's pattern (level + firstJob-Year under one candidate) is
+        # satisfiable under the exam schema...
+        assert pattern_satisfiable(figures.fd5.pattern, schema).satisfiable
+
+    def test_schema_forbids_impossible_combination(self, schema):
+        # ...but toBePassed *and* firstJob-Year under one candidate is not
+        builder = PatternBuilder()
+        candidate = builder.child(builder.root, "session.candidate")
+        builder.child(candidate, "toBePassed", name="p1")
+        builder.child(candidate, "firstJob-Year", name="q")
+        pattern = builder.pattern("p1", "q")
+        assert pattern_satisfiable(pattern).satisfiable  # schemaless: fine
+        assert not pattern_satisfiable(pattern, schema).satisfiable
+
+    def test_order_violations_unsatisfiable_under_schema(self, schema):
+        # exam before level contradicts the schema's content model
+        builder = PatternBuilder()
+        candidate = builder.child(builder.root, "session.candidate")
+        builder.child(candidate, "exam", name="p1")
+        builder.child(candidate, "level", name="q")
+        pattern = builder.pattern("p1", "q")
+        assert not pattern_satisfiable(pattern, schema).satisfiable
+
+    def test_witness_is_schema_valid(self, schema, figures):
+        result = pattern_satisfiable(figures.fd1.pattern, schema)
+        assert result.satisfiable
+        assert schema.is_valid(result.witness)
+
+    def test_want_witness_false(self, figures):
+        result = pattern_satisfiable(figures.r1, want_witness=False)
+        assert result.satisfiable and result.witness is None
+
+
+class TestVacuity:
+    def _impossible_fd(self):
+        builder = PatternBuilder()
+        candidate = builder.child(builder.root, "session.candidate", name="c")
+        tb = builder.child(candidate, "toBePassed")
+        builder.child(tb, "discipline", name="p1")
+        builder.child(candidate, "firstJob-Year", name="q")
+        return FunctionalDependency(builder.pattern("p1", "q"), context="c")
+
+    def test_vacuous_under_schema(self, schema):
+        fd = self._impossible_fd()
+        assert not fd_is_vacuous(fd)
+        assert fd_is_vacuous(fd, schema)
+
+    def test_vacuous_fd_is_independent(self, schema, figures):
+        from repro.independence.criterion import check_independence
+
+        fd = self._impossible_fd()
+        result = check_independence(fd, figures.update_class, schema=schema)
+        assert result.independent  # IC agrees with the vacuity pre-check
+
+    def test_paper_fds_not_vacuous(self, schema, figures):
+        for fd in (figures.fd1, figures.fd2, figures.fd3, figures.fd4, figures.fd5):
+            assert not fd_is_vacuous(fd, schema), fd.name

@@ -1,0 +1,228 @@
+"""Unit tests for the matching engine (Definition 2 semantics)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.engine import (
+    enumerate_mappings,
+    evaluate_pattern,
+    has_mapping,
+)
+from repro.xmlmodel.builder import doc, elem, text
+from repro.xmlmodel.parser import parse_document
+
+from tests.conftest import tuple_positions
+
+
+def _monadic(regexes):
+    """Chain pattern root -e1-> n1 -e2-> n2 ... selecting the last node."""
+    builder = PatternBuilder()
+    node = builder.root
+    for regex in regexes:
+        node = builder.child(node, regex)
+    return builder.pattern(node)
+
+
+class TestBasicMatching:
+    def test_single_edge(self):
+        document = doc(elem("a"), elem("b"))
+        pattern = _monadic(["a"])
+        assert tuple_positions(evaluate_pattern(pattern, document)) == [("0",)]
+
+    def test_path_edge(self):
+        document = parse_document("<a><b><c/></b></a>")
+        pattern = _monadic(["a.b.c"])
+        assert tuple_positions(evaluate_pattern(pattern, document)) == [
+            ("0.0.0",)
+        ]
+
+    def test_chained_edges_equal_single_path(self):
+        document = parse_document("<a><b><c/></b><b/></a>")
+        chained = _monadic(["a", "b", "c"])
+        merged = _monadic(["a.b.c"])
+        assert tuple_positions(evaluate_pattern(chained, document)) == (
+            tuple_positions(evaluate_pattern(merged, document))
+        )
+
+    def test_no_match(self):
+        document = parse_document("<a><b/></a>")
+        assert evaluate_pattern(_monadic(["zzz"]), document) == []
+        assert not has_mapping(_monadic(["zzz"]), document)
+
+    def test_star_edge_matches_any_depth(self):
+        document = parse_document("<a><a><a><stop/></a></a></a>")
+        pattern = _monadic(["a*.stop"])
+        # stop is reachable through a, aa, aaa prefixes — but the tree
+        # path is unique, so exactly one node matches once
+        assert tuple_positions(evaluate_pattern(pattern, document)) == [
+            ("0.0.0.0",)
+        ]
+
+    def test_union_edge(self):
+        document = parse_document("<r><x/><y/><z/></r>")
+        pattern = _monadic(["r.(x|z)"])
+        assert tuple_positions(evaluate_pattern(pattern, document)) == [
+            ("0.0",),
+            ("0.2",),
+        ]
+
+    def test_wildcard_edge(self):
+        document = parse_document("<r><anything/></r>")
+        assert has_mapping(_monadic(["~.~"]), document)
+        assert not has_mapping(_monadic(["~.~.~"]), document)
+
+    def test_root_maps_to_root_only(self):
+        # '/' labeled template root must map to the document root
+        document = parse_document("<a><a/></a>")
+        pattern = _monadic(["a", "a"])
+        assert tuple_positions(evaluate_pattern(pattern, document)) == [
+            ("0.0",)
+        ]
+
+
+class TestPrefixDisjointness:
+    """Condition (b): sibling edges start at distinct children."""
+
+    def test_two_sibling_edges_need_two_children(self):
+        one_child = parse_document("<r><x><y/></x></r>")
+        two_children = parse_document("<r><x><y/></x><x><y/></x></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x.y", name="a"), edge("x.y", name="b")),
+            selected=("a", "b"),
+        )
+        assert not has_mapping(pattern, one_child)
+        assert has_mapping(pattern, two_children)
+
+    def test_same_child_cannot_serve_both_edges(self):
+        # both x.y paths exist but only through the single x child
+        document = parse_document("<r><x><y/><y/></x></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x.y", name="a"), edge("x.y", name="b")),
+            selected=("a", "b"),
+        )
+        assert not has_mapping(pattern, document)
+
+    def test_branching_below_distinct_children_is_fine(self):
+        document = parse_document("<r><x><y/></x><x><y/></x></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x", name="a")(edge("y", name="c")), edge("x.y", name="b")),
+            selected=("a", "b", "c"),
+        )
+        assert has_mapping(pattern, document)
+
+
+class TestOrderPreservation:
+    """Mappings must respect template sibling order (R3/R4 behaviour)."""
+
+    def test_order_respected(self):
+        document = parse_document("<r><first/><second/></r>")
+        good = build_pattern(
+            edge("r")(edge("first", name="a"), edge("second", name="b")),
+            selected=("a", "b"),
+        )
+        bad = build_pattern(
+            edge("r")(edge("second", name="a"), edge("first", name="b")),
+            selected=("a", "b"),
+        )
+        assert has_mapping(good, document)
+        assert not has_mapping(bad, document)
+
+    def test_order_across_depths(self):
+        document = parse_document("<r><x><in1/></x><y><in2/></y></r>")
+        good = build_pattern(
+            edge("r")(edge("x.in1", name="a"), edge("y.in2", name="b")),
+            selected=("a", "b"),
+        )
+        swapped = build_pattern(
+            edge("r")(edge("y.in2", name="a"), edge("x.in1", name="b")),
+            selected=("a", "b"),
+        )
+        assert has_mapping(good, document)
+        assert not has_mapping(swapped, document)
+
+    def test_selected_tuple_in_document_order(self):
+        document = parse_document("<r><x/><x/></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x", name="a"), edge("x", name="b")),
+            selected=("a", "b"),
+        )
+        tuples = tuple_positions(evaluate_pattern(pattern, document))
+        assert tuples == [("0.0", "0.1")]
+
+
+class TestEnumeration:
+    def test_mapping_count(self):
+        document = parse_document("<r><x/><x/><x/></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x", name="a"), edge("x", name="b")),
+            selected=("a", "b"),
+        )
+        mappings = list(enumerate_mappings(pattern, document))
+        assert len(mappings) == 3  # (0,1), (0,2), (1,2)
+
+    def test_mappings_cover_all_template_nodes(self):
+        document = parse_document("<r><x><y/></x></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x", name="a")(edge("y", name="b"))),
+            selected=("a", "b"),
+        )
+        (mapping,) = enumerate_mappings(pattern, document)
+        assert set(mapping.images) == {(), (0,), (0, 0), (0, 0, 0)}
+
+    def test_duplicate_selected_tuples_deduplicated(self):
+        # two distinct mappings can select the same node through
+        # different intermediate choices; R(D) is a set
+        document = parse_document("<r><a><b><c/></b></a></r>")
+        builder = PatternBuilder()
+        r = builder.child(builder.root, "r")
+        mid = builder.child(r, "a.b|a")
+        builder.child(mid, "c|b.c")
+        # mid can be the a node (then c via b.c) or the b node (c direct)
+        pattern = builder.pattern((0, 0, 0))
+        results = evaluate_pattern(pattern, document)
+        assert tuple_positions(results) == [("0.0.0.0",)]
+        assert len(list(enumerate_mappings(pattern, document))) == 2
+
+    def test_text_and_attribute_leaves_matchable(self):
+        document = parse_document('<r k="v">body</r>')
+        attr_pattern = _monadic(["r.@k"])
+        text_pattern = _monadic(["r.#text"])
+        assert has_mapping(attr_pattern, document)
+        assert has_mapping(text_pattern, document)
+
+
+class TestRootHandling:
+    def test_document_or_root_node_accepted(self):
+        document = parse_document("<a/>")
+        pattern = _monadic(["a"])
+        assert has_mapping(pattern, document)
+        assert has_mapping(pattern, document.root)
+
+    def test_non_root_node_rejected(self):
+        document = parse_document("<a><b/></a>")
+        pattern = _monadic(["b"])
+        with pytest.raises(PatternError):
+            has_mapping(pattern, document.node_at((0,)))
+
+
+class TestTraces:
+    def test_trace_is_paths_union(self):
+        document = parse_document("<r><x><y/></x><z/></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x.y", name="a"), edge("z", name="b")),
+            selected=("a", "b"),
+        )
+        (mapping,) = enumerate_mappings(pattern, document)
+        labels = [node.label for node in mapping.trace_nodes()]
+        assert labels == ["/", "r", "x", "y", "z"]
+
+    def test_trace_in_document_order(self):
+        document = parse_document("<r><x/><y/></r>")
+        pattern = build_pattern(
+            edge("r")(edge("x", name="a"), edge("y", name="b")),
+            selected=("a", "b"),
+        )
+        (mapping,) = enumerate_mappings(pattern, document)
+        positions = [node.position() for node in mapping.trace_nodes()]
+        assert positions == sorted(positions)

@@ -1,0 +1,122 @@
+"""Property tests: the matching engine against independent oracles.
+
+Two oracles are used:
+
+* the ``A_R`` hedge automaton (completely different algorithm) must agree
+  with ``has_mapping`` on random pattern/document pairs;
+* every enumerated mapping must satisfy the Definition 2 conditions when
+  re-checked naively (order preservation, path-language membership,
+  prefix-disjointness).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pattern.engine import enumerate_mappings, has_mapping
+from repro.pattern.template import ROOT_POSITION
+from repro.tautomata.from_pattern import trace_automaton
+from repro.workload.random_docs import random_document
+from repro.workload.random_patterns import random_pattern
+from repro.xmlmodel.axes import (
+    document_order_index,
+    is_ancestor,
+    path_labels,
+)
+
+LABELS = ("a", "b", "doc")
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 5))
+def test_engine_agrees_with_trace_automaton(seed, node_count):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=node_count)
+    document = random_document(rng, labels=("a", "b"), max_depth=3, max_children=3)
+    engine_says = has_mapping(pattern, document)
+    automaton_says = trace_automaton(pattern).automaton.accepts(document)
+    assert engine_says == automaton_says
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 4))
+def test_enumerated_mappings_satisfy_definition_2(seed, node_count):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=node_count)
+    document = random_document(rng, labels=("a", "b"), max_depth=3, max_children=3)
+    template = pattern.template
+    ranks = document_order_index(document)
+
+    count = 0
+    for mapping in enumerate_mappings(pattern, document):
+        count += 1
+        if count > 200:
+            break
+        # root condition
+        assert mapping.images[ROOT_POSITION] is document.root
+        # order preservation over *all* template node pairs
+        nodes = sorted(mapping.images)
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1 :]:
+                assert (
+                    ranks[id(mapping.images[first])]
+                    < ranks[id(mapping.images[second])]
+                )
+        # edge path language membership
+        for child in template.nodes - {ROOT_POSITION}:
+            parent = child[:-1]
+            word = path_labels(mapping.images[parent], mapping.images[child])
+            assert template.edge_dfa(child).accepts(word)
+        # prefix-disjointness: distinct first children per sibling edge
+        for node in template.nodes:
+            kids = template.children(node)
+            firsts = []
+            for child in kids:
+                source = mapping.images[node]
+                target = mapping.images[child]
+                step = target
+                while step.parent is not source:
+                    step = step.parent
+                firsts.append(id(step))
+            assert len(set(firsts)) == len(firsts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_mappings_are_distinct(seed):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 4))
+    document = random_document(rng, labels=("a", "b"), max_depth=3, max_children=3)
+    seen = set()
+    for index, mapping in enumerate(enumerate_mappings(pattern, document)):
+        if index > 200:
+            break
+        key = tuple(sorted((pos, id(node)) for pos, node in mapping.images.items()))
+        assert key not in seen
+        seen.add(key)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_has_mapping_iff_enumeration_nonempty(seed):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 4))
+    document = random_document(rng, labels=("a", "b"), max_depth=3, max_children=2)
+    any_enumerated = next(enumerate_mappings(pattern, document), None) is not None
+    assert has_mapping(pattern, document) == any_enumerated
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_images_descend_from_context_images(seed):
+    """Template ancestry maps to document ancestry."""
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=rng.randint(2, 4))
+    document = random_document(rng, labels=("a", "b"), max_depth=3, max_children=3)
+    template = pattern.template
+    for index, mapping in enumerate(enumerate_mappings(pattern, document)):
+        if index > 100:
+            break
+        for child in template.nodes - {ROOT_POSITION}:
+            parent = child[:-1]
+            assert is_ancestor(mapping.images[parent], mapping.images[child])

@@ -1,0 +1,158 @@
+"""Unit tests for templates and patterns (Definition 1)."""
+
+import pytest
+
+from repro.errors import ImproperRegexError, PatternError
+from repro.pattern.builder import PatternBuilder, build_pattern, build_template, edge
+from repro.pattern.template import (
+    ROOT_POSITION,
+    RegularTreePattern,
+    RegularTreeTemplate,
+)
+
+
+class TestTemplateValidation:
+    def test_simple_template(self):
+        template = RegularTreeTemplate({(0,): "a", (0, 0): "b"})
+        assert template.nodes == {(), (0,), (0, 0)}
+
+    def test_improper_edge_rejected(self):
+        with pytest.raises(ImproperRegexError):
+            RegularTreeTemplate({(0,): "a*"})
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(PatternError):
+            RegularTreeTemplate({(0, 0): "a"})
+
+    def test_sibling_gap_rejected(self):
+        with pytest.raises(PatternError):
+            RegularTreeTemplate({(0,): "a", (0, 1): "b"})
+
+    def test_unknown_named_position_rejected(self):
+        with pytest.raises(PatternError):
+            RegularTreeTemplate({(0,): "a"}, names={"x": (5,)})
+
+    def test_string_regexes_parsed(self):
+        template = RegularTreeTemplate({(0,): "a.(b|c)*.d"})
+        assert template.edge_dfa((0,)).accepts(("a", "c", "b", "d"))
+
+
+class TestTemplateQueries:
+    @pytest.fixture
+    def template(self):
+        return RegularTreeTemplate(
+            {(0,): "s", (0, 0): "x", (0, 1): "y", (0, 1, 0): "z"},
+            names={"mid": (0, 1)},
+        )
+
+    def test_children_in_order(self, template):
+        assert template.children((0,)) == ((0, 0), (0, 1))
+
+    def test_leaves(self, template):
+        assert template.leaves() == ((0, 0), (0, 1, 0))
+
+    def test_is_leaf(self, template):
+        assert template.is_leaf((0, 0))
+        assert not template.is_leaf((0,))
+
+    def test_position_of_name(self, template):
+        assert template.position_of("mid") == (0, 1)
+
+    def test_position_of_unknown_name(self, template):
+        with pytest.raises(PatternError):
+            template.position_of("nope")
+
+    def test_position_of_unknown_position(self, template):
+        with pytest.raises(PatternError):
+            template.position_of((9, 9))
+
+    def test_edge_regex_of_root_fails(self, template):
+        with pytest.raises(PatternError):
+            template.edge_regex(ROOT_POSITION)
+
+    def test_alphabet(self, template):
+        assert template.alphabet() == {"s", "x", "y", "z"}
+
+    def test_max_arity(self, template):
+        assert template.max_arity() == 2
+
+    def test_is_ancestor(self, template):
+        assert template.is_ancestor((0,), (0, 1, 0))
+        assert not template.is_ancestor((0, 0), (0, 1))
+        assert template.is_ancestor((0,), (0,), strict=False)
+        assert not template.is_ancestor((0,), (0,))
+
+    def test_size_counts_alphabet_and_automata(self, template):
+        assert template.size() == len(template.alphabet()) + sum(
+            template.edge_dfa(p).state_count for p in template.edge_regexes
+        )
+
+    def test_describe_mentions_names(self, template):
+        assert "(mid)" in template.describe()
+
+
+class TestPattern:
+    def test_selected_by_name(self):
+        builder = PatternBuilder()
+        builder.child(builder.root, "a", name="s")
+        pattern = builder.pattern("s")
+        assert pattern.selected == ((0,),)
+        assert pattern.is_monadic
+
+    def test_arity(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="x"), edge("c", name="y")),
+            selected=("x", "y"),
+        )
+        assert pattern.arity == 2
+
+    def test_empty_selection_rejected(self):
+        template = RegularTreeTemplate({(0,): "a"})
+        with pytest.raises(PatternError):
+            RegularTreePattern(template, [])
+
+    def test_selected_names(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="x"), edge("c")),
+            selected=("x", (0, 1)),
+        )
+        assert pattern.selected_names() == ("x", "(0, 1)")
+
+
+class TestBuilders:
+    def test_builder_assigns_positions_in_order(self):
+        builder = PatternBuilder()
+        first = builder.child(builder.root, "a")
+        second = builder.child(builder.root, "b")
+        nested = builder.child(first, "c")
+        assert (first, second, nested) == ((0,), (1,), (0, 0))
+
+    def test_builder_rejects_unknown_parent(self):
+        builder = PatternBuilder()
+        with pytest.raises(PatternError):
+            builder.child((7,), "a")
+
+    def test_builder_rejects_duplicate_names(self):
+        builder = PatternBuilder()
+        builder.child(builder.root, "a", name="n")
+        with pytest.raises(PatternError):
+            builder.child(builder.root, "b", name="n")
+
+    def test_nested_spec_matches_builder(self):
+        via_spec = build_template(
+            edge("s")(edge("x"), edge("y")(edge("z")))
+        )
+        builder = PatternBuilder()
+        s = builder.child(builder.root, "s")
+        builder.child(s, "x")
+        y = builder.child(s, "y")
+        builder.child(y, "z")
+        via_builder = builder.template()
+        assert via_spec.nodes == via_builder.nodes
+        assert via_spec.edge_regexes == via_builder.edge_regexes
+
+    def test_edge_spec_is_reusable(self):
+        leaf = edge("x", name="s")
+        attached = edge("a")(leaf)
+        assert leaf.children == ()
+        assert attached.children[0].name == "s"

@@ -1,0 +1,99 @@
+"""Tests for region-restricted mapping enumeration.
+
+``enumerate_mappings_touching`` must equal the filter of the full
+enumeration by "some image lies in the region", with no duplicates —
+the property the incremental FD index relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.pattern.builder import build_pattern, edge
+from repro.pattern.engine import (
+    enumerate_mappings,
+    enumerate_mappings_touching,
+)
+from repro.workload.random_docs import random_document
+from repro.workload.random_patterns import random_pattern
+from repro.xmlmodel.parser import parse_document
+
+
+def _mapping_key(mapping):
+    return tuple(
+        sorted((pos, id(node)) for pos, node in mapping.images.items())
+    )
+
+
+class TestBasics:
+    @pytest.fixture
+    def document(self):
+        return parse_document(
+            "<r><a><b>1</b></a><a><b>2</b></a><c/></r>"
+        )
+
+    @pytest.fixture
+    def pattern(self):
+        return build_pattern(
+            edge("r")(edge("a")(edge("b", name="s"))), selected=("s",)
+        )
+
+    def test_region_at_matched_branch(self, document, pattern):
+        region = document.node_at((0, 0))  # first a
+        touched = list(enumerate_mappings_touching(pattern, document, region))
+        assert len(touched) == 1
+        assert touched[0].image_of("s").text_value() == "1"
+
+    def test_region_outside_matches(self, document, pattern):
+        region = document.node_at((0, 2))  # the c node
+        assert list(enumerate_mappings_touching(pattern, document, region)) == []
+
+    def test_region_at_root_returns_everything(self, document, pattern):
+        full = list(enumerate_mappings(pattern, document))
+        touched = list(
+            enumerate_mappings_touching(pattern, document, document.root)
+        )
+        assert {_mapping_key(m) for m in touched} == {
+            _mapping_key(m) for m in full
+        }
+
+    def test_region_above_match(self, document, pattern):
+        # the region root is an ancestor of images: only mappings with an
+        # image *inside* the region count, and both b's are inside r
+        region = document.node_at((0,))
+        touched = list(enumerate_mappings_touching(pattern, document, region))
+        assert len(touched) == 2
+
+    def test_region_below_all_images(self, pattern):
+        # images end at b; a region strictly below any image
+        document = parse_document("<r><a><b><deep/></b></a></r>")
+        region = document.node_at((0, 0, 0, 0))
+        touched = list(enumerate_mappings_touching(pattern, document, region))
+        # no image lies inside the deep subtree
+        assert touched == []
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_equals_filtered_enumeration(seed):
+    rng = random.Random(seed)
+    pattern = random_pattern(
+        rng, labels=("a", "b", "doc"), node_count=rng.randint(1, 4)
+    )
+    document = random_document(
+        rng, labels=("a", "b"), max_depth=3, max_children=3
+    )
+    nodes = list(document.nodes())
+    region = rng.choice(nodes)
+    region_ids = {id(node) for node in region.iter_subtree()}
+
+    expected = {
+        _mapping_key(m)
+        for m in enumerate_mappings(pattern, document)
+        if any(id(node) in region_ids for node in m.images.values())
+    }
+    produced = [
+        _mapping_key(m)
+        for m in enumerate_mappings_touching(pattern, document, region)
+    ]
+    assert set(produced) == expected, seed
+    assert len(produced) == len(set(produced)), f"duplicates at seed {seed}"

@@ -1,0 +1,136 @@
+"""Unit tests for NFA construction, determinization and minimization."""
+
+import pytest
+
+from repro.regex.dfa import compile_regex, dfa_from_nfa
+from repro.regex.minimize import minimize_dfa
+from repro.regex.nfa import nfa_from_regex
+from repro.regex.parser import parse_regex
+
+
+def _accepts(source: str, word: str) -> bool:
+    labels = tuple(word.split()) if word else ()
+    return compile_regex(source).accepts(labels)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "source,word,expected",
+        [
+            ("a", "a", True),
+            ("a", "b", False),
+            ("a", "", False),
+            ("a.b", "a b", True),
+            ("a.b", "a", False),
+            ("a.b", "a b c", False),
+            ("a|b", "a", True),
+            ("a|b", "b", True),
+            ("a|b", "c", False),
+            ("a*", "", True),
+            ("a*", "a a a", True),
+            ("a*", "a b", False),
+            ("a+", "", False),
+            ("a+", "a a", True),
+            ("a?", "", True),
+            ("a?", "a", True),
+            ("a?", "a a", False),
+            ("(a.b)*", "a b a b", True),
+            ("(a.b)*", "a b a", False),
+            ("(a|b)*.c", "a b b c", True),
+            ("(a|b)*.c", "c", True),
+            ("a.(b|c).d", "a c d", True),
+        ],
+    )
+    def test_word_membership(self, source, word, expected):
+        assert _accepts(source, word) is expected
+
+    def test_wildcard_matches_any_single_label(self):
+        dfa = compile_regex("~")
+        assert dfa.accepts(("whatever",))
+        assert not dfa.accepts(())
+        assert not dfa.accepts(("x", "y"))
+
+    def test_wildcard_star_prefix(self):
+        dfa = compile_regex("~*.end")
+        assert dfa.accepts(("end",))
+        assert dfa.accepts(("a", "b", "end"))
+        assert not dfa.accepts(("a", "b"))
+
+    def test_unknown_labels_fall_through_other(self):
+        dfa = compile_regex("a.b")
+        assert not dfa.accepts(("zzz", "b"))
+
+    def test_epsilon_in_union(self):
+        dfa = compile_regex("a.(b|())")
+        assert dfa.accepts(("a",))
+        assert dfa.accepts(("a", "b"))
+
+
+class TestNFADFAAgreement:
+    CASES = [
+        ("a.(b|c)*.d", [(), ("a",), ("a", "d"), ("a", "b", "c", "d"), ("d",)]),
+        ("(a|b)+", [(), ("a",), ("b", "a"), ("c",)]),
+        ("~.a", [("x", "a"), ("a",), ("a", "a")]),
+        ("a*.b*.c*", [(), ("a", "c"), ("c", "a"), ("a", "b", "c")]),
+    ]
+
+    @pytest.mark.parametrize("source,words", CASES)
+    def test_nfa_and_dfa_agree(self, source, words):
+        expression = parse_regex(source)
+        nfa = nfa_from_regex(expression)
+        dfa = compile_regex(expression)
+        for word in words:
+            assert nfa.accepts(word) == dfa.accepts(word), word
+
+
+class TestMinimization:
+    def test_minimization_preserves_language(self):
+        dfa = dfa_from_nfa(nfa_from_regex(parse_regex("(a|b)*.a.b")))
+        minimal = minimize_dfa(dfa)
+        for word in [
+            (),
+            ("a", "b"),
+            ("b", "a", "b"),
+            ("a", "a"),
+            ("a", "b", "a", "b"),
+        ]:
+            assert dfa.accepts(word) == minimal.accepts(word), word
+
+    def test_minimization_shrinks(self):
+        dfa = dfa_from_nfa(nfa_from_regex(parse_regex("(a|a|a).(b|b)")))
+        assert minimize_dfa(dfa).state_count <= dfa.state_count
+
+    def test_minimal_dfa_for_single_symbol(self):
+        # start, accept, sink: three states
+        assert compile_regex("a").state_count == 3
+
+    def test_idempotent(self):
+        dfa = compile_regex("(a.b)*|c")
+        again = minimize_dfa(dfa)
+        assert again.state_count == dfa.state_count
+
+
+class TestProperness:
+    def test_proper_expression(self):
+        assert compile_regex("a.b").is_proper()
+
+    def test_improper_expression(self):
+        assert not compile_regex("a*").is_proper()
+
+    def test_accepts_empty(self):
+        assert compile_regex("a?").accepts_empty()
+
+
+class TestLiveStates:
+    def test_live_excludes_sink(self):
+        dfa = compile_regex("a.b")
+        live = dfa.live_states()
+        assert dfa.start in live
+        assert len(live) < dfa.state_count
+
+    def test_empty_language_has_no_live_states(self):
+        # a word both 'a' and 'b' simultaneously: impossible
+        from repro.regex.ops import dfa_intersection
+
+        empty = dfa_intersection(compile_regex("a"), compile_regex("b"))
+        assert not empty.live_states()

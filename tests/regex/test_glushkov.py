@@ -1,0 +1,122 @@
+"""Unit and property tests for the Glushkov construction."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.dfa import compile_regex
+from repro.regex.glushkov import glushkov, is_one_unambiguous
+from repro.regex.parser import parse_regex
+
+
+class TestConstruction:
+    def test_single_symbol(self):
+        automaton = glushkov(parse_regex("a"))
+        assert automaton.first == automaton.last == frozenset({1})
+        assert not automaton.nullable
+
+    def test_concat_follow(self):
+        automaton = glushkov(parse_regex("a.b"))
+        assert automaton.follow[1] == frozenset({2})
+        assert automaton.follow[2] == frozenset()
+
+    def test_star_loops(self):
+        automaton = glushkov(parse_regex("a*"))
+        assert automaton.follow[1] == frozenset({1})
+        assert automaton.nullable
+
+    def test_union_first(self):
+        automaton = glushkov(parse_regex("a|b"))
+        assert automaton.first == frozenset({1, 2})
+
+    @pytest.mark.parametrize(
+        "source,word,expected",
+        [
+            ("a.b", ("a", "b"), True),
+            ("a.b", ("a",), False),
+            ("(a|b)*.c", ("b", "a", "c"), True),
+            ("a*", (), True),
+            ("a+", (), False),
+            ("a?.b", ("b",), True),
+            ("~.x", ("anything", "x"), True),
+        ],
+    )
+    def test_acceptance(self, source, word, expected):
+        assert glushkov(parse_regex(source)).accepts(word) is expected
+
+
+class TestOneUnambiguity:
+    @pytest.mark.parametrize(
+        "source,deterministic",
+        [
+            # classics from the XML/DTD literature
+            ("a.b", True),
+            ("a*.b", True),
+            ("(a|b)*", True),
+            ("a?.a", False),       # the canonical ambiguous model
+            ("(a.b)|(a.c)", False),  # needs left factoring
+            ("a.(b|c)", True),
+            ("(a.a)*", True),
+            ("(a|b)*.a", False),   # cannot tell the final 'a' apart
+            ("a.b?.b", False),
+            ("a.b?.c", True),
+        ],
+    )
+    def test_determinism(self, source, deterministic):
+        assert is_one_unambiguous(parse_regex(source)) is deterministic
+
+    def test_paper_schema_models_are_deterministic(self, schema):
+        for label in schema.content_models:
+            assert is_one_unambiguous(schema.content_models[label]), label
+
+    def test_wildcard_is_always_ambiguous_with_siblings(self):
+        assert not is_one_unambiguous(parse_regex("~|a"))
+
+
+ALPHABET = ("a", "b", "c")
+
+
+def _regex_strategy() -> st.SearchStrategy[Regex]:
+    leaf = st.one_of(
+        st.builds(Symbol, st.sampled_from(ALPHABET)),
+        st.just(AnySymbol()),
+    )
+
+    def extend(inner):
+        return st.one_of(
+            st.builds(lambda x, y: Concat([x, y]), inner, inner),
+            st.builds(lambda x, y: Union([x, y]), inner, inner),
+            st.builds(Star, inner),
+            st.builds(Plus, inner),
+            st.builds(Optional, inner),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=6)
+
+
+_words = st.lists(st.sampled_from(ALPHABET + ("zz",)), max_size=6).map(tuple)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_regex_strategy(), _words)
+def test_glushkov_agrees_with_dfa(expression, word):
+    """Third independent construction, same language."""
+    assert glushkov(expression).accepts(word) == compile_regex(
+        expression
+    ).accepts(word)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_regex_strategy())
+def test_glushkov_nullability(expression):
+    assert glushkov(expression).nullable == expression.nullable()

@@ -1,0 +1,132 @@
+"""Unit tests for language operations (the Proposition 1 ingredients)."""
+
+import pytest
+
+from repro.regex.dfa import compile_regex
+from repro.regex.ops import (
+    dfa_complement,
+    dfa_difference,
+    dfa_intersection,
+    dfa_union,
+    language_included,
+    language_is_empty,
+    languages_equivalent,
+    shortest_accepted_word,
+    shortest_counterexample,
+)
+
+WORDS = [
+    (),
+    ("a",),
+    ("b",),
+    ("a", "a"),
+    ("a", "b"),
+    ("b", "a"),
+    ("a", "b", "a"),
+    ("zz",),
+]
+
+
+class TestBooleanOperations:
+    def test_intersection(self):
+        left = compile_regex("(a|b)*")
+        right = compile_regex("a.~*")
+        both = dfa_intersection(left, right)
+        for word in WORDS:
+            assert both.accepts(word) == (left.accepts(word) and right.accepts(word))
+
+    def test_union(self):
+        left = compile_regex("a.a")
+        right = compile_regex("b")
+        either = dfa_union(left, right)
+        for word in WORDS:
+            assert either.accepts(word) == (left.accepts(word) or right.accepts(word))
+
+    def test_difference(self):
+        left = compile_regex("(a|b)+")
+        right = compile_regex("a+")
+        diff = dfa_difference(left, right)
+        for word in WORDS:
+            assert diff.accepts(word) == (left.accepts(word) and not right.accepts(word))
+
+    def test_complement(self):
+        dfa = compile_regex("a*")
+        flipped = dfa_complement(dfa)
+        for word in WORDS:
+            assert flipped.accepts(word) != dfa.accepts(word)
+
+    def test_complement_handles_unknown_labels(self):
+        flipped = dfa_complement(compile_regex("a"))
+        assert flipped.accepts(("unseen-label",))
+
+
+class TestEmptiness:
+    def test_nonempty(self):
+        assert not language_is_empty(compile_regex("a.b"))
+
+    def test_empty_by_intersection(self):
+        empty = dfa_intersection(compile_regex("a"), compile_regex("b"))
+        assert language_is_empty(empty)
+
+    def test_shortest_word(self):
+        assert shortest_accepted_word(compile_regex("a.b|c")) == ("c",)
+
+    def test_shortest_word_empty_word(self):
+        assert shortest_accepted_word(compile_regex("a*")) == ()
+
+    def test_shortest_word_none_for_empty_language(self):
+        empty = dfa_intersection(compile_regex("a"), compile_regex("b"))
+        assert shortest_accepted_word(empty) is None
+
+    def test_shortest_word_uses_other_placeholder(self):
+        word = shortest_accepted_word(compile_regex("~"))
+        assert word == ("*other*",)
+
+
+class TestInclusion:
+    @pytest.mark.parametrize(
+        "small,big,included",
+        [
+            ("a.b", "a.~", True),
+            ("a|b", "a|b|c", True),
+            ("(a.a)*.a", "a*", True),
+            ("a*", "(a.a)*.a", False),
+            ("a.~", "a.b", False),
+            ("(a|b)*", "~*", True),
+            ("~*", "(a|b)*", False),
+        ],
+    )
+    def test_inclusion(self, small, big, included):
+        assert language_included(compile_regex(small), compile_regex(big)) is included
+
+    def test_counterexample_is_in_difference(self):
+        small = compile_regex("(a|b).b")
+        big = compile_regex("a.b")
+        word = shortest_counterexample(small, big)
+        assert word == ("b", "b")
+        assert small.accepts(word) and not big.accepts(word)
+
+    def test_no_counterexample_when_included(self):
+        assert (
+            shortest_counterexample(compile_regex("a"), compile_regex("a|b"))
+            is None
+        )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "left,right,equal",
+        [
+            ("a|b", "b|a", True),
+            ("(a.b)*.a", "a.(b.a)*", True),
+            ("a?", "a|()", True),
+            ("a+", "a.a*", True),
+            ("a*", "a+", False),
+            ("~", "a", False),
+        ],
+    )
+    def test_equivalence(self, left, right, equal):
+        assert (
+            languages_equivalent(compile_regex(left), compile_regex(right))
+            is equal
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for the label-regex concrete syntax."""
+
+import pytest
+
+from repro.errors import RegexParseError
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.parser import parse_regex
+
+
+class TestAtoms:
+    def test_single_label(self):
+        assert parse_regex("candidate") == Symbol("candidate")
+
+    def test_attribute_label(self):
+        assert parse_regex("@IDN") == Symbol("@IDN")
+
+    def test_text_label(self):
+        assert parse_regex("#text") == Symbol("#text")
+
+    def test_wildcard(self):
+        assert parse_regex("~") == AnySymbol()
+
+    def test_epsilon(self):
+        assert parse_regex("()") == Epsilon()
+
+    def test_label_with_dash_and_digits(self):
+        assert parse_regex("firstJob-Year") == Symbol("firstJob-Year")
+
+
+class TestOperators:
+    def test_dot_concatenation(self):
+        assert parse_regex("a.b") == Concat([Symbol("a"), Symbol("b")])
+
+    def test_whitespace_concatenation(self):
+        assert parse_regex("a b") == Concat([Symbol("a"), Symbol("b")])
+
+    def test_union(self):
+        assert parse_regex("a|b") == Union([Symbol("a"), Symbol("b")])
+
+    def test_star(self):
+        assert parse_regex("a*") == Star(Symbol("a"))
+
+    def test_plus(self):
+        assert parse_regex("a+") == Plus(Symbol("a"))
+
+    def test_optional(self):
+        assert parse_regex("a?") == Optional(Symbol("a"))
+
+    def test_stacked_postfix(self):
+        assert parse_regex("a*?") == Optional(Star(Symbol("a")))
+
+    def test_grouping(self):
+        assert parse_regex("(a|b).c") == Concat(
+            [Union([Symbol("a"), Symbol("b")]), Symbol("c")]
+        )
+
+    def test_precedence_concat_over_union(self):
+        parsed = parse_regex("a.b|c")
+        assert parsed == Union([Concat([Symbol("a"), Symbol("b")]), Symbol("c")])
+
+    def test_star_binds_tightest(self):
+        assert parse_regex("a.b*") == Concat([Symbol("a"), Star(Symbol("b"))])
+
+    def test_nested_groups(self):
+        parsed = parse_regex("((a))")
+        assert parsed == Symbol("a")
+
+    def test_union_with_epsilon(self):
+        parsed = parse_regex("a|()")
+        assert parsed == Union([Symbol("a"), Epsilon()])
+        assert parsed.nullable()
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("(a")
+
+    def test_stray_operator(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("*a")
+
+    def test_trailing_operator(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("a|")
+
+    def test_bad_character(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("a$b")
+
+    def test_trailing_close_paren(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("a)")
+
+
+class TestNullability:
+    @pytest.mark.parametrize(
+        "source,nullable",
+        [
+            ("a", False),
+            ("a*", True),
+            ("a+", False),
+            ("a?", True),
+            ("a.b*", False),
+            ("a*.b*", True),
+            ("a|b*", True),
+            ("(a.b)|c", False),
+            ("()", True),
+            ("~", False),
+            ("~*", True),
+        ],
+    )
+    def test_nullable(self, source, nullable):
+        assert parse_regex(source).nullable() is nullable
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "source",
+        ["a", "a.b", "a|b", "a*", "(a|b).c", "a.b*.c", "~*.end", "a+|b?"],
+    )
+    def test_str_round_trips(self, source):
+        parsed = parse_regex(source)
+        assert parse_regex(str(parsed)) == parsed
+
+    def test_symbols(self):
+        assert parse_regex("a.(b|c)*.~").symbols() == {"a", "b", "c"}
+
+    def test_uses_wildcard(self):
+        assert parse_regex("a.~").uses_wildcard()
+        assert not parse_regex("a.b").uses_wildcard()

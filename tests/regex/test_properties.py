@@ -1,0 +1,105 @@
+"""Property-based tests for the regex engine (hypothesis).
+
+Random expressions over a small alphabet are compiled three ways (NFA
+simulation, raw subset DFA, minimized DFA) and must agree on random
+words; algebraic laws of the language operations are checked on sampled
+words.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.ast import (
+    AnySymbol,
+    Concat,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.dfa import compile_regex, dfa_from_nfa
+from repro.regex.nfa import nfa_from_regex
+from repro.regex.ops import (
+    dfa_complement,
+    dfa_difference,
+    dfa_intersection,
+    dfa_union,
+    language_included,
+)
+
+ALPHABET = ("a", "b", "c")
+
+
+def _regex_strategy() -> st.SearchStrategy[Regex]:
+    leaf = st.one_of(
+        st.builds(Symbol, st.sampled_from(ALPHABET)),
+        st.just(AnySymbol()),
+    )
+
+    def extend(inner: st.SearchStrategy[Regex]) -> st.SearchStrategy[Regex]:
+        return st.one_of(
+            st.builds(lambda a, b: Concat([a, b]), inner, inner),
+            st.builds(lambda a, b: Union([a, b]), inner, inner),
+            st.builds(Star, inner),
+            st.builds(Plus, inner),
+            st.builds(Optional, inner),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=6)
+
+
+_words = st.lists(
+    st.sampled_from(ALPHABET + ("zz",)), max_size=6
+).map(tuple)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_regex_strategy(), _words)
+def test_nfa_dfa_minimized_agree(expression, word):
+    nfa = nfa_from_regex(expression)
+    raw = dfa_from_nfa(nfa)
+    minimal = compile_regex(expression)
+    assert nfa.accepts(word) == raw.accepts(word) == minimal.accepts(word)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_regex_strategy(), _words)
+def test_nullability_matches_empty_word(expression, word):
+    assert compile_regex(expression).accepts_empty() == expression.nullable()
+
+
+@settings(max_examples=80, deadline=None)
+@given(_regex_strategy(), _regex_strategy(), _words)
+def test_de_morgan_on_words(left, right, word):
+    l_dfa, r_dfa = compile_regex(left), compile_regex(right)
+    union = dfa_union(l_dfa, r_dfa)
+    via_complement = dfa_complement(
+        dfa_intersection(dfa_complement(l_dfa), dfa_complement(r_dfa))
+    )
+    assert union.accepts(word) == via_complement.accepts(word)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_regex_strategy(), _regex_strategy(), _words)
+def test_difference_definition(left, right, word):
+    l_dfa, r_dfa = compile_regex(left), compile_regex(right)
+    assert dfa_difference(l_dfa, r_dfa).accepts(word) == (
+        l_dfa.accepts(word) and not r_dfa.accepts(word)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_regex_strategy())
+def test_language_included_in_itself(expression):
+    dfa = compile_regex(expression)
+    assert language_included(dfa, dfa)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_regex_strategy(), _regex_strategy())
+def test_intersection_included_in_both(left, right):
+    l_dfa, r_dfa = compile_regex(left), compile_regex(right)
+    both = dfa_intersection(l_dfa, r_dfa)
+    assert language_included(both, l_dfa)
+    assert language_included(both, r_dfa)

@@ -1,0 +1,143 @@
+"""Unit tests for the schema layer (DTD-like rules + A_S compilation)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.xmlmodel.parser import parse_document
+from repro.workload.exams import exam_schema, generate_session, paper_document
+
+
+@pytest.fixture
+def library():
+    return Schema.from_rules(
+        document_element="library",
+        rules={
+            "library": "book*",
+            "book": "@isbn title author+ price?",
+            "title": "#text",
+            "author": "#text",
+            "price": "#text",
+        },
+    )
+
+
+class TestValidation:
+    def test_valid_document(self, library):
+        document = parse_document(
+            '<library><book isbn="1"><title>T</title>'
+            "<author>A</author><author>B</author></book></library>"
+        )
+        assert library.is_valid(document)
+
+    def test_missing_required_child(self, library):
+        document = parse_document(
+            '<library><book isbn="1"><title>T</title></book></library>'
+        )
+        assert not library.is_valid(document)
+
+    def test_wrong_child_order(self, library):
+        document = parse_document(
+            '<library><book isbn="1"><author>A</author>'
+            "<title>T</title></book></library>"
+        )
+        assert not library.is_valid(document)
+
+    def test_undeclared_element_invalid(self, library):
+        document = parse_document("<library><magazine/></library>")
+        assert not library.is_valid(document)
+
+    def test_wrong_document_element(self, library):
+        assert not library.is_valid(parse_document("<book/>"))
+
+    def test_optional_parts(self, library):
+        document = parse_document(
+            '<library><book isbn="1"><title>T</title><author>A</author>'
+            "<price>10</price></book></library>"
+        )
+        assert library.is_valid(document)
+
+    def test_empty_repetition(self, library):
+        assert library.is_valid(parse_document("<library/>"))
+
+
+class TestSchemaErrors:
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rules("a", {"a": "undeclared"})
+
+    def test_missing_document_element_rule(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rules("a", {"b": "#text"})
+
+    def test_wildcard_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rules("a", {"a": "~*"})
+
+    def test_leaf_label_rule_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rules("a", {"a": "#text", "@x": "#text"})
+
+    def test_non_element_document_element(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rules("@a", {"@a": "#text"})
+
+
+class TestAutomatonAgreement:
+    DOCS = [
+        "<library/>",
+        '<library><book isbn="1"><title>T</title><author>A</author></book></library>',
+        "<library><book/></library>",
+        "<library><magazine/></library>",
+        "<other/>",
+    ]
+
+    @pytest.mark.parametrize("xml", DOCS)
+    def test_direct_and_automaton_agree(self, library, xml):
+        document = parse_document(xml)
+        automaton = schema_automaton(library)
+        assert library.is_valid(document) == automaton.accepts(document)
+
+    def test_exam_schema_on_paper_document(self):
+        schema = exam_schema()
+        document = paper_document()
+        assert schema.is_valid(document)
+        assert schema_automaton(schema).accepts(document)
+
+    def test_exam_schema_rejects_both_outcomes(self):
+        schema = exam_schema()
+        document = parse_document(
+            '<session><candidate IDN="C1"><level>A</level>'
+            "<exam><date>d</date><discipline>x</discipline>"
+            "<mark>10</mark><rank>1</rank></exam>"
+            "<toBePassed/><firstJob-Year>2011</firstJob-Year>"
+            "</candidate></session>"
+        )
+        assert not schema.is_valid(document)
+        assert not schema_automaton(schema).accepts(document)
+
+    def test_generated_sessions_are_valid(self):
+        schema = exam_schema()
+        for seed in range(3):
+            document = generate_session(8, seed=seed)
+            assert schema.is_valid(document)
+
+    def test_generated_sessions_with_violations_still_valid(self):
+        # fd violations are value-level; the schema is structural
+        schema = exam_schema()
+        document = generate_session(4, violate_fd1=1, violate_fd2=1)
+        assert schema.is_valid(document)
+
+
+class TestSizes:
+    def test_schema_size_counts_dfa_states(self, library):
+        assert library.size() == sum(
+            library.content_dfa(label).state_count
+            for label in library.content_models
+        )
+
+    def test_alphabet(self, library):
+        assert "@isbn" in library.alphabet()
+        assert "#text" in library.alphabet()
+        assert "book" in library.alphabet()

@@ -1,0 +1,155 @@
+"""Unit tests for the schema text format."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.dtd import Schema
+from repro.xmlmodel.parser import parse_document
+
+
+class TestParseText:
+    def test_basic(self):
+        schema = Schema.parse_text(
+            """
+            !document a
+            a := b*
+            b := #text
+            """
+        )
+        assert schema.document_element == "a"
+        assert schema.is_valid(parse_document("<a><b>1</b></a>"))
+
+    def test_comments_and_blank_lines(self):
+        schema = Schema.parse_text(
+            """
+            # a comment
+            !document a
+
+            a := b?   # not a comment here, but harmless text? no:
+            b := #text
+            """.replace("   # not a comment here, but harmless text? no:", "")
+        )
+        assert schema.is_valid(parse_document("<a/>"))
+
+    def test_document_element_defaults_to_first_rule(self):
+        schema = Schema.parse_text("a := b*\nb := #text")
+        assert schema.document_element == "a"
+
+    def test_missing_assignment(self):
+        with pytest.raises(SchemaError):
+            Schema.parse_text("a b*")
+
+    def test_duplicate_rule(self):
+        with pytest.raises(SchemaError):
+            Schema.parse_text("a := b\na := c\nb := #text\nc := #text")
+
+    def test_empty_text(self):
+        with pytest.raises(SchemaError):
+            Schema.parse_text("# nothing\n")
+
+    def test_round_trip_with_exam_schema(self):
+        text = """
+        !document session
+        session   := candidate*
+        candidate := @IDN level exam* (toBePassed | firstJob-Year)
+        level     := #text
+        exam      := date discipline mark rank
+        date      := #text
+        discipline := #text
+        mark      := #text
+        rank      := #text
+        toBePassed := discipline*
+        firstJob-Year := #text
+        """
+        from repro.workload.exams import exam_schema, paper_document
+
+        parsed = Schema.parse_text(text)
+        reference = exam_schema()
+        document = paper_document()
+        assert parsed.is_valid(document) == reference.is_valid(document)
+        assert parsed.alphabet() == reference.alphabet()
+
+
+class TestLinearFDParse:
+    def test_basic(self):
+        from repro.fd.linear import LinearFD
+
+        linear = LinearFD.parse(
+            "(/session, ((candidate/exam/discipline, candidate/exam/mark)"
+            " -> candidate/exam/rank))"
+        )
+        assert str(linear.context) == "session"
+        assert len(linear.conditions) == 2
+        assert str(linear.target[0]) == "candidate/exam/rank"
+
+    def test_node_equality_suffix(self):
+        from repro.fd.fd import EqualityType
+        from repro.fd.linear import LinearFD
+
+        linear = LinearFD.parse(
+            "(/session/candidate, ((exam/date, exam/discipline) -> exam[N]))"
+        )
+        assert linear.target[1] is EqualityType.NODE
+
+    def test_single_condition_without_inner_parens(self):
+        from repro.fd.linear import LinearFD
+
+        linear = LinearFD.parse("(/orders, (order/@id -> order/customer))")
+        assert len(linear.conditions) == 1
+
+    def test_round_trip_through_str(self):
+        from repro.fd.linear import LinearFD
+
+        source = "(/a, ((b/c, d[N]) -> e))"
+        linear = LinearFD.parse(source)
+        again = LinearFD.parse(str(linear))
+        assert str(again) == str(linear)
+
+    def test_missing_arrow(self):
+        from repro.errors import FDError
+        from repro.fd.linear import LinearFD
+
+        with pytest.raises(FDError):
+            LinearFD.parse("(/a, (b, c))")
+
+    def test_parse_matches_paper_expr1(self):
+        """The CLI syntax reproduces the paper's expr1/FD1 pipeline."""
+        from repro.fd.linear import LinearFD, translate_linear_fd
+        from repro.fd.satisfaction import document_satisfies
+        from repro.workload.exams import paper_document
+
+        fd = translate_linear_fd(
+            LinearFD.parse(
+                "(/session, ((candidate/exam/discipline, "
+                "candidate/exam/mark) -> candidate/exam/rank))"
+            )
+        )
+        assert document_satisfies(fd, paper_document())
+
+
+class TestDeterminism:
+    def test_exam_schema_deterministic(self):
+        from repro.workload.exams import exam_schema
+
+        schema = exam_schema()
+        assert schema.ambiguous_content_models() == []
+        schema.require_deterministic()  # no raise
+
+    def test_ambiguous_model_reported(self):
+        schema = Schema.from_rules("a", {"a": "b?.b", "b": "#text"})
+        assert schema.ambiguous_content_models() == ["a"]
+        with pytest.raises(SchemaError):
+            schema.require_deterministic()
+
+    def test_left_factoring_fixes_ambiguity(self):
+        ambiguous = Schema.from_rules(
+            "a", {"a": "(b.c)|(b.d)", "b": "#text", "c": "#text", "d": "#text"}
+        )
+        factored = Schema.from_rules(
+            "a", {"a": "b.(c|d)", "b": "#text", "c": "#text", "d": "#text"}
+        )
+        assert ambiguous.ambiguous_content_models() == ["a"]
+        assert factored.ambiguous_content_models() == []
+        # same language regardless
+        document = parse_document("<a><b>x</b><d>y</d></a>")
+        assert ambiguous.is_valid(document) == factored.is_valid(document)

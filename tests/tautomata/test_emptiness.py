@@ -1,0 +1,138 @@
+"""Unit tests for emptiness and witness extraction."""
+
+from repro.tautomata.emptiness import (
+    automaton_is_empty,
+    inhabited_states,
+    witness_document,
+)
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
+from repro.tautomata.horizontal import (
+    AllHorizontal,
+    EmptyWordHorizontal,
+    ShuffleHorizontal,
+)
+from repro.pattern.builder import build_pattern, edge
+from repro.pattern.engine import has_mapping
+
+
+class TestEmptiness:
+    def test_trivially_nonempty(self):
+        automaton = HedgeAutomaton(
+            [Rule("ok", LabelSpec.exactly("/"), AllHorizontal(frozenset()))],
+            accepting=["ok"],
+        )
+        assert not automaton_is_empty(automaton)
+
+    def test_unsatisfiable_requirement_is_empty(self):
+        # root requires a child in state "never", which has no rule
+        automaton = HedgeAutomaton(
+            [
+                Rule(
+                    "ok",
+                    LabelSpec.exactly("/"),
+                    ShuffleHorizontal(frozenset(), [frozenset({"never"})]),
+                )
+            ],
+            accepting=["ok"],
+        )
+        assert automaton_is_empty(automaton)
+
+    def test_empty_label_spec_blocks(self):
+        automaton = HedgeAutomaton(
+            [Rule("ok", LabelSpec.exactly(), AllHorizontal(frozenset()))],
+            accepting=["ok"],
+        )
+        assert automaton_is_empty(automaton)
+
+    def test_mutual_recursion_bottoms_out(self):
+        # X needs a child Y, Y needs a child X: neither inhabited
+        automaton = HedgeAutomaton(
+            [
+                Rule(
+                    "X",
+                    LabelSpec.any_label(),
+                    ShuffleHorizontal(frozenset(), [frozenset({"Y"})]),
+                ),
+                Rule(
+                    "Y",
+                    LabelSpec.any_label(),
+                    ShuffleHorizontal(frozenset(), [frozenset({"X"})]),
+                ),
+            ],
+            accepting=["X"],
+        )
+        assert automaton_is_empty(automaton)
+        assert inhabited_states(automaton) == frozenset()
+
+    def test_chain_inhabitation(self):
+        automaton = HedgeAutomaton(
+            [
+                Rule("leaf", LabelSpec.exactly("z"), EmptyWordHorizontal()),
+                Rule(
+                    "mid",
+                    LabelSpec.exactly("m"),
+                    ShuffleHorizontal(frozenset(), [frozenset({"leaf"})]),
+                ),
+                Rule(
+                    "top",
+                    LabelSpec.exactly("/"),
+                    ShuffleHorizontal(frozenset(), [frozenset({"mid"})]),
+                ),
+            ],
+            accepting=["top"],
+        )
+        assert inhabited_states(automaton) == frozenset({"leaf", "mid", "top"})
+        assert not automaton_is_empty(automaton)
+
+
+class TestWitness:
+    def test_witness_none_for_empty(self):
+        automaton = HedgeAutomaton(
+            [
+                Rule(
+                    "ok",
+                    LabelSpec.exactly("/"),
+                    ShuffleHorizontal(frozenset(), [frozenset({"never"})]),
+                )
+            ],
+            accepting=["ok"],
+        )
+        assert witness_document(automaton) is None
+
+    def test_witness_is_accepted(self):
+        pattern = build_pattern(
+            edge("s")(edge("a.b", name="x"), edge("c+", name="y")),
+            selected=("x", "y"),
+        )
+        automaton = trace_automaton(pattern).automaton
+        witness = witness_document(automaton)
+        assert witness is not None
+        assert automaton.accepts(witness)
+
+    def test_witness_contains_pattern_trace(self):
+        pattern = build_pattern(
+            edge("s")(edge("a.b", name="x"), edge("c+", name="y")),
+            selected=("x", "y"),
+        )
+        witness = witness_document(trace_automaton(pattern).automaton)
+        assert has_mapping(pattern, witness)
+
+    def test_witness_respects_leaf_typing(self):
+        # pattern requiring an @attr node with a child is unrealizable
+        pattern = build_pattern(
+            edge("a")(edge("@k", name="x")(edge("b", name="y"))),
+            selected=("x", "y"),
+        )
+        automaton = trace_automaton(pattern).automaton
+        assert witness_document(automaton) is None
+
+    def test_witness_gives_leaf_labels_values(self):
+        pattern = build_pattern(
+            edge("a")(edge("@k", name="x")), selected=("x",)
+        )
+        witness = witness_document(trace_automaton(pattern).automaton)
+        assert witness is not None
+        attribute = witness.node_at((0, 0))
+        assert attribute.label == "@k"
+        assert attribute.value

@@ -1,0 +1,143 @@
+"""Unit tests for the A_R construction (Proposition 3's first half)."""
+
+import pytest
+
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.engine import enumerate_mappings, has_mapping
+from repro.tautomata.from_pattern import ACC, BOT, SUB, trace_automaton
+from repro.workload.exams import paper_document, paper_patterns
+from repro.xmlmodel.parser import parse_document
+
+
+class TestAgreementWithEngine:
+    @pytest.mark.parametrize("name", ["r1", "r2", "r3", "r4"])
+    def test_paper_patterns(self, name, figures, figure1):
+        pattern = getattr(figures, name)
+        automaton = trace_automaton(pattern).automaton
+        assert automaton.accepts(figure1) == has_mapping(pattern, figure1)
+
+    def test_order_sensitivity_mirrored(self):
+        document = parse_document("<r><x/><y/></r>")
+        good = build_pattern(
+            edge("r")(edge("x", name="a"), edge("y", name="b")),
+            selected=("a", "b"),
+        )
+        bad = build_pattern(
+            edge("r")(edge("y", name="a"), edge("x", name="b")),
+            selected=("a", "b"),
+        )
+        assert trace_automaton(good).automaton.accepts(document)
+        assert not trace_automaton(bad).automaton.accepts(document)
+
+    def test_prefix_disjointness_mirrored(self):
+        pattern = build_pattern(
+            edge("r")(edge("x.y", name="a"), edge("x.y", name="b")),
+            selected=("a", "b"),
+        )
+        one = parse_document("<r><x><y/></x></r>")
+        two = parse_document("<r><x><y/></x><x><y/></x></r>")
+        automaton = trace_automaton(pattern).automaton
+        assert not automaton.accepts(one)
+        assert automaton.accepts(two)
+
+    def test_wildcard_and_star_edges(self):
+        pattern = build_pattern(
+            edge("~*.deep", name="s"), selected=("s",)
+        )
+        automaton = trace_automaton(pattern).automaton
+        assert automaton.accepts(parse_document("<a><b><deep/></b></a>"))
+        assert not automaton.accepts(parse_document("<a><b/></a>"))
+
+
+class TestStateClassifications:
+    def test_selected_image_states_identified(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="s")), selected=("s",)
+        )
+        result = trace_automaton(pattern)
+        assert result.selected_image_states
+        for state in result.selected_image_states:
+            assert state[0] == "img"
+            assert state[1] == (0, 0)
+
+    def test_non_bot_states(self):
+        pattern = build_pattern(edge("a", name="s"), selected=("s",))
+        result = trace_automaton(pattern)
+        assert BOT not in result.non_bot_states()
+        assert ACC in result.non_bot_states()
+
+
+class TestRegions:
+    def _assignments(self, pattern, document, track_regions):
+        automaton = trace_automaton(
+            pattern, track_regions=track_regions
+        ).automaton
+        return automaton.assignable_states(document)
+
+    def test_sub_state_below_selected_image(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="s")), selected=("s",)
+        )
+        document = parse_document("<a><b><inside><deep/></inside></b></a>")
+        assignment = self._assignments(pattern, document, track_regions=True)
+        inside = document.node_at((0, 0, 0))
+        deep = document.node_at((0, 0, 0, 0))
+        assert SUB in assignment[id(inside)]
+        assert SUB in assignment[id(deep)]
+
+    def test_no_sub_without_region_tracking(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="s")), selected=("s",)
+        )
+        document = parse_document("<a><b><inside/></b></a>")
+        assignment = self._assignments(pattern, document, track_regions=False)
+        inside = document.node_at((0, 0, 0))
+        assert assignment[id(inside)] == frozenset({BOT})
+
+    def test_off_trace_nodes_take_no_trace_roles(self):
+        # Note: SUB/BOT are assignable to any subtree in isolation; only a
+        # *global accepting run* constrains where SUB appears (the product
+        # constructions rely on that).  What is checkable per subtree is
+        # that off-trace nodes never take mid/img roles.
+        pattern = build_pattern(
+            edge("a")(edge("b", name="s")), selected=("s",)
+        )
+        document = parse_document("<a><b/><elsewhere><x/></elsewhere></a>")
+        assignment = self._assignments(pattern, document, track_regions=True)
+        elsewhere = document.node_at((0, 1))
+        roles = {state[0] for state in assignment[id(elsewhere)]}
+        assert "mid" not in roles and "img" not in roles
+
+    def test_trace_nodes_take_img_roles(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="s")), selected=("s",)
+        )
+        document = parse_document("<a><b/></a>")
+        assignment = self._assignments(pattern, document, track_regions=True)
+        a_node = document.node_at((0,))
+        b_node = document.node_at((0, 0))
+        assert any(state[0] == "img" for state in assignment[id(a_node)])
+        assert any(state[0] == "img" for state in assignment[id(b_node)])
+
+
+class TestSizes:
+    def test_size_grows_linearly_with_chain_length(self):
+        sizes = []
+        for length in (1, 2, 4, 8):
+            builder = PatternBuilder()
+            node = builder.root
+            for _ in range(length):
+                node = builder.child(node, "a")
+            pattern = builder.pattern(node)
+            sizes.append(trace_automaton(pattern).automaton.size())
+        # roughly linear: doubling the pattern at most ~doubles the size
+        assert sizes[3] < sizes[0] * 16
+        assert sizes[0] < sizes[1] < sizes[2] < sizes[3]
+
+    def test_alphabet_extension_preserves_language(self, figure1):
+        pattern = paper_patterns().r1
+        small = trace_automaton(pattern).automaton
+        large = trace_automaton(
+            pattern, alphabet={"unrelated1", "unrelated2"}
+        ).automaton
+        assert small.accepts(figure1) == large.accepts(figure1)

@@ -1,0 +1,177 @@
+"""Unit tests for hedge automata, label specs, runs and products."""
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.regex.dfa import compile_regex
+from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
+from repro.tautomata.horizontal import (
+    AllHorizontal,
+    DFAHorizontal,
+    EmptyWordHorizontal,
+    ShuffleHorizontal,
+)
+from repro.tautomata.ops import product_automaton
+from repro.xmlmodel.parser import parse_document
+
+
+class TestLabelSpec:
+    def test_in_matching(self):
+        spec = LabelSpec.exactly("a", "b")
+        assert spec.matches("a")
+        assert not spec.matches("c")
+
+    def test_not_in_matching(self):
+        spec = LabelSpec.excluding(["a"])
+        assert not spec.matches("a")
+        assert spec.matches("anything-else")
+
+    def test_any_label(self):
+        assert LabelSpec.any_label().matches("whatever")
+
+    def test_intersections(self):
+        in_ab = LabelSpec.exactly("a", "b")
+        in_bc = LabelSpec.exactly("b", "c")
+        not_a = LabelSpec.excluding(["a"])
+        not_b = LabelSpec.excluding(["b"])
+        assert in_ab.intersect(in_bc).labels == frozenset({"b"})
+        assert in_ab.intersect(not_a).labels == frozenset({"b"})
+        assert not_a.intersect(in_ab).labels == frozenset({"b"})
+        merged = not_a.intersect(not_b)
+        assert merged.mode == "not_in"
+        assert merged.labels == frozenset({"a", "b"})
+
+    def test_emptiness(self):
+        assert LabelSpec.exactly().is_empty()
+        assert not LabelSpec.any_label().is_empty()
+
+    def test_example_label_prefers_elements(self):
+        spec = LabelSpec.exactly("@attr", "elem", "#text")
+        assert spec.example_label() == "elem"
+
+    def test_example_label_cofinite_avoids_exclusions(self):
+        spec = LabelSpec.excluding(["any0", "any1"])
+        assert spec.example_label() == "any2"
+
+    def test_example_label_empty_raises(self):
+        with pytest.raises(AutomatonError):
+            LabelSpec.exactly().example_label()
+
+
+def _boolean_automaton() -> HedgeAutomaton:
+    """States true/false: a node is 'true' iff label 't' with all-true
+    children, or label 'or' with at least one true child."""
+    true_set = frozenset({"true"})
+    any_set = frozenset({"true", "false"})
+    rules = [
+        Rule("true", LabelSpec.exactly("t"), AllHorizontal(true_set)),
+        Rule(
+            "true",
+            LabelSpec.exactly("or"),
+            ShuffleHorizontal(any_set, [true_set]),
+        ),
+        Rule("false", LabelSpec.any_label(), AllHorizontal(any_set)),
+        Rule("root", LabelSpec.exactly("/"), ShuffleHorizontal(any_set, [true_set])),
+    ]
+    return HedgeAutomaton(rules, accepting=["root"])
+
+
+class TestRuns:
+    def test_accepting_run(self):
+        automaton = _boolean_automaton()
+        assert automaton.accepts(parse_document("<t><t/><t/></t>"))
+        assert automaton.accepts(parse_document("<or><x/><t/></or>"))
+
+    def test_rejecting_run(self):
+        automaton = _boolean_automaton()
+        assert not automaton.accepts(parse_document("<x/>"))
+        assert not automaton.accepts(parse_document("<t><x/></t>"))
+        assert not automaton.accepts(parse_document("<or><x/></or>"))
+
+    def test_assignable_states_are_exact_sets(self):
+        automaton = _boolean_automaton()
+        document = parse_document("<or><t/><x/></or>")
+        assignment = automaton.assignable_states(document)
+        t_node = document.node_at((0, 0))
+        x_node = document.node_at((0, 1))
+        assert assignment[id(t_node)] == frozenset({"true", "false"})
+        assert assignment[id(x_node)] == frozenset({"false"})
+
+    def test_nondeterminism_via_set_run(self):
+        # 'or' node is both true (via its t child) and false
+        automaton = _boolean_automaton()
+        document = parse_document("<or><t/></or>")
+        states = automaton.assignable_states(document)
+        or_node = document.node_at((0,))
+        assert states[id(or_node)] == frozenset({"true", "false"})
+
+    def test_root_states(self):
+        automaton = _boolean_automaton()
+        document = parse_document("<t/>")
+        # 'root' via the requirement, 'false' via the catch-all rule
+        assert automaton.root_states(document) == frozenset({"root", "false"})
+
+    def test_requires_rules(self):
+        with pytest.raises(AutomatonError):
+            HedgeAutomaton([], accepting=["x"])
+
+    def test_size_accounts_horizontals(self):
+        automaton = _boolean_automaton()
+        assert automaton.size() == len(automaton.states()) + len(
+            automaton.rules
+        ) + sum(rule.horizontal.size() for rule in automaton.rules)
+
+
+class TestProduct:
+    def _label_automaton(self, label: str) -> HedgeAutomaton:
+        """Accepts documents whose document element is `label`."""
+        rules = [
+            Rule("any", LabelSpec.any_label(), AllHorizontal(frozenset({"any", "hit"}))),
+            Rule("hit", LabelSpec.exactly(label), AllHorizontal(frozenset({"any", "hit"}))),
+            Rule(
+                "ok",
+                LabelSpec.exactly("/"),
+                ShuffleHorizontal(frozenset(), [frozenset({"hit"})]),
+            ),
+        ]
+        return HedgeAutomaton(rules, accepting=["ok"])
+
+    def test_intersection_semantics(self):
+        both = product_automaton(
+            self._label_automaton("a"), self._label_automaton("a")
+        )
+        assert both.accepts(parse_document("<a/>"))
+        assert not both.accepts(parse_document("<b/>"))
+
+    def test_disjoint_intersection_rejects(self):
+        both = product_automaton(
+            self._label_automaton("a"), self._label_automaton("b")
+        )
+        assert not both.accepts(parse_document("<a/>"))
+        assert not both.accepts(parse_document("<b/>"))
+
+    def test_union_acceptance_function(self):
+        either = product_automaton(
+            self._label_automaton("a"),
+            self._label_automaton("b"),
+            accept=lambda x, y: x or y,
+        )
+        assert either.accepts(parse_document("<a/>"))
+        assert either.accepts(parse_document("<b/>"))
+        assert not either.accepts(parse_document("<c/>"))
+
+    def test_product_with_dfa_horizontal(self):
+        counting = HedgeAutomaton(
+            [
+                Rule("leaf", LabelSpec.any_label(), EmptyWordHorizontal()),
+                Rule(
+                    "pair-root",
+                    LabelSpec.exactly("/"),
+                    DFAHorizontal(compile_regex("leaf")),
+                ),
+            ],
+            accepting=["pair-root"],
+        )
+        both = product_automaton(counting, self._label_automaton("a"))
+        assert both.accepts(parse_document("<a/>"))
+        assert not both.accepts(parse_document("<b/>"))

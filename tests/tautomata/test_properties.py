@@ -1,0 +1,112 @@
+"""Property tests for the hedge-automata layer (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pattern.engine import has_mapping
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.tautomata.emptiness import (
+    automaton_is_empty,
+    inhabited_states,
+    witness_document,
+)
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.ops import product_automaton
+from repro.workload.random_docs import random_document
+from repro.workload.random_patterns import random_pattern
+
+LABELS = ("a", "b", "doc")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_product_is_conjunction(seed):
+    rng = random.Random(seed)
+    first = trace_automaton(
+        random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 3))
+    ).automaton
+    second = trace_automaton(
+        random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 3))
+    ).automaton
+    both = product_automaton(first, second)
+    document = random_document(rng, labels=("a", "b"), max_depth=3)
+    assert both.accepts(document) == (
+        first.accepts(document) and second.accepts(document)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_witness_iff_not_empty(seed):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 4))
+    automaton = trace_automaton(pattern).automaton
+    witness = witness_document(automaton)
+    # pattern trace automata always accept some tree (build the template
+    # itself), so a witness must exist and must be accepted
+    assert witness is not None
+    assert automaton.accepts(witness)
+    assert not automaton_is_empty(automaton)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_witness_carries_a_mapping(seed):
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 4))
+    witness = witness_document(trace_automaton(pattern).automaton)
+    assert witness is not None
+    assert has_mapping(pattern, witness)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_inhabited_states_superset_of_run_states(seed):
+    """Any state assigned on a concrete document must be inhabited."""
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, labels=LABELS, node_count=rng.randint(1, 3))
+    automaton = trace_automaton(pattern).automaton
+    document = random_document(rng, labels=("a", "b"), max_depth=3)
+    inhabited = inhabited_states(automaton)
+    for states in automaton.assignable_states(document).values():
+        assert states <= inhabited
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_schema_automaton_agrees_with_direct_validation(seed):
+    rng = random.Random(seed)
+    schema = Schema.from_rules(
+        "doc",
+        {
+            "doc": "a* b?",
+            "a": "(a | b)*",
+            "b": "#text?",
+        },
+    )
+    automaton = schema_automaton(schema)
+    document = random_document(
+        rng, labels=("a", "b"), max_depth=3, max_children=3
+    )
+    assert schema.is_valid(document) == automaton.accepts(document)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_schema_product_filters_pattern_language(seed):
+    rng = random.Random(seed)
+    schema = Schema.from_rules(
+        "doc",
+        {"doc": "a*", "a": "(a | b)*", "b": "()"},
+    )
+    pattern = random_pattern(rng, labels=("a", "b"), node_count=rng.randint(1, 3))
+    pattern_automaton = trace_automaton(
+        pattern, alphabet=schema.alphabet()
+    ).automaton
+    both = product_automaton(schema_automaton(schema), pattern_automaton)
+    document = random_document(rng, labels=("a", "b"), max_depth=3)
+    assert both.accepts(document) == (
+        schema.is_valid(document) and pattern_automaton.accepts(document)
+    )

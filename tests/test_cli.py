@@ -1,0 +1,167 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload.exams import paper_document
+from repro.xmlmodel.serializer import serialize_document
+
+SCHEMA_TEXT = """
+!document orders
+orders   := order*
+order    := @id customer line* status
+customer := name address
+name     := #text
+address  := #text
+line     := product qty price
+product  := #text
+qty      := #text
+price    := #text
+status   := #text
+"""
+
+STORE_XML = """
+<orders>
+  <order id="1">
+    <customer><name>Ada</name><address>B1</address></customer>
+    <line><product>widget</product><qty>2</qty><price>10</price></line>
+    <status>open</status>
+  </order>
+  <order id="1">
+    <customer><name>Eve</name><address>B2</address></customer>
+    <status>open</status>
+  </order>
+</orders>
+"""
+
+FD = "(/orders, ((order/@id) -> order/customer/name))"
+
+
+@pytest.fixture
+def store(tmp_path):
+    document = tmp_path / "store.xml"
+    document.write_text(STORE_XML)
+    schema = tmp_path / "store.schema"
+    schema.write_text(SCHEMA_TEXT)
+    return document, schema
+
+
+class TestValidate:
+    def test_valid(self, store, capsys):
+        document, schema = store
+        code = main(["validate", str(document), "--schema", str(schema)])
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_invalid(self, store, tmp_path, capsys):
+        _, schema = store
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<orders><unknown/></orders>")
+        code = main(["validate", str(bad), "--schema", str(schema)])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file(self, store, capsys):
+        _, schema = store
+        code = main(["validate", "/no/such/file.xml", "--schema", str(schema)])
+        assert code == 66
+
+
+class TestCheckFD:
+    def test_violated(self, store, capsys):
+        document, _ = store
+        code = main(["check-fd", str(document), "--fd", FD])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_satisfied(self, store, tmp_path, capsys):
+        good = tmp_path / "good.xml"
+        good.write_text(STORE_XML.replace("Eve", "Ada"))
+        code = main(["check-fd", str(good), "--fd", FD])
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_bad_fd_syntax(self, store, capsys):
+        document, _ = store
+        code = main(["check-fd", str(document), "--fd", "not an fd"])
+        assert code == 64
+        assert "error:" in capsys.readouterr().err
+
+
+class TestIndependence:
+    def test_independent_with_schema(self, store, capsys):
+        _, schema = store
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--schema",
+                str(schema),
+            ]
+        )
+        assert code == 0
+        assert "INDEPENDENT" in capsys.readouterr().out
+
+    def test_unknown_with_witness(self, store, capsys):
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/customer/name",
+                "--show-witness",
+            ]
+        )
+        assert code == 2
+        output = capsys.readouterr().out
+        assert "UNKNOWN" in output
+        assert "dangerous document:" in output
+        assert "<orders" in output
+
+
+class TestStreamCheck:
+    def test_violated(self, store, capsys):
+        document, _ = store
+        code = main(["stream-check", str(document), "--fd", FD])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "single pass" in out
+
+    def test_satisfied(self, store, tmp_path, capsys):
+        good = tmp_path / "good.xml"
+        good.write_text(STORE_XML.replace("Eve", "Ada"))
+        code = main(["stream-check", str(good), "--fd", FD])
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_agrees_with_dom_check(self, store, capsys):
+        document, _ = store
+        dom_code = main(["check-fd", str(document), "--fd", FD])
+        stream_code = main(["stream-check", str(document), "--fd", FD])
+        assert dom_code == stream_code
+
+
+class TestEvaluate:
+    def test_matches(self, store, capsys):
+        document, _ = store
+        code = main(
+            ["evaluate", str(document), "--xpath", "//line/product"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "widget" in captured.out
+        assert "1 node(s)" in captured.err
+
+    def test_paper_document_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "exam.xml"
+        path.write_text(serialize_document(paper_document()))
+        code = main(
+            ["evaluate", str(path), "--xpath", "/session/candidate/@IDN"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C1" in out and "C2" in out

@@ -1,0 +1,88 @@
+"""Unit tests for the DOT exports."""
+
+from repro.viz import (
+    document_to_dot,
+    fd_to_dot,
+    pattern_to_dot,
+    template_to_dot,
+    update_class_to_dot,
+)
+from repro.workload.exams import paper_document, paper_patterns
+from repro.xmlmodel.parser import parse_document
+
+
+class TestDocumentDot:
+    def test_structure(self):
+        dot = document_to_dot(parse_document('<a k="v"><b>x</b></a>'))
+        assert dot.startswith("digraph document {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 4  # / -> a -> (@k, b -> #text)
+
+    def test_labels_and_values(self):
+        dot = document_to_dot(parse_document('<a k="val"/>'))
+        assert '"a"' in dot
+        assert "@k" in dot and "val" in dot
+
+    def test_value_truncation(self):
+        dot = document_to_dot(
+            parse_document("<a>0123456789abcdef</a>"), max_value_length=4
+        )
+        assert "0123" in dot
+        assert "0123456789abcdef" not in dot
+
+    def test_quote_escaping(self):
+        dot = document_to_dot(parse_document('<a k="say &quot;hi&quot;"/>'))
+        assert '\\"hi\\"' in dot
+
+
+class TestPatternDot:
+    def test_edges_carry_regexes(self, figures):
+        dot = pattern_to_dot(figures.r1)
+        assert 'label="session"' in dot
+        assert 'label="candidate.exam"' in dot
+
+    def test_selected_doubled(self, figures):
+        dot = pattern_to_dot(figures.r1)
+        assert dot.count("doublecircle") == 2
+
+    def test_fd_context_shaded(self, figures):
+        dot = fd_to_dot(figures.fd1)
+        assert "fillcolor" in dot
+        assert dot.count("doublecircle") == 3  # p1, p2, q
+
+    def test_update_selected_diamond(self, figures):
+        dot = update_class_to_dot(figures.update_class)
+        assert dot.count("diamond") == 1
+
+    def test_named_nodes_shown(self, figures):
+        dot = fd_to_dot(figures.fd1)
+        for name in ("c", "p1", "p2", "q"):
+            assert f'label="{name}"' in dot
+
+    def test_template_without_markers(self, figures):
+        dot = template_to_dot(figures.r1.template)
+        assert "doublecircle" not in dot
+        assert "diamond" not in dot
+
+
+class TestMappingDot:
+    def test_trace_highlighted(self, figures, figure1):
+        from repro.pattern.engine import enumerate_mappings
+        from repro.viz import mapping_to_dot
+
+        mapping = next(enumerate_mappings(figures.r2, figure1))
+        dot = mapping_to_dot(mapping, figures.r2)
+        # trace nodes shaded, selected images thick, off-trace edges dotted
+        assert "lightgray" in dot
+        assert dot.count("penwidth=3") == 2
+        assert "style=dotted" in dot
+
+    def test_whole_document_present(self, figures, figure1):
+        from repro.pattern.engine import enumerate_mappings
+        from repro.viz import mapping_to_dot
+
+        mapping = next(enumerate_mappings(figures.r3, figure1))
+        dot = mapping_to_dot(mapping, figures.r3)
+        assert dot.count("shape=box") + dot.count("shape=ellipse") == (
+            figure1.size()
+        )

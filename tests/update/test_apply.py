@@ -1,0 +1,142 @@
+"""Unit tests for performers and update application."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.pattern.builder import build_pattern, edge
+from repro.update.apply import Update, apply_update
+from repro.update.operations import (
+    add_child,
+    delete_node,
+    keep_unchanged,
+    relabel,
+    replace_with,
+    set_text,
+    transform,
+)
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.builder import elem, text
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document
+
+
+def _class(path_spec, selected=("s",)):
+    return UpdateClass(build_pattern(path_spec, selected=selected))
+
+
+@pytest.fixture
+def document():
+    return parse_document("<a><b>old</b><c/><b>other</b></a>")
+
+
+B_SELECTOR = edge("a")(edge("b", name="s"))
+
+
+class TestApplication:
+    def test_original_document_untouched(self, document):
+        update = Update(_class(B_SELECTOR), delete_node())
+        apply_update(document, update)
+        assert len(document.node_at((0,)).children) == 3
+
+    def test_replace_with(self, document):
+        update = Update(_class(B_SELECTOR), replace_with(lambda: elem("new")))
+        updated = apply_update(document, update)
+        labels = [c.label for c in updated.node_at((0,)).children]
+        assert labels == ["new", "c", "new"]
+
+    def test_delete(self, document):
+        update = Update(_class(B_SELECTOR), delete_node())
+        updated = apply_update(document, update)
+        assert [c.label for c in updated.node_at((0,)).children] == ["c"]
+
+    def test_keep_unchanged(self, document):
+        update = Update(_class(B_SELECTOR), keep_unchanged())
+        updated = apply_update(document, update)
+        assert serialize_document(updated) == serialize_document(document)
+
+    def test_set_text_on_element(self, document):
+        update = Update(_class(B_SELECTOR), set_text("fresh"))
+        updated = apply_update(document, update)
+        assert updated.node_at((0, 0)).text_value() == "fresh"
+        assert updated.node_at((0, 2)).text_value() == "fresh"
+
+    def test_set_text_on_attribute(self):
+        document = parse_document('<a k="old"/>')
+        update = Update(
+            _class(edge("a")(edge("@k", name="s"))), set_text("new")
+        )
+        updated = apply_update(document, update)
+        assert updated.node_at((0,)).attribute("k") == "new"
+
+    def test_relabel_element(self, document):
+        update = Update(_class(B_SELECTOR), relabel("renamed"))
+        updated = apply_update(document, update)
+        assert updated.node_at((0, 0)).label == "renamed"
+        assert updated.node_at((0, 0)).text_value() == "old"
+
+    def test_add_child(self, document):
+        update = Update(
+            _class(B_SELECTOR), add_child(lambda: elem("comment"))
+        )
+        updated = apply_update(document, update)
+        assert updated.node_at((0, 0)).find_all("comment")
+
+    def test_add_child_at_index(self, document):
+        update = Update(
+            _class(B_SELECTOR), add_child(lambda: elem("first"), index=0)
+        )
+        updated = apply_update(document, update)
+        assert updated.node_at((0, 0)).children[0].label == "first"
+
+    def test_transform_sees_old_subtree(self, document):
+        def doubler(old):
+            return elem(old.label, text(old.text_value() * 2))
+
+        update = Update(_class(B_SELECTOR), transform(doubler))
+        updated = apply_update(document, update)
+        assert updated.node_at((0, 0)).text_value() == "oldold"
+
+    def test_update_callable_shorthand(self, document):
+        update = Update(_class(B_SELECTOR), delete_node())
+        updated = update(document)
+        assert [c.label for c in updated.node_at((0,)).children] == ["c"]
+
+
+class TestNestedSelections:
+    def test_descendants_processed_before_ancestors(self):
+        document = parse_document("<a><x><x><leaf/></x></x></a>")
+        update_class = _class(edge("a")(edge("x+", name="s")))
+
+        def tag(old):
+            old.append_child(elem("tagged"))
+            return old
+
+        updated = apply_update(document, Update(update_class, transform(tag)))
+        outer = updated.node_at((0, 0))
+        inner = outer.children[0]
+        assert outer.children[-1].label == "tagged"
+        assert inner.children[-1].label == "tagged"
+
+    def test_ancestor_replacement_swallows_descendant(self):
+        document = parse_document("<a><x><x/></x></a>")
+        update_class = _class(edge("a")(edge("x+", name="s")))
+        updated = apply_update(
+            document, Update(update_class, replace_with(lambda: elem("flat")))
+        )
+        # the outer replacement wins; no nested 'flat' inside 'flat'
+        outer = updated.node_at((0, 0))
+        assert outer.label == "flat"
+        assert outer.children == []
+
+
+class TestUpdateClassSemantics:
+    def test_update_belongs_to_class(self):
+        """Example 4: two different performers, one class (same U)."""
+        update_class = _class(B_SELECTOR)
+        q1 = Update(update_class, set_text("one"))
+        q2 = Update(update_class, add_child(lambda: elem("comment")))
+        assert q1.update_class is q2.update_class
+
+    def test_repr(self):
+        update = Update(_class(B_SELECTOR), delete_node(), name="drop-bs")
+        assert "drop-bs" in repr(update)

@@ -1,0 +1,152 @@
+"""Unit tests for guarded update batches."""
+
+import pytest
+
+from repro.fd.linear import LinearFD, translate_linear_fd
+from repro.pattern.builder import build_pattern, edge
+from repro.update.apply import Update
+from repro.update.batch import UpdateBatch
+from repro.update.operations import set_text
+from repro.update.update_class import UpdateClass
+from repro.workload.exams import exam_schema, paper_patterns, paper_document
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document
+
+
+@pytest.fixture
+def store():
+    return parse_document(
+        "<orders>"
+        '<order id="1"><name>Ada</name><total>10</total></order>'
+        '<order id="2"><name>Eve</name><total>20</total></order>'
+        "</orders>"
+    )
+
+
+@pytest.fixture
+def fd_id_name():
+    return translate_linear_fd(
+        LinearFD.build(
+            context="/orders",
+            conditions=["order/@id"],
+            target="order/name",
+            name="id-name",
+        )
+    )
+
+
+def _update(xpath_like: str, performer, name=None):
+    update_class = UpdateClass(
+        build_pattern(edge(xpath_like, name="s"), selected=("s",)),
+        name=name or xpath_like,
+    )
+    return Update(update_class, performer)
+
+
+class TestUnguarded:
+    def test_sequential_application(self, store):
+        batch = UpdateBatch(
+            [
+                _update("orders.order.total", set_text("0")),
+                _update("orders.order.name", set_text("X")),
+            ]
+        )
+        result = batch.apply(store)
+        assert result.node_at((0, 0)).find("total").text_value() == "0"
+        assert result.node_at((0, 0)).find("name").text_value() == "X"
+        # original untouched
+        assert store.node_at((0, 0)).find("name").text_value() == "Ada"
+
+    def test_add_chains(self):
+        batch = UpdateBatch().add(
+            _update("orders.order.total", set_text("0"))
+        )
+        assert len(batch.updates) == 1
+
+
+class TestGuarded:
+    def test_commit_on_harmless_batch(self, store, fd_id_name):
+        batch = UpdateBatch([_update("orders.order.total", set_text("0"))])
+        outcome = batch.apply_guarded(store, fds=[fd_id_name])
+        assert outcome.committed
+        assert outcome.document.node_at((0, 0)).find("total").text_value() == "0"
+        assert "COMMITTED" in outcome.describe()
+
+    def test_rollback_on_fd_violation(self, store, fd_id_name):
+        # renaming every customer to the same name while ids differ is
+        # fine; but making ids equal *and* names different breaks the FD
+        batch = UpdateBatch(
+            [_update("orders.order.@id", set_text("1"), name="ids")]
+        )
+        outcome = batch.apply_guarded(store, fds=[fd_id_name])
+        assert not outcome.committed
+        assert outcome.failed_fd_names == ["id-name"]
+        # rollback: the returned document is the original
+        assert outcome.document.node_at((0, 1)).attribute("id") == "2"
+        assert "ROLLED BACK" in outcome.describe()
+
+    def test_rollback_on_schema_violation(self, figure1=None):
+        figures = paper_patterns()
+        schema = exam_schema()
+        document = paper_document()
+        # replacing a level with empty text keeps the tree shape valid,
+        # but deleting the level breaks the content model
+        from repro.update.operations import delete_node
+
+        batch = UpdateBatch(
+            [
+                Update(figures.update_class, delete_node()),
+            ]
+        )
+        outcome = batch.apply_guarded(document, schema=schema)
+        assert not outcome.committed
+        assert outcome.schema_violation
+
+    def test_certified_pairs_skip_checks(self, store, fd_id_name):
+        batch = UpdateBatch(
+            [_update("orders.order.total", set_text("0"), name="totals")]
+        )
+        outcome = batch.apply_guarded(
+            store,
+            fds=[fd_id_name],
+            certified={("id-name", "totals")},
+        )
+        assert outcome.committed
+        assert outcome.checks_skipped == 1
+        assert outcome.checks_run == 0
+
+    def test_ic_certificate_feeds_guard(self, store, fd_id_name):
+        """End to end: certify with IC, then skip the recheck."""
+        from repro.independence.criterion import check_independence
+
+        totals = UpdateClass(
+            build_pattern(edge("orders.order.total", name="s"), selected=("s",)),
+            name="totals",
+        )
+        assert check_independence(fd_id_name, totals).independent
+        batch = UpdateBatch([Update(totals, set_text("99"))])
+        outcome = batch.apply_guarded(
+            store,
+            fds=[fd_id_name],
+            certified={("id-name", "totals")},
+        )
+        assert outcome.committed and outcome.checks_skipped == 1
+
+    def test_precheck_mode(self, fd_id_name):
+        dirty = parse_document(
+            "<orders>"
+            '<order id="1"><name>Ada</name></order>'
+            '<order id="1"><name>Eve</name></order>'
+            "</orders>"
+        )
+        batch = UpdateBatch([_update("orders.order.name", set_text("X"))])
+        outcome = batch.apply_guarded(
+            dirty, fds=[fd_id_name], assume_valid_before=False
+        )
+        assert not outcome.committed
+        assert outcome.failed_fd_names == ["id-name"]
+
+    def test_empty_batch_commits(self, store, fd_id_name):
+        outcome = UpdateBatch().apply_guarded(store, fds=[fd_id_name])
+        assert outcome.committed
+        assert serialize_document(outcome.document) == serialize_document(store)

@@ -1,0 +1,109 @@
+"""Unit tests for update classes (Section 4)."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.parser import parse_document
+
+from tests.conftest import positions
+
+
+def _class(spec, selected):
+    return UpdateClass(build_pattern(spec, selected=selected))
+
+
+class TestConstruction:
+    def test_nary_classes_supported(self):
+        pattern = build_pattern(
+            edge("a")(edge("b", name="x"), edge("c", name="y")),
+            selected=("x", "y"),
+        )
+        update_class = UpdateClass(pattern)
+        assert update_class.selected_positions == ((0, 0), (0, 1))
+        with pytest.raises(UpdateError):
+            update_class.selected_position  # monadic accessor refuses
+
+    def test_nary_selection_collects_all_components(self):
+        document = parse_document("<a><b/><c/></a>")
+        pattern = build_pattern(
+            edge("a")(edge("b", name="x"), edge("c", name="y")),
+            selected=("x", "y"),
+        )
+        update_class = UpdateClass(pattern)
+        assert positions(update_class.selected_nodes(document)) == [
+            "0.0",
+            "0.1",
+        ]
+
+    def test_nary_leaf_check_covers_all(self):
+        non_leaf = UpdateClass(
+            build_pattern(
+                edge("a")(
+                    edge("b", name="x"),
+                    edge("c", name="y")(edge("d")),
+                ),
+                selected=("x", "y"),
+            )
+        )
+        assert not non_leaf.selected_nodes_are_template_leaves()
+
+    def test_leaf_detection(self):
+        leaf_class = _class(edge("a")(edge("b", name="s")), selected=("s",))
+        assert leaf_class.selected_nodes_are_template_leaves()
+
+        non_leaf = UpdateClass(
+            build_pattern(
+                edge("a")(edge("b", name="s")(edge("c"))), selected=("s",)
+            )
+        )
+        assert not non_leaf.selected_nodes_are_template_leaves()
+
+    def test_default_name(self):
+        assert _class(edge("a", name="s"), selected=("s",)).name == "U"
+
+
+class TestSelection:
+    def test_selected_nodes_in_document_order(self):
+        document = parse_document("<a><b/><b/><b/></a>")
+        update_class = _class(edge("a")(edge("b", name="s")), selected=("s",))
+        assert positions(update_class.selected_nodes(document)) == [
+            "0.0",
+            "0.1",
+            "0.2",
+        ]
+
+    def test_no_duplicates_from_multiple_mappings(self):
+        # two mappings through different witnesses select the same node
+        document = parse_document("<a><w/><w/><b/></a>")
+        builder = PatternBuilder()
+        a = builder.child(builder.root, "a")
+        builder.child(a, "w")
+        builder.child(a, "b", name="s")
+        update_class = UpdateClass(builder.pattern("s"))
+        assert positions(update_class.selected_nodes(document)) == ["0.2"]
+
+    def test_conditional_selection(self):
+        # select level only for candidates with toBePassed
+        document = parse_document(
+            "<session>"
+            "<candidate><level/><toBePassed/></candidate>"
+            "<candidate><level/></candidate>"
+            "</session>"
+        )
+        builder = PatternBuilder()
+        cand = builder.child(builder.root, "session.candidate")
+        builder.child(cand, "level", name="s")
+        builder.child(cand, "toBePassed")
+        update_class = UpdateClass(builder.pattern("s"))
+        assert positions(update_class.selected_nodes(document)) == ["0.0.0"]
+
+    def test_empty_selection(self):
+        document = parse_document("<a><c/></a>")
+        update_class = _class(edge("a")(edge("b", name="s")), selected=("s",))
+        assert update_class.selected_nodes(document) == []
+
+    def test_size_matches_pattern(self):
+        update_class = _class(edge("a")(edge("b", name="s")), selected=("s",))
+        assert update_class.size() == update_class.pattern.size()

@@ -1,0 +1,122 @@
+"""Unit tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.fd.satisfaction import document_satisfies
+from repro.workload.exams import generate_session, paper_patterns
+from repro.workload.random_docs import all_documents, random_document
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_pattern,
+    random_proper_regex,
+    random_update_class,
+)
+
+
+class TestSessionGenerator:
+    def test_deterministic(self):
+        from repro.xmlmodel.serializer import serialize_document
+
+        first = generate_session(10, seed=7)
+        second = generate_session(10, seed=7)
+        assert serialize_document(first) == serialize_document(second)
+
+    def test_seed_changes_output(self):
+        from repro.xmlmodel.serializer import serialize_document
+
+        assert serialize_document(generate_session(10, seed=1)) != (
+            serialize_document(generate_session(10, seed=2))
+        )
+
+    def test_candidate_count(self):
+        document = generate_session(25, seed=0)
+        session = document.node_at((0,))
+        assert len(session.find_all("candidate")) == 25
+
+    def test_fd1_holds_by_construction(self, figures):
+        document = generate_session(40, seed=3)
+        assert document_satisfies(figures.fd1, document)
+
+    def test_fd2_holds_by_construction(self, figures):
+        document = generate_session(40, seed=4)
+        assert document_satisfies(figures.fd2, document)
+
+    def test_fd1_violation_injection(self, figures):
+        document = generate_session(10, seed=5, violate_fd1=1)
+        assert not document_satisfies(figures.fd1, document)
+
+    def test_fd2_violation_injection(self, figures):
+        document = generate_session(10, seed=5, violate_fd2=1)
+        assert not document_satisfies(figures.fd2, document)
+
+    def test_update_class_finds_targets(self, figures):
+        document = generate_session(60, seed=6)
+        # with random marks some candidates fail and get toBePassed
+        assert figures.update_class.selected_nodes(document)
+
+    def test_exam_limit(self):
+        with pytest.raises(ValueError):
+            generate_session(1, exams_per_candidate=100)
+
+
+class TestRandomDocuments:
+    def test_deterministic(self):
+        from repro.xmlmodel.serializer import serialize_document
+
+        assert serialize_document(random_document(3)) == serialize_document(
+            random_document(3)
+        )
+
+    def test_document_element_label(self):
+        assert random_document(1).document_element.label == "doc"
+
+    def test_depth_bound(self):
+        document = random_document(5, max_depth=3)
+        assert max(node.depth() for node in document.nodes()) <= 3 + 1
+
+    def test_all_documents_small_space(self):
+        docs = all_documents(("a",), ("0",), max_depth=2, max_children=1)
+        # document element 'doc' with exactly one child subtree of depth 1
+        assert len(docs) == 2  # <a/> or <a>0</a> under doc
+        labels = {d.node_at((0, 0)).label for d in docs}
+        assert labels == {"a"}
+
+    def test_all_documents_distinct(self):
+        from repro.xmlmodel.serializer import serialize_document
+
+        docs = all_documents(("a", "b"), ("0",), max_depth=2, max_children=2)
+        rendered = [serialize_document(d) for d in docs]
+        assert len(rendered) == len(set(rendered))
+
+
+class TestRandomPatterns:
+    def test_proper_regexes(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            expression = random_proper_regex(rng, ("a", "b"))
+            assert not expression.nullable()
+
+    def test_pattern_node_count(self):
+        pattern = random_pattern(0, node_count=5)
+        assert len(pattern.template.nodes) == 6  # + root
+
+    def test_update_class_leaf_selected(self):
+        for seed in range(10):
+            update_class = random_update_class(seed)
+            assert update_class.selected_nodes_are_template_leaves()
+
+    def test_random_fd_well_formed(self):
+        for seed in range(10):
+            fd = random_functional_dependency(seed, condition_count=2)
+            assert fd.condition_count == 2
+            template = fd.pattern.template
+            for position in fd.pattern.selected:
+                assert template.is_ancestor(fd.context, position)
+
+    def test_reproducible(self):
+        first = random_pattern(42, node_count=4)
+        second = random_pattern(42, node_count=4)
+        assert first.template.edge_regexes == second.template.edge_regexes
+        assert first.selected == second.selected

@@ -1,0 +1,120 @@
+"""Unit tests for navigation axes and document order."""
+
+import pytest
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.axes import (
+    ancestors,
+    descendants,
+    document_order_index,
+    is_ancestor,
+    lowest_common_ancestor,
+    path_between,
+    path_labels,
+)
+from repro.xmlmodel.builder import doc, elem
+
+
+@pytest.fixture
+def tree():
+    #        /
+    #        a
+    #      b   e
+    #     c d
+    return doc(elem("a", elem("b", elem("c"), elem("d")), elem("e")))
+
+
+class TestAncestry:
+    def test_ancestors(self, tree):
+        c = tree.node_at((0, 0, 0))
+        assert [n.label for n in ancestors(c)] == ["b", "a", "/"]
+
+    def test_ancestors_include_self(self, tree):
+        c = tree.node_at((0, 0, 0))
+        assert [n.label for n in ancestors(c, include_self=True)][0] == "c"
+
+    def test_is_ancestor(self, tree):
+        a = tree.node_at((0,))
+        c = tree.node_at((0, 0, 0))
+        assert is_ancestor(a, c)
+        assert not is_ancestor(c, a)
+
+    def test_is_ancestor_strictness(self, tree):
+        a = tree.node_at((0,))
+        assert not is_ancestor(a, a)
+        assert is_ancestor(a, a, strict=False)
+
+    def test_descendants(self, tree):
+        b = tree.node_at((0, 0))
+        assert [n.label for n in descendants(b)] == ["c", "d"]
+        assert [n.label for n in descendants(b, include_self=True)] == [
+            "b",
+            "c",
+            "d",
+        ]
+
+
+class TestDocumentOrder:
+    def test_preorder_ranks(self, tree):
+        ranks = document_order_index(tree)
+        labels_by_rank = sorted(
+            ((rank, node.label) for node in tree.nodes() for rank in [ranks[id(node)]])
+        )
+        assert [label for _, label in labels_by_rank] == [
+            "/",
+            "a",
+            "b",
+            "c",
+            "d",
+            "e",
+        ]
+
+    def test_ancestor_precedes_descendant(self, tree):
+        ranks = document_order_index(tree)
+        a = tree.node_at((0,))
+        d = tree.node_at((0, 0, 1))
+        assert ranks[id(a)] < ranks[id(d)]
+
+    def test_sibling_order(self, tree):
+        ranks = document_order_index(tree)
+        b = tree.node_at((0, 0))
+        e = tree.node_at((0, 1))
+        assert ranks[id(b)] < ranks[id(e)]
+
+
+class TestLCA:
+    def test_cousins(self, tree):
+        c = tree.node_at((0, 0, 0))
+        e = tree.node_at((0, 1))
+        assert lowest_common_ancestor(c, e).label == "a"
+
+    def test_ancestor_is_lca(self, tree):
+        b = tree.node_at((0, 0))
+        d = tree.node_at((0, 0, 1))
+        assert lowest_common_ancestor(b, d) is b
+
+    def test_different_trees_raise(self, tree):
+        other = doc(elem("z"))
+        with pytest.raises(XMLModelError):
+            lowest_common_ancestor(tree.root, other.root)
+
+
+class TestPaths:
+    def test_path_between(self, tree):
+        nodes = path_between(tree.root, tree.node_at((0, 0, 1)))
+        assert [n.label for n in nodes] == ["/", "a", "b", "d"]
+
+    def test_path_to_self(self, tree):
+        a = tree.node_at((0,))
+        assert path_between(a, a) == [a]
+
+    def test_path_not_descendant_raises(self, tree):
+        with pytest.raises(XMLModelError):
+            path_between(tree.node_at((0, 1)), tree.node_at((0, 0)))
+
+    def test_path_labels_excludes_source(self, tree):
+        labels = path_labels(tree.root, tree.node_at((0, 0, 0)))
+        assert labels == ("a", "b", "c")
+
+    def test_path_labels_to_self_is_empty(self, tree):
+        assert path_labels(tree.root, tree.root) == ()

@@ -1,0 +1,82 @@
+"""Depth-robustness tests: nothing may hit the recursion limit.
+
+Documents far deeper than Python's default recursion limit must flow
+through the parser, serializer, event streams, cloning, value equality
+and schema validation.
+"""
+
+import pytest
+
+from repro.schema.dtd import Schema
+from repro.xmlmodel.equality import nodes_value_equal, value_key
+from repro.xmlmodel.events import iter_events, parse_events
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document
+
+DEPTH = 3000
+
+
+@pytest.fixture(scope="module")
+def deep_text():
+    return "<a>" * DEPTH + "</a>" * DEPTH
+
+
+@pytest.fixture(scope="module")
+def deep_document(deep_text):
+    return parse_document(deep_text)
+
+
+class TestDeepDocuments:
+    def test_parse(self, deep_document):
+        assert deep_document.size() == DEPTH + 1
+
+    def test_serialize_compact(self, deep_document):
+        # the childless innermost element renders self-closed
+        expected = "<a>" * (DEPTH - 1) + "<a/>" + "</a>" * (DEPTH - 1)
+        assert serialize_document(deep_document) == expected
+
+    def test_serialize_pretty(self, deep_document):
+        pretty = serialize_document(deep_document, indent=1)
+        assert pretty.count("<a>") == DEPTH - 1
+        assert pretty.count("<a/>") == 1
+
+    def test_round_trip(self, deep_document):
+        reparsed = parse_document(serialize_document(deep_document))
+        assert reparsed.size() == deep_document.size()
+
+    def test_clone(self, deep_document):
+        copy = deep_document.clone()
+        assert copy.size() == deep_document.size()
+
+    def test_value_equality(self, deep_document):
+        copy = deep_document.clone()
+        assert nodes_value_equal(
+            deep_document.document_element, copy.document_element
+        )
+        assert value_key(deep_document.document_element) == value_key(
+            copy.document_element
+        )
+
+    def test_tree_events(self, deep_document):
+        events = list(iter_events(deep_document))
+        assert len(events) == 2 * (DEPTH + 1)
+
+    def test_text_events(self, deep_text):
+        events = list(parse_events(deep_text))
+        assert len(events) == 2 * (DEPTH + 1)
+
+    def test_events_match_tree_events(self, deep_text, deep_document):
+        assert list(parse_events(deep_text)) == list(iter_events(deep_document))
+
+    def test_schema_validation(self, deep_document):
+        schema = Schema.from_rules("a", {"a": "a?"})
+        assert schema.is_valid(deep_document)
+
+    def test_streaming_fd_validation(self, deep_text):
+        from repro.fd.linear import LinearFD
+        from repro.fd.streaming import StreamingFDValidator
+
+        linear = LinearFD.build(context="/a", conditions=["a"], target="a/a")
+        report = StreamingFDValidator(linear).validate_text(deep_text)
+        # one context (the outermost a), deep chains: just must not crash
+        assert report.satisfied

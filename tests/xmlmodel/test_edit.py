@@ -1,0 +1,68 @@
+"""Unit tests for in-place document edits."""
+
+import pytest
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.builder import doc, elem, text
+from repro.xmlmodel.edit import delete_subtree, insert_child, replace_subtree
+
+
+class TestReplaceSubtree:
+    def test_replacement_takes_position(self):
+        document = doc(elem("a", elem("x"), elem("y"), elem("z")))
+        target = document.node_at((0, 1))
+        replacement = elem("new")
+        replace_subtree(target, replacement)
+        labels = [c.label for c in document.node_at((0,)).children]
+        assert labels == ["x", "new", "z"]
+        assert replacement.position() == (0, 1)
+
+    def test_old_subtree_detached(self):
+        document = doc(elem("a", elem("x", elem("deep"))))
+        target = document.node_at((0, 0))
+        replace_subtree(target, elem("new"))
+        assert target.parent is None
+        assert target.children[0].label == "deep"
+
+    def test_cannot_replace_root(self):
+        document = doc(elem("a"))
+        with pytest.raises(XMLModelError):
+            replace_subtree(document.root, elem("new"))
+
+    def test_replacement_must_be_detached(self):
+        document = doc(elem("a", elem("x")))
+        attached = document.node_at((0, 0))
+        other = doc(elem("b", elem("y")))
+        with pytest.raises(XMLModelError):
+            replace_subtree(other.node_at((0, 0)), attached)
+
+
+class TestInsertDelete:
+    def test_insert_appends_by_default(self):
+        document = doc(elem("a", elem("x")))
+        insert_child(document.node_at((0,)), elem("y"))
+        labels = [c.label for c in document.node_at((0,)).children]
+        assert labels == ["x", "y"]
+
+    def test_insert_at_index(self):
+        document = doc(elem("a", elem("x"), elem("z")))
+        insert_child(document.node_at((0,)), elem("y"), index=1)
+        labels = [c.label for c in document.node_at((0,)).children]
+        assert labels == ["x", "y", "z"]
+
+    def test_delete(self):
+        document = doc(elem("a", elem("x"), elem("y")))
+        removed = delete_subtree(document.node_at((0, 0)))
+        assert removed.label == "x"
+        assert [c.label for c in document.node_at((0,)).children] == ["y"]
+
+    def test_positions_shift_after_delete(self):
+        document = doc(elem("a", elem("x"), elem("y")))
+        delete_subtree(document.node_at((0, 0)))
+        assert document.node_at((0, 0)).label == "y"
+
+    def test_delete_then_reinsert(self):
+        document = doc(elem("a", elem("x", text("body"))))
+        subtree = delete_subtree(document.node_at((0, 0)))
+        insert_child(document.node_at((0,)), subtree)
+        assert document.node_at((0, 0)).text_value() == "body"

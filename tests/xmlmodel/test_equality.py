@@ -1,0 +1,103 @@
+"""Unit and property tests for value equality (Definition 3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlmodel.builder import attr, elem, text
+from repro.xmlmodel.equality import nodes_value_equal, value_key
+from repro.xmlmodel.tree import XMLNode
+
+
+class TestValueEquality:
+    def test_equal_leaves(self):
+        assert nodes_value_equal(text("x"), text("x"))
+
+    def test_different_leaf_values(self):
+        assert not nodes_value_equal(text("x"), text("y"))
+
+    def test_different_labels(self):
+        assert not nodes_value_equal(elem("a"), elem("b"))
+
+    def test_attribute_vs_text_same_value(self):
+        assert not nodes_value_equal(attr("a", "x"), text("x"))
+
+    def test_recursive_equality(self):
+        first = elem("a", elem("b", text("1")), attr("k", "v"))
+        second = elem("a", elem("b", text("1")), attr("k", "v"))
+        assert nodes_value_equal(first, second)
+
+    def test_child_order_matters(self):
+        first = elem("a", elem("b"), elem("c"))
+        second = elem("a", elem("c"), elem("b"))
+        assert not nodes_value_equal(first, second)
+
+    def test_child_count_matters(self):
+        first = elem("a", elem("b"))
+        second = elem("a", elem("b"), elem("b"))
+        assert not nodes_value_equal(first, second)
+
+    def test_deep_difference_detected(self):
+        first = elem("a", elem("b", elem("c", text("1"))))
+        second = elem("a", elem("b", elem("c", text("2"))))
+        assert not nodes_value_equal(first, second)
+
+    def test_clone_is_value_equal(self):
+        node = elem("a", attr("k", "v"), elem("b", text("x")))
+        assert nodes_value_equal(node, node.clone())
+
+
+class TestValueKey:
+    def test_memo_is_filled(self):
+        node = elem("a", elem("b"))
+        memo: dict[int, tuple] = {}
+        value_key(node, memo)
+        assert id(node) in memo
+        assert id(node.children[0]) in memo
+
+    def test_memo_reuse_consistent(self):
+        node = elem("a", elem("b", text("1")))
+        memo: dict[int, tuple] = {}
+        assert value_key(node, memo) == value_key(node, memo)
+        assert value_key(node, memo) == value_key(node)
+
+
+# ---------------------------------------------------------------------------
+# property tests: value_key characterizes nodes_value_equal
+# ---------------------------------------------------------------------------
+
+_labels = st.sampled_from(["a", "b", "@k", "#text"])
+_values = st.sampled_from(["", "0", "1"])
+
+
+def _node_strategy() -> st.SearchStrategy[XMLNode]:
+    def build(children: list[XMLNode]) -> st.SearchStrategy[XMLNode]:
+        return st.just(children)
+
+    leaf = st.one_of(
+        st.builds(lambda v: XMLNode("#text", value=v), _values),
+        st.builds(lambda v: XMLNode("@k", value=v), _values),
+        st.builds(lambda l: XMLNode(l), st.sampled_from(["a", "b"])),
+    )
+
+    def extend(inner: st.SearchStrategy[XMLNode]) -> st.SearchStrategy[XMLNode]:
+        return st.builds(
+            lambda label, kids: XMLNode(label, children=kids),
+            st.sampled_from(["a", "b"]),
+            st.lists(inner, max_size=3),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_node_strategy(), _node_strategy())
+def test_value_key_characterizes_value_equality(first, second):
+    assert (value_key(first) == value_key(second)) == nodes_value_equal(
+        first, second
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_node_strategy())
+def test_value_equality_reflexive_on_clones(node):
+    assert nodes_value_equal(node, node.clone())
+    assert value_key(node) == value_key(node.clone())

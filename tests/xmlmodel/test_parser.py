@@ -1,0 +1,138 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.parser import parse_document, parse_fragment
+from repro.xmlmodel.tree import NodeType
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        document = parse_document("<a/>")
+        assert document.document_element.label == "a"
+
+    def test_nested_elements(self):
+        document = parse_document("<a><b><c/></b></a>")
+        assert document.node_at((0, 0, 0)).label == "c"
+
+    def test_text_content(self):
+        document = parse_document("<a>hello</a>")
+        assert document.document_element.text_value() == "hello"
+
+    def test_attributes_become_leading_children(self):
+        document = parse_document('<a x="1" y="2"><b/></a>')
+        labels = [c.label for c in document.document_element.children]
+        assert labels == ["@x", "@y", "b"]
+
+    def test_attribute_values(self):
+        document = parse_document('<a key="value"/>')
+        assert document.document_element.attribute("key") == "value"
+
+    def test_single_quoted_attributes(self):
+        document = parse_document("<a key='v'/>")
+        assert document.document_element.attribute("key") == "v"
+
+    def test_mixed_content(self):
+        document = parse_document("<a>x<b/>y</a>")
+        kinds = [c.node_type for c in document.document_element.children]
+        assert kinds == [NodeType.TEXT, NodeType.ELEMENT, NodeType.TEXT]
+
+
+class TestWhitespaceHandling:
+    def test_whitespace_only_text_dropped(self):
+        document = parse_document("<a>\n  <b/>\n</a>")
+        assert [c.label for c in document.document_element.children] == ["b"]
+
+    def test_keep_whitespace_option(self):
+        document = parse_document("<a> <b/> </a>", keep_whitespace=True)
+        labels = [c.label for c in document.document_element.children]
+        assert labels == ["#text", "b", "#text"]
+
+    def test_meaningful_whitespace_kept(self):
+        document = parse_document("<a> x </a>")
+        assert document.document_element.text_value() == " x "
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        document = parse_document("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert document.document_element.text_value() == "<>&\"'"
+
+    def test_numeric_entities(self):
+        document = parse_document("<a>&#65;&#x42;</a>")
+        assert document.document_element.text_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        document = parse_document('<a k="&amp;x"/>')
+        assert document.document_element.attribute("k") == "&x"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+    def test_cdata(self):
+        document = parse_document("<a><![CDATA[<raw> & stuff]]></a>")
+        assert document.document_element.text_value() == "<raw> & stuff"
+
+    def test_comments_skipped(self):
+        document = parse_document("<a><!-- comment --><b/></a>")
+        assert [c.label for c in document.document_element.children] == ["b"]
+
+    def test_xml_declaration_skipped(self):
+        document = parse_document('<?xml version="1.0"?><a/>')
+        assert document.document_element.label == "a"
+
+    def test_processing_instruction_skipped(self):
+        document = parse_document("<a><?pi data?><b/></a>")
+        assert [c.label for c in document.document_element.children] == ["b"]
+
+
+class TestErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a><b></a>")
+
+    def test_trailing_content(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a/><b/>")
+
+    def test_doctype_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<!DOCTYPE a><a/>")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a k=v/>")
+
+    def test_error_reports_offset(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a>&bad;</a>")
+        assert info.value.position is not None
+
+
+class TestFragment:
+    def test_fragment_returns_element(self):
+        node = parse_fragment("<a><b/></a>")
+        assert node.label == "a"
+        assert node.parent is None
+
+    def test_paper_like_document(self):
+        source = """
+        <session>
+          <candidate IDN="C1">
+            <level>C</level>
+            <exam><date>2010-03-10</date><discipline>algebra</discipline>
+                  <mark>12</mark><rank>2</rank></exam>
+            <toBePassed><discipline>physics</discipline></toBePassed>
+          </candidate>
+        </session>
+        """
+        document = parse_document(source)
+        candidate = document.root.find("session", "candidate")
+        assert candidate.attribute("IDN") == "C1"
+        assert candidate.find("exam", "mark").text_value() == "12"

@@ -1,0 +1,84 @@
+"""Property tests: parser/serializer round trips on random documents."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.random_docs import random_document
+from repro.xmlmodel.builder import attr, elem, text
+from repro.xmlmodel.equality import nodes_value_equal
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document
+from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 100_000))
+def test_serialization_idempotent_on_random_documents(seed):
+    # XML text cannot distinguish adjacent text nodes (they merge), so
+    # the faithful property is idempotence after one normalization pass
+    document = random_document(
+        seed, labels=("a", "b"), values=("x", "a<b&c", 'quo"te'), max_depth=4
+    )
+    once = serialize_document(document)
+    normalized = parse_document(once, keep_whitespace=True)
+    twice = serialize_document(normalized)
+    assert once == twice
+    again = parse_document(twice, keep_whitespace=True)
+    assert nodes_value_equal(
+        normalized.document_element, again.document_element
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 100_000))
+def test_pretty_printing_preserves_normalized_value(seed):
+    document = random_document(seed, labels=("a", "b"), max_depth=3)
+    normalized = parse_document(serialize_document(document))
+    pretty = serialize_document(normalized, indent=2)
+    reparsed = parse_document(pretty)
+    assert nodes_value_equal(
+        normalized.document_element, reparsed.document_element
+    )
+
+
+_texts = st.text(
+    alphabet=st.sampled_from(list("ab<>&\"' \t\nxyz")), max_size=20
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_texts)
+def test_text_values_survive_round_trip(value):
+    # whitespace-only values vanish (parser drops them by default), and
+    # leading/trailing whitespace survives only with keep_whitespace
+    document = XMLDocument.from_document_element(elem("a", text(value)))
+    rendered = serialize_document(document)
+    reparsed = parse_document(rendered, keep_whitespace=True)
+    assert reparsed.document_element.text_value() == value
+
+
+@settings(max_examples=120, deadline=None)
+@given(_texts)
+def test_attribute_values_survive_round_trip(value):
+    document = XMLDocument.from_document_element(elem("a", attr("k", value)))
+    rendered = serialize_document(document)
+    reparsed = parse_document(rendered)
+    assert reparsed.document_element.attribute("k") == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_clone_equals_round_trip(seed):
+    document = random_document(seed, labels=("a", "b"), max_depth=3)
+    assert nodes_value_equal(
+        document.document_element, document.clone().document_element
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_positions_are_stable_identifiers(seed):
+    document = random_document(seed, labels=("a", "b"), max_depth=3)
+    for node in document.nodes():
+        assert document.node_at(node.position()) is node

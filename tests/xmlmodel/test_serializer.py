@@ -1,0 +1,69 @@
+"""Unit tests for XML serialization (round-trips with the parser)."""
+
+import pytest
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.builder import attr, doc, elem, text
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.equality import nodes_value_equal
+from repro.xmlmodel.serializer import serialize_document, serialize_node
+
+
+class TestSerialization:
+    def test_empty_element(self):
+        assert serialize_node(elem("a")) == "<a/>"
+
+    def test_text_content(self):
+        assert serialize_node(elem("a", text("x"))) == "<a>x</a>"
+
+    def test_attributes(self):
+        rendered = serialize_node(elem("a", attr("k", "v"), elem("b")))
+        assert rendered == '<a k="v"><b/></a>'
+
+    def test_escaping_text(self):
+        assert serialize_node(elem("a", text("<&>"))) == "<a>&lt;&amp;&gt;</a>"
+
+    def test_escaping_attribute_quotes(self):
+        rendered = serialize_node(elem("a", attr("k", 'say "hi"')))
+        assert 'k="say &quot;hi&quot;"' in rendered
+
+    def test_attribute_after_content_rejected(self):
+        node = elem("a", elem("b"))
+        node.append_child(attr("late", "x"))
+        with pytest.raises(XMLModelError):
+            serialize_node(node)
+
+    def test_bare_attribute_rejected(self):
+        with pytest.raises(XMLModelError):
+            serialize_node(attr("k", "v"))
+
+    def test_pretty_printing(self):
+        rendered = serialize_node(elem("a", elem("b"), elem("c")), indent=2)
+        assert rendered == "<a>\n  <b/>\n  <c/>\n</a>"
+
+    def test_pretty_printing_keeps_text_inline(self):
+        rendered = serialize_node(elem("a", elem("b", text("x"))), indent=2)
+        assert "<b>x</b>" in rendered
+
+
+class TestRoundTrips:
+    CASES = [
+        "<a/>",
+        "<a><b/><c/></a>",
+        '<a k="v"><b>text</b></a>',
+        "<a>x<b/>y</a>",
+        '<session><candidate IDN="C1"><level>C</level></candidate></session>',
+        "<a>&lt;escaped&gt;</a>",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_serialize_parse(self, source):
+        first = parse_document(source)
+        rendered = serialize_document(first)
+        second = parse_document(rendered)
+        assert nodes_value_equal(first.document_element, second.document_element)
+
+    def test_serialize_document_requires_single_element(self):
+        document = doc(elem("a"), elem("b"))
+        with pytest.raises(XMLModelError):
+            serialize_document(document)

@@ -1,0 +1,199 @@
+"""Unit tests for the core tree model (Section 2.1)."""
+
+import pytest
+
+from repro.errors import XMLModelError
+from repro.xmlmodel.builder import attr, doc, elem, text
+from repro.xmlmodel.tree import (
+    NodeType,
+    ROOT_LABEL,
+    XMLDocument,
+    XMLNode,
+    label_node_type,
+)
+
+
+class TestLabelClassification:
+    def test_element_label(self):
+        assert label_node_type("session") is NodeType.ELEMENT
+
+    def test_attribute_label(self):
+        assert label_node_type("@IDN") is NodeType.ATTRIBUTE
+
+    def test_text_label(self):
+        assert label_node_type("#text") is NodeType.TEXT
+
+    def test_root_label_is_element(self):
+        assert label_node_type(ROOT_LABEL) is NodeType.ELEMENT
+
+
+class TestNodeConstruction:
+    def test_element_rejects_value(self):
+        with pytest.raises(XMLModelError):
+            XMLNode("session", value="nope")
+
+    def test_attribute_rejects_children(self):
+        with pytest.raises(XMLModelError):
+            XMLNode("@IDN", value="x", children=[XMLNode("a")])
+
+    def test_leaf_gets_empty_default_value(self):
+        node = XMLNode("#text")
+        assert node.value == ""
+
+    def test_attribute_node_type(self):
+        assert attr("IDN", "c1").node_type is NodeType.ATTRIBUTE
+
+    def test_text_node_type(self):
+        assert text("hello").node_type is NodeType.TEXT
+
+
+class TestStructure:
+    def test_append_child_sets_parent(self):
+        parent = elem("a")
+        child = elem("b")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_cannot_append_to_leaf(self):
+        with pytest.raises(XMLModelError):
+            text("v").append_child(elem("a"))
+
+    def test_cannot_attach_twice(self):
+        child = elem("b")
+        elem("a").append_child(child)
+        with pytest.raises(XMLModelError):
+            elem("c").append_child(child)
+
+    def test_insert_child_position(self):
+        parent = elem("a", elem("x"), elem("z"))
+        parent.insert_child(1, elem("y"))
+        assert [c.label for c in parent.children] == ["x", "y", "z"]
+
+    def test_detach(self):
+        parent = elem("a", elem("b"))
+        child = parent.children[0]
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_detach_root_fails(self):
+        with pytest.raises(XMLModelError):
+            elem("a").detach()
+
+    def test_child_index(self):
+        parent = elem("a", elem("x"), elem("y"))
+        assert parent.children[1].child_index() == 1
+
+    def test_root_has_no_child_index(self):
+        with pytest.raises(XMLModelError):
+            elem("a").child_index()
+
+
+class TestPositions:
+    def test_root_position_is_empty(self):
+        document = doc(elem("a"))
+        assert document.root.position() == ()
+
+    def test_nested_positions(self):
+        document = doc(elem("a", elem("b"), elem("c", elem("d"))))
+        d_node = document.node_at((0, 1, 0))
+        assert d_node.label == "d"
+        assert d_node.position() == (0, 1, 0)
+
+    def test_node_at_out_of_domain(self):
+        document = doc(elem("a"))
+        with pytest.raises(XMLModelError):
+            document.node_at((0, 3))
+
+    def test_depth(self):
+        document = doc(elem("a", elem("b", elem("c"))))
+        assert document.node_at((0, 0, 0)).depth() == 3
+
+    def test_root_helper(self):
+        document = doc(elem("a", elem("b")))
+        assert document.node_at((0, 0)).root() is document.root
+
+
+class TestTraversal:
+    def test_iter_subtree_preorder(self):
+        document = doc(elem("a", elem("b", elem("c")), elem("d")))
+        labels = [node.label for node in document.nodes()]
+        assert labels == ["/", "a", "b", "c", "d"]
+
+    def test_iter_descendants_excludes_self(self):
+        node = elem("a", elem("b"))
+        assert [d.label for d in node.iter_descendants()] == ["b"]
+
+    def test_find_path(self):
+        document = doc(elem("a", elem("b", elem("c"))))
+        assert document.root.find("a", "b", "c").label == "c"
+
+    def test_find_missing_raises(self):
+        with pytest.raises(XMLModelError):
+            elem("a").find("zzz")
+
+    def test_find_all(self):
+        node = elem("a", elem("b"), elem("c"), elem("b"))
+        assert len(node.find_all("b")) == 2
+
+    def test_attribute_lookup(self):
+        node = elem("a", attr("id", "42"))
+        assert node.attribute("id") == "42"
+        assert node.attribute("@id") == "42"
+
+    def test_attribute_missing(self):
+        with pytest.raises(XMLModelError):
+            elem("a").attribute("id")
+
+    def test_text_value_concatenates(self):
+        node = elem("a", text("x"), elem("b"), text("y"))
+        assert node.text_value() == "xy"
+
+
+class TestDocument:
+    def test_requires_slash_root(self):
+        with pytest.raises(XMLModelError):
+            XMLDocument(elem("a"))
+
+    def test_from_document_element(self):
+        document = XMLDocument.from_document_element(elem("a"))
+        assert document.root.label == ROOT_LABEL
+        assert document.document_element.label == "a"
+
+    def test_document_element_requires_single_child(self):
+        root = XMLNode(ROOT_LABEL)
+        root.append_child(elem("a"))
+        root.append_child(elem("b"))
+        document = XMLDocument(root)
+        with pytest.raises(XMLModelError):
+            document.document_element
+
+    def test_size(self):
+        document = doc(elem("a", elem("b"), elem("c")))
+        assert document.size() == 4
+
+    def test_labels(self):
+        document = doc(elem("a", attr("x", "1"), text("t")))
+        assert document.labels() == {"/", "a", "@x", "#text"}
+
+    def test_clone_is_deep(self):
+        document = doc(elem("a", elem("b")))
+        copy = document.clone()
+        copy.node_at((0, 0)).detach()
+        assert document.node_at((0, 0)).label == "b"
+        assert copy.node_at((0,)).children == []
+
+
+class TestClone:
+    def test_clone_detached(self):
+        parent = elem("a", elem("b"))
+        copy = parent.children[0].clone()
+        assert copy.parent is None
+        assert copy.label == "b"
+
+    def test_clone_preserves_values(self):
+        node = elem("a", attr("k", "v"), text("body"))
+        copy = node.clone()
+        assert copy.children[0].value == "v"
+        assert copy.children[1].value == "body"

@@ -1,0 +1,193 @@
+"""Unit tests for the positive CoreXPath front end."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xpath.ast import Axis
+from repro.xpath.evaluate import evaluate_xpath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.translate import pattern_from_xpath, update_class_from_xpath
+from repro.pattern.engine import evaluate_pattern
+from repro.xmlmodel.parser import parse_document
+
+from tests.conftest import positions
+
+
+class TestParser:
+    def test_simple_absolute_path(self):
+        path = parse_xpath("/a/b")
+        assert path.absolute
+        assert [s.test for s in path.steps] == ["a", "b"]
+        assert all(s.axis is Axis.CHILD for s in path.steps)
+
+    def test_descendant_axis(self):
+        path = parse_xpath("//exam")
+        assert path.steps[0].axis is Axis.DESCENDANT
+
+    def test_mixed_axes(self):
+        path = parse_xpath("/a//b/c")
+        assert [s.axis for s in path.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT,
+            Axis.CHILD,
+        ]
+
+    def test_wildcard(self):
+        assert parse_xpath("/a/*").steps[1].test == "*"
+
+    def test_attribute_test(self):
+        assert parse_xpath("/a/@id").steps[1].test == "@id"
+
+    def test_predicates(self):
+        path = parse_xpath("/a[b/c][d]/e")
+        step = path.steps[0]
+        assert len(step.predicates) == 2
+        assert [s.test for s in step.predicates[0].steps] == ["b", "c"]
+
+    def test_nested_predicates(self):
+        path = parse_xpath("/a[b[c]]")
+        inner = path.steps[0].predicates[0].steps[0]
+        assert inner.predicates[0].steps[0].test == "c"
+
+    def test_relative_path(self):
+        path = parse_xpath("b/c")
+        assert not path.absolute
+
+    def test_unterminated_predicate(self):
+        with pytest.raises(XPathError):
+            parse_xpath("/a[b")
+
+    def test_trailing_junk(self):
+        with pytest.raises(XPathError):
+            parse_xpath("/a]")
+
+    def test_round_trip_rendering(self):
+        source = "/a//b[c/d]/e"
+        assert str(parse_xpath(source)) == source
+
+
+class TestEvaluator:
+    @pytest.fixture
+    def document(self):
+        return parse_document(
+            "<r><a><b>1</b><b>2</b><c><b>3</b></c></a><a><b>4</b></a></r>"
+        )
+
+    def test_child_steps(self, document):
+        nodes = evaluate_xpath(parse_xpath("/r/a/b"), document)
+        assert [n.text_value() for n in nodes] == ["1", "2", "4"]
+
+    def test_descendant_step(self, document):
+        nodes = evaluate_xpath(parse_xpath("//b"), document)
+        assert [n.text_value() for n in nodes] == ["1", "2", "3", "4"]
+
+    def test_wildcard_step(self, document):
+        nodes = evaluate_xpath(parse_xpath("/r/a/*"), document)
+        assert len(nodes) == 4  # three b's and one c under the a's
+
+    def test_predicate_filters(self, document):
+        nodes = evaluate_xpath(parse_xpath("/r/a[c]"), document)
+        assert positions(nodes) == ["0.0"]
+
+    def test_predicate_with_path(self, document):
+        nodes = evaluate_xpath(parse_xpath("/r/a[c/b]/b"), document)
+        assert [n.text_value() for n in nodes] == ["1", "2"]
+
+    def test_no_matches(self, document):
+        assert evaluate_xpath(parse_xpath("/zzz"), document) == []
+
+    def test_descendant_dedup(self):
+        document = parse_document("<r><a><a><x/></a></a></r>")
+        nodes = evaluate_xpath(parse_xpath("//a//x"), document)
+        assert len(nodes) == 1
+
+
+class TestTranslation:
+    @pytest.fixture
+    def document(self):
+        return parse_document(
+            "<r><a><b>1</b><b>2</b><c><b>3</b></c></a><a><b>4</b></a></r>"
+        )
+
+    def _pattern_results(self, source, document, **options):
+        pattern = pattern_from_xpath(source, **options)
+        return [t[0] for t in evaluate_pattern(pattern, document)]
+
+    @pytest.mark.parametrize(
+        "source",
+        ["/r/a/b", "//b", "/r/*/b", "/r//b", "//c/b"],
+    )
+    def test_predicate_free_paths_exact(self, source, document):
+        via_xpath = positions(evaluate_xpath(parse_xpath(source), document))
+        via_pattern = positions(self._pattern_results(source, document))
+        assert sorted(via_pattern) == sorted(via_xpath)
+
+    def test_predicate_path_agreement_when_disjoint(self, document):
+        # predicate witness (c) is disjoint from the selected b children
+        via_xpath = positions(
+            evaluate_xpath(parse_xpath("/r/a[c]/b"), document)
+        )
+        via_pattern = positions(
+            self._pattern_results("/r/a[c]/b", document, predicate_position="after")
+        )
+        assert sorted(via_pattern) == sorted(via_xpath)
+
+    def test_documented_divergence_shared_witness(self):
+        # XPath lets the predicate witness equal the continuation node;
+        # condition (b) of Definition 2 forbids exactly that
+        document = parse_document("<r><a><b/></a></r>")
+        via_xpath = evaluate_xpath(parse_xpath("/r/a[b]/b"), document)
+        via_pattern = self._pattern_results("/r/a[b]/b", document)
+        assert len(via_xpath) == 1
+        assert via_pattern == []
+
+    def test_documented_divergence_order(self):
+        # predicate witness precedes the continuation in the document;
+        # with predicate_position='after' the template order disagrees
+        document = parse_document("<r><a><p/><b/></a></r>")
+        assert evaluate_xpath(parse_xpath("/r/a[p]/b"), document)
+        assert self._pattern_results("/r/a[p]/b", document) == []
+        assert self._pattern_results(
+            "/r/a[p]/b", document, predicate_position="before"
+        )
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(XPathError):
+            pattern_from_xpath("a/b")
+
+    def test_bad_predicate_position(self):
+        with pytest.raises(XPathError):
+            pattern_from_xpath("/a", predicate_position="sideways")
+
+
+class TestUpdateClassFrontEnd:
+    def test_update_class_from_xpath(self, figure1):
+        update_class = update_class_from_xpath(
+            "/session/candidate[toBePassed]/level"
+        )
+        assert positions(update_class.selected_nodes(figure1)) == ["0.0.1"]
+
+    def test_matches_hand_built_class(self, figures, figure1):
+        via_xpath = update_class_from_xpath(
+            "/session/candidate[toBePassed]/level"
+        )
+        assert positions(via_xpath.selected_nodes(figure1)) == positions(
+            figures.update_class.selected_nodes(figure1)
+        )
+
+    def test_usable_in_independence_check(self, figures):
+        from repro.independence.criterion import check_independence
+
+        update_class = update_class_from_xpath(
+            "/session/candidate[toBePassed]/level"
+        )
+        result = check_independence(figures.fd1, update_class)
+        assert result.independent
+
+    def test_final_step_predicates_blocked_later(self, figures):
+        from repro.errors import IndependenceError
+        from repro.independence.criterion import check_independence
+
+        update_class = update_class_from_xpath("/session/candidate[level]")
+        with pytest.raises(IndependenceError):
+            check_independence(figures.fd1, update_class)
