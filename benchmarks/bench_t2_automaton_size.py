@@ -14,7 +14,7 @@ import pytest
 
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import dangerous_language
-from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.builder import PatternBuilder
 from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
 from repro.update.update_class import UpdateClass

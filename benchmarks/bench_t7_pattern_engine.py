@@ -15,6 +15,8 @@ import pytest
 
 from repro.pattern.builder import PatternBuilder
 from repro.pattern.engine import enumerate_mappings, evaluate_pattern, has_mapping
+from repro.pattern.matcher import PatternMatcher
+from repro.regex import cache_stats
 from repro.workload.exams import generate_session
 
 from benchmarks.conftest import emit_table
@@ -112,6 +114,55 @@ def bench_t7_report(benchmark, documents):
         ],
         rows,
     )
+
+    # warm PatternMatcher vs cold per-call contexts on repeated queries
+    REPEATS = 10
+    warm_rows = []
+    for size in SIZES:
+        document = documents[size]
+        pattern = _levels_query()
+
+        started = time.perf_counter()
+        for _ in range(REPEATS):
+            sum(1 for _ in enumerate_mappings(pattern, document))
+        cold_time = time.perf_counter() - started
+
+        with PatternMatcher(pattern, document) as matcher:
+            started = time.perf_counter()
+            for _ in range(REPEATS):
+                sum(1 for _ in matcher.enumerate_mappings())
+            warm_time = time.perf_counter() - started
+            stats = matcher.cache_stats()
+
+        warm_rows.append(
+            [
+                size,
+                f"{cold_time * 1000:.1f}",
+                f"{warm_time * 1000:.1f}",
+                f"{cold_time / warm_time:.1f}x" if warm_time else "inf",
+                f"{stats['hits']}/{stats['misses']}",
+            ]
+        )
+    emit_table(
+        f"T7: {REPEATS}x repeated level query — cold contexts vs warm matcher",
+        [
+            "candidates",
+            "cold ms",
+            "warm ms",
+            "speedup",
+            "cache hit/miss",
+        ],
+        warm_rows,
+    )
+
+    compile_counters = cache_stats()["compile"]
+    print(
+        "# regex compile cache: "
+        + " ".join(
+            f"{key}={value}" for key, value in sorted(compile_counters.items())
+        )
+    )
+    assert compile_counters["hits"] > 0
     benchmark.pedantic(
         lambda: evaluate_pattern(_levels_query(), documents[30]),
         rounds=3,

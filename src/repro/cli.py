@@ -64,11 +64,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _print_cache_stats() -> None:
+    from repro.regex.cache import cache_stats
+
+    for cache_name, counters in cache_stats().items():
+        rendered = " ".join(
+            f"{key}={value}" for key, value in sorted(counters.items())
+        )
+        print(f"# cache[{cache_name}]: {rendered}", file=sys.stderr)
+
+
 def _cmd_check_fd(args: argparse.Namespace) -> int:
     document = _load_document(args.document)
     fd = translate_linear_fd(LinearFD.parse(args.fd, name="cli-fd"))
     report = check_fd(fd, document, max_violations=args.max_violations)
     print(report.describe())
+    if args.cache_stats:
+        _print_cache_stats()
     return 0 if report.satisfied else 1
 
 
@@ -142,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         help='e.g. "(/orders, ((order/@id) -> order/customer/name))"',
     )
     check.add_argument("--max-violations", type=int, default=5)
+    check.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print compiled-automaton cache counters to stderr",
+    )
     check.set_defaults(handler=_cmd_check_fd)
 
     independence = commands.add_parser(

@@ -32,17 +32,27 @@ class FunctionalDependency:
     Parameters
     ----------
     pattern:
-        The regular tree pattern; its selected tuple is read as
-        ``(p1, ..., pn, q)`` — at least two nodes (one condition, one
+        The regular tree pattern; by default its selected tuple is read
+        as ``(p1, ..., pn, q)`` — at least two nodes (one condition, one
         target).
     context:
         Template node (name or position) that must be an ancestor of
         every selected node.
     condition_types / target_type:
         Equality types; defaults are all-VALUE, as in the paper's
-        shorthand where ``p`` means ``p[V]``.
+        shorthand where ``p`` means ``p[V]``.  Condition types follow
+        the order of ``condition_positions``.
     name:
         Optional human-readable identifier used in reports.
+    target:
+        Optional template node (name or position) naming which selected
+        component is the target ``q``.  Defaults to the *last* selected
+        node, the paper's convention; passing it explicitly supports
+        patterns whose selected tuple is ordered differently (the
+        conditions are then the remaining selected nodes, in tuple
+        order).  Consumers must therefore key off
+        ``condition_positions`` / ``target_position`` rather than
+        slicing ``pattern.selected`` positionally.
     """
 
     def __init__(
@@ -52,6 +62,7 @@ class FunctionalDependency:
         condition_types: Sequence[EqualityType] | None = None,
         target_type: EqualityType = EqualityType.VALUE,
         name: str | None = None,
+        target: str | TemplatePosition | None = None,
     ) -> None:
         if pattern.arity < 2:
             raise FDError(
@@ -60,8 +71,22 @@ class FunctionalDependency:
             )
         self.pattern = pattern
         self.context = pattern.template.position_of(context)
-        self.condition_positions = pattern.selected[:-1]
-        self.target_position = pattern.selected[-1]
+        if target is None:
+            target_index = pattern.arity - 1
+        else:
+            target_position = pattern.template.position_of(target)
+            try:
+                target_index = pattern.selected.index(target_position)
+            except ValueError:
+                raise FDError(
+                    f"target {target_position} is not among the pattern's "
+                    f"selected nodes {pattern.selected}"
+                ) from None
+        self.target_index = target_index
+        self.condition_positions = (
+            pattern.selected[:target_index] + pattern.selected[target_index + 1 :]
+        )
+        self.target_position = pattern.selected[target_index]
         if condition_types is None:
             condition_types = [EqualityType.VALUE] * len(self.condition_positions)
         if len(condition_types) != len(self.condition_positions):

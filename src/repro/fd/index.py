@@ -13,12 +13,22 @@ and a subtree replacement at position ``p`` is absorbed incrementally:
 
 * mappings whose trace enters ``subtree(p)`` are dropped (their
   structure may be gone) and rediscovered by a region-restricted
-  re-enumeration (:func:`repro.pattern.engine.enumerate_mappings_touching`);
+  re-enumeration;
 * mappings with a selected image strictly above ``p`` merely have stale
   keys — they are re-keyed in place, no re-matching needed;
 * all other mappings are untouched — the common case, and exactly the
   complement of the Definition 6 dangerous region, which is the formal
   reason the criterion IC works.
+
+Matching runs through a long-lived
+:class:`~repro.pattern.matcher.PatternMatcher` owned by the index: the
+``replace_subtree`` performed by :meth:`FDIndex.apply_replacement`
+triggers node-scoped cache repair (via the edit hook of
+:mod:`repro.xmlmodel.edit`), so the follow-up region-restricted
+re-enumeration reuses every reachability/existence fact outside the
+touched region.  ``reuse_matcher=False`` restores the cold
+fresh-context-per-call behaviour — the baseline the T8 bench compares
+against.
 
 The index is the strong baseline for experiment T8: IC (document-free,
 per class) vs indexed revalidation (per update, proportional to the
@@ -31,12 +41,14 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from collections import Counter
+from collections.abc import Iterable, Iterator
 
 from repro.errors import FDError
 from repro.fd.fd import EqualityType, FunctionalDependency
 from repro.fd.satisfaction import _node_key
 from repro.pattern.engine import enumerate_mappings, enumerate_mappings_touching
 from repro.pattern.mapping import Mapping
+from repro.pattern.matcher import PatternMatcher
 from repro.xmlmodel.edit import replace_subtree
 from repro.xmlmodel.tree import XMLDocument, XMLNode
 
@@ -49,11 +61,19 @@ def _is_prefix(prefix: Position, position: Position) -> bool:
 
 @dataclasses.dataclass
 class _Record:
-    """Materialized facts about one mapping."""
+    """Materialized facts about one mapping.
+
+    Condition and target image positions are stored per *role* (aligned
+    with ``fd.condition_positions`` / ``fd.target_position``), never
+    recovered by slicing ``selected_positions``: the selected tuple need
+    not be ordered ``(p1..pn, q)`` when the FD names its target
+    explicitly.
+    """
 
     group_key: tuple
     target_key: object
-    image_positions: tuple[Position, ...]
+    condition_image_positions: tuple[Position, ...]
+    target_image_position: Position
     trace_positions: frozenset[Position]
     selected_positions: tuple[Position, ...]
 
@@ -74,17 +94,52 @@ class _Record:
 class FDIndex:
     """Materialized groups of one FD over one (mutable) document."""
 
-    def __init__(self, fd: FunctionalDependency, document: XMLDocument) -> None:
+    def __init__(
+        self,
+        fd: FunctionalDependency,
+        document: XMLDocument,
+        reuse_matcher: bool = True,
+    ) -> None:
         self.fd = fd
         self.document = document
+        self._matcher: PatternMatcher | None = (
+            PatternMatcher(fd.pattern, document) if reuse_matcher else None
+        )
         self._records: dict[int, _Record] = {}
         self._next_id = itertools.count()
         self._groups: dict[tuple, Counter] = {}
         self._violating_groups: set[tuple] = set()
         self._memo: dict[int, tuple] = {}
-        for mapping in enumerate_mappings(fd.pattern, document):
+        for mapping in self._enumerate_all():
             self._add_mapping(mapping)
         self._memo.clear()
+
+    # ------------------------------------------------------------------
+    # matching (warm matcher when enabled, cold per-call contexts otherwise)
+    # ------------------------------------------------------------------
+
+    def _enumerate_all(self) -> Iterable[Mapping]:
+        if self._matcher is not None:
+            return self._matcher.enumerate_mappings()
+        return enumerate_mappings(self.fd.pattern, self.document)
+
+    def _enumerate_touching(self, region_root: XMLNode) -> Iterator[Mapping]:
+        if self._matcher is not None:
+            return self._matcher.enumerate_mappings_touching(region_root)
+        return enumerate_mappings_touching(
+            self.fd.pattern, self.document, region_root
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        """Counters of the underlying matcher (empty when cold)."""
+        if self._matcher is None:
+            return {}
+        return self._matcher.cache_stats()
+
+    def close(self) -> None:
+        """Release the matcher's edit subscription and caches."""
+        if self._matcher is not None:
+            self._matcher.close()
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -115,20 +170,21 @@ class FDIndex:
             )
         else:
             target_key = ("node", target_node.position())
-        selected = tuple(
-            mapping.images[position].position()
-            for position in fd.pattern.selected
-        )
         return _Record(
             group_key=group_key,
             target_key=target_key,
-            image_positions=tuple(
-                node.position() for node in mapping.images.values()
+            condition_image_positions=tuple(
+                mapping.images[position].position()
+                for position in fd.condition_positions
             ),
+            target_image_position=target_node.position(),
             trace_positions=frozenset(
                 node.position() for node in mapping.trace_node_set()
             ),
-            selected_positions=selected,
+            selected_positions=tuple(
+                mapping.images[position].position()
+                for position in fd.pattern.selected
+            ),
         )
 
     def _add_record(self, record: _Record) -> int:
@@ -213,6 +269,9 @@ class FDIndex:
 
         rekey_records = [self._remove_record(h) for h in rekey_handles]
 
+        # the warm matcher absorbs this edit through the edit-listener
+        # hook: ancestor-path entries are repaired, untouched regions
+        # keep their cached facts
         replace_subtree(target, replacement)
         new_root = self.document.node_at(position)
 
@@ -223,7 +282,8 @@ class FDIndex:
             refreshed = _Record(
                 group_key=self._rebuild_group_key(record),
                 target_key=self._rebuild_target_key(record),
-                image_positions=record.image_positions,
+                condition_image_positions=record.condition_image_positions,
+                target_image_position=record.target_image_position,
                 trace_positions=record.trace_positions,
                 selected_positions=record.selected_positions,
             )
@@ -232,9 +292,7 @@ class FDIndex:
 
         # re-discover mappings that enter the replaced subtree
         rediscovered = 0
-        for mapping in enumerate_mappings_touching(
-            self.fd.pattern, self.document, new_root
-        ):
+        for mapping in self._enumerate_touching(new_root):
             self._add_mapping(mapping)
             rediscovered += 1
         self._memo.clear()
@@ -250,20 +308,19 @@ class FDIndex:
         fd = self.fd
         context_position = record.group_key[0]
         parts: list[object] = [context_position]
-        for selected_position, (template_pos, equality) in zip(
-            record.selected_positions[:-1],
-            zip(fd.condition_positions, fd.condition_types),
+        for image_position, equality in zip(
+            record.condition_image_positions, fd.condition_types
         ):
             if equality is EqualityType.VALUE:
-                node = self.document.node_at(selected_position)
+                node = self.document.node_at(image_position)
                 parts.append(_node_key(node, EqualityType.VALUE, self._memo))
             else:
-                parts.append(selected_position)
+                parts.append(image_position)
         return tuple(parts)
 
     def _rebuild_target_key(self, record: _Record) -> object:
         fd = self.fd
-        target_position = record.selected_positions[-1]
+        target_position = record.target_image_position
         if fd.target_type is EqualityType.VALUE:
             node = self.document.node_at(target_position)
             return _node_key(node, EqualityType.VALUE, self._memo)

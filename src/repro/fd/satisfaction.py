@@ -12,12 +12,18 @@ quadratic pairwise formulation.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
+from repro.errors import FDError
 from repro.fd.fd import EqualityType, FunctionalDependency
 from repro.pattern.engine import enumerate_mappings
 from repro.pattern.mapping import Mapping
 from repro.xmlmodel.equality import value_key
 from repro.xmlmodel.tree import XMLDocument, XMLNode
+
+if TYPE_CHECKING:
+    from repro.pattern.matcher import PatternMatcher
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,18 +77,41 @@ def _node_key(
     return value_key(node, memo)
 
 
+def _fd_mappings(
+    fd: FunctionalDependency,
+    document: XMLDocument,
+    matcher: "PatternMatcher | None",
+) -> Iterator[Mapping]:
+    """The FD pattern's mappings, via a warm matcher when one is given."""
+    if matcher is None:
+        return enumerate_mappings(fd.pattern, document)
+    if matcher.template is not fd.pattern.template:
+        raise FDError(
+            "the supplied matcher was built for a different pattern "
+            "template than this FD's"
+        )
+    return matcher.enumerate_mappings()
+
+
 def check_fd(
     fd: FunctionalDependency,
     document: XMLDocument,
     max_violations: int = 5,
+    matcher: "PatternMatcher | None" = None,
 ) -> FDReport:
-    """Check one FD, returning a report with violation witnesses."""
+    """Check one FD, returning a report with violation witnesses.
+
+    Passing a :class:`~repro.pattern.matcher.PatternMatcher` built for
+    ``fd.pattern`` over ``document`` reuses its warm match context;
+    repeated checks over the same (edited-in-place) document then skip
+    re-deriving facts for untouched regions.
+    """
     memo: dict[int, tuple] = {}
     groups: dict[tuple, tuple[tuple | int, Mapping]] = {}
     mapping_count = 0
     violations: list[Violation] = []
 
-    for mapping in enumerate_mappings(fd.pattern, document):
+    for mapping in _fd_mappings(fd, document, matcher):
         mapping_count += 1
         context_node = mapping.images[fd.context]
         condition_keys = tuple(
@@ -119,11 +148,15 @@ def check_fd(
     )
 
 
-def document_satisfies(fd: FunctionalDependency, document: XMLDocument) -> bool:
+def document_satisfies(
+    fd: FunctionalDependency,
+    document: XMLDocument,
+    matcher: "PatternMatcher | None" = None,
+) -> bool:
     """Boolean form of :func:`check_fd` (stops at the first violation)."""
     memo: dict[int, tuple] = {}
     groups: dict[tuple, tuple | int] = {}
-    for mapping in enumerate_mappings(fd.pattern, document):
+    for mapping in _fd_mappings(fd, document, matcher):
         context_node = mapping.images[fd.context]
         condition_keys = tuple(
             _node_key(mapping.images[position], equality, memo)

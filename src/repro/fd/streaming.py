@@ -31,8 +31,8 @@ from collections.abc import Iterable
 from repro.errors import FDError
 from repro.fd.fd import EqualityType
 from repro.fd.linear import LinearFD
-from repro.xmlmodel.events import END, LEAF, START, Event, iter_events, parse_events
-from repro.xmlmodel.tree import NodeType, XMLDocument, label_node_type
+from repro.xmlmodel.events import END, START, Event, iter_events, parse_events
+from repro.xmlmodel.tree import XMLDocument
 
 
 class _TrieNode:

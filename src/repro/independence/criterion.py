@@ -25,7 +25,7 @@ import time
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import DangerousLanguage, dangerous_language
 from repro.schema.dtd import Schema
-from repro.tautomata.emptiness import automaton_is_empty, witness_document
+from repro.tautomata.emptiness import automaton_is_empty_typed, witness_document
 from repro.update.update_class import UpdateClass
 from repro.xmlmodel.tree import XMLDocument
 
@@ -79,14 +79,17 @@ def check_independence(
     """Run the criterion IC on a (FD, update-class[, schema]) triple."""
     started = time.perf_counter()
     language = dangerous_language(fd, update_class, schema=schema)
-    # Emptiness is decided through witness construction rather than the
-    # classical untyped fixpoint (automaton_is_empty): witness trees are
-    # built under the XML typing rules (leaf-labeled nodes cannot carry
-    # children), so the verdict quantifies exactly over real documents.
-    witness = witness_document(language.automaton)
-    empty = witness is None
-    if not want_witness:
+    # Emptiness is decided under the XML typing rules (leaf-labeled
+    # nodes cannot carry children) rather than the classical untyped
+    # fixpoint, so the verdict quantifies exactly over real documents.
+    # Callers that only need the verdict take the witness-free fixpoint;
+    # witness construction runs only when the tree is actually wanted.
+    if want_witness:
+        witness = witness_document(language.automaton)
+        empty = witness is None
+    else:
         witness = None
+        empty = automaton_is_empty_typed(language.automaton)
     elapsed = time.perf_counter() - started
     return IndependenceResult(
         verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,

@@ -28,7 +28,6 @@ from repro.fd.satisfaction import document_satisfies
 from repro.independence.criterion import IndependenceResult
 from repro.independence.exhaustive import default_replacement_pool
 from repro.schema.dtd import Schema
-from repro.update.update_class import UpdateClass
 from repro.xmlmodel.edit import replace_subtree
 from repro.xmlmodel.tree import NodeType, XMLDocument, XMLNode
 

@@ -16,6 +16,7 @@ import time
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.satisfaction import document_satisfies
+from repro.pattern.matcher import PatternMatcher
 from repro.update.apply import Update, apply_update
 from repro.xmlmodel.tree import XMLDocument
 
@@ -40,16 +41,23 @@ def revalidation_check(
     document: XMLDocument,
     update: Update,
     check_before: bool = True,
+    matcher: PatternMatcher | None = None,
 ) -> RevalidationOutcome:
     """Apply ``update`` and re-check ``fd`` on the result.
 
     With ``check_before`` unset the document is assumed to satisfy the FD
     (e.g. it was validated on ingestion), matching [14]'s setting where
-    prior verification passes are available.
+    prior verification passes are available.  A ``matcher`` built for
+    ``fd.pattern`` over ``document`` warms the *before* check; the
+    *after* check runs on the freshly cloned updated document (updates
+    are non-destructive), so it cannot reuse node-scoped facts — it
+    still shares the process-wide compiled-automaton cache.
     """
     started = time.perf_counter()
     satisfied_before = (
-        document_satisfies(fd, document) if check_before else True
+        document_satisfies(fd, document, matcher=matcher)
+        if check_before
+        else True
     )
     updated = apply_update(document, update)
     satisfied_after = document_satisfies(fd, updated)

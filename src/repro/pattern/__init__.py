@@ -30,8 +30,10 @@ from repro.pattern.engine import (
     has_mapping,
     selected_node_tuples,
 )
+from repro.pattern.matcher import PatternMatcher
 
 __all__ = [
+    "PatternMatcher",
     "RegularTreePattern",
     "RegularTreeTemplate",
     "SatisfiabilityResult",
@@ -42,6 +44,7 @@ __all__ = [
     "edge",
     "Mapping",
     "enumerate_mappings",
+    "enumerate_mappings_touching",
     "evaluate_pattern",
     "has_mapping",
     "selected_node_tuples",

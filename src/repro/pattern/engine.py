@@ -18,6 +18,17 @@ Semantics implemented (Definition 2):
 Enumeration is exact (every mapping, no duplicates); an existence-only
 entry point with memoization serves the update/impact layers where only
 "is there a mapping?" matters.
+
+The per-evaluation caches of :class:`_MatchContext` are *node-scoped*
+(two-level: document node → template edge → result) and keyed by the
+node objects themselves, never by ``id(node)``: a context that outlives
+a single call (see :class:`repro.pattern.matcher.PatternMatcher`) must
+not alias a recycled ``id`` of a garbage-collected node to a stale
+entry.  :meth:`_MatchContext.absorb_replacement` repairs the caches
+around a subtree replacement instead of discarding them — entries under
+the detached subtree are dropped, entries on the ancestor path are
+re-derived by rescanning only the replacement subtree, and everything
+else is kept, which is what makes warm repeated matching cheap.
 """
 
 from __future__ import annotations
@@ -37,17 +48,148 @@ from repro.xmlmodel.tree import ROOT_LABEL, XMLDocument, XMLNode
 
 
 class _MatchContext:
-    """Per-evaluation caches shared across the recursion."""
+    """Caches shared across the matching recursion (and across calls).
 
-    __slots__ = ("template", "live_cache", "reach_cache", "exists_cache")
+    ``reach_cache`` and ``exists_cache`` map a document node to a
+    per-template-edge dict; holding the node object itself as the key
+    both pins it against garbage collection (so ``id`` reuse cannot
+    alias entries) and makes node-scoped invalidation a single ``pop``.
+    """
+
+    __slots__ = (
+        "template",
+        "live_cache",
+        "reach_cache",
+        "exists_cache",
+        "hits",
+        "misses",
+        "invalidated_nodes",
+        "repaired_entries",
+    )
 
     def __init__(self, template: RegularTreeTemplate) -> None:
         self.template = template
         self.live_cache: dict[TemplatePosition, frozenset[int]] = {}
         self.reach_cache: dict[
-            tuple[TemplatePosition, int], list[tuple[int, XMLNode]]
+            XMLNode, dict[TemplatePosition, list[tuple[int, XMLNode]]]
         ] = {}
-        self.exists_cache: dict[tuple[TemplatePosition, int], bool] = {}
+        self.exists_cache: dict[XMLNode, dict[TemplatePosition, bool]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidated_nodes = 0
+        self.repaired_entries = 0
+
+    # ------------------------------------------------------------------
+    # cache maintenance
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every node-scoped entry (full teardown fallback)."""
+        self.reach_cache.clear()
+        self.exists_cache.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss and invalidation counters plus current sizes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated_nodes": self.invalidated_nodes,
+            "repaired_entries": self.repaired_entries,
+            "reach_nodes": len(self.reach_cache),
+            "exists_nodes": len(self.exists_cache),
+        }
+
+    def absorb_replacement(self, old_root: XMLNode, new_root: XMLNode) -> None:
+        """Repair the caches after ``replace_subtree(old_root, new_root)``.
+
+        Three node classes exist after a replacement:
+
+        * nodes of the detached subtree — every entry dropped;
+        * ancestors of the splice point — existence entries dropped
+          (they may flip either way), reachability entries *repaired* by
+          removing targets inside the old subtree and rescanning only
+          the replacement subtree with the DFA state reconstructed along
+          the unchanged path;
+        * all other nodes — untouched: reachability and existence depend
+          only on the node's own subtree, which did not change.
+        """
+        dead_ids = set()
+        for node in old_root.iter_subtree():
+            dead_ids.add(id(node))
+            if self.reach_cache.pop(node, None) is not None:
+                self.invalidated_nodes += 1
+            self.exists_cache.pop(node, None)
+
+        ancestor = new_root.parent
+        while ancestor is not None:
+            self.exists_cache.pop(ancestor, None)
+            per_edge = self.reach_cache.get(ancestor)
+            if per_edge:
+                for child_pos, entries in per_edge.items():
+                    per_edge[child_pos] = self._repair_reach(
+                        child_pos, ancestor, entries, dead_ids, new_root
+                    )
+                    self.repaired_entries += 1
+            ancestor = ancestor.parent
+
+    def _repair_reach(
+        self,
+        child: TemplatePosition,
+        source: XMLNode,
+        entries: list[tuple[int, XMLNode]],
+        dead_ids: set[int],
+        new_root: XMLNode,
+    ) -> list[tuple[int, XMLNode]]:
+        """Patch one cached reachability list around a replacement.
+
+        ``source`` is a strict ancestor of ``new_root``; targets inside
+        the detached subtree are removed and fresh targets are collected
+        by running the edge DFA only over the replacement subtree, with
+        the state at its root recovered along the unchanged access path.
+        """
+        kept = [entry for entry in entries if id(entry[1]) not in dead_ids]
+
+        # path from source (exclusive) down to new_root (inclusive)
+        path: list[XMLNode] = []
+        walker: XMLNode | None = new_root
+        while walker is not None and walker is not source:
+            path.append(walker)
+            walker = walker.parent
+        path.reverse()
+        first_index = path[0].child_index()
+
+        dfa: DFA = self.template.edge_dfa(child)
+        live = self.live_states(child)
+        state = dfa.start
+        alive = True
+        for node in path:
+            state = dfa.step(state, node.label)
+            if state not in live:
+                alive = False
+                break
+
+        fresh: list[tuple[int, XMLNode]] = []
+        if alive:
+            # DFS inside the replacement subtree only, document order
+            stack: list[tuple[XMLNode, int]] = [(new_root, state)]
+            while stack:
+                node, node_state = stack.pop()
+                if node_state in dfa.accepting:
+                    fresh.append((first_index, node))
+                for kid in reversed(node.children):
+                    kid_state = dfa.step(node_state, kid.label)
+                    if kid_state in live:
+                        stack.append((kid, kid_state))
+
+        if not fresh:
+            return kept
+        merged = kept + fresh
+        merged.sort(key=lambda entry: (entry[0], entry[1].position()))
+        return merged
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
 
     def live_states(self, child: TemplatePosition) -> frozenset[int]:
         live = self.live_cache.get(child)
@@ -66,10 +208,15 @@ class _MatchContext:
         child index identifies which child of ``source`` the path enters.
         Results are in document order of the targets.
         """
-        key = (child, id(source))
-        cached = self.reach_cache.get(key)
+        per_edge = self.reach_cache.get(source)
+        if per_edge is None:
+            per_edge = {}
+            self.reach_cache[source] = per_edge
+        cached = per_edge.get(child)
         if cached is not None:
+            self.hits += 1
             return cached
+        self.misses += 1
         dfa: DFA = self.template.edge_dfa(child)
         live = self.live_states(child)
         found: list[tuple[int, XMLNode]] = []
@@ -90,7 +237,7 @@ class _MatchContext:
         # the child loop runs in sibling order and the DFS visits each
         # child subtree in document order, so `found` is already sorted
         # by (first child index, document order)
-        self.reach_cache[key] = found
+        per_edge[child] = found
         return found
 
     # ------------------------------------------------------------------
@@ -99,13 +246,18 @@ class _MatchContext:
 
     def subtree_embeds(self, node: TemplatePosition, image: XMLNode) -> bool:
         """Can the template subtree rooted at ``node`` embed with image ``image``?"""
-        key = (node, id(image))
-        cached = self.exists_cache.get(key)
+        per_edge = self.exists_cache.get(image)
+        if per_edge is None:
+            per_edge = {}
+            self.exists_cache[image] = per_edge
+        cached = per_edge.get(node)
         if cached is not None:
+            self.hits += 1
             return cached
+        self.misses += 1
         children = self.template.children(node)
         result = self._edges_satisfiable(children, image)
-        self.exists_cache[key] = result
+        per_edge[node] = result
         return result
 
     def _edges_satisfiable(
@@ -179,6 +331,97 @@ class _MatchContext:
                 merged.update(rest)
                 yield merged
 
+    # ------------------------------------------------------------------
+    # region-restricted enumeration
+    # ------------------------------------------------------------------
+
+    def enumerate_touching(
+        self, root: XMLNode, region_root: XMLNode
+    ) -> Iterator[dict[TemplatePosition, XMLNode]]:
+        """Embeddings of the whole template with >= 1 image inside the
+        ``region_root`` subtree.
+
+        This is the incremental-maintenance primitive: after replacing
+        the subtree at ``region_root``, exactly these mappings can be
+        new (see :mod:`repro.fd.index`).  The "at least one image
+        touches the region" requirement is pushed through the whole
+        recursion with a first-touch decomposition, so sibling branches
+        that provably cannot reach the region are never asked to carry
+        the requirement, and branches outside the region's root path are
+        enumerated only when some earlier branch already touched.
+        """
+        region_ids = {id(node) for node in region_root.iter_subtree()}
+        ancestor_ids: set[int] = set()
+        walker: XMLNode | None = region_root.parent
+        while walker is not None:
+            ancestor_ids.add(id(walker))
+            walker = walker.parent
+
+        def _product(lists: list[list[dict]], offset: int) -> Iterator[dict]:
+            if offset == len(lists):
+                yield {}
+                return
+            for head in lists[offset]:
+                for rest in _product(lists, offset + 1):
+                    merged = dict(head)
+                    merged.update(rest)
+                    yield merged
+
+        def expand_touch(
+            node: TemplatePosition, image: XMLNode
+        ) -> Iterator[dict[TemplatePosition, XMLNode]]:
+            """Embeddings of the subtree at ``node`` with >= 1 image in region."""
+            if id(image) in region_ids:
+                # the node itself is inside: every embedding qualifies
+                yield from self.enumerate(node, image)
+                return
+            if id(image) not in ancestor_ids:
+                return  # the region is unreachable from this subtree
+            children = self.template.children(node)
+            if not children:
+                return  # leaf image strictly above the region: cannot touch
+            for combination in self._edge_combinations(children, image, -1):
+                # first-touch decomposition: exactly one branch `index` is
+                # the first whose sub-embedding reaches the region; earlier
+                # branches contribute only non-touching embeddings, later
+                # ones are unconstrained.  This enumerates each qualifying
+                # mapping exactly once.
+                for index, (child, target) in enumerate(combination):
+                    if (
+                        id(target) not in region_ids
+                        and id(target) not in ancestor_ids
+                    ):
+                        continue
+                    touching = list(expand_touch(child, target))
+                    if not touching:
+                        continue
+                    earlier: list[list[dict]] = []
+                    for c, t in combination[:index]:
+                        embeddings = [
+                            part
+                            for part in self.enumerate(c, t)
+                            if not any(
+                                id(n) in region_ids for n in part.values()
+                            )
+                        ]
+                        earlier.append(embeddings)
+                    later = [
+                        list(self.enumerate(c, t))
+                        for c, t in combination[index + 1 :]
+                    ]
+                    if any(not part for part in earlier + later):
+                        continue
+                    for touching_part in touching:
+                        for before in _product(earlier, 0):
+                            for after in _product(later, 0):
+                                assembled = dict(touching_part)
+                                assembled.update(before)
+                                assembled.update(after)
+                                assembled[node] = image
+                                yield assembled
+
+        yield from expand_touch(ROOT_POSITION, root)
+
 
 def _root_of(document: XMLDocument | XMLNode) -> XMLNode:
     if isinstance(document, XMLDocument):
@@ -191,12 +434,18 @@ def _root_of(document: XMLDocument | XMLNode) -> XMLNode:
     return document
 
 
+def _template_of(
+    pattern: RegularTreePattern | RegularTreeTemplate,
+) -> RegularTreeTemplate:
+    return pattern.template if isinstance(pattern, RegularTreePattern) else pattern
+
+
 def enumerate_mappings(
     pattern: RegularTreePattern | RegularTreeTemplate,
     document: XMLDocument | XMLNode,
 ) -> Iterator[Mapping]:
     """Yield every mapping of the pattern's template on the document."""
-    template = pattern.template if isinstance(pattern, RegularTreePattern) else pattern
+    template = _template_of(pattern)
     context = _MatchContext(template)
     root = _root_of(document)
     for images in context.enumerate(ROOT_POSITION, root):
@@ -208,7 +457,7 @@ def has_mapping(
     document: XMLDocument | XMLNode,
 ) -> bool:
     """Decide whether at least one mapping exists (memoized, no enumeration)."""
-    template = pattern.template if isinstance(pattern, RegularTreePattern) else pattern
+    template = _template_of(pattern)
     context = _MatchContext(template)
     return context.subtree_embeds(ROOT_POSITION, _root_of(document))
 
@@ -219,92 +468,12 @@ def enumerate_mappings_touching(
     region_root: XMLNode,
 ) -> Iterator[Mapping]:
     """Yield the mappings with at least one image inside ``region_root``'s
-    subtree.
-
-    This is the incremental-maintenance primitive: after replacing the
-    subtree at ``region_root``, exactly these mappings can be new (see
-    :mod:`repro.fd.index`).  The "at least one image touches the region"
-    requirement is pushed through the whole recursion with a first-touch
-    decomposition, so sibling branches that provably cannot reach the
-    region are never asked to carry the requirement, and branches outside
-    the region's root path are enumerated only when some earlier branch
-    already touched.
+    subtree (see :meth:`_MatchContext.enumerate_touching`).
     """
-    template = pattern.template if isinstance(pattern, RegularTreePattern) else pattern
+    template = _template_of(pattern)
     context = _MatchContext(template)
     root = _root_of(document)
-
-    region_ids = {id(node) for node in region_root.iter_subtree()}
-    ancestor_ids: set[int] = set()
-    walker: XMLNode | None = region_root.parent
-    while walker is not None:
-        ancestor_ids.add(id(walker))
-        walker = walker.parent
-
-    def _product(lists: list[list[dict]], offset: int) -> Iterator[dict]:
-        if offset == len(lists):
-            yield {}
-            return
-        for head in lists[offset]:
-            for rest in _product(lists, offset + 1):
-                merged = dict(head)
-                merged.update(rest)
-                yield merged
-
-    def expand_touch(
-        node: TemplatePosition, image: XMLNode
-    ) -> Iterator[dict[TemplatePosition, XMLNode]]:
-        """Embeddings of the subtree at ``node`` with >= 1 image in region."""
-        if id(image) in region_ids:
-            # the node itself is inside: every embedding qualifies
-            yield from context.enumerate(node, image)
-            return
-        if id(image) not in ancestor_ids:
-            return  # the region is unreachable from this subtree
-        children = template.children(node)
-        if not children:
-            return  # leaf image strictly above the region: cannot touch
-        for combination in context._edge_combinations(children, image, -1):
-            # first-touch decomposition: exactly one branch `index` is the
-            # first whose sub-embedding reaches the region; earlier
-            # branches contribute only non-touching embeddings, later
-            # ones are unconstrained.  This enumerates each qualifying
-            # mapping exactly once.
-            for index, (child, target) in enumerate(combination):
-                if (
-                    id(target) not in region_ids
-                    and id(target) not in ancestor_ids
-                ):
-                    continue
-                touching = list(expand_touch(child, target))
-                if not touching:
-                    continue
-                earlier: list[list[dict]] = []
-                for c, t in combination[:index]:
-                    embeddings = [
-                        part
-                        for part in context.enumerate(c, t)
-                        if not any(
-                            id(n) in region_ids for n in part.values()
-                        )
-                    ]
-                    earlier.append(embeddings)
-                later = [
-                    list(context.enumerate(c, t))
-                    for c, t in combination[index + 1 :]
-                ]
-                if any(not part for part in earlier + later):
-                    continue
-                for touching_part in touching:
-                    for before in _product(earlier, 0):
-                        for after in _product(later, 0):
-                            assembled = dict(touching_part)
-                            assembled.update(before)
-                            assembled.update(after)
-                            assembled[node] = image
-                            yield assembled
-
-    for images in expand_touch(ROOT_POSITION, root):
+    for images in context.enumerate_touching(root, region_root):
         yield Mapping(template, images)
 
 

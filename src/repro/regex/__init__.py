@@ -30,6 +30,13 @@ from repro.regex.ast import (
 )
 from repro.regex.parser import parse_regex
 from repro.regex.nfa import NFA, nfa_from_regex
+from repro.regex.cache import (
+    CacheStats,
+    LRUCache,
+    cache_stats,
+    clear_caches,
+    compile_cache,
+)
 from repro.regex.dfa import DFA, OTHER, compile_regex, dfa_from_nfa
 from repro.regex.minimize import minimize_dfa
 from repro.regex.ops import (
@@ -57,6 +64,11 @@ __all__ = [
     "parse_regex",
     "NFA",
     "nfa_from_regex",
+    "CacheStats",
+    "LRUCache",
+    "cache_stats",
+    "clear_caches",
+    "compile_cache",
     "DFA",
     "OTHER",
     "compile_regex",

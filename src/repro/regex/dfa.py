@@ -40,7 +40,7 @@ class DFA:
         Per state, the target taken by labels outside the alphabet.
     """
 
-    __slots__ = ("alphabet", "transitions", "other", "start", "accepting")
+    __slots__ = ("alphabet", "transitions", "other", "start", "accepting", "_live")
 
     def __init__(
         self,
@@ -55,6 +55,7 @@ class DFA:
         self.other = list(other)
         self.start = start
         self.accepting = frozenset(accepting)
+        self._live: frozenset[int] | None = None
         if len(self.transitions) != len(self.other):
             raise RegexError("transition table and OTHER table disagree on size")
         for index, row in enumerate(self.transitions):
@@ -92,7 +93,13 @@ class DFA:
         return not self.accepts_empty()
 
     def live_states(self) -> frozenset[int]:
-        """States reachable from the start that can reach acceptance."""
+        """States reachable from the start that can reach acceptance.
+
+        Computed once per DFA; the transition tables are treated as
+        immutable after construction, so the result is cached.
+        """
+        if self._live is not None:
+            return self._live
         reachable = {self.start}
         frontier = [self.start]
         while frontier:
@@ -118,7 +125,8 @@ class DFA:
                 if source not in productive:
                     productive.add(source)
                     frontier.append(source)
-        return frozenset(reachable & productive)
+        self._live = frozenset(reachable & productive)
+        return self._live
 
     def with_alphabet(self, alphabet: Iterable[str]) -> "DFA":
         """Re-express the DFA over a larger explicit alphabet.
@@ -191,11 +199,24 @@ def dfa_from_nfa(nfa: NFA, extra_alphabet: Iterable[str] = ()) -> DFA:
 def compile_regex(
     expression: Regex | str, extra_alphabet: Iterable[str] = ()
 ) -> DFA:
-    """Compile an expression (tree or concrete syntax) to a minimal DFA."""
+    """Compile an expression (tree or concrete syntax) to a minimal DFA.
+
+    Memoized process-wide by ``(expression, alphabet)`` through the
+    bounded LRU of :mod:`repro.regex.cache`: regex equality is
+    structural, so any two syntactically equal expressions — whether
+    parsed from text or built as trees — share one compiled automaton.
+    Callers must treat the returned DFA as immutable.
+    """
+    from repro.regex.cache import compile_cache
     from repro.regex.minimize import minimize_dfa
     from repro.regex.parser import parse_regex
 
     if isinstance(expression, str):
         expression = parse_regex(expression)
-    nfa = nfa_from_regex(expression)
-    return minimize_dfa(dfa_from_nfa(nfa, extra_alphabet=extra_alphabet))
+    key = (expression, frozenset(extra_alphabet))
+
+    def build() -> DFA:
+        nfa = nfa_from_regex(expression)
+        return minimize_dfa(dfa_from_nfa(nfa, extra_alphabet=extra_alphabet))
+
+    return compile_cache.get_or_create(key, build)

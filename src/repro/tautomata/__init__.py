@@ -26,7 +26,12 @@ from repro.tautomata.horizontal import (
     ShuffleHorizontal,
 )
 from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
-from repro.tautomata.emptiness import automaton_is_empty, witness_document
+from repro.tautomata.emptiness import (
+    automaton_is_empty,
+    automaton_is_empty_typed,
+    typed_inhabited_states,
+    witness_document,
+)
 from repro.tautomata.ops import product_automaton
 from repro.tautomata.from_pattern import PatternAutomaton, trace_automaton
 
@@ -43,6 +48,8 @@ __all__ = [
     "LabelSpec",
     "Rule",
     "automaton_is_empty",
+    "automaton_is_empty_typed",
+    "typed_inhabited_states",
     "witness_document",
     "product_automaton",
     "PatternAutomaton",

@@ -74,6 +74,60 @@ def automaton_is_empty(automaton: HedgeAutomaton) -> bool:
     return not (inhabited_states(automaton) & automaton.accepting)
 
 
+def _typed_rule_fires(
+    rule, inhabited_sorted: Sequence[State]
+) -> bool:
+    """Can the rule assign its state to some *well-typed* XML node?
+
+    Mirrors the feasibility logic of :func:`witness_document` without
+    building trees: attribute/text labels name leaves, so a rule whose
+    label specification offers no element label can only fire on the
+    empty children word.
+    """
+    if rule.labels.is_empty():
+        return False
+    label = rule.labels.example_label(prefer_element=True)
+    if label_node_type(label) is NodeType.ELEMENT:
+        return _exists_word(rule.horizontal, inhabited_sorted)
+    # only leaf-typed labels available: the node cannot carry children
+    return rule.horizontal.accepting(rule.horizontal.initial())
+
+
+def typed_inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
+    """States assignable to at least one *well-typed* XML tree.
+
+    The same least fixpoint as :func:`inhabited_states` but under the
+    XML typing rules (attribute and text nodes are leaves) — and, unlike
+    :func:`witness_document`, without constructing witness trees, so a
+    caller that only needs the emptiness verdict skips all tree building
+    and cloning.
+    """
+    inhabited: set[State] = set()
+    changed = True
+    while changed:
+        changed = False
+        ordered = sorted(inhabited, key=repr)
+        for rule in automaton.rules:
+            if rule.state in inhabited:
+                continue
+            if _typed_rule_fires(rule, ordered):
+                inhabited.add(rule.state)
+                ordered = sorted(inhabited, key=repr)
+                changed = True
+    return frozenset(inhabited)
+
+
+def automaton_is_empty_typed(automaton: HedgeAutomaton) -> bool:
+    """True when the automaton accepts no well-typed XML document.
+
+    Decides exactly the same verdict as ``witness_document(a) is None``
+    (both quantify over real documents), at the cost of the fixpoint
+    alone — the witness-free fast path behind
+    ``check_independence(..., want_witness=False)``.
+    """
+    return not (typed_inhabited_states(automaton) & automaton.accepting)
+
+
 def witness_document(automaton: HedgeAutomaton) -> XMLDocument | None:
     """A document accepted by the automaton, or ``None`` when empty.
 

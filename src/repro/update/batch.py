@@ -21,6 +21,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.satisfaction import check_fd
+from repro.pattern.matcher import PatternMatcher
 from repro.schema.dtd import Schema
 from repro.update.apply import Update, apply_update
 from repro.xmlmodel.tree import XMLDocument
@@ -126,8 +127,11 @@ class UpdateBatch:
                 checks_skipped += 1
                 continue
             checks_run += 1
-            if not check_fd(fd, candidate).satisfied:
-                failed.append(fd.name)
+            # one warm matcher per check: the FD's mappings all share the
+            # candidate-wide reachability/existence facts
+            with PatternMatcher(fd.pattern, candidate) as matcher:
+                if not check_fd(fd, candidate, matcher=matcher).satisfied:
+                    failed.append(fd.name)
 
         committed = not failed and not schema_violation
         return BatchOutcome(

@@ -9,8 +9,48 @@ clearer and cheaper, and are what the concrete update operations of
 
 from __future__ import annotations
 
+import weakref
+from typing import Protocol, runtime_checkable
+
 from repro.errors import XMLModelError
 from repro.xmlmodel.tree import XMLNode
+
+
+@runtime_checkable
+class EditListener(Protocol):
+    """Observer notified after each structural edit primitive.
+
+    Long-lived consumers of document structure (notably
+    :class:`repro.pattern.matcher.PatternMatcher`) register here so their
+    node-scoped caches can be invalidated precisely instead of being torn
+    down wholesale.  Listeners receive edits on *every* tree — each
+    implementation filters by root identity, since the primitives operate
+    on nodes and carry no document handle.
+    """
+
+    def subtree_replaced(self, old_root: XMLNode, new_root: XMLNode) -> None:
+        """``old_root`` was detached; ``new_root`` occupies its slot."""
+
+    def subtree_inserted(self, node: XMLNode) -> None:
+        """``node`` (now attached) was inserted under its parent."""
+
+    def subtree_deleted(self, old_root: XMLNode, parent: XMLNode) -> None:
+        """``old_root`` was detached from ``parent``."""
+
+
+# Weak registry: a garbage-collected listener unregisters itself, so a
+# dropped matcher never keeps receiving (or blocking) edits.
+_listeners: "weakref.WeakSet[EditListener]" = weakref.WeakSet()
+
+
+def register_edit_listener(listener: EditListener) -> None:
+    """Subscribe a listener to all structural edits (weakly referenced)."""
+    _listeners.add(listener)
+
+
+def unregister_edit_listener(listener: EditListener) -> None:
+    """Unsubscribe a listener; no-op when not registered."""
+    _listeners.discard(listener)
 
 
 def replace_subtree(target: XMLNode, replacement: XMLNode) -> XMLNode:
@@ -18,7 +58,8 @@ def replace_subtree(target: XMLNode, replacement: XMLNode) -> XMLNode:
 
     ``replacement`` must be detached; it takes over ``target``'s position
     among its siblings.  Returns the (now attached) replacement node.
-    The document root cannot be replaced.
+    The document root cannot be replaced.  Registered edit listeners are
+    notified after the splice.
     """
     parent = target.parent
     if parent is None:
@@ -29,19 +70,35 @@ def replace_subtree(target: XMLNode, replacement: XMLNode) -> XMLNode:
     parent.children[index] = replacement
     replacement.parent = parent
     target.parent = None
+    for listener in tuple(_listeners):
+        listener.subtree_replaced(target, replacement)
     return replacement
 
 
 def insert_child(parent: XMLNode, child: XMLNode, index: int | None = None) -> XMLNode:
     """Insert a detached subtree as a child of ``parent``.
 
-    Appends when ``index`` is ``None``.
+    Appends when ``index`` is ``None``.  Registered edit listeners are
+    notified after the insertion.
     """
     if index is None:
-        return parent.append_child(child)
-    return parent.insert_child(index, child)
+        attached = parent.append_child(child)
+    else:
+        attached = parent.insert_child(index, child)
+    for listener in tuple(_listeners):
+        listener.subtree_inserted(attached)
+    return attached
 
 
 def delete_subtree(target: XMLNode) -> XMLNode:
-    """Detach and return the subtree rooted at ``target``."""
-    return target.detach()
+    """Detach and return the subtree rooted at ``target``.
+
+    Registered edit listeners are notified after the detachment, with
+    the former parent as the still-attached anchor.
+    """
+    parent = target.parent
+    detached = target.detach()
+    assert parent is not None  # detach() raised otherwise
+    for listener in tuple(_listeners):
+        listener.subtree_deleted(detached, parent)
+    return detached

@@ -9,7 +9,7 @@ from repro.fd.fd import EqualityType, FunctionalDependency
 from repro.fd.index import FDIndex
 from repro.fd.satisfaction import check_fd
 from repro.pattern.builder import build_pattern, edge
-from repro.workload.exams import generate_session, paper_document, paper_patterns
+from repro.workload.exams import generate_session, paper_patterns
 from repro.xmlmodel.builder import elem, text
 from repro.xmlmodel.parser import parse_document
 
@@ -186,6 +186,155 @@ class TestAgainstFreshChecks:
             fresh = check_fd(figures.fd1, index.document)
             assert index.is_satisfied() == fresh.satisfied
             assert index.mapping_count == fresh.mapping_count
+
+
+class TestPermutedSelectedTuple:
+    """Regression: the target need not be the last selected component.
+
+    The index once rebuilt group/target keys by slicing
+    ``selected_positions`` as ``(p1..pn, q)``; with an explicitly named
+    target in another slot that silently swapped condition and target,
+    corrupting every re-keyed record.
+    """
+
+    def _permuted_fd(self):
+        # selected = (q, p1): the target comes FIRST in the tuple
+        return FunctionalDependency(
+            build_pattern(
+                edge("ctx", name="c")(
+                    edge("item")(
+                        edge("key", name="p1"),
+                        edge("val", name="q"),
+                    )
+                ),
+                selected=("q", "p1"),
+            ),
+            context="c",
+            target="q",
+        )
+
+    def test_roles_resolved_from_target(self):
+        fd = self._permuted_fd()
+        assert fd.target_index == 0
+        assert fd.target_position == fd.pattern.selected[0]
+        assert fd.condition_positions == (fd.pattern.selected[1],)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(FDError):
+            FunctionalDependency(
+                build_pattern(
+                    edge("ctx", name="c")(
+                        edge("key", name="p1"), edge("val", name="q")
+                    ),
+                    selected=("p1", "q"),
+                ),
+                context="c",
+                target="c",  # the context is not a selected node
+            )
+
+    def test_build_matches_fresh_check(self):
+        document = parse_document(
+            "<ctx><item><key>a</key><val>1</val></item>"
+            "<item><key>a</key><val>2</val></item></ctx>"
+        )
+        fd = self._permuted_fd()
+        index = FDIndex(fd, document)
+        assert index.is_satisfied() == check_fd(fd, document).satisfied
+        assert not index.is_satisfied()
+
+    def test_rekey_below_target_uses_true_roles(self):
+        # a value edit below the *target* image triggers the re-keying
+        # path; with swapped roles the stale target key survives and the
+        # violation goes unnoticed
+        document = parse_document(
+            "<ctx><item><key>a</key><val><w>1</w></val></item>"
+            "<item><key>a</key><val><w>1</w></val></item></ctx>"
+        )
+        fd = self._permuted_fd()
+        index = FDIndex(fd, document)
+        assert index.is_satisfied()
+        stats = index.apply_replacement((0, 1, 1, 0), elem("w", text("2")))
+        assert stats["rekeyed"] == 1
+        fresh = check_fd(fd, index.document)
+        assert not fresh.satisfied
+        assert index.is_satisfied() == fresh.satisfied
+
+    def test_rekey_below_condition_uses_true_roles(self):
+        # symmetrically: a value edit below a *condition* image must
+        # update the group key, not the target key
+        document = parse_document(
+            "<ctx><item><key><w>a</w></key><val>1</val></item>"
+            "<item><key><w>b</w></key><val>2</val></item></ctx>"
+        )
+        fd = self._permuted_fd()
+        index = FDIndex(fd, document)
+        assert index.is_satisfied()
+        # make both keys agree: now two groups merge and targets differ
+        stats = index.apply_replacement((0, 1, 0, 0), elem("w", text("a")))
+        assert stats["rekeyed"] == 1
+        fresh = check_fd(fd, index.document)
+        assert not fresh.satisfied
+        assert index.is_satisfied() == fresh.satisfied
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_edits_match_fresh_checks(self, seed):
+        rng = random.Random(seed)
+        document = parse_document(
+            "<ctx>"
+            + "".join(
+                f"<item><key>k{rng.randint(0, 2)}</key>"
+                f"<val>v{rng.randint(0, 2)}</val></item>"
+                for _ in range(5)
+            )
+            + "</ctx>"
+        )
+        fd = self._permuted_fd()
+        index = FDIndex(fd, document)
+        for _ in range(8):
+            item = rng.randint(0, 4)
+            if rng.random() < 0.5:
+                position = (0, item, 0)
+                replacement = elem("key", text(f"k{rng.randint(0, 2)}"))
+            else:
+                position = (0, item, 1)
+                replacement = elem("val", text(f"v{rng.randint(0, 2)}"))
+            index.apply_replacement(position, replacement)
+            fresh = check_fd(fd, index.document)
+            assert index.is_satisfied() == fresh.satisfied
+            assert index.mapping_count == fresh.mapping_count
+
+
+class TestWarmVersusColdIndex:
+    """The warm matcher must be an invisible optimization."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_modes_agree_across_edits(self, seed):
+        rng = random.Random(200 + seed)
+        figures = paper_patterns()
+        warm_doc = generate_session(5, seed=seed)
+        cold_doc = warm_doc.clone()
+        warm = FDIndex(figures.fd1, warm_doc, reuse_matcher=True)
+        cold = FDIndex(figures.fd1, cold_doc, reuse_matcher=False)
+        assert cold.cache_stats() == {}
+        for count in range(5):
+            levels = [
+                candidate.find("level").position()
+                for candidate in warm.document.node_at((0,)).find_all(
+                    "candidate"
+                )
+            ]
+            position = rng.choice(levels)
+            replacement_label = rng.choice(("A", "B", "C"))
+            warm.apply_replacement(
+                position, elem("level", text(replacement_label))
+            )
+            cold.apply_replacement(
+                position, elem("level", text(replacement_label))
+            )
+            assert warm.is_satisfied() == cold.is_satisfied()
+            assert warm.mapping_count == cold.mapping_count
+        assert warm.cache_stats()["hits"] > 0
+        warm.close()
 
 
 class TestLibraryDomain:

@@ -15,7 +15,6 @@ from hypothesis import assume, given, settings, strategies as st
 
 from repro.errors import FDError
 from repro.fd.linear import LinearFD, LinearPath, translate_linear_fd
-from repro.pattern.template import ROOT_POSITION
 from repro.regex.ast import Concat, Symbol
 
 LABELS = ("a", "b", "c", "@k")

@@ -1,6 +1,5 @@
 """Unit tests for FD satisfaction checking (Definition 5)."""
 
-import pytest
 
 from repro.fd.fd import EqualityType, FunctionalDependency
 from repro.fd.satisfaction import check_fd, document_satisfies

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
-from repro.fd.satisfaction import document_satisfies
 from repro.independence.criterion import Verdict, check_independence
 from repro.pattern.builder import PatternBuilder, build_pattern, edge
 from repro.pattern.engine import has_mapping

@@ -1,6 +1,5 @@
 """Unit tests for the brute-force impact search (T4's ground truth)."""
 
-import pytest
 
 from repro.fd.fd import FunctionalDependency
 from repro.independence.exhaustive import (

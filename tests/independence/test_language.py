@@ -5,7 +5,6 @@ import pytest
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import dangerous_language
 from repro.pattern.builder import build_pattern, edge
-from repro.pattern.engine import enumerate_mappings
 from repro.tautomata.emptiness import witness_document
 from repro.update.update_class import UpdateClass
 from repro.xmlmodel.parser import parse_document

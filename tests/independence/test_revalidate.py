@@ -3,7 +3,7 @@
 from repro.independence.revalidate import revalidation_check
 from repro.update.apply import Update
 from repro.update.operations import set_text
-from repro.workload.exams import generate_session, paper_document, paper_patterns
+from repro.workload.exams import generate_session, paper_document
 from repro.xmlmodel.builder import elem, text
 from repro.update.operations import transform
 

@@ -10,7 +10,7 @@ from repro.pattern.engine import evaluate_pattern
 from repro.update.apply import Update, apply_update
 from repro.update.operations import set_text
 from repro.update.update_class import UpdateClass
-from repro.workload.exams import paper_document, paper_patterns
+from repro.workload.exams import paper_document
 from repro.xmlmodel.equality import value_key
 
 

@@ -18,7 +18,7 @@ import pytest
 from repro.fd.fd import FunctionalDependency
 from repro.independence.criterion import check_independence
 from repro.pattern.builder import PatternBuilder
-from repro.pattern.template import ROOT_POSITION, RegularTreeTemplate
+from repro.pattern.template import RegularTreeTemplate
 from repro.regex.ast import (
     AnySymbol,
     Concat,
@@ -112,7 +112,6 @@ def test_relabeling_preserves_verdicts(seed):
 
 @pytest.mark.parametrize("seed", range(15))
 def test_unused_alphabet_labels_preserve_verdicts(seed):
-    from repro.independence.language import dangerous_language
     from repro.tautomata.emptiness import witness_document
 
     rng = random.Random(seed)

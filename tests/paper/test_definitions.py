@@ -10,10 +10,10 @@ import pytest
 from repro.errors import FDError, ImproperRegexError, PatternError
 from repro.fd.fd import EqualityType, FunctionalDependency
 from repro.fd.satisfaction import document_satisfies
-from repro.pattern.builder import PatternBuilder, build_pattern, edge
+from repro.pattern.builder import build_pattern, edge
 from repro.pattern.engine import enumerate_mappings, has_mapping
 from repro.pattern.template import ROOT_POSITION, RegularTreeTemplate
-from repro.xmlmodel.builder import attr, doc, elem, text
+from repro.xmlmodel.builder import attr, elem, text
 from repro.xmlmodel.equality import nodes_value_equal
 from repro.xmlmodel.parser import parse_document
 

@@ -4,11 +4,9 @@ Every check in this module pins a statement the paper makes explicitly;
 a failure here means the reproduction diverges from the paper.
 """
 
-import pytest
 
 from repro.fd.satisfaction import check_fd, document_satisfies
 from repro.pattern.engine import enumerate_mappings, evaluate_pattern
-from repro.xmlmodel.serializer import serialize_document
 
 from tests.conftest import positions, tuple_positions
 

@@ -1,6 +1,5 @@
 """Section 5 reproduction: impact, independence, hardness, criterion."""
 
-import pytest
 
 from repro.fd.satisfaction import document_satisfies
 from repro.independence.criterion import Verdict, check_independence

@@ -1,12 +1,10 @@
 """Unit tests for pattern satisfiability and FD vacuity."""
 
-import pytest
 
 from repro.fd.fd import FunctionalDependency
 from repro.pattern.analysis import fd_is_vacuous, pattern_satisfiable
 from repro.pattern.builder import PatternBuilder, build_pattern, edge
 from repro.pattern.engine import has_mapping
-from repro.schema.dtd import Schema
 
 
 class TestSatisfiability:

@@ -1,0 +1,228 @@
+"""Tests for the long-lived :class:`PatternMatcher`.
+
+The matcher must answer exactly like the cold module-level entry points
+before and after arbitrary edits to its document — node-scoped repair
+on replacements, full reset on inserts/deletes — and must never serve
+facts cached for nodes that are no longer in the tree (the ``id()``
+reuse aliasing bug this file pins down).
+"""
+
+import gc
+import random
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.builder import build_pattern, edge
+from repro.pattern.engine import (
+    enumerate_mappings,
+    enumerate_mappings_touching,
+    has_mapping,
+)
+from repro.pattern.matcher import PatternMatcher
+from repro.xmlmodel.tree import NodeType
+from repro.workload.random_docs import random_document
+from repro.workload.random_patterns import random_pattern
+from repro.xmlmodel.builder import elem, text
+from repro.xmlmodel.edit import delete_subtree, insert_child, replace_subtree
+from repro.xmlmodel.parser import parse_document
+
+
+def _mapping_keys(mappings):
+    return sorted(
+        tuple(
+            sorted(
+                (pos, node.position()) for pos, node in mapping.images.items()
+            )
+        )
+        for mapping in mappings
+    )
+
+
+def _item_pattern():
+    return build_pattern(
+        edge("ctx")(edge("item")(edge("key", name="s"))), selected=("s",)
+    )
+
+
+@pytest.fixture
+def document():
+    return parse_document(
+        "<ctx><item><key>a</key></item><item><key>b</key></item></ctx>"
+    )
+
+
+class TestQuerySurface:
+    def test_matches_cold_results(self, document):
+        pattern = _item_pattern()
+        with PatternMatcher(pattern, document) as matcher:
+            assert matcher.has_mapping() == has_mapping(pattern, document)
+            assert _mapping_keys(matcher.enumerate_mappings()) == _mapping_keys(
+                enumerate_mappings(pattern, document)
+            )
+
+    def test_repeated_queries_hit_the_cache(self, document):
+        with PatternMatcher(_item_pattern(), document) as matcher:
+            first = _mapping_keys(matcher.enumerate_mappings())
+            baseline = matcher.cache_stats()["hits"]
+            second = _mapping_keys(matcher.enumerate_mappings())
+            assert first == second
+            assert matcher.cache_stats()["hits"] > baseline
+
+    def test_touching_matches_cold(self, document):
+        pattern = _item_pattern()
+        region = document.node_at((0, 1))
+        with PatternMatcher(pattern, document) as matcher:
+            warm = _mapping_keys(matcher.enumerate_mappings_touching(region))
+        cold = _mapping_keys(
+            enumerate_mappings_touching(pattern, document, region)
+        )
+        assert warm == cold
+        assert len(warm) == 1
+
+    def test_selected_node_tuples(self, document):
+        with PatternMatcher(_item_pattern(), document) as matcher:
+            tuples = matcher.selected_node_tuples()
+        assert [n.text_value() for (n,) in tuples] == ["a", "b"]
+
+    def test_bare_template_rejects_selected_tuples(self, document):
+        pattern = _item_pattern()
+        with PatternMatcher(pattern.template, document) as matcher:
+            assert matcher.has_mapping()
+            with pytest.raises(PatternError):
+                matcher.selected_node_tuples()
+
+
+class TestEditsBetweenQueries:
+    """The satellite-3 regression: one matcher, edits interleaved."""
+
+    def test_replacement_between_queries(self, document):
+        pattern = _item_pattern()
+        with PatternMatcher(pattern, document) as matcher:
+            before = _mapping_keys(matcher.enumerate_mappings())
+            assert len(before) == 2
+
+            replace_subtree(
+                document.node_at((0, 0)), elem("other", text("x"))
+            )
+            after = _mapping_keys(matcher.enumerate_mappings())
+            assert after == _mapping_keys(
+                enumerate_mappings(pattern, document)
+            )
+            assert len(after) == 1
+            assert matcher.cache_stats()["edits_absorbed"] == 1
+
+    def test_replacement_adding_matches(self, document):
+        pattern = _item_pattern()
+        with PatternMatcher(pattern, document) as matcher:
+            assert len(list(matcher.enumerate_mappings())) == 2
+            replacement = elem(
+                "item", elem("key", text("c")), elem("key", text("d"))
+            )
+            replace_subtree(document.node_at((0, 1)), replacement)
+            warm = _mapping_keys(matcher.enumerate_mappings())
+            assert warm == _mapping_keys(enumerate_mappings(pattern, document))
+            assert len(warm) == 3
+
+    def test_no_stale_fact_after_id_reuse(self):
+        # Replace a matching subtree, drop every reference to it, force a
+        # GC so a newly built node can reuse the freed id(), then attach a
+        # *non-matching* node.  A context keyed by id() would resurrect
+        # the dead subtree's cached facts for the impostor.
+        document = parse_document(
+            "<ctx><item><key>a</key></item><item><key>b</key></item></ctx>"
+        )
+        pattern = _item_pattern()
+        with PatternMatcher(pattern, document) as matcher:
+            assert len(list(matcher.enumerate_mappings())) == 2
+            for round_no in range(10):
+                old = document.node_at((0, 0))
+                replace_subtree(old, elem("item", elem("hole")))
+                del old
+                gc.collect()
+                assert _mapping_keys(
+                    matcher.enumerate_mappings()
+                ) == _mapping_keys(enumerate_mappings(pattern, document))
+                replace_subtree(
+                    document.node_at((0, 0)),
+                    elem("item", elem("key", text(f"v{round_no}"))),
+                )
+                gc.collect()
+                assert _mapping_keys(
+                    matcher.enumerate_mappings()
+                ) == _mapping_keys(enumerate_mappings(pattern, document))
+
+    def test_insert_resets_context(self, document):
+        pattern = _item_pattern()
+        with PatternMatcher(pattern, document) as matcher:
+            assert len(list(matcher.enumerate_mappings())) == 2
+            insert_child(
+                document.node_at((0,)),
+                elem("item", elem("key", text("c"))),
+                index=0,
+            )
+            assert matcher.cache_stats()["resets"] == 1
+            warm = _mapping_keys(matcher.enumerate_mappings())
+            assert warm == _mapping_keys(enumerate_mappings(pattern, document))
+            assert len(warm) == 3
+
+    def test_delete_resets_context(self, document):
+        pattern = _item_pattern()
+        with PatternMatcher(pattern, document) as matcher:
+            assert len(list(matcher.enumerate_mappings())) == 2
+            delete_subtree(document.node_at((0, 0)))
+            assert matcher.cache_stats()["resets"] == 1
+            warm = _mapping_keys(matcher.enumerate_mappings())
+            assert warm == _mapping_keys(enumerate_mappings(pattern, document))
+            assert len(warm) == 1
+
+    def test_edit_to_other_document_is_ignored(self, document):
+        other = parse_document("<ctx><item><key>z</key></item></ctx>")
+        with PatternMatcher(_item_pattern(), document) as matcher:
+            list(matcher.enumerate_mappings())
+            replace_subtree(other.node_at((0, 0)), elem("other"))
+            stats = matcher.cache_stats()
+            assert stats["edits_absorbed"] == 0
+            assert stats["resets"] == 0
+
+    def test_closed_matcher_stops_listening(self, document):
+        matcher = PatternMatcher(_item_pattern(), document)
+        list(matcher.enumerate_mappings())
+        matcher.close()
+        replace_subtree(document.node_at((0, 0)), elem("other"))
+        assert matcher.cache_stats()["edits_absorbed"] == 0
+
+
+class TestRandomizedEquivalence:
+    """Property: warm answers equal cold answers across edit streams."""
+
+    LABELS = ("a", "b", "k")
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_edit_stream(self, seed):
+        rng = random.Random(seed)
+        pattern = random_pattern(
+            rng, labels=self.LABELS, node_count=rng.randint(1, 4)
+        )
+        document = random_document(
+            rng, labels=self.LABELS[:2], max_depth=3, max_children=3
+        )
+        with PatternMatcher(pattern, document) as matcher:
+            for _ in range(5):
+                assert _mapping_keys(
+                    matcher.enumerate_mappings()
+                ) == _mapping_keys(enumerate_mappings(pattern, document))
+                targets = [
+                    node
+                    for node in document.nodes()
+                    if node.parent is not None
+                    and node.node_type is NodeType.ELEMENT
+                ]
+                if not targets:
+                    break
+                target = rng.choice(targets)
+                label = rng.choice(self.LABELS)
+                if rng.random() < 0.5:
+                    replace_subtree(target, elem(label, text("w")))
+                else:
+                    replace_subtree(target, elem(label, elem("b")))

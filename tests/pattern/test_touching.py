@@ -73,6 +73,25 @@ class TestBasics:
         assert touched == []
 
 
+def _filtered_expectation(pattern, document, region):
+    region_ids = {id(node) for node in region.iter_subtree()}
+    return {
+        _mapping_key(m)
+        for m in enumerate_mappings(pattern, document)
+        if any(id(node) in region_ids for node in m.images.values())
+    }
+
+
+def _assert_touching_equals_filter(pattern, document, region, note):
+    expected = _filtered_expectation(pattern, document, region)
+    produced = [
+        _mapping_key(m)
+        for m in enumerate_mappings_touching(pattern, document, region)
+    ]
+    assert set(produced) == expected, note
+    assert len(produced) == len(set(produced)), f"duplicates at {note}"
+
+
 @pytest.mark.parametrize("seed", range(60))
 def test_equals_filtered_enumeration(seed):
     rng = random.Random(seed)
@@ -84,16 +103,63 @@ def test_equals_filtered_enumeration(seed):
     )
     nodes = list(document.nodes())
     region = rng.choice(nodes)
-    region_ids = {id(node) for node in region.iter_subtree()}
+    _assert_touching_equals_filter(pattern, document, region, seed)
 
-    expected = {
-        _mapping_key(m)
-        for m in enumerate_mappings(pattern, document)
-        if any(id(node) in region_ids for node in m.images.values())
-    }
-    produced = [
-        _mapping_key(m)
-        for m in enumerate_mappings_touching(pattern, document, region)
-    ]
-    assert set(produced) == expected, seed
-    assert len(produced) == len(set(produced)), f"duplicates at seed {seed}"
+
+@pytest.mark.parametrize("seed", range(25))
+def test_root_child_regions(seed):
+    # a region rooted at a child of the document root covers a maximal
+    # proper subtree: every ancestor chain crosses it near the top
+    rng = random.Random(1000 + seed)
+    pattern = random_pattern(
+        rng, labels=("a", "b", "doc"), node_count=rng.randint(1, 4)
+    )
+    document = random_document(
+        rng, labels=("a", "b"), max_depth=3, max_children=3
+    )
+    for child in document.root.children:
+        _assert_touching_equals_filter(pattern, document, child, seed)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_leaf_regions(seed):
+    # single-node regions: touching must reduce to "some image IS the
+    # leaf", the finest decomposition the first-touch split produces
+    rng = random.Random(2000 + seed)
+    pattern = random_pattern(
+        rng, labels=("a", "b", "doc"), node_count=rng.randint(1, 4)
+    )
+    document = random_document(
+        rng, labels=("a", "b"), max_depth=3, max_children=3
+    )
+    leaves = [node for node in document.nodes() if not node.children]
+    for leaf in rng.sample(leaves, min(len(leaves), 4)):
+        _assert_touching_equals_filter(pattern, document, leaf, seed)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_warm_matcher_agrees_with_cold(seed):
+    # the same region queried through a long-lived PatternMatcher — with
+    # caches warmed by a prior full enumeration — must answer identically
+    from repro.pattern.matcher import PatternMatcher
+
+    rng = random.Random(3000 + seed)
+    pattern = random_pattern(
+        rng, labels=("a", "b", "doc"), node_count=rng.randint(1, 4)
+    )
+    document = random_document(
+        rng, labels=("a", "b"), max_depth=3, max_children=3
+    )
+    regions = rng.sample(
+        list(document.nodes()), min(document.size(), 3)
+    )
+    with PatternMatcher(pattern, document) as matcher:
+        list(matcher.enumerate_mappings())  # warm the caches
+        for region in regions:
+            expected = _filtered_expectation(pattern, document, region)
+            produced = [
+                _mapping_key(m)
+                for m in matcher.enumerate_mappings_touching(region)
+            ]
+            assert set(produced) == expected, seed
+            assert len(produced) == len(set(produced)), seed

@@ -1,0 +1,155 @@
+"""Tests for the bounded compilation cache of the regex layer."""
+
+import threading
+
+import pytest
+
+from repro.regex import (
+    LRUCache,
+    cache_stats,
+    clear_caches,
+    compile_cache,
+    compile_regex,
+    parse_regex,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test starts from an empty cache with zeroed counters."""
+    clear_caches(reset_stats=True)
+    yield
+    clear_caches(reset_stats=True)
+
+
+class TestLRUCache:
+    def test_get_miss_then_hit(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_bound_enforced_lru_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b becomes least recently used
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_unbounded_when_maxsize_nonpositive(self):
+        cache = LRUCache(maxsize=0)
+        for index in range(100):
+            cache.put(index, index)
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_resize_evicts_immediately(self):
+        cache = LRUCache(maxsize=10)
+        for index in range(10):
+            cache.put(index, index)
+        cache.resize(3)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+        # the three most recently inserted survive
+        assert cache.get(9) == 9
+
+    def test_get_or_create_runs_factory_once_per_key(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("k", lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        cache.stats.reset()
+        assert cache.stats.snapshot() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+    def test_threaded_gets_and_puts_stay_consistent(self):
+        cache = LRUCache(maxsize=32)
+        errors = []
+
+        def worker(offset):
+            try:
+                for index in range(200):
+                    key = (offset + index) % 40
+                    cache.get_or_create(key, lambda k=key: k * 2)
+                    got = cache.get(key)
+                    assert got is None or got == key * 2
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+
+
+class TestCompileMemoization:
+    def test_same_expression_compiles_once(self):
+        first = compile_regex("a.b*")
+        again = compile_regex("a.b*")
+        assert first is again
+        assert compile_cache.stats.hits >= 1
+
+    def test_tree_and_text_share_one_entry(self):
+        from_text = compile_regex("a|b")
+        from_tree = compile_regex(parse_regex("a|b"))
+        assert from_text is from_tree
+
+    def test_distinct_alphabets_are_distinct_entries(self):
+        plain = compile_regex("a")
+        extended = compile_regex("a", extra_alphabet=("zz",))
+        assert plain is not extended
+        assert "zz" in extended.alphabet
+
+    def test_cache_stats_shape(self):
+        compile_regex("a.b")
+        compile_regex("a.b")
+        stats = cache_stats()
+        assert set(stats) == {"compile"}
+        assert stats["compile"]["misses"] >= 1
+        assert stats["compile"]["hits"] >= 1
+        assert stats["compile"]["size"] >= 1
+
+    def test_clear_caches_forces_recompile(self):
+        first = compile_regex("a+")
+        clear_caches()
+        second = compile_regex("a+")
+        assert first is not second
+        assert first.accepting and second.accepting
+
+
+class TestLiveStatesCaching:
+    def test_live_states_computed_once(self):
+        dfa = compile_regex("a.b")
+        first = dfa.live_states()
+        assert dfa.live_states() is first
+
+    def test_cached_live_states_correct(self):
+        dfa = compile_regex("a.b")
+        live = dfa.live_states()
+        assert dfa.start in live
+        assert all(state in range(len(dfa.transitions)) for state in live)

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.pattern.builder import PatternBuilder, build_pattern, edge
-from repro.pattern.engine import enumerate_mappings, has_mapping
+from repro.pattern.engine import has_mapping
 from repro.tautomata.from_pattern import ACC, BOT, SUB, trace_automaton
-from repro.workload.exams import paper_document, paper_patterns
+from repro.workload.exams import paper_patterns
 from repro.xmlmodel.parser import parse_document
 
 

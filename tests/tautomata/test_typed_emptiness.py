@@ -1,0 +1,193 @@
+"""Tests for the witness-free typed emptiness test.
+
+``automaton_is_empty_typed`` must agree with ``witness_document(a) is
+None`` on every automaton: both quantify over well-typed XML documents
+(attribute/text nodes are leaves), one builds a tree, the other only
+runs the fixpoint.
+"""
+
+from repro.independence.criterion import Verdict, check_independence
+from repro.independence.language import dangerous_language
+from repro.fd.fd import FunctionalDependency
+from repro.pattern.builder import build_pattern, edge
+from repro.tautomata.emptiness import (
+    automaton_is_empty,
+    automaton_is_empty_typed,
+    typed_inhabited_states,
+    witness_document,
+)
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
+from repro.tautomata.horizontal import (
+    AllHorizontal,
+    EmptyWordHorizontal,
+    ShuffleHorizontal,
+)
+from repro.update.update_class import UpdateClass
+from repro.workload.exams import exam_schema, paper_patterns
+
+
+def _fd(spec, context, selected):
+    return FunctionalDependency(
+        build_pattern(spec, selected=selected), context=context
+    )
+
+
+def _update(spec, selected=("s",), name="U"):
+    return UpdateClass(build_pattern(spec, selected=selected), name=name)
+
+
+def _assert_agrees(automaton):
+    assert automaton_is_empty_typed(automaton) == (
+        witness_document(automaton) is None
+    )
+
+
+class TestAgainstWitnessConstruction:
+    def test_plain_nonempty(self):
+        automaton = HedgeAutomaton(
+            [Rule("ok", LabelSpec.exactly("/"), AllHorizontal(frozenset()))],
+            accepting=["ok"],
+        )
+        assert not automaton_is_empty_typed(automaton)
+        _assert_agrees(automaton)
+
+    def test_unsatisfiable_requirement(self):
+        automaton = HedgeAutomaton(
+            [
+                Rule(
+                    "ok",
+                    LabelSpec.exactly("/"),
+                    ShuffleHorizontal(frozenset(), [frozenset({"never"})]),
+                )
+            ],
+            accepting=["ok"],
+        )
+        assert automaton_is_empty_typed(automaton)
+        _assert_agrees(automaton)
+
+    def test_leaf_label_with_required_child_is_dead(self):
+        # untyped emptiness says inhabited (some tree exists); typed says
+        # empty (an @attr node cannot carry the required child)
+        automaton = HedgeAutomaton(
+            [
+                Rule("leaf", LabelSpec.exactly("z"), EmptyWordHorizontal()),
+                Rule(
+                    "bad",
+                    LabelSpec.exactly("@attr"),
+                    ShuffleHorizontal(frozenset(), [frozenset({"leaf"})]),
+                ),
+            ],
+            accepting=["bad"],
+        )
+        assert not automaton_is_empty(automaton)
+        assert automaton_is_empty_typed(automaton)
+        _assert_agrees(automaton)
+        assert "bad" not in typed_inhabited_states(automaton)
+        assert "leaf" in typed_inhabited_states(automaton)
+
+    def test_leaf_label_accepting_empty_word_lives(self):
+        automaton = HedgeAutomaton(
+            [
+                Rule(
+                    "leaf",
+                    LabelSpec.exactly("#text"),
+                    AllHorizontal(frozenset()),
+                )
+            ],
+            accepting=["leaf"],
+        )
+        assert not automaton_is_empty_typed(automaton)
+        _assert_agrees(automaton)
+
+    def test_trace_automaton_of_unrealizable_pattern(self):
+        pattern = build_pattern(
+            edge("a")(edge("@k", name="x")(edge("b", name="y"))),
+            selected=("x", "y"),
+        )
+        automaton = trace_automaton(pattern).automaton
+        assert automaton_is_empty_typed(automaton)
+        _assert_agrees(automaton)
+
+    def test_trace_automaton_of_realizable_pattern(self):
+        pattern = build_pattern(
+            edge("s")(edge("a.b", name="x"), edge("c+", name="y")),
+            selected=("x", "y"),
+        )
+        automaton = trace_automaton(pattern).automaton
+        assert not automaton_is_empty_typed(automaton)
+        _assert_agrees(automaton)
+
+
+class TestDangerousLanguages:
+    """Equivalence on the real IC product automata."""
+
+    def _pairs(self):
+        figures = paper_patterns()
+        fd_books = _fd(
+            edge("lib", name="c")(
+                edge("book")(edge("isbn", name="p1"), edge("title", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        yield figures.fd1, figures.update_class, None
+        yield figures.fd1, figures.update_class, exam_schema()
+        yield fd_books, _update(edge("shop")(edge("price", name="s"))), None
+        yield (
+            fd_books,
+            _update(edge("lib.book.title.#text", name="s")),
+            None,
+        )
+        yield (
+            fd_books,
+            _update(edge("lib.book.price.amount", name="s")),
+            None,
+        )
+
+    def test_typed_fixpoint_agrees_with_witness(self):
+        for fd, update, schema in self._pairs():
+            language = dangerous_language(fd, update, schema=schema)
+            _assert_agrees(language.automaton)
+
+
+class TestCriterionDispatch:
+    def _fd_and_updates(self):
+        fd = _fd(
+            edge("lib", name="c")(
+                edge("book")(edge("isbn", name="p1"), edge("title", name="q"))
+            ),
+            context="c",
+            selected=("p1", "q"),
+        )
+        independent = _update(edge("shop")(edge("price", name="s")))
+        dangerous = _update(edge("lib.book.title.#text", name="s"))
+        return fd, independent, dangerous
+
+    def test_same_verdict_without_witness(self):
+        fd, independent, dangerous = self._fd_and_updates()
+        for update in (independent, dangerous):
+            with_witness = check_independence(fd, update, want_witness=True)
+            without = check_independence(fd, update, want_witness=False)
+            assert with_witness.verdict == without.verdict
+            assert without.witness is None
+
+    def test_witness_present_only_when_wanted(self):
+        fd, _, dangerous = self._fd_and_updates()
+        result = check_independence(fd, dangerous, want_witness=True)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.witness is not None
+
+    def test_paper_figures_verdict_stable(self):
+        figures = paper_patterns()
+        with_witness = check_independence(
+            figures.fd1, figures.update_class, schema=exam_schema()
+        )
+        without = check_independence(
+            figures.fd1,
+            figures.update_class,
+            schema=exam_schema(),
+            want_witness=False,
+        )
+        assert with_witness.verdict == without.verdict
+        assert without.witness is None

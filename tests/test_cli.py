@@ -87,6 +87,22 @@ class TestCheckFD:
         assert code == 64
         assert "error:" in capsys.readouterr().err
 
+    def test_cache_stats_flag(self, store, capsys):
+        document, _ = store
+        code = main(
+            ["check-fd", str(document), "--fd", FD, "--cache-stats"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "# cache[compile]:" in captured.err
+        assert "hits=" in captured.err
+        assert "misses=" in captured.err
+
+    def test_no_cache_stats_by_default(self, store, capsys):
+        document, _ = store
+        main(["check-fd", str(document), "--fd", FD])
+        assert "cache[" not in capsys.readouterr().err
+
 
 class TestIndependence:
     def test_independent_with_schema(self, store, capsys):

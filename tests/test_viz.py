@@ -7,7 +7,6 @@ from repro.viz import (
     template_to_dot,
     update_class_to_dot,
 )
-from repro.workload.exams import paper_document, paper_patterns
 from repro.xmlmodel.parser import parse_document
 
 

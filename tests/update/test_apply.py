@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import UpdateError
 from repro.pattern.builder import build_pattern, edge
 from repro.update.apply import Update, apply_update
 from repro.update.operations import (

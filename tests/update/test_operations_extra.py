@@ -1,6 +1,5 @@
 """Unit tests for the structural update operations (wrap/unwrap/drop)."""
 
-import pytest
 
 from repro.pattern.builder import build_pattern, edge
 from repro.update.apply import Update, apply_update

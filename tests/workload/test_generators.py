@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.fd.satisfaction import document_satisfies
-from repro.workload.exams import generate_session, paper_patterns
+from repro.workload.exams import generate_session
 from repro.workload.random_docs import all_documents, random_document
 from repro.workload.random_patterns import (
     random_functional_dependency,

@@ -86,7 +86,6 @@ class TestIndependenceMatrix:
     def test_dynamic_confirmation_of_danger(self, fds):
         """title-updates really can break isbn-title."""
         from repro.update.apply import Update, apply_update
-        from repro.update.operations import set_text
 
         document = generate_library(6, seed=5, violate_key=1)
         # the duplicate-isbn pair shares a title; rewriting only one of

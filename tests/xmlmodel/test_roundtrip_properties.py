@@ -9,7 +9,7 @@ from repro.xmlmodel.builder import attr, elem, text
 from repro.xmlmodel.equality import nodes_value_equal
 from repro.xmlmodel.parser import parse_document
 from repro.xmlmodel.serializer import serialize_document
-from repro.xmlmodel.tree import XMLDocument, XMLNode
+from repro.xmlmodel.tree import XMLDocument
 
 
 @settings(max_examples=100, deadline=None)
