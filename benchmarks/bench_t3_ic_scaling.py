@@ -1,20 +1,54 @@
-"""T3 — wall-clock scaling of the criterion IC.
+"""T3 — wall-clock scaling of the criterion IC, lazy vs eager.
 
 Proposition 3 puts emptiness testing in polynomial time.  The bench
-measures end-to-end IC time (construction + emptiness) along three axes:
-FD chain length, update chain length, and schema width — the growth must
-look polynomial (no doubling-input/order-of-magnitude blow-ups).
+measures end-to-end IC time (construction + emptiness) along three axes
+— FD chain length, update chain length, and schema width — in two
+regimes measured in the same run:
+
+* *eager (seed)*: materialize the full product automaton, then run the
+  restart-loop fixpoint the seed shipped
+  (:mod:`repro.tautomata.reference`);
+* *lazy*: the on-the-fly product exploration with the worklist fixpoint
+  (the default ``check_independence`` path).
+
+The report asserts the two regimes agree on every verdict, that the
+lazy run explores strictly fewer states than the eager automaton has
+rules on every configuration, and that the largest configuration shows
+at least a 3x wall-clock improvement.  It also times the batch matrix
+API (``check_independence_matrix``) with 1 and 2 worker processes
+against the per-pair loop.
+
+The measured table is written machine-readably to ``BENCH_T3.json``
+(path overridable via the ``BENCH_T3_JSON`` environment variable).
+``BENCH_QUICK=1`` shrinks the sweeps for CI smoke runs.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.independence.criterion import check_independence
+from repro.independence.matrix import check_independence_matrix
+from repro.independence.language import dangerous_language
 from repro.schema.dtd import Schema
+from repro.tautomata.reference import typed_inhabited_states_reference
 
 from benchmarks.bench_t2_automaton_size import _chain_fd, _chain_update
 from benchmarks.conftest import emit_table
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+FD_LENGTHS = (2, 4, 8) if QUICK else (2, 4, 8, 16, 32)
+U_LENGTHS = (2, 4, 8) if QUICK else (2, 4, 8, 16, 32)
+SCHEMA_WIDTHS = (2, 4) if QUICK else (2, 4, 8, 16)
+MATRIX_CHAINS = (2, 4) if QUICK else (2, 4, 8)
+
+#: acceptance floor for the lazy-vs-eager improvement on the largest
+#: configuration (the full sweep measures ~15-20x on FD chain 32)
+REQUIRED_SPEEDUP = 3.0
 
 
 def _wide_schema(width: int) -> Schema:
@@ -25,6 +59,34 @@ def _wide_schema(width: int) -> Schema:
             **{f"l{i}": "#text" for i in range(width)},
         },
     )
+
+
+def _measure_eager_seed(fd, update_class, schema=None):
+    """Time the seed pipeline: full product + restart-loop fixpoint."""
+    started = time.perf_counter()
+    language = dangerous_language(
+        fd, update_class, schema=schema, materialize=True
+    )
+    automaton = language.automaton
+    inhabited = typed_inhabited_states_reference(automaton)
+    empty = not (inhabited & automaton.accepting)
+    elapsed = time.perf_counter() - started
+    # all rules the eager pipeline constructs: the flagged product B
+    # plus (under a schema) the final A_S x B — the lazy exploration
+    # stats span the same two levels
+    rules_built = len(automaton.rules)
+    if schema is not None:
+        rules_built += len(language.flagged_product.rules)
+    return elapsed, empty, rules_built
+
+
+def _measure_lazy(fd, update_class, schema=None):
+    started = time.perf_counter()
+    result = check_independence(
+        fd, update_class, schema=schema, want_witness=False, strategy="lazy"
+    )
+    elapsed = time.perf_counter() - started
+    return elapsed, result.independent, result.exploration
 
 
 @pytest.mark.parametrize("length", (2, 4, 8, 16))
@@ -63,39 +125,144 @@ def bench_ic_schema_width(benchmark, width):
     )
 
 
+def _sweep_configs():
+    for length in FD_LENGTHS:
+        yield f"FD chain {length}", _chain_fd(length), _chain_update(2), None
+    for length in U_LENGTHS:
+        yield f"U chain {length}", _chain_fd(2), _chain_update(length), None
+    for width in SCHEMA_WIDTHS:
+        yield (
+            f"schema width {width}",
+            _chain_fd(2),
+            _chain_update(2),
+            _wide_schema(width),
+        )
+
+
+def _measure_matrix():
+    """Batch API vs per-pair loop, jobs=1 vs jobs=2, same inputs."""
+    fds = [_chain_fd(length) for length in MATRIX_CHAINS]
+    update_classes = [_chain_update(length) for length in MATRIX_CHAINS]
+
+    started = time.perf_counter()
+    per_pair = [
+        [
+            check_independence(fd, uc, want_witness=False).verdict
+            for uc in update_classes
+        ]
+        for fd in fds
+    ]
+    per_pair_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    jobs1 = check_independence_matrix(fds, update_classes, parallelism=1)
+    jobs1_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    jobs2 = check_independence_matrix(fds, update_classes, parallelism=2)
+    jobs2_seconds = time.perf_counter() - started
+
+    verdicts = [[cell.verdict for cell in row] for row in jobs1.cells]
+    assert verdicts == per_pair
+    assert verdicts == [[cell.verdict for cell in row] for row in jobs2.cells]
+    return {
+        "rows": len(fds),
+        "columns": len(update_classes),
+        "per_pair_ms": per_pair_seconds * 1000,
+        "jobs1_ms": jobs1_seconds * 1000,
+        "jobs2_ms": jobs2_seconds * 1000,
+    }
+
+
 def bench_t3_report(benchmark):
-    def measure(fd, update_class, schema=None) -> float:
-        started = time.perf_counter()
-        check_independence(fd, update_class, schema=schema, want_witness=False)
-        return time.perf_counter() - started
-
     rows = []
-    previous = None
-    for length in (2, 4, 8, 16, 32):
-        elapsed = measure(_chain_fd(length), _chain_update(2))
-        growth = "-" if previous is None else f"{elapsed / previous:.2f}x"
-        rows.append([f"FD chain {length}", f"{elapsed * 1000:.1f}", growth])
-        previous = elapsed
-
-    previous = None
-    for length in (2, 4, 8, 16, 32):
-        elapsed = measure(_chain_fd(2), _chain_update(length))
-        growth = "-" if previous is None else f"{elapsed / previous:.2f}x"
-        rows.append([f"U chain {length}", f"{elapsed * 1000:.1f}", growth])
-        previous = elapsed
-
-    previous = None
-    for width in (2, 4, 8, 16):
-        elapsed = measure(_chain_fd(2), _chain_update(2), _wide_schema(width))
-        growth = "-" if previous is None else f"{elapsed / previous:.2f}x"
-        rows.append([f"schema width {width}", f"{elapsed * 1000:.1f}", growth])
-        previous = elapsed
+    records = []
+    largest = None
+    for name, fd, update_class, schema in _sweep_configs():
+        eager_seconds, eager_empty, eager_rules = _measure_eager_seed(
+            fd, update_class, schema
+        )
+        lazy_seconds, lazy_independent, exploration = _measure_lazy(
+            fd, update_class, schema
+        )
+        assert lazy_independent == eager_empty, name
+        # lazy explores strictly less than the eager construction builds
+        assert exploration.explored_states < eager_rules, name
+        speedup = eager_seconds / lazy_seconds
+        rows.append(
+            [
+                name,
+                f"{eager_seconds * 1000:.1f}",
+                f"{lazy_seconds * 1000:.1f}",
+                f"{speedup:.1f}x",
+                exploration.explored_states,
+                eager_rules,
+            ]
+        )
+        record = {
+            "config": name,
+            "eager_ms": eager_seconds * 1000,
+            "lazy_ms": lazy_seconds * 1000,
+            "speedup": speedup,
+            "explored_states": exploration.explored_states,
+            "explored_rules": exploration.explored_rules,
+            "worst_case_rules": exploration.worst_case_rules,
+            "eager_rules": eager_rules,
+            "independent": lazy_independent,
+        }
+        records.append(record)
+        if name == f"FD chain {FD_LENGTHS[-1]}":
+            largest = record
 
     emit_table(
-        "T3: IC wall-clock scaling (doubling inputs)",
-        ["input", "IC time (ms)", "growth vs previous"],
+        "T3: IC wall-clock scaling, eager (seed) vs lazy",
+        [
+            "input",
+            "eager (ms)",
+            "lazy (ms)",
+            "speedup",
+            "explored states",
+            "eager rules",
+        ],
         rows,
     )
+
+    assert largest is not None
+    assert largest["speedup"] >= REQUIRED_SPEEDUP, (
+        f"lazy exploration is only {largest['speedup']:.1f}x faster than "
+        f"the eager seed path on {largest['config']} "
+        f"(required: {REQUIRED_SPEEDUP}x)"
+    )
+
+    matrix = _measure_matrix()
+    emit_table(
+        "T3b: batch matrix API vs per-pair loop "
+        f"({matrix['rows']}x{matrix['columns']} cells)",
+        ["driver", "total (ms)"],
+        [
+            ["per-pair loop", f"{matrix['per_pair_ms']:.1f}"],
+            ["matrix, jobs=1", f"{matrix['jobs1_ms']:.1f}"],
+            ["matrix, jobs=2", f"{matrix['jobs2_ms']:.1f}"],
+        ],
+    )
+
+    payload = {
+        "experiment": "T3",
+        "quick": QUICK,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "largest_config": largest,
+        "configs": records,
+        "matrix": matrix,
+    }
+    target = Path(
+        os.environ.get(
+            "BENCH_T3_JSON",
+            Path(__file__).resolve().parent.parent / "BENCH_T3.json",
+        )
+    )
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"# wrote {target}")
+
     benchmark.pedantic(
         lambda: check_independence(
             _chain_fd(4), _chain_update(4), want_witness=False

@@ -9,10 +9,14 @@ Installed as ``repro-xml`` (see ``pyproject.toml``); also runnable as
 ``check-fd``
     Check a linear-syntax FD on a document, reporting violations.
 
-``independence``
-    Run the criterion IC for a linear-syntax FD against an XPath-defined
-    update class, optionally under a schema; prints the verdict and, on
-    UNKNOWN, the dangerous witness document.
+``independence`` (alias ``check-independence``)
+    Run the criterion IC for linear-syntax FDs against XPath-defined
+    update classes, optionally under a schema; prints the verdict and,
+    with ``--show-witness``, the dangerous witness document (which is
+    only constructed when that flag is passed).  Repeat ``--fd`` /
+    ``--update-xpath`` (or pass ``--matrix``) for a batch run sharing
+    automata across all pairs; ``--jobs N`` fans rows out over worker
+    processes.
 
 ``evaluate``
     Evaluate a positive CoreXPath expression on a document.
@@ -25,6 +29,11 @@ Examples::
     repro-xml independence \\
         --fd "(/orders, ((order/@id) -> order/customer/name))" \\
         --update-xpath "/orders/order/status" --schema store.schema
+    repro-xml check-independence --matrix --jobs 2 \\
+        --fd "(/orders, ((order/@id) -> order/customer/name))" \\
+        --fd "(/orders, ((order/@id) -> order/total))" \\
+        --update-xpath "/orders/order/status" \\
+        --update-xpath "/orders/order/customer/name"
     repro-xml evaluate store.xml --xpath "//line/product"
 """
 
@@ -85,10 +94,46 @@ def _cmd_check_fd(args: argparse.Namespace) -> int:
 
 
 def _cmd_independence(args: argparse.Namespace) -> int:
-    fd = translate_linear_fd(LinearFD.parse(args.fd, name="cli-fd"))
-    update_class = update_class_from_xpath(args.update_xpath)
+    fds = [
+        translate_linear_fd(LinearFD.parse(text, name=f"fd{index + 1}"))
+        for index, text in enumerate(args.fd)
+    ]
+    update_classes = [
+        update_class_from_xpath(xpath, name=f"u{index + 1}")
+        for index, xpath in enumerate(args.update_xpath)
+    ]
     schema = _load_schema(args.schema) if args.schema else None
-    result = check_independence(fd, update_class, schema=schema)
+    if args.matrix or len(fds) > 1 or len(update_classes) > 1:
+        from repro.independence.matrix import check_independence_matrix
+
+        matrix = check_independence_matrix(
+            fds,
+            update_classes,
+            schema=schema,
+            want_witness=args.show_witness,
+            strategy=args.strategy,
+            parallelism=args.jobs,
+        )
+        print(matrix.describe())
+        if args.show_witness:
+            for row in matrix.cells:
+                for cell in row:
+                    if cell.witness is None:
+                        continue
+                    print(
+                        f"dangerous document for "
+                        f"({matrix.row_names[cell.row]}, "
+                        f"{matrix.column_names[cell.column]}):"
+                    )
+                    print(serialize_document(cell.witness, indent=2))
+        return 0 if matrix.all_independent() else 2
+    result = check_independence(
+        fds[0],
+        update_classes[0],
+        schema=schema,
+        want_witness=args.show_witness,
+        strategy=args.strategy,
+    )
     print(result.describe())
     if result.witness is not None and args.show_witness:
         print("dangerous document:")
@@ -163,19 +208,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     independence = commands.add_parser(
         "independence",
-        help="run the criterion IC for an FD against an XPath update class",
+        aliases=["check-independence"],
+        help="run the criterion IC for FDs against XPath update classes",
     )
-    independence.add_argument("--fd", required=True)
+    independence.add_argument(
+        "--fd",
+        required=True,
+        action="append",
+        help="linear-syntax FD; repeat for a matrix run",
+    )
     independence.add_argument(
         "--update-xpath",
         required=True,
-        help='e.g. "/orders/order/status"',
+        action="append",
+        help='e.g. "/orders/order/status"; repeat for a matrix run',
     )
     independence.add_argument("--schema")
     independence.add_argument(
+        "--matrix",
+        action="store_true",
+        help="batch all (FD, update) pairs in one shared run",
+    )
+    independence.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --matrix runs (default: 1)",
+    )
+    independence.add_argument(
+        "--strategy",
+        choices=["lazy", "eager"],
+        default="lazy",
+        help="on-the-fly product exploration (default) or the "
+        "materialized Proposition 3 construction",
+    )
+    independence.add_argument(
         "--show-witness",
         action="store_true",
-        help="print the dangerous document on UNKNOWN verdicts",
+        help="build and print the dangerous document on UNKNOWN verdicts",
     )
     independence.set_defaults(handler=_cmd_independence)
 

@@ -6,6 +6,9 @@
   automaton, optionally intersected with a schema automaton;
 * :mod:`repro.independence.criterion` -- the polynomial criterion IC of
   Propositions 2-3: ``L = ∅  ⇒  independent``;
+* :mod:`repro.independence.matrix` -- batch IC over (FDs × update
+  classes) grids, sharing factor automata and fixpoints across cells
+  with opt-in process fan-out;
 * :mod:`repro.independence.revalidate` -- the document-at-hand baseline
   in the spirit of [14]: apply the update, re-check the FD;
 * :mod:`repro.independence.exhaustive` -- brute-force impact search over
@@ -17,9 +20,17 @@
 
 from repro.independence.language import DangerousLanguage, dangerous_language
 from repro.independence.criterion import (
+    EAGER,
+    LAZY,
     IndependenceResult,
     Verdict,
     check_independence,
+)
+from repro.independence.matrix import (
+    IndependenceMatrix,
+    MatrixCell,
+    check_independence_matrix,
+    check_view_independence_matrix,
 )
 from repro.independence.revalidate import revalidation_check
 from repro.independence.exhaustive import exhaustive_impact_search
@@ -38,9 +49,15 @@ from repro.independence.explain import ImpactDemonstration, demonstrate_impact
 __all__ = [
     "DangerousLanguage",
     "dangerous_language",
+    "EAGER",
+    "LAZY",
     "IndependenceResult",
     "Verdict",
     "check_independence",
+    "IndependenceMatrix",
+    "MatrixCell",
+    "check_independence_matrix",
+    "check_view_independence_matrix",
     "revalidation_check",
     "exhaustive_impact_search",
     "hardness_gadget",

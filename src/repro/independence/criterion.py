@@ -11,6 +11,16 @@
   complete; a witness "dangerous document" can be extracted to show the
   analyst where an interaction is possible.
 
+Two strategies decide the same emptiness:
+
+* ``strategy="lazy"`` (default) — on-the-fly product exploration
+  (:mod:`repro.tautomata.lazy`): product rules are generated only for
+  label-compatible pairs of individually fireable factor rules, and the
+  worklist fixpoint extends persistent frontiers instead of restarting;
+  the result records explored-vs-worst-case sizes;
+* ``strategy="eager"`` — materialize the full product (the Proposition
+  3 construction measured by experiment T2), then run the fixpoint.
+
 The check never looks at any source document — its cost depends only on
 ``|FD|``, ``|U|``, ``|A_S|`` and the alphabet, which is the efficiency
 claim the paper makes against the revalidation approach of [14].
@@ -22,12 +32,17 @@ import dataclasses
 import enum
 import time
 
+from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import DangerousLanguage, dangerous_language
 from repro.schema.dtd import Schema
 from repro.tautomata.emptiness import automaton_is_empty_typed, witness_document
+from repro.tautomata.lazy import ExplorationStats
 from repro.update.update_class import UpdateClass
 from repro.xmlmodel.tree import XMLDocument
+
+LAZY = "lazy"
+EAGER = "eager"
 
 
 class Verdict(enum.Enum):
@@ -39,7 +54,15 @@ class Verdict(enum.Enum):
 
 @dataclasses.dataclass
 class IndependenceResult:
-    """Verdict plus the artifacts produced along the way."""
+    """Verdict plus the artifacts produced along the way.
+
+    ``automaton_size`` reports the size of what the decision actually
+    touched: the full eager automaton under ``strategy="eager"``, the
+    explored fragment (inhabited states + instantiated rules) under
+    ``strategy="lazy"``.  ``exploration`` carries the full
+    explored-vs-worst-case accounting for the lazy path (``None`` for
+    eager runs); the worst case is the Proposition 3 bound either way.
+    """
 
     verdict: Verdict
     fd: FunctionalDependency
@@ -49,6 +72,8 @@ class IndependenceResult:
     witness: XMLDocument | None
     automaton_size: int
     elapsed_seconds: float
+    strategy: str = EAGER
+    exploration: ExplorationStats | None = None
 
     @property
     def independent(self) -> bool:
@@ -58,10 +83,18 @@ class IndependenceResult:
     def describe(self) -> str:
         """One-paragraph human-readable account of the verdict."""
         schema_part = "no schema" if self.schema is None else "with schema"
+        if self.exploration is None:
+            size_part = f"|A|={self.automaton_size}"
+        else:
+            size_part = (
+                f"explored {self.exploration.explored_states} states/"
+                f"{self.exploration.explored_rules} rules "
+                f"of <= {self.exploration.worst_case_rules} worst-case rules"
+            )
         lines = [
             f"IC({self.fd.name}, {self.update_class.name}) [{schema_part}]: "
             f"{self.verdict.value.upper()} "
-            f"(|A|={self.automaton_size}, {self.elapsed_seconds * 1000:.2f} ms)"
+            f"({size_part}, {self.elapsed_seconds * 1000:.2f} ms)"
         ]
         if self.witness is not None:
             lines.append(
@@ -75,21 +108,42 @@ def check_independence(
     update_class: UpdateClass,
     schema: Schema | None = None,
     want_witness: bool = True,
+    strategy: str = LAZY,
+    _factor_cache: dict | None = None,
 ) -> IndependenceResult:
-    """Run the criterion IC on a (FD, update-class[, schema]) triple."""
+    """Run the criterion IC on a (FD, update-class[, schema]) triple.
+
+    Emptiness is decided under the XML typing rules (leaf-labeled nodes
+    cannot carry children) rather than the classical untyped fixpoint,
+    so the verdict quantifies exactly over real documents.  Witness
+    construction runs only when the tree is actually wanted.
+    """
+    if strategy not in (LAZY, EAGER):
+        raise IndependenceError(
+            f"unknown independence strategy {strategy!r}; "
+            f"expected {LAZY!r} or {EAGER!r}"
+        )
     started = time.perf_counter()
-    language = dangerous_language(fd, update_class, schema=schema)
-    # Emptiness is decided under the XML typing rules (leaf-labeled
-    # nodes cannot carry children) rather than the classical untyped
-    # fixpoint, so the verdict quantifies exactly over real documents.
-    # Callers that only need the verdict take the witness-free fixpoint;
-    # witness construction runs only when the tree is actually wanted.
-    if want_witness:
+    language = dangerous_language(
+        fd, update_class, schema=schema, materialize=strategy == EAGER
+    )
+    exploration: ExplorationStats | None = None
+    if strategy == LAZY:
+        outcome = language.explore(
+            want_witness=want_witness, factor_cache=_factor_cache
+        )
+        empty = outcome.empty
+        witness = outcome.witness
+        exploration = outcome.stats
+        automaton_size = exploration.explored_size
+    elif want_witness:
         witness = witness_document(language.automaton)
         empty = witness is None
+        automaton_size = language.automaton.size()
     else:
         witness = None
         empty = automaton_is_empty_typed(language.automaton)
+        automaton_size = language.automaton.size()
     elapsed = time.perf_counter() - started
     return IndependenceResult(
         verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
@@ -98,6 +152,8 @@ def check_independence(
         schema=schema,
         language=language,
         witness=witness,
-        automaton_size=language.automaton.size(),
+        automaton_size=automaton_size,
         elapsed_seconds=elapsed,
+        strategy=strategy,
+        exploration=exploration,
     )

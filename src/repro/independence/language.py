@@ -22,6 +22,16 @@ Proposition 3 sketch, the automaton for ``L`` is assembled as:
    ``(ACC, ACC, 1)``;
 4. ``A = A_S × B`` when a schema is given.
 
+The products exist in two regimes sharing one rule recipe
+(:func:`flagged_rules`): the *eager* construction materializes every
+rule pair (kept for the T2 size study), while the *lazy* pipeline
+(:func:`explore_dangerous_factors`, built on
+:mod:`repro.tautomata.lazy`) generates product rules only for
+label-compatible pairs of individually fireable component rules and
+explores them with the worklist fixpoint — same verdicts, a fraction of
+the work.  :class:`DangerousLanguage` materializes its eager automata on
+first attribute access, so the lazy criterion never pays for them.
+
 As in the paper, the construction requires the update class to select a
 leaf of its template (otherwise the "the update trace survives the
 update" step of Proposition 2 fails) — violations raise
@@ -37,10 +47,11 @@ both regimes.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterator
 
 from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
-from repro.pattern.template import ROOT_POSITION
+from repro.pattern.template import ROOT_POSITION, RegularTreePattern
 from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
 from repro.tautomata.from_pattern import ACC, PatternAutomaton, trace_automaton
@@ -50,8 +61,27 @@ from repro.tautomata.horizontal import (
     ProductHorizontal,
     ProjectedHorizontal,
 )
+from repro.tautomata.emptiness import (
+    build_witness_tree,
+    document_from_witness,
+)
+from repro.tautomata.lazy import (
+    ExplorationStats,
+    FactorAnalysis,
+    RuleIndex,
+    cached_factor,
+    explore_product,
+    pair_combine,
+)
 from repro.tautomata.ops import product_automaton
 from repro.update.update_class import UpdateClass
+from repro.xmlmodel.tree import XMLDocument
+
+#: the accepting state of the flagged product ``B``
+DANGEROUS_ACCEPT: State = (ACC, ACC, 1)
+
+#: maximal flagged rules per (fd_rule, u_rule) pair (worst-case account)
+FLAGGED_RULES_PER_PAIR = 3
 
 
 def _fd_component(symbol: State) -> State:
@@ -69,84 +99,8 @@ def _flag_component(symbol: State) -> bool:
     return bool(symbol[2])
 
 
-@dataclasses.dataclass
-class DangerousLanguage:
-    """The automaton for ``L`` plus its ingredients (for size studies)."""
-
-    fd: FunctionalDependency
-    update_class: UpdateClass
-    schema: Schema | None
-    fd_automaton: PatternAutomaton
-    update_automaton: PatternAutomaton
-    flagged_product: HedgeAutomaton
-    automaton: HedgeAutomaton  # the final A (== flagged_product without schema)
-
-    def size(self) -> int:
-        """Size of the final automaton (tracked against Prop. 3)."""
-        return self.automaton.size()
-
-
-def _flagged_product(
-    fd_automaton: PatternAutomaton, update_automaton: PatternAutomaton
-) -> HedgeAutomaton:
-    """The automaton ``B`` for condition (ii) of Definition 6."""
-    selected_images = update_automaton.selected_image_states
-    bot = fd_automaton.bot_state
-    rules: list[Rule] = []
-    for fd_rule in fd_automaton.automaton.rules:
-        for u_rule in update_automaton.automaton.rules:
-            labels = fd_rule.labels.intersect(u_rule.labels)
-            if labels.is_empty():
-                continue
-            base = [
-                ProjectedHorizontal(fd_rule.horizontal, _fd_component),
-                ProjectedHorizontal(u_rule.horizontal, _u_component),
-            ]
-            # flag 0: no designated node below
-            rules.append(
-                Rule(
-                    state=(fd_rule.state, u_rule.state, 0),
-                    labels=labels,
-                    horizontal=ProductHorizontal(
-                        base + [FlagOnceHorizontal(0, _flag_component)]
-                    ),
-                )
-            )
-            # flag 1 via exactly one flagged child
-            rules.append(
-                Rule(
-                    state=(fd_rule.state, u_rule.state, 1),
-                    labels=labels,
-                    horizontal=ProductHorizontal(
-                        base + [FlagOnceHorizontal(1, _flag_component)]
-                    ),
-                )
-            )
-            # flag 1 by designation: this node is update-selected and on
-            # the FD trace or inside a selected-subtree region
-            if u_rule.state in selected_images and fd_rule.state != bot:
-                rules.append(
-                    Rule(
-                        state=(fd_rule.state, u_rule.state, 1),
-                        labels=labels,
-                        horizontal=ProductHorizontal(
-                            base + [FlagOnceHorizontal(0, _flag_component)]
-                        ),
-                    )
-                )
-    return HedgeAutomaton(
-        rules,
-        accepting=[(ACC, ACC, 1)],
-        name="B",
-    )
-
-
-def dangerous_language(
-    fd: FunctionalDependency,
-    update_class: UpdateClass,
-    schema: Schema | None = None,
-) -> DangerousLanguage:
-    """Build the automaton recognizing ``L`` (Definition 6)."""
+def validate_update_class(update_class: UpdateClass) -> None:
+    """Reject update classes outside the Section 5 analysis."""
     if not update_class.selected_nodes_are_template_leaves():
         raise IndependenceError(
             f"update class {update_class.name} selects a non-leaf template "
@@ -158,32 +112,276 @@ def dangerous_language(
             "an update class cannot select the document root"
         )
 
-    alphabet = set(fd.pattern.template.alphabet())
+
+def flagged_rules(
+    fd_rule: Rule,
+    u_rule: Rule,
+    selected_images: frozenset[State],
+    bot: State,
+) -> Iterator[Rule]:
+    """The 2-3 flagged product rules of one (fd, u) rule pair.
+
+    Shared by the eager :func:`_flagged_product` and the lazy
+    exploration, so both regimes decide the same language rule for rule.
+    """
+    labels = fd_rule.labels.intersect(u_rule.labels)
+    if labels.is_empty():
+        return
+    base = [
+        ProjectedHorizontal(fd_rule.horizontal, _fd_component),
+        ProjectedHorizontal(u_rule.horizontal, _u_component),
+    ]
+    # flag 0: no designated node below
+    yield Rule(
+        state=(fd_rule.state, u_rule.state, 0),
+        labels=labels,
+        horizontal=ProductHorizontal(
+            base + [FlagOnceHorizontal(0, _flag_component)]
+        ),
+    )
+    # flag 1 via exactly one flagged child
+    yield Rule(
+        state=(fd_rule.state, u_rule.state, 1),
+        labels=labels,
+        horizontal=ProductHorizontal(
+            base + [FlagOnceHorizontal(1, _flag_component)]
+        ),
+    )
+    # flag 1 by designation: this node is update-selected and on
+    # the FD trace or inside a selected-subtree region
+    if u_rule.state in selected_images and fd_rule.state != bot:
+        yield Rule(
+            state=(fd_rule.state, u_rule.state, 1),
+            labels=labels,
+            horizontal=ProductHorizontal(
+                base + [FlagOnceHorizontal(0, _flag_component)]
+            ),
+        )
+
+
+def _flagged_combine(
+    fd_automaton: PatternAutomaton, update_automaton: PatternAutomaton
+):
+    selected_images = update_automaton.selected_image_states
+    bot = fd_automaton.bot_state
+
+    def combine(fd_rule: Rule, u_rule: Rule) -> Iterator[Rule]:
+        return flagged_rules(fd_rule, u_rule, selected_images, bot)
+
+    return combine
+
+
+def _flagged_product(
+    fd_automaton: PatternAutomaton, update_automaton: PatternAutomaton
+) -> HedgeAutomaton:
+    """The automaton ``B`` for condition (ii) of Definition 6 (eager)."""
+    combine = _flagged_combine(fd_automaton, update_automaton)
+    rules: list[Rule] = []
+    for fd_rule in fd_automaton.automaton.rules:
+        for u_rule in update_automaton.automaton.rules:
+            rules.extend(combine(fd_rule, u_rule))
+    return HedgeAutomaton(
+        rules,
+        accepting=[DANGEROUS_ACCEPT],
+        name="B",
+    )
+
+
+def dangerous_factors(
+    pattern: RegularTreePattern,
+    update_class: UpdateClass,
+    schema: Schema | None = None,
+    pattern_name: str = "A_FD",
+) -> tuple[PatternAutomaton, PatternAutomaton, HedgeAutomaton | None]:
+    """The three product factors over one shared global alphabet.
+
+    Works for FD patterns and view patterns alike (the dangerous region
+    of the view-independence criterion is identical).
+    """
+    validate_update_class(update_class)
+    alphabet = set(pattern.template.alphabet())
     alphabet |= update_class.pattern.template.alphabet()
     if schema is not None:
         alphabet |= schema.alphabet()
-
-    fd_automaton = trace_automaton(
-        fd.pattern, alphabet, track_regions=True, name="A_FD"
+    pattern_automaton = trace_automaton(
+        pattern, alphabet, track_regions=True, name=pattern_name
     )
     update_automaton = trace_automaton(
         update_class.pattern, alphabet, track_regions=False, name="A_U"
     )
-    flagged = _flagged_product(fd_automaton, update_automaton)
+    schema_hedge = None if schema is None else schema_automaton(schema)
+    return pattern_automaton, update_automaton, schema_hedge
 
-    if schema is None:
-        final = flagged
-    else:
-        final = product_automaton(
-            schema_automaton(schema), flagged, name="A_S×B"
+
+@dataclasses.dataclass
+class DangerousLanguage:
+    """The automaton for ``L`` plus its ingredients (for size studies).
+
+    The eager products (``flagged_product`` and the final ``automaton``)
+    are materialized on first access, so lazy exploration of the same
+    language never constructs them.
+    """
+
+    fd: FunctionalDependency
+    update_class: UpdateClass
+    schema: Schema | None
+    fd_automaton: PatternAutomaton
+    update_automaton: PatternAutomaton
+    schema_automaton: HedgeAutomaton | None = None
+    _flagged: HedgeAutomaton | None = dataclasses.field(
+        default=None, repr=False
+    )
+    _final: HedgeAutomaton | None = dataclasses.field(default=None, repr=False)
+
+    @property
+    def flagged_product(self) -> HedgeAutomaton:
+        """The eager flagged product ``B`` (built on demand)."""
+        if self._flagged is None:
+            self._flagged = _flagged_product(
+                self.fd_automaton, self.update_automaton
+            )
+        return self._flagged
+
+    @property
+    def automaton(self) -> HedgeAutomaton:
+        """The eager final ``A`` (``B``, or ``A_S × B`` under a schema)."""
+        if self._final is None:
+            if self.schema_automaton is None:
+                self._final = self.flagged_product
+            else:
+                self._final = product_automaton(
+                    self.schema_automaton, self.flagged_product, name="A_S×B"
+                )
+        return self._final
+
+    def size(self) -> int:
+        """Size of the final automaton (tracked against Prop. 3)."""
+        return self.automaton.size()
+
+    def explore(
+        self,
+        want_witness: bool = False,
+        factor_cache: dict | None = None,
+    ) -> "DangerousExploration":
+        """Lazy emptiness of ``L`` (never builds the eager products)."""
+        return explore_dangerous_factors(
+            self.fd_automaton,
+            self.update_automaton,
+            self.schema_automaton,
+            want_witness=want_witness,
+            factor_cache=factor_cache,
         )
 
-    return DangerousLanguage(
+
+def dangerous_language(
+    fd: FunctionalDependency,
+    update_class: UpdateClass,
+    schema: Schema | None = None,
+    materialize: bool = True,
+) -> DangerousLanguage:
+    """Build the automaton recognizing ``L`` (Definition 6).
+
+    With ``materialize=False`` only the factors are constructed; the
+    eager products stay virtual until accessed (the lazy criterion path
+    never does).
+    """
+    fd_automaton, update_automaton, schema_hedge = dangerous_factors(
+        fd.pattern, update_class, schema, pattern_name="A_FD"
+    )
+    language = DangerousLanguage(
         fd=fd,
         update_class=update_class,
         schema=schema,
         fd_automaton=fd_automaton,
         update_automaton=update_automaton,
-        flagged_product=flagged,
-        automaton=final,
+        schema_automaton=schema_hedge,
+    )
+    if materialize:
+        language.automaton  # force the eager products now
+    return language
+
+
+@dataclasses.dataclass
+class DangerousExploration:
+    """Verdict of one lazy exploration of ``L``."""
+
+    empty: bool
+    witness: XMLDocument | None
+    stats: ExplorationStats
+
+
+def explore_dangerous_factors(
+    pattern_automaton: PatternAutomaton,
+    update_automaton: PatternAutomaton,
+    schema_hedge: HedgeAutomaton | None = None,
+    want_witness: bool = False,
+    factor_cache: dict | None = None,
+) -> DangerousExploration:
+    """On-the-fly emptiness of ``L`` from its factors.
+
+    Runs the flagged product ``B`` lazily; under a schema the fired
+    ``B`` rules become the right factor of a second lazy product with
+    ``A_S``.  ``factor_cache`` (keyed per factor automaton) lets batch
+    drivers share the per-factor fixpoints across many (FD, U) cells.
+    """
+    fd_factor = cached_factor(
+        pattern_automaton.automaton, typed=True, cache=factor_cache
+    )
+    u_factor = cached_factor(
+        update_automaton.automaton, typed=True, cache=factor_cache
+    )
+    combine = _flagged_combine(pattern_automaton, update_automaton)
+    with_schema = schema_hedge is not None
+    flagged = explore_product(
+        fd_factor,
+        u_factor,
+        combine=combine,
+        typed=True,
+        want_witness=want_witness and not with_schema,
+        track_rules=with_schema,
+        rules_per_pair=FLAGGED_RULES_PER_PAIR,
+    )
+    if not with_schema:
+        empty = DANGEROUS_ACCEPT not in flagged.engine.firings
+        witness = None
+        if want_witness and not empty:
+            witness = document_from_witness(
+                build_witness_tree(flagged.engine.firings, DANGEROUS_ACCEPT)
+            )
+        return DangerousExploration(
+            empty=empty, witness=witness, stats=flagged.stats
+        )
+
+    schema_factor = cached_factor(
+        schema_hedge, typed=True, cache=factor_cache
+    )
+    flagged_fired = flagged.fired_rules()
+    flagged_factor = FactorAnalysis(
+        inhabited=flagged.inhabited,
+        fireable=flagged_fired,
+        index=RuleIndex(flagged_fired),
+        rule_count=flagged.stats.worst_case_rules,
+    )
+    final = explore_product(
+        schema_factor,
+        flagged_factor,
+        combine=pair_combine,
+        typed=True,
+        want_witness=want_witness,
+    )
+    accepting = [
+        (schema_state, DANGEROUS_ACCEPT)
+        for schema_state in sorted(schema_hedge.accepting, key=repr)
+    ]
+    inhabited_accepting = [
+        state for state in accepting if state in final.engine.firings
+    ]
+    empty = not inhabited_accepting
+    witness = None
+    if want_witness and not empty:
+        witness = document_from_witness(
+            build_witness_tree(final.engine.firings, inhabited_accepting[0])
+        )
+    return DangerousExploration(
+        empty=empty, witness=witness, stats=flagged.stats.merge(final.stats)
     )

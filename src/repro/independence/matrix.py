@@ -1,0 +1,341 @@
+"""Batch IC: whole (FD × update-class) matrices in one shared run.
+
+A real workload rarely asks one independence question: a schema owner
+checks every FD of the document class against every update class the
+application performs.  Running :func:`check_independence` per cell
+rebuilds the same ingredients over and over — the trace automata of
+each FD and update pattern, the schema automaton, the per-factor
+fixpoints, and the compiled edge-regex DFAs underneath them all.
+
+:func:`check_independence_matrix` amortizes all of it:
+
+* one *global* alphabet (union over every pattern and the schema) so a
+  single trace automaton per FD and per update class serves every cell
+  — label-partition granularity does not affect verdicts, only rule
+  grouping;
+* one schema automaton and one :mod:`repro.tautomata.lazy` factor
+  analysis per factor, shared through a factor cache across all cells;
+* the process-wide regex compilation cache (PR 1) warms once and serves
+  every construction;
+* opt-in process fan-out (``parallelism=N``): rows are distributed over
+  a ``ProcessPoolExecutor``, each worker amortizing its rows' shared
+  work locally.
+
+:func:`check_view_independence_matrix` does the same for view-update
+independence (the [9] companion criterion) — the dangerous region is
+identical, so the machinery is shared.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+from repro.errors import IndependenceError
+from repro.fd.fd import FunctionalDependency
+from repro.independence.criterion import EAGER, LAZY, Verdict
+from repro.independence.language import (
+    _flagged_product,
+    explore_dangerous_factors,
+    validate_update_class,
+)
+from repro.pattern.template import RegularTreePattern
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.tautomata.emptiness import automaton_is_empty_typed, witness_document
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.lazy import ExplorationStats
+from repro.tautomata.ops import product_automaton
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.tree import XMLDocument
+
+
+@dataclasses.dataclass
+class MatrixCell:
+    """One (FD, update-class) verdict inside a matrix run."""
+
+    row: int
+    column: int
+    verdict: Verdict
+    elapsed_seconds: float
+    exploration: ExplorationStats | None = None
+    witness: XMLDocument | None = None
+
+    @property
+    def independent(self) -> bool:
+        return self.verdict is Verdict.INDEPENDENT
+
+
+@dataclasses.dataclass
+class IndependenceMatrix:
+    """All verdicts of an (FDs × update classes) batch run."""
+
+    row_names: list[str]
+    column_names: list[str]
+    schema: Schema | None
+    cells: list[list[MatrixCell]]
+    elapsed_seconds: float
+    strategy: str
+    parallelism: int
+
+    def cell(self, row: int, column: int) -> MatrixCell:
+        """The cell deciding row-th FD/view against column-th update."""
+        return self.cells[row][column]
+
+    def verdict(self, row: int, column: int) -> Verdict:
+        """Shorthand for ``cell(row, column).verdict``."""
+        return self.cells[row][column].verdict
+
+    def independent_count(self) -> int:
+        """How many cells were certified INDEPENDENT."""
+        return sum(
+            cell.independent for row in self.cells for cell in row
+        )
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of (row, column) pairs decided."""
+        return len(self.row_names) * len(self.column_names)
+
+    def all_independent(self) -> bool:
+        """True when every cell was certified INDEPENDENT."""
+        return self.independent_count() == self.cell_count
+
+    def describe(self) -> str:
+        """A compact verdict table (rows = FDs, columns = updates)."""
+        schema_part = "no schema" if self.schema is None else "with schema"
+        header = ["fd \\ update"] + list(self.column_names)
+        rows = [header]
+        for name, row in zip(self.row_names, self.cells):
+            rows.append(
+                [name]
+                + [
+                    "INDEPENDENT" if cell.independent else "UNKNOWN"
+                    for cell in row
+                ]
+            )
+        widths = [
+            max(len(line[i]) for line in rows) for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(value.ljust(width) for value, width in zip(line, widths))
+            for line in rows
+        ]
+        lines.append(
+            f"{self.independent_count()}/{self.cell_count} independent "
+            f"[{schema_part}, strategy={self.strategy}, "
+            f"jobs={self.parallelism}, {self.elapsed_seconds * 1000:.1f} ms]"
+        )
+        return "\n".join(lines)
+
+
+def _global_alphabet(
+    patterns: Sequence[RegularTreePattern],
+    update_classes: Sequence[UpdateClass],
+    schema: Schema | None,
+) -> frozenset[str]:
+    alphabet: set[str] = set()
+    for pattern in patterns:
+        alphabet |= pattern.template.alphabet()
+    for update_class in update_classes:
+        alphabet |= update_class.pattern.template.alphabet()
+    if schema is not None:
+        alphabet |= schema.alphabet()
+    return frozenset(alphabet)
+
+
+def _explore_rows(
+    patterns: Sequence[RegularTreePattern],
+    row_offset: int,
+    update_classes: Sequence[UpdateClass],
+    schema: Schema | None,
+    alphabet: frozenset[str],
+    strategy: str,
+    want_witness: bool,
+) -> list[list[MatrixCell]]:
+    """Decide every cell of the given rows, sharing all ingredients."""
+    update_automata = [
+        trace_automaton(
+            update_class.pattern, alphabet, track_regions=False, name="A_U"
+        )
+        for update_class in update_classes
+    ]
+    schema_hedge = None if schema is None else schema_automaton(schema)
+    factor_cache: dict = {}
+    rows: list[list[MatrixCell]] = []
+    for local_row, pattern in enumerate(patterns):
+        pattern_automaton = trace_automaton(
+            pattern, alphabet, track_regions=True, name="A_FD"
+        )
+        row: list[MatrixCell] = []
+        for column, update_automaton in enumerate(update_automata):
+            started = time.perf_counter()
+            exploration = None
+            witness = None
+            if strategy == LAZY:
+                outcome = explore_dangerous_factors(
+                    pattern_automaton,
+                    update_automaton,
+                    schema_hedge,
+                    want_witness=want_witness,
+                    factor_cache=factor_cache,
+                )
+                empty = outcome.empty
+                witness = outcome.witness
+                exploration = outcome.stats
+            else:
+                flagged = _flagged_product(pattern_automaton, update_automaton)
+                automaton = (
+                    flagged
+                    if schema_hedge is None
+                    else product_automaton(schema_hedge, flagged, name="A_S×B")
+                )
+                if want_witness:
+                    witness = witness_document(automaton)
+                    empty = witness is None
+                else:
+                    empty = automaton_is_empty_typed(automaton)
+            row.append(
+                MatrixCell(
+                    row=row_offset + local_row,
+                    column=column,
+                    verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
+                    elapsed_seconds=time.perf_counter() - started,
+                    exploration=exploration,
+                    witness=witness,
+                )
+            )
+        rows.append(row)
+    return rows
+
+
+def _rows_worker(payload: tuple) -> list[list[MatrixCell]]:
+    """Top-level entry point for :class:`ProcessPoolExecutor` workers."""
+    return _explore_rows(*payload)
+
+
+def _check_matrix(
+    patterns: Sequence[RegularTreePattern],
+    row_names: list[str],
+    update_classes: Sequence[UpdateClass],
+    schema: Schema | None,
+    want_witness: bool,
+    strategy: str,
+    parallelism: int,
+) -> IndependenceMatrix:
+    if strategy not in (LAZY, EAGER):
+        raise IndependenceError(
+            f"unknown independence strategy {strategy!r}; "
+            f"expected {LAZY!r} or {EAGER!r}"
+        )
+    if not patterns or not update_classes:
+        raise IndependenceError(
+            "an independence matrix needs at least one FD/view and one "
+            "update class"
+        )
+    for update_class in update_classes:
+        validate_update_class(update_class)
+    started = time.perf_counter()
+    alphabet = _global_alphabet(patterns, update_classes, schema)
+    column_names = [update_class.name for update_class in update_classes]
+    jobs = max(1, int(parallelism))
+    if jobs == 1 or len(patterns) == 1:
+        jobs = 1
+        cells = _explore_rows(
+            patterns, 0, update_classes, schema, alphabet, strategy,
+            want_witness,
+        )
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = min(jobs, len(patterns))
+        chunks: list[tuple[int, list[RegularTreePattern]]] = []
+        chunk_size = (len(patterns) + jobs - 1) // jobs
+        for start in range(0, len(patterns), chunk_size):
+            chunks.append((start, list(patterns[start:start + chunk_size])))
+        cells = [None] * len(patterns)  # type: ignore[list-item]
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            payloads = [
+                (
+                    chunk,
+                    offset,
+                    list(update_classes),
+                    schema,
+                    alphabet,
+                    strategy,
+                    want_witness,
+                )
+                for offset, chunk in chunks
+            ]
+            for (offset, chunk), rows in zip(
+                chunks, executor.map(_rows_worker, payloads)
+            ):
+                cells[offset:offset + len(chunk)] = rows
+    return IndependenceMatrix(
+        row_names=row_names,
+        column_names=column_names,
+        schema=schema,
+        cells=cells,
+        elapsed_seconds=time.perf_counter() - started,
+        strategy=strategy,
+        parallelism=jobs,
+    )
+
+
+def check_independence_matrix(
+    fds: Sequence[FunctionalDependency],
+    update_classes: Sequence[UpdateClass],
+    schema: Schema | None = None,
+    want_witness: bool = False,
+    strategy: str = LAZY,
+    parallelism: int = 1,
+) -> IndependenceMatrix:
+    """Run IC for every (FD, update-class) pair, amortizing the setup.
+
+    Verdicts agree cell-for-cell with per-pair
+    :func:`~repro.independence.criterion.check_independence` (the
+    randomized equivalence suite asserts it); only the sharing and the
+    optional process fan-out differ.
+    """
+    return _check_matrix(
+        [fd.pattern for fd in fds],
+        [fd.name for fd in fds],
+        update_classes,
+        schema,
+        want_witness,
+        strategy,
+        parallelism,
+    )
+
+
+def check_view_independence_matrix(
+    views: Sequence[RegularTreePattern],
+    update_classes: Sequence[UpdateClass],
+    schema: Schema | None = None,
+    want_witness: bool = False,
+    strategy: str = LAZY,
+    parallelism: int = 1,
+    view_names: Sequence[str] | None = None,
+) -> IndependenceMatrix:
+    """The batch variant of view-update independence ([9]).
+
+    The dangerous region of a view coincides with the FD case, so the
+    same shared construction applies with view patterns as rows.
+    """
+    names = (
+        list(view_names)
+        if view_names is not None
+        else [f"view{i}" for i in range(len(views))]
+    )
+    if len(names) != len(views):
+        raise IndependenceError("view_names must match views in length")
+    return _check_matrix(
+        list(views),
+        names,
+        update_classes,
+        schema,
+        want_witness,
+        strategy,
+        parallelism,
+    )

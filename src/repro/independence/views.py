@@ -13,10 +13,16 @@ the subtrees rooted at selected-node images — so the construction of
 pattern in place of the FD pattern.  This module packages that reuse:
 
 * :func:`view_dangerous_language` — the automaton for the view variant
-  of Definition 6;
+  of Definition 6 (the eager product, kept for size studies);
 * :func:`check_view_independence` — the polynomial criterion: when the
   language is empty, every update of the class leaves ``V(D)`` (as a
-  forest of subtrees) unchanged on every (schema-valid) document.
+  forest of subtrees) unchanged on every (schema-valid) document.  Like
+  the FD criterion it defaults to the on-the-fly product exploration and
+  builds a witness document only when one is requested.
+
+Batch runs over many views and update classes should go through
+:func:`repro.independence.matrix.check_view_independence_matrix`, which
+shares the factor automata and fixpoints across cells.
 """
 
 from __future__ import annotations
@@ -25,14 +31,20 @@ import dataclasses
 import time
 
 from repro.errors import IndependenceError
-from repro.independence.criterion import Verdict
-from repro.independence.language import _flagged_product
-from repro.pattern.template import ROOT_POSITION, RegularTreePattern
-from repro.schema.automaton import schema_automaton
+from repro.independence.criterion import EAGER, LAZY, Verdict
+from repro.independence.language import (
+    _flagged_product,
+    dangerous_factors,
+    explore_dangerous_factors,
+)
+from repro.pattern.template import RegularTreePattern
 from repro.schema.dtd import Schema
-from repro.tautomata.emptiness import witness_document
-from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.emptiness import (
+    automaton_is_empty_typed,
+    witness_document,
+)
 from repro.tautomata.hedge import HedgeAutomaton
+from repro.tautomata.lazy import ExplorationStats
 from repro.tautomata.ops import product_automaton
 from repro.update.update_class import UpdateClass
 from repro.xmlmodel.tree import XMLDocument
@@ -40,16 +52,24 @@ from repro.xmlmodel.tree import XMLDocument
 
 @dataclasses.dataclass
 class ViewIndependenceResult:
-    """Verdict of the view-update criterion."""
+    """Verdict of the view-update criterion.
+
+    ``automaton`` is the eager product when ``strategy="eager"`` and
+    ``None`` under the lazy exploration (which never materializes it);
+    ``automaton_size`` accordingly reports the full or the explored
+    size, with ``exploration`` carrying the worst-case accounting.
+    """
 
     verdict: Verdict
     view: RegularTreePattern
     update_class: UpdateClass
     schema: Schema | None
-    automaton: HedgeAutomaton
+    automaton: HedgeAutomaton | None
     witness: XMLDocument | None
     automaton_size: int
     elapsed_seconds: float
+    strategy: str = EAGER
+    exploration: ExplorationStats | None = None
 
     @property
     def independent(self) -> bool:
@@ -58,10 +78,18 @@ class ViewIndependenceResult:
     def describe(self) -> str:
         """One-line human-readable account of the verdict."""
         schema_part = "no schema" if self.schema is None else "with schema"
+        if self.exploration is None:
+            size_part = f"|A|={self.automaton_size}"
+        else:
+            size_part = (
+                f"explored {self.exploration.explored_states} states/"
+                f"{self.exploration.explored_rules} rules "
+                f"of <= {self.exploration.worst_case_rules} worst-case rules"
+            )
         return (
             f"view-IC(view/{self.view.arity}-ary, {self.update_class.name}) "
             f"[{schema_part}]: {self.verdict.value.upper()} "
-            f"(|A|={self.automaton_size}, "
+            f"({size_part}, "
             f"{self.elapsed_seconds * 1000:.2f} ms)"
         )
 
@@ -72,32 +100,13 @@ def view_dangerous_language(
     schema: Schema | None = None,
 ) -> HedgeAutomaton:
     """The automaton recognizing the view variant of the language ``L``."""
-    if not update_class.selected_nodes_are_template_leaves():
-        raise IndependenceError(
-            f"update class {update_class.name} selects a non-leaf template "
-            f"node; the independence analysis requires updated nodes to be "
-            f"leaves of T_U"
-        )
-    if ROOT_POSITION in update_class.selected_positions:
-        raise IndependenceError(
-            "an update class cannot select the document root"
-        )
-
-    alphabet = set(view.template.alphabet())
-    alphabet |= update_class.pattern.template.alphabet()
-    if schema is not None:
-        alphabet |= schema.alphabet()
-
-    view_automaton = trace_automaton(
-        view, alphabet, track_regions=True, name="A_V"
-    )
-    update_automaton = trace_automaton(
-        update_class.pattern, alphabet, track_regions=False, name="A_U"
+    view_automaton, update_automaton, schema_hedge = dangerous_factors(
+        view, update_class, schema, pattern_name="A_V"
     )
     flagged = _flagged_product(view_automaton, update_automaton)
-    if schema is None:
+    if schema_hedge is None:
         return flagged
-    return product_automaton(schema_automaton(schema), flagged, name="A_S×B")
+    return product_automaton(schema_hedge, flagged, name="A_S×B")
 
 
 def check_view_independence(
@@ -105,14 +114,40 @@ def check_view_independence(
     update_class: UpdateClass,
     schema: Schema | None = None,
     want_witness: bool = True,
+    strategy: str = LAZY,
 ) -> ViewIndependenceResult:
     """Certify that no update of the class can change the view's result."""
+    if strategy not in (LAZY, EAGER):
+        raise IndependenceError(
+            f"unknown independence strategy {strategy!r}; "
+            f"expected {LAZY!r} or {EAGER!r}"
+        )
     started = time.perf_counter()
-    automaton = view_dangerous_language(view, update_class, schema=schema)
-    witness = witness_document(automaton)
-    empty = witness is None
-    if not want_witness:
-        witness = None
+    exploration: ExplorationStats | None = None
+    automaton: HedgeAutomaton | None = None
+    if strategy == LAZY:
+        view_automaton, update_automaton, schema_hedge = dangerous_factors(
+            view, update_class, schema, pattern_name="A_V"
+        )
+        outcome = explore_dangerous_factors(
+            view_automaton,
+            update_automaton,
+            schema_hedge,
+            want_witness=want_witness,
+        )
+        empty = outcome.empty
+        witness = outcome.witness
+        exploration = outcome.stats
+        automaton_size = exploration.explored_size
+    else:
+        automaton = view_dangerous_language(view, update_class, schema=schema)
+        if want_witness:
+            witness = witness_document(automaton)
+            empty = witness is None
+        else:
+            witness = None
+            empty = automaton_is_empty_typed(automaton)
+        automaton_size = automaton.size()
     elapsed = time.perf_counter() - started
     return ViewIndependenceResult(
         verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
@@ -121,6 +156,8 @@ def check_view_independence(
         schema=schema,
         automaton=automaton,
         witness=witness,
-        automaton_size=automaton.size(),
+        automaton_size=automaton_size,
         elapsed_seconds=elapsed,
+        strategy=strategy,
+        exploration=exploration,
     )

@@ -9,7 +9,15 @@ constraining the word of children states.  The subpackage provides:
   bottom-up runs on documents;
 * :mod:`repro.tautomata.emptiness` -- the least-fixpoint emptiness test
   with witness-tree extraction;
-* :mod:`repro.tautomata.ops` -- product automata;
+* :mod:`repro.tautomata.worklist` -- the dependency-tracked worklist
+  fixpoint with incremental horizontal frontiers behind the emptiness
+  tests;
+* :mod:`repro.tautomata.lazy` -- on-the-fly product emptiness: explore
+  only the reachable fragment of a product space, never materializing
+  the cross product;
+* :mod:`repro.tautomata.reference` -- the seed restart-loop fixpoints,
+  kept as a differential-testing oracle;
+* :mod:`repro.tautomata.ops` -- (eager) product automata;
 * :mod:`repro.tautomata.from_pattern` -- the ``A_R`` construction: an
   automaton recognizing documents that contain a trace of a pattern
   (optionally tracking the subtree *regions* below selected images).
@@ -29,8 +37,20 @@ from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule
 from repro.tautomata.emptiness import (
     automaton_is_empty,
     automaton_is_empty_typed,
+    build_witness_tree,
+    document_from_witness,
+    inhabited_states,
     typed_inhabited_states,
     witness_document,
+)
+from repro.tautomata.worklist import InhabitationEngine
+from repro.tautomata.lazy import (
+    ExplorationStats,
+    FactorAnalysis,
+    RuleIndex,
+    analyze_factor,
+    explore_product,
+    lazy_product_is_empty,
 )
 from repro.tautomata.ops import product_automaton
 from repro.tautomata.from_pattern import PatternAutomaton, trace_automaton
@@ -49,8 +69,18 @@ __all__ = [
     "Rule",
     "automaton_is_empty",
     "automaton_is_empty_typed",
+    "build_witness_tree",
+    "document_from_witness",
+    "inhabited_states",
     "typed_inhabited_states",
     "witness_document",
+    "InhabitationEngine",
+    "ExplorationStats",
+    "FactorAnalysis",
+    "RuleIndex",
+    "analyze_factor",
+    "explore_product",
+    "lazy_product_is_empty",
     "product_automaton",
     "PatternAutomaton",
     "trace_automaton",

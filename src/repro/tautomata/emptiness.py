@@ -7,8 +7,14 @@ inhabited.  This is the polynomial test at the heart of Proposition 3 —
 the independence criterion IC is precisely the emptiness of the product
 automaton recognizing the dangerous-document language ``L``.
 
-Witness extraction keeps, per inhabited state, a smallest-known tree the
-state accepts; for a non-empty automaton this yields a concrete
+The fixpoints run on the worklist engine of
+:mod:`repro.tautomata.worklist`: persistent per-rule horizontal
+frontiers are *extended* as states become inhabited instead of being
+recomputed per round (the seed restart loop survives in
+:mod:`repro.tautomata.reference` as a differential-testing oracle).
+
+Witness extraction keeps, per inhabited state, the children word its
+first firing used; replaying those words bottom-up yields a concrete
 "dangerous document" that explains an UNKNOWN independence verdict.
 """
 
@@ -17,22 +23,48 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Sequence
 
-from repro.tautomata.hedge import HedgeAutomaton, State
+from repro.tautomata.hedge import HedgeAutomaton, Rule, State
 from repro.tautomata.horizontal import HorizontalLanguage
+from repro.tautomata.worklist import InhabitationEngine
 from repro.xmlmodel.tree import ROOT_LABEL, XMLDocument, XMLNode, label_node_type, NodeType
 
 
 def _exists_word(
     horizontal: HorizontalLanguage, symbols: Sequence[State]
 ) -> bool:
-    """Is some word over ``symbols`` in the horizontal language?"""
-    return _shortest_word(horizontal, symbols) is not None
+    """Is some word over ``symbols`` in the horizontal language?
+
+    Reachability only: unlike :func:`_shortest_word` no word tuples are
+    accumulated (the seed paid an O(n) copy per explored edge even when
+    the caller never read the word), just a set-based BFS over the
+    horizontal states.
+    """
+    start = horizontal.initial()
+    if horizontal.accepting(start):
+        return True
+    seen = {start}
+    queue: deque[State] = deque(seen)
+    while queue:
+        h_state = queue.popleft()
+        for symbol in symbols:
+            next_state = horizontal.step(h_state, symbol)
+            if next_state is None or next_state in seen:
+                continue
+            if horizontal.accepting(next_state):
+                return True
+            seen.add(next_state)
+            queue.append(next_state)
+    return False
 
 
 def _shortest_word(
     horizontal: HorizontalLanguage, symbols: Sequence[State]
 ) -> tuple[State, ...] | None:
-    """BFS for a shortest accepted word over the given symbol set."""
+    """BFS for a shortest accepted word over the given symbol set.
+
+    The witness-quality sibling of :func:`_exists_word`: it materializes
+    the word, so only witness construction should pay for it.
+    """
     start = horizontal.initial()
     if horizontal.accepting(start):
         return ()
@@ -54,43 +86,15 @@ def _shortest_word(
 
 def inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
     """All states assignable to at least one tree (least fixpoint)."""
-    inhabited: set[State] = set()
-    changed = True
-    while changed:
-        changed = False
-        for rule in automaton.rules:
-            if rule.state in inhabited:
-                continue
-            if rule.labels.is_empty():
-                continue
-            if _exists_word(rule.horizontal, sorted(inhabited, key=repr)):
-                inhabited.add(rule.state)
-                changed = True
-    return frozenset(inhabited)
+    engine = InhabitationEngine(typed=False)
+    engine.add_rules(automaton.rules)
+    engine.run()
+    return engine.inhabited
 
 
 def automaton_is_empty(automaton: HedgeAutomaton) -> bool:
     """True when the automaton accepts no document."""
     return not (inhabited_states(automaton) & automaton.accepting)
-
-
-def _typed_rule_fires(
-    rule, inhabited_sorted: Sequence[State]
-) -> bool:
-    """Can the rule assign its state to some *well-typed* XML node?
-
-    Mirrors the feasibility logic of :func:`witness_document` without
-    building trees: attribute/text labels name leaves, so a rule whose
-    label specification offers no element label can only fire on the
-    empty children word.
-    """
-    if rule.labels.is_empty():
-        return False
-    label = rule.labels.example_label(prefer_element=True)
-    if label_node_type(label) is NodeType.ELEMENT:
-        return _exists_word(rule.horizontal, inhabited_sorted)
-    # only leaf-typed labels available: the node cannot carry children
-    return rule.horizontal.accepting(rule.horizontal.initial())
 
 
 def typed_inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
@@ -102,19 +106,10 @@ def typed_inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
     caller that only needs the emptiness verdict skips all tree building
     and cloning.
     """
-    inhabited: set[State] = set()
-    changed = True
-    while changed:
-        changed = False
-        ordered = sorted(inhabited, key=repr)
-        for rule in automaton.rules:
-            if rule.state in inhabited:
-                continue
-            if _typed_rule_fires(rule, ordered):
-                inhabited.add(rule.state)
-                ordered = sorted(inhabited, key=repr)
-                changed = True
-    return frozenset(inhabited)
+    engine = InhabitationEngine(typed=True)
+    engine.add_rules(automaton.rules)
+    engine.run()
+    return engine.inhabited
 
 
 def automaton_is_empty_typed(automaton: HedgeAutomaton) -> bool:
@@ -128,49 +123,64 @@ def automaton_is_empty_typed(automaton: HedgeAutomaton) -> bool:
     return not (typed_inhabited_states(automaton) & automaton.accepting)
 
 
+def build_witness_tree(
+    firings: dict[State, tuple[Rule, tuple[State, ...]]],
+    state: State,
+) -> XMLNode:
+    """Replay recorded firing words into a witness tree for ``state``.
+
+    ``firings`` must come from a *typed* engine run with parent
+    recording: discovery order guarantees every word symbol precedes the
+    states it inhabits, and typing guarantees a non-empty word only ever
+    fires under a label specification offering an element label.
+    """
+    needed: set[State] = set()
+    stack = [state]
+    while stack:
+        current = stack.pop()
+        if current in needed:
+            continue
+        needed.add(current)
+        stack.extend(firings[current][1])
+    trees: dict[State, XMLNode] = {}
+    for current, (rule, word) in firings.items():
+        if current not in needed:
+            continue
+        label = rule.labels.example_label(prefer_element=bool(word))
+        if label_node_type(label) is NodeType.ELEMENT:
+            node = XMLNode(label)
+            for symbol in word:
+                node.append_child(trees[symbol].clone())
+        else:
+            node = XMLNode(label, value="w")
+        trees[current] = node
+    return trees[state]
+
+
+def document_from_witness(witness: XMLNode) -> XMLDocument:
+    """Wrap a witness tree into a document (adding a root if needed)."""
+    if witness.label == ROOT_LABEL:
+        return XMLDocument(witness.clone())
+    root = XMLNode(ROOT_LABEL)
+    root.append_child(witness.clone())
+    return XMLDocument(root)
+
+
 def witness_document(automaton: HedgeAutomaton) -> XMLDocument | None:
     """A document accepted by the automaton, or ``None`` when empty.
 
-    The witness is built during the fixpoint: the first time a state
-    becomes inhabited, the firing rule's label example and a shortest
-    children word over already-witnessed states determine its tree.  The
-    returned tree is small but not guaranteed globally minimal.
+    The witness is built from the fixpoint itself: the first time a
+    state becomes inhabited, the firing rule's label example and the
+    children word recorded by the worklist frontier determine its tree.
+    The returned tree is small but not guaranteed globally minimal.
     """
-    witnesses: dict[State, XMLNode] = {}
-    changed = True
-    while changed:
-        changed = False
-        for rule in automaton.rules:
-            if rule.state in witnesses:
-                continue
-            if rule.labels.is_empty():
-                continue
-            word = _shortest_word(
-                rule.horizontal, sorted(witnesses, key=repr)
-            )
-            if word is None:
-                continue
-            label = rule.labels.example_label(prefer_element=bool(word))
-            if word and label_node_type(label) is not NodeType.ELEMENT:
-                # a leaf-typed label cannot carry children; try to find an
-                # element label in the spec, otherwise skip this rule for now
-                continue
-            if label_node_type(label) is NodeType.ELEMENT:
-                node = XMLNode(label)
-                for symbol in word:
-                    node.append_child(witnesses[symbol].clone())
-            else:
-                node = XMLNode(label, value="w")
-            witnesses[rule.state] = node
-            changed = True
-
+    engine = InhabitationEngine(typed=True, record_parents=True)
+    engine.add_rules(automaton.rules)
+    engine.run()
     for state in sorted(automaton.accepting, key=repr):
-        witness = witnesses.get(state)
-        if witness is None:
+        if state not in engine.firings:
             continue
-        if witness.label == ROOT_LABEL:
-            return XMLDocument(witness.clone())
-        root = XMLNode(ROOT_LABEL)
-        root.append_child(witness.clone())
-        return XMLDocument(root)
+        return document_from_witness(
+            build_witness_tree(engine.firings, state)
+        )
     return None

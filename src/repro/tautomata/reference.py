@@ -1,0 +1,88 @@
+"""Seed (pre-worklist) emptiness fixpoints, kept as a reference oracle.
+
+These are the restart-loop implementations the repository shipped with
+before the worklist rewrite: every round rescans all rules and re-runs a
+from-scratch BFS per rule against a freshly sorted copy of the inhabited
+set.  They are asymptotically slower than
+:mod:`repro.tautomata.worklist` but tiny and obviously correct, so they
+serve two purposes:
+
+* the randomized equivalence suites assert that the worklist and the
+  lazy product exploration compute exactly the same inhabited sets and
+  emptiness verdicts as these references;
+* the T3 bench measures the lazy pipeline against this *eager seed
+  path* (eager product construction + restart fixpoint) in the same
+  run, so the reported speedups compare against the real baseline
+  rather than against an already-optimized variant.
+
+Do not use these in production paths.
+"""
+
+from __future__ import annotations
+
+from repro.tautomata.emptiness import _exists_word
+from repro.tautomata.hedge import HedgeAutomaton, State
+from repro.xmlmodel.tree import NodeType, label_node_type
+
+
+def inhabited_states_reference(automaton: HedgeAutomaton) -> frozenset[State]:
+    """Seed ``inhabited_states``: round-restart least fixpoint."""
+    inhabited: set[State] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in automaton.rules:
+            if rule.state in inhabited:
+                continue
+            if rule.labels.is_empty():
+                continue
+            if _exists_word(rule.horizontal, sorted(inhabited, key=repr)):
+                inhabited.add(rule.state)
+                changed = True
+    return frozenset(inhabited)
+
+
+def automaton_is_empty_reference(automaton: HedgeAutomaton) -> bool:
+    """Seed emptiness test (untyped), for differential comparison."""
+    return not (inhabited_states_reference(automaton) & automaton.accepting)
+
+
+def _typed_rule_fires_reference(rule, inhabited_sorted) -> bool:
+    if rule.labels.is_empty():
+        return False
+    label = rule.labels.example_label(prefer_element=True)
+    if label_node_type(label) is NodeType.ELEMENT:
+        return _exists_word(rule.horizontal, inhabited_sorted)
+    return rule.horizontal.accepting(rule.horizontal.initial())
+
+
+def typed_inhabited_states_reference(
+    automaton: HedgeAutomaton,
+) -> frozenset[State]:
+    """Seed ``typed_inhabited_states``, including its per-addition re-sort.
+
+    The ``sorted(inhabited, key=repr)`` inside the scan is the quadratic
+    churn the worklist rewrite removed; it is preserved here verbatim so
+    the regression tests and the T3 baseline measure the true seed
+    behaviour.
+    """
+    inhabited: set[State] = set()
+    changed = True
+    while changed:
+        changed = False
+        ordered = sorted(inhabited, key=repr)
+        for rule in automaton.rules:
+            if rule.state in inhabited:
+                continue
+            if _typed_rule_fires_reference(rule, ordered):
+                inhabited.add(rule.state)
+                ordered = sorted(inhabited, key=repr)
+                changed = True
+    return frozenset(inhabited)
+
+
+def automaton_is_empty_typed_reference(automaton: HedgeAutomaton) -> bool:
+    """Seed emptiness test (typed), for differential comparison."""
+    return not (
+        typed_inhabited_states_reference(automaton) & automaton.accepting
+    )

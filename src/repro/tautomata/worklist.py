@@ -1,0 +1,238 @@
+"""Worklist inhabitation fixpoint with persistent horizontal frontiers.
+
+The seed implementation of emptiness (kept verbatim in
+:mod:`repro.tautomata.reference`) recomputed everything per round: a
+``while changed`` loop over all rules, each probe re-running a BFS over
+the rule's horizontal automaton from scratch against a freshly *sorted*
+copy of the inhabited set.  That is O(rounds × rules × BFS) — quadratic
+churn that dominates IC wall-clock on chain-shaped patterns.
+
+This module replaces the restart loop with a dependency-tracked
+worklist:
+
+* every candidate rule owns a *persistent frontier* — the set of
+  horizontal states reachable from the initial state via words over the
+  currently-inhabited symbols;
+* when a new symbol becomes inhabited it is pushed on a queue; each
+  still-active rule *extends* its frontier (new symbol from the old
+  frontier, then closure of the newly reached states under all inhabited
+  symbols) instead of recomputing it;
+* a rule fires the moment its frontier touches an accepting horizontal
+  state; the fired state is enqueued and the rule retires.
+
+Each (rule, horizontal-state, symbol) edge is therefore traversed at
+most once over the whole fixpoint.  The engine optionally records
+parent pointers in the frontier so a firing word — and from it a witness
+tree — can be reconstructed without the separate shortest-word search,
+and optionally keeps probing rules whose state is already inhabited so
+callers learn *per-rule* fireability (the pruning fact the lazy product
+construction of :mod:`repro.tautomata.lazy` needs).
+
+Rules may be fed to the engine at any time; a rule added late is caught
+up against the already-inhabited symbols first, so eager callers (add
+everything, then run) and lazy callers (add candidates as factor pairs
+become plausible) share the same machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.tautomata.hedge import LabelSpec, Rule, State
+from repro.xmlmodel.tree import NodeType, label_node_type
+
+
+def spec_has_element_label(spec: LabelSpec) -> bool:
+    """Can the specification match at least one element label?
+
+    Co-finite sets always contain element labels; a finite set must name
+    one explicitly.  Under XML typing, a rule whose labels are all
+    attribute/text can only ever fire on the empty children word.
+    """
+    if spec.mode == "not_in":
+        return True
+    return any(
+        label_node_type(label) is NodeType.ELEMENT for label in spec.labels
+    )
+
+
+class _Search:
+    """Persistent frontier of one rule's horizontal automaton."""
+
+    __slots__ = ("rule", "frontier", "parents", "fired")
+
+    def __init__(self, rule: Rule, record_parents: bool) -> None:
+        self.rule = rule
+        self.frontier = {rule.horizontal.initial()}
+        # h-state -> (previous h-state, symbol); the initial state has no entry
+        self.parents: dict | None = {} if record_parents else None
+        self.fired = False
+
+
+class InhabitationEngine:
+    """Incremental least-fixpoint computation of inhabited states.
+
+    ``typed``
+        enforce XML typing: attribute/text-labeled nodes are leaves, so
+        rules without an element label only fire on the empty word;
+    ``record_parents``
+        keep frontier parent pointers so :meth:`firing_word` can
+        reconstruct the word each state first fired with (the basis of
+        witness-tree extraction in :mod:`repro.tautomata.emptiness`);
+    ``track_rules``
+        keep probing every rule until it fires itself (instead of
+        retiring all rules of a state on first firing), so
+        :attr:`fired_rules` is the exact set of individually fireable
+        rules.
+    """
+
+    def __init__(
+        self,
+        typed: bool = False,
+        record_parents: bool = False,
+        track_rules: bool = False,
+    ) -> None:
+        self.typed = typed
+        self.record_parents = record_parents
+        self.track_rules = track_rules
+        #: state -> (rule, firing word); insertion order = discovery order
+        self.firings: dict[State, tuple[Rule, tuple[State, ...]]] = {}
+        self.fired_rules: list[Rule] = []
+        self.step_attempts = 0
+        self.rule_count = 0
+        self._symbols: list[State] = []  # inhabited, in discovery order
+        self._searches: list[_Search] = []
+        self._queue: deque[State] = deque()
+
+    # ------------------------------------------------------------------
+    # feeding rules
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Register a candidate rule (catching up on known symbols)."""
+        if rule.labels.is_empty():
+            return
+        if not self.track_rules and rule.state in self.firings:
+            return
+        self.rule_count += 1
+        horizontal = rule.horizontal
+        initial = horizontal.initial()
+        if horizontal.accepting(initial):
+            # the empty children word is well-typed under any label
+            self._fire(rule, ())
+            return
+        if self.typed and not spec_has_element_label(rule.labels):
+            # leaf-only labels cannot carry children: the rule is dead
+            return
+        search = _Search(rule, self.record_parents)
+        if self._symbols:
+            self._advance(search, self._symbols)
+        if not search.fired:
+            self._searches.append(search)
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        """Register several rules (see :meth:`add_rule`)."""
+        for rule in rules:
+            self.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    # the fixpoint
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Propagate queued symbols until no rule can make progress."""
+        while self._queue:
+            symbol = self._queue.popleft()
+            self._symbols.append(symbol)
+            new_symbol = (symbol,)
+            survivors = []
+            for search in self._searches:
+                if not self.track_rules and search.rule.state in self.firings:
+                    continue
+                self._advance(search, new_symbol)
+                if not search.fired:
+                    survivors.append(search)
+            self._searches = survivors
+
+    def _advance(self, search: _Search, new_symbols: Iterable[State]) -> None:
+        """Extend the frontier with newly available symbols.
+
+        New symbols are tried from every existing frontier state; states
+        reached that way are then closed under *all* inhabited symbols.
+        The frontier stays exactly the set of horizontal states reachable
+        over inhabited-symbol words, and each (state, symbol) pair is
+        attempted once over the search's lifetime.
+        """
+        horizontal = search.rule.horizontal
+        frontier = search.frontier
+        parents = search.parents
+        fresh: deque[State] = deque()
+        steps = 0
+        for h_state in tuple(frontier):
+            for symbol in new_symbols:
+                steps += 1
+                target = horizontal.step(h_state, symbol)
+                if target is None or target in frontier:
+                    continue
+                frontier.add(target)
+                if parents is not None:
+                    parents[target] = (h_state, symbol)
+                if horizontal.accepting(target):
+                    self.step_attempts += steps
+                    self._fire_search(search, target)
+                    return
+                fresh.append(target)
+        all_symbols = self._symbols
+        while fresh:
+            h_state = fresh.popleft()
+            for symbol in all_symbols:
+                steps += 1
+                target = horizontal.step(h_state, symbol)
+                if target is None or target in frontier:
+                    continue
+                frontier.add(target)
+                if parents is not None:
+                    parents[target] = (h_state, symbol)
+                if horizontal.accepting(target):
+                    self.step_attempts += steps
+                    self._fire_search(search, target)
+                    return
+                fresh.append(target)
+        self.step_attempts += steps
+
+    def _fire_search(self, search: _Search, accepted: State) -> None:
+        search.fired = True
+        word: tuple[State, ...] = ()
+        if search.parents is not None:
+            reversed_word = []
+            current = accepted
+            while current in search.parents:
+                current, symbol = search.parents[current]
+                reversed_word.append(symbol)
+            word = tuple(reversed(reversed_word))
+        self._fire(search.rule, word)
+
+    def _fire(self, rule: Rule, word: tuple[State, ...]) -> None:
+        if self.track_rules:
+            self.fired_rules.append(rule)
+        if rule.state not in self.firings:
+            self.firings[rule.state] = (rule, word)
+            self._queue.append(rule.state)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    @property
+    def inhabited(self) -> frozenset[State]:
+        """The states proved inhabited so far."""
+        return frozenset(self.firings)
+
+    def explored_states(self) -> int:
+        """How many states were proved inhabited."""
+        return len(self.firings)
+
+    def firing_word(self, state: State) -> tuple[State, ...]:
+        """The children word the state first fired with."""
+        return self.firings[state][1]
