@@ -13,8 +13,10 @@ regimes measured in the same run:
 
 The report asserts the two regimes agree on every verdict, that the
 lazy run explores strictly fewer states than the eager automaton has
-rules on every configuration, and that the largest configuration shows
-at least a 3x wall-clock improvement.  It also times the batch matrix
+rules on every configuration, and — on the full sweep only, since quick
+smoke configs have too little headroom for noisy CI runners — that the
+largest configuration shows at least a 3x wall-clock improvement.  It
+also times the batch matrix
 API (``check_independence_matrix``) with 1 and 2 worker processes
 against the per-pair loop.
 
@@ -228,11 +230,16 @@ def bench_t3_report(benchmark):
     )
 
     assert largest is not None
-    assert largest["speedup"] >= REQUIRED_SPEEDUP, (
-        f"lazy exploration is only {largest['speedup']:.1f}x faster than "
-        f"the eager seed path on {largest['config']} "
-        f"(required: {REQUIRED_SPEEDUP}x)"
-    )
+    # the wall-clock floor only holds on the full sweep's largest config
+    # (FD chain 32); the QUICK smoke config (FD chain 8) has too little
+    # headroom for noisy shared CI runners, so QUICK keeps only the
+    # deterministic verdict-equality and explored-size assertions above
+    if not QUICK:
+        assert largest["speedup"] >= REQUIRED_SPEEDUP, (
+            f"lazy exploration is only {largest['speedup']:.1f}x faster "
+            f"than the eager seed path on {largest['config']} "
+            f"(required: {REQUIRED_SPEEDUP}x)"
+        )
 
     matrix = _measure_matrix()
     emit_table(

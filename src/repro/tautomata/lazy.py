@@ -128,10 +128,16 @@ def cached_factor(
     typed: bool = True,
     cache: dict | None = None,
 ) -> FactorAnalysis:
-    """Memoized :func:`analyze_factor` (matrix runs share factors)."""
+    """Memoized :func:`analyze_factor` (matrix runs share factors).
+
+    The cache is keyed by the automaton *object* (identity hash), not
+    its ``id()``: the entry's strong reference keeps the automaton
+    alive, so a freed-and-reused address can never alias a stale
+    analysis onto a different automaton.
+    """
     if cache is None:
         return analyze_factor(automaton, typed=typed)
-    key = (id(automaton), typed)
+    key = (automaton, typed)
     analysis = cache.get(key)
     if analysis is None:
         analysis = analyze_factor(automaton, typed=typed)
@@ -147,12 +153,15 @@ class ExplorationStats:
     bounds from above (candidate pairs × maximal rules per pair, summed
     over product levels); ``explored_rules`` is how many product rules
     the lazy run actually instantiated, and ``explored_states`` how many
-    product states it proved inhabited.
+    product states it proved inhabited.  ``fired_rules`` is the exact
+    count of individually fired rules when the engine tracked rules, and
+    ``None`` otherwise (the untracked engine only records one firing per
+    state, which is a different quantity).
     """
 
     explored_states: int
     explored_rules: int
-    fired_rules: int
+    fired_rules: int | None
     worst_case_rules: int
     step_attempts: int
 
@@ -161,7 +170,11 @@ class ExplorationStats:
         return ExplorationStats(
             explored_states=self.explored_states + other.explored_states,
             explored_rules=self.explored_rules + other.explored_rules,
-            fired_rules=self.fired_rules + other.fired_rules,
+            fired_rules=(
+                None
+                if self.fired_rules is None or other.fired_rules is None
+                else self.fired_rules + other.fired_rules
+            ),
             worst_case_rules=self.worst_case_rules + other.worst_case_rules,
             step_attempts=self.step_attempts + other.step_attempts,
         )
@@ -253,9 +266,7 @@ def explore_product(
     stats = ExplorationStats(
         explored_states=engine.explored_states(),
         explored_rules=engine.rule_count,
-        fired_rules=len(engine.fired_rules)
-        if track_rules
-        else len(engine.firings),
+        fired_rules=len(engine.fired_rules) if track_rules else None,
         worst_case_rules=left.rule_count * right.rule_count * rules_per_pair,
         step_attempts=engine.step_attempts,
     )

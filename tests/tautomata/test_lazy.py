@@ -20,6 +20,7 @@ from repro.tautomata.horizontal import AllHorizontal
 from repro.tautomata.lazy import (
     RuleIndex,
     analyze_factor,
+    cached_factor,
     lazy_product_is_empty,
 )
 from repro.tautomata.ops import product_automaton
@@ -100,6 +101,27 @@ class TestRuleIndex:
             found = [id(rule) for rule in index.compatible(probe)]
             assert len(found) == len(set(found))  # no duplicates
             assert set(found) == expected
+
+
+class TestCachedFactor:
+    def test_cache_keys_hold_the_automaton_strongly(self):
+        """Regression: the cache must key by the automaton object, not
+        ``id()`` — a dict entry keyed by a freed automaton's address can
+        alias a later automaton that reuses it and hand back a stale
+        analysis for a different FD/view."""
+        left, _ = _random_pair(0)
+        cache: dict = {}
+        analysis = cached_factor(left, typed=True, cache=cache)
+        assert cached_factor(left, typed=True, cache=cache) is analysis
+        assert all(key[0] is left for key in cache)
+
+    def test_distinct_automata_get_distinct_entries(self):
+        left, right = _random_pair(1)
+        cache: dict = {}
+        cached_factor(left, typed=True, cache=cache)
+        cached_factor(right, typed=True, cache=cache)
+        cached_factor(left, typed=False, cache=cache)
+        assert len(cache) == 3
 
 
 class TestFactorAnalysis:
