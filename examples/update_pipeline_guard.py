@@ -106,7 +106,7 @@ def classify() -> dict[str, bool]:
             verdicts.append(result.independent)
             print(
                 f"  IC({fd.name:28s}, {name:16s}) = "
-                f"{'INDEPENDENT' if result.independent else 'UNKNOWN':11s} "
+                f"{result.verdict.value.upper():18s} "
                 f"[{result.elapsed_seconds * 1000:6.1f} ms]"
             )
         fast_path[name] = all(verdicts)

@@ -86,6 +86,7 @@ from repro.fd import (
     document_satisfies,
     translate_linear_fd,
 )
+from repro.limits import Budget, BudgetExceeded, PartialStats
 from repro.update import Update, UpdateBatch, UpdateClass, apply_update
 from repro.schema import Schema, schema_automaton
 from repro.independence import (
@@ -174,6 +175,9 @@ __all__ = [
     "IndependenceResult",
     "Verdict",
     "check_independence",
+    "Budget",
+    "BudgetExceeded",
+    "PartialStats",
     "check_view_independence",
     "dangerous_language",
     "exhaustive_impact_search",

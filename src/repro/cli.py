@@ -16,7 +16,14 @@ Installed as ``repro-xml`` (see ``pyproject.toml``); also runnable as
     only constructed when that flag is passed).  Repeat ``--fd`` /
     ``--update-xpath`` (or pass ``--matrix``) for a batch run sharing
     automata across all pairs; ``--jobs N`` fans rows out over worker
-    processes.
+    processes.  ``--budget-ms`` / ``--max-explored`` bound the analysis;
+    a run cut short by its budget exits with a distinct code so scripts
+    can tell "proved dependent-capable" from "gave up":
+
+    * ``0`` — INDEPENDENT (every pair certified),
+    * ``2`` — POSSIBLY_DEPENDENT (``L ≠ ∅`` proved for some pair),
+    * ``3`` — UNKNOWN (budget exhausted somewhere; nothing proved for
+      at least one pair — fall back to revalidation).
 
 ``evaluate``
     Evaluate a positive CoreXPath expression on a document.
@@ -93,7 +100,27 @@ def _cmd_check_fd(args: argparse.Namespace) -> int:
     return 0 if report.satisfied else 1
 
 
+EXIT_INDEPENDENT = 0
+EXIT_POSSIBLY_DEPENDENT = 2
+EXIT_UNKNOWN = 3
+EXIT_INTERRUPTED = 130
+
+
+def _budget_from_args(args: argparse.Namespace):
+    if args.budget_ms is None and args.max_explored is None:
+        return None
+    from repro.limits import Budget
+
+    return Budget(
+        deadline_ms=args.budget_ms,
+        max_explored_states=args.max_explored,
+        max_explored_rules=args.max_explored,
+    )
+
+
 def _cmd_independence(args: argparse.Namespace) -> int:
+    from repro.independence.criterion import Verdict
+
     fds = [
         translate_linear_fd(LinearFD.parse(text, name=f"fd{index + 1}"))
         for index, text in enumerate(args.fd)
@@ -103,6 +130,7 @@ def _cmd_independence(args: argparse.Namespace) -> int:
         for index, xpath in enumerate(args.update_xpath)
     ]
     schema = _load_schema(args.schema) if args.schema else None
+    budget = _budget_from_args(args)
     if args.matrix or len(fds) > 1 or len(update_classes) > 1:
         from repro.independence.matrix import check_independence_matrix
 
@@ -113,6 +141,7 @@ def _cmd_independence(args: argparse.Namespace) -> int:
             want_witness=args.show_witness,
             strategy=args.strategy,
             parallelism=args.jobs,
+            budget=budget,
         )
         print(matrix.describe())
         if args.show_witness:
@@ -126,19 +155,29 @@ def _cmd_independence(args: argparse.Namespace) -> int:
                         f"{matrix.column_names[cell.column]}):"
                     )
                     print(serialize_document(cell.witness, indent=2))
-        return 0 if matrix.all_independent() else 2
+        # UNKNOWN wins: one unproved cell taints the batch answer
+        if matrix.unknown_count():
+            return EXIT_UNKNOWN
+        if matrix.all_independent():
+            return EXIT_INDEPENDENT
+        return EXIT_POSSIBLY_DEPENDENT
     result = check_independence(
         fds[0],
         update_classes[0],
         schema=schema,
         want_witness=args.show_witness,
         strategy=args.strategy,
+        budget=budget,
     )
     print(result.describe())
     if result.witness is not None and args.show_witness:
         print("dangerous document:")
         print(serialize_document(result.witness, indent=2))
-    return 0 if result.independent else 2
+    if result.verdict is Verdict.UNKNOWN:
+        return EXIT_UNKNOWN
+    if result.independent:
+        return EXIT_INDEPENDENT
+    return EXIT_POSSIBLY_DEPENDENT
 
 
 def _cmd_stream_check(args: argparse.Namespace) -> int:
@@ -246,7 +285,25 @@ def build_parser() -> argparse.ArgumentParser:
     independence.add_argument(
         "--show-witness",
         action="store_true",
-        help="build and print the dangerous document on UNKNOWN verdicts",
+        help="build and print the dangerous document on "
+        "POSSIBLY-DEPENDENT verdicts",
+    )
+    independence.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget per pair; an exhausted budget yields "
+        "verdict UNKNOWN and exit code 3",
+    )
+    independence.add_argument(
+        "--max-explored",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on explored product states and on instantiated rules "
+        "per pair (each dimension capped at N); exceeding it yields "
+        "verdict UNKNOWN and exit code 3",
     )
     independence.set_defaults(handler=_cmd_independence)
 
@@ -280,6 +337,9 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 66
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

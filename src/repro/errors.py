@@ -57,7 +57,17 @@ class FDError(ReproError):
 
 
 class UpdateError(ReproError):
-    """Error in an update class or a concrete update operation."""
+    """Error in an update class or a concrete update operation.
+
+    ``update_name`` names the offending :class:`repro.update.apply.Update`
+    when the error arose while applying one (performer crash, timeout,
+    or invalid performer output), so batch drivers can report exactly
+    which update of a transaction failed.
+    """
+
+    def __init__(self, message: str, update_name: str | None = None) -> None:
+        super().__init__(message)
+        self.update_name = update_name
 
 
 class SchemaError(ReproError):

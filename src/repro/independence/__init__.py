@@ -32,7 +32,11 @@ from repro.independence.matrix import (
     check_independence_matrix,
     check_view_independence_matrix,
 )
-from repro.independence.revalidate import revalidation_check
+from repro.independence.revalidate import (
+    RoutedOutcome,
+    apply_with_fallback,
+    revalidation_check,
+)
 from repro.independence.exhaustive import exhaustive_impact_search
 from repro.independence.hardness import (
     hardness_gadget,
@@ -58,6 +62,8 @@ __all__ = [
     "MatrixCell",
     "check_independence_matrix",
     "check_view_independence_matrix",
+    "RoutedOutcome",
+    "apply_with_fallback",
     "revalidation_check",
     "exhaustive_impact_search",
     "hardness_gadget",

@@ -7,9 +7,15 @@
   schema, if any) lets any update of the class touch the FD's traces or
   selected subtrees, so the FD cannot start failing — whatever the
   concrete update performer does (label-preservingly);
-* ``L ≠ ∅``  →  verdict UNKNOWN: the criterion is sufficient, not
-  complete; a witness "dangerous document" can be extracted to show the
-  analyst where an interaction is possible.
+* ``L ≠ ∅``  →  verdict POSSIBLY_DEPENDENT: the criterion is
+  sufficient, not complete; a witness "dangerous document" can be
+  extracted to show the analyst where an interaction is possible;
+* budget exhausted  →  verdict UNKNOWN: a bounded run that hit its
+  wall-clock deadline or an explored-state/rule cap proves *nothing*
+  about ``L`` — the result carries the reason and the partial
+  exploration statistics, and callers must degrade to the sound
+  fallback of re-validating the FD on the updated document (see the
+  DESIGN.md section "Degradation semantics").
 
 Two strategies decide the same emptiness:
 
@@ -35,6 +41,7 @@ import time
 from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import DangerousLanguage, dangerous_language
+from repro.limits import Budget, BudgetExceeded, BudgetMeter, PartialStats
 from repro.schema.dtd import Schema
 from repro.tautomata.emptiness import automaton_is_empty_typed, witness_document
 from repro.tautomata.lazy import ExplorationStats
@@ -46,9 +53,18 @@ EAGER = "eager"
 
 
 class Verdict(enum.Enum):
-    """Outcome of the criterion."""
+    """Three-valued outcome of the criterion.
+
+    ``INDEPENDENT`` certifies (Prop. 2); ``POSSIBLY_DEPENDENT`` records
+    that ``L ≠ ∅`` was *proved* (the criterion simply cannot certify —
+    it is sufficient, not complete); ``UNKNOWN`` records that the
+    analysis was cut short by its :class:`~repro.limits.Budget` and
+    proved nothing either way.  Only INDEPENDENT may skip revalidation;
+    both other verdicts must fall back to full FD re-checking.
+    """
 
     INDEPENDENT = "independent"
+    POSSIBLY_DEPENDENT = "possibly-dependent"
     UNKNOWN = "unknown"
 
 
@@ -62,6 +78,10 @@ class IndependenceResult:
     ``strategy="lazy"``.  ``exploration`` carries the full
     explored-vs-worst-case accounting for the lazy path (``None`` for
     eager runs); the worst case is the Proposition 3 bound either way.
+
+    UNKNOWN results carry ``partial`` — the explored-so-far counters at
+    the moment the budget ran out — instead of ``exploration``/witness;
+    ``unknown_reason`` names the exhausted dimension.
     """
 
     verdict: Verdict
@@ -74,16 +94,35 @@ class IndependenceResult:
     elapsed_seconds: float
     strategy: str = EAGER
     exploration: ExplorationStats | None = None
+    budget: Budget | None = None
+    partial: PartialStats | None = None
 
     @property
     def independent(self) -> bool:
         """True when independence is certified."""
         return self.verdict is Verdict.INDEPENDENT
 
+    @property
+    def decided(self) -> bool:
+        """True when the analysis ran to completion (either boolean)."""
+        return self.verdict is not Verdict.UNKNOWN
+
+    @property
+    def needs_revalidation(self) -> bool:
+        """True when soundness requires full FD re-checking downstream."""
+        return not self.independent
+
+    @property
+    def unknown_reason(self) -> str | None:
+        """Why the verdict is UNKNOWN (``None`` for decided runs)."""
+        return None if self.partial is None else self.partial.reason
+
     def describe(self) -> str:
         """One-paragraph human-readable account of the verdict."""
         schema_part = "no schema" if self.schema is None else "with schema"
-        if self.exploration is None:
+        if self.partial is not None:
+            size_part = self.partial.describe()
+        elif self.exploration is None:
             size_part = f"|A|={self.automaton_size}"
         else:
             size_part = (
@@ -96,11 +135,20 @@ class IndependenceResult:
             f"{self.verdict.value.upper()} "
             f"({size_part}, {self.elapsed_seconds * 1000:.2f} ms)"
         ]
+        if self.verdict is Verdict.UNKNOWN:
+            lines.append(
+                "  the budget ran out before emptiness was decided; "
+                "fall back to full FD revalidation"
+            )
         if self.witness is not None:
             lines.append(
                 "  a dangerous document exists; inspect result.witness"
             )
         return "\n".join(lines)
+
+
+def _start_meter(budget: Budget | None) -> BudgetMeter | None:
+    return None if budget is None or budget.unbounded else budget.start()
 
 
 def check_independence(
@@ -109,6 +157,7 @@ def check_independence(
     schema: Schema | None = None,
     want_witness: bool = True,
     strategy: str = LAZY,
+    budget: Budget | None = None,
     _factor_cache: dict | None = None,
 ) -> IndependenceResult:
     """Run the criterion IC on a (FD, update-class[, schema]) triple.
@@ -117,6 +166,12 @@ def check_independence(
     cannot carry children) rather than the classical untyped fixpoint,
     so the verdict quantifies exactly over real documents.  Witness
     construction runs only when the tree is actually wanted.
+
+    With a ``budget``, every fixpoint charges its work against one
+    shared meter; a run that exhausts the budget returns verdict
+    UNKNOWN with the partial statistics instead of raising.  With
+    ``budget=None`` (the default) no metering code runs at all and the
+    verdict is exactly the unbounded one.
     """
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
@@ -124,29 +179,46 @@ def check_independence(
             f"expected {LAZY!r} or {EAGER!r}"
         )
     started = time.perf_counter()
+    meter = _start_meter(budget)
     language = dangerous_language(
-        fd, update_class, schema=schema, materialize=strategy == EAGER
+        fd, update_class, schema=schema, materialize=False
     )
     exploration: ExplorationStats | None = None
-    if strategy == LAZY:
-        outcome = language.explore(
-            want_witness=want_witness, factor_cache=_factor_cache
-        )
-        empty = outcome.empty
-        witness = outcome.witness
-        exploration = outcome.stats
-        automaton_size = exploration.explored_size
-    elif want_witness:
-        witness = witness_document(language.automaton)
-        empty = witness is None
-        automaton_size = language.automaton.size()
-    else:
+    partial: PartialStats | None = None
+    witness: XMLDocument | None = None
+    try:
+        if strategy == LAZY:
+            outcome = language.explore(
+                want_witness=want_witness,
+                factor_cache=_factor_cache,
+                meter=meter,
+            )
+            empty = outcome.empty
+            witness = outcome.witness
+            exploration = outcome.stats
+            automaton_size = exploration.explored_size
+        else:
+            if meter is not None:
+                meter.check_deadline()
+            language.automaton  # force the eager products now
+            if meter is not None:
+                meter.check_deadline()
+            if want_witness:
+                witness = witness_document(language.automaton, meter=meter)
+                empty = witness is None
+            else:
+                empty = automaton_is_empty_typed(language.automaton, meter=meter)
+            automaton_size = language.automaton.size()
+        verdict = Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
+    except BudgetExceeded as signal:
+        verdict = Verdict.UNKNOWN
+        partial = signal.partial
         witness = None
-        empty = automaton_is_empty_typed(language.automaton)
-        automaton_size = language.automaton.size()
+        exploration = None
+        automaton_size = partial.explored_states + partial.explored_rules
     elapsed = time.perf_counter() - started
     return IndependenceResult(
-        verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
+        verdict=verdict,
         fd=fd,
         update_class=update_class,
         schema=schema,
@@ -156,4 +228,6 @@ def check_independence(
         elapsed_seconds=elapsed,
         strategy=strategy,
         exploration=exploration,
+        budget=budget,
+        partial=partial,
     )

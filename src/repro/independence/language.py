@@ -51,6 +51,7 @@ from collections.abc import Iterator
 
 from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
+from repro.limits import BudgetMeter
 from repro.pattern.template import ROOT_POSITION, RegularTreePattern
 from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
@@ -262,6 +263,7 @@ class DangerousLanguage:
         self,
         want_witness: bool = False,
         factor_cache: dict | None = None,
+        meter: "BudgetMeter | None" = None,
     ) -> "DangerousExploration":
         """Lazy emptiness of ``L`` (never builds the eager products)."""
         return explore_dangerous_factors(
@@ -270,6 +272,7 @@ class DangerousLanguage:
             self.schema_automaton,
             want_witness=want_witness,
             factor_cache=factor_cache,
+            meter=meter,
         )
 
 
@@ -316,6 +319,7 @@ def explore_dangerous_factors(
     schema_hedge: HedgeAutomaton | None = None,
     want_witness: bool = False,
     factor_cache: dict | None = None,
+    meter: BudgetMeter | None = None,
 ) -> DangerousExploration:
     """On-the-fly emptiness of ``L`` from its factors.
 
@@ -323,12 +327,17 @@ def explore_dangerous_factors(
     ``B`` rules become the right factor of a second lazy product with
     ``A_S``.  ``factor_cache`` (keyed per factor automaton) lets batch
     drivers share the per-factor fixpoints across many (FD, U) cells.
+    A ``meter`` spans the whole exploration (factor fixpoints and both
+    product levels), so the caps bound the total work of the verdict;
+    :class:`~repro.limits.BudgetExceeded` propagates to the caller.
     """
     fd_factor = cached_factor(
-        pattern_automaton.automaton, typed=True, cache=factor_cache
+        pattern_automaton.automaton, typed=True, cache=factor_cache,
+        meter=meter,
     )
     u_factor = cached_factor(
-        update_automaton.automaton, typed=True, cache=factor_cache
+        update_automaton.automaton, typed=True, cache=factor_cache,
+        meter=meter,
     )
     combine = _flagged_combine(pattern_automaton, update_automaton)
     with_schema = schema_hedge is not None
@@ -340,6 +349,7 @@ def explore_dangerous_factors(
         want_witness=want_witness and not with_schema,
         track_rules=with_schema,
         rules_per_pair=FLAGGED_RULES_PER_PAIR,
+        meter=meter,
     )
     if not with_schema:
         empty = DANGEROUS_ACCEPT not in flagged.engine.firings
@@ -353,7 +363,7 @@ def explore_dangerous_factors(
         )
 
     schema_factor = cached_factor(
-        schema_hedge, typed=True, cache=factor_cache
+        schema_hedge, typed=True, cache=factor_cache, meter=meter
     )
     flagged_fired = flagged.fired_rules()
     flagged_factor = FactorAnalysis(
@@ -368,6 +378,7 @@ def explore_dangerous_factors(
         combine=pair_combine,
         typed=True,
         want_witness=want_witness,
+        meter=meter,
     )
     accepting = [
         (schema_state, DANGEROUS_ACCEPT)

@@ -21,6 +21,16 @@ fixpoints, and the compiled edge-regex DFAs underneath them all.
   a ``ProcessPoolExecutor``, each worker amortizing its rows' shared
   work locally.
 
+The fan-out is *fault-tolerant*: each row chunk is its own future, so a
+worker that crashes (``BrokenProcessPool``) loses only its chunks —
+those are retried once in a fresh pool and, failing that, recomputed
+serially in the parent.  A ``worker_timeout_seconds`` backstop abandons
+a hung pool the same way.  The merge is deterministic and checked: a
+cell can neither go missing nor be produced twice, whatever the workers
+did.  A per-cell :class:`~repro.limits.Budget` bounds each cell's
+exploration cooperatively; an exhausted cell reports verdict UNKNOWN
+with partial statistics instead of a wrong boolean.
+
 :func:`check_view_independence_matrix` does the same for view-update
 independence (the [9] companion criterion) — the dangerous region is
 identical, so the machinery is shared.
@@ -29,6 +39,7 @@ identical, so the machinery is shared.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections.abc import Sequence
 
@@ -40,6 +51,7 @@ from repro.independence.language import (
     explore_dangerous_factors,
     validate_update_class,
 )
+from repro.limits import Budget, BudgetExceeded, PartialStats
 from repro.pattern.template import RegularTreePattern
 from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
@@ -50,10 +62,18 @@ from repro.tautomata.ops import product_automaton
 from repro.update.update_class import UpdateClass
 from repro.xmlmodel.tree import XMLDocument
 
+#: fresh pools tried after a worker death before falling back to serial
+MAX_POOL_RESTARTS = 1
+
 
 @dataclasses.dataclass
 class MatrixCell:
-    """One (FD, update-class) verdict inside a matrix run."""
+    """One (FD, update-class) verdict inside a matrix run.
+
+    ``partial`` carries the explored-so-far counters when the cell's
+    budget ran out (verdict UNKNOWN); such a cell must be treated as
+    "recheck the FD after applying", never as either boolean.
+    """
 
     row: int
     column: int
@@ -61,10 +81,16 @@ class MatrixCell:
     elapsed_seconds: float
     exploration: ExplorationStats | None = None
     witness: XMLDocument | None = None
+    partial: PartialStats | None = None
 
     @property
     def independent(self) -> bool:
         return self.verdict is Verdict.INDEPENDENT
+
+    @property
+    def decided(self) -> bool:
+        """True when the cell ran to completion (either boolean)."""
+        return self.verdict is not Verdict.UNKNOWN
 
 
 @dataclasses.dataclass
@@ -78,6 +104,8 @@ class IndependenceMatrix:
     elapsed_seconds: float
     strategy: str
     parallelism: int
+    budget: Budget | None = None
+    worker_faults: int = 0  # pool incidents survived (crashes/timeouts)
 
     def cell(self, row: int, column: int) -> MatrixCell:
         """The cell deciding row-th FD/view against column-th update."""
@@ -93,6 +121,14 @@ class IndependenceMatrix:
             cell.independent for row in self.cells for cell in row
         )
 
+    def unknown_count(self) -> int:
+        """How many cells exhausted their budget (verdict UNKNOWN)."""
+        return sum(
+            cell.verdict is Verdict.UNKNOWN
+            for row in self.cells
+            for cell in row
+        )
+
     @property
     def cell_count(self) -> int:
         """Total number of (row, column) pairs decided."""
@@ -101,6 +137,22 @@ class IndependenceMatrix:
     def all_independent(self) -> bool:
         """True when every cell was certified INDEPENDENT."""
         return self.independent_count() == self.cell_count
+
+    def certified_pairs(self) -> set[tuple[str, str]]:
+        """The ``(row_name, update_name)`` pairs certified INDEPENDENT.
+
+        Exactly the shape :meth:`repro.update.batch.UpdateBatch.apply_guarded`
+        expects for its ``certified`` argument.  POSSIBLY_DEPENDENT and
+        UNKNOWN cells are *both* excluded, so budget-exhausted analyses
+        automatically route downstream callers to full FD re-checking —
+        the sound fallback.
+        """
+        return {
+            (self.row_names[cell.row], self.column_names[cell.column])
+            for row in self.cells
+            for cell in row
+            if cell.independent
+        }
 
     def describe(self) -> str:
         """A compact verdict table (rows = FDs, columns = updates)."""
@@ -111,7 +163,7 @@ class IndependenceMatrix:
             rows.append(
                 [name]
                 + [
-                    "INDEPENDENT" if cell.independent else "UNKNOWN"
+                    cell.verdict.value.upper().replace("-", "_")
                     for cell in row
                 ]
             )
@@ -122,11 +174,19 @@ class IndependenceMatrix:
             "  ".join(value.ljust(width) for value, width in zip(line, widths))
             for line in rows
         ]
-        lines.append(
+        summary = (
             f"{self.independent_count()}/{self.cell_count} independent "
             f"[{schema_part}, strategy={self.strategy}, "
             f"jobs={self.parallelism}, {self.elapsed_seconds * 1000:.1f} ms]"
         )
+        if self.unknown_count():
+            summary += (
+                f" ({self.unknown_count()} UNKNOWN: budget exhausted, "
+                f"revalidation required)"
+            )
+        if self.worker_faults:
+            summary += f" ({self.worker_faults} worker fault(s) recovered)"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -145,6 +205,41 @@ def _global_alphabet(
     return frozenset(alphabet)
 
 
+@dataclasses.dataclass(frozen=True)
+class FaultInjection:
+    """Test-only worker fault spec shipped inside the worker payload.
+
+    The fault-injection suite uses this to make a pool worker crash,
+    raise, or hang deterministically — ``flag_path`` is a filesystem
+    sentinel ensuring the fault strikes only once, so the retry path is
+    exercised and then succeeds.  Production callers never set it.
+    """
+
+    kind: str  # "crash-once" | "raise-once" | "hang-once"
+    flag_path: str
+    target_offset: int = 0
+    hang_seconds: float = 30.0
+
+    def maybe_strike(self, row_offset: int) -> None:
+        """Fault once when handed the targeted chunk, then stay quiet."""
+        if row_offset != self.target_offset:
+            return
+        try:
+            # atomic create-or-fail: only the first attempt faults
+            handle = os.open(
+                self.flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return
+        os.close(handle)
+        if self.kind == "crash-once":
+            os._exit(86)
+        if self.kind == "raise-once":
+            raise RuntimeError("injected worker fault (raise-once)")
+        if self.kind == "hang-once":
+            time.sleep(self.hang_seconds)
+
+
 def _explore_rows(
     patterns: Sequence[RegularTreePattern],
     row_offset: int,
@@ -153,8 +248,14 @@ def _explore_rows(
     alphabet: frozenset[str],
     strategy: str,
     want_witness: bool,
+    budget: Budget | None = None,
 ) -> list[list[MatrixCell]]:
-    """Decide every cell of the given rows, sharing all ingredients."""
+    """Decide every cell of the given rows, sharing all ingredients.
+
+    Each cell gets a *fresh* meter from ``budget``, so the caps bound
+    cells individually; a budget-exhausted cell becomes UNKNOWN with
+    its partial statistics and the run continues with the next cell.
+    """
     update_automata = [
         trace_automaton(
             update_class.pattern, alphabet, track_regions=False, name="A_U"
@@ -171,39 +272,62 @@ def _explore_rows(
         row: list[MatrixCell] = []
         for column, update_automaton in enumerate(update_automata):
             started = time.perf_counter()
+            meter = (
+                None if budget is None or budget.unbounded else budget.start()
+            )
             exploration = None
             witness = None
-            if strategy == LAZY:
-                outcome = explore_dangerous_factors(
-                    pattern_automaton,
-                    update_automaton,
-                    schema_hedge,
-                    want_witness=want_witness,
-                    factor_cache=factor_cache,
-                )
-                empty = outcome.empty
-                witness = outcome.witness
-                exploration = outcome.stats
-            else:
-                flagged = _flagged_product(pattern_automaton, update_automaton)
-                automaton = (
-                    flagged
-                    if schema_hedge is None
-                    else product_automaton(schema_hedge, flagged, name="A_S×B")
-                )
-                if want_witness:
-                    witness = witness_document(automaton)
-                    empty = witness is None
+            partial = None
+            try:
+                if strategy == LAZY:
+                    outcome = explore_dangerous_factors(
+                        pattern_automaton,
+                        update_automaton,
+                        schema_hedge,
+                        want_witness=want_witness,
+                        factor_cache=factor_cache,
+                        meter=meter,
+                    )
+                    empty = outcome.empty
+                    witness = outcome.witness
+                    exploration = outcome.stats
                 else:
-                    empty = automaton_is_empty_typed(automaton)
+                    if meter is not None:
+                        meter.check_deadline()
+                    flagged = _flagged_product(
+                        pattern_automaton, update_automaton
+                    )
+                    automaton = (
+                        flagged
+                        if schema_hedge is None
+                        else product_automaton(
+                            schema_hedge, flagged, name="A_S×B"
+                        )
+                    )
+                    if meter is not None:
+                        meter.check_deadline()
+                    if want_witness:
+                        witness = witness_document(automaton, meter=meter)
+                        empty = witness is None
+                    else:
+                        empty = automaton_is_empty_typed(automaton, meter=meter)
+                verdict = (
+                    Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
+                )
+            except BudgetExceeded as signal:
+                verdict = Verdict.UNKNOWN
+                partial = signal.partial
+                witness = None
+                exploration = None
             row.append(
                 MatrixCell(
                     row=row_offset + local_row,
                     column=column,
-                    verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
+                    verdict=verdict,
                     elapsed_seconds=time.perf_counter() - started,
                     exploration=exploration,
                     witness=witness,
+                    partial=partial,
                 )
             )
         rows.append(row)
@@ -212,7 +336,123 @@ def _explore_rows(
 
 def _rows_worker(payload: tuple) -> list[list[MatrixCell]]:
     """Top-level entry point for :class:`ProcessPoolExecutor` workers."""
-    return _explore_rows(*payload)
+    args, fault = payload
+    if fault is not None:
+        fault.maybe_strike(args[1])  # args[1] is the chunk's row offset
+    return _explore_rows(*args)
+
+
+def _merge_chunks(
+    results: dict[int, list[list[MatrixCell]]], row_count: int
+) -> list[list[MatrixCell]]:
+    """Deterministically reassemble chunk results into the cell grid.
+
+    Every row index must be produced exactly once — a crashed, retried
+    or serially recomputed chunk can neither drop a row nor introduce a
+    duplicate without tripping these checks.
+    """
+    cells: list[list[MatrixCell] | None] = [None] * row_count
+    for offset, rows in results.items():
+        for local_index, row in enumerate(rows):
+            index = offset + local_index
+            if index >= row_count or cells[index] is not None:
+                raise IndependenceError(
+                    f"matrix merge produced row {index} twice (or out of "
+                    f"range 0..{row_count - 1}); refusing to commit an "
+                    f"inconsistent matrix"
+                )
+            cells[index] = row
+    missing = [index for index, row in enumerate(cells) if row is None]
+    if missing:
+        raise IndependenceError(
+            f"matrix merge lost rows {missing}; refusing to commit an "
+            f"incomplete matrix"
+        )
+    return cells  # type: ignore[return-value]
+
+
+def _run_chunks_with_recovery(
+    chunks: list[tuple[int, list[RegularTreePattern]]],
+    payload_for,
+    serial_for,
+    jobs: int,
+    worker_timeout_seconds: float | None,
+) -> tuple[dict[int, list[list[MatrixCell]]], int]:
+    """Fan chunks out over pools, recovering from dead or hung workers.
+
+    Returns the per-offset results plus the number of pool incidents
+    survived.  Recovery policy: a worker death (``BrokenProcessPool``
+    or a worker-raised exception) retries the *affected chunks only* in
+    a fresh pool up to :data:`MAX_POOL_RESTARTS` times; a pool that
+    exceeds ``worker_timeout_seconds`` is abandoned outright (hung
+    workers cannot be joined); anything still unfinished is recomputed
+    serially in the parent process, where per-cell budgets — not pool
+    machinery — bound the work.
+    """
+    from concurrent.futures import ProcessPoolExecutor, wait
+
+    results: dict[int, list[list[MatrixCell]]] = {}
+    remaining: dict[int, list[RegularTreePattern]] = dict(chunks)
+    faults = 0
+    restarts = 0
+    while remaining and restarts <= MAX_POOL_RESTARTS:
+        executor = ProcessPoolExecutor(
+            max_workers=min(jobs, len(remaining))
+        )
+        deadline = (
+            None
+            if worker_timeout_seconds is None
+            else time.monotonic() + worker_timeout_seconds
+        )
+        broken = False
+        timed_out = False
+        try:
+            futures = {
+                executor.submit(
+                    _rows_worker, payload_for(offset, patterns)
+                ): offset
+                for offset, patterns in remaining.items()
+            }
+            pending = set(futures)
+            while pending:
+                slack = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                done, pending = wait(pending, timeout=slack)
+                if not done:
+                    timed_out = True
+                    break
+                for future in done:
+                    offset = futures[future]
+                    try:
+                        rows = future.result()
+                    except Exception:
+                        # worker died mid-chunk (BrokenProcessPool) or
+                        # raised; leave the chunk in `remaining` — the
+                        # retry pool gets one more shot, then the serial
+                        # path recomputes it (and surfaces any
+                        # deterministic error with a clean traceback)
+                        broken = True
+                    else:
+                        results[offset] = rows
+                        remaining.pop(offset, None)
+                if broken:
+                    break
+        finally:
+            # a hung pool cannot be joined — abandon it without waiting
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
+        if timed_out:
+            faults += 1
+            break  # straight to the serial fallback
+        if not broken:
+            break
+        faults += 1
+        restarts += 1
+    for offset, patterns in sorted(remaining.items()):
+        results[offset] = serial_for(offset, patterns)
+    return results, faults
 
 
 def _check_matrix(
@@ -223,6 +463,9 @@ def _check_matrix(
     want_witness: bool,
     strategy: str,
     parallelism: int,
+    budget: Budget | None = None,
+    worker_timeout_seconds: float | None = None,
+    fault_injection: FaultInjection | None = None,
 ) -> IndependenceMatrix:
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
@@ -240,38 +483,45 @@ def _check_matrix(
     alphabet = _global_alphabet(patterns, update_classes, schema)
     column_names = [update_class.name for update_class in update_classes]
     jobs = max(1, int(parallelism))
+    faults = 0
     if jobs == 1 or len(patterns) == 1:
         jobs = 1
         cells = _explore_rows(
             patterns, 0, update_classes, schema, alphabet, strategy,
-            want_witness,
+            want_witness, budget,
         )
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
         jobs = min(jobs, len(patterns))
         chunks: list[tuple[int, list[RegularTreePattern]]] = []
         chunk_size = (len(patterns) + jobs - 1) // jobs
         for start in range(0, len(patterns), chunk_size):
             chunks.append((start, list(patterns[start:start + chunk_size])))
-        cells = [None] * len(patterns)  # type: ignore[list-item]
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            payloads = [
+
+        def payload_for(offset, chunk_patterns):
+            return (
                 (
-                    chunk,
+                    chunk_patterns,
                     offset,
                     list(update_classes),
                     schema,
                     alphabet,
                     strategy,
                     want_witness,
-                )
-                for offset, chunk in chunks
-            ]
-            for (offset, chunk), rows in zip(
-                chunks, executor.map(_rows_worker, payloads)
-            ):
-                cells[offset:offset + len(chunk)] = rows
+                    budget,
+                ),
+                fault_injection,
+            )
+
+        def serial_for(offset, chunk_patterns):
+            return _explore_rows(
+                chunk_patterns, offset, list(update_classes), schema,
+                alphabet, strategy, want_witness, budget,
+            )
+
+        results, faults = _run_chunks_with_recovery(
+            chunks, payload_for, serial_for, jobs, worker_timeout_seconds
+        )
+        cells = _merge_chunks(results, len(patterns))
     return IndependenceMatrix(
         row_names=row_names,
         column_names=column_names,
@@ -280,6 +530,8 @@ def _check_matrix(
         elapsed_seconds=time.perf_counter() - started,
         strategy=strategy,
         parallelism=jobs,
+        budget=budget,
+        worker_faults=faults,
     )
 
 
@@ -290,13 +542,19 @@ def check_independence_matrix(
     want_witness: bool = False,
     strategy: str = LAZY,
     parallelism: int = 1,
+    budget: Budget | None = None,
+    worker_timeout_seconds: float | None = None,
+    _fault_injection: FaultInjection | None = None,
 ) -> IndependenceMatrix:
     """Run IC for every (FD, update-class) pair, amortizing the setup.
 
     Verdicts agree cell-for-cell with per-pair
     :func:`~repro.independence.criterion.check_independence` (the
     randomized equivalence suite asserts it); only the sharing and the
-    optional process fan-out differ.
+    optional process fan-out differ.  ``budget`` bounds each cell
+    individually (UNKNOWN on exhaustion); ``worker_timeout_seconds`` is
+    the hard backstop after which a hung worker pool is abandoned and
+    the unfinished rows recomputed serially.
     """
     return _check_matrix(
         [fd.pattern for fd in fds],
@@ -306,6 +564,9 @@ def check_independence_matrix(
         want_witness,
         strategy,
         parallelism,
+        budget=budget,
+        worker_timeout_seconds=worker_timeout_seconds,
+        fault_injection=_fault_injection,
     )
 
 
@@ -317,6 +578,8 @@ def check_view_independence_matrix(
     strategy: str = LAZY,
     parallelism: int = 1,
     view_names: Sequence[str] | None = None,
+    budget: Budget | None = None,
+    worker_timeout_seconds: float | None = None,
 ) -> IndependenceMatrix:
     """The batch variant of view-update independence ([9]).
 
@@ -338,4 +601,6 @@ def check_view_independence_matrix(
         want_witness,
         strategy,
         parallelism,
+        budget=budget,
+        worker_timeout_seconds=worker_timeout_seconds,
     )

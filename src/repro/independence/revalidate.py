@@ -13,12 +13,16 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import typing
 
 from repro.fd.fd import FunctionalDependency
 from repro.fd.satisfaction import document_satisfies
 from repro.pattern.matcher import PatternMatcher
 from repro.update.apply import Update, apply_update
 from repro.xmlmodel.tree import XMLDocument
+
+if typing.TYPE_CHECKING:
+    from repro.independence.criterion import IndependenceResult
 
 
 @dataclasses.dataclass
@@ -67,4 +71,59 @@ def revalidation_check(
         satisfied_after=satisfied_after,
         updated_document=updated,
         elapsed_seconds=elapsed,
+    )
+
+
+@dataclasses.dataclass
+class RoutedOutcome:
+    """What :func:`apply_with_fallback` did and what it concluded.
+
+    ``fd_preserved`` is the sound answer for this concrete ``(document,
+    update)`` pair regardless of which route produced it: certified
+    independence (``revalidated=False``) or the apply-then-recheck
+    fallback (``revalidated=True``, full details in ``revalidation``).
+    """
+
+    fd_preserved: bool
+    revalidated: bool
+    updated_document: XMLDocument
+    revalidation: RevalidationOutcome | None = None
+
+
+def apply_with_fallback(
+    result: "IndependenceResult",
+    document: XMLDocument,
+    update: Update,
+    check_before: bool = False,
+) -> RoutedOutcome:
+    """Apply an update, rechecking the FD only when the verdict demands it.
+
+    This is the degradation router for budgeted analyses: an
+    INDEPENDENT verdict lets the update commit without looking at the
+    document again, while POSSIBLY_DEPENDENT and UNKNOWN (budget
+    exhausted — proves nothing) both take the sound fallback of
+    :func:`revalidation_check`.  ``result`` must stem from the same FD
+    and update class as ``update``, which is asserted by name.
+    """
+    from repro.errors import IndependenceError
+
+    if update.update_class.name != result.update_class.name:
+        raise IndependenceError(
+            f"independence result for class {result.update_class.name!r} "
+            f"cannot route update {update.name!r} of class "
+            f"{update.update_class.name!r}"
+        )
+    if result.independent:
+        updated = apply_update(document, update)
+        return RoutedOutcome(
+            fd_preserved=True, revalidated=False, updated_document=updated
+        )
+    outcome = revalidation_check(
+        result.fd, document, update, check_before=check_before
+    )
+    return RoutedOutcome(
+        fd_preserved=outcome.satisfied_after,
+        revalidated=True,
+        updated_document=outcome.updated_document,
+        revalidation=outcome,
     )

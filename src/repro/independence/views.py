@@ -37,6 +37,7 @@ from repro.independence.language import (
     dangerous_factors,
     explore_dangerous_factors,
 )
+from repro.limits import Budget, BudgetExceeded, PartialStats
 from repro.pattern.template import RegularTreePattern
 from repro.schema.dtd import Schema
 from repro.tautomata.emptiness import (
@@ -70,15 +71,34 @@ class ViewIndependenceResult:
     elapsed_seconds: float
     strategy: str = EAGER
     exploration: ExplorationStats | None = None
+    budget: Budget | None = None
+    partial: PartialStats | None = None
 
     @property
     def independent(self) -> bool:
         return self.verdict is Verdict.INDEPENDENT
 
+    @property
+    def decided(self) -> bool:
+        """True when the analysis ran to completion (either boolean)."""
+        return self.verdict is not Verdict.UNKNOWN
+
+    @property
+    def needs_revalidation(self) -> bool:
+        """True when soundness requires recomputing the view downstream."""
+        return not self.independent
+
+    @property
+    def unknown_reason(self) -> str | None:
+        """Why the verdict is UNKNOWN (``None`` for decided runs)."""
+        return None if self.partial is None else self.partial.reason
+
     def describe(self) -> str:
         """One-line human-readable account of the verdict."""
         schema_part = "no schema" if self.schema is None else "with schema"
-        if self.exploration is None:
+        if self.partial is not None:
+            size_part = self.partial.describe()
+        elif self.exploration is None:
             size_part = f"|A|={self.automaton_size}"
         else:
             size_part = (
@@ -115,42 +135,66 @@ def check_view_independence(
     schema: Schema | None = None,
     want_witness: bool = True,
     strategy: str = LAZY,
+    budget: Budget | None = None,
 ) -> ViewIndependenceResult:
-    """Certify that no update of the class can change the view's result."""
+    """Certify that no update of the class can change the view's result.
+
+    Like :func:`repro.independence.criterion.check_independence`, a
+    ``budget`` bounds the total exploration; exhausting it yields the
+    UNKNOWN verdict with partial statistics, never a wrong boolean.
+    """
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
             f"unknown independence strategy {strategy!r}; "
             f"expected {LAZY!r} or {EAGER!r}"
         )
     started = time.perf_counter()
+    meter = None if budget is None or budget.unbounded else budget.start()
     exploration: ExplorationStats | None = None
     automaton: HedgeAutomaton | None = None
-    if strategy == LAZY:
-        view_automaton, update_automaton, schema_hedge = dangerous_factors(
-            view, update_class, schema, pattern_name="A_V"
-        )
-        outcome = explore_dangerous_factors(
-            view_automaton,
-            update_automaton,
-            schema_hedge,
-            want_witness=want_witness,
-        )
-        empty = outcome.empty
-        witness = outcome.witness
-        exploration = outcome.stats
-        automaton_size = exploration.explored_size
-    else:
-        automaton = view_dangerous_language(view, update_class, schema=schema)
-        if want_witness:
-            witness = witness_document(automaton)
-            empty = witness is None
+    partial: PartialStats | None = None
+    witness: XMLDocument | None = None
+    try:
+        if strategy == LAZY:
+            view_automaton, update_automaton, schema_hedge = dangerous_factors(
+                view, update_class, schema, pattern_name="A_V"
+            )
+            outcome = explore_dangerous_factors(
+                view_automaton,
+                update_automaton,
+                schema_hedge,
+                want_witness=want_witness,
+                meter=meter,
+            )
+            empty = outcome.empty
+            witness = outcome.witness
+            exploration = outcome.stats
+            automaton_size = exploration.explored_size
         else:
-            witness = None
-            empty = automaton_is_empty_typed(automaton)
-        automaton_size = automaton.size()
+            if meter is not None:
+                meter.check_deadline()
+            automaton = view_dangerous_language(
+                view, update_class, schema=schema
+            )
+            if meter is not None:
+                meter.check_deadline()
+            if want_witness:
+                witness = witness_document(automaton, meter=meter)
+                empty = witness is None
+            else:
+                empty = automaton_is_empty_typed(automaton, meter=meter)
+            automaton_size = automaton.size()
+        verdict = Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
+    except BudgetExceeded as signal:
+        verdict = Verdict.UNKNOWN
+        partial = signal.partial
+        witness = None
+        exploration = None
+        automaton = None
+        automaton_size = partial.explored_states + partial.explored_rules
     elapsed = time.perf_counter() - started
     return ViewIndependenceResult(
-        verdict=Verdict.INDEPENDENT if empty else Verdict.UNKNOWN,
+        verdict=verdict,
         view=view,
         update_class=update_class,
         schema=schema,
@@ -160,4 +204,6 @@ def check_view_independence(
         elapsed_seconds=elapsed,
         strategy=strategy,
         exploration=exploration,
+        budget=budget,
+        partial=partial,
     )

@@ -1,0 +1,204 @@
+"""Resource governance: budgets, meters, and the ``BudgetExceeded`` signal.
+
+The criterion IC (Propositions 2-3) is *sufficient*: an emptiness run
+that completes certifies independence, but a run that is cut short —
+wall-clock deadline, explored-state cap, explored-rule cap — proves
+nothing.  Soundness therefore demands that a bounded run which hits its
+budget surfaces an explicit third verdict (UNKNOWN) instead of either
+boolean, and that callers degrade to the always-sound fallback of full
+FD re-validation (the document-at-hand approach of [14] that the paper
+compares against).
+
+This module is the small mechanism everything else threads through:
+
+* :class:`Budget` — an immutable, picklable *specification* of limits
+  (deadline in milliseconds, explored-state cap, explored-rule cap);
+* :class:`BudgetMeter` — one *consumption tracker* started from a
+  budget; the worklist engine charges states and rules against it and
+  ticks it for amortized deadline checks;
+* :class:`BudgetExceeded` — the signal raised at the first checkpoint
+  past a limit, carrying a :class:`PartialStats` snapshot of how far
+  exploration got (deterministic for the state/rule caps: the engine's
+  iteration order is insertion order, so the same instance under the
+  same cap stops at the same place every run);
+* :class:`PartialStats` — the explored-so-far accounting an UNKNOWN
+  verdict reports to the caller.
+
+``budget=None`` everywhere means "unbounded" and takes code paths with
+no meter calls at all, so un-budgeted verdicts are bit-for-bit what they
+were before this layer existed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.errors import ReproError
+
+#: reasons a budget can be exhausted (``PartialStats.reason`` values)
+DEADLINE = "deadline"
+STATE_CAP = "state-cap"
+RULE_CAP = "rule-cap"
+
+#: meter ticks between wall-clock reads (deadline checks are amortized)
+_TICKS_PER_CLOCK_READ = 128
+
+
+@dataclasses.dataclass(frozen=True)
+class PartialStats:
+    """How far an exploration got before its budget ran out.
+
+    The counters mirror :class:`repro.tautomata.lazy.ExplorationStats`
+    but carry no worst-case bound — a truncated run never learned it.
+    For the deterministic caps (states, rules) the snapshot is a pure
+    function of the instance and the cap; only ``reason="deadline"``
+    snapshots vary run to run.
+    """
+
+    reason: str
+    explored_states: int
+    explored_rules: int
+    step_attempts: int
+
+    def describe(self) -> str:
+        """One-line account for logs and CLI output."""
+        return (
+            f"budget exhausted ({self.reason}) after "
+            f"{self.explored_states} states/{self.explored_rules} rules/"
+            f"{self.step_attempts} step attempts"
+        )
+
+
+class BudgetExceeded(ReproError):
+    """A bounded analysis hit one of its limits.
+
+    Never escapes the public entry points: ``check_independence`` and
+    friends catch it and return an UNKNOWN verdict carrying
+    :attr:`partial`.  It is an (internal) control-flow signal, not an
+    error condition — hence a dedicated class rather than a generic
+    :class:`~repro.errors.IndependenceError`.
+    """
+
+    def __init__(self, partial: PartialStats) -> None:
+        super().__init__(partial.describe())
+        self.partial = partial
+
+    @property
+    def reason(self) -> str:
+        return self.partial.reason
+
+
+@dataclasses.dataclass(frozen=True)
+class Budget:
+    """Immutable resource limits for one analysis (or one matrix cell).
+
+    ``deadline_ms``
+        wall-clock allowance in milliseconds, measured from
+        :meth:`start`;
+    ``max_explored_states``
+        cap on states proved inhabited across the whole analysis (all
+        product levels and factor fixpoints combined);
+    ``max_explored_rules``
+        cap on rules instantiated/registered across the analysis.
+
+    Any subset may be ``None`` (that dimension is unbounded).  The
+    object is picklable, so matrix drivers ship it to pool workers and
+    each worker starts a fresh meter per cell.
+    """
+
+    deadline_ms: float | None = None
+    max_explored_states: int | None = None
+    max_explored_rules: int | None = None
+
+    def __post_init__(self) -> None:
+        for field in ("deadline_ms", "max_explored_states", "max_explored_rules"):
+            value = getattr(self, field)
+            if value is not None and value < 0:
+                raise ReproError(f"budget {field} must be >= 0, got {value!r}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no dimension is limited (meter would be a no-op)."""
+        return (
+            self.deadline_ms is None
+            and self.max_explored_states is None
+            and self.max_explored_rules is None
+        )
+
+    def start(self) -> "BudgetMeter":
+        """Begin consumption tracking (starts the deadline clock)."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Mutable consumption state of one started :class:`Budget`.
+
+    One meter spans one logical analysis: several
+    :class:`~repro.tautomata.worklist.InhabitationEngine` instances
+    (factor fixpoints, product levels) share it so the caps bound the
+    *total* work of the verdict, not each phase separately.
+    """
+
+    __slots__ = ("budget", "states", "rules", "step_attempts", "_deadline", "_ticks")
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.states = 0
+        self.rules = 0
+        self.step_attempts = 0
+        self._deadline = (
+            None
+            if budget.deadline_ms is None
+            else time.monotonic() + budget.deadline_ms / 1000.0
+        )
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+
+    def charge_state(self) -> None:
+        """Account one newly inhabited state; raise at the cap."""
+        self.states += 1
+        cap = self.budget.max_explored_states
+        if cap is not None and self.states > cap:
+            self._exceeded(STATE_CAP)
+
+    def charge_rule(self) -> None:
+        """Account one registered candidate rule; raise at the cap."""
+        self.rules += 1
+        cap = self.budget.max_explored_rules
+        if cap is not None and self.rules > cap:
+            self._exceeded(RULE_CAP)
+
+    def tick(self, steps: int = 1) -> None:
+        """Cheap checkpoint: count work, read the clock only sporadically."""
+        self.step_attempts += steps
+        if self._deadline is None:
+            return
+        self._ticks += 1
+        if self._ticks >= _TICKS_PER_CLOCK_READ:
+            self._ticks = 0
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Unconditional wall-clock check (phase boundaries call this)."""
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self._exceeded(DEADLINE)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self, reason: str) -> PartialStats:
+        """The explored-so-far accounting at this instant."""
+        return PartialStats(
+            reason=reason,
+            explored_states=self.states,
+            explored_rules=self.rules,
+            step_attempts=self.step_attempts,
+        )
+
+    def _exceeded(self, reason: str) -> None:
+        raise BudgetExceeded(self.snapshot(reason))

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Sequence
 
+from repro.limits import BudgetMeter
 from repro.tautomata.hedge import HedgeAutomaton, Rule, State
 from repro.tautomata.horizontal import HorizontalLanguage
 from repro.tautomata.worklist import InhabitationEngine
@@ -97,7 +98,9 @@ def automaton_is_empty(automaton: HedgeAutomaton) -> bool:
     return not (inhabited_states(automaton) & automaton.accepting)
 
 
-def typed_inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
+def typed_inhabited_states(
+    automaton: HedgeAutomaton, meter: BudgetMeter | None = None
+) -> frozenset[State]:
     """States assignable to at least one *well-typed* XML tree.
 
     The same least fixpoint as :func:`inhabited_states` but under the
@@ -106,13 +109,15 @@ def typed_inhabited_states(automaton: HedgeAutomaton) -> frozenset[State]:
     caller that only needs the emptiness verdict skips all tree building
     and cloning.
     """
-    engine = InhabitationEngine(typed=True)
+    engine = InhabitationEngine(typed=True, meter=meter)
     engine.add_rules(automaton.rules)
     engine.run()
     return engine.inhabited
 
 
-def automaton_is_empty_typed(automaton: HedgeAutomaton) -> bool:
+def automaton_is_empty_typed(
+    automaton: HedgeAutomaton, meter: BudgetMeter | None = None
+) -> bool:
     """True when the automaton accepts no well-typed XML document.
 
     Decides exactly the same verdict as ``witness_document(a) is None``
@@ -120,7 +125,7 @@ def automaton_is_empty_typed(automaton: HedgeAutomaton) -> bool:
     alone — the witness-free fast path behind
     ``check_independence(..., want_witness=False)``.
     """
-    return not (typed_inhabited_states(automaton) & automaton.accepting)
+    return not (typed_inhabited_states(automaton, meter=meter) & automaton.accepting)
 
 
 def build_witness_tree(
@@ -166,7 +171,9 @@ def document_from_witness(witness: XMLNode) -> XMLDocument:
     return XMLDocument(root)
 
 
-def witness_document(automaton: HedgeAutomaton) -> XMLDocument | None:
+def witness_document(
+    automaton: HedgeAutomaton, meter: BudgetMeter | None = None
+) -> XMLDocument | None:
     """A document accepted by the automaton, or ``None`` when empty.
 
     The witness is built from the fixpoint itself: the first time a
@@ -174,7 +181,7 @@ def witness_document(automaton: HedgeAutomaton) -> XMLDocument | None:
     children word recorded by the worklist frontier determine its tree.
     The returned tree is small but not guaranteed globally minimal.
     """
-    engine = InhabitationEngine(typed=True, record_parents=True)
+    engine = InhabitationEngine(typed=True, record_parents=True, meter=meter)
     engine.add_rules(automaton.rules)
     engine.run()
     for state in sorted(automaton.accepting, key=repr):

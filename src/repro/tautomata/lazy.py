@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable, Collection, Iterable, Iterator
 
+from repro.limits import BudgetMeter
 from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule, State
 from repro.tautomata.horizontal import ProductHorizontal, ProjectedHorizontal
 from repro.tautomata.worklist import InhabitationEngine
@@ -108,10 +109,12 @@ class FactorAnalysis:
 
 
 def analyze_factor(
-    automaton: HedgeAutomaton, typed: bool = True
+    automaton: HedgeAutomaton,
+    typed: bool = True,
+    meter: BudgetMeter | None = None,
 ) -> FactorAnalysis:
     """Fixpoint one factor and keep its individually fireable rules."""
-    engine = InhabitationEngine(typed=typed, track_rules=True)
+    engine = InhabitationEngine(typed=typed, track_rules=True, meter=meter)
     engine.add_rules(automaton.rules)
     engine.run()
     fireable = tuple(engine.fired_rules)
@@ -127,6 +130,7 @@ def cached_factor(
     automaton: HedgeAutomaton,
     typed: bool = True,
     cache: dict | None = None,
+    meter: BudgetMeter | None = None,
 ) -> FactorAnalysis:
     """Memoized :func:`analyze_factor` (matrix runs share factors).
 
@@ -134,13 +138,17 @@ def cached_factor(
     its ``id()``: the entry's strong reference keeps the automaton
     alive, so a freed-and-reused address can never alias a stale
     analysis onto a different automaton.
+
+    A cache hit charges nothing against ``meter`` — the work was done
+    (and billed) by whichever run populated the entry; a budgeted run
+    aborted by the meter leaves no cache entry behind.
     """
     if cache is None:
-        return analyze_factor(automaton, typed=typed)
+        return analyze_factor(automaton, typed=typed, meter=meter)
     key = (automaton, typed)
     analysis = cache.get(key)
     if analysis is None:
-        analysis = analyze_factor(automaton, typed=typed)
+        analysis = analyze_factor(automaton, typed=typed, meter=meter)
         cache[key] = analysis
     return analysis
 
@@ -248,6 +256,7 @@ def explore_product(
     want_witness: bool = False,
     track_rules: bool = False,
     rules_per_pair: int = 1,
+    meter: BudgetMeter | None = None,
 ) -> ProductExploration:
     """Run the product fixpoint over lazily generated candidate rules.
 
@@ -257,7 +266,10 @@ def explore_product(
     typing, witness words — is the shared worklist engine.
     """
     engine = InhabitationEngine(
-        typed=typed, record_parents=want_witness, track_rules=track_rules
+        typed=typed,
+        record_parents=want_witness,
+        track_rules=track_rules,
+        meter=meter,
     )
     for left_rule in left.fireable:
         for right_rule in right.index.compatible(left_rule.labels):
@@ -277,6 +289,7 @@ def lazy_product_is_empty(
     left: HedgeAutomaton,
     right: HedgeAutomaton,
     typed: bool = True,
+    meter: BudgetMeter | None = None,
 ) -> tuple[bool, ExplorationStats]:
     """Emptiness of ``left × right`` without materializing the product.
 
@@ -285,10 +298,10 @@ def lazy_product_is_empty(
     acceptance.  Returns the verdict together with the exploration
     accounting.
     """
-    left_analysis = analyze_factor(left, typed=typed)
-    right_analysis = analyze_factor(right, typed=typed)
+    left_analysis = analyze_factor(left, typed=typed, meter=meter)
+    right_analysis = analyze_factor(right, typed=typed, meter=meter)
     exploration = explore_product(
-        left_analysis, right_analysis, typed=typed
+        left_analysis, right_analysis, typed=typed, meter=meter
     )
     empty = not any(
         a in left.accepting and b in right.accepting

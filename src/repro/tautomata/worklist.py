@@ -39,6 +39,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from repro.limits import BudgetMeter
 from repro.tautomata.hedge import LabelSpec, Rule, State
 from repro.xmlmodel.tree import NodeType, label_node_type
 
@@ -84,7 +85,14 @@ class InhabitationEngine:
         keep probing every rule until it fires itself (instead of
         retiring all rules of a state on first firing), so
         :attr:`fired_rules` is the exact set of individually fireable
-        rules.
+        rules;
+    ``meter``
+        an optional started :class:`~repro.limits.BudgetMeter`: every
+        registered rule and newly inhabited state is charged against it
+        and every horizontal step ticks it, so a budgeted fixpoint stops
+        with :class:`~repro.limits.BudgetExceeded` at the first
+        checkpoint past a limit.  ``None`` (the default) adds no
+        bookkeeping to any hot path.
     """
 
     def __init__(
@@ -92,10 +100,12 @@ class InhabitationEngine:
         typed: bool = False,
         record_parents: bool = False,
         track_rules: bool = False,
+        meter: BudgetMeter | None = None,
     ) -> None:
         self.typed = typed
         self.record_parents = record_parents
         self.track_rules = track_rules
+        self.meter = meter
         #: state -> (rule, firing word); insertion order = discovery order
         self.firings: dict[State, tuple[Rule, tuple[State, ...]]] = {}
         self.fired_rules: list[Rule] = []
@@ -116,6 +126,8 @@ class InhabitationEngine:
         if not self.track_rules and rule.state in self.firings:
             return
         self.rule_count += 1
+        if self.meter is not None:
+            self.meter.charge_rule()
         horizontal = rule.horizontal
         initial = horizontal.initial()
         if horizontal.accepting(initial):
@@ -167,11 +179,14 @@ class InhabitationEngine:
         horizontal = search.rule.horizontal
         frontier = search.frontier
         parents = search.parents
+        meter = self.meter
         fresh: deque[State] = deque()
         steps = 0
         for h_state in tuple(frontier):
             for symbol in new_symbols:
                 steps += 1
+                if meter is not None:
+                    meter.tick()
                 target = horizontal.step(h_state, symbol)
                 if target is None or target in frontier:
                     continue
@@ -188,6 +203,8 @@ class InhabitationEngine:
             h_state = fresh.popleft()
             for symbol in all_symbols:
                 steps += 1
+                if meter is not None:
+                    meter.tick()
                 target = horizontal.step(h_state, symbol)
                 if target is None or target in frontier:
                     continue
@@ -217,6 +234,8 @@ class InhabitationEngine:
         if self.track_rules:
             self.fired_rules.append(rule)
         if rule.state not in self.firings:
+            if self.meter is not None:
+                self.meter.charge_state()
             self.firings[rule.state] = (rule, word)
             self._queue.append(rule.state)
 

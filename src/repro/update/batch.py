@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable, Sequence
 
+from repro.errors import UpdateError
 from repro.fd.fd import FunctionalDependency
 from repro.fd.satisfaction import check_fd
 from repro.pattern.matcher import PatternMatcher
@@ -29,7 +30,13 @@ from repro.xmlmodel.tree import XMLDocument
 
 @dataclasses.dataclass
 class BatchOutcome:
-    """Result of applying a guarded batch."""
+    """Result of applying a guarded batch.
+
+    ``failed_update_name``/``update_error`` are set when an update of
+    the batch itself failed (performer crash, timeout, or invalid
+    performer output): the batch rolls back before any constraint is
+    checked, exactly as it does for a violated FD.
+    """
 
     committed: bool
     document: XMLDocument  # updated on commit, original on rollback
@@ -37,6 +44,8 @@ class BatchOutcome:
     schema_violation: bool
     checks_run: int
     checks_skipped: int
+    failed_update_name: str | None = None
+    update_error: UpdateError | None = None
 
     def describe(self) -> str:
         """One-line commit/rollback summary with check accounting."""
@@ -46,6 +55,9 @@ class BatchOutcome:
                 f"{self.checks_skipped} skipped via IC)"
             )
         reasons = []
+        if self.update_error is not None:
+            name = self.failed_update_name or "<unnamed>"
+            reasons.append(f"update {name} failed: {self.update_error}")
         if self.schema_violation:
             reasons.append("schema violation")
         reasons.extend(f"FD {name} violated" for name in self.failed_fd_names)
@@ -63,11 +75,17 @@ class UpdateBatch:
         self.updates.append(update)
         return self
 
-    def apply(self, document: XMLDocument) -> XMLDocument:
+    def apply(
+        self,
+        document: XMLDocument,
+        performer_timeout_seconds: float | None = None,
+    ) -> XMLDocument:
         """Apply all updates in order (no guard)."""
         current = document
         for update in self.updates:
-            current = apply_update(current, update)
+            current = apply_update(
+                current, update, timeout_seconds=performer_timeout_seconds
+            )
         return current
 
     def apply_guarded(
@@ -77,6 +95,7 @@ class UpdateBatch:
         schema: Schema | None = None,
         certified: Iterable[tuple[str, str]] = (),
         assume_valid_before: bool = True,
+        performer_timeout_seconds: float | None = None,
     ) -> BatchOutcome:
         """Apply with commit/rollback semantics.
 
@@ -86,6 +105,12 @@ class UpdateBatch:
         time); an FD is skipped when *every* update in the batch is
         certified against it.  ``assume_valid_before`` skips pre-checks,
         matching stores that validate on ingestion.
+
+        A failing update (performer crash, timeout when
+        ``performer_timeout_seconds`` is set, or invalid performer
+        output) rolls the batch back: the outcome names the update and
+        carries the :class:`~repro.errors.UpdateError` instead of
+        letting it escape mid-transaction.
         """
         certified_pairs = set(certified)
 
@@ -110,7 +135,21 @@ class UpdateBatch:
                         checks_skipped=0,
                     )
 
-        candidate = self.apply(document)
+        try:
+            candidate = self.apply(
+                document, performer_timeout_seconds=performer_timeout_seconds
+            )
+        except UpdateError as error:
+            return BatchOutcome(
+                committed=False,
+                document=document,
+                failed_fd_names=[],
+                schema_violation=False,
+                checks_run=0,
+                checks_skipped=0,
+                failed_update_name=error.update_name,
+                update_error=error,
+            )
 
         checks_run = 0
         checks_skipped = 0

@@ -69,7 +69,7 @@ class TestDetectedDanger:
         )
         update = _update(edge("lib.book.title.#text", name="s"))
         result = check_independence(fd, update)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
         assert result.witness is not None
 
     def test_update_on_trace_node(self):
@@ -82,7 +82,7 @@ class TestDetectedDanger:
         )
         update = _update(edge("a.b.v", name="s"))
         result = check_independence(fd, update)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
 
     def test_witness_is_genuinely_dangerous(self):
         fd = _fd(
@@ -109,7 +109,7 @@ class TestDetectedDanger:
         )
         update = _update(edge("a.b.v", name="s"))
         result = check_independence(fd, update, want_witness=False)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
         assert result.witness is None
 
 
@@ -142,7 +142,7 @@ class TestPaperExamples:
     def test_example5_fd3_unknown(self, figures):
         """Example 5: U impacts fd3, so IC must not certify."""
         result = check_independence(figures.fd3, figures.update_class)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
 
     def test_example6_fd5_independent_with_schema(self, figures, schema):
         result = check_independence(
@@ -152,7 +152,7 @@ class TestPaperExamples:
 
     def test_fd5_unknown_without_schema(self, figures):
         result = check_independence(figures.fd5, figures.update_class)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
 
     def test_fd5_witness_violates_schema(self, figures, schema):
         """The no-schema witness must be schema-invalid, explaining why
@@ -173,7 +173,7 @@ class TestPaperExamples:
     def test_fd4_unknown(self, figures):
         """fd4 constrains exactly the candidates U updates."""
         result = check_independence(figures.fd4, figures.update_class)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
 
 
 class TestResultMetadata:

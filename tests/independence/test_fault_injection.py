@@ -1,0 +1,185 @@
+"""Fault-injection harness for the parallel independence matrix.
+
+A pool worker that dies, raises, or hangs must cost at most a retry or
+a serial recomputation of the affected row chunks — never a wrong,
+missing, or duplicated cell.  The :class:`FaultInjection` hook makes a
+worker fail deterministically *once* (a filesystem sentinel arms it),
+so every recovery path is actually driven: retry-in-fresh-pool for
+crashes and raises, abandon-and-recompute-serially for hangs.  Each
+recovered matrix is compared cell-for-cell against an undisturbed
+serial run.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import IndependenceError
+from repro.independence.matrix import (
+    FaultInjection,
+    MatrixCell,
+    _merge_chunks,
+    check_independence_matrix,
+)
+from repro.independence.criterion import Verdict
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_update_class,
+)
+
+LABELS = ("a", "b", "c")
+ROWS = 4
+COLUMNS = 2
+
+
+@pytest.fixture
+def workload():
+    rng = random.Random(1234)
+    fds = [
+        random_functional_dependency(rng, LABELS, node_count=3, max_length=2)
+        for _ in range(ROWS)
+    ]
+    update_classes = [
+        random_update_class(rng, LABELS, node_count=2, max_length=2)
+        for _ in range(COLUMNS)
+    ]
+    return fds, update_classes
+
+
+def _assert_same_verdicts(matrix, reference):
+    assert matrix.row_names == reference.row_names
+    assert matrix.column_names == reference.column_names
+    for row, reference_row in zip(matrix.cells, reference.cells):
+        for cell, reference_cell in zip(row, reference_row):
+            assert (cell.row, cell.column) == (
+                reference_cell.row,
+                reference_cell.column,
+            )
+            assert cell.verdict == reference_cell.verdict
+
+
+class TestWorkerFaultRecovery:
+    @pytest.mark.parametrize("kind", ["crash-once", "raise-once"])
+    def test_dead_worker_retried_without_losing_cells(
+        self, workload, tmp_path, kind
+    ):
+        fds, update_classes = workload
+        reference = check_independence_matrix(fds, update_classes)
+        fault = FaultInjection(
+            kind=kind, flag_path=str(tmp_path / "armed"), target_offset=0
+        )
+        matrix = check_independence_matrix(
+            fds,
+            update_classes,
+            parallelism=2,
+            _fault_injection=fault,
+        )
+        assert (tmp_path / "armed").exists()  # the fault actually fired
+        assert matrix.worker_faults >= 1
+        _assert_same_verdicts(matrix, reference)
+
+    def test_hung_worker_abandoned_and_recomputed_serially(
+        self, workload, tmp_path
+    ):
+        fds, update_classes = workload
+        reference = check_independence_matrix(fds, update_classes)
+        fault = FaultInjection(
+            kind="hang-once",
+            flag_path=str(tmp_path / "armed"),
+            target_offset=0,
+            hang_seconds=5.0,
+        )
+        matrix = check_independence_matrix(
+            fds,
+            update_classes,
+            parallelism=2,
+            worker_timeout_seconds=1.0,
+            _fault_injection=fault,
+        )
+        assert (tmp_path / "armed").exists()
+        assert matrix.worker_faults >= 1
+        _assert_same_verdicts(matrix, reference)
+
+    def test_fault_free_parallel_run_reports_no_faults(self, workload):
+        fds, update_classes = workload
+        matrix = check_independence_matrix(fds, update_classes, parallelism=2)
+        assert matrix.worker_faults == 0
+        assert "worker fault" not in matrix.describe()
+
+    def test_recovered_run_mentions_faults_in_describe(
+        self, workload, tmp_path
+    ):
+        fds, update_classes = workload
+        fault = FaultInjection(
+            kind="raise-once", flag_path=str(tmp_path / "armed")
+        )
+        matrix = check_independence_matrix(
+            fds, update_classes, parallelism=2, _fault_injection=fault
+        )
+        assert "worker fault" in matrix.describe()
+
+
+class TestMergeIntegrity:
+    def _cell(self, row, column=0):
+        return MatrixCell(
+            row=row,
+            column=column,
+            verdict=Verdict.INDEPENDENT,
+            elapsed_seconds=0.0,
+        )
+
+    def test_clean_merge_round_trips(self):
+        results = {
+            0: [[self._cell(0)], [self._cell(1)]],
+            2: [[self._cell(2)]],
+        }
+        cells = _merge_chunks(results, 3)
+        assert [row[0].row for row in cells] == [0, 1, 2]
+
+    def test_duplicate_row_refused(self):
+        results = {
+            0: [[self._cell(0)], [self._cell(1)]],
+            1: [[self._cell(1)]],
+        }
+        with pytest.raises(IndependenceError, match="twice"):
+            _merge_chunks(results, 2)
+
+    def test_missing_row_refused(self):
+        results = {0: [[self._cell(0)]]}
+        with pytest.raises(IndependenceError, match="lost rows"):
+            _merge_chunks(results, 2)
+
+    def test_out_of_range_row_refused(self):
+        results = {0: [[self._cell(0)]], 5: [[self._cell(5)]]}
+        with pytest.raises(IndependenceError, match="twice|range"):
+            _merge_chunks(results, 1)
+
+
+class TestFaultInjectionSpec:
+    def test_strikes_only_target_offset(self, tmp_path):
+        fault = FaultInjection(
+            kind="raise-once",
+            flag_path=str(tmp_path / "armed"),
+            target_offset=2,
+        )
+        fault.maybe_strike(0)  # not the target: no sentinel, no fault
+        assert not (tmp_path / "armed").exists()
+        with pytest.raises(RuntimeError):
+            fault.maybe_strike(2)
+        assert (tmp_path / "armed").exists()
+
+    def test_strikes_at_most_once(self, tmp_path):
+        fault = FaultInjection(
+            kind="raise-once", flag_path=str(tmp_path / "armed")
+        )
+        with pytest.raises(RuntimeError):
+            fault.maybe_strike(0)
+        fault.maybe_strike(0)  # sentinel present: second strike is a no-op
+
+    def test_spec_is_picklable(self, tmp_path):
+        import pickle
+
+        fault = FaultInjection(
+            kind="crash-once", flag_path=str(tmp_path / "armed")
+        )
+        assert pickle.loads(pickle.dumps(fault)) == fault

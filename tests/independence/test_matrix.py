@@ -167,9 +167,9 @@ class TestCLIMatrix:
             ]
         )
         out = capsys.readouterr().out
-        assert code == 2  # at least one UNKNOWN cell
+        assert code == 2  # at least one POSSIBLY_DEPENDENT cell
         assert "fd1" in out and "fd2" in out
-        assert "INDEPENDENT" in out and "UNKNOWN" in out
+        assert "INDEPENDENT" in out and "POSSIBLY_DEPENDENT" in out
 
     def test_repeated_args_imply_matrix(self, capsys):
         code = main(

@@ -27,7 +27,7 @@ class TestVerdicts:
     def test_view_overlapping_updates_flagged(self, figures):
         """R3 selects level nodes — exactly what U rewrites."""
         result = check_view_independence(figures.r3, figures.update_class)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
         assert result.witness is not None
 
     def test_update_below_view_result_flagged(self):
@@ -36,7 +36,7 @@ class TestVerdicts:
         )
         updates = _update(edge("lib.book.price", name="s"))
         result = check_view_independence(view, updates)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
 
     def test_update_besides_view_certified(self):
         view = build_pattern(
@@ -104,7 +104,7 @@ class TestRestrictions:
         with_schema = check_view_independence(
             view, figures.update_class, schema=schema
         )
-        assert without.verdict is Verdict.UNKNOWN
+        assert without.verdict is Verdict.POSSIBLY_DEPENDENT
         assert with_schema.verdict is Verdict.INDEPENDENT
 
     def test_describe(self, figures):

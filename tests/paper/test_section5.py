@@ -52,7 +52,7 @@ class TestExample5Impact:
     def test_ic_does_not_certify_fd3(self, figures):
         assert (
             check_independence(figures.fd3, figures.update_class).verdict
-            is Verdict.UNKNOWN
+            is Verdict.POSSIBLY_DEPENDENT
         )
 
 
@@ -84,7 +84,7 @@ class TestExample6SchemaIndependence:
 
     def test_unknown_without_schema(self, figures):
         result = check_independence(figures.fd5, figures.update_class)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
 
     def test_dangerous_witness_is_schema_invalid(self, figures, schema):
         result = check_independence(figures.fd5, figures.update_class)

@@ -175,7 +175,7 @@ class TestCriterionDispatch:
     def test_witness_present_only_when_wanted(self):
         fd, _, dangerous = self._fd_and_updates()
         result = check_independence(fd, dangerous, want_witness=True)
-        assert result.verdict is Verdict.UNKNOWN
+        assert result.verdict is Verdict.POSSIBLY_DEPENDENT
         assert result.witness is not None
 
     def test_paper_figures_verdict_stable(self):

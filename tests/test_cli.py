@@ -134,9 +134,97 @@ class TestIndependence:
         )
         assert code == 2
         output = capsys.readouterr().out
-        assert "UNKNOWN" in output
+        assert "POSSIBLY-DEPENDENT" in output
         assert "dangerous document:" in output
         assert "<orders" in output
+
+
+class TestBudgetedIndependence:
+    def test_exhausted_budget_exits_3(self, capsys):
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--max-explored",
+                "2",
+            ]
+        )
+        assert code == 3
+        output = capsys.readouterr().out
+        assert "UNKNOWN" in output
+        assert "budget exhausted" in output
+        assert "revalidation" in output
+
+    def test_generous_budget_exits_0(self, capsys):
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--budget-ms",
+                "60000",
+                "--max-explored",
+                "1000000",
+            ]
+        )
+        assert code == 0
+        assert "INDEPENDENT" in capsys.readouterr().out
+
+    def test_matrix_unknown_wins_over_possibly_dependent(self, capsys):
+        # one cell would be POSSIBLY_DEPENDENT unbudgeted; with a tiny
+        # cap every cell is UNKNOWN and the batch exit code says so
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--update-xpath",
+                "/orders/order/customer/name",
+                "--max-explored",
+                "2",
+            ]
+        )
+        assert code == 3
+        output = capsys.readouterr().out
+        assert "UNKNOWN" in output
+        assert "revalidation required" in output
+
+    def test_matrix_without_budget_keeps_boolean_codes(self, capsys):
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--update-xpath",
+                "/orders/order/customer/name",
+            ]
+        )
+        assert code == 2
+        assert "POSSIBLY_DEPENDENT" in capsys.readouterr().out
+
+    def test_negative_budget_rejected_cleanly(self, capsys):
+        code = main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--budget-ms",
+                "-5",
+            ]
+        )
+        assert code == 64
+        assert "must be >= 0" in capsys.readouterr().err
 
 
 class TestStreamCheck:

@@ -1,0 +1,266 @@
+"""Hardening of the update pipeline: crashes, hangs, and bad performers.
+
+Performers are arbitrary user code, so :func:`apply_update` must (a)
+convert their failures into :class:`UpdateError` naming the update, (b)
+refuse structurally invalid or aliasing replacement subtrees before they
+corrupt the working document, and (c) leave the input document untouched
+in every failure mode.  :meth:`UpdateBatch.apply_guarded` turns those
+errors into rollbacks instead of escaping exceptions.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.pattern.builder import build_pattern, edge
+from repro.update.apply import Update, apply_update
+from repro.update.batch import UpdateBatch
+from repro.update.operations import (
+    delete_node,
+    keep_unchanged,
+    replace_with,
+    set_text,
+    transform,
+    wrap_in,
+)
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.builder import elem
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document
+from repro.xmlmodel.tree import XMLNode
+
+
+def _class(path_spec, selected=("s",)):
+    return UpdateClass(build_pattern(path_spec, selected=selected))
+
+
+B_SELECTOR = edge("a")(edge("b", name="s"))
+
+
+@pytest.fixture
+def document():
+    return parse_document("<a><b>old</b><c/><b>other</b></a>")
+
+
+class TestPerformerCrashes:
+    def test_raising_performer_becomes_update_error(self, document):
+        def explode(old):
+            raise ValueError("boom")
+
+        update = Update(_class(B_SELECTOR), transform(explode), name="bad-one")
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert excinfo.value.update_name == "bad-one"
+        assert "performer raised" in str(excinfo.value)
+        assert "boom" in str(excinfo.value)
+
+    def test_input_document_untouched_after_crash(self, document):
+        before = serialize_document(document)
+
+        calls = []
+
+        def explode_second(old):
+            calls.append(old)
+            if len(calls) == 2:
+                raise RuntimeError("late failure")
+            return None  # the first call deletes its node
+
+        update = Update(_class(B_SELECTOR), transform(explode_second))
+        with pytest.raises(UpdateError):
+            apply_update(document, update)
+        assert serialize_document(document) == before
+
+    def test_performer_update_error_keeps_or_gains_name(self, document):
+        def reject(old):
+            raise UpdateError("domain-level refusal")
+
+        update = Update(_class(B_SELECTOR), transform(reject), name="named")
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert excinfo.value.update_name == "named"
+
+
+class TestPerformerTimeouts:
+    def test_hanging_performer_times_out(self, document):
+        def hang(old):
+            time.sleep(30)
+            return old
+
+        update = Update(_class(B_SELECTOR), transform(hang), name="slow")
+        started = time.monotonic()
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update, timeout_seconds=0.2)
+        assert time.monotonic() - started < 5
+        assert excinfo.value.update_name == "slow"
+        assert "timeout" in str(excinfo.value)
+
+    def test_fast_performer_unaffected_by_timeout(self, document):
+        update = Update(_class(B_SELECTOR), delete_node())
+        updated = apply_update(document, update, timeout_seconds=5.0)
+        labels = [c.label for c in updated.node_at((0,)).children]
+        assert labels == ["c"]
+
+    def test_crash_inside_timed_performer_still_named(self, document):
+        def explode(old):
+            raise KeyError("inner")
+
+        update = Update(_class(B_SELECTOR), transform(explode), name="timed")
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update, timeout_seconds=5.0)
+        assert excinfo.value.update_name == "timed"
+        assert "KeyError" in str(excinfo.value)
+
+
+class TestOutputValidation:
+    def test_non_node_return_rejected(self, document):
+        update = Update(
+            _class(B_SELECTOR), transform(lambda old: "oops"), name="typed"
+        )
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "XMLNode" in str(excinfo.value)
+        assert excinfo.value.update_name == "typed"
+
+    def test_attached_replacement_rejected(self, document):
+        parent = elem("holder")
+        child = elem("kept")
+        parent.append_child(child)
+
+        update = Update(_class(B_SELECTOR), transform(lambda old: child))
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "detached" in str(excinfo.value)
+
+    def test_aliasing_input_document_rejected(self, document):
+        # a hostile performer detaches a node of the *input* document
+        # and smuggles it into the replacement; committing it would
+        # silently couple the old and new trees
+        def alias(old):
+            return document.node_at((0, 1)).detach()  # the <c/> node
+
+        update = Update(_class(B_SELECTOR), transform(alias), name="thief")
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert excinfo.value.update_name == "thief"
+        assert "reuses a node object of the input" in str(excinfo.value)
+
+    def test_aliasing_check_survives_prior_detach(self, document):
+        # same theft, but buried as a child of a fresh node
+        def alias(old):
+            top = elem("top")
+            top.append_child(document.node_at((0, 1)).detach())
+            return top
+
+        update = Update(_class(B_SELECTOR), transform(alias))
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "reuses a node object of the input" in str(excinfo.value)
+
+    def test_duplicate_node_object_rejected(self, document):
+        def share(old):
+            top = elem("top")
+            shared = elem("leaf")
+            # bypass append_child's reparenting guard to build a DAG
+            top.children.append(shared)
+            top.children.append(shared)
+            shared.parent = top
+            return top
+
+        update = Update(_class(B_SELECTOR), transform(share))
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "appears twice" in str(excinfo.value)
+
+    def test_root_label_in_replacement_rejected(self, document):
+        update = Update(
+            _class(B_SELECTOR), transform(lambda old: XMLNode("/"))
+        )
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "reserved root label" in str(excinfo.value)
+
+    def test_corrupted_leaf_rejected(self, document):
+        def corrupt(old):
+            top = elem("top")
+            attr = XMLNode("@k", value="v")
+            top.append_child(attr)
+            attr.value = None  # violate the model behind the API's back
+            return top
+
+        update = Update(_class(B_SELECTOR), transform(corrupt))
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "missing its string value" in str(excinfo.value)
+
+    def test_inconsistent_parent_link_rejected(self, document):
+        def cross_link(old):
+            top = elem("top")
+            stray = elem("stray")
+            other = elem("other")
+            other.append_child(stray)  # stray.parent = other
+            top.children.append(stray)  # ...but listed under top
+            return top
+
+        update = Update(_class(B_SELECTOR), transform(cross_link))
+        with pytest.raises(UpdateError) as excinfo:
+            apply_update(document, update)
+        assert "inconsistent parent link" in str(excinfo.value)
+
+    def test_stock_performers_pass_validation(self, document):
+        for performer in (
+            keep_unchanged(),
+            delete_node(),
+            set_text("x"),
+            wrap_in("w"),
+            replace_with(lambda: elem("fresh")),
+        ):
+            update = Update(_class(B_SELECTOR), performer)
+            apply_update(document, update)  # must not raise
+
+    def test_validation_can_be_disabled(self, document):
+        # trusted hot paths can opt out; detachment is still enforced
+        update = Update(_class(B_SELECTOR), delete_node())
+        updated = apply_update(document, update, validate=False)
+        assert [c.label for c in updated.node_at((0,)).children] == ["c"]
+
+
+class TestGuardedBatchRollback:
+    def test_failing_update_rolls_back_and_is_named(self, document):
+        def explode(old):
+            raise ValueError("mid-transaction failure")
+
+        batch = UpdateBatch(
+            [
+                Update(_class(B_SELECTOR), set_text("touched"), name="first"),
+                Update(_class(B_SELECTOR), transform(explode), name="second"),
+            ]
+        )
+        outcome = batch.apply_guarded(document)
+        assert not outcome.committed
+        assert outcome.document is document
+        assert outcome.failed_update_name == "second"
+        assert isinstance(outcome.update_error, UpdateError)
+        assert "second" in outcome.describe()
+        assert "ROLLED BACK" in outcome.describe()
+
+    def test_batch_timeout_applies_to_performers(self, document):
+        def hang(old):
+            time.sleep(30)
+            return old
+
+        batch = UpdateBatch(
+            [Update(_class(B_SELECTOR), transform(hang), name="stuck")]
+        )
+        outcome = batch.apply_guarded(
+            document, performer_timeout_seconds=0.2
+        )
+        assert not outcome.committed
+        assert outcome.failed_update_name == "stuck"
+
+    def test_healthy_batch_still_commits(self, document):
+        batch = UpdateBatch([Update(_class(B_SELECTOR), set_text("new"))])
+        outcome = batch.apply_guarded(document)
+        assert outcome.committed
+        assert outcome.failed_update_name is None
+        assert outcome.update_error is None
