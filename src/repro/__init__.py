@@ -40,15 +40,19 @@ from repro.errors import (
     FDError,
     ImproperRegexError,
     IndependenceError,
+    ParseError,
     PatternError,
     RegexError,
     RegexParseError,
     ReproError,
+    ResumeMismatchError,
     SchemaError,
+    SchemaParseError,
     UpdateError,
     XMLModelError,
     XMLParseError,
     XPathError,
+    XPathParseError,
 )
 from repro.xmlmodel import (
     NodeType,
@@ -113,6 +117,7 @@ __version__ = "1.0.0"
 __all__ = [
     # errors
     "ReproError",
+    "ParseError",
     "XMLModelError",
     "XMLParseError",
     "RegexError",
@@ -122,9 +127,12 @@ __all__ = [
     "FDError",
     "UpdateError",
     "SchemaError",
+    "SchemaParseError",
     "AutomatonError",
     "XPathError",
+    "XPathParseError",
     "IndependenceError",
+    "ResumeMismatchError",
     # xml model
     "NodeType",
     "XMLDocument",

@@ -25,8 +25,23 @@ Installed as ``repro-xml`` (see ``pyproject.toml``); also runnable as
     * ``3`` — UNKNOWN (budget exhausted somewhere; nothing proved for
       at least one pair — fall back to revalidation).
 
+    Long matrix runs become crash-safe with ``--checkpoint-dir DIR``:
+    each cell verdict is journaled (write-ahead, fsynced) as it lands,
+    and after a SIGKILL/OOM/reboot the same command plus ``--resume``
+    restores the certified cells and recomputes only the remainder —
+    refusing (clean diagnostic, no traceback) if the FDs, updates,
+    schema, strategy or budget changed since the checkpoint was taken.
+
+``checkpoints``
+    Manage checkpoint run directories: ``list`` them, ``inspect`` one,
+    ``clean`` stale (complete or damaged) ones.
+
 ``evaluate``
     Evaluate a positive CoreXPath expression on a document.
+
+Malformed input text — XML, FDs, XPath, schemas, regexes — is reported
+as a one-line ``parse error: ...`` diagnostic (position + snippet, no
+traceback) with exit code 2.
 
 Examples::
 
@@ -41,6 +56,11 @@ Examples::
         --fd "(/orders, ((order/@id) -> order/total))" \\
         --update-xpath "/orders/order/status" \\
         --update-xpath "/orders/order/customer/name"
+    repro-xml independence --checkpoint-dir ckpt/orders --resume \\
+        --fd "(/orders, ((order/@id) -> order/customer/name))" \\
+        --update-xpath "/orders/order/status"
+    repro-xml checkpoints list ckpt
+    repro-xml checkpoints clean ckpt
     repro-xml evaluate store.xml --xpath "//line/product"
 """
 
@@ -50,7 +70,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import ParseError, ReproError
 from repro.fd.linear import LinearFD, translate_linear_fd
 from repro.fd.satisfaction import check_fd
 from repro.independence.criterion import check_independence
@@ -104,6 +124,8 @@ EXIT_INDEPENDENT = 0
 EXIT_POSSIBLY_DEPENDENT = 2
 EXIT_UNKNOWN = 3
 EXIT_INTERRUPTED = 130
+#: malformed input text (same family as argparse's own usage errors)
+EXIT_PARSE_ERROR = 2
 
 
 def _budget_from_args(args: argparse.Namespace):
@@ -131,7 +153,14 @@ def _cmd_independence(args: argparse.Namespace) -> int:
     ]
     schema = _load_schema(args.schema) if args.schema else None
     budget = _budget_from_args(args)
-    if args.matrix or len(fds) > 1 or len(update_classes) > 1:
+    # checkpointing is a matrix-run feature, so --checkpoint-dir routes
+    # even a single pair through the (1x1) matrix path
+    if (
+        args.matrix
+        or len(fds) > 1
+        or len(update_classes) > 1
+        or args.checkpoint_dir
+    ):
         from repro.independence.matrix import check_independence_matrix
 
         matrix = check_independence_matrix(
@@ -142,6 +171,8 @@ def _cmd_independence(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             parallelism=args.jobs,
             budget=budget,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
         print(matrix.describe())
         if args.show_witness:
@@ -193,6 +224,65 @@ def _cmd_stream_check(args: argparse.Namespace) -> int:
         f"{report.violation_count} violations; single pass)"
     )
     return 0 if report.satisfied else 1
+
+
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    from repro.persistence.store import (
+        clean_run_dirs,
+        inspect_run_dir,
+        is_run_dir,
+        iter_run_dirs,
+    )
+
+    if args.action == "list":
+        run_dirs = iter_run_dirs(args.path)
+        if not run_dirs:
+            print(f"no checkpoint run directories under {args.path}")
+            return 0
+        for run_dir in run_dirs:
+            print(inspect_run_dir(run_dir).describe())
+        return 0
+    if args.action == "inspect":
+        if not is_run_dir(args.path):
+            print(
+                f"error: {args.path} is not a checkpoint run directory "
+                f"(no manifest.json)",
+                file=sys.stderr,
+            )
+            return 64
+        info = inspect_run_dir(args.path)
+        print(info.describe())
+        import json as _json
+        from pathlib import Path as _Path
+
+        manifest = _json.loads(
+            (_Path(args.path) / "manifest.json").read_text()
+        )
+        for field in (
+            "kind",
+            "strategy",
+            "want_witness",
+            "budget",
+            "code_version",
+            "row_names",
+            "column_names",
+        ):
+            print(f"  {field}: {manifest.get(field)}")
+        return 0
+    # action == "clean": stale run dirs go away; trouble is reported,
+    # never fatal (the journal-writer non-fatality policy, applied here)
+    removed, kept, problems = clean_run_dirs(
+        args.path, remove_all=args.all
+    )
+    for path in removed:
+        print(f"removed {path}")
+    for path in kept:
+        print(f"kept {path} (in progress; use --all to remove)")
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if not removed and not kept and not problems:
+        print(f"no checkpoint run directories under {args.path}")
+    return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -305,7 +395,39 @@ def build_parser() -> argparse.ArgumentParser:
         "per pair (each dimension capped at N); exceeding it yields "
         "verdict UNKNOWN and exit code 3",
     )
+    independence.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every cell verdict into DIR (crash-safe matrix "
+        "run); implies a matrix run even for a single pair",
+    )
+    independence.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore certified cells from --checkpoint-dir and "
+        "recompute only the remainder (refused when the inputs differ "
+        "from the checkpointed run)",
+    )
     independence.set_defaults(handler=_cmd_independence)
+
+    checkpoints = commands.add_parser(
+        "checkpoints",
+        help="list, inspect, or clean crash-safe checkpoint directories",
+    )
+    checkpoints.add_argument(
+        "action",
+        choices=["list", "inspect", "clean"],
+        help="list run dirs under PATH / inspect one run dir / remove "
+        "stale (complete or damaged) run dirs",
+    )
+    checkpoints.add_argument("path")
+    checkpoints.add_argument(
+        "--all",
+        action="store_true",
+        help="with clean: remove in-progress run dirs too",
+    )
+    checkpoints.set_defaults(handler=_cmd_checkpoints)
 
     evaluate = commands.add_parser(
         "evaluate", help="evaluate a positive CoreXPath expression"
@@ -331,6 +453,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ParseError as error:
+        # malformed input text: one clean line (position + snippet
+        # already rendered by the error), no traceback, exit 2
+        print(f"parse error: {error}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 64

@@ -29,6 +29,8 @@ from repro.independence.criterion import (
 from repro.independence.matrix import (
     IndependenceMatrix,
     MatrixCell,
+    cell_from_record,
+    cell_to_record,
     check_independence_matrix,
     check_view_independence_matrix,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "check_independence",
     "IndependenceMatrix",
     "MatrixCell",
+    "cell_from_record",
+    "cell_to_record",
     "check_independence_matrix",
     "check_view_independence_matrix",
     "RoutedOutcome",

@@ -31,6 +31,20 @@ did.  A per-cell :class:`~repro.limits.Budget` bounds each cell's
 exploration cooperatively; an exhausted cell reports verdict UNKNOWN
 with partial statistics instead of a wrong boolean.
 
+The run is additionally *crash-safe* when given a ``checkpoint_dir``:
+every cell verdict is appended to a write-ahead journal
+(:mod:`repro.persistence`) as its chunk future completes — UNKNOWN
+cells included — and periodically compacted into an atomic snapshot.
+``resume=True`` restores the certified cells of an interrupted run
+(after the journal's torn-tail recovery), *re-attempts* UNKNOWN cells
+rather than trusting them, recomputes only the remainder, and splices
+the restored cells back through the same checked merge.  A manifest of
+the run's inputs guards the splice: resuming against different FDs,
+update classes, schema, strategy, budget, or code version raises
+:class:`~repro.errors.ResumeMismatchError`.  Persistence failures are
+non-fatal — a read-only or full checkpoint directory degrades the run
+to in-memory with a single :class:`PersistenceWarning`.
+
 :func:`check_view_independence_matrix` does the same for view-update
 independence (the [9] companion criterion) — the dangerous region is
 identical, so the machinery is shared.
@@ -43,7 +57,7 @@ import os
 import time
 from collections.abc import Sequence
 
-from repro.errors import IndependenceError
+from repro.errors import IndependenceError, ReproError
 from repro.fd.fd import FunctionalDependency
 from repro.independence.criterion import EAGER, LAZY, Verdict
 from repro.independence.language import (
@@ -60,10 +74,13 @@ from repro.tautomata.from_pattern import trace_automaton
 from repro.tautomata.lazy import ExplorationStats
 from repro.tautomata.ops import product_automaton
 from repro.update.update_class import UpdateClass
-from repro.xmlmodel.tree import XMLDocument
+from repro.xmlmodel.tree import ROOT_LABEL, XMLDocument, XMLNode
 
 #: fresh pools tried after a worker death before falling back to serial
 MAX_POOL_RESTARTS = 1
+
+#: cell records journaled between two checkpoint snapshot compactions
+DEFAULT_CHECKPOINT_SNAPSHOT_EVERY = 64
 
 
 @dataclasses.dataclass
@@ -91,6 +108,92 @@ class MatrixCell:
     def decided(self) -> bool:
         """True when the cell ran to completion (either boolean)."""
         return self.verdict is not Verdict.UNKNOWN
+
+
+def _witness_to_json(document: XMLDocument) -> list:
+    """Encode a witness as a JSON tree of ``[label, value, children]``.
+
+    Witness documents are hedges over the paper's tree model — possibly
+    several top-level nodes, attribute nodes in odd places — so XML
+    *text* cannot always express them; the JSON tree encoding is total.
+    """
+
+    def encode(node: XMLNode) -> list:
+        return [node.label, node.value, [encode(child) for child in node.children]]
+
+    return encode(document.root)
+
+
+def _witness_from_json(encoded: list) -> XMLDocument:
+    """Inverse of :func:`_witness_to_json` (raises on damaged input)."""
+
+    def decode(item: list) -> XMLNode:
+        label, value, children = item
+        if not isinstance(label, str):
+            raise ValueError(f"witness node label must be a string: {label!r}")
+        return XMLNode(label, value, [decode(child) for child in children])
+
+    root = decode(encoded)
+    if root.label != ROOT_LABEL:
+        raise ValueError(f"witness root must be {ROOT_LABEL!r}, got {root.label!r}")
+    return XMLDocument(root)
+
+
+def cell_to_record(cell: MatrixCell) -> dict:
+    """The journal/snapshot JSON shape of one cell verdict.
+
+    Everything a resumed run needs to reproduce the cell without
+    recomputation: the verdict, wall time, exploration accounting,
+    the partial statistics of a budget-exhausted cell, and the
+    witness document (as a JSON tree) when one was built.
+    """
+    return {
+        "type": "cell",
+        "row": cell.row,
+        "column": cell.column,
+        "verdict": cell.verdict.value,
+        "elapsed_seconds": cell.elapsed_seconds,
+        "exploration": (
+            None
+            if cell.exploration is None
+            else dataclasses.asdict(cell.exploration)
+        ),
+        "partial": (
+            None if cell.partial is None else dataclasses.asdict(cell.partial)
+        ),
+        "witness": (
+            None if cell.witness is None else _witness_to_json(cell.witness)
+        ),
+    }
+
+
+def cell_from_record(record: dict) -> MatrixCell | None:
+    """Rebuild a :class:`MatrixCell` from a journal record.
+
+    Returns ``None`` for a record that does not decode cleanly — the
+    sound reaction to unexpected journal content is to recompute the
+    cell, never to guess at its verdict.
+    """
+    try:
+        if record.get("type") != "cell":
+            return None
+        exploration = record["exploration"]
+        partial = record["partial"]
+        witness = record["witness"]
+        return MatrixCell(
+            row=int(record["row"]),
+            column=int(record["column"]),
+            verdict=Verdict(record["verdict"]),
+            elapsed_seconds=float(record["elapsed_seconds"]),
+            exploration=(
+                None if exploration is None else ExplorationStats(**exploration)
+            ),
+            partial=None if partial is None else PartialStats(**partial),
+            witness=None if witness is None else _witness_from_json(witness),
+        )
+    except (KeyError, TypeError, ValueError, ReproError):
+        # a damaged record (or witness) must not kill the resume
+        return None
 
 
 @dataclasses.dataclass
@@ -249,12 +352,22 @@ def _explore_rows(
     strategy: str,
     want_witness: bool,
     budget: Budget | None = None,
-) -> list[list[MatrixCell]]:
+    skip_cells: frozenset[tuple[int, int]] | None = None,
+    per_cell_delay: float = 0.0,
+    on_cell=None,
+) -> list[list[MatrixCell | None]]:
     """Decide every cell of the given rows, sharing all ingredients.
 
     Each cell gets a *fresh* meter from ``budget``, so the caps bound
     cells individually; a budget-exhausted cell becomes UNKNOWN with
     its partial statistics and the run continues with the next cell.
+
+    ``skip_cells`` names (row, column) pairs restored from a
+    checkpoint: those are *not* recomputed and leave a ``None``
+    placeholder for :func:`_splice_restored` to fill.  ``on_cell`` is
+    the parent-side journaling hook (never shipped to pool workers);
+    ``per_cell_delay`` is the crash-harness test hook that slows each
+    cell down so a SIGKILL can be timed mid-journal.
     """
     update_automata = [
         trace_automaton(
@@ -264,13 +377,21 @@ def _explore_rows(
     ]
     schema_hedge = None if schema is None else schema_automaton(schema)
     factor_cache: dict = {}
-    rows: list[list[MatrixCell]] = []
+    rows: list[list[MatrixCell | None]] = []
     for local_row, pattern in enumerate(patterns):
         pattern_automaton = trace_automaton(
             pattern, alphabet, track_regions=True, name="A_FD"
         )
-        row: list[MatrixCell] = []
+        row: list[MatrixCell | None] = []
         for column, update_automaton in enumerate(update_automata):
+            if (
+                skip_cells is not None
+                and (row_offset + local_row, column) in skip_cells
+            ):
+                row.append(None)  # restored from the checkpoint
+                continue
+            if per_cell_delay:
+                time.sleep(per_cell_delay)
             started = time.perf_counter()
             meter = (
                 None if budget is None or budget.unbounded else budget.start()
@@ -319,17 +440,18 @@ def _explore_rows(
                 partial = signal.partial
                 witness = None
                 exploration = None
-            row.append(
-                MatrixCell(
-                    row=row_offset + local_row,
-                    column=column,
-                    verdict=verdict,
-                    elapsed_seconds=time.perf_counter() - started,
-                    exploration=exploration,
-                    witness=witness,
-                    partial=partial,
-                )
+            cell = MatrixCell(
+                row=row_offset + local_row,
+                column=column,
+                verdict=verdict,
+                elapsed_seconds=time.perf_counter() - started,
+                exploration=exploration,
+                witness=witness,
+                partial=partial,
             )
+            row.append(cell)
+            if on_cell is not None:
+                on_cell(cell)
         rows.append(row)
     return rows
 
@@ -371,12 +493,57 @@ def _merge_chunks(
     return cells  # type: ignore[return-value]
 
 
+def _splice_restored(
+    cells: list[list[MatrixCell | None]],
+    restored: dict[tuple[int, int], MatrixCell],
+    column_count: int,
+) -> list[list[MatrixCell]]:
+    """Fill checkpoint-restored cells into the computed grid, checked.
+
+    The same refuse-don't-guess policy as :func:`_merge_chunks`, one
+    level down: every ``None`` placeholder must have exactly one
+    restored cell and every computed cell must *not* have one — a cell
+    can neither go missing nor be certified twice, whatever the
+    journal contained.
+    """
+    grid: list[list[MatrixCell]] = []
+    for row_index, row in enumerate(cells):
+        if len(row) != column_count:
+            raise IndependenceError(
+                f"matrix row {row_index} has {len(row)} cells, expected "
+                f"{column_count}; refusing to commit an inconsistent matrix"
+            )
+        new_row: list[MatrixCell] = []
+        for column_index, cell in enumerate(row):
+            key = (row_index, column_index)
+            if cell is None:
+                replacement = restored.get(key)
+                if replacement is None:
+                    raise IndependenceError(
+                        f"matrix cell {key} was neither computed nor "
+                        f"restored from the checkpoint; refusing to commit "
+                        f"an incomplete matrix"
+                    )
+                new_row.append(replacement)
+            else:
+                if key in restored:
+                    raise IndependenceError(
+                        f"matrix cell {key} was both computed and restored "
+                        f"from the checkpoint; refusing to commit an "
+                        f"inconsistent matrix"
+                    )
+                new_row.append(cell)
+        grid.append(new_row)
+    return grid
+
+
 def _run_chunks_with_recovery(
     chunks: list[tuple[int, list[RegularTreePattern]]],
     payload_for,
     serial_for,
     jobs: int,
     worker_timeout_seconds: float | None,
+    on_chunk=None,
 ) -> tuple[dict[int, list[list[MatrixCell]]], int]:
     """Fan chunks out over pools, recovering from dead or hung workers.
 
@@ -438,6 +605,10 @@ def _run_chunks_with_recovery(
                     else:
                         results[offset] = rows
                         remaining.pop(offset, None)
+                        if on_chunk is not None:
+                            # journal the chunk's cells the moment its
+                            # future lands — a later crash replays them
+                            on_chunk(rows)
                 if broken:
                     break
         finally:
@@ -455,6 +626,52 @@ def _run_chunks_with_recovery(
     return results, faults
 
 
+def _open_checkpoint(
+    kind: str,
+    checkpoint_dir,
+    resume: bool,
+    snapshot_every: int,
+    patterns: Sequence[RegularTreePattern],
+    row_names: Sequence[str],
+    update_classes: Sequence[UpdateClass],
+    schema: Schema | None,
+    strategy: str,
+    want_witness: bool,
+    budget: Budget | None,
+    column_count: int,
+):
+    """Open the checkpoint store and restore this run's certified cells.
+
+    Returns ``(store, restored)``.  Only *decided* cells are restored —
+    UNKNOWN records are deliberately dropped so resume re-attempts them
+    instead of trusting a budget-exhausted non-verdict.  Records that
+    fail to decode or fall outside the matrix shape are ignored (and
+    therefore recomputed), never guessed at.
+    """
+    from repro.persistence.manifest import RunManifest
+    from repro.persistence.store import CheckpointStore
+
+    manifest = RunManifest.for_matrix(
+        kind, patterns, row_names, update_classes, schema, strategy,
+        want_witness, budget,
+    )
+    store = CheckpointStore.open(
+        checkpoint_dir, manifest, resume=resume, snapshot_every=snapshot_every
+    )
+    restored: dict[tuple[int, int], MatrixCell] = {}
+    if store is not None:
+        for record in store.restored_cells:
+            cell = cell_from_record(record)
+            if (
+                cell is not None
+                and cell.decided
+                and 0 <= cell.row < len(patterns)
+                and 0 <= cell.column < column_count
+            ):
+                restored[(cell.row, cell.column)] = cell
+    return store, restored
+
+
 def _check_matrix(
     patterns: Sequence[RegularTreePattern],
     row_names: list[str],
@@ -466,6 +683,11 @@ def _check_matrix(
     budget: Budget | None = None,
     worker_timeout_seconds: float | None = None,
     fault_injection: FaultInjection | None = None,
+    kind: str = "independence-matrix",
+    checkpoint_dir=None,
+    resume: bool = False,
+    checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
+    per_cell_delay: float = 0.0,
 ) -> IndependenceMatrix:
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
@@ -482,13 +704,35 @@ def _check_matrix(
     started = time.perf_counter()
     alphabet = _global_alphabet(patterns, update_classes, schema)
     column_names = [update_class.name for update_class in update_classes]
+    store = None
+    restored: dict[tuple[int, int], MatrixCell] = {}
+    if checkpoint_dir is not None:
+        store, restored = _open_checkpoint(
+            kind, checkpoint_dir, resume, checkpoint_snapshot_every,
+            patterns, row_names, update_classes, schema, strategy,
+            want_witness, budget, len(update_classes),
+        )
+    skip = frozenset(restored) if restored else None
+
+    def journal_cell(cell: MatrixCell) -> None:
+        if store is not None and cell is not None:
+            store.record_cell(cell_to_record(cell))
+
+    def journal_chunk(rows: list[list[MatrixCell | None]]) -> None:
+        for row in rows:
+            for cell in row:
+                journal_cell(cell)
+
+    on_cell = journal_cell if store is not None else None
+    on_chunk = journal_chunk if store is not None else None
     jobs = max(1, int(parallelism))
     faults = 0
     if jobs == 1 or len(patterns) == 1:
         jobs = 1
         cells = _explore_rows(
             patterns, 0, update_classes, schema, alphabet, strategy,
-            want_witness, budget,
+            want_witness, budget, skip_cells=skip,
+            per_cell_delay=per_cell_delay, on_cell=on_cell,
         )
     else:
         jobs = min(jobs, len(patterns))
@@ -508,6 +752,8 @@ def _check_matrix(
                     strategy,
                     want_witness,
                     budget,
+                    skip,
+                    per_cell_delay,
                 ),
                 fault_injection,
             )
@@ -515,14 +761,18 @@ def _check_matrix(
         def serial_for(offset, chunk_patterns):
             return _explore_rows(
                 chunk_patterns, offset, list(update_classes), schema,
-                alphabet, strategy, want_witness, budget,
+                alphabet, strategy, want_witness, budget, skip_cells=skip,
+                per_cell_delay=per_cell_delay, on_cell=on_cell,
             )
 
         results, faults = _run_chunks_with_recovery(
-            chunks, payload_for, serial_for, jobs, worker_timeout_seconds
+            chunks, payload_for, serial_for, jobs, worker_timeout_seconds,
+            on_chunk=on_chunk,
         )
         cells = _merge_chunks(results, len(patterns))
-    return IndependenceMatrix(
+    if restored:
+        cells = _splice_restored(cells, restored, len(update_classes))
+    matrix = IndependenceMatrix(
         row_names=row_names,
         column_names=column_names,
         schema=schema,
@@ -533,6 +783,17 @@ def _check_matrix(
         budget=budget,
         worker_faults=faults,
     )
+    if store is not None:
+        store.finalize(
+            {
+                "cells": matrix.cell_count,
+                "independent": matrix.independent_count(),
+                "unknown": matrix.unknown_count(),
+                "worker_faults": faults,
+                "elapsed_seconds": matrix.elapsed_seconds,
+            }
+        )
+    return matrix
 
 
 def check_independence_matrix(
@@ -544,7 +805,11 @@ def check_independence_matrix(
     parallelism: int = 1,
     budget: Budget | None = None,
     worker_timeout_seconds: float | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     _fault_injection: FaultInjection | None = None,
+    _per_cell_delay_seconds: float = 0.0,
 ) -> IndependenceMatrix:
     """Run IC for every (FD, update-class) pair, amortizing the setup.
 
@@ -555,6 +820,17 @@ def check_independence_matrix(
     individually (UNKNOWN on exhaustion); ``worker_timeout_seconds`` is
     the hard backstop after which a hung worker pool is abandoned and
     the unfinished rows recomputed serially.
+
+    ``checkpoint_dir`` makes the run crash-safe: every cell verdict is
+    journaled (write-ahead, fsynced) the moment it lands, and
+    ``resume=True`` restores the certified cells of an interrupted run
+    — re-attempting UNKNOWN cells — after checking the stored
+    :class:`~repro.persistence.manifest.RunManifest` against the
+    current inputs (:class:`~repro.errors.ResumeMismatchError` on any
+    difference).  ``checkpoint_snapshot_every`` sets the journal
+    compaction cadence.  ``_per_cell_delay_seconds`` is a test-only
+    hook (like ``_fault_injection``) that the crash harness uses to
+    land a SIGKILL mid-journal.
     """
     return _check_matrix(
         [fd.pattern for fd in fds],
@@ -567,6 +843,11 @@ def check_independence_matrix(
         budget=budget,
         worker_timeout_seconds=worker_timeout_seconds,
         fault_injection=_fault_injection,
+        kind="independence-matrix",
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        checkpoint_snapshot_every=checkpoint_snapshot_every,
+        per_cell_delay=_per_cell_delay_seconds,
     )
 
 
@@ -580,11 +861,17 @@ def check_view_independence_matrix(
     view_names: Sequence[str] | None = None,
     budget: Budget | None = None,
     worker_timeout_seconds: float | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
 ) -> IndependenceMatrix:
     """The batch variant of view-update independence ([9]).
 
     The dangerous region of a view coincides with the FD case, so the
-    same shared construction applies with view patterns as rows.
+    same shared construction applies with view patterns as rows —
+    including the crash-safe ``checkpoint_dir``/``resume`` behaviour
+    (the manifest records the view kind, so an FD checkpoint can never
+    be spliced into a view run or vice versa).
     """
     names = (
         list(view_names)
@@ -603,4 +890,8 @@ def check_view_independence_matrix(
         parallelism,
         budget=budget,
         worker_timeout_seconds=worker_timeout_seconds,
+        kind="view-independence-matrix",
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        checkpoint_snapshot_every=checkpoint_snapshot_every,
     )

@@ -1,0 +1,80 @@
+"""Crash-safe checkpointing for long-lived analyses (WAL + snapshots).
+
+An independence-matrix run over many (FD, update-class) pairs is a
+long-lived process; PR 3 made it survive worker crashes and budget
+exhaustion, but a SIGKILL/OOM of the *driver* still discarded every
+certified cell.  This package closes that last single-process failure
+mode with the standard durability pair from the storage literature:
+
+* :mod:`repro.persistence.journal` — an append-only, length-prefixed,
+  CRC32-checksummed, fsync-on-record write-ahead journal with
+  truncate-to-last-valid-record recovery (a torn tail is detected and
+  dropped, never silently parsed);
+* :mod:`repro.persistence.snapshot` — periodic atomic full-state
+  snapshots (write-temp, fsync, ``os.replace``) that compact the
+  journal;
+* :mod:`repro.persistence.manifest` — :class:`RunManifest` fingerprints
+  of the run's inputs so ``resume`` refuses
+  (:class:`~repro.errors.ResumeMismatchError`) to splice cells from a
+  run with different FDs, update classes, schema, strategy, budget, or
+  code version;
+* :mod:`repro.persistence.store` — :class:`CheckpointStore`, the run
+  directory tying the three together, plus the inspection helpers
+  behind ``repro-xml checkpoints``.
+
+Persistence failures are non-fatal by construction: a read-only or
+full checkpoint directory degrades the run to in-memory with a single
+:class:`PersistenceWarning` — verdicts are never lost to a
+persistence error.
+"""
+
+from repro.persistence.journal import (
+    JournalWriter,
+    PersistenceWarning,
+    encode_record,
+    recover_journal,
+    scan_journal,
+)
+from repro.persistence.manifest import (
+    RunManifest,
+    budget_spec,
+    fingerprint_pattern,
+    fingerprint_schema,
+)
+from repro.persistence.snapshot import load_snapshot, write_snapshot
+from repro.persistence.store import (
+    COMPLETE_NAME,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    SNAPSHOT_NAME,
+    CheckpointStore,
+    RunDirInfo,
+    clean_run_dirs,
+    inspect_run_dir,
+    is_run_dir,
+    iter_run_dirs,
+)
+
+__all__ = [
+    "JournalWriter",
+    "PersistenceWarning",
+    "encode_record",
+    "recover_journal",
+    "scan_journal",
+    "RunManifest",
+    "budget_spec",
+    "fingerprint_pattern",
+    "fingerprint_schema",
+    "load_snapshot",
+    "write_snapshot",
+    "CheckpointStore",
+    "COMPLETE_NAME",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "SNAPSHOT_NAME",
+    "RunDirInfo",
+    "clean_run_dirs",
+    "inspect_run_dir",
+    "is_run_dir",
+    "iter_run_dirs",
+]

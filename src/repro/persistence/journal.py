@@ -1,0 +1,172 @@
+"""Append-only write-ahead journal of per-cell verdicts.
+
+A matrix run that dies mid-flight — SIGKILL, OOM, machine reboot —
+must not discard the cells it already certified.  The journal is the
+write-ahead half of the durability story (the other half is
+:mod:`repro.persistence.snapshot`): every record is appended *and
+fsynced* before the run moves on, so a record that ever became visible
+to a resuming process is guaranteed complete on stable storage.
+
+Record framing.  The journal is line-oriented JSONL for human
+inspection (``less journal.wal`` works), but each line is additionally
+length-prefixed and CRC32-checksummed so recovery never has to guess::
+
+    J1 <length:08x> <crc32:08x> <payload-json>\\n
+
+``length`` counts the payload bytes, ``crc32`` is
+:func:`zlib.crc32` of the payload.  :func:`scan_journal` walks the file
+front to back and stops at the first frame that is short, torn, or
+fails its checksum — everything before that point is trusted,
+everything after is *dropped*, never silently parsed.
+:func:`recover_journal` additionally truncates the file back to the
+last valid frame, which is exactly the torn-tail rule of a classic WAL:
+a crash between ``write()`` and ``fsync()`` costs at most the one
+record that was never acknowledged.
+
+Persistence failures are non-fatal *by construction* at the layer
+above (:mod:`repro.persistence.store`): the writer itself raises plain
+``OSError`` and lets the store degrade to an in-memory run with a
+single :class:`PersistenceWarning` — an analysis verdict must never be
+lost to a full disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+#: frame magic; bump when the framing (not the payload schema) changes
+MAGIC = b"J1"
+
+#: ``J1 `` + 8 hex length + ``SP`` + 8 hex crc + ``SP``
+_HEADER_LENGTH = len(MAGIC) + 1 + 8 + 1 + 8 + 1
+
+
+class PersistenceWarning(UserWarning):
+    """A checkpoint directory became unusable; the run continues in memory."""
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one record (canonical JSON, length + CRC32 header)."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+    header = b"%s %08x %08x " % (MAGIC, len(payload), zlib.crc32(payload))
+    return header + payload + b"\n"
+
+
+def _decode_frame(data: bytes, offset: int) -> tuple[dict, int] | None:
+    """Decode the frame at ``offset``; ``None`` on any damage."""
+    header_end = offset + _HEADER_LENGTH
+    if header_end > len(data):
+        return None
+    header = data[offset:header_end]
+    if (
+        not header.startswith(MAGIC + b" ")
+        or header[len(MAGIC) + 1 + 8 : len(MAGIC) + 2 + 8] != b" "
+        or not header.endswith(b" ")
+    ):
+        return None
+    try:
+        length = int(header[len(MAGIC) + 1 : len(MAGIC) + 1 + 8], 16)
+        checksum = int(header[len(MAGIC) + 2 + 8 : len(MAGIC) + 2 + 16], 16)
+    except ValueError:
+        return None
+    payload_end = header_end + length
+    if payload_end + 1 > len(data):  # payload or trailing newline torn off
+        return None
+    payload = data[header_end:payload_end]
+    if data[payload_end : payload_end + 1] != b"\n":
+        return None
+    if zlib.crc32(payload) != checksum:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record, payload_end + 1
+
+
+def scan_journal(path: str | os.PathLike) -> tuple[list[dict], int, int]:
+    """Read every valid frame of a journal file.
+
+    Returns ``(records, valid_length, dropped_bytes)``: the records in
+    append order, the byte offset up to which the file is intact, and
+    how many trailing bytes were damaged (torn tail, bit rot, or
+    garbage appended after the last fsync).  A missing file reads as an
+    empty journal.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return [], 0, 0
+    records: list[dict] = []
+    offset = 0
+    while offset < len(data):
+        decoded = _decode_frame(data, offset)
+        if decoded is None:
+            break
+        record, offset = decoded
+        records.append(record)
+    return records, offset, len(data) - offset
+
+
+def recover_journal(path: str | os.PathLike) -> tuple[list[dict], int]:
+    """Scan and truncate a journal back to its last valid record.
+
+    Returns ``(records, dropped_bytes)``.  After recovery the file ends
+    exactly at the last intact frame, so a subsequent
+    :class:`JournalWriter` appends cleanly.
+    """
+    records, valid_length, dropped = scan_journal(path)
+    if dropped:
+        with open(path, "r+b") as handle:
+            handle.truncate(valid_length)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return records, dropped
+
+
+class JournalWriter:
+    """Append-and-fsync writer over one journal file.
+
+    Raises plain ``OSError`` on any filesystem trouble (read-only
+    directory, ENOSPC, yanked mount) — policy for surviving that lives
+    in :class:`repro.persistence.store.CheckpointStore`, which degrades
+    the run to in-memory instead of losing verdicts.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "ab")
+
+    def append(self, record: dict) -> None:
+        """Frame, write, flush and fsync one record (WAL discipline)."""
+        frame = encode_record(record)
+        self._handle.write(frame)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def truncate(self) -> None:
+        """Drop every record (called after a snapshot compacted them)."""
+        self._handle.seek(0)
+        self._handle.truncate()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent, swallows close errors)."""
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

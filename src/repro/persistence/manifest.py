@@ -1,0 +1,192 @@
+"""Run manifests: fingerprinting what a checkpointed run computed *over*.
+
+Splicing journaled verdicts into a new run is only sound when the new
+run asks exactly the questions the old one did.  A
+:class:`RunManifest` pins everything a verdict depends on — the row
+patterns (FDs or views), the update-class patterns, the schema, the
+strategy, the witness flag, the budget specification, and the code
+version — as stable content fingerprints.  ``resume`` compares the
+stored manifest against the current inputs field by field and refuses
+with a structured :class:`~repro.errors.ResumeMismatchError` on any
+difference: a checkpoint is a cache keyed by its manifest, never a
+grab-bag of reusable cells.
+
+Fingerprints are SHA-256 over a canonical text rendering (template
+edges in sorted position order with their regex concrete syntax, the
+selected tuple, schema rules in sorted label order, …) — deliberately
+*not* over pickles, which are neither stable across Python versions
+nor human-auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Sequence
+
+from repro.errors import ResumeMismatchError
+from repro.limits import Budget
+from repro.pattern.template import RegularTreePattern
+from repro.schema.dtd import Schema
+
+#: manifest schema version (bump on incompatible layout changes)
+MANIFEST_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_pattern(pattern: RegularTreePattern) -> str:
+    """Stable content hash of a regular tree pattern.
+
+    Covers the template shape, every edge regex (concrete syntax), and
+    the selected tuple — exactly the ingredients
+    :func:`repro.tautomata.from_pattern.trace_automaton` reads, so two
+    patterns with equal fingerprints decide identical matrix cells.
+    """
+    template = pattern.template
+    edges = ";".join(
+        f"{position}=[{template.edge_regex(position)}]"
+        for position in sorted(template.edge_regexes)
+    )
+    selected = ",".join(str(position) for position in pattern.selected)
+    return _sha256(f"pattern|edges:{edges}|selected:{selected}")
+
+
+def fingerprint_schema(schema: Schema | None) -> str | None:
+    """Stable content hash of a schema (``None`` stays ``None``)."""
+    if schema is None:
+        return None
+    rules = ";".join(
+        f"{label}:=[{schema.content_models[label]}]"
+        for label in sorted(schema.content_models)
+    )
+    return _sha256(f"schema|root:{schema.document_element}|{rules}")
+
+
+def budget_spec(budget: Budget | None) -> dict | None:
+    """The JSON shape of a budget specification (``None`` = unbounded)."""
+    if budget is None:
+        return None
+    return {
+        "deadline_ms": budget.deadline_ms,
+        "max_explored_states": budget.max_explored_states,
+        "max_explored_rules": budget.max_explored_rules,
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class RunManifest:
+    """Everything a matrix run's verdicts depend on, as stable data."""
+
+    kind: str  # "independence-matrix" | "view-independence-matrix"
+    row_names: tuple[str, ...]
+    column_names: tuple[str, ...]
+    row_fingerprints: tuple[str, ...]
+    column_fingerprints: tuple[str, ...]
+    schema_fingerprint: str | None
+    strategy: str
+    want_witness: bool
+    budget: dict | None
+    code_version: str
+    version: int = MANIFEST_VERSION
+
+    @classmethod
+    def for_matrix(
+        cls,
+        kind: str,
+        patterns: Sequence[RegularTreePattern],
+        row_names: Sequence[str],
+        update_classes: Sequence,
+        schema: Schema | None,
+        strategy: str,
+        want_witness: bool,
+        budget: Budget | None,
+    ) -> "RunManifest":
+        from repro import __version__
+
+        return cls(
+            kind=kind,
+            row_names=tuple(row_names),
+            column_names=tuple(
+                update_class.name for update_class in update_classes
+            ),
+            row_fingerprints=tuple(
+                fingerprint_pattern(pattern) for pattern in patterns
+            ),
+            column_fingerprints=tuple(
+                fingerprint_pattern(update_class.pattern)
+                for update_class in update_classes
+            ),
+            schema_fingerprint=fingerprint_schema(schema),
+            strategy=strategy,
+            want_witness=want_witness,
+            budget=budget_spec(budget),
+            code_version=__version__,
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """The JSON document stored as ``manifest.json`` in a run dir."""
+        document = dataclasses.asdict(self)
+        for field in (
+            "row_names",
+            "column_names",
+            "row_fingerprints",
+            "column_fingerprints",
+        ):
+            document[field] = list(document[field])
+        return document
+
+    @classmethod
+    def from_json_dict(cls, document: dict) -> "RunManifest":
+        try:
+            return cls(
+                kind=document["kind"],
+                row_names=tuple(document["row_names"]),
+                column_names=tuple(document["column_names"]),
+                row_fingerprints=tuple(document["row_fingerprints"]),
+                column_fingerprints=tuple(document["column_fingerprints"]),
+                schema_fingerprint=document["schema_fingerprint"],
+                strategy=document["strategy"],
+                want_witness=document["want_witness"],
+                budget=document["budget"],
+                code_version=document["code_version"],
+                version=document.get("version", MANIFEST_VERSION),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ResumeMismatchError(
+                [("manifest", "a well-formed manifest", f"damaged ({exc})")]
+            ) from exc
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form (used for quick equality)."""
+        return _sha256(
+            json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+        )
+
+    # ------------------------------------------------------------------
+    # resume policy
+    # ------------------------------------------------------------------
+
+    def require_matches(self, stored: "RunManifest") -> None:
+        """Refuse to splice cells from a run with different inputs.
+
+        Raises :class:`~repro.errors.ResumeMismatchError` naming every
+        differing field, so the operator sees *all* reasons at once
+        (changed schema AND changed budget, say) instead of fixing them
+        one rerun at a time.
+        """
+        mismatches: list[tuple[str, object, object]] = []
+        for field in dataclasses.fields(self):
+            current = getattr(self, field.name)
+            previous = getattr(stored, field.name)
+            if current != previous:
+                mismatches.append((field.name, previous, current))
+        if mismatches:
+            raise ResumeMismatchError(mismatches)

@@ -1,0 +1,69 @@
+"""Atomic full-state snapshots that compact the write-ahead journal.
+
+A journal alone recovers fine but grows without bound and replays
+linearly.  Periodically the checkpoint store folds every record it has
+into one snapshot document and truncates the journal — the classic
+checkpoint+WAL pair.  The snapshot write is atomic in the
+``write-temp, fsync, os.replace`` sense: a reader (or a resuming run)
+only ever sees the previous complete snapshot or the new complete
+snapshot, never a torn half of either.  The directory entry is fsynced
+too, so the rename itself survives a power cut.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: schema version of the snapshot document
+SNAPSHOT_VERSION = 1
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename by fsyncing its parent directory (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # some filesystems refuse O_RDONLY on dirs; best effort
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(path: str | os.PathLike, state: dict) -> None:
+    """Atomically replace ``path`` with a snapshot of ``state``.
+
+    Raises plain ``OSError`` on filesystem trouble; the checkpoint
+    store turns that into a degrade-to-memory, never a lost verdict.
+    """
+    target = Path(path)
+    document = {"version": SNAPSHOT_VERSION, **state}
+    temporary = target.with_name(target.name + ".tmp")
+    with open(temporary, "w", encoding="ascii") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, target)
+    _fsync_directory(target.parent)
+
+
+def load_snapshot(path: str | os.PathLike) -> dict | None:
+    """Load a snapshot; ``None`` when absent or unreadable.
+
+    ``os.replace`` makes torn snapshots impossible on a correct
+    filesystem, but a resuming run still refuses to crash over a
+    hand-damaged file: any parse failure reads as "no snapshot" and the
+    journal (plus recomputation) covers the difference.
+    """
+    try:
+        with open(path, encoding="ascii") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("version") != SNAPSHOT_VERSION:
+        return None
+    return document

@@ -89,14 +89,25 @@ class _Tokens:
 
 
 def parse_regex(source: str) -> Regex:
-    """Parse the concrete syntax into a :class:`Regex` tree."""
-    tokens = _Tokens(source)
-    expression = _parse_union(tokens)
-    trailing = tokens.peek()
-    if trailing is not None:
-        raise RegexParseError(
-            f"unexpected token {trailing[1]!r}", trailing[2]
-        )
+    """Parse the concrete syntax into a :class:`Regex` tree.
+
+    Malformed input always surfaces as :class:`RegexParseError` (a
+    :class:`~repro.errors.ParseError` with position and snippet) —
+    never a bare ``ValueError``/``IndexError``; the fuzz suite holds
+    the parser to this contract.
+    """
+    try:
+        tokens = _Tokens(source)
+        expression = _parse_union(tokens)
+        trailing = tokens.peek()
+        if trailing is not None:
+            raise RegexParseError(
+                f"unexpected token {trailing[1]!r}", trailing[2]
+            )
+    except RegexParseError as error:
+        raise error.with_snippet(source) from None
+    except (ValueError, IndexError, OverflowError) as error:
+        raise RegexParseError(f"malformed regex: {error}") from error
     return expression
 
 

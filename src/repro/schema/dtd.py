@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
-from repro.errors import SchemaError
+from repro.errors import ParseError, SchemaError, SchemaParseError
 from repro.regex.ast import Regex
 from repro.regex.dfa import DFA, compile_regex
 from repro.regex.parser import parse_regex
@@ -77,7 +77,10 @@ class Schema:
         """
         document_element: str | None = None
         rules: dict[str, str] = {}
+        offset = 0
         for line_number, raw in enumerate(text.splitlines(), start=1):
+            line_offset = offset
+            offset += len(raw) + 1
             line = raw.strip()
             if line.startswith("#") or not line:
                 continue
@@ -85,21 +88,33 @@ class Schema:
                 document_element = line[len("!document") :].strip()
                 continue
             if ":=" not in line:
-                raise SchemaError(
-                    f"line {line_number}: expected 'label := model', got {raw!r}"
+                raise SchemaParseError(
+                    f"line {line_number}: expected 'label := model'",
+                    line_offset,
+                    line,
                 )
             label, model = line.split(":=", 1)
             label = label.strip()
             if label in rules:
-                raise SchemaError(
-                    f"line {line_number}: duplicate rule for {label!r}"
+                raise SchemaParseError(
+                    f"line {line_number}: duplicate rule for {label!r}",
+                    line_offset,
+                    line,
                 )
             rules[label] = model.strip()
         if not rules:
-            raise SchemaError("schema text contains no rules")
+            raise SchemaParseError("schema text contains no rules")
         if document_element is None:
             document_element = next(iter(rules))
-        return cls.from_rules(document_element, rules)
+        try:
+            return cls.from_rules(document_element, rules)
+        except ParseError:
+            raise  # regex parse errors already carry position + snippet
+        except SchemaError as error:
+            # semantic refusals (undeclared element, wildcard model, bad
+            # label kind) over *textual* input are parse errors too: the
+            # text as a whole does not denote a schema
+            raise SchemaParseError(f"invalid schema text: {error}") from error
 
     def _validate(self) -> None:
         if label_node_type(self.document_element) is not NodeType.ELEMENT:

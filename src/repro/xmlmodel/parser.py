@@ -13,7 +13,7 @@ leaves (Figure 1).
 
 from __future__ import annotations
 
-from repro.errors import XMLParseError
+from repro.errors import XMLParseError, source_snippet
 from repro.xmlmodel.builder import attr, text
 from repro.xmlmodel.tree import XMLDocument, XMLNode
 
@@ -95,10 +95,20 @@ def _decode_entities(raw: str, offset: int) -> str:
         if end < 0:
             raise XMLParseError("unterminated entity reference", offset + index)
         name = raw[index + 1 : end]
-        if name.startswith("#x") or name.startswith("#X"):
-            pieces.append(chr(int(name[2:], 16)))
-        elif name.startswith("#"):
-            pieces.append(chr(int(name[1:])))
+        if name.startswith("#"):
+            # numeric character reference: digits may be garbage and the
+            # code point out of range — both are parse errors, not
+            # ValueError leaks
+            try:
+                if name.startswith("#x") or name.startswith("#X"):
+                    code = int(name[2:], 16)
+                else:
+                    code = int(name[1:])
+                pieces.append(chr(code))
+            except (ValueError, OverflowError):
+                raise XMLParseError(
+                    f"invalid character reference &{name};", offset + index
+                ) from None
         elif name in _ENTITIES:
             pieces.append(_ENTITIES[name])
         else:
@@ -224,15 +234,36 @@ def _parse_element(scanner: _Scanner, keep_whitespace: bool) -> XMLNode:
 
 
 def parse_fragment(source: str, keep_whitespace: bool = False) -> XMLNode:
-    """Parse a single element (with its subtree) from XML text."""
+    """Parse a single element (with its subtree) from XML text.
+
+    Malformed input always surfaces as :class:`XMLParseError` (a
+    :class:`~repro.errors.ParseError` with position and snippet) —
+    never a bare ``ValueError``/``IndexError`` from the scanner's
+    internals.  The fuzz suite holds the parser to this contract.
+    """
     scanner = _Scanner(source)
-    _skip_misc(scanner)
-    if scanner.startswith("<!DOCTYPE"):
-        raise XMLParseError("DOCTYPE declarations are not supported", scanner.pos)
-    element = _parse_element(scanner, keep_whitespace)
-    _skip_misc(scanner)
-    if not scanner.at_end():
-        raise XMLParseError("trailing content after document element", scanner.pos)
+    try:
+        _skip_misc(scanner)
+        if scanner.startswith("<!DOCTYPE"):
+            raise XMLParseError(
+                "DOCTYPE declarations are not supported", scanner.pos
+            )
+        element = _parse_element(scanner, keep_whitespace)
+        _skip_misc(scanner)
+        if not scanner.at_end():
+            raise XMLParseError(
+                "trailing content after document element", scanner.pos
+            )
+    except XMLParseError as error:
+        raise error.with_snippet(source) from None
+    except (ValueError, IndexError, OverflowError) as error:
+        # belt and braces: any scanner slip on adversarial input is
+        # still reported as a parse error at the current offset
+        raise XMLParseError(
+            f"malformed XML: {error}",
+            scanner.pos,
+            source_snippet(source, scanner.pos),
+        ) from error
     return element
 
 

@@ -14,7 +14,7 @@ exactly the positive, navigation-only fragment the paper refers to.
 
 from __future__ import annotations
 
-from repro.errors import XPathError
+from repro.errors import XPathParseError, source_snippet
 from repro.xpath.ast import Axis, LocationPath, Step, WILDCARD_TEST
 
 _NAME_START = set(
@@ -47,7 +47,7 @@ class _Cursor:
 
     def read_name(self) -> str:
         if self.at_end() or self.peek() not in _NAME_START:
-            raise XPathError(f"expected a name at offset {self.pos}")
+            raise XPathParseError("expected a name", self.pos)
         start = self.pos
         self.pos += 1
         while not self.at_end() and self.peek() in _NAME_CHARS:
@@ -56,13 +56,27 @@ class _Cursor:
 
 
 def parse_xpath(source: str) -> LocationPath:
-    """Parse an absolute or relative positive CoreXPath expression."""
-    cursor = _Cursor(source.strip())
-    path = _parse_path(cursor, allow_relative=True)
-    if not cursor.at_end():
-        raise XPathError(
-            f"unexpected trailing input at offset {cursor.pos} in {source!r}"
-        )
+    """Parse an absolute or relative positive CoreXPath expression.
+
+    Malformed input always surfaces as :class:`XPathParseError` (a
+    :class:`~repro.errors.ParseError` with position and snippet) —
+    never a bare ``ValueError``/``IndexError``; the fuzz suite holds
+    the parser to this contract.
+    """
+    stripped = source.strip()
+    cursor = _Cursor(stripped)
+    try:
+        path = _parse_path(cursor, allow_relative=True)
+        if not cursor.at_end():
+            raise XPathParseError("unexpected trailing input", cursor.pos)
+    except XPathParseError as error:
+        raise error.with_snippet(stripped) from None
+    except (ValueError, IndexError, OverflowError) as error:
+        raise XPathParseError(
+            f"malformed XPath: {error}",
+            cursor.pos,
+            source_snippet(stripped, cursor.pos),
+        ) from error
     return path
 
 
@@ -79,7 +93,7 @@ def _parse_path(cursor: _Cursor, allow_relative: bool) -> LocationPath:
         steps.append(_parse_step(cursor, Axis.CHILD))
     else:
         if not allow_relative:
-            raise XPathError("expected an absolute path")
+            raise XPathParseError("expected an absolute path", cursor.pos)
         steps.append(_parse_step(cursor, Axis.CHILD))
     while True:
         if cursor.take("//"):
@@ -103,5 +117,5 @@ def _parse_step(cursor: _Cursor, axis: Axis) -> Step:
             LocationPath(inner.steps, absolute=False)
         )
         if not cursor.take("]"):
-            raise XPathError(f"unterminated predicate at offset {cursor.pos}")
+            raise XPathParseError("unterminated predicate", cursor.pos)
     return Step(axis, test, tuple(predicates))

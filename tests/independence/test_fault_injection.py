@@ -118,6 +118,52 @@ class TestWorkerFaultRecovery:
         )
         assert "worker fault" in matrix.describe()
 
+    @pytest.mark.parametrize("kind", ["crash-once", "raise-once"])
+    def test_worker_death_with_checkpointing_still_journals_every_cell(
+        self, workload, tmp_path, kind
+    ):
+        """Pool-fault recovery and checkpointing compose.
+
+        A worker death must neither lose nor double-journal cells: the
+        retried/serially-recomputed chunks are journaled exactly once,
+        so a later resume restores the full matrix without recomputing.
+        """
+        from repro.persistence import scan_journal, load_snapshot
+        from repro.persistence.store import JOURNAL_NAME, SNAPSHOT_NAME
+
+        fds, update_classes = workload
+        reference = check_independence_matrix(fds, update_classes)
+        run_dir = tmp_path / "run"
+        fault = FaultInjection(
+            kind=kind, flag_path=str(tmp_path / "armed"), target_offset=0
+        )
+        matrix = check_independence_matrix(
+            fds,
+            update_classes,
+            parallelism=2,
+            checkpoint_dir=run_dir,
+            _fault_injection=fault,
+        )
+        assert (tmp_path / "armed").exists()
+        assert matrix.worker_faults >= 1
+        _assert_same_verdicts(matrix, reference)
+        # finalize compacted: the snapshot has one record per cell, no
+        # duplicates from the retried chunk, and the journal is empty
+        snapshot = load_snapshot(run_dir / SNAPSHOT_NAME)
+        keys = [
+            (record["row"], record["column"]) for record in snapshot["cells"]
+        ]
+        assert sorted(keys) == [
+            (row, column)
+            for row in range(len(fds))
+            for column in range(len(update_classes))
+        ]
+        assert scan_journal(run_dir / JOURNAL_NAME) == ([], 0, 0)
+        resumed = check_independence_matrix(
+            fds, update_classes, checkpoint_dir=run_dir, resume=True
+        )
+        _assert_same_verdicts(resumed, reference)
+
 
 class TestMergeIntegrity:
     def _cell(self, row, column=0):

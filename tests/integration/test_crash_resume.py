@@ -1,0 +1,187 @@
+"""The crash harness: SIGKILL a checkpointed matrix run, corrupt the
+journal tail, resume, and demand a cell-for-cell identical matrix.
+
+This is the end-to-end durability claim of the persistence stack, driven
+for real: a subprocess runs :func:`check_independence_matrix` with a
+``checkpoint_dir`` and an injected per-cell delay (the same kind of test
+hook as ``_fault_injection``), the parent waits until at least two cell
+records are durably journaled and then SIGKILLs the child mid-run —
+*mid-journal* as far as the child can tell.  The parent then damages the
+journal tail the way a torn write would (truncated bytes, trailing
+garbage), resumes in-process, and asserts:
+
+* the final matrix equals an uninterrupted reference run cell for cell;
+* the journaled-before-the-kill cells were restored, not recomputed
+  (no duplicate (row, column) among the resumed run's journal records).
+
+Set ``CRASH_RESUME_KEEP_DIR`` to a directory path to keep a copy of the
+recovered run directory (CI uploads it as an artifact on failure).
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+import warnings
+
+import pytest
+
+from repro.independence.matrix import check_independence_matrix
+from repro.persistence import (
+    JOURNAL_NAME,
+    PersistenceWarning,
+    scan_journal,
+)
+
+# The workload is built from this source string, exec'd both here and in
+# the child process, so parent and child agree on it exactly.
+WORKLOAD_SOURCE = """
+import random
+
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_update_class,
+)
+
+rng = random.Random(20260807)
+LABELS = ("a", "b", "c")
+fds = [
+    random_functional_dependency(rng, LABELS, node_count=3, max_length=2)
+    for _ in range(4)
+]
+update_classes = [
+    random_update_class(rng, LABELS, node_count=2, max_length=2)
+    for _ in range(2)
+]
+"""
+
+CHILD_SOURCE = WORKLOAD_SOURCE + """
+import sys
+
+from repro.independence.matrix import check_independence_matrix
+
+check_independence_matrix(
+    fds,
+    update_classes,
+    checkpoint_dir=sys.argv[1],
+    checkpoint_snapshot_every=10_000,  # keep everything in the journal
+    _per_cell_delay_seconds=0.15,
+)
+"""
+
+
+def _workload():
+    namespace = {}
+    exec(WORKLOAD_SOURCE, namespace)
+    return namespace["fds"], namespace["update_classes"]
+
+
+def _keep_run_dir(run_dir):
+    keep = os.environ.get("CRASH_RESUME_KEEP_DIR")
+    if keep:
+        destination = os.path.join(keep, os.path.basename(run_dir))
+        shutil.copytree(run_dir, destination, dirs_exist_ok=True)
+
+
+def test_sigkill_torn_tail_resume_yields_identical_matrix(tmp_path):
+    fds, update_classes = _workload()
+    reference = check_independence_matrix(fds, update_classes)
+    total_cells = len(fds) * len(update_classes)
+
+    run_dir = tmp_path / "run"
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SOURCE, str(run_dir)],
+        env={
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+                + ([os.environ["PYTHONPATH"]] if "PYTHONPATH" in os.environ else [])
+            ),
+        },
+    )
+    journal = run_dir / JOURNAL_NAME
+    try:
+        # wait until at least two cell verdicts are durably journaled,
+        # then SIGKILL the child in the middle of its run
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            records, _, _ = scan_journal(journal)
+            if len(records) >= 2:
+                break
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child exited early with {child.returncode} before "
+                    f"enough cells were journaled"
+                )
+            time.sleep(0.02)
+        else:
+            pytest.fail("child never journaled two cells within the deadline")
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    survived, _, _ = scan_journal(journal)
+    assert 2 <= len(survived) < total_cells, (
+        "the kill must land mid-run: some cells journaled, some not"
+    )
+
+    # damage the tail the way a torn write would: chop bytes off the last
+    # record and append garbage that never got fsynced as a full frame
+    raw = journal.read_bytes()
+    journal.write_bytes(raw[:-2] + b"\x7f garbage after the tear")
+
+    try:
+        with warnings.catch_warnings():
+            # recovery of the torn tail is expected and warned about
+            warnings.simplefilter("ignore", PersistenceWarning)
+            resumed = check_independence_matrix(
+                fds,
+                update_classes,
+                checkpoint_dir=run_dir,
+                resume=True,
+            )
+
+        # --- the durability claim: identical matrix, cell for cell ---
+        assert resumed.row_names == reference.row_names
+        assert resumed.column_names == reference.column_names
+        for row, reference_row in zip(resumed.cells, reference.cells):
+            for cell, reference_cell in zip(row, reference_row):
+                assert (cell.row, cell.column) == (
+                    reference_cell.row,
+                    reference_cell.column,
+                )
+                assert cell.verdict == reference_cell.verdict
+
+        # --- and no recomputation of restored cells: a restored cell
+        # keeps the wall time the *child* measured (float equality with
+        # an independent measurement is impossible); the torn last
+        # record must have been recomputed, so its wall time differs
+        for record in survived[:-1]:
+            cell = resumed.cells[record["row"]][record["column"]]
+            assert cell.elapsed_seconds == record["elapsed_seconds"], (
+                "resume recomputed a cell that was already certified"
+            )
+        torn = survived[-1]
+        recomputed = resumed.cells[torn["row"]][torn["column"]]
+        assert recomputed.elapsed_seconds != torn["elapsed_seconds"], (
+            "the torn journal record was trusted instead of recomputed"
+        )
+    except BaseException:
+        _keep_run_dir(run_dir)
+        raise
+
+
+def test_harness_workload_is_deterministic():
+    """Parent and child must derive the identical workload from source."""
+    first_fds, first_updates = _workload()
+    second_fds, second_updates = _workload()
+    reference = check_independence_matrix(first_fds, first_updates)
+    again = check_independence_matrix(second_fds, second_updates)
+    assert [
+        [cell.verdict for cell in row] for row in reference.cells
+    ] == [[cell.verdict for cell in row] for row in again.cells]

@@ -1,0 +1,106 @@
+"""Unit tests for run manifests: fingerprint stability and mismatch refusal."""
+
+import dataclasses
+
+import pytest
+
+from repro import PatternBuilder, Schema, UpdateClass
+from repro.errors import ResumeMismatchError
+from repro.limits import Budget
+from repro.persistence.manifest import (
+    RunManifest,
+    budget_spec,
+    fingerprint_pattern,
+    fingerprint_schema,
+)
+
+
+def _pattern(leaf="isbn"):
+    build = PatternBuilder()
+    book = build.child(build.root, "library.book")
+    build.child(book, leaf, name="s")
+    return build.pattern("s")
+
+
+def _schema(extra=()):
+    rules = {"library": "book*", "book": "isbn", "isbn": "#text"}
+    for label in extra:
+        rules[label] = "#text"
+        rules["book"] = "isbn " + label
+    return Schema.from_rules("library", rules)
+
+
+def _manifest(**overrides):
+    base = RunManifest.for_matrix(
+        kind="independence-matrix",
+        patterns=[_pattern()],
+        row_names=["fd0"],
+        update_classes=[UpdateClass(_pattern("price"), name="u0")],
+        schema=_schema(),
+        strategy="lazy",
+        want_witness=False,
+        budget=None,
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+class TestFingerprints:
+    def test_pattern_fingerprint_is_stable_across_rebuilds(self):
+        assert fingerprint_pattern(_pattern()) == fingerprint_pattern(_pattern())
+
+    def test_pattern_fingerprint_sees_edge_regexes(self):
+        assert fingerprint_pattern(_pattern("isbn")) != fingerprint_pattern(
+            _pattern("title")
+        )
+
+    def test_pattern_fingerprint_sees_selected_tuple(self):
+        build = PatternBuilder()
+        book = build.child(build.root, "library.book")
+        build.child(book, "isbn", name="s")
+        one = build.pattern("s")
+        both = build.pattern("s", "s")
+        assert fingerprint_pattern(one) != fingerprint_pattern(both)
+
+    def test_schema_fingerprint_stable_and_content_sensitive(self):
+        assert fingerprint_schema(_schema()) == fingerprint_schema(_schema())
+        assert fingerprint_schema(_schema()) != fingerprint_schema(
+            _schema(extra=("title",))
+        )
+        assert fingerprint_schema(None) is None
+
+    def test_budget_spec_round_trip(self):
+        assert budget_spec(None) is None
+        spec = budget_spec(Budget(max_explored_states=10))
+        assert spec["max_explored_states"] == 10
+        assert spec["deadline_ms"] is None
+
+
+class TestResumePolicy:
+    def test_identical_manifests_match(self):
+        _manifest().require_matches(_manifest())
+
+    def test_json_round_trip_preserves_digest(self):
+        manifest = _manifest()
+        restored = RunManifest.from_json_dict(manifest.to_json_dict())
+        assert restored == manifest
+        assert restored.digest() == manifest.digest()
+
+    def test_mismatch_collects_all_differing_fields(self):
+        stored = _manifest()
+        current = _manifest(
+            strategy="eager", budget=budget_spec(Budget(deadline_ms=5))
+        )
+        with pytest.raises(ResumeMismatchError) as excinfo:
+            current.require_matches(stored)
+        fields = [field for field, _, _ in excinfo.value.mismatches]
+        assert sorted(fields) == ["budget", "strategy"]
+        assert "refusing to splice" in str(excinfo.value)
+
+    def test_kind_mismatch_refused(self):
+        with pytest.raises(ResumeMismatchError) as excinfo:
+            _manifest(kind="view-independence-matrix").require_matches(_manifest())
+        assert [f for f, _, _ in excinfo.value.mismatches] == ["kind"]
+
+    def test_damaged_manifest_document_refused(self):
+        with pytest.raises(ResumeMismatchError):
+            RunManifest.from_json_dict({"kind": "independence-matrix"})

@@ -1,0 +1,52 @@
+"""Unit tests for atomic snapshots: write/load round-trip, damage handling."""
+
+import json
+
+from repro.persistence.snapshot import SNAPSHOT_VERSION, load_snapshot, write_snapshot
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "snapshot.json"
+    state = {"manifest_digest": "abc", "cells": [{"row": 0, "column": 1}]}
+    write_snapshot(path, state)
+    loaded = load_snapshot(path)
+    assert loaded is not None
+    assert loaded["manifest_digest"] == "abc"
+    assert loaded["cells"] == [{"row": 0, "column": 1}]
+    assert loaded["version"] == SNAPSHOT_VERSION
+
+
+def test_overwrite_is_atomic_replace(tmp_path):
+    path = tmp_path / "snapshot.json"
+    write_snapshot(path, {"generation": 1})
+    write_snapshot(path, {"generation": 2})
+    assert load_snapshot(path)["generation"] == 2
+    # no temp files left behind
+    assert [p.name for p in tmp_path.iterdir()] == ["snapshot.json"]
+
+
+def test_missing_file_loads_none(tmp_path):
+    assert load_snapshot(tmp_path / "absent.json") is None
+
+
+def test_truncated_json_loads_none(tmp_path):
+    path = tmp_path / "snapshot.json"
+    write_snapshot(path, {"cells": list(range(100))})
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    assert load_snapshot(path) is None
+
+
+def test_non_dict_payload_loads_none(tmp_path):
+    path = tmp_path / "snapshot.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    assert load_snapshot(path) is None
+
+
+def test_version_mismatch_loads_none(tmp_path):
+    path = tmp_path / "snapshot.json"
+    write_snapshot(path, {"cells": []})
+    state = json.loads(path.read_text())
+    state["version"] = SNAPSHOT_VERSION + 1
+    path.write_text(json.dumps(state))
+    assert load_snapshot(path) is None

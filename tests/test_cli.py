@@ -227,6 +227,156 @@ class TestBudgetedIndependence:
         assert "must be >= 0" in capsys.readouterr().err
 
 
+class TestCheckpointFlags:
+    ARGS = [
+        "independence",
+        "--fd",
+        FD,
+        "--update-xpath",
+        "/orders/order/status",
+        "--update-xpath",
+        "/orders/order/customer/name",
+    ]
+
+    def test_checkpointed_matrix_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "ckpt"
+        code = main(self.ARGS + ["--checkpoint-dir", str(run_dir)])
+        assert code == 2  # one cell possibly-dependent, as without the dir
+        assert (run_dir / "manifest.json").is_file()
+        assert (run_dir / "complete.json").is_file()
+
+    def test_resume_over_complete_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "ckpt"
+        main(self.ARGS + ["--checkpoint-dir", str(run_dir)])
+        capsys.readouterr()
+        code = main(
+            self.ARGS + ["--checkpoint-dir", str(run_dir), "--resume"]
+        )
+        assert code == 2
+        assert "POSSIBLY_DEPENDENT" in capsys.readouterr().out
+
+    def test_resume_with_changed_inputs_refused(self, tmp_path, capsys):
+        run_dir = tmp_path / "ckpt"
+        main(self.ARGS + ["--checkpoint-dir", str(run_dir)])
+        capsys.readouterr()
+        code = main(
+            self.ARGS
+            + [
+                "--checkpoint-dir",
+                str(run_dir),
+                "--resume",
+                "--max-explored",
+                "7",
+            ]
+        )
+        assert code == 64
+        assert "refusing to splice" in capsys.readouterr().err
+
+
+class TestCheckpointsSubcommand:
+    def _complete_run(self, tmp_path):
+        run_dir = tmp_path / "ckpt" / "orders"
+        main(
+            [
+                "independence",
+                "--fd",
+                FD,
+                "--update-xpath",
+                "/orders/order/status",
+                "--checkpoint-dir",
+                str(run_dir),
+            ]
+        )
+        return run_dir
+
+    def test_list(self, tmp_path, capsys):
+        run_dir = self._complete_run(tmp_path)
+        capsys.readouterr()
+        code = main(["checkpoints", "list", str(tmp_path / "ckpt")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert str(run_dir) in out
+        assert "complete" in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        code = main(["checkpoints", "list", str(tmp_path)])
+        assert code == 0
+        assert "no checkpoint run directories" in capsys.readouterr().out
+
+    def test_inspect(self, tmp_path, capsys):
+        run_dir = self._complete_run(tmp_path)
+        capsys.readouterr()
+        code = main(["checkpoints", "inspect", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "independence-matrix" in out
+        assert "1x1" in out
+
+    def test_inspect_non_run_dir(self, tmp_path, capsys):
+        code = main(["checkpoints", "inspect", str(tmp_path)])
+        assert code != 0
+        assert "not a checkpoint run directory" in capsys.readouterr().err
+
+    def test_clean_removes_complete_runs(self, tmp_path, capsys):
+        run_dir = self._complete_run(tmp_path)
+        capsys.readouterr()
+        code = main(["checkpoints", "clean", str(tmp_path / "ckpt")])
+        assert code == 0
+        assert "removed" in capsys.readouterr().out
+        assert not run_dir.exists()
+
+
+class TestParseErrorRendering:
+    """Malformed input of every kind: one-line diagnostic, exit 2."""
+
+    def _assert_parse_error(self, code, capsys):
+        assert code == 2
+        captured = capsys.readouterr()
+        error = captured.err.strip()
+        assert error.startswith("parse error:")
+        assert "\n" not in error  # one line, no traceback
+        assert "Traceback" not in captured.err
+
+    def test_malformed_xml(self, store, tmp_path, capsys):
+        _, schema = store
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<orders><order></orders>")
+        code = main(["validate", str(bad), "--schema", str(schema)])
+        self._assert_parse_error(code, capsys)
+
+    def test_malformed_schema(self, store, tmp_path, capsys):
+        document, _ = store
+        bad = tmp_path / "bad.schema"
+        bad.write_text("orders = order*")
+        code = main(["validate", str(document), "--schema", str(bad)])
+        self._assert_parse_error(code, capsys)
+
+    def test_malformed_xpath(self, store, capsys):
+        document, _ = store
+        code = main(
+            ["evaluate", str(document), "--xpath", "/orders/order["]
+        )
+        self._assert_parse_error(code, capsys)
+
+    def test_malformed_regex_in_schema(self, store, tmp_path, capsys):
+        document, _ = store
+        bad = tmp_path / "bad.schema"
+        bad.write_text("orders := order*)")
+        code = main(["validate", str(document), "--schema", str(bad)])
+        self._assert_parse_error(code, capsys)
+
+    def test_diagnostic_carries_position_and_snippet(
+        self, store, tmp_path, capsys
+    ):
+        _, schema = store
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<orders><order></orders>")
+        main(["validate", str(bad), "--schema", str(schema)])
+        error = capsys.readouterr().err
+        assert "at offset" in error
+        assert "near" in error
+
+
 class TestStreamCheck:
     def test_violated(self, store, capsys):
         document, _ = store

@@ -1,0 +1,96 @@
+"""Coverage for ``scripts/degradation_stats.py`` (the CI artifact dump).
+
+The script is loaded from its file (it is a script, not a package
+module) and its report compared against a checked-in golden file after
+stripping wall-time fields.  Everything else — verdicts per budget,
+partial-exploration counters, budget specs — is deterministic by
+construction (seeded workload, serial run), so the golden comparison
+pins the budgeted-degradation behaviour end to end.
+
+Regenerate the golden after an intentional behaviour change with::
+
+    PYTHONPATH=src python -c "
+    import importlib.util, json
+    spec = importlib.util.spec_from_file_location(
+        'degradation_stats', 'scripts/degradation_stats.py')
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    report = mod.collect()
+    for budget in report['budgets'].values():
+        for cell in budget['cells']:
+            cell.pop('elapsed_ms', None)
+    with open('tests/golden/degradation_stats.json', 'w') as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write('\n')
+    "
+"""
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "degradation_stats.py"
+GOLDEN = REPO_ROOT / "tests" / "golden" / "degradation_stats.json"
+
+
+@pytest.fixture(scope="module")
+def degradation_stats():
+    spec = importlib.util.spec_from_file_location("degradation_stats", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report(degradation_stats):
+    return degradation_stats.collect()
+
+
+def _strip_wall_time(report):
+    report = copy.deepcopy(report)
+    for budget in report["budgets"].values():
+        for cell in budget["cells"]:
+            cell.pop("elapsed_ms", None)
+    return report
+
+
+def test_report_matches_golden(report):
+    golden = json.loads(GOLDEN.read_text())
+    assert _strip_wall_time(report) == golden
+
+
+def test_every_cell_carries_wall_time(report):
+    for budget in report["budgets"].values():
+        for cell in budget["cells"]:
+            assert isinstance(cell["elapsed_ms"], float)
+            assert cell["elapsed_ms"] >= 0.0
+
+
+def test_unknown_cells_carry_partial_counters(report):
+    """A budget-truncated cell must say how far it got before stopping."""
+    unknown_total = 0
+    for budget in report["budgets"].values():
+        for cell in budget["cells"]:
+            if cell["verdict"] == "unknown":
+                unknown_total += 1
+                assert cell["partial"]["reason"] in (
+                    "deadline",
+                    "state-cap",
+                    "rule-cap",
+                )
+    assert unknown_total > 0  # the tight budgets really truncate
+    unbounded = report["budgets"]["unbounded"]
+    assert unbounded["unknown_cells"] == 0
+    assert all("partial" not in cell for cell in unbounded["cells"])
+
+
+def test_main_writes_the_report_file(degradation_stats, tmp_path, capsys):
+    output = tmp_path / "stats.json"
+    assert degradation_stats.main(["degradation_stats.py", str(output)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    written = json.loads(output.read_text())
+    assert set(written["budgets"]) == set(degradation_stats.BUDGETS)

@@ -1,0 +1,124 @@
+"""Mini-fuzz for every textual parser: mutate valid inputs, demand that
+nothing but :class:`~repro.errors.ParseError` ever escapes.
+
+The error-hardening contract of the front ends is *total*: malformed
+input of any shape surfaces as a structured ``ParseError`` subclass
+(with position and snippet where available) — never a bare
+``ValueError``/``IndexError``/``KeyError``/``RecursionError`` from
+parser internals, which the CLI would render as a traceback.  Each
+parser gets a couple hundred seeded random mutations of known-valid
+inputs; a successful parse is fine (many mutations stay well-formed),
+any non-ParseError exception is the bug.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ParseError
+from repro.regex.parser import parse_regex
+from repro.schema.dtd import Schema
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.parser import parse_xpath
+
+MUTATIONS_PER_SEED = 200
+
+#: characters the grammars care about, over-represented on purpose
+SPECIALS = "<>&;()[]*|/@#\"'= !?+.-{},:\\\n\t"
+
+
+VALID_DOCUMENTS = [
+    '<library><book isbn="12"><title>AI</title></book></library>',
+    "<session><candidate><level>3</level><exam/></candidate></session>",
+    "<a><b>x &amp; y</b><b>&#65;</b><c/></a>",
+    '<r one="1" two="&quot;2&quot;"><!-- note --><t>text</t></r>',
+]
+
+VALID_REGEXES = [
+    "a b* (c | d)+",
+    "@IDN level exam* (toBePassed | firstJob-Year)",
+    "(a | b)* c? #text",
+    "library.book price",
+]
+
+VALID_XPATHS = [
+    "/library/book/title",
+    "/session//candidate/exam",
+    "//book/@isbn",
+    "/a/b[c]/d",
+]
+
+VALID_SCHEMAS = [
+    "!document library\nlibrary := book*\nbook := @isbn title\n"
+    "title := #text",
+    "# comment\nsession := candidate*\ncandidate := level exam*\n"
+    "level := #text\nexam := #text",
+]
+
+
+def _mutate(rng: random.Random, source: str) -> str:
+    """One random edit: delete/insert/replace/duplicate/truncate."""
+    operation = rng.randrange(5)
+    if not source:
+        return rng.choice(SPECIALS)
+    position = rng.randrange(len(source))
+    if operation == 0:  # delete a slice
+        end = min(len(source), position + rng.randrange(1, 4))
+        return source[:position] + source[end:]
+    if operation == 1:  # insert special characters
+        payload = "".join(
+            rng.choice(SPECIALS) for _ in range(rng.randrange(1, 4))
+        )
+        return source[:position] + payload + source[position:]
+    if operation == 2:  # replace one character
+        return source[:position] + rng.choice(SPECIALS) + source[position + 1 :]
+    if operation == 3:  # duplicate a slice
+        end = min(len(source), position + rng.randrange(1, 8))
+        return source[:position] + source[position:end] + source[position:]
+    return source[:position]  # truncate
+
+
+def _fuzz(parse, seeds, seed):
+    rng = random.Random(seed)
+    for _ in range(MUTATIONS_PER_SEED):
+        source = rng.choice(seeds)
+        for _ in range(rng.randrange(1, 4)):
+            source = _mutate(rng, source)
+        try:
+            parse(source)
+        except ParseError:
+            pass  # the structured refusal we demand
+        except Exception as error:  # pragma: no cover - the failure path
+            pytest.fail(
+                f"{parse.__name__} leaked {type(error).__name__}: {error!r} "
+                f"on input {source!r}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_xml_parser_only_raises_parse_errors(seed):
+    _fuzz(parse_document, VALID_DOCUMENTS, seed)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_regex_parser_only_raises_parse_errors(seed):
+    _fuzz(parse_regex, VALID_REGEXES, seed)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_xpath_parser_only_raises_parse_errors(seed):
+    _fuzz(parse_xpath, VALID_XPATHS, seed)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_schema_parser_only_raises_parse_errors(seed):
+    _fuzz(Schema.parse_text, VALID_SCHEMAS, seed)
+
+
+def test_parse_errors_carry_position_and_snippet():
+    """The diagnostics the CLI renders: offset + source snippet."""
+    with pytest.raises(ParseError) as excinfo:
+        parse_document("<a><b></a>")
+    assert excinfo.value.position is not None
+    assert excinfo.value.snippet is not None
+    assert "near" in str(excinfo.value)
