@@ -12,6 +12,7 @@ import pytest
 
 from repro.independence.matrix import check_view_independence_matrix
 from repro.independence.views import check_view_independence
+from repro.obs.metrics import MetricsRegistry, format_metrics_table
 from repro.pattern.engine import evaluate_pattern
 from repro.update.apply import Update, apply_update
 from repro.update.operations import set_text
@@ -79,6 +80,14 @@ def bench_t10_report(benchmark, figures):
         ["view", "view-IC verdict", "dynamic check (40 candidates)", "time (ms)"],
         rows,
     )
+
+    # the bench opts in to metrics: fold the batch run into a registry
+    # so the report shows the verdict counters and cell-latency buckets
+    registry = MetricsRegistry()
+    registry.absorb_matrix(matrix)
+    for line in format_metrics_table(registry.snapshot()).splitlines():
+        print(f"# {line}")
+
     benchmark.pedantic(
         lambda: check_view_independence(
             figures.r1, figures.update_class, want_witness=False

@@ -21,7 +21,9 @@ API (``check_independence_matrix``) with 1 and 2 worker processes
 against the per-pair loop.
 
 The measured table is written machine-readably to ``BENCH_T3.json``
-(path overridable via the ``BENCH_T3_JSON`` environment variable).
+(path overridable via the ``BENCH_T3_JSON`` environment variable),
+together with a metrics snapshot (verdict counters, cell-latency
+histogram, cache gauges) absorbed from the same runs.
 ``BENCH_QUICK=1`` shrinks the sweeps for CI smoke runs.
 """
 
@@ -35,6 +37,7 @@ import pytest
 from repro.independence.criterion import check_independence
 from repro.independence.matrix import check_independence_matrix
 from repro.independence.language import dangerous_language
+from repro.obs.metrics import MetricsRegistry
 from repro.schema.dtd import Schema
 from repro.tautomata.reference import typed_inhabited_states_reference
 
@@ -88,7 +91,7 @@ def _measure_lazy(fd, update_class, schema=None):
         fd, update_class, schema=schema, want_witness=False, strategy="lazy"
     )
     elapsed = time.perf_counter() - started
-    return elapsed, result.independent, result.exploration
+    return elapsed, result
 
 
 @pytest.mark.parametrize("length", (2, 4, 8, 16))
@@ -180,13 +183,17 @@ def bench_t3_report(benchmark):
     rows = []
     records = []
     largest = None
+    # the bench opts in to metrics: absorb every lazy run after timing
+    # it (absorption is post-hoc, so it never skews the measurement)
+    registry = MetricsRegistry()
     for name, fd, update_class, schema in _sweep_configs():
         eager_seconds, eager_empty, eager_rules = _measure_eager_seed(
             fd, update_class, schema
         )
-        lazy_seconds, lazy_independent, exploration = _measure_lazy(
-            fd, update_class, schema
-        )
+        lazy_seconds, lazy_result = _measure_lazy(fd, update_class, schema)
+        lazy_independent = lazy_result.independent
+        exploration = lazy_result.exploration
+        registry.absorb_result(lazy_result)
         assert lazy_independent == eager_empty, name
         # lazy explores strictly less than the eager construction builds
         assert exploration.explored_states < eager_rules, name
@@ -253,6 +260,7 @@ def bench_t3_report(benchmark):
         ],
     )
 
+    registry.absorb_caches()
     payload = {
         "experiment": "T3",
         "quick": QUICK,
@@ -260,6 +268,7 @@ def bench_t3_report(benchmark):
         "largest_config": largest,
         "configs": records,
         "matrix": matrix,
+        "metrics": registry.snapshot(),
     }
     target = Path(
         os.environ.get(

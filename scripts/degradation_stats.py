@@ -4,7 +4,10 @@ CI runs this when the fault-injection job fails, attaching the output
 as an artifact so the truncation behaviour that broke the build can be
 inspected without rerunning anything: a small randomized matrix is
 driven under several deliberately tight budgets and every cell's
-verdict and explored-so-far counters are recorded.
+verdict and explored-so-far counters are recorded.  Each budget's
+section also carries the metrics snapshot of its run (verdict
+counters, explored-work totals, cell-latency histogram), so the
+artifact shows what the pipeline was doing when it degraded.
 
 Usage::
 
@@ -19,6 +22,7 @@ import sys
 
 from repro.independence.matrix import check_independence_matrix
 from repro.limits import Budget
+from repro.obs.metrics import MetricsRegistry
 from repro.workload.random_patterns import (
     random_functional_dependency,
     random_update_class,
@@ -51,6 +55,8 @@ def collect() -> dict:
     report: dict = {"budgets": {}}
     for name, budget in BUDGETS.items():
         matrix = check_independence_matrix(fds, update_classes, budget=budget)
+        registry = MetricsRegistry()
+        registry.absorb_matrix(matrix)
         cells = []
         for row in matrix.cells:
             for cell in row:
@@ -79,6 +85,7 @@ def collect() -> dict:
             "unknown_cells": matrix.unknown_count(),
             "independent_cells": matrix.independent_count(),
             "cells": cells,
+            "metrics": registry.snapshot(),
         }
     return report
 

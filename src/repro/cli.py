@@ -141,8 +141,55 @@ def _budget_from_args(args: argparse.Namespace):
 
 
 def _cmd_independence(args: argparse.Namespace) -> int:
+    # --trace-out installs a process-wide tracer for the duration of
+    # the command; every layer resolves it through current_tracer(), so
+    # no per-call plumbing is needed here.  The exporter is closed (and
+    # the previous tracer restored) even when the analysis raises.
+    if args.trace_out:
+        from repro.obs.trace import JsonlSpanExporter, Tracer, install_tracer
+
+        tracer = Tracer(JsonlSpanExporter(args.trace_out))
+        previous = install_tracer(tracer)
+        try:
+            return _run_independence(args)
+        finally:
+            install_tracer(previous)
+            tracer.close()
+    return _run_independence(args)
+
+
+def _print_metrics(registry) -> None:
+    from repro.obs.metrics import format_metrics_table
+
+    table = format_metrics_table(registry.snapshot())
+    if table:
+        for line in table.splitlines():
+            print(f"# {line}", file=sys.stderr)
+
+
+def _describe_cell(matrix, cell) -> str:
+    from repro.obs.metrics import format_stats
+
+    work = format_stats(
+        cell.exploration,
+        cell.partial,
+        0 if cell.exploration is None else cell.exploration.explored_size,
+    )
+    return (
+        f"# cell[{matrix.row_names[cell.row]},"
+        f"{matrix.column_names[cell.column]}]: {cell.verdict.value} "
+        f"({work}, {cell.elapsed_seconds * 1000:.2f} ms)"
+    )
+
+
+def _run_independence(args: argparse.Namespace) -> int:
     from repro.independence.criterion import Verdict
 
+    registry = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     fds = [
         translate_linear_fd(LinearFD.parse(text, name=f"fd{index + 1}"))
         for index, text in enumerate(args.fd)
@@ -175,6 +222,15 @@ def _cmd_independence(args: argparse.Namespace) -> int:
             resume=args.resume,
         )
         print(matrix.describe())
+        if registry is not None:
+            for row in matrix.cells:
+                for cell in row:
+                    print(_describe_cell(matrix, cell))
+            registry.absorb_matrix(matrix)
+            registry.absorb_caches()
+            _print_metrics(registry)
+        if args.cache_stats:
+            _print_cache_stats()
         if args.show_witness:
             for row in matrix.cells:
                 for cell in row:
@@ -201,6 +257,12 @@ def _cmd_independence(args: argparse.Namespace) -> int:
         budget=budget,
     )
     print(result.describe())
+    if registry is not None:
+        registry.absorb_result(result)
+        registry.absorb_caches()
+        _print_metrics(registry)
+    if args.cache_stats:
+        _print_cache_stats()
     if result.witness is not None and args.show_witness:
         print("dangerous document:")
         print(serialize_document(result.witness, indent=2))
@@ -408,6 +470,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore certified cells from --checkpoint-dir and "
         "recompute only the remainder (refused when the inputs differ "
         "from the checkpointed run)",
+    )
+    independence.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="write a JSONL span trace of the run (construction, "
+        "fixpoints, products, matrix cells, checkpoint events); "
+        "summarize with scripts/trace_report.py",
+    )
+    independence.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics summary table to stderr and annotate "
+        "matrix cells with duration and explored-vs-worst-case counts",
+    )
+    independence.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print compiled-automaton cache counters to stderr",
     )
     independence.set_defaults(handler=_cmd_independence)
 

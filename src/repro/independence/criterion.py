@@ -42,6 +42,8 @@ from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import DangerousLanguage, dangerous_language
 from repro.limits import Budget, BudgetExceeded, BudgetMeter, PartialStats
+from repro.obs.metrics import format_stats
+from repro.obs.trace import current_tracer
 from repro.schema.dtd import Schema
 from repro.tautomata.emptiness import automaton_is_empty_typed, witness_document
 from repro.tautomata.lazy import ExplorationStats
@@ -120,16 +122,9 @@ class IndependenceResult:
     def describe(self) -> str:
         """One-paragraph human-readable account of the verdict."""
         schema_part = "no schema" if self.schema is None else "with schema"
-        if self.partial is not None:
-            size_part = self.partial.describe()
-        elif self.exploration is None:
-            size_part = f"|A|={self.automaton_size}"
-        else:
-            size_part = (
-                f"explored {self.exploration.explored_states} states/"
-                f"{self.exploration.explored_rules} rules "
-                f"of <= {self.exploration.worst_case_rules} worst-case rules"
-            )
+        size_part = format_stats(
+            self.exploration, self.partial, self.automaton_size
+        )
         lines = [
             f"IC({self.fd.name}, {self.update_class.name}) [{schema_part}]: "
             f"{self.verdict.value.upper()} "
@@ -159,6 +154,7 @@ def check_independence(
     strategy: str = LAZY,
     budget: Budget | None = None,
     _factor_cache: dict | None = None,
+    tracer=None,
 ) -> IndependenceResult:
     """Run the criterion IC on a (FD, update-class[, schema]) triple.
 
@@ -172,50 +168,84 @@ def check_independence(
     UNKNOWN with the partial statistics instead of raising.  With
     ``budget=None`` (the default) no metering code runs at all and the
     verdict is exactly the unbounded one.
+
+    ``tracer`` defaults to the process-wide tracer (a no-op unless one
+    was installed, e.g. by the CLI's ``--trace-out``); the analysis is
+    wrapped in an ``ic.check`` span with construction, fixpoint and
+    product phases nested under it.  Observability never changes the
+    verdict: the differential suite pins traced and untraced runs
+    bit-for-bit equal.
     """
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
             f"unknown independence strategy {strategy!r}; "
             f"expected {LAZY!r} or {EAGER!r}"
         )
+    if tracer is None:
+        tracer = current_tracer()
     started = time.perf_counter()
     meter = _start_meter(budget)
-    language = dangerous_language(
-        fd, update_class, schema=schema, materialize=False
-    )
     exploration: ExplorationStats | None = None
     partial: PartialStats | None = None
     witness: XMLDocument | None = None
-    try:
-        if strategy == LAZY:
-            outcome = language.explore(
-                want_witness=want_witness,
-                factor_cache=_factor_cache,
-                meter=meter,
+    with tracer.span("ic.check") as check_span:
+        with tracer.span("ic.construct"):
+            language = dangerous_language(
+                fd, update_class, schema=schema, materialize=False,
+                tracer=tracer,
             )
-            empty = outcome.empty
-            witness = outcome.witness
-            exploration = outcome.stats
-            automaton_size = exploration.explored_size
-        else:
-            if meter is not None:
-                meter.check_deadline()
-            language.automaton  # force the eager products now
-            if meter is not None:
-                meter.check_deadline()
-            if want_witness:
-                witness = witness_document(language.automaton, meter=meter)
-                empty = witness is None
+        try:
+            if strategy == LAZY:
+                outcome = language.explore(
+                    want_witness=want_witness,
+                    factor_cache=_factor_cache,
+                    meter=meter,
+                    tracer=tracer,
+                )
+                empty = outcome.empty
+                witness = outcome.witness
+                exploration = outcome.stats
+                automaton_size = exploration.explored_size
             else:
-                empty = automaton_is_empty_typed(language.automaton, meter=meter)
-            automaton_size = language.automaton.size()
-        verdict = Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
-    except BudgetExceeded as signal:
-        verdict = Verdict.UNKNOWN
-        partial = signal.partial
-        witness = None
-        exploration = None
-        automaton_size = partial.explored_states + partial.explored_rules
+                if meter is not None:
+                    meter.check_deadline()
+                with tracer.span("ic.eager_product"):
+                    language.automaton  # force the eager products now
+                if meter is not None:
+                    meter.check_deadline()
+                with tracer.span("ic.eager_emptiness"):
+                    if want_witness:
+                        witness = witness_document(
+                            language.automaton, meter=meter
+                        )
+                        empty = witness is None
+                    else:
+                        empty = automaton_is_empty_typed(
+                            language.automaton, meter=meter
+                        )
+                automaton_size = language.automaton.size()
+            verdict = (
+                Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
+            )
+        except BudgetExceeded as signal:
+            verdict = Verdict.UNKNOWN
+            partial = signal.partial
+            witness = None
+            exploration = None
+            automaton_size = partial.explored_states + partial.explored_rules
+        if check_span.enabled:
+            check_span.set_attribute("fd", fd.name)
+            check_span.set_attribute("update_class", update_class.name)
+            check_span.set_attribute("strategy", strategy)
+            check_span.set_attribute("verdict", verdict.value)
+            check_span.set_attribute("automaton_size", automaton_size)
+            if exploration is not None:
+                check_span.set_attribute(
+                    "explored_rules", exploration.explored_rules
+                )
+                check_span.set_attribute(
+                    "worst_case_rules", exploration.worst_case_rules
+                )
     elapsed = time.perf_counter() - started
     return IndependenceResult(
         verdict=verdict,

@@ -52,6 +52,7 @@ from collections.abc import Iterator
 from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
 from repro.limits import BudgetMeter
+from repro.obs.trace import NOOP_TRACER
 from repro.pattern.template import ROOT_POSITION, RegularTreePattern
 from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
@@ -193,24 +194,42 @@ def dangerous_factors(
     update_class: UpdateClass,
     schema: Schema | None = None,
     pattern_name: str = "A_FD",
+    tracer=None,
 ) -> tuple[PatternAutomaton, PatternAutomaton, HedgeAutomaton | None]:
     """The three product factors over one shared global alphabet.
 
     Works for FD patterns and view patterns alike (the dangerous region
     of the view-independence criterion is identical).
     """
+    if tracer is None:
+        tracer = NOOP_TRACER
     validate_update_class(update_class)
     alphabet = set(pattern.template.alphabet())
     alphabet |= update_class.pattern.template.alphabet()
     if schema is not None:
         alphabet |= schema.alphabet()
-    pattern_automaton = trace_automaton(
-        pattern, alphabet, track_regions=True, name=pattern_name
-    )
-    update_automaton = trace_automaton(
-        update_class.pattern, alphabet, track_regions=False, name="A_U"
-    )
-    schema_hedge = None if schema is None else schema_automaton(schema)
+    with tracer.span("construct.trace_automaton") as span:
+        pattern_automaton = trace_automaton(
+            pattern, alphabet, track_regions=True, name=pattern_name
+        )
+        if span.enabled:
+            span.set_attribute("automaton", pattern_name)
+            span.set_attribute("rules", len(pattern_automaton.automaton.rules))
+    with tracer.span("construct.trace_automaton") as span:
+        update_automaton = trace_automaton(
+            update_class.pattern, alphabet, track_regions=False, name="A_U"
+        )
+        if span.enabled:
+            span.set_attribute("automaton", "A_U")
+            span.set_attribute("rules", len(update_automaton.automaton.rules))
+    if schema is None:
+        schema_hedge = None
+    else:
+        with tracer.span("construct.schema_automaton") as span:
+            schema_hedge = schema_automaton(schema)
+            if span.enabled:
+                span.set_attribute("automaton", "A_S")
+                span.set_attribute("rules", len(schema_hedge.rules))
     return pattern_automaton, update_automaton, schema_hedge
 
 
@@ -264,6 +283,7 @@ class DangerousLanguage:
         want_witness: bool = False,
         factor_cache: dict | None = None,
         meter: "BudgetMeter | None" = None,
+        tracer=None,
     ) -> "DangerousExploration":
         """Lazy emptiness of ``L`` (never builds the eager products)."""
         return explore_dangerous_factors(
@@ -273,6 +293,7 @@ class DangerousLanguage:
             want_witness=want_witness,
             factor_cache=factor_cache,
             meter=meter,
+            tracer=tracer,
         )
 
 
@@ -281,6 +302,7 @@ def dangerous_language(
     update_class: UpdateClass,
     schema: Schema | None = None,
     materialize: bool = True,
+    tracer=None,
 ) -> DangerousLanguage:
     """Build the automaton recognizing ``L`` (Definition 6).
 
@@ -289,7 +311,7 @@ def dangerous_language(
     never does).
     """
     fd_automaton, update_automaton, schema_hedge = dangerous_factors(
-        fd.pattern, update_class, schema, pattern_name="A_FD"
+        fd.pattern, update_class, schema, pattern_name="A_FD", tracer=tracer
     )
     language = DangerousLanguage(
         fd=fd,
@@ -320,6 +342,7 @@ def explore_dangerous_factors(
     want_witness: bool = False,
     factor_cache: dict | None = None,
     meter: BudgetMeter | None = None,
+    tracer=None,
 ) -> DangerousExploration:
     """On-the-fly emptiness of ``L`` from its factors.
 
@@ -330,40 +353,55 @@ def explore_dangerous_factors(
     A ``meter`` spans the whole exploration (factor fixpoints and both
     product levels), so the caps bound the total work of the verdict;
     :class:`~repro.limits.BudgetExceeded` propagates to the caller.
+    A ``tracer`` (the no-op default when omitted) wraps each factor
+    fixpoint and product level in its own span.
     """
+    if tracer is None:
+        tracer = NOOP_TRACER
     fd_factor = cached_factor(
         pattern_automaton.automaton, typed=True, cache=factor_cache,
-        meter=meter,
+        meter=meter, tracer=tracer,
     )
     u_factor = cached_factor(
         update_automaton.automaton, typed=True, cache=factor_cache,
-        meter=meter,
+        meter=meter, tracer=tracer,
     )
     combine = _flagged_combine(pattern_automaton, update_automaton)
     with_schema = schema_hedge is not None
-    flagged = explore_product(
-        fd_factor,
-        u_factor,
-        combine=combine,
-        typed=True,
-        want_witness=want_witness and not with_schema,
-        track_rules=with_schema,
-        rules_per_pair=FLAGGED_RULES_PER_PAIR,
-        meter=meter,
-    )
+    with tracer.span("ic.flagged_product") as span:
+        flagged = explore_product(
+            fd_factor,
+            u_factor,
+            combine=combine,
+            typed=True,
+            want_witness=want_witness and not with_schema,
+            track_rules=with_schema,
+            rules_per_pair=FLAGGED_RULES_PER_PAIR,
+            meter=meter,
+            tracer=tracer,
+        )
+        if span.enabled:
+            span.set_attribute("explored_rules", flagged.stats.explored_rules)
+            span.set_attribute(
+                "worst_case_rules", flagged.stats.worst_case_rules
+            )
     if not with_schema:
         empty = DANGEROUS_ACCEPT not in flagged.engine.firings
         witness = None
         if want_witness and not empty:
-            witness = document_from_witness(
-                build_witness_tree(flagged.engine.firings, DANGEROUS_ACCEPT)
-            )
+            with tracer.span("ic.witness"):
+                witness = document_from_witness(
+                    build_witness_tree(
+                        flagged.engine.firings, DANGEROUS_ACCEPT
+                    )
+                )
         return DangerousExploration(
             empty=empty, witness=witness, stats=flagged.stats
         )
 
     schema_factor = cached_factor(
-        schema_hedge, typed=True, cache=factor_cache, meter=meter
+        schema_hedge, typed=True, cache=factor_cache, meter=meter,
+        tracer=tracer,
     )
     flagged_fired = flagged.fired_rules()
     flagged_factor = FactorAnalysis(
@@ -372,14 +410,19 @@ def explore_dangerous_factors(
         index=RuleIndex(flagged_fired),
         rule_count=flagged.stats.worst_case_rules,
     )
-    final = explore_product(
-        schema_factor,
-        flagged_factor,
-        combine=pair_combine,
-        typed=True,
-        want_witness=want_witness,
-        meter=meter,
-    )
+    with tracer.span("ic.schema_product") as span:
+        final = explore_product(
+            schema_factor,
+            flagged_factor,
+            combine=pair_combine,
+            typed=True,
+            want_witness=want_witness,
+            meter=meter,
+            tracer=tracer,
+        )
+        if span.enabled:
+            span.set_attribute("explored_rules", final.stats.explored_rules)
+            span.set_attribute("worst_case_rules", final.stats.worst_case_rules)
     accepting = [
         (schema_state, DANGEROUS_ACCEPT)
         for schema_state in sorted(schema_hedge.accepting, key=repr)
@@ -390,9 +433,12 @@ def explore_dangerous_factors(
     empty = not inhabited_accepting
     witness = None
     if want_witness and not empty:
-        witness = document_from_witness(
-            build_witness_tree(final.engine.firings, inhabited_accepting[0])
-        )
+        with tracer.span("ic.witness"):
+            witness = document_from_witness(
+                build_witness_tree(
+                    final.engine.firings, inhabited_accepting[0]
+                )
+            )
     return DangerousExploration(
         empty=empty, witness=witness, stats=flagged.stats.merge(final.stats)
     )

@@ -66,6 +66,7 @@ from repro.independence.language import (
     validate_update_class,
 )
 from repro.limits import Budget, BudgetExceeded, PartialStats
+from repro.obs.trace import NOOP_TRACER, current_tracer
 from repro.pattern.template import RegularTreePattern
 from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
@@ -355,6 +356,7 @@ def _explore_rows(
     skip_cells: frozenset[tuple[int, int]] | None = None,
     per_cell_delay: float = 0.0,
     on_cell=None,
+    tracer=None,
 ) -> list[list[MatrixCell | None]]:
     """Decide every cell of the given rows, sharing all ingredients.
 
@@ -368,20 +370,30 @@ def _explore_rows(
     the parent-side journaling hook (never shipped to pool workers);
     ``per_cell_delay`` is the crash-harness test hook that slows each
     cell down so a SIGKILL can be timed mid-journal.
+
+    ``tracer`` — like ``on_cell`` — is parent-side only: pool workers
+    always run with the no-op tracer (exporter handles don't pickle),
+    so per-cell spans exist exactly for serially computed cells.  The
+    journaling hook runs *inside* the cell span so checkpoint events
+    nest under the cell that produced them.
     """
-    update_automata = [
-        trace_automaton(
-            update_class.pattern, alphabet, track_regions=False, name="A_U"
-        )
-        for update_class in update_classes
-    ]
-    schema_hedge = None if schema is None else schema_automaton(schema)
+    if tracer is None:
+        tracer = NOOP_TRACER
+    with tracer.span("matrix.construct"):
+        update_automata = [
+            trace_automaton(
+                update_class.pattern, alphabet, track_regions=False, name="A_U"
+            )
+            for update_class in update_classes
+        ]
+        schema_hedge = None if schema is None else schema_automaton(schema)
     factor_cache: dict = {}
     rows: list[list[MatrixCell | None]] = []
     for local_row, pattern in enumerate(patterns):
-        pattern_automaton = trace_automaton(
-            pattern, alphabet, track_regions=True, name="A_FD"
-        )
+        with tracer.span("construct.trace_automaton"):
+            pattern_automaton = trace_automaton(
+                pattern, alphabet, track_regions=True, name="A_FD"
+            )
         row: list[MatrixCell | None] = []
         for column, update_automaton in enumerate(update_automata):
             if (
@@ -392,66 +404,94 @@ def _explore_rows(
                 continue
             if per_cell_delay:
                 time.sleep(per_cell_delay)
-            started = time.perf_counter()
-            meter = (
-                None if budget is None or budget.unbounded else budget.start()
-            )
-            exploration = None
-            witness = None
-            partial = None
-            try:
-                if strategy == LAZY:
-                    outcome = explore_dangerous_factors(
-                        pattern_automaton,
-                        update_automaton,
-                        schema_hedge,
-                        want_witness=want_witness,
-                        factor_cache=factor_cache,
-                        meter=meter,
-                    )
-                    empty = outcome.empty
-                    witness = outcome.witness
-                    exploration = outcome.stats
-                else:
-                    if meter is not None:
-                        meter.check_deadline()
-                    flagged = _flagged_product(
-                        pattern_automaton, update_automaton
-                    )
-                    automaton = (
-                        flagged
-                        if schema_hedge is None
-                        else product_automaton(
-                            schema_hedge, flagged, name="A_S×B"
-                        )
-                    )
-                    if meter is not None:
-                        meter.check_deadline()
-                    if want_witness:
-                        witness = witness_document(automaton, meter=meter)
-                        empty = witness is None
-                    else:
-                        empty = automaton_is_empty_typed(automaton, meter=meter)
-                verdict = (
-                    Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
+            with tracer.span("matrix.cell") as cell_span:
+                started = time.perf_counter()
+                meter = (
+                    None
+                    if budget is None or budget.unbounded
+                    else budget.start()
                 )
-            except BudgetExceeded as signal:
-                verdict = Verdict.UNKNOWN
-                partial = signal.partial
-                witness = None
                 exploration = None
-            cell = MatrixCell(
-                row=row_offset + local_row,
-                column=column,
-                verdict=verdict,
-                elapsed_seconds=time.perf_counter() - started,
-                exploration=exploration,
-                witness=witness,
-                partial=partial,
-            )
-            row.append(cell)
-            if on_cell is not None:
-                on_cell(cell)
+                witness = None
+                partial = None
+                try:
+                    if strategy == LAZY:
+                        outcome = explore_dangerous_factors(
+                            pattern_automaton,
+                            update_automaton,
+                            schema_hedge,
+                            want_witness=want_witness,
+                            factor_cache=factor_cache,
+                            meter=meter,
+                            tracer=tracer,
+                        )
+                        empty = outcome.empty
+                        witness = outcome.witness
+                        exploration = outcome.stats
+                    else:
+                        if meter is not None:
+                            meter.check_deadline()
+                        flagged = _flagged_product(
+                            pattern_automaton, update_automaton
+                        )
+                        automaton = (
+                            flagged
+                            if schema_hedge is None
+                            else product_automaton(
+                                schema_hedge, flagged, name="A_S×B"
+                            )
+                        )
+                        if meter is not None:
+                            meter.check_deadline()
+                        if want_witness:
+                            witness = witness_document(automaton, meter=meter)
+                            empty = witness is None
+                        else:
+                            empty = automaton_is_empty_typed(
+                                automaton, meter=meter
+                            )
+                    verdict = (
+                        Verdict.INDEPENDENT
+                        if empty
+                        else Verdict.POSSIBLY_DEPENDENT
+                    )
+                except BudgetExceeded as signal:
+                    verdict = Verdict.UNKNOWN
+                    partial = signal.partial
+                    witness = None
+                    exploration = None
+                cell = MatrixCell(
+                    row=row_offset + local_row,
+                    column=column,
+                    verdict=verdict,
+                    elapsed_seconds=time.perf_counter() - started,
+                    exploration=exploration,
+                    witness=witness,
+                    partial=partial,
+                )
+                if cell_span.enabled:
+                    cell_span.set_attribute("row", cell.row)
+                    cell_span.set_attribute("column", cell.column)
+                    cell_span.set_attribute("verdict", verdict.value)
+                    cell_span.set_attribute(
+                        "elapsed_ms", cell.elapsed_seconds * 1000.0
+                    )
+                    if exploration is not None:
+                        cell_span.set_attribute(
+                            "explored_rules", exploration.explored_rules
+                        )
+                        cell_span.set_attribute(
+                            "worst_case_rules", exploration.worst_case_rules
+                        )
+                    if partial is not None:
+                        cell_span.set_attribute(
+                            "unknown_reason", partial.reason
+                        )
+                row.append(cell)
+                if on_cell is not None:
+                    # inside the span: checkpoint.journal nests under
+                    # the cell that produced the record
+                    on_cell(cell)
         rows.append(row)
     return rows
 
@@ -544,6 +584,7 @@ def _run_chunks_with_recovery(
     jobs: int,
     worker_timeout_seconds: float | None,
     on_chunk=None,
+    tracer=None,
 ) -> tuple[dict[int, list[list[MatrixCell]]], int]:
     """Fan chunks out over pools, recovering from dead or hung workers.
 
@@ -555,74 +596,112 @@ def _run_chunks_with_recovery(
     workers cannot be joined); anything still unfinished is recomputed
     serially in the parent process, where per-cell budgets — not pool
     machinery — bound the work.
+
+    Observability is parent-side: each pool attempt gets a
+    ``matrix.pool`` span, completed chunks land as ``chunk.done``
+    events (workers cannot carry the tracer across the pickle
+    boundary), pool incidents as ``pool.worker_fault`` /
+    ``pool.timeout`` events, and serially recomputed chunks get real
+    ``matrix.chunk`` spans with the per-cell spans nested inside.
     """
     from concurrent.futures import ProcessPoolExecutor, wait
 
+    if tracer is None:
+        tracer = NOOP_TRACER
     results: dict[int, list[list[MatrixCell]]] = {}
     remaining: dict[int, list[RegularTreePattern]] = dict(chunks)
     faults = 0
     restarts = 0
     while remaining and restarts <= MAX_POOL_RESTARTS:
-        executor = ProcessPoolExecutor(
-            max_workers=min(jobs, len(remaining))
-        )
-        deadline = (
-            None
-            if worker_timeout_seconds is None
-            else time.monotonic() + worker_timeout_seconds
-        )
-        broken = False
-        timed_out = False
-        try:
-            futures = {
-                executor.submit(
-                    _rows_worker, payload_for(offset, patterns)
-                ): offset
-                for offset, patterns in remaining.items()
-            }
-            pending = set(futures)
-            while pending:
-                slack = (
-                    None
-                    if deadline is None
-                    else max(0.0, deadline - time.monotonic())
-                )
-                done, pending = wait(pending, timeout=slack)
-                if not done:
-                    timed_out = True
-                    break
-                for future in done:
-                    offset = futures[future]
-                    try:
-                        rows = future.result()
-                    except Exception:
-                        # worker died mid-chunk (BrokenProcessPool) or
-                        # raised; leave the chunk in `remaining` — the
-                        # retry pool gets one more shot, then the serial
-                        # path recomputes it (and surfaces any
-                        # deterministic error with a clean traceback)
-                        broken = True
-                    else:
-                        results[offset] = rows
-                        remaining.pop(offset, None)
-                        if on_chunk is not None:
-                            # journal the chunk's cells the moment its
-                            # future lands — a later crash replays them
-                            on_chunk(rows)
-                if broken:
-                    break
-        finally:
-            # a hung pool cannot be joined — abandon it without waiting
-            executor.shutdown(wait=not timed_out, cancel_futures=True)
-        if timed_out:
+        with tracer.span("matrix.pool") as pool_span:
+            if pool_span.enabled:
+                pool_span.set_attribute("chunks", len(remaining))
+                pool_span.set_attribute("attempt", restarts + 1)
+            executor = ProcessPoolExecutor(
+                max_workers=min(jobs, len(remaining))
+            )
+            deadline = (
+                None
+                if worker_timeout_seconds is None
+                else time.monotonic() + worker_timeout_seconds
+            )
+            broken = False
+            timed_out = False
+            try:
+                futures = {
+                    executor.submit(
+                        _rows_worker, payload_for(offset, patterns)
+                    ): offset
+                    for offset, patterns in remaining.items()
+                }
+                pending = set(futures)
+                while pending:
+                    slack = (
+                        None
+                        if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    done, pending = wait(pending, timeout=slack)
+                    if not done:
+                        timed_out = True
+                        break
+                    for future in done:
+                        offset = futures[future]
+                        try:
+                            rows = future.result()
+                        except Exception:
+                            # worker died mid-chunk (BrokenProcessPool)
+                            # or raised; leave the chunk in `remaining`
+                            # — the retry pool gets one more shot, then
+                            # the serial path recomputes it (and
+                            # surfaces any deterministic error with a
+                            # clean traceback)
+                            broken = True
+                            if pool_span.enabled:
+                                tracer.event(
+                                    "pool.worker_fault",
+                                    {"row_offset": offset},
+                                )
+                        else:
+                            results[offset] = rows
+                            remaining.pop(offset, None)
+                            if pool_span.enabled:
+                                tracer.event(
+                                    "chunk.done",
+                                    {
+                                        "row_offset": offset,
+                                        "rows": len(rows),
+                                    },
+                                )
+                            if on_chunk is not None:
+                                # journal the chunk's cells the moment
+                                # its future lands — a later crash
+                                # replays them
+                                on_chunk(rows)
+                    if broken:
+                        break
+            finally:
+                # a hung pool cannot be joined — abandon without waiting
+                executor.shutdown(wait=not timed_out, cancel_futures=True)
+            if timed_out:
+                faults += 1
+                if pool_span.enabled:
+                    tracer.event(
+                        "pool.timeout", {"unfinished": len(remaining)}
+                    )
+                break  # straight to the serial fallback
+            if not broken:
+                break
             faults += 1
-            break  # straight to the serial fallback
-        if not broken:
-            break
-        faults += 1
-        restarts += 1
+            restarts += 1
+    if remaining and tracer.enabled:
+        tracer.event("pool.serial_fallback", {"chunks": len(remaining)})
     for offset, patterns in sorted(remaining.items()):
-        results[offset] = serial_for(offset, patterns)
+        with tracer.span("matrix.chunk") as chunk_span:
+            if chunk_span.enabled:
+                chunk_span.set_attribute("row_offset", offset)
+                chunk_span.set_attribute("mode", "serial-fallback")
+            results[offset] = serial_for(offset, patterns)
     return results, faults
 
 
@@ -639,6 +718,7 @@ def _open_checkpoint(
     want_witness: bool,
     budget: Budget | None,
     column_count: int,
+    tracer=None,
 ):
     """Open the checkpoint store and restore this run's certified cells.
 
@@ -656,7 +736,8 @@ def _open_checkpoint(
         want_witness, budget,
     )
     store = CheckpointStore.open(
-        checkpoint_dir, manifest, resume=resume, snapshot_every=snapshot_every
+        checkpoint_dir, manifest, resume=resume,
+        snapshot_every=snapshot_every, tracer=tracer,
     )
     restored: dict[tuple[int, int], MatrixCell] = {}
     if store is not None:
@@ -688,6 +769,7 @@ def _check_matrix(
     resume: bool = False,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     per_cell_delay: float = 0.0,
+    tracer=None,
 ) -> IndependenceMatrix:
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
@@ -699,100 +781,124 @@ def _check_matrix(
             "an independence matrix needs at least one FD/view and one "
             "update class"
         )
+    if tracer is None:
+        tracer = current_tracer()
     for update_class in update_classes:
         validate_update_class(update_class)
     started = time.perf_counter()
-    alphabet = _global_alphabet(patterns, update_classes, schema)
-    column_names = [update_class.name for update_class in update_classes]
-    store = None
-    restored: dict[tuple[int, int], MatrixCell] = {}
-    if checkpoint_dir is not None:
-        store, restored = _open_checkpoint(
-            kind, checkpoint_dir, resume, checkpoint_snapshot_every,
-            patterns, row_names, update_classes, schema, strategy,
-            want_witness, budget, len(update_classes),
-        )
-    skip = frozenset(restored) if restored else None
+    with tracer.span("matrix.run") as run_span:
+        alphabet = _global_alphabet(patterns, update_classes, schema)
+        column_names = [update_class.name for update_class in update_classes]
+        store = None
+        restored: dict[tuple[int, int], MatrixCell] = {}
+        if checkpoint_dir is not None:
+            with tracer.span("matrix.checkpoint.open") as open_span:
+                store, restored = _open_checkpoint(
+                    kind, checkpoint_dir, resume, checkpoint_snapshot_every,
+                    patterns, row_names, update_classes, schema, strategy,
+                    want_witness, budget, len(update_classes), tracer=tracer,
+                )
+                if open_span.enabled:
+                    open_span.set_attribute("resume", resume)
+                    open_span.set_attribute("restored_cells", len(restored))
+        skip = frozenset(restored) if restored else None
 
-    def journal_cell(cell: MatrixCell) -> None:
-        if store is not None and cell is not None:
-            store.record_cell(cell_to_record(cell))
+        def journal_cell(cell: MatrixCell) -> None:
+            if store is not None and cell is not None:
+                store.record_cell(cell_to_record(cell))
 
-    def journal_chunk(rows: list[list[MatrixCell | None]]) -> None:
-        for row in rows:
-            for cell in row:
-                journal_cell(cell)
+        def journal_chunk(rows: list[list[MatrixCell | None]]) -> None:
+            for row in rows:
+                for cell in row:
+                    journal_cell(cell)
 
-    on_cell = journal_cell if store is not None else None
-    on_chunk = journal_chunk if store is not None else None
-    jobs = max(1, int(parallelism))
-    faults = 0
-    if jobs == 1 or len(patterns) == 1:
-        jobs = 1
-        cells = _explore_rows(
-            patterns, 0, update_classes, schema, alphabet, strategy,
-            want_witness, budget, skip_cells=skip,
-            per_cell_delay=per_cell_delay, on_cell=on_cell,
-        )
-    else:
-        jobs = min(jobs, len(patterns))
-        chunks: list[tuple[int, list[RegularTreePattern]]] = []
-        chunk_size = (len(patterns) + jobs - 1) // jobs
-        for start in range(0, len(patterns), chunk_size):
-            chunks.append((start, list(patterns[start:start + chunk_size])))
-
-        def payload_for(offset, chunk_patterns):
-            return (
-                (
-                    chunk_patterns,
-                    offset,
-                    list(update_classes),
-                    schema,
-                    alphabet,
-                    strategy,
-                    want_witness,
-                    budget,
-                    skip,
-                    per_cell_delay,
-                ),
-                fault_injection,
-            )
-
-        def serial_for(offset, chunk_patterns):
-            return _explore_rows(
-                chunk_patterns, offset, list(update_classes), schema,
-                alphabet, strategy, want_witness, budget, skip_cells=skip,
+        on_cell = journal_cell if store is not None else None
+        on_chunk = journal_chunk if store is not None else None
+        jobs = max(1, int(parallelism))
+        faults = 0
+        if jobs == 1 or len(patterns) == 1:
+            jobs = 1
+            cells = _explore_rows(
+                patterns, 0, update_classes, schema, alphabet, strategy,
+                want_witness, budget, skip_cells=skip,
                 per_cell_delay=per_cell_delay, on_cell=on_cell,
+                tracer=tracer,
             )
+        else:
+            jobs = min(jobs, len(patterns))
+            chunks: list[tuple[int, list[RegularTreePattern]]] = []
+            chunk_size = (len(patterns) + jobs - 1) // jobs
+            for start in range(0, len(patterns), chunk_size):
+                chunks.append(
+                    (start, list(patterns[start:start + chunk_size]))
+                )
 
-        results, faults = _run_chunks_with_recovery(
-            chunks, payload_for, serial_for, jobs, worker_timeout_seconds,
-            on_chunk=on_chunk,
+            def payload_for(offset, chunk_patterns):
+                return (
+                    (
+                        chunk_patterns,
+                        offset,
+                        list(update_classes),
+                        schema,
+                        alphabet,
+                        strategy,
+                        want_witness,
+                        budget,
+                        skip,
+                        per_cell_delay,
+                    ),
+                    fault_injection,
+                )
+
+            def serial_for(offset, chunk_patterns):
+                return _explore_rows(
+                    chunk_patterns, offset, list(update_classes), schema,
+                    alphabet, strategy, want_witness, budget, skip_cells=skip,
+                    per_cell_delay=per_cell_delay, on_cell=on_cell,
+                    tracer=tracer,
+                )
+
+            results, faults = _run_chunks_with_recovery(
+                chunks, payload_for, serial_for, jobs,
+                worker_timeout_seconds, on_chunk=on_chunk, tracer=tracer,
+            )
+            cells = _merge_chunks(results, len(patterns))
+        if restored:
+            cells = _splice_restored(cells, restored, len(update_classes))
+        matrix = IndependenceMatrix(
+            row_names=row_names,
+            column_names=column_names,
+            schema=schema,
+            cells=cells,
+            elapsed_seconds=time.perf_counter() - started,
+            strategy=strategy,
+            parallelism=jobs,
+            budget=budget,
+            worker_faults=faults,
         )
-        cells = _merge_chunks(results, len(patterns))
-    if restored:
-        cells = _splice_restored(cells, restored, len(update_classes))
-    matrix = IndependenceMatrix(
-        row_names=row_names,
-        column_names=column_names,
-        schema=schema,
-        cells=cells,
-        elapsed_seconds=time.perf_counter() - started,
-        strategy=strategy,
-        parallelism=jobs,
-        budget=budget,
-        worker_faults=faults,
-    )
-    if store is not None:
-        store.finalize(
-            {
-                "cells": matrix.cell_count,
-                "independent": matrix.independent_count(),
-                "unknown": matrix.unknown_count(),
-                "worker_faults": faults,
-                "elapsed_seconds": matrix.elapsed_seconds,
-            }
-        )
+        if store is not None:
+            with tracer.span("matrix.checkpoint.finalize"):
+                store.finalize(
+                    {
+                        "cells": matrix.cell_count,
+                        "independent": matrix.independent_count(),
+                        "unknown": matrix.unknown_count(),
+                        "worker_faults": faults,
+                        "elapsed_seconds": matrix.elapsed_seconds,
+                    }
+                )
+        if run_span.enabled:
+            run_span.set_attribute("kind", kind)
+            run_span.set_attribute("rows", len(patterns))
+            run_span.set_attribute("columns", len(update_classes))
+            run_span.set_attribute("strategy", strategy)
+            run_span.set_attribute("jobs", jobs)
+            run_span.set_attribute("independent", matrix.independent_count())
+            run_span.set_attribute("unknown", matrix.unknown_count())
+            run_span.set_attribute("worker_faults", faults)
+            run_span.set_attribute(
+                "elapsed_ms", matrix.elapsed_seconds * 1000.0
+            )
     return matrix
 
 
@@ -810,6 +916,7 @@ def check_independence_matrix(
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     _fault_injection: FaultInjection | None = None,
     _per_cell_delay_seconds: float = 0.0,
+    tracer=None,
 ) -> IndependenceMatrix:
     """Run IC for every (FD, update-class) pair, amortizing the setup.
 
@@ -848,6 +955,7 @@ def check_independence_matrix(
         resume=resume,
         checkpoint_snapshot_every=checkpoint_snapshot_every,
         per_cell_delay=_per_cell_delay_seconds,
+        tracer=tracer,
     )
 
 
@@ -864,6 +972,7 @@ def check_view_independence_matrix(
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
+    tracer=None,
 ) -> IndependenceMatrix:
     """The batch variant of view-update independence ([9]).
 
@@ -894,4 +1003,5 @@ def check_view_independence_matrix(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         checkpoint_snapshot_every=checkpoint_snapshot_every,
+        tracer=tracer,
     )

@@ -38,6 +38,8 @@ from repro.independence.language import (
     explore_dangerous_factors,
 )
 from repro.limits import Budget, BudgetExceeded, PartialStats
+from repro.obs.metrics import format_stats
+from repro.obs.trace import current_tracer
 from repro.pattern.template import RegularTreePattern
 from repro.schema.dtd import Schema
 from repro.tautomata.emptiness import (
@@ -96,16 +98,9 @@ class ViewIndependenceResult:
     def describe(self) -> str:
         """One-line human-readable account of the verdict."""
         schema_part = "no schema" if self.schema is None else "with schema"
-        if self.partial is not None:
-            size_part = self.partial.describe()
-        elif self.exploration is None:
-            size_part = f"|A|={self.automaton_size}"
-        else:
-            size_part = (
-                f"explored {self.exploration.explored_states} states/"
-                f"{self.exploration.explored_rules} rules "
-                f"of <= {self.exploration.worst_case_rules} worst-case rules"
-            )
+        size_part = format_stats(
+            self.exploration, self.partial, self.automaton_size
+        )
         return (
             f"view-IC(view/{self.view.arity}-ary, {self.update_class.name}) "
             f"[{schema_part}]: {self.verdict.value.upper()} "
@@ -136,62 +131,90 @@ def check_view_independence(
     want_witness: bool = True,
     strategy: str = LAZY,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ViewIndependenceResult:
     """Certify that no update of the class can change the view's result.
 
     Like :func:`repro.independence.criterion.check_independence`, a
     ``budget`` bounds the total exploration; exhausting it yields the
     UNKNOWN verdict with partial statistics, never a wrong boolean.
+    ``tracer`` likewise mirrors the FD criterion: the run is wrapped in
+    a ``view.check`` span, and observability never changes the verdict.
     """
     if strategy not in (LAZY, EAGER):
         raise IndependenceError(
             f"unknown independence strategy {strategy!r}; "
             f"expected {LAZY!r} or {EAGER!r}"
         )
+    if tracer is None:
+        tracer = current_tracer()
     started = time.perf_counter()
     meter = None if budget is None or budget.unbounded else budget.start()
     exploration: ExplorationStats | None = None
     automaton: HedgeAutomaton | None = None
     partial: PartialStats | None = None
     witness: XMLDocument | None = None
-    try:
-        if strategy == LAZY:
-            view_automaton, update_automaton, schema_hedge = dangerous_factors(
-                view, update_class, schema, pattern_name="A_V"
-            )
-            outcome = explore_dangerous_factors(
-                view_automaton,
-                update_automaton,
-                schema_hedge,
-                want_witness=want_witness,
-                meter=meter,
-            )
-            empty = outcome.empty
-            witness = outcome.witness
-            exploration = outcome.stats
-            automaton_size = exploration.explored_size
-        else:
-            if meter is not None:
-                meter.check_deadline()
-            automaton = view_dangerous_language(
-                view, update_class, schema=schema
-            )
-            if meter is not None:
-                meter.check_deadline()
-            if want_witness:
-                witness = witness_document(automaton, meter=meter)
-                empty = witness is None
+    with tracer.span("view.check") as check_span:
+        try:
+            if strategy == LAZY:
+                with tracer.span("ic.construct"):
+                    view_automaton, update_automaton, schema_hedge = (
+                        dangerous_factors(
+                            view, update_class, schema,
+                            pattern_name="A_V", tracer=tracer,
+                        )
+                    )
+                outcome = explore_dangerous_factors(
+                    view_automaton,
+                    update_automaton,
+                    schema_hedge,
+                    want_witness=want_witness,
+                    meter=meter,
+                    tracer=tracer,
+                )
+                empty = outcome.empty
+                witness = outcome.witness
+                exploration = outcome.stats
+                automaton_size = exploration.explored_size
             else:
-                empty = automaton_is_empty_typed(automaton, meter=meter)
-            automaton_size = automaton.size()
-        verdict = Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
-    except BudgetExceeded as signal:
-        verdict = Verdict.UNKNOWN
-        partial = signal.partial
-        witness = None
-        exploration = None
-        automaton = None
-        automaton_size = partial.explored_states + partial.explored_rules
+                if meter is not None:
+                    meter.check_deadline()
+                with tracer.span("ic.eager_product"):
+                    automaton = view_dangerous_language(
+                        view, update_class, schema=schema
+                    )
+                if meter is not None:
+                    meter.check_deadline()
+                with tracer.span("ic.eager_emptiness"):
+                    if want_witness:
+                        witness = witness_document(automaton, meter=meter)
+                        empty = witness is None
+                    else:
+                        empty = automaton_is_empty_typed(automaton, meter=meter)
+                automaton_size = automaton.size()
+            verdict = (
+                Verdict.INDEPENDENT if empty else Verdict.POSSIBLY_DEPENDENT
+            )
+        except BudgetExceeded as signal:
+            verdict = Verdict.UNKNOWN
+            partial = signal.partial
+            witness = None
+            exploration = None
+            automaton = None
+            automaton_size = partial.explored_states + partial.explored_rules
+        if check_span.enabled:
+            check_span.set_attribute("view_arity", view.arity)
+            check_span.set_attribute("update_class", update_class.name)
+            check_span.set_attribute("strategy", strategy)
+            check_span.set_attribute("verdict", verdict.value)
+            check_span.set_attribute("automaton_size", automaton_size)
+            if exploration is not None:
+                check_span.set_attribute(
+                    "explored_rules", exploration.explored_rules
+                )
+                check_span.set_attribute(
+                    "worst_case_rules", exploration.worst_case_rules
+                )
     elapsed = time.perf_counter() - started
     return ViewIndependenceResult(
         verdict=verdict,

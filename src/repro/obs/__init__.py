@@ -1,0 +1,74 @@
+"""Unified observability: tracing and metrics for the IC pipeline.
+
+One dependency-free subsystem answering "what was the run doing, and
+for how long?" across every layer that PRs 1-4 built — lazy product
+exploration, worklist fixpoints, budgets, matrix fan-out, checkpoints,
+pattern-matcher caches:
+
+* :mod:`repro.obs.trace` — nested spans with monotonic timing, a JSONL
+  exporter (``scripts/trace_report.py`` reads it) and an in-memory
+  collector for tests;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms plus adapters
+  that absorb the pre-existing ``ExplorationStats`` / ``PartialStats``
+  / cache counters into one snapshot dict, and :func:`stats_snapshot`,
+  the single canonical surfacing of explored-work accounting.
+
+The overhead contract, pinned by tests the way ``budget=None`` is: the
+module-level defaults (:data:`NOOP_TRACER`, :data:`NOOP_METRICS`) are
+allocation-free no-ops, and verdicts with observability enabled are
+bit-for-bit identical to verdicts without it.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_METRICS,
+    current_metrics,
+    format_metrics_table,
+    format_stats,
+    install_metrics,
+    stats_snapshot,
+)
+from repro.obs.trace import (
+    InMemorySpanCollector,
+    JsonlSpanExporter,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    Span,
+    SpanExporter,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    installed_tracer,
+    read_trace,
+    span_to_record,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemorySpanCollector",
+    "JsonlSpanExporter",
+    "MetricsRegistry",
+    "NOOP_METRICS",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "Span",
+    "SpanExporter",
+    "Tracer",
+    "current_metrics",
+    "current_tracer",
+    "format_metrics_table",
+    "format_stats",
+    "install_metrics",
+    "install_tracer",
+    "installed_tracer",
+    "read_trace",
+    "span_to_record",
+    "stats_snapshot",
+]

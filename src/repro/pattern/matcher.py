@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.errors import PatternError
+from repro.obs.trace import current_tracer
 from repro.pattern.engine import _MatchContext, _root_of
 from repro.pattern.mapping import Mapping
 from repro.pattern.template import (
@@ -63,6 +64,9 @@ class PatternMatcher:
         self._context = _MatchContext(self.template)
         self._edits_absorbed = 0
         self._resets = 0
+        # resolved once: a matcher lives as long as its document, so it
+        # keeps whatever tracer was installed when it was built
+        self._tracer = current_tracer()
         register_edit_listener(self)
 
     # ------------------------------------------------------------------
@@ -114,6 +118,10 @@ class PatternMatcher:
             return
         self._context.absorb_replacement(old_root, new_root)
         self._edits_absorbed += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "matcher.repair", {"edits_absorbed": self._edits_absorbed}
+            )
 
     def subtree_inserted(self, node: XMLNode) -> None:
         """Edit-listener hook: sibling indices shifted — full reset."""
@@ -131,6 +139,8 @@ class PatternMatcher:
         """Drop every cached fact (safe catch-all for untracked changes)."""
         self._context.reset()
         self._resets += 1
+        if self._tracer.enabled:
+            self._tracer.event("matcher.reset", {"resets": self._resets})
 
     def close(self) -> None:
         """Unsubscribe from edit notifications and drop the caches.

@@ -39,6 +39,7 @@ from repro.persistence.journal import (
     recover_journal,
     scan_journal,
 )
+from repro.obs.trace import NOOP_TRACER
 from repro.persistence.manifest import RunManifest
 from repro.persistence.snapshot import load_snapshot, write_snapshot
 
@@ -84,11 +85,13 @@ class CheckpointStore:
         writer: JournalWriter,
         restored_cells: list[dict],
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        tracer=None,
     ) -> None:
         self.directory = directory
         self.manifest = manifest
         self.restored_cells = restored_cells
         self.degraded = False
+        self._tracer = NOOP_TRACER if tracer is None else tracer
         self._writer: JournalWriter | None = writer
         self._snapshot_every = max(1, int(snapshot_every))
         self._appended_since_snapshot = 0
@@ -109,6 +112,7 @@ class CheckpointStore:
         manifest: RunManifest,
         resume: bool = False,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        tracer=None,
     ) -> "CheckpointStore | None":
         """Open (or initialize) a run directory.
 
@@ -117,7 +121,9 @@ class CheckpointStore:
         runs unjournaled.  :class:`ResumeMismatchError` (different
         inputs behind ``resume=True``) is *not* a persistence failure
         and propagates: silently recomputing everything would hide an
-        operator error.
+        operator error.  ``tracer`` attaches ``checkpoint.journal`` /
+        ``checkpoint.snapshot`` / ``checkpoint.degraded`` events to
+        whatever span is current when the store acts.
         """
         directory = Path(checkpoint_dir)
         try:
@@ -155,6 +161,7 @@ class CheckpointStore:
             writer,
             restored,
             snapshot_every=snapshot_every,
+            tracer=tracer,
         )
 
     @staticmethod
@@ -203,6 +210,11 @@ class CheckpointStore:
         except OSError as error:
             self._degrade(f"journal append failed: {error}")
             return
+        if self._tracer.enabled:
+            self._tracer.event(
+                "checkpoint.journal",
+                {"row": record["row"], "column": record["column"]},
+            )
         self._appended_since_snapshot += 1
         if self._appended_since_snapshot >= self._snapshot_every:
             self._compact()
@@ -225,6 +237,10 @@ class CheckpointStore:
         except OSError as error:
             self._degrade(f"snapshot failed: {error}")
             return
+        if self._tracer.enabled:
+            self._tracer.event(
+                "checkpoint.snapshot", {"cells": len(self._cells)}
+            )
         self._appended_since_snapshot = 0
 
     def finalize(self, summary: dict) -> None:
@@ -253,6 +269,8 @@ class CheckpointStore:
         """One warning, then in-memory for the rest of the run."""
         self.degraded = True
         self.close()
+        if self._tracer.enabled:
+            self._tracer.event("checkpoint.degraded", {"reason": reason})
         warnings.warn(
             f"checkpointing disabled: {reason}; continuing in memory "
             f"(verdicts are kept, run is no longer resumable)",

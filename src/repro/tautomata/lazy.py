@@ -36,6 +36,7 @@ import dataclasses
 from collections.abc import Callable, Collection, Iterable, Iterator
 
 from repro.limits import BudgetMeter
+from repro.obs.trace import NOOP_TRACER
 from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule, State
 from repro.tautomata.horizontal import ProductHorizontal, ProjectedHorizontal
 from repro.tautomata.worklist import InhabitationEngine
@@ -112,12 +113,22 @@ def analyze_factor(
     automaton: HedgeAutomaton,
     typed: bool = True,
     meter: BudgetMeter | None = None,
+    tracer=None,
 ) -> FactorAnalysis:
     """Fixpoint one factor and keep its individually fireable rules."""
-    engine = InhabitationEngine(typed=typed, track_rules=True, meter=meter)
-    engine.add_rules(automaton.rules)
-    engine.run()
-    fireable = tuple(engine.fired_rules)
+    if tracer is None:
+        tracer = NOOP_TRACER
+    with tracer.span("factor.fixpoint") as span:
+        engine = InhabitationEngine(typed=typed, track_rules=True, meter=meter)
+        engine.add_rules(automaton.rules)
+        engine.run()
+        fireable = tuple(engine.fired_rules)
+        if span.enabled:
+            span.set_attribute("automaton", automaton.name)
+            span.set_attribute("rules", len(automaton.rules))
+            span.set_attribute("fireable_rules", len(fireable))
+            span.set_attribute("rounds", engine.rounds)
+            span.set_attribute("step_attempts", engine.step_attempts)
     return FactorAnalysis(
         inhabited=engine.inhabited,
         fireable=fireable,
@@ -131,6 +142,7 @@ def cached_factor(
     typed: bool = True,
     cache: dict | None = None,
     meter: BudgetMeter | None = None,
+    tracer=None,
 ) -> FactorAnalysis:
     """Memoized :func:`analyze_factor` (matrix runs share factors).
 
@@ -144,12 +156,14 @@ def cached_factor(
     aborted by the meter leaves no cache entry behind.
     """
     if cache is None:
-        return analyze_factor(automaton, typed=typed, meter=meter)
+        return analyze_factor(automaton, typed=typed, meter=meter, tracer=tracer)
     key = (automaton, typed)
     analysis = cache.get(key)
     if analysis is None:
-        analysis = analyze_factor(automaton, typed=typed, meter=meter)
+        analysis = analyze_factor(automaton, typed=typed, meter=meter, tracer=tracer)
         cache[key] = analysis
+    elif tracer is not None:
+        tracer.event("factor.cache_hit")
     return analysis
 
 
@@ -257,6 +271,7 @@ def explore_product(
     track_rules: bool = False,
     rules_per_pair: int = 1,
     meter: BudgetMeter | None = None,
+    tracer=None,
 ) -> ProductExploration:
     """Run the product fixpoint over lazily generated candidate rules.
 
@@ -265,23 +280,32 @@ def explore_product(
     itself decline a pair).  Everything else — incremental frontiers,
     typing, witness words — is the shared worklist engine.
     """
-    engine = InhabitationEngine(
-        typed=typed,
-        record_parents=want_witness,
-        track_rules=track_rules,
-        meter=meter,
-    )
-    for left_rule in left.fireable:
-        for right_rule in right.index.compatible(left_rule.labels):
-            engine.add_rules(combine(left_rule, right_rule))
-    engine.run()
-    stats = ExplorationStats(
-        explored_states=engine.explored_states(),
-        explored_rules=engine.rule_count,
-        fired_rules=len(engine.fired_rules) if track_rules else None,
-        worst_case_rules=left.rule_count * right.rule_count * rules_per_pair,
-        step_attempts=engine.step_attempts,
-    )
+    if tracer is None:
+        tracer = NOOP_TRACER
+    with tracer.span("product.explore") as span:
+        engine = InhabitationEngine(
+            typed=typed,
+            record_parents=want_witness,
+            track_rules=track_rules,
+            meter=meter,
+        )
+        for left_rule in left.fireable:
+            for right_rule in right.index.compatible(left_rule.labels):
+                engine.add_rules(combine(left_rule, right_rule))
+        engine.run()
+        stats = ExplorationStats(
+            explored_states=engine.explored_states(),
+            explored_rules=engine.rule_count,
+            fired_rules=len(engine.fired_rules) if track_rules else None,
+            worst_case_rules=left.rule_count * right.rule_count * rules_per_pair,
+            step_attempts=engine.step_attempts,
+        )
+        if span.enabled:
+            span.set_attribute("explored_states", stats.explored_states)
+            span.set_attribute("explored_rules", stats.explored_rules)
+            span.set_attribute("worst_case_rules", stats.worst_case_rules)
+            span.set_attribute("rounds", engine.rounds)
+            span.set_attribute("step_attempts", stats.step_attempts)
     return ProductExploration(engine=engine, stats=stats)
 
 

@@ -111,6 +111,8 @@ class InhabitationEngine:
         self.fired_rules: list[Rule] = []
         self.step_attempts = 0
         self.rule_count = 0
+        #: worklist rounds completed: symbols propagated by :meth:`run`
+        self.rounds = 0
         self._symbols: list[State] = []  # inhabited, in discovery order
         self._searches: list[_Search] = []
         self._queue: deque[State] = deque()
@@ -156,6 +158,7 @@ class InhabitationEngine:
         """Propagate queued symbols until no rule can make progress."""
         while self._queue:
             symbol = self._queue.popleft()
+            self.rounds += 1
             self._symbols.append(symbol)
             new_symbol = (symbol,)
             survivors = []

@@ -1,0 +1,241 @@
+"""Span invariants: nesting, timing, export order, JSONL round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    InMemorySpanCollector,
+    JsonlSpanExporter,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    installed_tracer,
+    read_trace,
+    span_to_record,
+)
+
+
+class TestSpanNesting:
+    def test_child_gets_parent_id(self):
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer(InMemorySpanCollector())
+        with tracer.span("outer") as outer:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.parent_id == outer.span_id
+        assert second.parent_id == outer.span_id
+
+    def test_root_spans_after_close_are_roots_again(self):
+        tracer = Tracer(InMemorySpanCollector())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert second.parent_id is None
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer(InMemorySpanCollector())
+        ids = set()
+        for _ in range(100):
+            with tracer.span("s") as span:
+                ids.add(span.span_id)
+        assert len(ids) == 100
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_out_of_order_end_cannot_reparent(self):
+        # a leaked child ended after its parent must not make later
+        # spans children of a closed span
+        tracer = Tracer(InMemorySpanCollector())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.end()  # ends outer while inner is still open
+        late = tracer.span("late")
+        assert late.parent_id is None
+        late.end()
+        inner.end()
+
+    def test_threads_do_not_share_stacks(self):
+        tracer = Tracer(InMemorySpanCollector())
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # the other thread's span must NOT nest under main's open span
+        assert seen["parent"] is None
+
+
+class TestSpanTiming:
+    def test_duration_is_non_negative_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            pass
+        assert span.duration_ns is not None
+        assert span.duration_ns >= 0
+
+    def test_parent_covers_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_ns <= inner.start_ns
+        assert (
+            outer.start_ns + outer.duration_ns
+            >= inner.start_ns + inner.duration_ns
+        )
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer(collector := InMemorySpanCollector())
+        span = tracer.span("once")
+        span.end()
+        first = span.duration_ns
+        span.end()
+        assert span.duration_ns == first
+        assert len(collector.spans) == 1
+
+    def test_event_offsets_are_within_span(self):
+        tracer = Tracer()
+        with tracer.span("evented") as span:
+            tracer.event("marker", {"key": "value"})
+        (event,) = span.events
+        assert event["name"] == "marker"
+        assert 0 <= event["offset_ns"] <= span.duration_ns
+        assert event["attributes"] == {"key": "value"}
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer(collector := InMemorySpanCollector())
+        tracer.event("orphan")
+        assert collector.spans == []
+
+
+class TestErrorAttribute:
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer(collector := InMemorySpanCollector())
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = collector.spans
+        assert span.attributes["error"] == "ValueError"
+        assert span.duration_ns is not None
+
+
+class TestExportOrder:
+    def test_children_exported_before_parents(self):
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in collector.spans] == ["inner", "outer"]
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSpanExporter(path))
+        with tracer.span("outer") as outer:
+            outer.set_attribute("answer", 42)
+            with tracer.span("inner"):
+                tracer.event("tick", {"n": 1})
+        tracer.close()
+        records = read_trace(path)
+        assert [record["name"] for record in records] == ["inner", "outer"]
+        by_name = {record["name"]: record for record in records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"answer": 42}
+        (event,) = by_name["inner"]["events"]
+        assert event["name"] == "tick"
+        assert event["attributes"] == {"n": 1}
+        for record in records:
+            assert record["duration_ns"] >= 0
+
+    def test_preamble_carries_wall_time_and_pid(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        Tracer(JsonlSpanExporter(path)).close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "trace-start"
+        assert first["wall_time"] > 0
+        assert first["pid"] > 0
+
+    def test_every_line_is_self_contained_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSpanExporter(path))
+        for index in range(10):
+            with tracer.span(f"span{index}"):
+                pass
+        tracer.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # raises on a torn/malformed line
+
+    def test_read_trace_rejects_damaged_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "name": "ok"}\n{oops\n')
+        with pytest.raises(ValueError, match=":2"):
+            read_trace(path)
+
+    def test_span_to_record_omits_empty_fields(self):
+        tracer = Tracer()
+        with tracer.span("bare") as span:
+            pass
+        record = span_to_record(span)
+        assert "attributes" not in record
+        assert "events" not in record
+        assert record["type"] == "span"
+
+
+class TestInstallation:
+    def test_default_is_noop(self):
+        assert current_tracer() is NOOP_TRACER
+
+    def test_install_and_restore(self):
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            install_tracer(previous)
+        assert current_tracer() is NOOP_TRACER
+
+    def test_installed_tracer_context_manager(self):
+        tracer = Tracer()
+        with installed_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NOOP_TRACER
+
+    def test_noop_span_contract(self):
+        span = NOOP_TRACER.span("anything")
+        assert span is NOOP_SPAN
+        assert span.enabled is False
+        with span as entered:
+            entered.set_attribute("k", "v")
+            entered.add_event("e")
+        # the singleton accumulated nothing
+        assert Span.enabled is True  # real spans advertise enabled

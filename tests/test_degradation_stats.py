@@ -7,6 +7,13 @@ partial-exploration counters, budget specs — is deterministic by
 construction (seeded workload, serial run), so the golden comparison
 pins the budgeted-degradation behaviour end to end.
 
+Wall-time fields are the cells' ``elapsed_ms`` plus, inside each
+budget's metrics snapshot, the latency histograms, the gauges, and the
+step-attempt counters (deadline checks are amortized over meter ticks,
+so step counts under a deadline budget are wall-clock-coupled); the
+remaining metrics counters (verdict counts, explored-state/rule
+totals, unknown reasons) are deterministic and stay pinned.
+
 Regenerate the golden after an intentional behaviour change with::
 
     PYTHONPATH=src python -c "
@@ -19,6 +26,10 @@ Regenerate the golden after an intentional behaviour change with::
     for budget in report['budgets'].values():
         for cell in budget['cells']:
             cell.pop('elapsed_ms', None)
+        budget['metrics'].pop('histograms', None)
+        budget['metrics'].pop('gauges', None)
+        for counter in ('ic.step_attempts', 'ic.partial.step_attempts'):
+            budget['metrics']['counters'].pop(counter, None)
     with open('tests/golden/degradation_stats.json', 'w') as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write('\n')
@@ -55,6 +66,10 @@ def _strip_wall_time(report):
     for budget in report["budgets"].values():
         for cell in budget["cells"]:
             cell.pop("elapsed_ms", None)
+        budget["metrics"].pop("histograms", None)
+        budget["metrics"].pop("gauges", None)
+        for counter in ("ic.step_attempts", "ic.partial.step_attempts"):
+            budget["metrics"]["counters"].pop(counter, None)
     return report
 
 
@@ -86,6 +101,22 @@ def test_unknown_cells_carry_partial_counters(report):
     unbounded = report["budgets"]["unbounded"]
     assert unbounded["unknown_cells"] == 0
     assert all("partial" not in cell for cell in unbounded["cells"])
+
+
+def test_metrics_snapshot_agrees_with_cell_tallies(report):
+    """The merged metrics must restate the cells, not invent numbers."""
+    for budget in report["budgets"].values():
+        counters = budget["metrics"]["counters"]
+        verdicts = [cell["verdict"] for cell in budget["cells"]]
+        assert counters.get("ic.verdict.unknown", 0) == budget["unknown_cells"]
+        assert (
+            counters.get("ic.verdict.independent", 0)
+            == budget["independent_cells"]
+        )
+        for verdict in set(verdicts):
+            assert counters[f"ic.verdict.{verdict}"] == verdicts.count(verdict)
+        latency = budget["metrics"]["histograms"]["ic.cell_ms"]
+        assert latency["count"] == len(budget["cells"])
 
 
 def test_main_writes_the_report_file(degradation_stats, tmp_path, capsys):
