@@ -429,9 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     independence.add_argument(
         "--strategy",
-        choices=["lazy", "eager"],
-        default="lazy",
-        help="on-the-fly product exploration (default) or the "
+        choices=["auto", "lazy", "eager"],
+        default="auto",
+        help="auto (default) picks per pair from the automaton shapes; "
+        "lazy forces the on-the-fly product exploration, eager the "
         "materialized Proposition 3 construction",
     )
     independence.add_argument(

@@ -17,15 +17,20 @@
   fallback of re-validating the FD on the updated document (see the
   DESIGN.md section "Degradation semantics").
 
-Two strategies decide the same emptiness:
+Three strategies decide the same emptiness:
 
-* ``strategy="lazy"`` (default) — on-the-fly product exploration
+* ``strategy="lazy"`` — on-the-fly product exploration
   (:mod:`repro.tautomata.lazy`): product rules are generated only for
   label-compatible pairs of individually fireable factor rules, and the
   worklist fixpoint extends persistent frontiers instead of restarting;
   the result records explored-vs-worst-case sizes;
 * ``strategy="eager"`` — materialize the full product (the Proposition
-  3 construction measured by experiment T2), then run the fixpoint.
+  3 construction measured by experiment T2), then run the fixpoint;
+* ``strategy="auto"`` (default) — resolve to one of the two per check
+  from the factor shapes (:mod:`repro.independence.strategy`): the T3
+  bench shows each fixed strategy losing on a known input family, so
+  the default picks per instance instead of assuming one regime.  The
+  result's ``strategy`` field reports the resolved choice.
 
 The check never looks at any source document — its cost depends only on
 ``|FD|``, ``|U|``, ``|A_S|`` and the alphabet, which is the efficiency
@@ -41,6 +46,13 @@ import time
 from repro.errors import IndependenceError
 from repro.fd.fd import FunctionalDependency
 from repro.independence.language import DangerousLanguage, dangerous_language
+from repro.independence.strategy import (
+    AUTO,
+    EAGER,
+    LAZY,
+    STRATEGIES,
+    StrategySelector,
+)
 from repro.limits import Budget, BudgetExceeded, BudgetMeter, PartialStats
 from repro.obs.metrics import format_stats
 from repro.obs.trace import current_tracer
@@ -50,8 +62,14 @@ from repro.tautomata.lazy import ExplorationStats
 from repro.update.update_class import UpdateClass
 from repro.xmlmodel.tree import XMLDocument
 
-LAZY = "lazy"
-EAGER = "eager"
+__all__ = [
+    "AUTO",
+    "EAGER",
+    "LAZY",
+    "IndependenceResult",
+    "Verdict",
+    "check_independence",
+]
 
 
 class Verdict(enum.Enum):
@@ -146,12 +164,21 @@ def _start_meter(budget: Budget | None) -> BudgetMeter | None:
     return None if budget is None or budget.unbounded else budget.start()
 
 
+def _alphabet_size(pattern, update_class, schema) -> int:
+    """Width of the shared global alphabet the factors are built over."""
+    alphabet = set(pattern.template.alphabet())
+    alphabet |= update_class.pattern.template.alphabet()
+    if schema is not None:
+        alphabet |= schema.alphabet()
+    return len(alphabet)
+
+
 def check_independence(
     fd: FunctionalDependency,
     update_class: UpdateClass,
     schema: Schema | None = None,
     want_witness: bool = True,
-    strategy: str = LAZY,
+    strategy: str = AUTO,
     budget: Budget | None = None,
     _factor_cache: dict | None = None,
     tracer=None,
@@ -176,10 +203,10 @@ def check_independence(
     verdict: the differential suite pins traced and untraced runs
     bit-for-bit equal.
     """
-    if strategy not in (LAZY, EAGER):
+    if strategy not in STRATEGIES:
         raise IndependenceError(
             f"unknown independence strategy {strategy!r}; "
-            f"expected {LAZY!r} or {EAGER!r}"
+            f"expected {AUTO!r}, {LAZY!r} or {EAGER!r}"
         )
     if tracer is None:
         tracer = current_tracer()
@@ -193,6 +220,18 @@ def check_independence(
             language = dangerous_language(
                 fd, update_class, schema=schema, materialize=False,
                 tracer=tracer,
+            )
+        requested = strategy
+        if strategy == AUTO:
+            strategy = StrategySelector().choose(
+                pattern_rules=len(language.fd_automaton.automaton.rules),
+                update_rules=len(language.update_automaton.automaton.rules),
+                schema_rules=(
+                    0
+                    if language.schema_automaton is None
+                    else len(language.schema_automaton.rules)
+                ),
+                alphabet_size=_alphabet_size(fd.pattern, update_class, schema),
             )
         try:
             if strategy == LAZY:
@@ -237,6 +276,8 @@ def check_independence(
             check_span.set_attribute("fd", fd.name)
             check_span.set_attribute("update_class", update_class.name)
             check_span.set_attribute("strategy", strategy)
+            if requested == AUTO:
+                check_span.set_attribute("strategy_requested", AUTO)
             check_span.set_attribute("verdict", verdict.value)
             check_span.set_attribute("automaton_size", automaton_size)
             if exploration is not None:

@@ -18,18 +18,25 @@ fixpoints, and the compiled edge-regex DFAs underneath them all.
 * the process-wide regex compilation cache (PR 1) warms once and serves
   every construction;
 * opt-in process fan-out (``parallelism=N``): rows are distributed over
-  a ``ProcessPoolExecutor``, each worker amortizing its rows' shared
-  work locally.
+  a *persistent, warm* worker pool (:mod:`repro.independence.pool`) —
+  the run's shared inputs are published once and materialized at most
+  once per worker, chunk payloads carry only (row-offset, patterns),
+  and a spawn-cost gate degrades matrices too small to amortize the
+  fan-out overhead back to the serial path, so ``--jobs N`` can never
+  lose to serial.
 
 The fan-out is *fault-tolerant*: each row chunk is its own future, so a
 worker that crashes (``BrokenProcessPool``) loses only its chunks —
 those are retried once in a fresh pool and, failing that, recomputed
 serially in the parent.  A ``worker_timeout_seconds`` backstop abandons
-a hung pool the same way.  The merge is deterministic and checked: a
-cell can neither go missing nor be produced twice, whatever the workers
-did.  A per-cell :class:`~repro.limits.Budget` bounds each cell's
-exploration cooperatively; an exhausted cell reports verdict UNKNOWN
-with partial statistics instead of a wrong boolean.
+a hung pool the same way.  Deterministic errors raised by the cell code
+itself are *not* retried: workers ship them back as picklable values
+and the run fails fast with the original traceback attached.  The merge
+is deterministic and checked: a cell can neither go missing nor be
+produced twice, whatever the workers did.  A per-cell
+:class:`~repro.limits.Budget` bounds each cell's exploration
+cooperatively; an exhausted cell reports verdict UNKNOWN with partial
+statistics instead of a wrong boolean.
 
 The run is additionally *crash-safe* when given a ``checkpoint_dir``:
 every cell verdict is appended to a write-ahead journal
@@ -55,20 +62,27 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import traceback
 from collections.abc import Sequence
 
 from repro.errors import IndependenceError, ReproError
 from repro.fd.fd import FunctionalDependency
-from repro.independence.criterion import EAGER, LAZY, Verdict
+from repro.independence import pool
+from repro.independence.criterion import LAZY, Verdict
 from repro.independence.language import (
     _flagged_product,
     explore_dangerous_factors,
     validate_update_class,
 )
+from repro.independence.strategy import (
+    AUTO,
+    EAGER,
+    STRATEGIES,
+    StrategySelector,
+)
 from repro.limits import Budget, BudgetExceeded, PartialStats
 from repro.obs.trace import NOOP_TRACER, current_tracer
 from repro.pattern.template import RegularTreePattern
-from repro.schema.automaton import schema_automaton
 from repro.schema.dtd import Schema
 from repro.tautomata.emptiness import automaton_is_empty_typed, witness_document
 from repro.tautomata.from_pattern import trace_automaton
@@ -79,6 +93,10 @@ from repro.xmlmodel.tree import ROOT_LABEL, XMLDocument, XMLNode
 
 #: fresh pools tried after a worker death before falling back to serial
 MAX_POOL_RESTARTS = 1
+
+#: chunks per worker: finer chunks keep a reused pool busy and shrink
+#: the serial recompute after a fault, at one dispatch per chunk
+CHUNK_OVERSUBSCRIPTION = 4
 
 #: cell records journaled between two checkpoint snapshot compactions
 DEFAULT_CHECKPOINT_SNAPSHOT_EVERY = 64
@@ -316,13 +334,21 @@ class FaultInjection:
     The fault-injection suite uses this to make a pool worker crash,
     raise, or hang deterministically — ``flag_path`` is a filesystem
     sentinel ensuring the fault strikes only once, so the retry path is
-    exercised and then succeeds.  Production callers never set it.
+    exercised and then succeeds.  The ``"raise-deterministic"`` kind is
+    different: it strikes *every* time the targeted chunk runs (no
+    sentinel), modeling a cell whose code always raises — the fail-fast
+    path, not the retry path.  Production callers never set any of it.
     """
 
-    kind: str  # "crash-once" | "raise-once" | "hang-once"
+    kind: str  # "crash-once" | "raise-once" | "hang-once" | "raise-deterministic"
     flag_path: str
     target_offset: int = 0
     hang_seconds: float = 30.0
+
+    @property
+    def deterministic(self) -> bool:
+        """True for faults that would strike again on retry."""
+        return self.kind == "raise-deterministic"
 
     def maybe_strike(self, row_offset: int) -> None:
         """Fault once when handed the targeted chunk, then stay quiet."""
@@ -347,9 +373,7 @@ class FaultInjection:
 def _explore_rows(
     patterns: Sequence[RegularTreePattern],
     row_offset: int,
-    update_classes: Sequence[UpdateClass],
-    schema: Schema | None,
-    alphabet: frozenset[str],
+    shared: pool.MaterializedContext,
     strategy: str,
     want_witness: bool,
     budget: Budget | None = None,
@@ -360,6 +384,19 @@ def _explore_rows(
 ) -> list[list[MatrixCell | None]]:
     """Decide every cell of the given rows, sharing all ingredients.
 
+    ``shared`` is the run's materialized context — the global alphabet,
+    one trace automaton per update class, the schema automaton and the
+    factor cache — built once per process by the caller (the parent's
+    serial path) or by :func:`repro.independence.pool.resolve_context`
+    (pool workers), never per chunk.
+
+    ``strategy="auto"`` resolves per cell through one
+    :class:`StrategySelector` scoped to this call: the static shape
+    model decides the first cells, and each completed lazy cell's
+    exploration stats refine the explored-fraction estimate for the
+    rest.  The selector is deterministic, so repeating the call repeats
+    its choices exactly.
+
     Each cell gets a *fresh* meter from ``budget``, so the caps bound
     cells individually; a budget-exhausted cell becomes UNKNOWN with
     its partial statistics and the run continues with the next cell.
@@ -368,31 +405,30 @@ def _explore_rows(
     checkpoint: those are *not* recomputed and leave a ``None``
     placeholder for :func:`_splice_restored` to fill.  ``on_cell`` is
     the parent-side journaling hook (never shipped to pool workers);
-    ``per_cell_delay`` is the crash-harness test hook that slows each
-    cell down so a SIGKILL can be timed mid-journal.
+    it runs *after* the cell's clock stopped, so journaling fsyncs
+    never inflate ``elapsed_seconds``.  ``per_cell_delay`` is the
+    crash-harness test hook that slows each cell down so a SIGKILL can
+    be timed mid-journal.
 
     ``tracer`` — like ``on_cell`` — is parent-side only: pool workers
-    always run with the no-op tracer (exporter handles don't pickle),
-    so per-cell spans exist exactly for serially computed cells.  The
+    always run with the no-op tracer (exporter handles don't pickle);
+    the parent re-emits their cells as synthetic spans from the
+    returned records (:func:`_record_worker_cell_spans`).  The
     journaling hook runs *inside* the cell span so checkpoint events
     nest under the cell that produced them.
     """
     if tracer is None:
         tracer = NOOP_TRACER
-    with tracer.span("matrix.construct"):
-        update_automata = [
-            trace_automaton(
-                update_class.pattern, alphabet, track_regions=False, name="A_U"
-            )
-            for update_class in update_classes
-        ]
-        schema_hedge = None if schema is None else schema_automaton(schema)
-    factor_cache: dict = {}
+    update_automata = shared.update_automata
+    schema_hedge = shared.schema_hedge
+    factor_cache = shared.factor_cache
+    schema_rules = 0 if schema_hedge is None else len(schema_hedge.rules)
+    selector = StrategySelector() if strategy == AUTO else None
     rows: list[list[MatrixCell | None]] = []
     for local_row, pattern in enumerate(patterns):
         with tracer.span("construct.trace_automaton"):
             pattern_automaton = trace_automaton(
-                pattern, alphabet, track_regions=True, name="A_FD"
+                pattern, shared.alphabet, track_regions=True, name="A_FD"
             )
         row: list[MatrixCell | None] = []
         for column, update_automaton in enumerate(update_automata):
@@ -405,6 +441,14 @@ def _explore_rows(
             if per_cell_delay:
                 time.sleep(per_cell_delay)
             with tracer.span("matrix.cell") as cell_span:
+                cell_strategy = strategy
+                if selector is not None:
+                    cell_strategy = selector.choose(
+                        pattern_rules=len(pattern_automaton.automaton.rules),
+                        update_rules=len(update_automaton.automaton.rules),
+                        schema_rules=schema_rules,
+                        alphabet_size=len(shared.alphabet),
+                    )
                 started = time.perf_counter()
                 meter = (
                     None
@@ -415,7 +459,7 @@ def _explore_rows(
                 witness = None
                 partial = None
                 try:
-                    if strategy == LAZY:
+                    if cell_strategy == LAZY:
                         outcome = explore_dangerous_factors(
                             pattern_automaton,
                             update_automaton,
@@ -460,6 +504,8 @@ def _explore_rows(
                     partial = signal.partial
                     witness = None
                     exploration = None
+                if selector is not None and exploration is not None:
+                    selector.observe(exploration)
                 cell = MatrixCell(
                     row=row_offset + local_row,
                     column=column,
@@ -473,6 +519,7 @@ def _explore_rows(
                     cell_span.set_attribute("row", cell.row)
                     cell_span.set_attribute("column", cell.column)
                     cell_span.set_attribute("verdict", verdict.value)
+                    cell_span.set_attribute("strategy", cell_strategy)
                     cell_span.set_attribute(
                         "elapsed_ms", cell.elapsed_seconds * 1000.0
                     )
@@ -496,12 +543,100 @@ def _explore_rows(
     return rows
 
 
-def _rows_worker(payload: tuple) -> list[list[MatrixCell]]:
-    """Top-level entry point for :class:`ProcessPoolExecutor` workers."""
-    args, fault = payload
-    if fault is not None:
-        fault.maybe_strike(args[1])  # args[1] is the chunk's row offset
-    return _explore_rows(*args)
+@dataclasses.dataclass(frozen=True)
+class _WorkerFailure:
+    """A deterministic worker error, shipped back as a picklable value.
+
+    A chunk whose cell code *raises* (as opposed to a worker that dies
+    or hangs) would fail identically on every retry — returning the
+    error as a value lets the parent distinguish it from pool faults
+    and fail fast with the original traceback instead of burning
+    :data:`MAX_POOL_RESTARTS` pools plus a serial recompute first.
+    """
+
+    row_offset: int
+    kind: str
+    message: str
+    details: str  # the worker-side traceback, preformatted
+
+
+def _rows_worker(payload: tuple) -> "list[list[MatrixCell]] | _WorkerFailure":
+    """Top-level entry point for the persistent pool's workers.
+
+    The payload carries the context token + pickle-once bytes plus the
+    chunk-specific arguments; the shared automata come from the
+    worker's per-token cache.  Injected *pool* faults (crash/raise/
+    hang-once) strike outside the try-block so they surface exactly
+    like real worker deaths; everything the chunk code itself raises is
+    wrapped into a :class:`_WorkerFailure` value instead.
+    """
+    (
+        token, context_bytes, patterns, row_offset, strategy, want_witness,
+        budget, skip_cells, per_cell_delay, fault,
+    ) = payload
+    if fault is not None and not fault.deterministic:
+        fault.maybe_strike(row_offset)
+    try:
+        if (
+            fault is not None
+            and fault.deterministic
+            and row_offset == fault.target_offset
+        ):
+            raise RuntimeError(
+                "injected deterministic worker error (raise-deterministic)"
+            )
+        shared = pool.resolve_context(token, context_bytes)
+        return _explore_rows(
+            patterns, row_offset, shared, strategy, want_witness,
+            budget=budget, skip_cells=skip_cells,
+            per_cell_delay=per_cell_delay,
+        )
+    except Exception as error:
+        return _WorkerFailure(
+            row_offset=row_offset,
+            kind=type(error).__name__,
+            message=str(error),
+            details=traceback.format_exc(),
+        )
+
+
+def _record_worker_cell_spans(tracer, rows) -> None:
+    """Re-emit worker-computed cells as parent-side synthetic spans.
+
+    Pool workers run with the no-op tracer (exporter handles do not
+    cross the pickle boundary), so without this a ``--jobs > 1`` run
+    would lose every per-cell span and ``scripts/trace_report.py``
+    would under-report it.  Each returned cell already carries its
+    timing and exploration accounting; the parent backdates a
+    ``matrix.cell`` span of that duration under the current pool span,
+    marked ``worker=True`` so reports can tell re-emitted cells from
+    serially traced ones.
+    """
+    if not tracer.enabled:
+        return
+    for row in rows:
+        for cell in row:
+            if cell is None:
+                continue
+            attributes = {
+                "row": cell.row,
+                "column": cell.column,
+                "verdict": cell.verdict.value,
+                "elapsed_ms": cell.elapsed_seconds * 1000.0,
+                "worker": True,
+            }
+            if cell.exploration is not None:
+                attributes["explored_rules"] = cell.exploration.explored_rules
+                attributes["worst_case_rules"] = (
+                    cell.exploration.worst_case_rules
+                )
+            if cell.partial is not None:
+                attributes["unknown_reason"] = cell.partial.reason
+            tracer.record_span(
+                "matrix.cell",
+                int(cell.elapsed_seconds * 1e9),
+                attributes,
+            )
 
 
 def _merge_chunks(
@@ -586,25 +721,31 @@ def _run_chunks_with_recovery(
     on_chunk=None,
     tracer=None,
 ) -> tuple[dict[int, list[list[MatrixCell]]], int]:
-    """Fan chunks out over pools, recovering from dead or hung workers.
+    """Fan chunks out over the warm pool, recovering from pool faults.
 
     Returns the per-offset results plus the number of pool incidents
     survived.  Recovery policy: a worker death (``BrokenProcessPool``
-    or a worker-raised exception) retries the *affected chunks only* in
-    a fresh pool up to :data:`MAX_POOL_RESTARTS` times; a pool that
-    exceeds ``worker_timeout_seconds`` is abandoned outright (hung
-    workers cannot be joined); anything still unfinished is recomputed
-    serially in the parent process, where per-cell budgets — not pool
-    machinery — bound the work.
+    or a worker-raised exception) discards the pool and retries the
+    *affected chunks only* in a fresh one up to
+    :data:`MAX_POOL_RESTARTS` times; a pool that exceeds
+    ``worker_timeout_seconds`` is abandoned outright (hung workers
+    cannot be joined); anything still unfinished is recomputed serially
+    in the parent process, where per-cell budgets — not pool machinery
+    — bound the work.  A :class:`_WorkerFailure` returned as a chunk
+    *value* is a deterministic error in the cell code itself: retrying
+    cannot succeed, so the run fails fast with the worker's traceback.
+    A fault-free run leaves the executor warm for the next matrix.
 
     Observability is parent-side: each pool attempt gets a
     ``matrix.pool`` span, completed chunks land as ``chunk.done``
-    events (workers cannot carry the tracer across the pickle
+    events plus synthetic per-cell spans re-emitted from the returned
+    records (workers cannot carry the tracer across the pickle
     boundary), pool incidents as ``pool.worker_fault`` /
     ``pool.timeout`` events, and serially recomputed chunks get real
     ``matrix.chunk`` spans with the per-cell spans nested inside.
     """
-    from concurrent.futures import ProcessPoolExecutor, wait
+    from concurrent.futures import wait
+    from concurrent.futures.process import BrokenProcessPool
 
     if tracer is None:
         tracer = NOOP_TRACER
@@ -617,9 +758,8 @@ def _run_chunks_with_recovery(
             if pool_span.enabled:
                 pool_span.set_attribute("chunks", len(remaining))
                 pool_span.set_attribute("attempt", restarts + 1)
-            executor = ProcessPoolExecutor(
-                max_workers=min(jobs, len(remaining))
-            )
+                pool_span.set_attribute("jobs", jobs)
+            executor = pool.get_executor(jobs)
             deadline = (
                 None
                 if worker_timeout_seconds is None
@@ -627,15 +767,27 @@ def _run_chunks_with_recovery(
             )
             broken = False
             timed_out = False
+            failure: _WorkerFailure | None = None
+            futures: dict = {}
+            pending: set = set()
             try:
-                futures = {
-                    executor.submit(
-                        _rows_worker, payload_for(offset, patterns)
-                    ): offset
-                    for offset, patterns in remaining.items()
-                }
+                try:
+                    for offset, patterns in remaining.items():
+                        futures[
+                            executor.submit(
+                                _rows_worker, payload_for(offset, patterns)
+                            )
+                        ] = offset
+                except BrokenProcessPool:
+                    # a worker died while chunks were still being
+                    # submitted; retry everything still remaining
+                    broken = True
+                    if pool_span.enabled:
+                        tracer.event(
+                            "pool.worker_fault", {"row_offset": -1}
+                        )
                 pending = set(futures)
-                while pending:
+                while pending and not broken:
                     slack = (
                         None
                         if deadline is None
@@ -651,38 +803,54 @@ def _run_chunks_with_recovery(
                             rows = future.result()
                         except Exception:
                             # worker died mid-chunk (BrokenProcessPool)
-                            # or raised; leave the chunk in `remaining`
-                            # — the retry pool gets one more shot, then
-                            # the serial path recomputes it (and
-                            # surfaces any deterministic error with a
-                            # clean traceback)
+                            # or an injected pool fault raised; leave
+                            # the chunk in `remaining` — a fresh pool
+                            # gets one more shot, then the serial path
+                            # recomputes it
                             broken = True
                             if pool_span.enabled:
                                 tracer.event(
                                     "pool.worker_fault",
                                     {"row_offset": offset},
                                 )
-                        else:
-                            results[offset] = rows
-                            remaining.pop(offset, None)
-                            if pool_span.enabled:
-                                tracer.event(
-                                    "chunk.done",
-                                    {
-                                        "row_offset": offset,
-                                        "rows": len(rows),
-                                    },
-                                )
-                            if on_chunk is not None:
-                                # journal the chunk's cells the moment
-                                # its future lands — a later crash
-                                # replays them
-                                on_chunk(rows)
-                    if broken:
+                            continue
+                        if isinstance(rows, _WorkerFailure):
+                            failure = rows
+                            continue
+                        results[offset] = rows
+                        remaining.pop(offset, None)
+                        if pool_span.enabled:
+                            tracer.event(
+                                "chunk.done",
+                                {
+                                    "row_offset": offset,
+                                    "rows": len(rows),
+                                },
+                            )
+                        if on_chunk is not None:
+                            # journal the chunk's cells the moment
+                            # its future lands — a later crash
+                            # replays them
+                            on_chunk(rows)
+                        _record_worker_cell_spans(tracer, rows)
+                    if broken or failure is not None:
                         break
             finally:
-                # a hung pool cannot be joined — abandon without waiting
-                executor.shutdown(wait=not timed_out, cancel_futures=True)
+                if timed_out or broken:
+                    # a dead pool cannot be reused; a hung one cannot
+                    # even be joined — abandon that one without waiting
+                    pool.discard_executor(jobs, wait=not timed_out)
+                else:
+                    for future in pending:
+                        future.cancel()
+            if failure is not None:
+                raise IndependenceError(
+                    f"matrix worker failed deterministically on the chunk "
+                    f"at row offset {failure.row_offset} "
+                    f"({failure.kind}: {failure.message}); not retrying — "
+                    f"the error is in the cell code, not the pool.\n"
+                    f"{failure.details}"
+                )
             if timed_out:
                 faults += 1
                 if pool_span.enabled:
@@ -769,12 +937,14 @@ def _check_matrix(
     resume: bool = False,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     per_cell_delay: float = 0.0,
+    parallel_threshold_seconds: float | None = None,
+    worker_log_path: str | None = None,
     tracer=None,
 ) -> IndependenceMatrix:
-    if strategy not in (LAZY, EAGER):
+    if strategy not in STRATEGIES:
         raise IndependenceError(
             f"unknown independence strategy {strategy!r}; "
-            f"expected {LAZY!r} or {EAGER!r}"
+            f"expected {AUTO!r}, {LAZY!r} or {EAGER!r}"
         )
     if not patterns or not update_classes:
         raise IndependenceError(
@@ -814,55 +984,100 @@ def _check_matrix(
 
         on_cell = journal_cell if store is not None else None
         on_chunk = journal_chunk if store is not None else None
+        context = pool.SharedWorkContext(
+            update_classes=tuple(update_classes),
+            schema=schema,
+            alphabet=alphabet,
+            log_path=worker_log_path,
+        )
         jobs = max(1, int(parallelism))
         faults = 0
+        if jobs > 1 and len(patterns) > 1:
+            jobs = min(jobs, len(patterns))
+            chunk_size = max(
+                1, -(-len(patterns) // (jobs * CHUNK_OVERSUBSCRIPTION))
+            )
+            chunk_count = -(-len(patterns) // chunk_size)
+            cell_count = len(patterns) * len(update_classes) - len(restored)
+            # the spawn-cost gate: matrices whose whole serial runtime is
+            # smaller than the fan-out tax degrade to the serial path, so
+            # --jobs N can never lose to serial (fault-injection runs
+            # bypass it — they exist to exercise the pool)
+            if fault_injection is None and not pool.parallel_worthwhile(
+                cell_count, jobs, chunk_count,
+                threshold_seconds=parallel_threshold_seconds,
+            ):
+                jobs = 1
+                if tracer.enabled:
+                    tracer.event(
+                        "pool.serial_gate",
+                        {"cells": cell_count, "requested_jobs": parallelism},
+                    )
         if jobs == 1 or len(patterns) == 1:
             jobs = 1
+            with tracer.span("matrix.construct"):
+                shared = context.materialize()
             cells = _explore_rows(
-                patterns, 0, update_classes, schema, alphabet, strategy,
-                want_witness, budget, skip_cells=skip,
+                patterns, 0, shared, strategy, want_witness,
+                budget=budget, skip_cells=skip,
                 per_cell_delay=per_cell_delay, on_cell=on_cell,
                 tracer=tracer,
             )
         else:
-            jobs = min(jobs, len(patterns))
             chunks: list[tuple[int, list[RegularTreePattern]]] = []
-            chunk_size = (len(patterns) + jobs - 1) // jobs
             for start in range(0, len(patterns), chunk_size):
                 chunks.append(
                     (start, list(patterns[start:start + chunk_size]))
                 )
+            token, context_bytes = pool.publish_context(context)
+            # the serial fallback materializes its own context lazily —
+            # a fault-free run never builds the automata twice in the
+            # parent process
+            fallback_shared: list[pool.MaterializedContext] = []
 
             def payload_for(offset, chunk_patterns):
                 return (
-                    (
-                        chunk_patterns,
-                        offset,
-                        list(update_classes),
-                        schema,
-                        alphabet,
-                        strategy,
-                        want_witness,
-                        budget,
-                        skip,
-                        per_cell_delay,
-                    ),
+                    token,
+                    context_bytes,
+                    chunk_patterns,
+                    offset,
+                    strategy,
+                    want_witness,
+                    budget,
+                    skip,
+                    per_cell_delay,
                     fault_injection,
                 )
 
             def serial_for(offset, chunk_patterns):
+                if not fallback_shared:
+                    with tracer.span("matrix.construct"):
+                        fallback_shared.append(context.materialize())
                 return _explore_rows(
-                    chunk_patterns, offset, list(update_classes), schema,
-                    alphabet, strategy, want_witness, budget, skip_cells=skip,
+                    chunk_patterns, offset, fallback_shared[0], strategy,
+                    want_witness, budget=budget, skip_cells=skip,
                     per_cell_delay=per_cell_delay, on_cell=on_cell,
                     tracer=tracer,
                 )
 
-            results, faults = _run_chunks_with_recovery(
-                chunks, payload_for, serial_for, jobs,
-                worker_timeout_seconds, on_chunk=on_chunk, tracer=tracer,
-            )
+            try:
+                results, faults = _run_chunks_with_recovery(
+                    chunks, payload_for, serial_for, jobs,
+                    worker_timeout_seconds, on_chunk=on_chunk, tracer=tracer,
+                )
+            finally:
+                pool.release_context(token)
             cells = _merge_chunks(results, len(patterns))
+        durations = [
+            cell.elapsed_seconds
+            for row in cells
+            for cell in row
+            if cell is not None
+        ]
+        if durations:
+            # feed the measured average cell cost back into the gate so
+            # the next matrix's serial-vs-parallel decision is informed
+            pool.record_cell_seconds(sum(durations) / len(durations))
         if restored:
             cells = _splice_restored(cells, restored, len(update_classes))
         matrix = IndependenceMatrix(
@@ -907,15 +1122,17 @@ def check_independence_matrix(
     update_classes: Sequence[UpdateClass],
     schema: Schema | None = None,
     want_witness: bool = False,
-    strategy: str = LAZY,
+    strategy: str = AUTO,
     parallelism: int = 1,
     budget: Budget | None = None,
     worker_timeout_seconds: float | None = None,
+    parallel_threshold_seconds: float | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     _fault_injection: FaultInjection | None = None,
     _per_cell_delay_seconds: float = 0.0,
+    _worker_log_path: str | None = None,
     tracer=None,
 ) -> IndependenceMatrix:
     """Run IC for every (FD, update-class) pair, amortizing the setup.
@@ -927,6 +1144,15 @@ def check_independence_matrix(
     individually (UNKNOWN on exhaustion); ``worker_timeout_seconds`` is
     the hard backstop after which a hung worker pool is abandoned and
     the unfinished rows recomputed serially.
+
+    ``parallelism > 1`` fans rows out over a persistent warm worker
+    pool (:mod:`repro.independence.pool`): the shared automata are
+    shipped once per run, not per chunk, and a spawn-cost gate degrades
+    matrices too small to amortize the fan-out back to the serial path.
+    ``parallel_threshold_seconds`` overrides the gate: ``0.0`` forces
+    fan-out unconditionally, a positive value runs serial whenever the
+    estimated serial time falls below it, ``None`` (default) uses the
+    learned cost model.
 
     ``checkpoint_dir`` makes the run crash-safe: every cell verdict is
     journaled (write-ahead, fsynced) the moment it lands, and
@@ -955,6 +1181,8 @@ def check_independence_matrix(
         resume=resume,
         checkpoint_snapshot_every=checkpoint_snapshot_every,
         per_cell_delay=_per_cell_delay_seconds,
+        parallel_threshold_seconds=parallel_threshold_seconds,
+        worker_log_path=_worker_log_path,
         tracer=tracer,
     )
 
@@ -964,11 +1192,12 @@ def check_view_independence_matrix(
     update_classes: Sequence[UpdateClass],
     schema: Schema | None = None,
     want_witness: bool = False,
-    strategy: str = LAZY,
+    strategy: str = AUTO,
     parallelism: int = 1,
     view_names: Sequence[str] | None = None,
     budget: Budget | None = None,
     worker_timeout_seconds: float | None = None,
+    parallel_threshold_seconds: float | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
@@ -999,6 +1228,7 @@ def check_view_independence_matrix(
         parallelism,
         budget=budget,
         worker_timeout_seconds=worker_timeout_seconds,
+        parallel_threshold_seconds=parallel_threshold_seconds,
         kind="view-independence-matrix",
         checkpoint_dir=checkpoint_dir,
         resume=resume,

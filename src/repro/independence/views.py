@@ -37,6 +37,7 @@ from repro.independence.language import (
     dangerous_factors,
     explore_dangerous_factors,
 )
+from repro.independence.strategy import AUTO, STRATEGIES, StrategySelector
 from repro.limits import Budget, BudgetExceeded, PartialStats
 from repro.obs.metrics import format_stats
 from repro.obs.trace import current_tracer
@@ -129,7 +130,7 @@ def check_view_independence(
     update_class: UpdateClass,
     schema: Schema | None = None,
     want_witness: bool = True,
-    strategy: str = LAZY,
+    strategy: str = AUTO,
     budget: Budget | None = None,
     tracer=None,
 ) -> ViewIndependenceResult:
@@ -141,10 +142,10 @@ def check_view_independence(
     ``tracer`` likewise mirrors the FD criterion: the run is wrapped in
     a ``view.check`` span, and observability never changes the verdict.
     """
-    if strategy not in (LAZY, EAGER):
+    if strategy not in STRATEGIES:
         raise IndependenceError(
             f"unknown independence strategy {strategy!r}; "
-            f"expected {LAZY!r} or {EAGER!r}"
+            f"expected {AUTO!r}, {LAZY!r} or {EAGER!r}"
         )
     if tracer is None:
         tracer = current_tracer()
@@ -155,15 +156,29 @@ def check_view_independence(
     partial: PartialStats | None = None
     witness: XMLDocument | None = None
     with tracer.span("view.check") as check_span:
+        with tracer.span("ic.construct"):
+            view_automaton, update_automaton, schema_hedge = (
+                dangerous_factors(
+                    view, update_class, schema,
+                    pattern_name="A_V", tracer=tracer,
+                )
+            )
+        requested = strategy
+        if strategy == AUTO:
+            alphabet = set(view.template.alphabet())
+            alphabet |= update_class.pattern.template.alphabet()
+            if schema is not None:
+                alphabet |= schema.alphabet()
+            strategy = StrategySelector().choose(
+                pattern_rules=len(view_automaton.automaton.rules),
+                update_rules=len(update_automaton.automaton.rules),
+                schema_rules=(
+                    0 if schema_hedge is None else len(schema_hedge.rules)
+                ),
+                alphabet_size=len(alphabet),
+            )
         try:
             if strategy == LAZY:
-                with tracer.span("ic.construct"):
-                    view_automaton, update_automaton, schema_hedge = (
-                        dangerous_factors(
-                            view, update_class, schema,
-                            pattern_name="A_V", tracer=tracer,
-                        )
-                    )
                 outcome = explore_dangerous_factors(
                     view_automaton,
                     update_automaton,
@@ -180,9 +195,15 @@ def check_view_independence(
                 if meter is not None:
                     meter.check_deadline()
                 with tracer.span("ic.eager_product"):
-                    automaton = view_dangerous_language(
-                        view, update_class, schema=schema
+                    flagged = _flagged_product(
+                        view_automaton, update_automaton
                     )
+                    if schema_hedge is None:
+                        automaton = flagged
+                    else:
+                        automaton = product_automaton(
+                            schema_hedge, flagged, name="A_S×B"
+                        )
                 if meter is not None:
                     meter.check_deadline()
                 with tracer.span("ic.eager_emptiness"):
@@ -206,6 +227,8 @@ def check_view_independence(
             check_span.set_attribute("view_arity", view.arity)
             check_span.set_attribute("update_class", update_class.name)
             check_span.set_attribute("strategy", strategy)
+            if requested == AUTO:
+                check_span.set_attribute("strategy_requested", AUTO)
             check_span.set_attribute("verdict", verdict.value)
             check_span.set_attribute("automaton_size", automaton_size)
             if exploration is not None:

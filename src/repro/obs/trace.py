@@ -168,6 +168,11 @@ class _NoopTracer:
     def span(self, name: str) -> _NoopSpan:
         return NOOP_SPAN
 
+    def record_span(
+        self, name: str, duration_ns: int, attributes: dict | None = None
+    ) -> _NoopSpan:
+        return NOOP_SPAN
+
     def event(self, name: str, attributes: dict | None = None) -> None:
         pass
 
@@ -218,6 +223,34 @@ class Tracer:
             self._next_id += 1
         span = Span(self, name, span_id, parent_id)
         stack.append(span)
+        return span
+
+    def record_span(
+        self, name: str, duration_ns: int, attributes: dict | None = None
+    ) -> Span:
+        """Export an already-finished span of known duration.
+
+        For work measured somewhere this tracer could not see — e.g. a
+        matrix cell computed inside a pool worker, whose timing comes
+        back with the chunk result.  The span is parented under the
+        current span of this thread but never pushed on the stack; its
+        start is backdated by ``duration_ns`` so it reads as "ended
+        just now" on the shared monotonic clock.
+        """
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(self, name, span_id, parent_id)
+        duration_ns = int(duration_ns)
+        span.start_ns -= duration_ns
+        span.duration_ns = duration_ns
+        if attributes:
+            span.attributes.update(attributes)
+        if self.exporter is not None:
+            with self._lock:
+                self.exporter.export(span)
         return span
 
     def event(self, name: str, attributes: dict | None = None) -> None:

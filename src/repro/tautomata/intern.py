@@ -1,0 +1,53 @@
+"""Object-to-int interning for automaton states and labels.
+
+Product states are nested tuples — ``((fd, u, flag), schema)`` and
+worse — and the inner fixpoint loops compare and hash them constantly:
+membership probes per (search, symbol) step, retirement checks per
+round.  Interning maps each distinct state (or label) to a small dense
+integer once, after which membership can live in an int used as a
+bitset (``mask >> id & 1``) and set updates are a single ``|=`` —
+no tuple hashing on the hot path, no per-element set overhead.
+
+:class:`InternTable` is deliberately minimal: a dict for object → id
+and a list for id → object, ids dense from 0 in first-intern order
+(which keeps every consumer deterministic).  It is *not* thread-safe;
+each engine owns its own table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+
+class InternTable:
+    """Bijective object ↔ dense-int interning (insertion-ordered ids)."""
+
+    __slots__ = ("_ids", "_objects")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._objects: list[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self._ids
+
+    def intern(self, obj: Hashable) -> int:
+        """The id of ``obj``, allocating the next dense id if new."""
+        ids = self._ids
+        identity = ids.get(obj)
+        if identity is None:
+            identity = len(self._objects)
+            ids[obj] = identity
+            self._objects.append(obj)
+        return identity
+
+    def get(self, obj: Hashable) -> int | None:
+        """The id of ``obj`` if already interned, else ``None``."""
+        return self._ids.get(obj)
+
+    def object(self, identity: int) -> Hashable:
+        """The object interned at ``identity`` (IndexError when unknown)."""
+        return self._objects[identity]

@@ -39,45 +39,67 @@ from repro.limits import BudgetMeter
 from repro.obs.trace import NOOP_TRACER
 from repro.tautomata.hedge import HedgeAutomaton, LabelSpec, Rule, State
 from repro.tautomata.horizontal import ProductHorizontal, ProjectedHorizontal
+from repro.tautomata.intern import InternTable
 from repro.tautomata.worklist import InhabitationEngine
 
 
 class RuleIndex:
     """Rules indexed by the label partition their specifications induce.
 
-    Finite (``in``) specifications are fanned out label by label;
-    co-finite (``not_in``) specifications land in one overflow bucket
-    (they intersect almost everything).  ``compatible(spec)`` then
-    yields exactly the rules whose label specification has a non-empty
-    intersection with ``spec`` — without touching the rest.
+    Labels are interned to dense ints and each label's fireability set
+    is a *bitset* over rule positions: finite (``in``) specifications
+    OR their per-label masks together, so the union over a query spec's
+    labels is a handful of int ORs and deduplication is free (a rule's
+    bit is set once however many labels select it).  Co-finite
+    (``not_in``) specifications land in one overflow mask (they
+    intersect almost everything).  ``compatible(spec)`` then yields
+    exactly the rules whose label specification has a non-empty
+    intersection with ``spec`` — in rule-position order, independent of
+    set iteration order — without touching the rest.
     """
 
     def __init__(self, rules: Iterable[Rule]) -> None:
         self.rules: list[Rule] = list(rules)
-        self._by_label: dict[str, list[Rule]] = {}
-        self._cofinite: list[Rule] = []
-        for rule in self.rules:
+        self._labels = InternTable()
+        self._label_masks: list[int] = []  # label id -> rule-position bitset
+        cofinite = 0
+        for position, rule in enumerate(self.rules):
+            bit = 1 << position
             if rule.labels.mode == "in":
                 for label in rule.labels.labels:
-                    self._by_label.setdefault(label, []).append(rule)
+                    identity = self._labels.intern(label)
+                    if identity == len(self._label_masks):
+                        self._label_masks.append(bit)
+                    else:
+                        self._label_masks[identity] |= bit
             else:
-                self._cofinite.append(rule)
+                cofinite |= bit
+        self._cofinite_mask = cofinite
 
     def __len__(self) -> int:
         return len(self.rules)
+
+    def _select(self, mask: int) -> Iterator[Rule]:
+        rules = self.rules
+        while mask:
+            low = mask & -mask
+            yield rules[low.bit_length() - 1]
+            mask ^= low
 
     def compatible(self, spec: LabelSpec) -> Iterator[Rule]:
         """All indexed rules whose labels intersect ``spec``."""
         if spec.mode == "in":
             if not spec.labels:
                 return
-            seen: set[int] = set()
+            mask = 0
+            lookup = self._labels.get
+            masks = self._label_masks
             for label in spec.labels:
-                for rule in self._by_label.get(label, ()):
-                    if id(rule) not in seen:
-                        seen.add(id(rule))
-                        yield rule
-            for rule in self._cofinite:
+                identity = lookup(label)
+                if identity is not None:
+                    mask |= masks[identity]
+            yield from self._select(mask)
+            for rule in self._select(self._cofinite_mask):
                 # a co-finite rule misses the spec only if it excludes
                 # every one of its labels
                 if spec.labels - rule.labels.labels:

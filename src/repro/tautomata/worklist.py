@@ -21,7 +21,12 @@ worklist:
   state; the fired state is enqueued and the rule retires.
 
 Each (rule, horizontal-state, symbol) edge is therefore traversed at
-most once over the whole fixpoint.  The engine optionally records
+most once over the whole fixpoint.  Vertical states — nested product
+tuples in the IC pipeline — are interned to dense ints
+(:mod:`repro.tautomata.intern`), so inhabitation membership on the hot
+path is one bit test in an integer bitmask rather than a tuple-hashing
+set probe, and retiring every pending search of a freshly fired state
+is a single dict pop on the interned id.  The engine optionally records
 parent pointers in the frontier so a firing word — and from it a witness
 tree — can be reconstructed without the separate shortest-word search,
 and optionally keeps probing rules whose state is already inhabited so
@@ -41,6 +46,7 @@ from collections.abc import Iterable
 
 from repro.limits import BudgetMeter
 from repro.tautomata.hedge import LabelSpec, Rule, State
+from repro.tautomata.intern import InternTable
 from repro.xmlmodel.tree import NodeType, label_node_type
 
 
@@ -114,7 +120,17 @@ class InhabitationEngine:
         #: worklist rounds completed: symbols propagated by :meth:`run`
         self.rounds = 0
         self._symbols: list[State] = []  # inhabited, in discovery order
-        self._searches: list[_Search] = []
+        # Vertical states are interned to dense ints; inhabitation
+        # membership is then one bit in ``_fired_mask`` instead of a
+        # tuple-hashing dict probe per (search, round).  When rules are
+        # not individually tracked, active searches are grouped by their
+        # interned state id so a firing retires the whole group with a
+        # single dict pop (the flat-list engine re-skipped them every
+        # remaining round).
+        self._state_ids = InternTable()
+        self._fired_mask = 0
+        self._active: dict[int, list[_Search]] = {}
+        self._searches: list[_Search] = []  # track_rules=True keeps all
         self._queue: deque[State] = deque()
 
     # ------------------------------------------------------------------
@@ -125,8 +141,11 @@ class InhabitationEngine:
         """Register a candidate rule (catching up on known symbols)."""
         if rule.labels.is_empty():
             return
-        if not self.track_rules and rule.state in self.firings:
-            return
+        state_id = -1
+        if not self.track_rules:
+            state_id = self._state_ids.intern(rule.state)
+            if (self._fired_mask >> state_id) & 1:
+                return
         self.rule_count += 1
         if self.meter is not None:
             self.meter.charge_rule()
@@ -143,7 +162,10 @@ class InhabitationEngine:
         if self._symbols:
             self._advance(search, self._symbols)
         if not search.fired:
-            self._searches.append(search)
+            if self.track_rules:
+                self._searches.append(search)
+            else:
+                self._active.setdefault(state_id, []).append(search)
 
     def add_rules(self, rules: Iterable[Rule]) -> None:
         """Register several rules (see :meth:`add_rule`)."""
@@ -161,14 +183,24 @@ class InhabitationEngine:
             self.rounds += 1
             self._symbols.append(symbol)
             new_symbol = (symbol,)
-            survivors = []
-            for search in self._searches:
-                if not self.track_rules and search.rule.state in self.firings:
-                    continue
-                self._advance(search, new_symbol)
-                if not search.fired:
-                    survivors.append(search)
-            self._searches = survivors
+            if self.track_rules:
+                survivors = []
+                for search in self._searches:
+                    self._advance(search, new_symbol)
+                    if not search.fired:
+                        survivors.append(search)
+                self._searches = survivors
+            else:
+                # snapshot: _fire pops groups out of _active mid-round
+                for state_id, group in list(self._active.items()):
+                    if (self._fired_mask >> state_id) & 1:
+                        continue  # retired earlier this round
+                    for search in group:
+                        self._advance(search, new_symbol)
+                        if search.fired:
+                            # _fire retired the whole group; the rest of
+                            # these searches prove nothing new
+                            break
 
     def _advance(self, search: _Search, new_symbols: Iterable[State]) -> None:
         """Extend the frontier with newly available symbols.
@@ -241,6 +273,9 @@ class InhabitationEngine:
                 self.meter.charge_state()
             self.firings[rule.state] = (rule, word)
             self._queue.append(rule.state)
+            state_id = self._state_ids.intern(rule.state)
+            self._fired_mask |= 1 << state_id
+            self._active.pop(state_id, None)  # retire the whole group
 
     # ------------------------------------------------------------------
     # results

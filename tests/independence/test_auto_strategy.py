@@ -1,0 +1,190 @@
+"""The adaptive strategy: auto must be invisible in the verdicts.
+
+``strategy="auto"`` (the new default) resolves to lazy or eager per
+instance from the automaton shapes.  Whatever it picks, the criterion's
+*outputs* must be bit-for-bit what both fixed strategies produce — the
+strategies decide the same emptiness, so auto can only ever change the
+wall time, never a verdict, a witness-emptiness bit, or the UNKNOWN
+routing.  The randomized differential suite below pins that over 200+
+instances; the selector unit tests pin the cost model's decision
+boundaries and its determinism.
+"""
+
+import pytest
+
+from repro.errors import IndependenceError
+from repro.independence.criterion import (
+    AUTO,
+    EAGER,
+    LAZY,
+    check_independence,
+)
+from repro.independence.matrix import check_independence_matrix
+from repro.independence.strategy import (
+    HIGH_EXPLORED_FRACTION,
+    SCHEMA_EAGER_RULE_LIMIT,
+    StrategySelector,
+)
+from repro.independence.views import check_view_independence
+from repro.tautomata.lazy import ExplorationStats
+from tests.independence.test_lazy_criterion import _random_triple
+
+SEEDS = range(200)
+
+
+class TestDifferentialEquivalence:
+    """auto == lazy == eager on every randomized instance."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_auto_matches_both_fixed_strategies(self, seed):
+        fd, update_class, schema = _random_triple(seed)
+        auto = check_independence(
+            fd, update_class, schema=schema, want_witness=True,
+            strategy=AUTO,
+        )
+        lazy = check_independence(
+            fd, update_class, schema=schema, want_witness=True,
+            strategy=LAZY,
+        )
+        eager = check_independence(
+            fd, update_class, schema=schema, want_witness=True,
+            strategy=EAGER,
+        )
+        assert auto.verdict == lazy.verdict == eager.verdict
+        assert (
+            (auto.witness is None)
+            == (lazy.witness is None)
+            == (eager.witness is None)
+        )
+        # the result reports the *resolved* strategy, never "auto"
+        assert auto.strategy in (LAZY, EAGER)
+
+    @pytest.mark.parametrize("seed", range(0, 40))
+    def test_auto_view_matches_both_fixed_strategies(self, seed):
+        fd, update_class, schema = _random_triple(seed)
+        view = fd.pattern
+        results = {
+            strategy: check_view_independence(
+                view, update_class, schema=schema, want_witness=True,
+                strategy=strategy,
+            )
+            for strategy in (AUTO, LAZY, EAGER)
+        }
+        verdicts = {r.verdict for r in results.values()}
+        assert len(verdicts) == 1
+        witness_bits = {r.witness is None for r in results.values()}
+        assert len(witness_bits) == 1
+
+    def test_auto_is_deterministic(self):
+        fd, update_class, schema = _random_triple(11)
+        first = check_independence(fd, update_class, schema=schema)
+        second = check_independence(fd, update_class, schema=schema)
+        assert first.verdict == second.verdict
+        assert first.strategy == second.strategy
+        if first.exploration is not None:
+            assert (
+                first.exploration.explored_rules
+                == second.exploration.explored_rules
+            )
+
+    def test_matrix_auto_matches_fixed_strategies(self):
+        workload = [_random_triple(seed) for seed in range(6)]
+        fds = [fd for fd, _, _ in workload]
+        update_classes = [uc for _, uc, _ in workload[:3]]
+        grids = {
+            strategy: check_independence_matrix(
+                fds, update_classes, strategy=strategy
+            )
+            for strategy in (AUTO, LAZY, EAGER)
+        }
+        reference = [
+            [cell.verdict for cell in row] for row in grids[LAZY].cells
+        ]
+        for strategy in (AUTO, EAGER):
+            assert [
+                [cell.verdict for cell in row]
+                for row in grids[strategy].cells
+            ] == reference
+
+
+class TestSelector:
+    """The cost model's decision boundaries, pinned."""
+
+    def test_schemaless_always_lazy(self):
+        selector = StrategySelector()
+        # without a schema factor the eager product buys nothing the
+        # lazy exploration doesn't already get, whatever the shape
+        for pattern_rules, update_rules in ((1, 1), (50, 50), (500, 500)):
+            assert (
+                selector.choose(
+                    pattern_rules=pattern_rules,
+                    update_rules=update_rules,
+                    schema_rules=0,
+                    alphabet_size=3,
+                )
+                == LAZY
+            )
+
+    def test_small_schema_product_eager(self):
+        selector = StrategySelector()
+        assert (
+            selector.choose(
+                pattern_rules=4, update_rules=3, schema_rules=5,
+                alphabet_size=3,
+            )
+            == EAGER
+        )
+
+    def test_huge_schema_product_defaults_lazy(self):
+        selector = StrategySelector()
+        worst = SCHEMA_EAGER_RULE_LIMIT * 3 * 10  # far past the limit
+        assert (
+            selector.choose(
+                pattern_rules=worst, update_rules=worst, schema_rules=5,
+                alphabet_size=3,
+            )
+            == LAZY
+        )
+
+    def test_observed_dense_exploration_flips_to_eager(self):
+        selector = StrategySelector()
+        worst = SCHEMA_EAGER_RULE_LIMIT * 3 * 10
+        dense = ExplorationStats(
+            explored_states=10,
+            explored_rules=90,
+            fired_rules=None,
+            worst_case_rules=100,
+            step_attempts=100,
+        )
+        # repeated dense observations push the EWMA over the threshold
+        for _ in range(8):
+            selector.observe(dense)
+        assert selector.explored_fraction >= HIGH_EXPLORED_FRACTION
+        assert (
+            selector.choose(
+                pattern_rules=worst, update_rules=worst, schema_rules=5,
+                alphabet_size=3,
+            )
+            == EAGER
+        )
+
+    def test_selector_is_deterministic(self):
+        shapes = [(3, 4, 5, 3), (60, 60, 9, 2), (7, 2, 0, 5)]
+        first = [StrategySelector().choose(*shape) for shape in shapes]
+        second = [StrategySelector().choose(*shape) for shape in shapes]
+        assert first == second
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected_everywhere(self):
+        fd, update_class, schema = _random_triple(3)
+        with pytest.raises(IndependenceError, match="auto"):
+            check_independence(fd, update_class, strategy="greedy")
+        with pytest.raises(IndependenceError, match="auto"):
+            check_view_independence(
+                fd.pattern, update_class, strategy="greedy"
+            )
+        with pytest.raises(IndependenceError, match="auto"):
+            check_independence_matrix(
+                [fd], [update_class], strategy="greedy"
+            )

@@ -63,7 +63,7 @@ def _matrix_manifest(fds, update_classes, **overrides):
         row_names=[fd.name for fd in fds],
         update_classes=update_classes,
         schema=None,
-        strategy="lazy",
+        strategy="auto",
         want_witness=False,
         budget=None,
     )

@@ -165,6 +165,51 @@ class TestWorkerFaultRecovery:
         _assert_same_verdicts(resumed, reference)
 
 
+class TestDeterministicFailFast:
+    def test_deterministic_worker_error_fails_fast(self, workload, tmp_path):
+        """A cell-code error is not a pool fault: no retry, no fallback.
+
+        The ``raise-deterministic`` kind strikes on *every* run of the
+        targeted chunk — retrying in a fresh pool or recomputing
+        serially would fail identically, so the run must surface the
+        worker's original error immediately instead of burning
+        :data:`MAX_POOL_RESTARTS` pools first.
+        """
+        from repro.independence import pool
+
+        fds, update_classes = workload
+        fault = FaultInjection(
+            kind="raise-deterministic",
+            flag_path=str(tmp_path / "unused"),
+            target_offset=0,
+        )
+        before = pool.pool_stats()
+        with pytest.raises(IndependenceError) as excinfo:
+            check_independence_matrix(
+                fds, update_classes, parallelism=2, _fault_injection=fault
+            )
+        message = str(excinfo.value)
+        # the original worker-side error and traceback are surfaced
+        assert "not retrying" in message
+        assert "RuntimeError" in message
+        assert "raise-deterministic" in message
+        after = pool.pool_stats()
+        # fail-fast did not burn the warm pool: nothing was discarded,
+        # and no retry pools were created beyond the (at most one)
+        # first-use creation
+        assert after["pools_discarded"] == before["pools_discarded"]
+        assert after["pools_created"] <= before["pools_created"] + 1
+
+    def test_only_the_deterministic_kind_is_flagged(self, tmp_path):
+        for kind in ("crash-once", "raise-once", "hang-once"):
+            fault = FaultInjection(kind=kind, flag_path=str(tmp_path / kind))
+            assert not fault.deterministic
+        fault = FaultInjection(
+            kind="raise-deterministic", flag_path=str(tmp_path / "det")
+        )
+        assert fault.deterministic
+
+
 class TestMergeIntegrity:
     def _cell(self, row, column=0):
         return MatrixCell(
