@@ -293,6 +293,11 @@ def _measure_matrix_config(chains):
         "jobs2_ms": jobs2_ms,
         "parallel_ratio": serial_ms / jobs2_ms,
         "jobs2_effective_parallelism": jobs2_matrix.parallelism,
+        # the spawn-cost gate degraded --jobs 2 to the serial path: a
+        # ratio near 1.0 here means "the gate saved us from fan-out
+        # tax", not "parallelism won" — CI reads this tag to tell the
+        # two apart
+        "gate_degraded": jobs2_matrix.parallelism == 1,
         "verdicts_match": True,
     }
 

@@ -32,9 +32,16 @@ Installed as ``repro-xml`` (see ``pyproject.toml``); also runnable as
     refusing (clean diagnostic, no traceback) if the FDs, updates,
     schema, strategy or budget changed since the checkpoint was taken.
 
+    When the workload *drifts* (an FD edited, an update class added),
+    point ``--baseline RUN_DIR`` at a prior run: every cell whose row
+    and column are fingerprint-identical to the baseline is spliced
+    without recomputation and only the affected rows/columns are
+    re-analysed.
+
 ``checkpoints``
     Manage checkpoint run directories: ``list`` them, ``inspect`` one,
-    ``clean`` stale (complete or damaged) ones.
+    ``clean`` stale (complete or damaged) ones (dry run by default;
+    ``--force`` deletes).
 
 ``evaluate``
     Evaluate a positive CoreXPath expression on a document.
@@ -59,8 +66,12 @@ Examples::
     repro-xml independence --checkpoint-dir ckpt/orders --resume \\
         --fd "(/orders, ((order/@id) -> order/customer/name))" \\
         --update-xpath "/orders/order/status"
+    repro-xml independence --baseline ckpt/orders/run-001 \\
+        --checkpoint-dir ckpt/orders \\
+        --fd "(/orders, ((order/@id) -> order/customer/name))" \\
+        --update-xpath "/orders/order/status"
     repro-xml checkpoints list ckpt
-    repro-xml checkpoints clean ckpt
+    repro-xml checkpoints clean ckpt --force
     repro-xml evaluate store.xml --xpath "//line/product"
 """
 
@@ -200,13 +211,15 @@ def _run_independence(args: argparse.Namespace) -> int:
     ]
     schema = _load_schema(args.schema) if args.schema else None
     budget = _budget_from_args(args)
-    # checkpointing is a matrix-run feature, so --checkpoint-dir routes
-    # even a single pair through the (1x1) matrix path
+    # checkpointing and baseline splicing are matrix-run features, so
+    # --checkpoint-dir/--baseline route even a single pair through the
+    # (1x1) matrix path
     if (
         args.matrix
         or len(fds) > 1
         or len(update_classes) > 1
         or args.checkpoint_dir
+        or args.baseline
     ):
         from repro.independence.matrix import check_independence_matrix
 
@@ -220,6 +233,7 @@ def _run_independence(args: argparse.Namespace) -> int:
             budget=budget,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            baseline_dir=args.baseline,
         )
         print(matrix.describe())
         if registry is not None:
@@ -228,6 +242,7 @@ def _run_independence(args: argparse.Namespace) -> int:
                     print(_describe_cell(matrix, cell))
             registry.absorb_matrix(matrix)
             registry.absorb_caches()
+            registry.absorb_pool()
             _print_metrics(registry)
         if args.cache_stats:
             _print_cache_stats()
@@ -332,18 +347,25 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
             print(f"  {field}: {manifest.get(field)}")
         return 0
     # action == "clean": stale run dirs go away; trouble is reported,
-    # never fatal (the journal-writer non-fatality policy, applied here)
+    # never fatal (the journal-writer non-fatality policy, applied here).
+    # Deleting durable results silently is a footgun now that old run
+    # dirs double as --baseline inputs, so the default is a dry run and
+    # --force is required to actually remove anything.
+    dry_run = not args.force
     removed, kept, problems = clean_run_dirs(
-        args.path, remove_all=args.all
+        args.path, remove_all=args.all, dry_run=dry_run
     )
+    verb = "would remove" if dry_run else "removed"
     for path in removed:
-        print(f"removed {path}")
+        print(f"{verb} {path}")
     for path in kept:
         print(f"kept {path} (in progress; use --all to remove)")
     for problem in problems:
         print(f"warning: {problem}", file=sys.stderr)
     if not removed and not kept and not problems:
         print(f"no checkpoint run directories under {args.path}")
+    elif dry_run and removed:
+        print("dry run: pass --force to actually delete")
     return 0
 
 
@@ -473,6 +495,16 @@ def build_parser() -> argparse.ArgumentParser:
         "from the checkpointed run)",
     )
     independence.add_argument(
+        "--baseline",
+        default=None,
+        metavar="RUN_DIR",
+        help="splice unchanged cell verdicts from a prior run dir "
+        "(matched by name and content fingerprint) and recompute only "
+        "the drifted rows/columns; implies a matrix run. Unlike "
+        "--resume, differing inputs are expected, and a damaged or "
+        "incompatible baseline degrades to a full recompute",
+    )
+    independence.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE.jsonl",
@@ -508,6 +540,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--all",
         action="store_true",
         help="with clean: remove in-progress run dirs too",
+    )
+    checkpoints.add_argument(
+        "--force",
+        action="store_true",
+        help="with clean: actually delete (the default is a dry run "
+        "listing what would be removed — old run dirs double as "
+        "--baseline inputs, so destruction is opt-in)",
     )
     checkpoints.set_defaults(handler=_cmd_checkpoints)
 

@@ -67,10 +67,13 @@ from repro.tautomata.emptiness import (
     build_witness_tree,
     document_from_witness,
 )
+from repro.tautomata.hedge import rule_structure_key
 from repro.tautomata.lazy import (
     ExplorationStats,
     FactorAnalysis,
+    IncrementalProductSession,
     RuleIndex,
+    analyze_factor,
     cached_factor,
     explore_product,
     pair_combine,
@@ -442,3 +445,162 @@ def explore_dangerous_factors(
     return DangerousExploration(
         empty=empty, witness=witness, stats=flagged.stats.merge(final.stats)
     )
+
+
+class IncrementalDangerousSession:
+    """Emptiness of ``L`` for one fixed (update class, schema), re-solved
+    across FD-pattern edits from the surviving exploration.
+
+    The cold path (:func:`explore_dangerous_factors`) rebuilds both
+    product levels per check.  A session keeps the incremental product
+    engines alive: :meth:`recheck` fixpoints only the *new* FD factor
+    (cheap), pairs its rules against the old ones with
+    :func:`~repro.tautomata.hedge.rule_structure_key` — a small edit
+    leaves most trace-automaton rules structurally identical — and
+    feeds just the delta through
+    :meth:`~repro.tautomata.lazy.IncrementalProductSession.apply_delta`,
+    so both the flagged product and the schema product re-solve from
+    their surviving frontiers (the schema-level delta is the identity
+    diff of the flagged engine's fired product rules, which survive
+    retraction as the same objects).  Verdicts are always identical to
+    a cold run on the current inputs; witnesses are valid members of
+    ``L`` but may differ from the cold run's choice (discovery order),
+    which is why the matrix drift path recomputes witness-bearing cells
+    cold and sessions serve long-lived in-process re-checks.
+    """
+
+    def __init__(
+        self,
+        pattern_automaton: PatternAutomaton,
+        update_automaton: PatternAutomaton,
+        schema_hedge: HedgeAutomaton | None = None,
+        want_witness: bool = False,
+        factor_cache: dict | None = None,
+        meter: BudgetMeter | None = None,
+        tracer=None,
+    ) -> None:
+        self.tracer = NOOP_TRACER if tracer is None else tracer
+        self.update_automaton = update_automaton
+        self.schema_hedge = schema_hedge
+        self.want_witness = want_witness
+        self.pattern_automaton = pattern_automaton
+        self._meter = meter
+        self._with_schema = schema_hedge is not None
+        self._u_factor = cached_factor(
+            update_automaton.automaton, typed=True, cache=factor_cache,
+            meter=meter, tracer=self.tracer,
+        )
+        fd_factor = analyze_factor(
+            pattern_automaton.automaton, typed=True, meter=meter,
+            tracer=self.tracer,
+        )
+        # BOT and the selected images are stable across FD rebuilds (the
+        # update automaton is fixed; BOT is a module sentinel), so one
+        # combine closure serves the whole session
+        combine = _flagged_combine(pattern_automaton, update_automaton)
+        self._flagged = IncrementalProductSession(
+            fd_factor,
+            self._u_factor,
+            combine=combine,
+            typed=True,
+            track_rules=self._with_schema,
+            rules_per_pair=FLAGGED_RULES_PER_PAIR,
+            meter=meter,
+            tracer=self.tracer,
+        )
+        self._final: IncrementalProductSession | None = None
+        self._last_fired: tuple[Rule, ...] = ()
+        if self._with_schema:
+            schema_factor = cached_factor(
+                schema_hedge, typed=True, cache=factor_cache, meter=meter,
+                tracer=self.tracer,
+            )
+            self._last_fired = self._flagged.fired_rules()
+            self._final = IncrementalProductSession(
+                schema_factor,
+                FactorAnalysis(
+                    inhabited=self._flagged.inhabited,
+                    fireable=self._last_fired,
+                    index=RuleIndex(self._last_fired),
+                    rule_count=self._flagged.stats().worst_case_rules,
+                ),
+                combine=pair_combine,
+                typed=True,
+                meter=meter,
+                tracer=self.tracer,
+            )
+
+    def recheck(
+        self, pattern_automaton: PatternAutomaton
+    ) -> DangerousExploration:
+        """Re-solve emptiness after an FD-pattern edit (rule delta only)."""
+        new_factor = analyze_factor(
+            pattern_automaton.automaton, typed=True, meter=self._meter,
+            tracer=self.tracer,
+        )
+        old_groups: dict[object, list[Rule]] = {}
+        for rule in self._flagged.left_rules():
+            old_groups.setdefault(rule_structure_key(rule), []).append(rule)
+        new_groups: dict[object, list[Rule]] = {}
+        for rule in new_factor.fireable:
+            new_groups.setdefault(rule_structure_key(rule), []).append(rule)
+        removed: list[Rule] = []
+        added: list[Rule] = []
+        for key, old_list in old_groups.items():
+            removed.extend(old_list[len(new_groups.get(key, ())):])
+        for key, new_list in new_groups.items():
+            added.extend(new_list[len(old_groups.get(key, ())):])
+        self._flagged.apply_delta(
+            removed_left=removed,
+            added_left=added,
+            left_rule_count=new_factor.rule_count,
+        )
+        self.pattern_automaton = pattern_automaton
+        if self._final is not None:
+            new_fired = self._flagged.fired_rules()
+            new_ids = {id(rule) for rule in new_fired}
+            last_ids = {id(rule) for rule in self._last_fired}
+            self._final.apply_delta(
+                removed_right=[
+                    rule
+                    for rule in self._last_fired
+                    if id(rule) not in new_ids
+                ],
+                added_right=[
+                    rule for rule in new_fired if id(rule) not in last_ids
+                ],
+                right_rule_count=self._flagged.stats().worst_case_rules,
+            )
+            self._last_fired = new_fired
+        return self.solution()
+
+    def solution(self) -> DangerousExploration:
+        """The current emptiness verdict (engines are at fixpoint)."""
+        if self._final is None:
+            firings = self._flagged.engine.firings
+            empty = DANGEROUS_ACCEPT not in firings
+            accept: State = DANGEROUS_ACCEPT
+            stats = self._flagged.stats()
+        else:
+            firings = self._final.engine.firings
+            accepting = [
+                (schema_state, DANGEROUS_ACCEPT)
+                for schema_state in sorted(
+                    self.schema_hedge.accepting, key=repr
+                )
+            ]
+            inhabited_accepting = [
+                state for state in accepting if state in firings
+            ]
+            empty = not inhabited_accepting
+            accept = inhabited_accepting[0] if inhabited_accepting else None
+            stats = self._flagged.stats().merge(self._final.stats())
+        witness = None
+        if self.want_witness and not empty:
+            # incremental engines always record parents, so firing
+            # words — and from them a witness — are available
+            with self.tracer.span("ic.witness"):
+                witness = document_from_witness(
+                    build_witness_tree(firings, accept)
+                )
+        return DangerousExploration(empty=empty, witness=witness, stats=stats)

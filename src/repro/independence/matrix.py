@@ -63,6 +63,7 @@ import dataclasses
 import os
 import time
 import traceback
+import warnings
 from collections.abc import Sequence
 
 from repro.errors import IndependenceError, ReproError
@@ -228,6 +229,12 @@ class IndependenceMatrix:
     parallelism: int
     budget: Budget | None = None
     worker_faults: int = 0  # pool incidents survived (crashes/timeouts)
+    spliced_cells: int = 0  # verdicts taken unchanged from --baseline
+    recomputed_cells: int = -1  # cells actually computed this run
+
+    def __post_init__(self) -> None:
+        if self.recomputed_cells < 0:
+            self.recomputed_cells = self.cell_count
 
     def cell(self, row: int, column: int) -> MatrixCell:
         """The cell deciding row-th FD/view against column-th update."""
@@ -308,6 +315,11 @@ class IndependenceMatrix:
             )
         if self.worker_faults:
             summary += f" ({self.worker_faults} worker fault(s) recovered)"
+        if self.spliced_cells:
+            summary += (
+                f" ({self.spliced_cells} cell(s) spliced from baseline, "
+                f"{self.recomputed_cells} recomputed)"
+            )
         lines.append(summary)
         return "\n".join(lines)
 
@@ -862,8 +874,12 @@ def _run_chunks_with_recovery(
                 break
             faults += 1
             restarts += 1
-    if remaining and tracer.enabled:
-        tracer.event("pool.serial_fallback", {"chunks": len(remaining)})
+    if remaining:
+        pool.record_serial_fallback(len(remaining))
+        if tracer.enabled:
+            tracer.event(
+                "pool.serial_fallback", {"chunks": len(remaining)}
+            )
     for offset, patterns in sorted(remaining.items()):
         with tracer.span("matrix.chunk") as chunk_span:
             if chunk_span.enabled:
@@ -871,6 +887,82 @@ def _run_chunks_with_recovery(
                 chunk_span.set_attribute("mode", "serial-fallback")
             results[offset] = serial_for(offset, patterns)
     return results, faults
+
+
+def _open_baseline(
+    baseline_dir,
+    manifest,
+    tracer=None,
+):
+    """Load spliceable cells from a prior run directory (drift baseline).
+
+    Returns ``(restored, delta)`` where ``restored`` maps *current*
+    ``(row, column)`` keys to cells carried over from the baseline and
+    ``delta`` is the :class:`~repro.persistence.manifest.ManifestDelta`
+    (``None`` when the baseline had no readable manifest).  The policy
+    mirrors resume, relaxed to drift:
+
+    * a missing or damaged baseline degrades to a full recompute with a
+      single :class:`PersistenceWarning` — never a wrong answer;
+    * an *incompatible* delta (schema, strategy, witness flag, budget or
+      code-version drift) splices nothing — those fields change what
+      every verdict means — but is not an error: recomputing everything
+      is the correct response to global drift;
+    * only cells at (unchanged row × unchanged column) are carried
+      over, re-keyed to their current indices; UNKNOWN and undecodable
+      records are dropped so they are re-attempted, exactly as on
+      resume.
+    """
+    from repro.persistence.journal import PersistenceWarning
+    from repro.persistence.store import load_run_cells, load_run_manifest
+
+    if tracer is None:
+        tracer = NOOP_TRACER
+    baseline_manifest = load_run_manifest(baseline_dir)
+    if baseline_manifest is None:
+        warnings.warn(
+            f"baseline {baseline_dir} has no readable manifest; "
+            f"recomputing the full matrix",
+            PersistenceWarning,
+            stacklevel=5,
+        )
+        return {}, None
+    delta = manifest.diff(baseline_manifest)
+    if not delta.compatible:
+        if tracer.enabled:
+            tracer.event(
+                "baseline.incompatible",
+                {"invalidated": ", ".join(delta.invalidated_fields)},
+            )
+        return {}, delta
+    spliceable = delta.spliceable_cells()
+    if not spliceable:
+        return {}, delta
+    targets = {base: current for current, base in spliceable.items()}
+    try:
+        records = load_run_cells(
+            baseline_dir, baseline_manifest, _warn_stacklevel=6
+        )
+    except OSError as error:
+        warnings.warn(
+            f"baseline {baseline_dir} could not be read ({error}); "
+            f"recomputing the full matrix",
+            PersistenceWarning,
+            stacklevel=5,
+        )
+        return {}, delta
+    restored: dict[tuple[int, int], MatrixCell] = {}
+    for record in records:
+        cell = cell_from_record(record)
+        if cell is None or not cell.decided:
+            continue
+        target = targets.get((cell.row, cell.column))
+        if target is None:
+            continue
+        restored[target] = dataclasses.replace(
+            cell, row=target[0], column=target[1]
+        )
+    return restored, delta
 
 
 def _open_checkpoint(
@@ -935,6 +1027,7 @@ def _check_matrix(
     kind: str = "independence-matrix",
     checkpoint_dir=None,
     resume: bool = False,
+    baseline_dir=None,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     per_cell_delay: float = 0.0,
     parallel_threshold_seconds: float | None = None,
@@ -961,6 +1054,30 @@ def _check_matrix(
         column_names = [update_class.name for update_class in update_classes]
         store = None
         restored: dict[tuple[int, int], MatrixCell] = {}
+        spliced: dict[tuple[int, int], MatrixCell] = {}
+        if baseline_dir is not None:
+            # read the baseline *before* opening the checkpoint store —
+            # a fresh store wipes prior state, and pointing --baseline
+            # and --checkpoint-dir at the same run dir must work
+            with tracer.span("matrix.splice") as splice_span:
+                from repro.persistence.manifest import RunManifest
+
+                current_manifest = RunManifest.for_matrix(
+                    kind, patterns, row_names, update_classes, schema,
+                    strategy, want_witness, budget,
+                )
+                spliced, delta = _open_baseline(
+                    baseline_dir, current_manifest, tracer=tracer
+                )
+                if splice_span.enabled:
+                    splice_span.set_attribute("baseline", str(baseline_dir))
+                    splice_span.set_attribute(
+                        "compatible",
+                        bool(delta is not None and delta.compatible),
+                    )
+                    splice_span.set_attribute("spliced_cells", len(spliced))
+                    if delta is not None:
+                        splice_span.set_attribute("delta", delta.describe())
         if checkpoint_dir is not None:
             with tracer.span("matrix.checkpoint.open") as open_span:
                 store, restored = _open_checkpoint(
@@ -971,6 +1088,17 @@ def _check_matrix(
                 if open_span.enabled:
                     open_span.set_attribute("resume", resume)
                     open_span.set_attribute("restored_cells", len(restored))
+        if spliced:
+            # resume restores are for this very run's inputs — they win
+            # over baseline splices on any overlap
+            for key in restored:
+                spliced.pop(key, None)
+            restored = {**spliced, **restored}
+            if store is not None:
+                # journal the spliced verdicts so the new run dir is a
+                # self-contained baseline for the next drift step
+                for cell in spliced.values():
+                    store.record_cell(cell_to_record(cell))
         skip = frozenset(restored) if restored else None
 
         def journal_cell(cell: MatrixCell) -> None:
@@ -1090,6 +1218,10 @@ def _check_matrix(
             parallelism=jobs,
             budget=budget,
             worker_faults=faults,
+            spliced_cells=len(spliced),
+            recomputed_cells=(
+                len(patterns) * len(update_classes) - len(restored)
+            ),
         )
         if store is not None:
             with tracer.span("matrix.checkpoint.finalize"):
@@ -1111,6 +1243,10 @@ def _check_matrix(
             run_span.set_attribute("independent", matrix.independent_count())
             run_span.set_attribute("unknown", matrix.unknown_count())
             run_span.set_attribute("worker_faults", faults)
+            run_span.set_attribute("spliced_cells", matrix.spliced_cells)
+            run_span.set_attribute(
+                "recomputed_cells", matrix.recomputed_cells
+            )
             run_span.set_attribute(
                 "elapsed_ms", matrix.elapsed_seconds * 1000.0
             )
@@ -1129,6 +1265,7 @@ def check_independence_matrix(
     parallel_threshold_seconds: float | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
+    baseline_dir: str | os.PathLike | None = None,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     _fault_injection: FaultInjection | None = None,
     _per_cell_delay_seconds: float = 0.0,
@@ -1164,6 +1301,18 @@ def check_independence_matrix(
     compaction cadence.  ``_per_cell_delay_seconds`` is a test-only
     hook (like ``_fault_injection``) that the crash harness uses to
     land a SIGKILL mid-journal.
+
+    ``baseline_dir`` enables *drift* re-analysis: the run dir of a
+    prior (possibly different) run is manifest-diffed against the
+    current inputs, every cell at an (unchanged FD × unchanged update
+    class) position — matched by name and content fingerprint — is
+    spliced from the baseline without recomputation, and only the
+    affected rows/columns are computed.  UNKNOWN baseline cells are
+    re-attempted; schema/strategy/budget/witness/code-version drift
+    invalidates the whole baseline (full recompute, never a wrong
+    answer); a missing or corrupted baseline degrades to a full
+    recompute with one :class:`PersistenceWarning`.  Unlike ``resume``,
+    a mismatched baseline is never an error — drift is the point.
     """
     return _check_matrix(
         [fd.pattern for fd in fds],
@@ -1179,6 +1328,7 @@ def check_independence_matrix(
         kind="independence-matrix",
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        baseline_dir=baseline_dir,
         checkpoint_snapshot_every=checkpoint_snapshot_every,
         per_cell_delay=_per_cell_delay_seconds,
         parallel_threshold_seconds=parallel_threshold_seconds,
@@ -1200,6 +1350,7 @@ def check_view_independence_matrix(
     parallel_threshold_seconds: float | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
+    baseline_dir: str | os.PathLike | None = None,
     checkpoint_snapshot_every: int = DEFAULT_CHECKPOINT_SNAPSHOT_EVERY,
     tracer=None,
 ) -> IndependenceMatrix:
@@ -1208,8 +1359,9 @@ def check_view_independence_matrix(
     The dangerous region of a view coincides with the FD case, so the
     same shared construction applies with view patterns as rows —
     including the crash-safe ``checkpoint_dir``/``resume`` behaviour
-    (the manifest records the view kind, so an FD checkpoint can never
-    be spliced into a view run or vice versa).
+    and ``baseline_dir`` drift splicing (the manifest records the view
+    kind, so an FD checkpoint can never be spliced into a view run or
+    vice versa).
     """
     names = (
         list(view_names)
@@ -1232,6 +1384,7 @@ def check_view_independence_matrix(
         kind="view-independence-matrix",
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        baseline_dir=baseline_dir,
         checkpoint_snapshot_every=checkpoint_snapshot_every,
         tracer=tracer,
     )

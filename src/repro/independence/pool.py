@@ -166,6 +166,13 @@ _stats = {
     "contexts_published": 0,
     "contexts_materialized": 0,
     "context_cache_hits": 0,
+    # spawn-cost gate decisions (learned or threshold mode alike)
+    "gate_parallel": 0,
+    "gate_serial": 0,
+    # chunks recomputed serially after exhausting pool restarts
+    "serial_fallback_chunks": 0,
+    # cumulative pool creation + warm-up cost, in integer milliseconds
+    "warmup_ms_total": 0,
 }
 
 
@@ -265,9 +272,11 @@ def get_executor(max_workers: int) -> ProcessPoolExecutor:
     # warm-up barrier: one trivial task per worker forces the processes
     # to exist and finish initializing before real chunks are submitted
     list(executor.map(_warm_task, range(max_workers)))
-    record_spawn_seconds(time.perf_counter() - started)
+    elapsed = time.perf_counter() - started
+    record_spawn_seconds(elapsed)
     _executors[max_workers] = executor
     _stats["pools_created"] += 1
+    _stats["warmup_ms_total"] += round(elapsed * 1000)
     return executor
 
 
@@ -287,6 +296,11 @@ def shutdown_all() -> None:
 
 
 atexit.register(shutdown_all)
+
+
+def record_serial_fallback(chunk_count: int) -> None:
+    """Count chunks a run had to recompute serially after pool faults."""
+    _stats["serial_fallback_chunks"] += chunk_count
 
 
 def pool_stats() -> dict[str, int]:
@@ -358,6 +372,17 @@ def parallel_worthwhile(
     workers beyond the cores this process may run on only timeshare,
     so on a one-core machine the learned gate always answers no.
     """
+    decision = _gate_decision(cell_count, jobs, chunk_count, threshold_seconds)
+    _stats["gate_parallel" if decision else "gate_serial"] += 1
+    return decision
+
+
+def _gate_decision(
+    cell_count: int,
+    jobs: int,
+    chunk_count: int,
+    threshold_seconds: float | None,
+) -> bool:
     if cell_count <= 0 or jobs <= 1:
         return False
     estimated_serial = cell_count * estimated_cell_seconds()

@@ -235,6 +235,13 @@ class MetricsRegistry:
                 self.absorb_cell(cell)
         if matrix.worker_faults:
             self.counter("matrix.worker_faults").inc(matrix.worker_faults)
+        if matrix.spliced_cells:
+            # splice accounting only exists for baseline-diffed runs; a
+            # cold run stays byte-identical in the metrics snapshot
+            self.counter("matrix.spliced_cells").inc(matrix.spliced_cells)
+            self.counter("matrix.recomputed_cells").inc(
+                matrix.recomputed_cells
+            )
         self.gauge("matrix.elapsed_ms").set(matrix.elapsed_seconds * 1000.0)
 
     def absorb_result(self, result) -> None:
@@ -265,6 +272,22 @@ class MetricsRegistry:
         """Fold one ``PatternMatcher.cache_stats()`` dict (accumulating)."""
         for key, value in stats.items():
             self.counter(f"{prefix}.{key}").inc(value)
+
+    def absorb_pool(self, stats: dict | None = None) -> None:
+        """Mirror the warm-pool/gate counters as gauges.
+
+        Gauges for the same reason as :meth:`absorb_caches`: the pool's
+        ``_stats`` dict is monotonic process-global state (pool reuse,
+        warm-up cost, spawn-gate decisions, serial fallbacks), so
+        re-absorbing must reflect, never double-count.  Pass an
+        explicit ``pool_stats()`` snapshot to pin a moment in time.
+        """
+        if stats is None:
+            from repro.independence.pool import pool_stats
+
+            stats = pool_stats()
+        for key, value in stats.items():
+            self.gauge(f"pool.{key}").set(value)
 
     # ------------------------------------------------------------------
     # output
@@ -322,6 +345,9 @@ class _NoopMetricsRegistry:
         pass
 
     def absorb_matcher_stats(self, stats: dict, prefix: str = "matcher") -> None:
+        pass
+
+    def absorb_pool(self, stats: dict | None = None) -> None:
         pass
 
     def snapshot(self) -> dict:

@@ -36,8 +36,10 @@ from repro.persistence.journal import (
     scan_journal,
 )
 from repro.persistence.manifest import (
+    ManifestDelta,
     RunManifest,
     budget_spec,
+    fingerprint_document,
     fingerprint_pattern,
     fingerprint_schema,
 )
@@ -53,6 +55,8 @@ from repro.persistence.store import (
     inspect_run_dir,
     is_run_dir,
     iter_run_dirs,
+    load_run_cells,
+    load_run_manifest,
 )
 
 __all__ = [
@@ -61,8 +65,10 @@ __all__ = [
     "encode_record",
     "recover_journal",
     "scan_journal",
+    "ManifestDelta",
     "RunManifest",
     "budget_spec",
+    "fingerprint_document",
     "fingerprint_pattern",
     "fingerprint_schema",
     "load_snapshot",
@@ -77,4 +83,6 @@ __all__ = [
     "inspect_run_dir",
     "is_run_dir",
     "iter_run_dirs",
+    "load_run_cells",
+    "load_run_manifest",
 ]

@@ -66,6 +66,21 @@ def fingerprint_schema(schema: Schema | None) -> str | None:
     return _sha256(f"schema|root:{schema.document_element}|{rules}")
 
 
+def fingerprint_document(document) -> str | None:
+    """Stable content hash of an XML document (``None`` stays ``None``).
+
+    Hashes the canonical serialization (no indentation), so two
+    documents with equal fingerprints are byte-identical trees.  Matrix
+    verdicts do not depend on a document, but callers that pair a run
+    with a concrete instance (revalidation pipelines) can pin it here.
+    """
+    if document is None:
+        return None
+    from repro.xmlmodel.serializer import serialize_document
+
+    return _sha256(f"document|{serialize_document(document)}")
+
+
 def budget_spec(budget: Budget | None) -> dict | None:
     """The JSON shape of a budget specification (``None`` = unbounded)."""
     if budget is None:
@@ -75,6 +90,120 @@ def budget_spec(budget: Budget | None) -> dict | None:
         "max_explored_states": budget.max_explored_states,
         "max_explored_rules": budget.max_explored_rules,
     }
+
+
+#: manifest fields whose drift invalidates *every* cell of a baseline —
+#: they change what each verdict means, not which inputs were asked about
+GLOBAL_FIELDS = (
+    "kind",
+    "schema_fingerprint",
+    "strategy",
+    "want_witness",
+    "budget",
+    "code_version",
+    "version",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ManifestDelta:
+    """Classification of a current manifest against a baseline manifest.
+
+    Rows and columns are matched *by name* so reordered input lists
+    still splice; a name present in both manifests with an unchanged
+    fingerprint maps current index → baseline index in
+    ``unchanged_rows`` / ``unchanged_columns``.  ``compatible=False``
+    (any :data:`GLOBAL_FIELDS` drift) means no cell may be spliced —
+    schema or strategy drift changes the meaning of every verdict.
+    """
+
+    compatible: bool
+    invalidated_fields: tuple[str, ...]
+    unchanged_rows: dict[int, int]  # current row index -> baseline index
+    changed_rows: tuple[str, ...]
+    added_rows: tuple[str, ...]
+    removed_rows: tuple[str, ...]
+    unchanged_columns: dict[int, int]
+    changed_columns: tuple[str, ...]
+    added_columns: tuple[str, ...]
+    removed_columns: tuple[str, ...]
+
+    def spliceable_cells(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Current (row, column) → baseline (row, column) for every cell
+        whose verdict carries over unchanged (empty when incompatible)."""
+        if not self.compatible:
+            return {}
+        return {
+            (row, column): (baseline_row, baseline_column)
+            for row, baseline_row in self.unchanged_rows.items()
+            for column, baseline_column in self.unchanged_columns.items()
+        }
+
+    def describe(self) -> str:
+        """One human-readable line summarizing the delta."""
+        if not self.compatible:
+            return "incompatible baseline (changed: " + ", ".join(
+                self.invalidated_fields
+            ) + ")"
+        parts = [
+            f"{len(self.unchanged_rows)} unchanged row(s)",
+            f"{len(self.unchanged_columns)} unchanged column(s)",
+        ]
+        for kind, names in (
+            ("changed row(s)", self.changed_rows),
+            ("added row(s)", self.added_rows),
+            ("removed row(s)", self.removed_rows),
+            ("changed column(s)", self.changed_columns),
+            ("added column(s)", self.added_columns),
+            ("removed column(s)", self.removed_columns),
+        ):
+            if names:
+                parts.append(f"{len(names)} {kind}: {', '.join(names)}")
+        return "; ".join(parts)
+
+
+def _classify_axis(
+    current_names: tuple[str, ...],
+    current_fingerprints: tuple[str, ...],
+    baseline_names: tuple[str, ...],
+    baseline_fingerprints: tuple[str, ...],
+) -> tuple[dict[int, int], tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+    """Match one axis (rows or columns) by name.
+
+    Duplicate names are paired positionally within their name group
+    (the k-th current ``fd`` against the k-th baseline ``fd``) — sound
+    because splicing only ever happens on fingerprint equality, names
+    merely steer which comparisons are made.  Current occurrences
+    beyond the baseline's count are ``added``; baseline occurrences
+    beyond the current count are ``removed``.
+    """
+
+    def by_name(names, fingerprints):
+        groups: dict[str, list[tuple[int, str]]] = {}
+        for index, name in enumerate(names):
+            groups.setdefault(name, []).append((index, fingerprints[index]))
+        return groups
+
+    current = by_name(current_names, current_fingerprints)
+    baseline = by_name(baseline_names, baseline_fingerprints)
+    unchanged: dict[int, int] = {}
+    changed: list[str] = []
+    added: list[str] = []
+    for name, entries in current.items():
+        base_entries = baseline.get(name, [])
+        for position, (index, fingerprint) in enumerate(entries):
+            if position >= len(base_entries):
+                added.append(name)
+            elif fingerprint == base_entries[position][1]:
+                unchanged[index] = base_entries[position][0]
+            else:
+                changed.append(name)
+    removed = [
+        name
+        for name, entries in baseline.items()
+        for _ in entries[len(current.get(name, ())):]
+    ]
+    return unchanged, tuple(changed), tuple(added), tuple(removed)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -190,3 +319,54 @@ class RunManifest:
                 mismatches.append((field.name, previous, current))
         if mismatches:
             raise ResumeMismatchError(mismatches)
+
+    # ------------------------------------------------------------------
+    # drift policy
+    # ------------------------------------------------------------------
+
+    def diff(self, baseline: "RunManifest") -> ManifestDelta:
+        """Classify this manifest's rows/columns against a baseline run.
+
+        Where :meth:`require_matches` is all-or-nothing (resume of the
+        *same* run), ``diff`` supports drift: it reports exactly which
+        rows and columns survived the edit so the matrix driver can
+        splice their cells and recompute only the rest.  Any
+        :data:`GLOBAL_FIELDS` mismatch makes the whole baseline
+        incompatible — those fields change what each verdict means.
+        """
+        invalidated = tuple(
+            field
+            for field in GLOBAL_FIELDS
+            if getattr(self, field) != getattr(baseline, field)
+        )
+        unchanged_rows, changed_rows, added_rows, removed_rows = (
+            _classify_axis(
+                self.row_names,
+                self.row_fingerprints,
+                baseline.row_names,
+                baseline.row_fingerprints,
+            )
+        )
+        (
+            unchanged_columns,
+            changed_columns,
+            added_columns,
+            removed_columns,
+        ) = _classify_axis(
+            self.column_names,
+            self.column_fingerprints,
+            baseline.column_names,
+            baseline.column_fingerprints,
+        )
+        return ManifestDelta(
+            compatible=not invalidated,
+            invalidated_fields=invalidated,
+            unchanged_rows=unchanged_rows,
+            changed_rows=changed_rows,
+            added_rows=added_rows,
+            removed_rows=removed_rows,
+            unchanged_columns=unchanged_columns,
+            changed_columns=changed_columns,
+            added_columns=added_columns,
+            removed_columns=removed_columns,
+        )

@@ -167,34 +167,7 @@ class CheckpointStore:
     @staticmethod
     def _load_cells(directory: Path, manifest: RunManifest) -> list[dict]:
         """Snapshot cells overlaid with journal cells (journal wins)."""
-        merged: dict[tuple[int, int], dict] = {}
-
-        def take(record: object) -> None:
-            if (
-                isinstance(record, dict)
-                and record.get("type") == "cell"
-                and isinstance(record.get("row"), int)
-                and isinstance(record.get("column"), int)
-            ):
-                merged[(record["row"], record["column"])] = record
-
-        snapshot = load_snapshot(directory / SNAPSHOT_NAME)
-        if snapshot is not None and snapshot.get(
-            "manifest_digest"
-        ) == manifest.digest():
-            for record in snapshot.get("cells", []):
-                take(record)
-        records, dropped = recover_journal(directory / JOURNAL_NAME)
-        if dropped:
-            warnings.warn(
-                f"journal {directory / JOURNAL_NAME} had {dropped} torn "
-                f"trailing byte(s); truncated to the last valid record",
-                PersistenceWarning,
-                stacklevel=4,
-            )
-        for record in records:
-            take(record)
-        return list(merged.values())
+        return load_run_cells(directory, manifest, _warn_stacklevel=5)
 
     # ------------------------------------------------------------------
     # recording
@@ -277,6 +250,68 @@ class CheckpointStore:
             PersistenceWarning,
             stacklevel=4,
         )
+
+
+# ----------------------------------------------------------------------
+# read-only run-directory loading (resume and drift baselines)
+# ----------------------------------------------------------------------
+
+
+def load_run_manifest(path: str | os.PathLike) -> RunManifest | None:
+    """The manifest stored in a run directory, or ``None`` if missing
+    or damaged (callers decide whether that is fatal — a drift baseline
+    degrades to a full recompute, a resume refuses)."""
+    document = _load_json(Path(path) / MANIFEST_NAME)
+    if document is None:
+        return None
+    try:
+        return RunManifest.from_json_dict(document)
+    except ResumeMismatchError:
+        return None
+
+
+def load_run_cells(
+    path: str | os.PathLike,
+    manifest: RunManifest,
+    _warn_stacklevel: int = 3,
+) -> list[dict]:
+    """Every cell record a run directory holds, snapshot overlaid with
+    journal (journal wins).
+
+    ``manifest`` must be the manifest the directory was written under:
+    a snapshot whose ``manifest_digest`` disagrees is ignored (it
+    belongs to some other run), and a torn journal tail is truncated
+    with a single :class:`PersistenceWarning` — never parsed.
+    """
+    directory = Path(path)
+    merged: dict[tuple[int, int], dict] = {}
+
+    def take(record: object) -> None:
+        if (
+            isinstance(record, dict)
+            and record.get("type") == "cell"
+            and isinstance(record.get("row"), int)
+            and isinstance(record.get("column"), int)
+        ):
+            merged[(record["row"], record["column"])] = record
+
+    snapshot = load_snapshot(directory / SNAPSHOT_NAME)
+    if snapshot is not None and snapshot.get(
+        "manifest_digest"
+    ) == manifest.digest():
+        for record in snapshot.get("cells", []):
+            take(record)
+    records, dropped = recover_journal(directory / JOURNAL_NAME)
+    if dropped:
+        warnings.warn(
+            f"journal {directory / JOURNAL_NAME} had {dropped} torn "
+            f"trailing byte(s); truncated to the last valid record",
+            PersistenceWarning,
+            stacklevel=_warn_stacklevel,
+        )
+    for record in records:
+        take(record)
+    return list(merged.values())
 
 
 # ----------------------------------------------------------------------
@@ -378,17 +413,21 @@ def inspect_run_dir(path: str | os.PathLike) -> RunDirInfo:
 
 
 def clean_run_dirs(
-    path: str | os.PathLike, remove_all: bool = False
+    path: str | os.PathLike,
+    remove_all: bool = False,
+    dry_run: bool = False,
 ) -> tuple[list[str], list[str], list[str]]:
     """Remove stale run directories under ``path``.
 
     By default only *complete* runs (their verdicts were committed and
     reported; the checkpoint is pure disk weight) and damaged-manifest
     directories are removed; ``remove_all=True`` also removes
-    in-progress runs.  Filesystem trouble is tolerated per directory —
-    the function never raises, returning
-    ``(removed, kept, problems)`` path lists instead, in the same
-    non-fatal spirit as the journal writer.
+    in-progress runs.  ``dry_run=True`` performs no deletion and
+    reports what *would* be removed — run dirs double as drift
+    baselines (``--baseline``), so deleting them deserves an explicit
+    confirmation.  Filesystem trouble is tolerated per directory — the
+    function never raises, returning ``(removed, kept, problems)`` path
+    lists instead, in the same non-fatal spirit as the journal writer.
     """
     removed: list[str] = []
     kept: list[str] = []
@@ -400,7 +439,8 @@ def clean_run_dirs(
             if not stale:
                 kept.append(str(directory))
                 continue
-            shutil.rmtree(directory)
+            if not dry_run:
+                shutil.rmtree(directory)
             removed.append(str(directory))
         except OSError as error:
             problems.append(f"{directory}: {error}")

@@ -109,6 +109,19 @@ class Rule:
         return f"<Rule {self.state!r} / {self.labels}>"
 
 
+def rule_structure_key(rule: Rule) -> Hashable:
+    """A hashable structural fingerprint of a rule.
+
+    Two rules with equal keys assign the same state under the same label
+    constraint with structurally identical horizontal languages — the
+    matching relation incremental re-analysis uses to pair surviving
+    rules across a re-built automaton (object identity would declare
+    every rule new).  Opaque horizontal languages key by identity, so
+    the match is best-effort but never wrongly positive.
+    """
+    return (rule.state, rule.labels, rule.horizontal.structure_key())
+
+
 class HedgeAutomaton:
     """A nondeterministic bottom-up hedge automaton."""
 

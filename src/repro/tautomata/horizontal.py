@@ -47,6 +47,17 @@ class HorizontalLanguage:
         """State count, for the Proposition 3 size accounting."""
         raise NotImplementedError
 
+    def structure_key(self) -> Hashable:
+        """A hashable structural fingerprint of the language.
+
+        Two languages with equal keys accept the same words, so rule
+        deltas across re-built automata (incremental re-analysis after a
+        pattern edit) can match surviving rules structurally instead of
+        by object identity.  The base fallback is object identity —
+        conservatively distinct, never wrongly equal.
+        """
+        return ("opaque", id(self))
+
     # convenience ------------------------------------------------------
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
@@ -61,6 +72,9 @@ class HorizontalLanguage:
 
 class EmptyWordHorizontal(HorizontalLanguage):
     """Only the empty children word (leaf rules)."""
+
+    def structure_key(self) -> Hashable:
+        return ("empty-word",)
 
     def initial(self) -> HState:
         return 0
@@ -80,6 +94,9 @@ class AllHorizontal(HorizontalLanguage):
 
     def __init__(self, allowed: frozenset[Symbol] | set[Symbol]) -> None:
         self.allowed = frozenset(allowed)
+
+    def structure_key(self) -> Hashable:
+        return ("all", self.allowed)
 
     def initial(self) -> HState:
         return 0
@@ -111,6 +128,9 @@ class ShuffleHorizontal(HorizontalLanguage):
     ) -> None:
         self.fillers = frozenset(fillers)
         self.requirements = [frozenset(req) for req in requirements]
+
+    def structure_key(self) -> Hashable:
+        return ("shuffle", self.fillers, tuple(self.requirements))
 
     def initial(self) -> HState:
         return frozenset({0})
@@ -178,6 +198,10 @@ class ProjectedHorizontal(HorizontalLanguage):
         self.inner = inner
         self.projection = projection
 
+    def structure_key(self) -> Hashable:
+        # module-level projections hash stably by identity
+        return ("projected", self.inner.structure_key(), self.projection)
+
     def initial(self) -> HState:
         return self.inner.initial()
 
@@ -196,6 +220,9 @@ class ProductHorizontal(HorizontalLanguage):
 
     def __init__(self, parts: Sequence[HorizontalLanguage]) -> None:
         self.parts = list(parts)
+
+    def structure_key(self) -> Hashable:
+        return ("product", tuple(part.structure_key() for part in self.parts))
 
     def initial(self) -> HState:
         return tuple(part.initial() for part in self.parts)
@@ -236,6 +263,9 @@ class FlagOnceHorizontal(HorizontalLanguage):
     def __init__(self, required: int, flag_of: Callable[[Symbol], bool]) -> None:
         self.required = required
         self.flag_of = flag_of
+
+    def structure_key(self) -> Hashable:
+        return ("flag-once", self.required, self.flag_of)
 
     def initial(self) -> HState:
         return 0

@@ -59,12 +59,20 @@ class RuleIndex:
     """
 
     def __init__(self, rules: Iterable[Rule]) -> None:
-        self.rules: list[Rule] = list(rules)
+        self.rules: list[Rule] = []
         self._labels = InternTable()
         self._label_masks: list[int] = []  # label id -> rule-position bitset
-        cofinite = 0
-        for position, rule in enumerate(self.rules):
+        self._cofinite_mask = 0
+        self._live_mask = 0  # positions not retracted
+        self.add_rules(rules)
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        """Index additional rules (incremental re-analysis delta)."""
+        for rule in rules:
+            position = len(self.rules)
+            self.rules.append(rule)
             bit = 1 << position
+            self._live_mask |= bit
             if rule.labels.mode == "in":
                 for label in rule.labels.labels:
                     identity = self._labels.intern(label)
@@ -73,14 +81,26 @@ class RuleIndex:
                     else:
                         self._label_masks[identity] |= bit
             else:
-                cofinite |= bit
-        self._cofinite_mask = cofinite
+                self._cofinite_mask |= bit
+
+    def retract_rules(self, rules: Iterable[Rule]) -> None:
+        """Drop rules (matched by identity) from every future query.
+
+        Positions are tombstoned via the live mask rather than
+        re-packed, so existing label masks stay valid; unknown rules
+        are ignored.
+        """
+        removed = {id(rule) for rule in rules}
+        for position, rule in enumerate(self.rules):
+            if id(rule) in removed:
+                self._live_mask &= ~(1 << position)
 
     def __len__(self) -> int:
-        return len(self.rules)
+        return self._live_mask.bit_count()
 
     def _select(self, mask: int) -> Iterator[Rule]:
         rules = self.rules
+        mask &= self._live_mask
         while mask:
             low = mask & -mask
             yield rules[low.bit_length() - 1]
@@ -105,7 +125,10 @@ class RuleIndex:
                 if spec.labels - rule.labels.labels:
                     yield rule
         else:
-            for rule in self.rules:
+            live = self._live_mask
+            for position, rule in enumerate(self.rules):
+                if not (live >> position) & 1:
+                    continue
                 if rule.labels.mode == "not_in":
                     yield rule  # two co-finite sets always intersect
                 elif rule.labels.labels - spec.labels:
@@ -329,6 +352,223 @@ def explore_product(
             span.set_attribute("rounds", engine.rounds)
             span.set_attribute("step_attempts", stats.step_attempts)
     return ProductExploration(engine=engine, stats=stats)
+
+
+class IncrementalProductSession:
+    """A lazy product exploration that survives factor-rule deltas.
+
+    Wraps one incremental :class:`InhabitationEngine` over the product
+    rules of ``left.fireable × right.fireable`` (label-compatible pairs
+    through ``combine``, exactly as :func:`explore_product`) and keeps
+    pair-level provenance: retracting a component rule retracts
+    precisely the product rules it participated in, then the engine
+    re-solves from the surviving frontier (delete-and-rederive) instead
+    of re-firing everything.  Component rules are matched by object
+    identity — callers pair surviving rules across an automaton rebuild
+    with :func:`repro.tautomata.hedge.rule_structure_key` and pass only
+    the genuine delta.
+
+    After construction and after every :meth:`apply_delta` the engine is
+    at fixpoint; :attr:`inhabited` / :meth:`is_empty` / :meth:`stats`
+    read the current solution.
+    """
+
+    def __init__(
+        self,
+        left: FactorAnalysis,
+        right: FactorAnalysis,
+        combine: Combine = pair_combine,
+        typed: bool = True,
+        track_rules: bool = False,
+        rules_per_pair: int = 1,
+        meter: BudgetMeter | None = None,
+        tracer=None,
+    ) -> None:
+        self.combine = combine
+        self.rules_per_pair = rules_per_pair
+        self.tracer = NOOP_TRACER if tracer is None else tracer
+        self.left_rule_count = left.rule_count
+        self.right_rule_count = right.rule_count
+        self.engine = InhabitationEngine(
+            typed=typed,
+            track_rules=track_rules,
+            meter=meter,
+            incremental=True,
+        )
+        self._track_rules = track_rules
+        # live component rules, insertion-ordered (determinism)
+        self._left: dict[int, Rule] = {id(r): r for r in left.fireable}
+        self._right: dict[int, Rule] = {id(r): r for r in right.fireable}
+        self._left_index = RuleIndex(left.fireable)
+        self._right_index = RuleIndex(right.fireable)
+        # pair provenance: (id(left_rule), id(right_rule)) -> product rules
+        self._pair_products: dict[tuple[int, int], list[Rule]] = {}
+        self._left_pairs: dict[int, set[int]] = {}
+        self._right_pairs: dict[int, set[int]] = {}
+        for left_rule in self._left.values():
+            self._generate(
+                left_rule, self._right_index.compatible(left_rule.labels)
+            )
+        self.engine.run()
+
+    def _generate(self, left_rule: Rule, right_rules: Iterable[Rule]) -> None:
+        for right_rule in right_rules:
+            products = list(self.combine(left_rule, right_rule))
+            if not products:
+                continue
+            key = (id(left_rule), id(right_rule))
+            self._pair_products[key] = products
+            self._left_pairs.setdefault(key[0], set()).add(key[1])
+            self._right_pairs.setdefault(key[1], set()).add(key[0])
+            self.engine.add_rules(products)
+
+    def _retract_side(
+        self,
+        rules: Iterable[Rule],
+        live: dict[int, Rule],
+        index: RuleIndex,
+        pairs: dict[int, set[int]],
+        other_pairs: dict[int, set[int]],
+        pair_key,
+        retracted: list[Rule],
+    ) -> None:
+        for rule in rules:
+            rule_id = id(rule)
+            if live.pop(rule_id, None) is None:
+                continue
+            index.retract_rules((rule,))
+            for other_id in pairs.pop(rule_id, ()):
+                retracted.extend(
+                    self._pair_products.pop(pair_key(rule_id, other_id), ())
+                )
+                other_pairs.get(other_id, set()).discard(rule_id)
+
+    def apply_delta(
+        self,
+        removed_left: Iterable[Rule] = (),
+        added_left: Iterable[Rule] = (),
+        removed_right: Iterable[Rule] = (),
+        added_right: Iterable[Rule] = (),
+        left_rule_count: int | None = None,
+        right_rule_count: int | None = None,
+    ) -> dict[str, int]:
+        """Retract/add component rules and re-solve to fixpoint.
+
+        Returns the engine's delta counters (``retracted_rules`` /
+        ``undered_states`` / ``rebuilt_searches`` /
+        ``rederived_states``) plus ``added_product_rules``, the shape
+        the ``worklist.delta`` span reports.  The optional rule counts
+        refresh the worst-case accounting after a factor rebuild.
+        """
+        with self.tracer.span("worklist.delta") as span:
+            retracted: list[Rule] = []
+            self._retract_side(
+                removed_left,
+                self._left,
+                self._left_index,
+                self._left_pairs,
+                self._right_pairs,
+                lambda mine, other: (mine, other),
+                retracted,
+            )
+            self._retract_side(
+                removed_right,
+                self._right,
+                self._right_index,
+                self._right_pairs,
+                self._left_pairs,
+                lambda mine, other: (other, mine),
+                retracted,
+            )
+            stats = self.engine.retract_rules(retracted)
+            added_left = [
+                rule for rule in added_left if id(rule) not in self._left
+            ]
+            added_right = [
+                rule for rule in added_right if id(rule) not in self._right
+            ]
+            for rule in added_left:
+                self._left[id(rule)] = rule
+            self._left_index.add_rules(added_left)
+            for rule in added_right:
+                self._right[id(rule)] = rule
+            self._right_index.add_rules(added_right)
+            rules_before = self.engine.rule_count
+            added_left_ids = {id(rule) for rule in added_left}
+            for rule in added_left:
+                # pairs against the full new right side
+                self._generate(
+                    rule, self._right_index.compatible(rule.labels)
+                )
+            for rule in added_right:
+                # pairs against surviving left rules only: new-left ×
+                # new-right pairs were generated above
+                self._generate_right(rule, added_left_ids)
+            self.engine.run()
+            stats["added_product_rules"] = (
+                self.engine.rule_count - rules_before
+            )
+            if left_rule_count is not None:
+                self.left_rule_count = left_rule_count
+            if right_rule_count is not None:
+                self.right_rule_count = right_rule_count
+            if span.enabled:
+                for name, value in stats.items():
+                    span.set_attribute(name, value)
+        return stats
+
+    def _generate_right(
+        self, right_rule: Rule, excluded_left_ids: set[int]
+    ) -> None:
+        for left_rule in self._left_index.compatible(right_rule.labels):
+            if id(left_rule) in excluded_left_ids:
+                continue
+            products = list(self.combine(left_rule, right_rule))
+            if not products:
+                continue
+            key = (id(left_rule), id(right_rule))
+            self._pair_products[key] = products
+            self._left_pairs.setdefault(key[0], set()).add(key[1])
+            self._right_pairs.setdefault(key[1], set()).add(key[0])
+            self.engine.add_rules(products)
+
+    # -- current solution ----------------------------------------------
+
+    def left_rules(self) -> tuple[Rule, ...]:
+        """The live left-factor component rules."""
+        return tuple(self._left.values())
+
+    def right_rules(self) -> tuple[Rule, ...]:
+        """The live right-factor component rules."""
+        return tuple(self._right.values())
+
+    @property
+    def inhabited(self) -> frozenset[State]:
+        return self.engine.inhabited
+
+    def fired_rules(self) -> tuple[Rule, ...]:
+        """The product rules currently fired (``track_rules`` only)."""
+        return tuple(self.engine.fired_rules)
+
+    def is_empty(self, accepting: Collection[State]) -> bool:
+        """True when no accepting state is inhabited *right now*."""
+        return not any(
+            state in self.engine.firings for state in accepting
+        )
+
+    def stats(self) -> ExplorationStats:
+        """Cumulative exploration accounting for the session so far."""
+        return ExplorationStats(
+            explored_states=self.engine.explored_states(),
+            explored_rules=self.engine.rule_count,
+            fired_rules=(
+                len(self.engine.fired_rules) if self._track_rules else None
+            ),
+            worst_case_rules=self.left_rule_count
+            * self.right_rule_count
+            * self.rules_per_pair,
+            step_attempts=self.engine.step_attempts,
+        )
 
 
 def lazy_product_is_empty(

@@ -37,6 +37,19 @@ Rules may be fed to the engine at any time; a rule added late is caught
 up against the already-inhabited symbols first, so eager callers (add
 everything, then run) and lazy callers (add candidates as factor pairs
 become plausible) share the same machinery.
+
+``incremental=True`` additionally supports *retraction* in the
+delete-and-rederive style of incremental Datalog maintenance: the
+engine remembers every live rule and, because parent pointers are
+forced on, the exact support (firing word) of every derivation.
+:meth:`retract_rules` un-derives precisely the states whose recorded
+support vanished (seeding with retracted rules' firings, cascading
+through firing words), rebuilds only the searches whose frontiers
+consumed a now-dead symbol, and re-runs the worklist from the surviving
+frontier — a small rule delta re-solves emptiness without rebuilding
+the engine.  The surviving derivations are inductively valid (each
+recorded word touches only surviving states), so the re-run converges
+to exactly the fixpoint a cold engine over the surviving rules reaches.
 """
 
 from __future__ import annotations
@@ -99,6 +112,11 @@ class InhabitationEngine:
         with :class:`~repro.limits.BudgetExceeded` at the first
         checkpoint past a limit.  ``None`` (the default) adds no
         bookkeeping to any hot path.
+    ``incremental``
+        keep the live-rule registry and per-derivation support needed by
+        :meth:`retract_rules` (forces ``record_parents`` so firing words
+        are real support sets).  Off by default: retraction bookkeeping
+        costs memory that one-shot fixpoints never need.
     """
 
     def __init__(
@@ -107,11 +125,19 @@ class InhabitationEngine:
         record_parents: bool = False,
         track_rules: bool = False,
         meter: BudgetMeter | None = None,
+        incremental: bool = False,
     ) -> None:
         self.typed = typed
-        self.record_parents = record_parents
+        self.record_parents = record_parents or incremental
         self.track_rules = track_rules
         self.meter = meter
+        self.incremental = incremental
+        #: id(rule) -> rule for every live registered rule (incremental)
+        self._live: dict[int, Rule] | None = {} if incremental else None
+        #: id(rule) -> firing word, for fired-rule proof invalidation
+        self._rule_words: dict[int, tuple[State, ...]] | None = (
+            {} if incremental and track_rules else None
+        )
         #: state -> (rule, firing word); insertion order = discovery order
         self.firings: dict[State, tuple[Rule, tuple[State, ...]]] = {}
         self.fired_rules: list[Rule] = []
@@ -141,14 +167,21 @@ class InhabitationEngine:
         """Register a candidate rule (catching up on known symbols)."""
         if rule.labels.is_empty():
             return
+        if self._live is not None:
+            self._live[id(rule)] = rule
+        self._install(rule, charge=True)
+
+    def _install(self, rule: Rule, charge: bool) -> None:
+        """Create (or re-create, on retraction rebuild) a rule's search."""
         state_id = -1
         if not self.track_rules:
             state_id = self._state_ids.intern(rule.state)
             if (self._fired_mask >> state_id) & 1:
                 return
-        self.rule_count += 1
-        if self.meter is not None:
-            self.meter.charge_rule()
+        if charge:
+            self.rule_count += 1
+            if self.meter is not None:
+                self.meter.charge_rule()
         horizontal = rule.horizontal
         initial = horizontal.initial()
         if horizontal.accepting(initial):
@@ -171,6 +204,138 @@ class InhabitationEngine:
         """Register several rules (see :meth:`add_rule`)."""
         for rule in rules:
             self.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    # retraction (incremental=True)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _search_consumed(search: _Search) -> set[State]:
+        """The symbols that actually extended a search's frontier."""
+        if search.parents is None:
+            return set()
+        return {symbol for _, symbol in search.parents.values()}
+
+    def retract_rules(self, rules: Iterable[Rule]) -> dict[str, int]:
+        """Un-register rules and re-solve the fixpoint (delete-and-rederive).
+
+        Un-derives exactly the states whose recorded support vanished:
+        the cascade seeds with states whose firing rule was retracted
+        and propagates through firing words (a derivation dies only
+        when its own word touches a dead state — surviving derivations
+        stay inductively valid).  Searches whose frontiers consumed a
+        dead symbol are rebuilt; rules of dead states are re-installed
+        from the live registry; then the worklist re-runs from the
+        surviving frontier, re-deriving anything still supported.
+
+        Rules are matched by object identity — pass the same ``Rule``
+        objects that were added (unknown rules are ignored).  Returns
+        delta counters for the ``worklist.delta`` span:
+        ``retracted_rules`` / ``undered_states`` / ``rebuilt_searches``
+        / ``rederived_states``.
+        """
+        if self._live is None:
+            raise ValueError("retract_rules requires incremental=True")
+        self.run()  # retraction reasons over a completed fixpoint
+        removed: set[int] = set()
+        for rule in rules:
+            if self._live.pop(id(rule), None) is not None:
+                removed.add(id(rule))
+        stats = {
+            "retracted_rules": len(removed),
+            "undered_states": 0,
+            "rebuilt_searches": 0,
+            "rederived_states": 0,
+        }
+        if not removed:
+            return stats
+
+        # Overapproximate the damage: a state whose recorded derivation
+        # used a retracted rule or a dead state is un-derived; re-run
+        # re-derives any that survive through other support (DRed).
+        uses: dict[State, list[State]] = {}
+        for state, (_, word) in self.firings.items():
+            for symbol in frozenset(word):
+                uses.setdefault(symbol, []).append(state)
+        pending: deque[State] = deque(
+            state
+            for state, (rule, _) in self.firings.items()
+            if id(rule) in removed
+        )
+        dead: set[State] = set()
+        while pending:
+            state = pending.popleft()
+            if state in dead:
+                continue
+            dead.add(state)
+            pending.extend(uses.get(state, ()))
+        stats["undered_states"] = len(dead)
+
+        for state in dead:
+            del self.firings[state]
+            self._fired_mask &= ~(1 << self._state_ids.intern(state))
+        if dead:
+            self._symbols = [
+                symbol for symbol in self._symbols if symbol not in dead
+            ]
+
+        rebuild: list[Rule] = []
+        if self.track_rules:
+            survivors = []
+            for search in self._searches:
+                if id(search.rule) in removed:
+                    continue
+                if dead and self._search_consumed(search) & dead:
+                    rebuild.append(search.rule)
+                else:
+                    survivors.append(search)
+            self._searches = survivors
+            # a fired rule's proof dies with its word (or its state: a
+            # rebuilt search re-fires it at once, avoiding duplicates)
+            kept_fired: list[Rule] = []
+            rule_words = self._rule_words or {}
+            for rule in self.fired_rules:
+                rule_id = id(rule)
+                if rule_id in removed:
+                    rule_words.pop(rule_id, None)
+                    continue
+                word = rule_words.get(rule_id, ())
+                if dead and (
+                    rule.state in dead or not dead.isdisjoint(word)
+                ):
+                    rule_words.pop(rule_id, None)
+                    rebuild.append(rule)
+                    continue
+                kept_fired.append(rule)
+            self.fired_rules = kept_fired
+        else:
+            for state_id, group in list(self._active.items()):
+                kept = []
+                for search in group:
+                    if id(search.rule) in removed:
+                        continue
+                    if dead and self._search_consumed(search) & dead:
+                        rebuild.append(search.rule)
+                    else:
+                        kept.append(search)
+                if kept:
+                    self._active[state_id] = kept
+                else:
+                    del self._active[state_id]
+            if dead:
+                # searches of fired states were retired at fire time;
+                # their live rules come back from the registry
+                for rule in self._live.values():
+                    if rule.state in dead:
+                        rebuild.append(rule)
+
+        stats["rebuilt_searches"] = len(rebuild)
+        surviving = len(self.firings)
+        for rule in rebuild:
+            self._install(rule, charge=False)
+        self.run()
+        stats["rederived_states"] = len(self.firings) - surviving
+        return stats
 
     # ------------------------------------------------------------------
     # the fixpoint
@@ -268,6 +433,8 @@ class InhabitationEngine:
     def _fire(self, rule: Rule, word: tuple[State, ...]) -> None:
         if self.track_rules:
             self.fired_rules.append(rule)
+            if self._rule_words is not None:
+                self._rule_words[id(rule)] = word
         if rule.state not in self.firings:
             if self.meter is not None:
                 self.meter.charge_state()

@@ -1,0 +1,335 @@
+"""Differential tests for drift re-analysis (``baseline_dir`` splicing).
+
+The invariant every test here defends: pointing a run at a baseline
+changes the *cost* of the answer, never the answer.  Random workloads
+drift in random ways (an FD edited, an update class edited, rows
+permuted, added, removed, or nothing at all) and the spliced run must
+be bit-for-bit equal — verdicts, witnesses, certified pairs — to a
+cold run of the drifted workload, across the plain, budgeted,
+checkpointed and parallel execution paths.  The policy tests pin the
+degradation ladder: a damaged baseline is one warning and a full
+recompute, an incompatible baseline is a silent full recompute, and a
+torn journal tail splices the intact prefix — never a wrong answer.
+"""
+
+import random
+
+import pytest
+
+from repro.independence.matrix import (
+    check_independence_matrix,
+    check_view_independence_matrix,
+)
+from repro.limits import Budget
+from repro.persistence import PersistenceWarning
+from repro.schema.dtd import Schema
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_update_class,
+)
+from repro.xmlmodel.serializer import serialize_document
+
+LABELS = ("a", "b", "c")
+
+ROWS = 3
+COLUMNS = 2
+
+
+def _schema() -> Schema:
+    return Schema.from_rules(
+        "a", {"a": "b* c?", "b": "a? c*", "c": "#text"}
+    )
+
+
+def _workload(seed: int, rows: int = ROWS, columns: int = COLUMNS):
+    """Random FDs/updates with *unique* names (names travel with the
+    object under permutation, which is what lets the manifest diff
+    track reorders)."""
+    rng = random.Random(seed)
+    fds = [
+        random_functional_dependency(rng, LABELS, node_count=3, max_length=2)
+        for _ in range(rows)
+    ]
+    update_classes = [
+        random_update_class(rng, LABELS, node_count=2, max_length=2)
+        for _ in range(columns)
+    ]
+    for index, fd in enumerate(fds):
+        fd.name = f"fd{index}"
+    for index, update_class in enumerate(update_classes):
+        update_class.name = f"u{index}"
+    return fds, update_classes
+
+
+def _fresh_fd(seed: int):
+    return random_functional_dependency(
+        random.Random(seed), LABELS, node_count=3, max_length=2
+    )
+
+
+def _fresh_update(seed: int):
+    return random_update_class(
+        random.Random(seed), LABELS, node_count=2, max_length=2
+    )
+
+
+def _mutate(seed: int, fds, update_classes):
+    """One random drift of the workload; returns (fds, updates, label)."""
+    rng = random.Random(seed * 31 + 7)
+    kind = rng.choice(
+        ("edit-fd", "edit-update", "permute", "add-fd", "remove-fd", "none")
+    )
+    fds, update_classes = list(fds), list(update_classes)
+    if kind == "edit-fd":
+        index = rng.randrange(len(fds))
+        edited = _fresh_fd(seed + 1000)
+        edited.name = fds[index].name  # an edit keeps the FD's name
+        fds[index] = edited
+    elif kind == "edit-update":
+        index = rng.randrange(len(update_classes))
+        edited = _fresh_update(seed + 2000)
+        edited.name = update_classes[index].name
+        update_classes[index] = edited
+    elif kind == "permute":
+        rng.shuffle(fds)
+        rng.shuffle(update_classes)
+    elif kind == "add-fd":
+        added = _fresh_fd(seed + 3000)
+        added.name = f"fd-new-{seed}"
+        fds.append(added)
+    elif kind == "remove-fd":
+        fds.pop(rng.randrange(len(fds)))
+    return fds, update_classes, kind
+
+
+def _grids_equal(left, right):
+    assert [[c.verdict for c in row] for row in left.cells] == [
+        [c.verdict for c in row] for row in right.cells
+    ]
+    assert left.certified_pairs() == right.certified_pairs()
+    for left_row, right_row in zip(left.cells, right.cells):
+        for a, b in zip(left_row, right_row):
+            left_doc = (
+                None if a.witness is None else serialize_document(a.witness)
+            )
+            right_doc = (
+                None if b.witness is None else serialize_document(b.witness)
+            )
+            assert left_doc == right_doc
+
+
+class TestDriftDifferential:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_spliced_run_equals_cold_run(self, seed, tmp_path):
+        fds, update_classes = _workload(seed)
+        baseline = tmp_path / "baseline"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), want_witness=True,
+            checkpoint_dir=baseline,
+        )
+        fds, update_classes, kind = _mutate(seed, fds, update_classes)
+        cold = check_independence_matrix(
+            fds, update_classes, schema=_schema(), want_witness=True
+        )
+        drift = check_independence_matrix(
+            fds, update_classes, schema=_schema(), want_witness=True,
+            baseline_dir=baseline,
+        )
+        _grids_equal(drift, cold)
+        assert drift.spliced_cells + drift.recomputed_cells == drift.cell_count
+        if kind in ("none", "permute"):
+            assert drift.spliced_cells == drift.cell_count
+            assert drift.recomputed_cells == 0
+
+    @pytest.mark.parametrize("seed", (0, 1, 3, 5, 7))
+    def test_budgeted_drift_equals_budgeted_cold(self, seed, tmp_path):
+        budget = Budget(max_explored_states=60)
+        fds, update_classes = _workload(seed)
+        baseline = tmp_path / "baseline"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), budget=budget,
+            checkpoint_dir=baseline,
+        )
+        fds, update_classes, _ = _mutate(seed, fds, update_classes)
+        cold = check_independence_matrix(
+            fds, update_classes, schema=_schema(), budget=budget
+        )
+        drift = check_independence_matrix(
+            fds, update_classes, schema=_schema(), budget=budget,
+            baseline_dir=baseline,
+        )
+        _grids_equal(drift, cold)
+
+    @pytest.mark.parametrize("seed", (2, 9))
+    def test_parallel_drift_equals_cold(self, seed, tmp_path):
+        fds, update_classes = _workload(seed, rows=4)
+        baseline = tmp_path / "baseline"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=baseline,
+        )
+        fds, update_classes, _ = _mutate(seed, fds, update_classes)
+        cold = check_independence_matrix(
+            fds, update_classes, schema=_schema()
+        )
+        drift = check_independence_matrix(
+            fds, update_classes, schema=_schema(), baseline_dir=baseline,
+            parallelism=2, parallel_threshold_seconds=0.0,
+        )
+        _grids_equal(drift, cold)
+
+    @pytest.mark.parametrize("seed", (4, 6, 8, 10, 12))
+    def test_drift_run_chains_as_next_baseline(self, seed, tmp_path):
+        """Spliced cells are journaled into the new run's own store."""
+        fds, update_classes = _workload(seed)
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), want_witness=True,
+            checkpoint_dir=first,
+        )
+        fds, update_classes, _ = _mutate(seed, fds, update_classes)
+        drift = check_independence_matrix(
+            fds, update_classes, schema=_schema(), want_witness=True,
+            baseline_dir=first, checkpoint_dir=second,
+        )
+        rerun = check_independence_matrix(
+            fds, update_classes, schema=_schema(), want_witness=True,
+            baseline_dir=second,
+        )
+        _grids_equal(rerun, drift)
+        assert rerun.spliced_cells == rerun.cell_count
+        assert rerun.recomputed_cells == 0
+
+    def test_view_matrix_drift(self, tmp_path):
+        fds, update_classes = _workload(17)
+        views = [fd.pattern for fd in fds]
+        baseline = tmp_path / "views"
+        check_view_independence_matrix(
+            views, update_classes, schema=_schema(), checkpoint_dir=baseline,
+        )
+        views = list(views)
+        views[1] = _fresh_fd(4242).pattern
+        cold = check_view_independence_matrix(
+            views, update_classes, schema=_schema()
+        )
+        drift = check_view_independence_matrix(
+            views, update_classes, schema=_schema(), baseline_dir=baseline,
+        )
+        _grids_equal(drift, cold)
+        assert drift.spliced_cells == (len(views) - 1) * COLUMNS
+
+
+class TestBaselinePolicy:
+    def test_unknown_cells_are_reattempted(self, tmp_path):
+        """UNKNOWN never splices: a better-funded rerun gets its shot."""
+        fds, update_classes = _workload(0)
+        baseline = tmp_path / "baseline"
+        tight = check_independence_matrix(
+            fds, update_classes, schema=_schema(),
+            budget=Budget(max_explored_states=60), checkpoint_dir=baseline,
+        )
+        assert 0 < tight.unknown_count() < tight.cell_count
+        rerun = check_independence_matrix(
+            fds, update_classes, schema=_schema(),
+            budget=Budget(max_explored_states=60), baseline_dir=baseline,
+        )
+        assert rerun.recomputed_cells == tight.unknown_count()
+        assert rerun.spliced_cells == (
+            tight.cell_count - tight.unknown_count()
+        )
+
+    def test_missing_baseline_warns_once_and_recomputes(self, tmp_path):
+        fds, update_classes = _workload(3)
+        with pytest.warns(PersistenceWarning, match="no readable manifest"):
+            matrix = check_independence_matrix(
+                fds, update_classes, schema=_schema(),
+                baseline_dir=tmp_path / "never-created",
+            )
+        assert matrix.spliced_cells == 0
+        assert matrix.recomputed_cells == matrix.cell_count
+
+    def test_corrupted_manifest_warns_once_and_recomputes(self, tmp_path):
+        fds, update_classes = _workload(3)
+        baseline = tmp_path / "baseline"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=baseline,
+        )
+        (baseline / "manifest.json").write_text("{torn", encoding="utf-8")
+        cold = check_independence_matrix(
+            fds, update_classes, schema=_schema()
+        )
+        with pytest.warns(PersistenceWarning, match="no readable manifest"):
+            matrix = check_independence_matrix(
+                fds, update_classes, schema=_schema(), baseline_dir=baseline,
+            )
+        assert matrix.spliced_cells == 0
+        _grids_equal(matrix, cold)
+
+    def test_torn_journal_tail_splices_intact_prefix(self, tmp_path):
+        fds, update_classes = _workload(5)
+        baseline = tmp_path / "baseline"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=baseline,
+        )
+        journal = baseline / "journal.wal"
+        with journal.open("ab") as handle:
+            handle.write(b'{"cell": [torn')
+        cold = check_independence_matrix(
+            fds, update_classes, schema=_schema()
+        )
+        with pytest.warns(PersistenceWarning, match="torn"):
+            matrix = check_independence_matrix(
+                fds, update_classes, schema=_schema(), baseline_dir=baseline,
+            )
+        # whatever survived the tear was spliced; the answer is intact
+        _grids_equal(matrix, cold)
+        assert matrix.spliced_cells + matrix.recomputed_cells == (
+            matrix.cell_count
+        )
+
+    def test_incompatible_baseline_is_silent_full_recompute(self, tmp_path):
+        import warnings
+
+        fds, update_classes = _workload(6)
+        baseline = tmp_path / "baseline"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=baseline,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            matrix = check_independence_matrix(
+                fds, update_classes, schema=_schema(), want_witness=True,
+                baseline_dir=baseline,
+            )
+        assert matrix.spliced_cells == 0
+        assert matrix.recomputed_cells == matrix.cell_count
+
+    def test_kind_mismatch_never_splices(self, tmp_path):
+        fds, update_classes = _workload(8)
+        baseline = tmp_path / "fd-run"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=baseline,
+        )
+        views = [fd.pattern for fd in fds]
+        matrix = check_view_independence_matrix(
+            views, update_classes, schema=_schema(), baseline_dir=baseline,
+        )
+        assert matrix.spliced_cells == 0
+
+    def test_resume_restores_win_over_baseline_splices(self, tmp_path):
+        fds, update_classes = _workload(9)
+        run_dir = tmp_path / "run"
+        other = tmp_path / "other"
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=run_dir,
+        )
+        check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=other,
+        )
+        resumed = check_independence_matrix(
+            fds, update_classes, schema=_schema(), checkpoint_dir=run_dir,
+            resume=True, baseline_dir=other,
+        )
+        # every cell came from the resume restore, none from the baseline
+        assert resumed.spliced_cells == 0
+        assert resumed.recomputed_cells == 0

@@ -153,6 +153,30 @@ class TestRegistry:
             for key, value in counters.items():
                 assert gauges[f"cache.{cache_name}.{key}"] == value
 
+    def test_absorb_pool_mirrors_pool_stats_as_gauges(self):
+        from repro.independence.pool import pool_stats
+
+        registry = MetricsRegistry()
+        registry.absorb_pool()
+        gauges = registry.snapshot()["gauges"]
+        stats = pool_stats()
+        for key in (
+            "pools_created",
+            "pools_reused",
+            "warmup_ms_total",
+            "gate_parallel",
+            "gate_serial",
+            "serial_fallback_chunks",
+        ):
+            assert gauges[f"pool.{key}"] == stats[key]
+
+    def test_absorb_pool_accepts_a_pinned_snapshot(self):
+        registry = MetricsRegistry()
+        registry.absorb_pool({"gate_serial": 3})
+        # re-absorbing reflects (gauge), never double-counts
+        registry.absorb_pool({"gate_serial": 3})
+        assert registry.snapshot()["gauges"]["pool.gate_serial"] == 3
+
     def test_snapshot_is_plain_json_data(self):
         import json
 

@@ -1,4 +1,4 @@
-"""Unit tests for run manifests: fingerprint stability and mismatch refusal."""
+"""Unit tests for run manifests: fingerprints, mismatch refusal, diffing."""
 
 import dataclasses
 
@@ -104,3 +104,132 @@ class TestResumePolicy:
     def test_damaged_manifest_document_refused(self):
         with pytest.raises(ResumeMismatchError):
             RunManifest.from_json_dict({"kind": "independence-matrix"})
+
+
+def _matrix_manifest(rows, columns=("price",), **overrides):
+    """A manifest whose rows/columns are (name, leaf-label) pairs.
+
+    ``rows`` entries are either a leaf label (name defaults to
+    ``fd<i>``) or a ``(name, leaf)`` tuple, so tests can exercise
+    renames, edits, reorders and duplicate names independently.
+    """
+
+    def split(entries, prefix):
+        named = []
+        for index, entry in enumerate(entries):
+            if isinstance(entry, tuple):
+                named.append(entry)
+            else:
+                named.append((f"{prefix}{index}", entry))
+        return named
+
+    row_entries = split(rows, "fd")
+    column_entries = split(columns, "u")
+    base = RunManifest.for_matrix(
+        kind="independence-matrix",
+        patterns=[_pattern(leaf) for _, leaf in row_entries],
+        row_names=[name for name, _ in row_entries],
+        update_classes=[
+            UpdateClass(_pattern(leaf), name=name)
+            for name, leaf in column_entries
+        ],
+        schema=_schema(),
+        strategy="lazy",
+        want_witness=False,
+        budget=None,
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+class TestDiff:
+    def test_identical_manifests_splice_everything(self):
+        current = _matrix_manifest(["isbn", "title"], ["price", "year"])
+        delta = current.diff(_matrix_manifest(["isbn", "title"], ["price", "year"]))
+        assert delta.compatible
+        assert delta.unchanged_rows == {0: 0, 1: 1}
+        assert delta.unchanged_columns == {0: 0, 1: 1}
+        assert not delta.changed_rows and not delta.added_rows
+        assert delta.spliceable_cells() == {
+            (0, 0): (0, 0), (0, 1): (0, 1), (1, 0): (1, 0), (1, 1): (1, 1),
+        }
+
+    def test_global_field_drift_invalidates_everything(self):
+        current = _matrix_manifest(["isbn"])
+        baseline = _matrix_manifest(["isbn"], strategy="eager", want_witness=True)
+        delta = current.diff(baseline)
+        assert not delta.compatible
+        assert sorted(delta.invalidated_fields) == ["strategy", "want_witness"]
+        assert delta.spliceable_cells() == {}
+
+    def test_schema_drift_invalidates_everything(self):
+        current = _matrix_manifest(["isbn"])
+        baseline = _matrix_manifest(
+            ["isbn"], schema_fingerprint=fingerprint_schema(_schema(("title",)))
+        )
+        delta = current.diff(baseline)
+        assert not delta.compatible
+        assert delta.invalidated_fields == ("schema_fingerprint",)
+
+    def test_edited_row_is_changed_others_unchanged(self):
+        current = _matrix_manifest(["isbn", "title", "year"])
+        baseline = _matrix_manifest(["isbn", "author", "year"])
+        delta = current.diff(baseline)
+        assert delta.unchanged_rows == {0: 0, 2: 2}
+        assert delta.changed_rows == ("fd1",)
+        assert set(delta.spliceable_cells()) == {(0, 0), (2, 0)}
+
+    def test_added_and_removed_rows(self):
+        current = _matrix_manifest([("a", "isbn"), ("b", "title"), ("c", "year")])
+        baseline = _matrix_manifest([("a", "isbn"), ("d", "author")])
+        delta = current.diff(baseline)
+        assert delta.unchanged_rows == {0: 0}
+        assert delta.added_rows == ("b", "c")
+        assert delta.removed_rows == ("d",)
+
+    def test_reordered_rows_map_to_baseline_indices(self):
+        current = _matrix_manifest([("a", "isbn"), ("b", "title")])
+        baseline = _matrix_manifest([("b", "title"), ("a", "isbn")])
+        delta = current.diff(baseline)
+        assert delta.unchanged_rows == {0: 1, 1: 0}
+        assert delta.spliceable_cells() == {(0, 0): (1, 0), (1, 0): (0, 0)}
+
+    def test_renamed_row_with_same_content_is_added_and_removed(self):
+        # names steer the matching: a rename is conservatively treated
+        # as remove+add even though the fingerprint survives
+        current = _matrix_manifest([("new", "isbn")])
+        baseline = _matrix_manifest([("old", "isbn")])
+        delta = current.diff(baseline)
+        assert delta.added_rows == ("new",)
+        assert delta.removed_rows == ("old",)
+
+    def test_duplicate_names_pair_positionally(self):
+        current = _matrix_manifest(
+            [("fd", "isbn"), ("fd", "title"), ("fd", "year")]
+        )
+        baseline = _matrix_manifest(
+            [("fd", "isbn"), ("fd", "author")]
+        )
+        delta = current.diff(baseline)
+        # 1st fd matches 1st fd (same content); 2nd differs; 3rd is new
+        assert delta.unchanged_rows == {0: 0}
+        assert delta.changed_rows == ("fd",)
+        assert delta.added_rows == ("fd",)
+
+    def test_column_axis_diffs_independently(self):
+        current = _matrix_manifest(["isbn"], ["price", "year"])
+        baseline = _matrix_manifest(["isbn"], ["price", "month"])
+        delta = current.diff(baseline)
+        assert delta.unchanged_rows == {0: 0}
+        assert delta.unchanged_columns == {0: 0}
+        assert delta.changed_columns == ("u1",)
+        assert delta.spliceable_cells() == {(0, 0): (0, 0)}
+
+    def test_describe_mentions_drift(self):
+        current = _matrix_manifest(["isbn", "title"])
+        baseline = _matrix_manifest(["isbn", "author"])
+        summary = current.diff(baseline).describe()
+        assert "1" in summary
+        incompatible = current.diff(
+            _matrix_manifest(["isbn", "title"], strategy="eager")
+        ).describe()
+        assert "strategy" in incompatible

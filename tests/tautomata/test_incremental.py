@@ -1,0 +1,276 @@
+"""Incremental (delete-and-rederive) fixpoints vs from-scratch oracles.
+
+Three layers, each checked differentially against the cold path it
+must agree with bit-for-bit:
+
+* :meth:`InhabitationEngine.retract_rules` vs a fresh engine built
+  from only the surviving rules;
+* :class:`IncrementalProductSession.apply_delta` vs
+  :func:`explore_product` over the trimmed factor;
+* :class:`IncrementalDangerousSession.recheck` vs
+  :func:`explore_dangerous_factors` across chains of FD edits.
+"""
+
+import random
+
+import pytest
+
+from repro.independence.language import (
+    IncrementalDangerousSession,
+    explore_dangerous_factors,
+)
+from repro.schema.automaton import schema_automaton
+from repro.schema.dtd import Schema
+from repro.tautomata.from_pattern import trace_automaton
+from repro.tautomata.lazy import (
+    FactorAnalysis,
+    IncrementalProductSession,
+    RuleIndex,
+    analyze_factor,
+    explore_product,
+)
+from repro.tautomata.worklist import InhabitationEngine
+from repro.workload.random_patterns import (
+    random_functional_dependency,
+    random_pattern,
+    random_update_class,
+)
+
+LABELS = ("a", "b", "c")
+
+SCHEMA = Schema.from_rules("a", {"a": "b* c?", "b": "a? c*", "c": "#text"})
+
+
+def _random_automaton(seed, track_regions=False):
+    rng = random.Random(seed)
+    pattern = random_pattern(
+        rng, LABELS, node_count=rng.randint(2, 5), max_length=2
+    )
+    return trace_automaton(
+        pattern, set(LABELS), track_regions=track_regions
+    ).automaton
+
+
+def _split_rules(automaton, seed, keep_fraction=0.6):
+    """Deterministically partition rules into (survivors, retracted)."""
+    rng = random.Random(seed * 31 + 5)
+    survivors, retracted = [], []
+    for rule in automaton.rules:
+        (survivors if rng.random() < keep_fraction else retracted).append(rule)
+    return survivors, retracted
+
+
+class TestEngineRetraction:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_retraction_matches_fresh_engine_on_survivors(self, seed):
+        """DRed must land on exactly the fixpoint of the surviving rules."""
+        automaton = _random_automaton(seed, track_regions=True)
+        survivors, retracted = _split_rules(automaton, seed)
+        track_rules = seed % 2 == 0
+
+        engine = InhabitationEngine(
+            typed=True, track_rules=track_rules, incremental=True
+        )
+        engine.add_rules(automaton.rules)
+        engine.run()
+        stats = engine.retract_rules(retracted)
+
+        fresh = InhabitationEngine(typed=True, track_rules=track_rules)
+        fresh.add_rules(survivors)
+        fresh.run()
+        assert engine.inhabited == fresh.inhabited
+        assert stats["retracted_rules"] == len(retracted)
+        if track_rules:
+            assert frozenset(
+                id(rule) for rule in engine.fired_rules
+            ) == frozenset(id(rule) for rule in fresh.fired_rules)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_retract_then_readd_restores_original_fixpoint(self, seed):
+        automaton = _random_automaton(seed, track_regions=True)
+        _, retracted = _split_rules(automaton, seed)
+
+        engine = InhabitationEngine(typed=True, incremental=True)
+        engine.add_rules(automaton.rules)
+        engine.run()
+        original = engine.inhabited
+        engine.retract_rules(retracted)
+        engine.add_rules(retracted)
+        engine.run()
+        assert engine.inhabited == original
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_firing_words_stay_support_closed_after_retraction(self, seed):
+        """Surviving derivations may only cite surviving states."""
+        automaton = _random_automaton(seed, track_regions=True)
+        _, retracted = _split_rules(automaton, seed)
+        engine = InhabitationEngine(typed=True, incremental=True)
+        engine.add_rules(automaton.rules)
+        engine.run()
+        engine.retract_rules(retracted)
+        retracted_ids = {id(rule) for rule in retracted}
+        for state, (rule, word) in engine.firings.items():
+            assert id(rule) not in retracted_ids
+            assert all(symbol in engine.firings for symbol in word)
+            assert engine.firing_word(state) == word
+
+    def test_retracting_everything_empties_the_fixpoint(self):
+        automaton = _random_automaton(3, track_regions=True)
+        engine = InhabitationEngine(typed=True, incremental=True)
+        engine.add_rules(automaton.rules)
+        engine.run()
+        assert engine.inhabited
+        stats = engine.retract_rules(list(automaton.rules))
+        assert engine.inhabited == frozenset()
+        assert stats["rederived_states"] == 0
+
+    def test_unknown_rules_are_ignored(self):
+        mine = _random_automaton(0, track_regions=True)
+        other = _random_automaton(1, track_regions=True)
+        engine = InhabitationEngine(typed=True, incremental=True)
+        engine.add_rules(mine.rules)
+        engine.run()
+        before = engine.inhabited
+        stats = engine.retract_rules(other.rules)
+        assert stats["retracted_rules"] == 0
+        assert engine.inhabited == before
+
+    def test_delta_stats_expose_the_span_counters(self):
+        automaton = _random_automaton(5, track_regions=True)
+        _, retracted = _split_rules(automaton, 5)
+        engine = InhabitationEngine(typed=True, incremental=True)
+        engine.add_rules(automaton.rules)
+        engine.run()
+        stats = engine.retract_rules(retracted)
+        assert set(stats) == {
+            "retracted_rules",
+            "undered_states",
+            "rebuilt_searches",
+            "rederived_states",
+        }
+        assert all(value >= 0 for value in stats.values())
+
+    def test_retraction_requires_incremental_mode(self):
+        engine = InhabitationEngine(typed=True)
+        with pytest.raises(ValueError, match="incremental=True"):
+            engine.retract_rules(())
+
+    def test_incremental_mode_forces_parent_recording(self):
+        assert InhabitationEngine(incremental=True).record_parents is True
+
+
+class TestIncrementalProductSession:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_apply_delta_matches_cold_product_of_trimmed_factor(self, seed):
+        left = analyze_factor(_random_automaton(seed))
+        right = analyze_factor(_random_automaton(seed + 100))
+        session = IncrementalProductSession(left, right)
+
+        rng = random.Random(seed * 7 + 1)
+        removed = [rule for rule in left.fireable if rng.random() < 0.4]
+        session.apply_delta(removed_left=removed)
+
+        removed_ids = {id(rule) for rule in removed}
+        survivors = tuple(
+            rule for rule in left.fireable if id(rule) not in removed_ids
+        )
+        trimmed = FactorAnalysis(
+            inhabited=left.inhabited,
+            fireable=survivors,
+            index=RuleIndex(survivors),
+            rule_count=left.rule_count,
+        )
+        cold = explore_product(trimmed, right)
+        assert session.inhabited == cold.engine.inhabited
+
+        # re-adding the removed component rules restores the full product
+        session.apply_delta(added_left=removed)
+        full = explore_product(left, right)
+        assert session.inhabited == full.engine.inhabited
+
+    def test_delta_stats_report_added_product_rules(self):
+        left = analyze_factor(_random_automaton(2))
+        right = analyze_factor(_random_automaton(102))
+        session = IncrementalProductSession(left, right)
+        removed = list(left.fireable[: max(1, len(left.fireable) // 2)])
+        stats = session.apply_delta(removed_left=removed)
+        assert stats["added_product_rules"] == 0
+        stats = session.apply_delta(added_left=removed)
+        assert stats["added_product_rules"] >= 0
+        assert "retracted_rules" in stats
+
+
+def _workload(seed, edits=3):
+    """A chain of FD edits plus one fixed update class (shared alphabet)."""
+    rng = random.Random(seed)
+    update_class = random_update_class(rng, LABELS, node_count=2, max_length=2)
+    fds = [
+        random_functional_dependency(
+            random.Random(seed * 13 + index), LABELS, node_count=3, max_length=2
+        )
+        for index in range(edits + 1)
+    ]
+    update_automaton = trace_automaton(
+        update_class.pattern, set(LABELS), track_regions=False, name="A_U"
+    )
+    automata = [
+        trace_automaton(fd.pattern, set(LABELS), track_regions=True, name="A_FD")
+        for fd in fds
+    ]
+    return automata, update_automaton
+
+
+class TestIncrementalDangerousSession:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_recheck_chain_matches_cold_verdicts(self, seed):
+        automata, update_automaton = _workload(seed)
+        session = IncrementalDangerousSession(automata[0], update_automaton)
+        verdicts = [session.solution().empty]
+        for automaton in automata[1:]:
+            verdicts.append(session.recheck(automaton).empty)
+        cold = [
+            explore_dangerous_factors(automaton, update_automaton).empty
+            for automaton in automata
+        ]
+        assert verdicts == cold
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recheck_chain_matches_cold_under_schema(self, seed):
+        automata, update_automaton = _workload(seed, edits=2)
+        schema_hedge = schema_automaton(SCHEMA)
+        session = IncrementalDangerousSession(
+            automata[0], update_automaton, schema_hedge=schema_hedge
+        )
+        verdicts = [session.solution().empty]
+        for automaton in automata[1:]:
+            verdicts.append(session.recheck(automaton).empty)
+        cold = [
+            explore_dangerous_factors(
+                automaton, update_automaton, schema_hedge
+            ).empty
+            for automaton in automata
+        ]
+        assert verdicts == cold
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recheck_back_to_original_matches_first_solution(self, seed):
+        automata, update_automaton = _workload(seed, edits=1)
+        session = IncrementalDangerousSession(automata[0], update_automaton)
+        first = session.solution().empty
+        session.recheck(automata[1])
+        assert session.recheck(automata[0]).empty is first
+
+    def test_witness_is_produced_for_non_empty_rechecks(self):
+        for seed in range(20):
+            automata, update_automaton = _workload(seed, edits=2)
+            session = IncrementalDangerousSession(
+                automata[0], update_automaton, want_witness=True
+            )
+            explorations = [session.solution()] + [
+                session.recheck(automaton) for automaton in automata[1:]
+            ]
+            for exploration in explorations:
+                if not exploration.empty:
+                    assert exploration.witness is not None
+                    return
+        pytest.fail("no non-empty cell found across seeds")

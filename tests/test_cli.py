@@ -255,6 +255,31 @@ class TestCheckpointFlags:
         assert code == 2
         assert "POSSIBLY_DEPENDENT" in capsys.readouterr().out
 
+    def test_baseline_splices_unchanged_cells(self, tmp_path, capsys):
+        run_dir = tmp_path / "ckpt"
+        main(self.ARGS + ["--checkpoint-dir", str(run_dir)])
+        capsys.readouterr()
+        code = main(self.ARGS + ["--baseline", str(run_dir)])
+        assert code == 2  # splicing changes the cost, not the verdicts
+        out = capsys.readouterr().out
+        assert "2 cell(s) spliced from baseline, 0 recomputed" in out
+
+    def test_baseline_with_drifted_inputs_recomputes_the_new_cell(
+        self, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "ckpt"
+        main(self.ARGS + ["--checkpoint-dir", str(run_dir)])
+        capsys.readouterr()
+        code = main(
+            self.ARGS
+            + ["--update-xpath", "/orders/order/line/qty"]
+            + ["--baseline", str(run_dir)]
+        )
+        assert code == 2
+        assert "2 cell(s) spliced from baseline, 1 recomputed" in (
+            capsys.readouterr().out
+        )
+
     def test_resume_with_changed_inputs_refused(self, tmp_path, capsys):
         run_dir = tmp_path / "ckpt"
         main(self.ARGS + ["--checkpoint-dir", str(run_dir)])
@@ -317,12 +342,48 @@ class TestCheckpointsSubcommand:
         assert code != 0
         assert "not a checkpoint run directory" in capsys.readouterr().err
 
-    def test_clean_removes_complete_runs(self, tmp_path, capsys):
+    def test_inspect_journal_only_run_dir(self, tmp_path, capsys):
+        """Interrupted run: no snapshot yet, cells only in the journal."""
+        import json
+
+        from repro.persistence.journal import encode_record
+
+        run_dir = self._complete_run(tmp_path)
+        # completion compacted the journal into the snapshot; turn the
+        # dir back into its pre-compaction (crashed mid-run) state
+        cells = json.loads((run_dir / "snapshot.json").read_text())["cells"]
+        with open(run_dir / "journal.wal", "wb") as journal:
+            for record in cells:
+                journal.write(encode_record(record))
+        (run_dir / "snapshot.json").unlink()
+        (run_dir / "complete.json").unlink()
+        capsys.readouterr()
+        code = main(["checkpoints", "inspect", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "in-progress" in out
+        assert "1 cell record(s)" in out
+        assert "1 decided" in out
+
+    def test_clean_defaults_to_dry_run(self, tmp_path, capsys):
         run_dir = self._complete_run(tmp_path)
         capsys.readouterr()
         code = main(["checkpoints", "clean", str(tmp_path / "ckpt")])
         assert code == 0
-        assert "removed" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "would remove" in out
+        assert "pass --force" in out
+        assert run_dir.exists()
+
+    def test_clean_force_removes_complete_runs(self, tmp_path, capsys):
+        run_dir = self._complete_run(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["checkpoints", "clean", str(tmp_path / "ckpt"), "--force"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and "would remove" not in out
         assert not run_dir.exists()
 
 
