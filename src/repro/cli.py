@@ -384,6 +384,30 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.config import ServeConfig
+    from repro.serve.daemon import run_daemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        strategy=args.strategy,
+        budget_ms=args.budget_ms,
+        max_explored=args.max_explored,
+        queue_limit=args.queue_limit,
+        batch_window_ms=args.batch_window_ms,
+        watchdog_ms=args.watchdog_ms,
+        checkpoint_dir=args.checkpoint_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        drain_grace_ms=args.drain_grace_ms,
+        trace_path=args.trace_out,
+        debug_hooks=args.debug_hooks,
+    )
+    return run_daemon(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for the ``repro-xml`` entry point."""
     parser = argparse.ArgumentParser(
@@ -564,6 +588,118 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("document")
     stream.add_argument("--fd", required=True)
     stream.set_defaults(handler=_cmd_stream_check)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the resident IC daemon (HTTP/JSON, admission control, "
+        "single-flight dedup, circuit breaking, graceful drain)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port; 0 picks an ephemeral port, printed in the "
+        "ready line (default: 8642)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per matrix computation; the pool is "
+        "spawned at boot and kept warm (default: 1)",
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=["auto", "lazy", "eager"],
+        default="auto",
+        help="default strategy for requests that do not name one",
+    )
+    serve.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-cell wall-clock budget; tightened automatically as "
+        "the admission queue fills (exhaustion degrades to UNKNOWN + "
+        "needs_revalidation, still HTTP 200)",
+    )
+    serve.add_argument(
+        "--max-explored",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-cell cap on explored states/rules (see independence "
+        "--max-explored); pressure-scaled like --budget-ms",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the result journal and per-request run dirs "
+        "under DIR; drained run dirs resume with the offline CLI",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue bound; beyond it requests are shed with "
+        "HTTP 429 + Retry-After (default: 64)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batch window merging same-shape requests into one "
+        "matrix call; 0 disables merging (default: 2)",
+    )
+    serve.add_argument(
+        "--watchdog-ms",
+        type=float,
+        default=30_000.0,
+        metavar="MS",
+        help="per-request ceiling after which the client receives a "
+        "sound all-UNKNOWN answer; 0 disables (default: 30000)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive pool faults that trip the circuit breaker "
+        "to serial-only (default: 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=5_000.0,
+        metavar="MS",
+        help="open-state cooldown before a half-open probe (default: 5000)",
+    )
+    serve.add_argument(
+        "--drain-grace-ms",
+        type=float,
+        default=10_000.0,
+        metavar="MS",
+        help="SIGTERM/SIGINT drain grace for finishing queued work; "
+        "leftovers are answered degraded after it (default: 10000)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="write a JSONL span trace of every computation",
+    )
+    # test/bench harness fault hooks; hidden from --help on purpose
+    serve.add_argument(
+        "--debug-hooks", action="store_true", help=argparse.SUPPRESS
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

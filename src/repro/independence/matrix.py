@@ -283,6 +283,60 @@ class IndependenceMatrix:
             if cell.independent
         }
 
+    def to_json_dict(self, include_witnesses: bool = False) -> dict:
+        """A JSON-ready rendering of the whole matrix (service/bench
+        response shape).
+
+        Everything a remote caller needs to act on the verdicts without
+        holding the Python objects: the verdict grid, per-cell wall
+        times, the ``needs_revalidation`` pair list (POSSIBLY_DEPENDENT
+        *and* UNKNOWN cells — exactly the complement of
+        :meth:`certified_pairs`, so a client that applies updates knows
+        which FDs to re-check), and the run-level accounting.  Witness
+        documents ride along as total JSON trees only on request — they
+        can be large and most callers only want the booleans.
+        """
+        needs_revalidation = [
+            [self.row_names[cell.row], self.column_names[cell.column]]
+            for row in self.cells
+            for cell in row
+            if not cell.independent
+        ]
+        document = {
+            "row_names": list(self.row_names),
+            "column_names": list(self.column_names),
+            "verdicts": [
+                [cell.verdict.value for cell in row] for row in self.cells
+            ],
+            "cell_ms": [
+                [round(cell.elapsed_seconds * 1000.0, 3) for cell in row]
+                for row in self.cells
+            ],
+            "needs_revalidation": needs_revalidation,
+            "all_independent": self.all_independent(),
+            "independent": self.independent_count(),
+            "unknown": self.unknown_count(),
+            "cells": self.cell_count,
+            "strategy": self.strategy,
+            "parallelism": self.parallelism,
+            "worker_faults": self.worker_faults,
+            "spliced_cells": self.spliced_cells,
+            "recomputed_cells": self.recomputed_cells,
+            "elapsed_ms": round(self.elapsed_seconds * 1000.0, 3),
+        }
+        if include_witnesses:
+            document["witnesses"] = [
+                {
+                    "row": cell.row,
+                    "column": cell.column,
+                    "witness": _witness_to_json(cell.witness),
+                }
+                for row in self.cells
+                for cell in row
+                if cell.witness is not None
+            ]
+        return document
+
     def describe(self) -> str:
         """A compact verdict table (rows = FDs, columns = updates)."""
         schema_part = "no schema" if self.schema is None else "with schema"

@@ -44,6 +44,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -171,6 +172,8 @@ _stats = {
     "gate_serial": 0,
     # chunks recomputed serially after exhausting pool restarts
     "serial_fallback_chunks": 0,
+    # subset of the above forced by a tripped circuit breaker
+    "breaker_serial_chunks": 0,
     # cumulative pool creation + warm-up cost, in integer milliseconds
     "warmup_ms_total": 0,
 }
@@ -232,6 +235,15 @@ def resolve_context(token: int, context_bytes: bytes) -> MaterializedContext:
 
 _executors: dict[int, ProcessPoolExecutor] = {}
 
+#: guards every ``_executors`` mutation.  Reentrant because shutdown can
+#: be reached from a signal handler or atexit hook firing in the same
+#: thread that is already inside :func:`get_executor` — a plain Lock
+#: would deadlock there, an RLock just proceeds.  The long-lived daemon
+#: additionally calls :func:`shutdown_all` from its drain path while a
+#: compute thread may race a :func:`discard_executor`; the pop-then-act
+#: pattern under the lock makes every combination idempotent.
+_executors_lock = threading.RLock()
+
 
 def _warm_task(index: int) -> int:
     return index
@@ -259,48 +271,76 @@ def get_executor(max_workers: int) -> ProcessPoolExecutor:
     spawn cost for :func:`parallel_worthwhile`.  Callers must *not*
     shut the executor down; use :func:`discard_executor` after a fault.
     """
-    executor = _executors.get(max_workers)
-    if executor is not None:
-        _stats["pools_reused"] += 1
+    with _executors_lock:
+        executor = _executors.get(max_workers)
+        if executor is not None:
+            _stats["pools_reused"] += 1
+            return executor
+        started = time.perf_counter()
+        executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=_mp_context(),
+            initializer=_warm_worker,
+        )
+        # warm-up barrier: one trivial task per worker forces the
+        # processes to exist and finish initializing before real chunks
+        # are submitted
+        list(executor.map(_warm_task, range(max_workers)))
+        elapsed = time.perf_counter() - started
+        record_spawn_seconds(elapsed)
+        _executors[max_workers] = executor
+        _stats["pools_created"] += 1
+        _stats["warmup_ms_total"] += round(elapsed * 1000)
         return executor
-    started = time.perf_counter()
-    executor = ProcessPoolExecutor(
-        max_workers=max_workers,
-        mp_context=_mp_context(),
-        initializer=_warm_worker,
-    )
-    # warm-up barrier: one trivial task per worker forces the processes
-    # to exist and finish initializing before real chunks are submitted
-    list(executor.map(_warm_task, range(max_workers)))
-    elapsed = time.perf_counter() - started
-    record_spawn_seconds(elapsed)
-    _executors[max_workers] = executor
-    _stats["pools_created"] += 1
-    _stats["warmup_ms_total"] += round(elapsed * 1000)
-    return executor
 
 
 def discard_executor(max_workers: int, wait: bool = True) -> None:
-    """Retire a pool after a fault (broken: wait; hung: abandon)."""
-    executor = _executors.pop(max_workers, None)
-    if executor is None:
-        return
-    _stats["pools_discarded"] += 1
+    """Retire a pool after a fault (broken: wait; hung: abandon).
+
+    Idempotent and safe under concurrency: the pop happens under
+    :data:`_executors_lock`, so of two racing callers exactly one
+    shuts the pool down and the other no-ops — double shutdown no
+    longer relies on atexit ordering.
+    """
+    with _executors_lock:
+        executor = _executors.pop(max_workers, None)
+        if executor is None:
+            return
+        _stats["pools_discarded"] += 1
+    # the actual shutdown happens outside the lock: a hung pool's
+    # (wait=False) shutdown is quick, but a broken one may join worker
+    # processes and must not stall concurrent get_executor callers
     executor.shutdown(wait=wait, cancel_futures=True)
 
 
 def shutdown_all() -> None:
-    """Retire every persistent pool (process exit / test teardown)."""
-    for max_workers in list(_executors):
+    """Retire every persistent pool (process exit / daemon drain /
+    test teardown).  Idempotent; callable from signal handlers and
+    concurrently with :func:`discard_executor` — each pool is shut
+    down exactly once whoever gets there first."""
+    with _executors_lock:
+        retired = list(_executors)
+    for max_workers in retired:
         discard_executor(max_workers, wait=False)
 
 
 atexit.register(shutdown_all)
 
 
-def record_serial_fallback(chunk_count: int) -> None:
-    """Count chunks a run had to recompute serially after pool faults."""
+def record_serial_fallback(chunk_count: int, reason: str = "pool-fault") -> None:
+    """Count work a run had to push through the serial path.
+
+    ``reason="pool-fault"`` is the in-run recovery path (chunks
+    recomputed in the parent after pool restarts were exhausted);
+    ``reason="breaker"`` is the service's circuit breaker refusing to
+    hand a request to the pool while tripped.  Both flow into the same
+    ``serial_fallback_chunks`` counter — there is exactly one account
+    of "the pool was not trusted with this work" — with a breaker-only
+    sub-counter so operators can tell recovery from prevention.
+    """
     _stats["serial_fallback_chunks"] += chunk_count
+    if reason == "breaker":
+        _stats["breaker_serial_chunks"] += chunk_count
 
 
 def pool_stats() -> dict[str, int]:

@@ -130,6 +130,47 @@ class Budget:
         """Begin consumption tracking (starts the deadline clock)."""
         return BudgetMeter(self)
 
+    def scaled(
+        self,
+        fraction: float,
+        minimum_deadline_ms: float = 1.0,
+        minimum_cap: int = 1,
+    ) -> "Budget":
+        """A proportionally tightened copy of this budget.
+
+        The long-lived service derives per-request budgets from server
+        pressure: under load every bounded dimension shrinks to
+        ``fraction`` of its configured value (floored so a squeezed
+        budget still lets a cell make *some* progress before going
+        UNKNOWN), and unbounded dimensions stay unbounded — admission
+        control must never silently introduce a cap the operator did
+        not configure.  ``fraction >= 1`` returns ``self`` unchanged,
+        so the no-pressure path allocates nothing.
+        """
+        if fraction <= 0:
+            raise ReproError(
+                f"budget scale fraction must be > 0, got {fraction!r}"
+            )
+        if fraction >= 1.0 or self.unbounded:
+            return self
+        return Budget(
+            deadline_ms=(
+                None
+                if self.deadline_ms is None
+                else max(minimum_deadline_ms, self.deadline_ms * fraction)
+            ),
+            max_explored_states=(
+                None
+                if self.max_explored_states is None
+                else max(minimum_cap, int(self.max_explored_states * fraction))
+            ),
+            max_explored_rules=(
+                None
+                if self.max_explored_rules is None
+                else max(minimum_cap, int(self.max_explored_rules * fraction))
+            ),
+        )
+
 
 class BudgetMeter:
     """Mutable consumption state of one started :class:`Budget`.

@@ -289,6 +289,24 @@ class MetricsRegistry:
         for key, value in stats.items():
             self.gauge(f"pool.{key}").set(value)
 
+    def absorb_persistence(self, stats: dict | None = None) -> None:
+        """Mirror the persistence degradation counters as gauges.
+
+        ``persistence.degraded_events`` counts every store that fell
+        back to memory-only; ``persistence.suppressed_warnings`` counts
+        the :class:`PersistenceWarning` repeats the per-group dedup
+        swallowed — a long-lived daemon with a bad disk warns once and
+        accounts the rest here instead of spamming one warning per
+        request.  Gauges (reflect, never double-count), same contract
+        as :meth:`absorb_caches` / :meth:`absorb_pool`.
+        """
+        if stats is None:
+            from repro.persistence.store import persistence_stats
+
+            stats = persistence_stats()
+        for key, value in stats.items():
+            self.gauge(f"persistence.{key}").set(value)
+
     # ------------------------------------------------------------------
     # output
     # ------------------------------------------------------------------
@@ -348,6 +366,9 @@ class _NoopMetricsRegistry:
         pass
 
     def absorb_pool(self, stats: dict | None = None) -> None:
+        pass
+
+    def absorb_persistence(self, stats: dict | None = None) -> None:
         pass
 
     def snapshot(self) -> dict:

@@ -57,6 +57,8 @@ from repro.persistence.store import (
     iter_run_dirs,
     load_run_cells,
     load_run_manifest,
+    persistence_stats,
+    reset_persistence_warnings,
 )
 
 __all__ = [
@@ -85,4 +87,6 @@ __all__ = [
     "iter_run_dirs",
     "load_run_cells",
     "load_run_manifest",
+    "persistence_stats",
+    "reset_persistence_warnings",
 ]

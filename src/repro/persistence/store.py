@@ -52,6 +52,51 @@ COMPLETE_NAME = "complete.json"
 DEFAULT_SNAPSHOT_EVERY = 64
 
 
+# ----------------------------------------------------------------------
+# degradation-warning dedup (one warning per store, not one per request)
+# ----------------------------------------------------------------------
+#
+# A batch run degrades at most once per store instance, so the old
+# "warn in _degrade" policy produced exactly one warning per *run*.  A
+# long-lived daemon opens a store per request: with a read-only or full
+# disk every request would re-emit the same PersistenceWarning.  The
+# registry below dedups by *warn group* — the run directory by default,
+# or a caller-supplied group (the daemon passes its checkpoint root so
+# all its per-request run dirs share one warning) — and counts what it
+# suppressed, surfaced via :func:`persistence_stats` and the
+# ``persistence.*`` metrics gauges.
+
+_warned_groups: set[str] = set()
+_persistence_stats = {
+    # times a store (or store open) degraded to memory-only
+    "degraded_events": 0,
+    # degradation warnings suppressed by the per-group dedup
+    "suppressed_warnings": 0,
+}
+
+
+def persistence_stats() -> dict[str, int]:
+    """Snapshot of the degradation counters (daemon health + metrics)."""
+    return dict(_persistence_stats)
+
+
+def reset_persistence_warnings() -> None:
+    """Forget which groups warned (tests; a daemon reload could too)."""
+    _warned_groups.clear()
+    _persistence_stats["degraded_events"] = 0
+    _persistence_stats["suppressed_warnings"] = 0
+
+
+def _warn_degraded(message: str, group: str, stacklevel: int) -> None:
+    """Emit one :class:`PersistenceWarning` per group; count the rest."""
+    _persistence_stats["degraded_events"] += 1
+    if group in _warned_groups:
+        _persistence_stats["suppressed_warnings"] += 1
+        return
+    _warned_groups.add(group)
+    warnings.warn(message, PersistenceWarning, stacklevel=stacklevel + 1)
+
+
 def _write_json_atomic(path: Path, document: dict) -> None:
     temporary = path.with_name(path.name + ".tmp")
     with open(temporary, "w", encoding="ascii") as handle:
@@ -86,11 +131,13 @@ class CheckpointStore:
         restored_cells: list[dict],
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         tracer=None,
+        warn_group: str | None = None,
     ) -> None:
         self.directory = directory
         self.manifest = manifest
         self.restored_cells = restored_cells
         self.degraded = False
+        self._warn_group = warn_group or str(directory)
         self._tracer = NOOP_TRACER if tracer is None else tracer
         self._writer: JournalWriter | None = writer
         self._snapshot_every = max(1, int(snapshot_every))
@@ -113,6 +160,7 @@ class CheckpointStore:
         resume: bool = False,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         tracer=None,
+        warn_group: str | None = None,
     ) -> "CheckpointStore | None":
         """Open (or initialize) a run directory.
 
@@ -124,6 +172,14 @@ class CheckpointStore:
         operator error.  ``tracer`` attaches ``checkpoint.journal`` /
         ``checkpoint.snapshot`` / ``checkpoint.degraded`` events to
         whatever span is current when the store acts.
+
+        ``warn_group`` scopes the degradation-warning dedup: stores
+        sharing a group emit at most one :class:`PersistenceWarning`
+        per process between two :func:`reset_persistence_warnings`
+        calls (suppressed repeats are counted, see
+        :func:`persistence_stats`).  The default group is the run
+        directory itself, which preserves the one-warning-per-run
+        behaviour batch callers always had.
         """
         directory = Path(checkpoint_dir)
         try:
@@ -148,10 +204,10 @@ class CheckpointStore:
         except ResumeMismatchError:
             raise
         except OSError as error:
-            warnings.warn(
+            _warn_degraded(
                 f"checkpointing disabled: cannot use {directory}: {error}; "
                 f"continuing in memory (run will not be resumable)",
-                PersistenceWarning,
+                warn_group or str(directory),
                 stacklevel=3,
             )
             return None
@@ -162,6 +218,7 @@ class CheckpointStore:
             restored,
             snapshot_every=snapshot_every,
             tracer=tracer,
+            warn_group=warn_group,
         )
 
     @staticmethod
@@ -239,15 +296,15 @@ class CheckpointStore:
             self._writer = None
 
     def _degrade(self, reason: str) -> None:
-        """One warning, then in-memory for the rest of the run."""
+        """One warning per warn group, then in-memory for the run."""
         self.degraded = True
         self.close()
         if self._tracer.enabled:
             self._tracer.event("checkpoint.degraded", {"reason": reason})
-        warnings.warn(
+        _warn_degraded(
             f"checkpointing disabled: {reason}; continuing in memory "
             f"(verdicts are kept, run is no longer resumable)",
-            PersistenceWarning,
+            self._warn_group,
             stacklevel=4,
         )
 

@@ -1,0 +1,38 @@
+"""Long-lived IC service: a resident daemon over the matrix pipeline.
+
+The offline CLI pays the full pipeline setup — pattern compilation,
+automaton construction, worker-pool spawn — on every invocation.  The
+``repro-xml serve`` daemon pays it once and keeps everything resident,
+then defends that residency with the robustness toolkit a long-lived
+process needs: bounded admission with 429 load shedding,
+pressure-scaled budgets degrading to sound three-valued UNKNOWN
+answers, single-flight dedup plus a durable result journal, circuit
+breaking over the worker pool, and SIGTERM drain that leaves every
+in-flight run directory resumable by the offline CLI.
+
+Layering (each module documents its own contract)::
+
+    daemon.py    process lifecycle: boot, signals, exit codes
+    http.py      minimal asyncio HTTP/1.1 transport
+    service.py   admission, dispatch, micro-batching, drain
+    api.py       request parsing, fingerprint keys, response shaping
+    dedup.py     single-flight map + durable result journal
+    breaker.py   circuit breaker over the warm worker pool
+    config.py    the one validated knob object
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import DEFAULT_PORT, ServeConfig
+from repro.serve.daemon import run_daemon
+from repro.serve.dedup import ResultJournal, SingleFlight
+from repro.serve.service import IndependenceService
+
+__all__ = [
+    "CircuitBreaker",
+    "DEFAULT_PORT",
+    "IndependenceService",
+    "ResultJournal",
+    "ServeConfig",
+    "SingleFlight",
+    "run_daemon",
+]

@@ -1,0 +1,177 @@
+"""Circuit breaker over the warm worker pool (fault isolation layer).
+
+The matrix fan-out already survives individual pool faults — a dead or
+hung worker costs one retry plus a serial recompute of the affected
+chunks (:mod:`repro.independence.matrix`).  What it cannot see is the
+*pattern*: on a box where workers die on every request (cgroup OOM
+killer, a poisoned fork state, exhausted PID limits), every request
+pays the full retry-then-serial tax before landing at the same serial
+answer.  A long-lived daemon must not re-learn that lesson per
+request, so the classic three-state breaker sits in front of the pool:
+
+* ``closed`` — requests use the pool; *consecutive* faults are
+  counted, and reaching ``failure_threshold`` trips the breaker;
+* ``open`` — requests are routed straight to the serial path (which is
+  always correct, just not parallel) without touching the pool; after
+  ``cooldown_seconds`` the next request is admitted as a probe;
+* ``half-open`` — exactly one in-flight probe request uses the pool;
+  success closes the breaker, a fault re-opens it and restarts the
+  cooldown.  Concurrent requests during the probe stay serial.
+
+Serial successes deliberately do **not** close the breaker: they prove
+nothing about the pool.  Every serial request forced by the breaker is
+accounted through the pool's own
+:func:`~repro.independence.pool.record_serial_fallback` counters
+(``reason="breaker"``), so operators read one unified "the pool was
+bypassed" account, not two drifting ones.
+
+Thread-safe: the service's asyncio loop and its compute thread both
+touch the breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-fault breaker with half-open probing recovery."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self._threshold = failure_threshold
+        self._cooldown = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_faults = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        # lifetime accounting (the /stats endpoint surfaces these)
+        self._trips = 0
+        self._probes = 0
+        self._recoveries = 0
+        self._serial_denials = 0
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def allow_parallel(self) -> bool:
+        """May this request use the worker pool right now?
+
+        In ``open`` state the first call after the cooldown flips to
+        ``half-open`` and is admitted as the probe; everything else is
+        denied (and counted) until the probe resolves.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                elapsed = (
+                    None
+                    if self._opened_at is None
+                    else self._clock() - self._opened_at
+                )
+                if elapsed is not None and elapsed >= self._cooldown:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    self._probes += 1
+                    return True
+                self._serial_denials += 1
+                return False
+            # HALF_OPEN: exactly one probe at a time
+            if not self._probe_in_flight:
+                self._probe_in_flight = True
+                self._probes += 1
+                return True
+            self._serial_denials += 1
+            return False
+
+    # ------------------------------------------------------------------
+    # outcomes
+    # ------------------------------------------------------------------
+
+    def record_success(self, parallel: bool) -> None:
+        """A request completed without pool faults.
+
+        Only a *parallel* success says anything about the pool: it
+        resets the consecutive-fault count and, if it was the
+        half-open probe, closes the breaker.  Serial successes leave
+        the state machine alone.
+        """
+        if not parallel:
+            return
+        with self._lock:
+            self._consecutive_faults = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probe_in_flight = False
+                self._recoveries += 1
+
+    def release_probe(self) -> None:
+        """The admitted probe never exercised the pool after all (the
+        matrix spawn-cost gate degraded it to serial); free the slot so
+        the next candidate request can probe instead."""
+        with self._lock:
+            if self._state == HALF_OPEN and self._probe_in_flight:
+                self._probe_in_flight = False
+
+    def record_fault(self) -> None:
+        """A request saw pool trouble (worker death, hang, watchdog).
+
+        Trips the breaker at the threshold; in ``half-open`` a single
+        fault re-opens immediately — the probe existed to answer
+        exactly this question.
+        """
+        with self._lock:
+            self._consecutive_faults += 1
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self._trips += 1
+                return
+            if (
+                self._state == CLOSED
+                and self._consecutive_faults >= self._threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``/stats`` and the drain log."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_faults": self._consecutive_faults,
+                "failure_threshold": self._threshold,
+                "cooldown_seconds": self._cooldown,
+                "trips": self._trips,
+                "probes": self._probes,
+                "recoveries": self._recoveries,
+                "serial_denials": self._serial_denials,
+            }

@@ -1,0 +1,128 @@
+"""Configuration of the resident IC daemon (``repro-xml serve``).
+
+One frozen dataclass carries every knob the service layers read, with
+the robustness-relevant defaults chosen so a bare ``repro-xml serve``
+is already well-behaved under overload:
+
+* a bounded admission queue (:attr:`ServeConfig.queue_limit`) — beyond
+  it requests are shed with HTTP 429 + ``Retry-After`` instead of
+  growing an unbounded backlog;
+* a per-request :class:`~repro.limits.Budget` derived from
+  ``budget_ms`` / ``max_explored`` and *tightened under pressure*
+  (:meth:`ServeConfig.pressure_budget`): the fuller the queue, the
+  smaller each request's allowance, so the degraded response under
+  load is a fast three-valued UNKNOWN (still HTTP 200, with
+  ``needs_revalidation`` routing) rather than a slow timeout;
+* a watchdog (:attr:`watchdog_ms`) bounding how long a client waits on
+  one computation whatever the budget missed;
+* circuit-breaker thresholds for the warm worker pool.
+
+Validation raises :class:`~repro.errors.ReproError` so the CLI maps
+bad flag combinations onto its usual clean one-line diagnostics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ReproError
+from repro.independence.strategy import STRATEGIES
+from repro.limits import Budget
+
+#: default TCP port (no IANA meaning; "IC" on a phone keypad is 42)
+DEFAULT_PORT = 8642
+
+#: queue fill fraction below which budgets are not tightened at all
+PRESSURE_FREE_FRACTION = 0.5
+
+#: the tightest pressure-scaled budget fraction (at a full queue)
+MIN_BUDGET_FRACTION = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Everything the daemon reads, in one validated value object."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    jobs: int = 1
+    strategy: str = "auto"
+    budget_ms: float | None = None
+    max_explored: int | None = None
+    queue_limit: int = 64
+    batch_window_ms: float = 2.0
+    watchdog_ms: float = 30_000.0
+    checkpoint_dir: str | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 5_000.0
+    drain_grace_ms: float = 10_000.0
+    trace_path: str | None = None
+    #: honor ``_debug`` request fields (test/bench harnesses only)
+    debug_hooks: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ReproError(f"serve port must be 0..65535, got {self.port}")
+        if self.jobs < 1:
+            raise ReproError(f"serve --jobs must be >= 1, got {self.jobs}")
+        if self.strategy not in STRATEGIES:
+            raise ReproError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{sorted(STRATEGIES)}"
+            )
+        if self.queue_limit < 1:
+            raise ReproError(
+                f"serve queue limit must be >= 1, got {self.queue_limit}"
+            )
+        for name in (
+            "batch_window_ms",
+            "watchdog_ms",
+            "breaker_cooldown_ms",
+            "drain_grace_ms",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ReproError(f"serve {name} must be >= 0, got {value}")
+        if self.breaker_threshold < 1:
+            raise ReproError(
+                f"serve breaker threshold must be >= 1, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.budget_ms is not None and self.budget_ms <= 0:
+            raise ReproError(
+                f"serve --budget-ms must be > 0, got {self.budget_ms}"
+            )
+        if self.max_explored is not None and self.max_explored <= 0:
+            raise ReproError(
+                f"serve --max-explored must be > 0, got {self.max_explored}"
+            )
+
+    def base_budget(self) -> Budget | None:
+        """The configured per-request budget before pressure scaling."""
+        if self.budget_ms is None and self.max_explored is None:
+            return None
+        return Budget(
+            deadline_ms=self.budget_ms,
+            max_explored_states=self.max_explored,
+            max_explored_rules=self.max_explored,
+        )
+
+    def pressure_budget(self, queue_depth: int) -> Budget | None:
+        """The admission-control budget at the given queue depth.
+
+        Below half-full the configured budget applies unchanged; from
+        there it shrinks linearly down to
+        :data:`MIN_BUDGET_FRACTION` of itself at a full queue.  An
+        unconfigured (``None``) budget stays ``None`` — load shedding
+        must not invent caps the operator never asked for; the bounded
+        queue plus 429 shedding carry the overload story alone then.
+        """
+        base = self.base_budget()
+        if base is None:
+            return None
+        free = PRESSURE_FREE_FRACTION * self.queue_limit
+        if queue_depth <= free or self.queue_limit <= free:
+            return base
+        over = (queue_depth - free) / (self.queue_limit - free)
+        fraction = 1.0 - (1.0 - MIN_BUDGET_FRACTION) * min(1.0, over)
+        return base.scaled(fraction)

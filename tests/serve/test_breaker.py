@@ -1,0 +1,127 @@
+"""Unit tests of the circuit breaker state machine (fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock) -> CircuitBreaker:
+    return CircuitBreaker(
+        failure_threshold=3, cooldown_seconds=5.0, clock=clock
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow_parallel()
+
+    def test_faults_below_threshold_stay_closed(self, breaker):
+        breaker.record_fault()
+        breaker.record_fault()
+        assert breaker.state == CLOSED
+        assert breaker.allow_parallel()
+
+    def test_trips_at_threshold(self, breaker):
+        for _ in range(3):
+            breaker.record_fault()
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["trips"] == 1
+
+    def test_parallel_success_resets_the_count(self, breaker):
+        breaker.record_fault()
+        breaker.record_fault()
+        breaker.record_success(parallel=True)
+        breaker.record_fault()
+        breaker.record_fault()
+        # only two consecutive faults since the success: still closed
+        assert breaker.state == CLOSED
+
+    def test_serial_success_proves_nothing(self, breaker):
+        """A success that never touched the pool must not reset the
+        consecutive-fault count — it would mask a dying pool."""
+        breaker.record_fault()
+        breaker.record_fault()
+        breaker.record_success(parallel=False)
+        breaker.record_fault()
+        assert breaker.state == OPEN
+
+
+class TestOpen:
+    def test_denies_until_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        assert not breaker.allow_parallel()
+        clock.advance(4.9)
+        assert not breaker.allow_parallel()
+        assert breaker.snapshot()["serial_denials"] == 2
+
+    def test_cooldown_admits_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(5.0)
+        assert breaker.allow_parallel()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow_parallel()  # concurrent request: serial
+
+
+class TestHalfOpen:
+    def _trip_and_cool(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_fault()
+        clock.advance(5.0)
+        assert breaker.allow_parallel()
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip_and_cool(breaker, clock)
+        breaker.record_success(parallel=True)
+        assert breaker.state == CLOSED
+        assert breaker.allow_parallel()
+        assert breaker.snapshot()["recoveries"] == 1
+
+    def test_probe_fault_reopens_and_restarts_cooldown(self, breaker, clock):
+        self._trip_and_cool(breaker, clock)
+        breaker.record_fault()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert not breaker.allow_parallel()
+        clock.advance(0.1)
+        assert breaker.allow_parallel()
+
+    def test_release_probe_frees_the_slot_without_closing(
+        self, breaker, clock
+    ):
+        """A probe the spawn-cost gate degraded to serial proved
+        nothing; the next request must get the probe slot."""
+        self._trip_and_cool(breaker, clock)
+        breaker.release_probe()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow_parallel()  # a fresh probe is admitted
+
+    def test_release_probe_is_a_noop_when_closed(self, breaker):
+        breaker.release_probe()
+        assert breaker.state == CLOSED
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)

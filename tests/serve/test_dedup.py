@@ -1,0 +1,132 @@
+"""Tests of single-flight coalescing and the durable result journal."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.persistence.journal import JournalWriter
+from repro.serve.dedup import ResultJournal, SingleFlight
+
+
+class TestSingleFlight:
+    def test_leader_then_followers(self):
+        async def scenario():
+            flight = SingleFlight()
+            fut1, leader1 = flight.claim("k")
+            fut2, leader2 = flight.claim("k")
+            assert leader1 and not leader2
+            assert fut1 is fut2
+            assert len(flight) == 1
+            flight.resolve("k", {"answer": 42})
+            assert await fut2 == {"answer": 42}
+            # the key is released: the next claimant leads again
+            _, leader3 = flight.claim("k")
+            assert leader3
+
+        asyncio.run(scenario())
+
+    def test_failure_propagates_to_all_waiters(self):
+        async def scenario():
+            flight = SingleFlight()
+            fut, _ = flight.claim("k")
+            flight.claim("k")
+            flight.fail("k", ReproError("boom"))
+            with pytest.raises(ReproError, match="boom"):
+                await fut
+            assert len(flight) == 0
+
+        asyncio.run(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+            _, leader_a = flight.claim("a")
+            _, leader_b = flight.claim("b")
+            assert leader_a and leader_b
+
+        asyncio.run(scenario())
+
+    def test_abort_all(self):
+        async def scenario():
+            flight = SingleFlight()
+            fut_a, _ = flight.claim("a")
+            fut_b, _ = flight.claim("b")
+            flight.abort_all(ReproError("draining"))
+            for fut in (fut_a, fut_b):
+                with pytest.raises(ReproError, match="draining"):
+                    await fut
+
+        asyncio.run(scenario())
+
+
+RESPONSE = {"ok": True, "verdict": "independent", "served": {"source": "x"}}
+
+
+class TestResultJournal:
+    def test_memory_only_roundtrip(self):
+        journal = ResultJournal(None)
+        assert journal.get("k") is None
+        journal.put("k", RESPONSE)
+        assert journal.get("k") == RESPONSE
+        assert not journal.snapshot()["durable"]
+
+    def test_durable_roundtrip_and_recovery(self, tmp_path):
+        path = tmp_path / "results.wal"
+        journal = ResultJournal(path)
+        journal.put("k1", RESPONSE)
+        journal.put("k2", {**RESPONSE, "verdict": "possibly-dependent"})
+        journal.close()
+        reopened = ResultJournal(path)
+        assert reopened.recovered == 2
+        assert reopened.get("k1") == RESPONSE
+        assert reopened.get("k2")["verdict"] == "possibly-dependent"
+        reopened.close()
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "results.wal"
+        journal = ResultJournal(path)
+        journal.put("good", RESPONSE)
+        journal.close()
+        with path.open("ab") as handle:
+            handle.write(b"J1 000000ff deadbeef {torn")
+        recovered = ResultJournal(path)
+        assert recovered.recovered == 1
+        assert recovered.get("good") == RESPONSE
+        # and the journal keeps working after truncating the tail
+        recovered.put("next", RESPONSE)
+        recovered.close()
+        assert ResultJournal(path).recovered == 2
+
+    def test_foreign_records_are_ignored(self, tmp_path):
+        path = tmp_path / "results.wal"
+        with JournalWriter(path) as writer:
+            writer.append({"type": "cell", "row": 0})
+            writer.append({"type": "result", "key": "k", "response": RESPONSE})
+            writer.append({"type": "result", "key": 5, "response": RESPONSE})
+        journal = ResultJournal(path)
+        assert journal.recovered == 1
+        assert journal.get("k") == RESPONSE
+        journal.close()
+
+    def test_lru_eviction(self):
+        journal = ResultJournal(None, cache_limit=2)
+        journal.put("a", RESPONSE)
+        journal.put("b", RESPONSE)
+        assert journal.get("a") is not None  # refresh a
+        journal.put("c", RESPONSE)  # evicts b, the least recent
+        assert journal.get("b") is None
+        assert journal.get("a") is not None
+        assert journal.get("c") is not None
+
+    def test_unwritable_path_degrades_to_memory_only(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where a directory is needed")
+        journal = ResultJournal(blocker / "results.wal")
+        assert journal.degraded
+        assert not journal.snapshot()["durable"]
+        # memory-only service continues
+        journal.put("k", RESPONSE)
+        assert journal.get("k") == RESPONSE

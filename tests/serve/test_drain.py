@@ -1,0 +1,205 @@
+"""Graceful-drain tests: real daemon subprocess, real signals.
+
+The acceptance bar for shutdown: SIGTERM mid-load exits 0 and leaves a
+run directory the *offline CLI* resumes to the same verdicts — the
+daemon's journal is not a private format, it is the checkpoint stack's,
+and a drained daemon hands its unfinished work to ``repro-xml
+independence --resume`` bit for bit.  SIGINT follows the CLI's exit-code
+convention (130) with the same drain.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.persistence import JOURNAL_NAME, scan_journal
+
+FD_A = "(/orders, ((order/@id) -> order/customer/name))"
+FD_B = "(/orders, ((order/@id) -> order/item/sku))"
+UPDATE_A = "/orders/order/status"
+UPDATE_B = "/orders/order/customer/name"
+
+BOOT_TIMEOUT = 30.0
+EXIT_TIMEOUT = 30.0
+
+
+def _spawn_daemon(tmp_path, *extra):
+    env = dict(os.environ)
+    root = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--debug-hooks",
+            "--batch-window-ms", "0",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    ready = process.stdout.readline()
+    assert "repro-serve ready on http://" in ready, (
+        ready,
+        process.stderr.read() if process.poll() is not None else "",
+    )
+    port = int(ready.rsplit(":", 1)[1])
+    return process, port
+
+
+def _wait_exit(process) -> int:
+    try:
+        return process.wait(timeout=EXIT_TIMEOUT)
+    except subprocess.TimeoutExpired:  # pragma: no cover - hang = bug
+        process.kill()
+        pytest.fail("daemon did not exit after the signal")
+
+
+def _post(port, body, timeout=60.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("POST", "/v1/independence", json.dumps(body))
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestSigtermDrain:
+    def test_mid_load_drain_leaves_cli_resumable_run_dir(self, tmp_path):
+        """SIGTERM during a slow computation: exit 0, journaled cells,
+        and the offline CLI completes the run dir via --resume."""
+        process, port = _spawn_daemon(
+            tmp_path, "--drain-grace-ms", "300", "--watchdog-ms", "0"
+        )
+        outcome = {}
+
+        def client():
+            try:
+                outcome["result"] = _post(
+                    port,
+                    {
+                        "fds": [FD_A, FD_B],
+                        "updates": [UPDATE_A, UPDATE_B],
+                        "_debug": {"per_cell_delay_ms": 500},
+                    },
+                )
+            except (ConnectionError, OSError, http.client.HTTPException):
+                outcome["result"] = None  # the drain cut the socket; fine
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+
+        # wait until at least one cell verdict is durably journaled
+        runs_root = tmp_path / "ckpt" / "runs"
+        deadline = time.monotonic() + BOOT_TIMEOUT
+        run_dir = None
+        while time.monotonic() < deadline:
+            candidates = (
+                list(runs_root.iterdir()) if runs_root.exists() else []
+            )
+            for candidate in candidates:
+                journal = candidate / JOURNAL_NAME
+                if journal.exists():
+                    records, _, _ = scan_journal(journal)
+                    if any(r.get("type") == "cell" for r in records):
+                        run_dir = candidate
+                        break
+            if run_dir is not None:
+                break
+            time.sleep(0.05)
+        assert run_dir is not None, "no cell was journaled in time"
+
+        process.send_signal(signal.SIGTERM)
+        assert _wait_exit(process) == 0  # graceful: SIGTERM drains to 0
+        thread.join(timeout=10)
+
+        # the run dir is incomplete (the grace was shorter than the
+        # work) but internally consistent: manifest + journaled cells
+        assert (run_dir / "manifest.json").exists()
+        records, _, _ = scan_journal(run_dir / JOURNAL_NAME)
+        journaled = [r for r in records if r.get("type") == "cell"]
+        assert journaled, "drain lost the journaled cells"
+        assert not (run_dir / "complete.json").exists()
+
+        # the offline CLI finishes exactly this run dir
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[2] / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        cli = [
+            sys.executable, "-m", "repro.cli", "independence",
+            "--fd", FD_A, "--fd", FD_B,
+            "--update-xpath", UPDATE_A, "--update-xpath", UPDATE_B,
+            "--matrix",
+        ]
+        resumed = subprocess.run(
+            cli + ["--checkpoint-dir", str(run_dir), "--resume"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert resumed.returncode in (0, 2), resumed.stderr
+        assert (run_dir / "complete.json").exists()
+
+        # ... to the same verdicts an uninterrupted run produces
+        reference = subprocess.run(
+            cli, capture_output=True, text=True, env=env, timeout=120
+        )
+        def verdict_lines(stdout: str) -> list[str]:
+            # drop the trailing summary line: it reports wall time,
+            # which legitimately differs between runs
+            return [
+                line
+                for line in stdout.splitlines()
+                if "ms]" not in line
+            ]
+
+        assert verdict_lines(resumed.stdout) == verdict_lines(
+            reference.stdout
+        )
+        assert resumed.returncode == reference.returncode
+
+        # and the journaled-before-SIGTERM cells were restored, not
+        # recomputed: no duplicate (row, column) across the two runs
+        final_records, _, _ = scan_journal(run_dir / JOURNAL_NAME)
+        cells = [
+            (r["row"], r["column"])
+            for r in final_records
+            if r.get("type") == "cell"
+        ]
+        assert len(cells) == len(set(cells))
+
+    def test_idle_drain_is_clean_and_immediate(self, tmp_path):
+        process, port = _spawn_daemon(tmp_path)
+        # park a decided result in the journal first
+        status, payload = _post(
+            port, {"fds": [FD_A], "updates": [UPDATE_A]}
+        )
+        assert status == 200 and payload["verdict"] == "independent"
+        process.send_signal(signal.SIGTERM)
+        assert _wait_exit(process) == 0
+        assert "drained (clean)" in process.stderr.read()
+        # the result journal survived the drain
+        assert (tmp_path / "ckpt" / "results.wal").exists()
+
+
+class TestSigint:
+    def test_sigint_drains_but_exits_130(self, tmp_path):
+        process, _port = _spawn_daemon(tmp_path)
+        process.send_signal(signal.SIGINT)
+        assert _wait_exit(process) == 130
+        assert "drained" in process.stderr.read()

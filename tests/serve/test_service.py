@@ -1,0 +1,301 @@
+"""HTTP-level tests of the resident IC service's robustness paths.
+
+Each test boots the real service + HTTP frontend on an ephemeral port
+inside its own event loop and drives it over real sockets — the same
+code path production requests take, minus only the subprocess and the
+signals (covered by ``test_drain``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.breaker import CLOSED, OPEN
+from tests.serve.conftest import (
+    FD_ITEMS,
+    FD_ORDERS,
+    FD_TOTALS,
+    UPDATE_NAME,
+    UPDATE_STATUS,
+    body,
+    http_request,
+    post_independence,
+    running_service,
+)
+
+
+class TestBasicServing:
+    def test_computed_verdict_roundtrip(self):
+        async def scenario():
+            async with running_service() as (_service, port):
+                status, _, payload = await post_independence(port, body())
+                assert status == 200
+                assert payload["ok"] is True
+                assert payload["verdict"] == "independent"
+                assert payload["served"]["source"] == "computed"
+                matrix = payload["matrix"]
+                assert matrix["row_names"] == ["fd1"]
+                assert matrix["column_names"] == ["u1"]
+                assert matrix["verdicts"] == [["independent"]]
+                assert matrix["needs_revalidation"] == []
+
+        asyncio.run(scenario())
+
+    def test_dependent_update_needs_revalidation(self):
+        async def scenario():
+            async with running_service() as (_service, port):
+                status, _, payload = await post_independence(
+                    port, body(updates=[UPDATE_NAME])
+                )
+                assert status == 200
+                assert payload["verdict"] == "possibly-dependent"
+                assert payload["matrix"]["needs_revalidation"] == [
+                    ["fd1", "u1"]
+                ]
+
+        asyncio.run(scenario())
+
+    def test_repeat_request_is_served_from_cache(self):
+        async def scenario():
+            async with running_service() as (service, port):
+                _, _, first = await post_independence(port, body())
+                assert first["served"]["source"] == "computed"
+                _, _, second = await post_independence(port, body())
+                assert second["served"]["source"] == "cache"
+                assert second["verdict"] == first["verdict"]
+                assert service.stats()["counters"]["cache_hits"] == 1
+
+        asyncio.run(scenario())
+
+    def test_parse_error_is_400(self):
+        async def scenario():
+            async with running_service() as (_service, port):
+                status, _, payload = await post_independence(
+                    port, {"fds": ["not an fd"], "updates": [UPDATE_STATUS]}
+                )
+                assert status == 400
+                assert payload["ok"] is False
+
+        asyncio.run(scenario())
+
+    def test_http_protocol_errors(self):
+        async def scenario():
+            async with running_service() as (_service, port):
+                status, _, _ = await http_request(port, "GET", "/nowhere")
+                assert status == 404
+                status, headers, _ = await http_request(
+                    port, "GET", "/v1/independence"
+                )
+                assert status == 405
+                assert headers["allow"] == "POST"
+
+        asyncio.run(scenario())
+
+    def test_health_ready_metrics_stats(self):
+        async def scenario():
+            async with running_service() as (_service, port):
+                await post_independence(port, body())
+                status, _, health = await http_request(port, "GET", "/healthz")
+                assert status == 200 and health["ok"]
+                assert health["breaker"] == CLOSED
+                status, _, ready = await http_request(port, "GET", "/readyz")
+                assert status == 200 and ready["ready"]
+                status, _, metrics = await http_request(
+                    port, "GET", "/metrics"
+                )
+                assert status == 200
+                assert metrics["counters"]["serve.computed"] == 1
+                status, _, stats = await http_request(port, "GET", "/stats")
+                assert status == 200
+                assert stats["counters"]["computed"] == 1
+                assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"]
+
+        asyncio.run(scenario())
+
+
+class TestSingleFlightCoalescing:
+    def test_identical_concurrent_requests_compute_once(self):
+        async def scenario():
+            async with running_service(
+                debug_hooks=True, batch_window_ms=0.0
+            ) as (service, port):
+                slow = body(_debug={"per_cell_delay_ms": 150})
+                results = await asyncio.gather(
+                    *(post_independence(port, slow) for _ in range(5))
+                )
+                sources = sorted(
+                    payload["served"]["source"] for _, _, payload in results
+                )
+                assert all(status == 200 for status, _, _ in results)
+                assert sources.count("computed") == 1
+                assert sources.count("coalesced") == 4
+                counters = service.stats()["counters"]
+                assert counters["computed"] == 1
+                assert counters["coalesced"] == 4
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_sheds_429_never_5xx(self):
+        async def scenario():
+            async with running_service(
+                debug_hooks=True, batch_window_ms=0.0, queue_limit=1
+            ) as (service, port):
+                # distinct slow requests: no coalescing, queue_limit=1
+                updates = [UPDATE_STATUS, UPDATE_NAME, "/orders/order/total",
+                           "/orders/order/item", "/orders/order"]
+                requests = [
+                    body(updates=[u], _debug={"per_cell_delay_ms": 120})
+                    for u in updates
+                ]
+                results = await asyncio.gather(
+                    *(post_independence(port, r) for r in requests)
+                )
+                statuses = sorted(status for status, _, _ in results)
+                assert set(statuses) <= {200, 429}
+                assert 429 in statuses  # overload genuinely shed
+                assert 200 in statuses  # but admitted work was served
+                for status, headers, payload in results:
+                    if status == 429:
+                        assert int(headers["retry-after"]) >= 1
+                        assert payload["ok"] is False
+                assert service.stats()["counters"]["shed_429"] >= 1
+
+        asyncio.run(scenario())
+
+    def test_draining_returns_503(self):
+        async def scenario():
+            async with running_service() as (service, port):
+                service.draining = True
+                status, headers, payload = await post_independence(
+                    port, body()
+                )
+                assert status == 503
+                assert "retry-after" in headers
+                status, _, _ = await http_request(port, "GET", "/readyz")
+                assert status == 503
+                status, _, health = await http_request(port, "GET", "/healthz")
+                assert status == 200  # liveness stays green while draining
+                assert health["draining"]
+
+        asyncio.run(scenario())
+
+
+class TestMicroBatching:
+    def test_same_shape_requests_merge_and_slice_apart(self):
+        async def scenario():
+            async with running_service(
+                debug_hooks=True, batch_window_ms=250.0
+            ) as (service, port):
+                async def delayed(payload, delay):
+                    await asyncio.sleep(delay)
+                    return await post_independence(port, payload)
+
+                first = body(
+                    fds=[FD_ORDERS], _debug={"per_cell_delay_ms": 30}
+                )
+                second = body(fds=[FD_ITEMS, FD_TOTALS])
+                (s1, _, p1), (s2, _, p2) = await asyncio.gather(
+                    delayed(first, 0.0), delayed(second, 0.05)
+                )
+                assert s1 == 200 and s2 == 200
+                assert p1["served"]["batched"] == 2
+                assert p2["served"]["batched"] == 2
+                # each answer is sliced back to its own rows and names
+                assert p1["matrix"]["row_names"] == ["fd1"]
+                assert p2["matrix"]["row_names"] == ["fd1", "fd2"]
+                assert len(p2["matrix"]["verdicts"]) == 2
+                assert service.stats()["counters"]["batches"] == 1
+
+        asyncio.run(scenario())
+
+
+class TestWatchdog:
+    def test_expiry_degrades_soundly_to_unknown(self):
+        async def scenario():
+            async with running_service(
+                debug_hooks=True, batch_window_ms=0.0, watchdog_ms=150.0
+            ) as (service, port):
+                status, _, payload = await post_independence(
+                    port, body(_debug={"per_cell_delay_ms": 2_000})
+                )
+                assert status == 200  # degraded, not an error
+                assert payload["verdict"] == "unknown"
+                assert payload["served"]["source"] == "degraded"
+                assert payload["served"]["degraded_reason"] == "watchdog"
+                assert payload["matrix"]["needs_revalidation"] == [
+                    ["fd1", "u1"]
+                ]
+                assert service.stats()["counters"]["watchdog_timeouts"] == 1
+                # the watchdog counts as a breaker fault (wedged pool)
+                assert service.breaker.snapshot()["consecutive_faults"] >= 1
+
+        asyncio.run(scenario())
+
+
+class TestCircuitBreaker:
+    def test_trip_serial_fallback_and_halfopen_recovery(self):
+        async def scenario():
+            from repro.independence import pool
+
+            async with running_service(
+                debug_hooks=True,
+                batch_window_ms=0.0,
+                jobs=2,
+                breaker_threshold=2,
+                breaker_cooldown_ms=150.0,
+            ) as (service, port):
+                def faulty(updates, tag):
+                    return body(
+                        fds=[FD_ORDERS, FD_ITEMS],
+                        updates=updates,
+                        _debug={
+                            "fault": {
+                                "kind": "raise-deterministic",
+                                "flag_path": f"/tmp/unused-{tag}",
+                            },
+                            "force_parallel": True,
+                        },
+                    )
+
+                # two consecutive pool-faulting requests trip the breaker
+                status, _, _ = await post_independence(
+                    port, faulty([UPDATE_STATUS], "a")
+                )
+                assert status == 500
+                status, _, _ = await post_independence(
+                    port, faulty([UPDATE_NAME], "b")
+                )
+                assert status == 500
+                assert service.breaker.state == OPEN
+
+                # while open, even a faulting request succeeds: the
+                # breaker routes it serial and the serial path never
+                # touches the pool (where the fault is injected)
+                before = pool.pool_stats()["breaker_serial_chunks"]
+                status, _, payload = await post_independence(
+                    port, faulty(["/orders/order/total"], "c")
+                )
+                assert status == 200
+                assert payload["matrix"]["parallelism"] == 1
+                assert pool.pool_stats()["breaker_serial_chunks"] > before
+                assert service.breaker.snapshot()["serial_denials"] >= 1
+                assert service.stats()["counters"]["breaker_serial"] >= 1
+
+                # after the cooldown a clean request probes and closes
+                await asyncio.sleep(0.2)
+                status, _, payload = await post_independence(
+                    port,
+                    body(
+                        fds=[FD_ORDERS, FD_ITEMS],
+                        updates=["/orders/order/item/sku"],
+                        _debug={"force_parallel": True},
+                    ),
+                )
+                assert status == 200
+                assert payload["matrix"]["parallelism"] == 2
+                assert service.breaker.state == CLOSED
+                assert service.breaker.snapshot()["recoveries"] == 1
+
+        asyncio.run(scenario())
