@@ -1,0 +1,173 @@
+"""T15 — hardened corpus audit: throughput and fault-isolation overhead.
+
+The audit front end promises two things at once: adversarial documents
+in a corpus become findings instead of failures, and the *healthy*
+documents' verdicts are unaffected — bit-for-bit — by the poison
+sharing the run.  This bench measures what that promise costs:
+
+* **throughput** — documents/second over a healthy corpus of OPC-style
+  package manifests (schema + 2 FDs + exposure check per document),
+  swept over corpus sizes;
+* **poison overhead** — the same corpus with the full poisoned fixture
+  set mixed in: every poison kind must land as exactly one finding, the
+  run must complete unaborted, and the healthy documents' JSON reports
+  (modulo wall-clock) must equal the healthy-only run's;
+* **guard overhead** — healthy-corpus audit with ``ParseBudget``
+  guards on vs off (``parse_budget=None``), isolating the per-token
+  metering cost.
+
+The measured table is written machine-readably to ``BENCH_T15.json``
+(path overridable via the ``BENCH_T15_JSON`` environment variable).
+``BENCH_QUICK=1`` shrinks the sweep; every correctness assertion runs
+in both modes.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.audit import AuditOptions, audit_corpus
+from repro.limits import Budget, ParseBudget
+from repro.workload.packages import (
+    package_fds,
+    package_schema,
+    package_update_classes,
+    write_package_corpus,
+    write_poison_corpus,
+)
+
+from benchmarks.conftest import emit_table
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+#: corpus sizes swept (documents per corpus)
+SIZES = (8,) if QUICK else (8, 32, 128)
+#: parts per manifest (~2-3 KiB of XML each)
+PARTS = 12
+
+
+def _options(parse_budget=ParseBudget.default()):
+    updates = package_update_classes()
+    return AuditOptions(
+        schema=package_schema(),
+        fds=tuple(package_fds()),
+        update_classes=(
+            updates["size-refresh"],
+            updates["content-type-rewrite"],
+        ),
+        parse_budget=parse_budget,
+        budget=Budget(max_explored_states=100_000),
+    )
+
+
+def _canonical(report, paths):
+    """Healthy-document verdicts with wall-clock stripped."""
+    keep = set(paths)
+    return json.dumps(
+        [
+            {**doc.to_json_dict(), "elapsed_ms": 0}
+            for doc in report.documents
+            if doc.path in keep
+        ],
+        sort_keys=True,
+    )
+
+
+def _measure_corpus(documents, tmp_path):
+    healthy = write_package_corpus(
+        tmp_path / f"healthy-{documents}", documents=documents, parts=PARTS
+    )
+    poison = write_poison_corpus(tmp_path / f"poison-{documents}")
+
+    started = time.perf_counter()
+    clean_run = audit_corpus(list(healthy), _options())
+    clean_seconds = time.perf_counter() - started
+    assert clean_run.exit_code() in (0, 2)
+    assert not clean_run.aborted
+
+    started = time.perf_counter()
+    mixed_run = audit_corpus(
+        list(healthy) + sorted(poison.values()), _options()
+    )
+    mixed_seconds = time.perf_counter() - started
+    assert not mixed_run.aborted
+    # every poison file produced at least one finding on that file only
+    by_path = {doc.path: doc for doc in mixed_run.documents}
+    for path in poison.values():
+        assert by_path[path].findings, path
+
+    # the promise under load: poison in the run leaves healthy
+    # verdicts bit-for-bit unchanged
+    assert _canonical(mixed_run, healthy) == _canonical(clean_run, healthy)
+
+    started = time.perf_counter()
+    unguarded_run = audit_corpus(
+        list(healthy), _options(parse_budget=None)
+    )
+    unguarded_seconds = time.perf_counter() - started
+    assert _canonical(unguarded_run, healthy) == _canonical(
+        clean_run, healthy
+    )
+
+    return {
+        "documents": documents,
+        "poison_files": len(poison),
+        "healthy_ms": clean_seconds * 1000,
+        "docs_per_s": documents / clean_seconds,
+        "mixed_ms": mixed_seconds * 1000,
+        "poison_overhead_ms": (mixed_seconds - clean_seconds) * 1000,
+        "unguarded_ms": unguarded_seconds * 1000,
+        "guard_overhead_pct": (
+            (clean_seconds - unguarded_seconds) / unguarded_seconds * 100
+        ),
+        "healthy_verdicts_equal": True,
+    }
+
+
+def bench_t15_report(benchmark, tmp_path):
+    records = [_measure_corpus(size, tmp_path) for size in SIZES]
+
+    emit_table(
+        "T15: hardened corpus audit (schema + 2 FDs + exposure per doc)",
+        [
+            "docs",
+            "healthy (ms)",
+            "docs/s",
+            "mixed (ms)",
+            "poison overhead (ms)",
+            "guards overhead (%)",
+        ],
+        [
+            [
+                record["documents"],
+                f"{record['healthy_ms']:.1f}",
+                f"{record['docs_per_s']:.1f}",
+                f"{record['mixed_ms']:.1f}",
+                f"{record['poison_overhead_ms']:.1f}",
+                f"{record['guard_overhead_pct']:+.1f}",
+            ]
+            for record in records
+        ],
+    )
+
+    payload = {
+        "experiment": "T15",
+        "quick": QUICK,
+        "parts_per_manifest": PARTS,
+        "configs": records,
+    }
+    target = Path(
+        os.environ.get(
+            "BENCH_T15_JSON",
+            Path(__file__).resolve().parent.parent / "BENCH_T15.json",
+        )
+    )
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"# wrote {target}")
+
+    benchmark.pedantic(
+        lambda: _measure_corpus(4, tmp_path / "timed"),
+        rounds=1,
+        iterations=1,
+    )

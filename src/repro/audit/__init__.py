@@ -1,0 +1,38 @@
+"""Hardened corpus-audit front end (untrusted input, fault isolation).
+
+The subsystem behind ``repro-xml audit``: walk a corpus of arbitrary
+XML files, validate each against a schema, check FDs, flag exposure to
+non-independent update classes — with every parser guarded by a
+:class:`~repro.limits.ParseBudget` and every document inside its own
+fault boundary, so one hostile or broken file costs one finding, never
+the run.
+"""
+
+from repro.audit.findings import (
+    ALL_KINDS,
+    ERROR_KINDS,
+    NOTICE_KINDS,
+    WARNING_KINDS,
+    CorpusReport,
+    DocumentReport,
+    Finding,
+    severity_of,
+)
+from repro.audit.runner import AuditOptions, audit_corpus
+from repro.audit.walker import AUDIT_EXTENSIONS, CorpusWalk, discover_corpus
+
+__all__ = [
+    "ALL_KINDS",
+    "AUDIT_EXTENSIONS",
+    "AuditOptions",
+    "CorpusReport",
+    "CorpusWalk",
+    "DocumentReport",
+    "ERROR_KINDS",
+    "Finding",
+    "NOTICE_KINDS",
+    "WARNING_KINDS",
+    "audit_corpus",
+    "discover_corpus",
+    "severity_of",
+]

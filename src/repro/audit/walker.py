@@ -1,0 +1,144 @@
+"""Tolerant corpus discovery for audits.
+
+:func:`discover_corpus` turns a mixed list of files and directories
+into a deterministic, deduplicated list of documents to audit plus the
+notice/error findings the walk itself produced.  The walk *never*
+raises for a bad corpus member: unreadable directories become
+``io-error`` findings, symlink cycles become ``symlink-loop`` notices
+(each cycle reported once, then not followed again), files without an
+audit extension become ``skipped-file`` notices, and an explicitly
+named directory that yields nothing becomes an ``empty-input`` notice.
+Explicitly named files are always audited regardless of extension —
+the operator asked for them by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.audit.findings import (
+    EMPTY_INPUT,
+    IO_ERROR,
+    SKIPPED_FILE,
+    SYMLINK_LOOP,
+    Finding,
+)
+
+#: extensions a directory walk considers auditable
+AUDIT_EXTENSIONS = (".xml",)
+
+
+@dataclasses.dataclass
+class CorpusWalk:
+    """The outcome of corpus discovery."""
+
+    documents: list[str]
+    findings: list[Finding]
+
+
+def _identity(path: str) -> tuple[int, int] | None:
+    """The (device, inode) pair of a directory, for cycle detection."""
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_dev, stat.st_ino)
+
+
+def discover_corpus(
+    paths: list[str], recursive: bool = False
+) -> CorpusWalk:
+    """Resolve explicit paths and directory walks into a document list.
+
+    Directories are scanned one level deep unless ``recursive`` is
+    set.  The result is sorted and deduplicated so corpus order (and
+    therefore checkpoint row order) is stable across runs.
+    """
+    documents: list[str] = []
+    findings: list[Finding] = []
+    seen_documents: set[str] = set()
+    visited_dirs: set[tuple[int, int]] = set()
+
+    def add_document(path: str) -> None:
+        marker = os.path.normpath(path)
+        if marker not in seen_documents:
+            seen_documents.add(marker)
+            documents.append(marker)
+
+    def scan_directory(directory: str, descend: bool) -> int:
+        """Walk one directory (iteratively), returning documents found."""
+        found = 0
+        stack = [directory]
+        while stack:
+            current = stack.pop()
+            identity = _identity(current)
+            if identity is not None:
+                if identity in visited_dirs:
+                    findings.append(
+                        Finding.make(
+                            SYMLINK_LOOP,
+                            current,
+                            "directory already visited on this walk "
+                            "(symlink cycle); not descending again",
+                        )
+                    )
+                    continue
+                visited_dirs.add(identity)
+            try:
+                entries = sorted(os.scandir(current), key=lambda e: e.path)
+            except OSError as error:
+                findings.append(
+                    Finding.make(
+                        IO_ERROR,
+                        current,
+                        f"cannot scan directory: {error.strerror or error}",
+                    )
+                )
+                continue
+            for entry in entries:
+                try:
+                    is_dir = entry.is_dir()
+                except OSError:
+                    is_dir = False
+                if is_dir:
+                    if descend:
+                        stack.append(entry.path)
+                    continue
+                if entry.name.lower().endswith(AUDIT_EXTENSIONS):
+                    add_document(entry.path)
+                    found += 1
+                else:
+                    findings.append(
+                        Finding.make(
+                            SKIPPED_FILE,
+                            entry.path,
+                            "not an auditable extension "
+                            f"({', '.join(AUDIT_EXTENSIONS)}); skipped",
+                        )
+                    )
+        return found
+
+    for path in paths:
+        if os.path.isdir(path):
+            found = scan_directory(path, descend=recursive)
+            if found == 0:
+                findings.append(
+                    Finding.make(
+                        EMPTY_INPUT,
+                        path,
+                        "directory contains no auditable document",
+                    )
+                )
+        elif os.path.exists(path):
+            # explicitly named files are always audited
+            add_document(path)
+        else:
+            findings.append(
+                Finding.make(
+                    IO_ERROR, path, "no such file or directory"
+                )
+            )
+
+    documents.sort()
+    return CorpusWalk(documents=documents, findings=findings)

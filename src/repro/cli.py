@@ -46,6 +46,20 @@ Installed as ``repro-xml`` (see ``pyproject.toml``); also runnable as
 ``evaluate``
     Evaluate a positive CoreXPath expression on a document.
 
+``audit``
+    Audit a corpus of *untrusted* XML files (files or directories,
+    ``--recursive`` to walk): well-formedness, schema validity, FD
+    satisfaction, and exposure to non-independent update classes.
+    Every parser runs under untrusted-input guards (size, nesting
+    depth, token count, entity expansion — override per dimension or
+    ``--no-parse-guards``) and every document is fault-isolated: a
+    hostile or broken file yields structured findings on that document
+    only, never an exception or a lost run.  Exit codes: ``0`` clean,
+    ``2`` findings, ``3`` aborted at ``--max-errors``.  Findings go to
+    stdout and, with ``--json-out``, to a structured JSON report;
+    ``--checkpoint-dir``/``--resume`` make long corpus runs
+    crash-safe.
+
 Malformed input text — XML, FDs, XPath, schemas, regexes — is reported
 as a one-line ``parse error: ...`` diagnostic (position + snippet, no
 traceback) with exit code 2.
@@ -73,6 +87,10 @@ Examples::
     repro-xml checkpoints list ckpt
     repro-xml checkpoints clean ckpt --force
     repro-xml evaluate store.xml --xpath "//line/product"
+    repro-xml audit corpus/ --recursive --schema store.schema \\
+        --fd "(/orders, ((order/@id) -> order/customer/name))" \\
+        --update-xpath "/orders/order/status" \\
+        --max-errors 100 --json-out findings.json
 """
 
 from __future__ import annotations
@@ -286,6 +304,102 @@ def _run_independence(args: argparse.Namespace) -> int:
     if result.independent:
         return EXIT_INDEPENDENT
     return EXIT_POSSIBLY_DEPENDENT
+
+
+def _parse_budget_from_args(args: argparse.Namespace):
+    """The audit guards: ``ParseBudget.default()`` with per-dimension
+    overrides, or ``None`` under ``--no-parse-guards``."""
+    from repro.limits import ParseBudget
+
+    if args.no_parse_guards:
+        return None
+    default = ParseBudget.default()
+    return ParseBudget(
+        max_input_bytes=(
+            default.max_input_bytes
+            if args.max_input_bytes is None
+            else args.max_input_bytes
+        ),
+        max_depth=(
+            default.max_depth if args.max_depth is None else args.max_depth
+        ),
+        max_tokens=(
+            default.max_tokens if args.max_tokens is None else args.max_tokens
+        ),
+        max_entity_expansion=(
+            default.max_entity_expansion
+            if args.max_entity_expansion is None
+            else args.max_entity_expansion
+        ),
+    )
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    # same tracer-installation pattern as the independence subcommand
+    if args.trace_out:
+        from repro.obs.trace import JsonlSpanExporter, Tracer, install_tracer
+
+        tracer = Tracer(JsonlSpanExporter(args.trace_out))
+        previous = install_tracer(tracer)
+        try:
+            return _run_audit(args)
+        finally:
+            install_tracer(previous)
+            tracer.close()
+    return _run_audit(args)
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.audit import AuditOptions, audit_corpus
+
+    parse_budget = _parse_budget_from_args(args)
+    # FD/schema/XPath text is operator-supplied configuration, not
+    # corpus content — but it still goes through guarded parsers so a
+    # bad paste cannot blow the stack either
+    fds = [
+        translate_linear_fd(LinearFD.parse(text, name=f"fd{index + 1}"))
+        for index, text in enumerate(args.fd or [])
+    ]
+    update_classes = [
+        update_class_from_xpath(
+            parse_xpath(xpath, limits=parse_budget), name=f"u{index + 1}"
+        )
+        for index, xpath in enumerate(args.update_xpath or [])
+    ]
+    schema = None
+    if args.schema:
+        schema = Schema.parse_text(
+            Path(args.schema).read_text(), limits=parse_budget
+        )
+    options = AuditOptions(
+        schema=schema,
+        fds=tuple(fds),
+        update_classes=tuple(update_classes),
+        parse_budget=parse_budget,
+        budget=_budget_from_args(args),
+        recursive=args.recursive,
+        max_errors=args.max_errors,
+        max_violations=args.max_violations,
+        strategy=args.strategy,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    report = audit_corpus(args.paths, options)
+    print(report.describe())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2, sort_keys=True)
+        print(f"# findings written to {args.json_out}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.absorb_audit(report)
+        registry.absorb_caches()
+        _print_metrics(registry)
+    return report.exit_code()
 
 
 def _cmd_stream_check(args: argparse.Namespace) -> int:
@@ -581,6 +695,151 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--xpath", required=True)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
+    audit = commands.add_parser(
+        "audit",
+        help="audit a corpus of untrusted XML files: well-formedness, "
+        "schema validity, FD satisfaction, and exposure to "
+        "non-independent update classes — with per-document fault "
+        "isolation (exit 0 clean / 2 findings / 3 aborted at "
+        "--max-errors)",
+    )
+    audit.add_argument(
+        "paths",
+        nargs="+",
+        help="XML files and/or directories (directories are scanned "
+        "one level deep; see --recursive)",
+    )
+    audit.add_argument("--schema", help="schema file to validate against")
+    audit.add_argument(
+        "--fd",
+        action="append",
+        help="linear-syntax FD to check on every document; repeatable",
+    )
+    audit.add_argument(
+        "--update-xpath",
+        action="append",
+        help="update class (XPath) to test for exposure: documents "
+        "where a non-independent class applies are flagged; repeatable",
+    )
+    audit.add_argument(
+        "--recursive",
+        action="store_true",
+        help="walk directories recursively (symlink cycles are "
+        "detected and reported, not followed)",
+    )
+    audit.add_argument(
+        "--max-errors",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort (cleanly, with a partial summary and exit code 3) "
+        "once more than N error-severity findings accumulated",
+    )
+    audit.add_argument(
+        "--max-violations",
+        type=int,
+        default=5,
+        metavar="N",
+        help="cap on reported FD-violation witnesses and "
+        "schema-violation sites per document (default: 5)",
+    )
+    audit.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE.json",
+        help="also write the full structured findings report as JSON",
+    )
+    audit.add_argument(
+        "--strategy",
+        choices=["auto", "lazy", "eager"],
+        default="auto",
+        help="independence-analysis strategy (see the independence "
+        "subcommand)",
+    )
+    audit.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-document wall-clock budget for FD/exposure analysis; "
+        "exhaustion becomes a budget-exhausted finding on that "
+        "document only",
+    )
+    audit.add_argument(
+        "--max-explored",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-document cap on charged analysis work (pattern "
+        "mappings, explored states); exhaustion becomes a "
+        "budget-exhausted finding on that document only",
+    )
+    audit.add_argument(
+        "--max-input-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-file size guard (default: 8 MiB); larger files are "
+        "refused from a stat call alone",
+    )
+    audit.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="element/predicate/group nesting guard (default: 1000)",
+    )
+    audit.add_argument(
+        "--max-tokens",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scanner token guard per file (default: 2000000)",
+    )
+    audit.add_argument(
+        "--max-entity-expansion",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="entity-expansion guard as a multiple of the input size "
+        "(default: 4.0)",
+    )
+    audit.add_argument(
+        "--no-parse-guards",
+        action="store_true",
+        help="disable all untrusted-input guards (trusted corpora "
+        "only; the structural nesting rail stays)",
+    )
+    audit.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every finished document report into DIR "
+        "(crash-safe corpus run)",
+    )
+    audit.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore finished documents from --checkpoint-dir and "
+        "re-audit only the remainder (refused when the corpus or "
+        "configuration changed)",
+    )
+    audit.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="write a JSONL span trace (audit.corpus / audit.document "
+        "/ audit.independence spans); summarize with "
+        "scripts/trace_report.py",
+    )
+    audit.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print audit.* metrics (documents, findings by kind, "
+        "quarantined, per-document duration) to stderr",
+    )
+    audit.set_defaults(handler=_cmd_audit)
+
     stream = commands.add_parser(
         "stream-check",
         help="single-pass (bounded-memory) check of a linear-syntax FD",
@@ -724,6 +983,14 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # downstream closed the pipe (| head, a pager quit): stop
+        # writing, exit with the conventional SIGPIPE status — the
+        # interpreter must not flush the dead stream at shutdown
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":

@@ -72,6 +72,69 @@ class ParseError(ReproError):
         )
 
 
+class ParseLimitError(ParseError):
+    """Untrusted input exceeded a :class:`repro.limits.ParseBudget` cap.
+
+    The guard layer of the front-end parsers: hostile or pathological
+    input (multi-megabyte blobs, nesting bombs, entity floods, token
+    floods) must surface as a *structured* parse error — position,
+    snippet, the exceeded ``dimension`` and its ``limit`` — never as a
+    raw ``RecursionError``/``MemoryError`` from parser internals.  One
+    subclass per budget dimension, so callers can tell "the text is
+    malformed" (other :class:`ParseError` subclasses) apart from "the
+    text was refused for its size/shape" (this family) and audit front
+    ends can classify the finding.
+    """
+
+    #: which :class:`~repro.limits.ParseBudget` dimension was exceeded
+    dimension = "limit"
+
+    def __init__(
+        self,
+        message: str,
+        limit: float | int | None = None,
+        position: int | None = None,
+        snippet: str | None = None,
+    ) -> None:
+        self.limit = limit
+        super().__init__(message, position, snippet)
+
+    def with_snippet(self, source: str) -> "ParseLimitError":
+        if self.snippet is not None or self.position is None:
+            return self
+        return type(self)(
+            self.message,
+            self.limit,
+            self.position,
+            source_snippet(source, self.position),
+        )
+
+
+class InputSizeLimitError(ParseLimitError):
+    """The input text exceeds the budget's byte/character cap."""
+
+    dimension = "input-bytes"
+
+
+class DepthLimitError(ParseLimitError):
+    """Nesting exceeds the budget's depth cap (or the structural rail
+    that keeps recursive-descent parsers clear of ``RecursionError``)."""
+
+    dimension = "depth"
+
+
+class TokenLimitError(ParseLimitError):
+    """The input contains more tokens than the budget allows."""
+
+    dimension = "tokens"
+
+
+class EntityExpansionLimitError(ParseLimitError):
+    """Entity/character references expand past the budget's allowance."""
+
+    dimension = "entity-expansion"
+
+
 class XMLModelError(ReproError):
     """Violation of the tree-domain document model (Section 2.1)."""
 

@@ -23,6 +23,7 @@ from repro.xmlmodel.equality import value_key
 from repro.xmlmodel.tree import XMLDocument, XMLNode
 
 if TYPE_CHECKING:
+    from repro.limits import BudgetMeter
     from repro.pattern.matcher import PatternMatcher
 
 
@@ -98,6 +99,7 @@ def check_fd(
     document: XMLDocument,
     max_violations: int = 5,
     matcher: "PatternMatcher | None" = None,
+    meter: "BudgetMeter | None" = None,
 ) -> FDReport:
     """Check one FD, returning a report with violation witnesses.
 
@@ -105,6 +107,15 @@ def check_fd(
     ``fd.pattern`` over ``document`` reuses its warm match context;
     repeated checks over the same (edited-in-place) document then skip
     re-deriving facts for untouched regions.
+
+    ``meter`` makes the check interruptible for budgeted corpus audits:
+    every enumerated mapping charges one state and one (amortized
+    deadline-checking) tick against the shared
+    :class:`~repro.limits.BudgetMeter`, so a document with a
+    pathological number of pattern mappings raises
+    :class:`~repro.limits.BudgetExceeded` deterministically at the
+    state cap instead of stalling the corpus run.  ``meter=None`` (the
+    default) adds no per-mapping work at all.
     """
     memo: dict[int, tuple] = {}
     groups: dict[tuple, tuple[tuple | int, Mapping]] = {}
@@ -112,6 +123,9 @@ def check_fd(
     violations: list[Violation] = []
 
     for mapping in _fd_mappings(fd, document, matcher):
+        if meter is not None:
+            meter.charge_state()
+            meter.tick()
         mapping_count += 1
         context_node = mapping.images[fd.context]
         condition_keys = tuple(

@@ -34,7 +34,13 @@ from __future__ import annotations
 import dataclasses
 import time
 
-from repro.errors import ReproError
+from repro.errors import (
+    DepthLimitError,
+    EntityExpansionLimitError,
+    InputSizeLimitError,
+    ReproError,
+    TokenLimitError,
+)
 
 #: reasons a budget can be exhausted (``PartialStats.reason`` values)
 DEADLINE = "deadline"
@@ -170,6 +176,203 @@ class Budget:
                 else max(minimum_cap, int(self.max_explored_rules * fraction))
             ),
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class ParseBudget:
+    """Untrusted-input limits for the front-end parsers.
+
+    The analysis-side :class:`Budget` bounds how much *work* a verdict
+    may cost; this class bounds how much *input* a parser may accept —
+    the guard layer between arbitrary files (corpus audits, the
+    daemon's request bodies) and the recursive-descent front ends.
+    Every dimension may be ``None`` (unguarded):
+
+    ``max_input_bytes``
+        cap on the size of the text handed to a parser, checked before
+        scanning starts.  At the parser level it is measured in
+        characters of the decoded text (a lower bound on UTF-8 bytes);
+        the audit runner additionally enforces it on the raw file byte
+        size before decoding, so multi-gigabyte files are refused from
+        a ``stat`` call alone;
+    ``max_depth``
+        cap on nesting depth — open XML elements, parenthesized regex
+        groups, bracketed XPath predicates.  Independent of this
+        budget, the recursive-descent parsers keep a structural rail
+        (:data:`HARD_NESTING_LIMIT`) so a nesting bomb raises
+        :class:`~repro.errors.DepthLimitError` long before the
+        interpreter's ``RecursionError``;
+    ``max_tokens``
+        cap on scanner-level tokens (tags + attributes + text chunks
+        for XML, tokens for regexes, steps for XPath, rules for schema
+        text);
+    ``max_entity_expansion``
+        cap on the total characters produced by entity/character
+        -reference expansion, as a multiple of the input length.  The
+        XML dialect only expands the five predefined entities and
+        numeric character references — each shorter than its reference
+        — so any ratio >= 1 can never trip on legitimate documents
+        while still bounding reference floods and hardening any future
+        internal-entity support.
+
+    Violations raise the structured
+    :class:`~repro.errors.ParseLimitError` family (position + snippet,
+    one subclass per dimension) — never ``RecursionError`` or
+    ``MemoryError``.  ``limits=None`` at a parser keeps the historical
+    behaviour (plus the structural depth rail).
+    """
+
+    max_input_bytes: int | None = None
+    max_depth: int | None = None
+    max_tokens: int | None = None
+    max_entity_expansion: float | None = None
+
+    def __post_init__(self) -> None:
+        for field in ("max_input_bytes", "max_depth", "max_tokens"):
+            value = getattr(self, field)
+            if value is not None and value < 0:
+                raise ReproError(
+                    f"parse budget {field} must be >= 0, got {value!r}"
+                )
+        ratio = self.max_entity_expansion
+        if ratio is not None and ratio <= 0:
+            raise ReproError(
+                f"parse budget max_entity_expansion must be > 0, got {ratio!r}"
+            )
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no dimension is limited."""
+        return (
+            self.max_input_bytes is None
+            and self.max_depth is None
+            and self.max_tokens is None
+            and self.max_entity_expansion is None
+        )
+
+    @classmethod
+    def default(cls) -> "ParseBudget":
+        """The audit front end's defaults: generous for real documents,
+        fatal for bombs (8 MiB of text, depth 1000, 2M tokens, 4x
+        expansion)."""
+        return cls(
+            max_input_bytes=8 * 1024 * 1024,
+            max_depth=1000,
+            max_tokens=2_000_000,
+            max_entity_expansion=4.0,
+        )
+
+    def start_parse(self, source: str) -> "ParseMeter":
+        """A fresh meter for one parse of ``source``.
+
+        Checks the input-size cap immediately, so oversized text is
+        refused before any scanning happens.
+        """
+        meter = ParseMeter(self, len(source))
+        cap = self.max_input_bytes
+        if cap is not None and len(source) > cap:
+            raise InputSizeLimitError(
+                f"input is {len(source)} characters, limit is {cap}",
+                cap,
+                cap,
+            )
+        return meter
+
+
+#: structural nesting rail for the recursive-descent parsers (regex,
+#: XPath): beyond this depth a DepthLimitError is raised even with
+#: ``limits=None``, keeping adversarial nesting bombs clear of the
+#: interpreter's recursion limit (each nesting level costs several
+#: stack frames, so the rail sits well under limit/frames-per-level).
+#: The XML element parser is iterative and needs no rail.
+HARD_NESTING_LIMIT = 200
+
+
+class ParseMeter:
+    """Mutable consumption state of one started :class:`ParseBudget`.
+
+    One meter spans one parser invocation.  The methods are cheap
+    (counter bump + compare) and only called at token granularity, so
+    guarded parses stay within noise of unguarded ones.
+    """
+
+    __slots__ = ("budget", "tokens", "depth", "expanded", "_allowance")
+
+    def __init__(self, budget: ParseBudget, source_length: int) -> None:
+        self.budget = budget
+        self.tokens = 0
+        self.depth = 0
+        self.expanded = 0
+        ratio = budget.max_entity_expansion
+        self._allowance = (
+            None if ratio is None else max(16.0, ratio * max(1, source_length))
+        )
+
+    def token(self, position: int | None = None) -> None:
+        """Account one scanner-level token; raise at the cap."""
+        self.tokens += 1
+        cap = self.budget.max_tokens
+        if cap is not None and self.tokens > cap:
+            raise TokenLimitError(
+                f"input contains more than {cap} tokens", cap, position
+            )
+
+    def enter(self, position: int | None = None) -> None:
+        """Account one nesting level; raise at the cap."""
+        self.depth += 1
+        cap = self.budget.max_depth
+        if cap is not None and self.depth > cap:
+            raise DepthLimitError(
+                f"nesting exceeds depth limit {cap}", cap, position
+            )
+
+    def leave(self) -> None:
+        """Unwind one nesting level."""
+        if self.depth > 0:
+            self.depth -= 1
+
+    def expand(self, characters: int, position: int | None = None) -> None:
+        """Account entity-expansion output; raise past the allowance."""
+        if self._allowance is None:
+            return
+        self.expanded += characters
+        if self.expanded > self._allowance:
+            raise EntityExpansionLimitError(
+                f"entity expansion exceeds "
+                f"{self.budget.max_entity_expansion}x the input size",
+                self.budget.max_entity_expansion,
+                position,
+            )
+
+
+class _NoopParseMeter:
+    """Stands in when ``limits=None``: every guard is a no-op."""
+
+    __slots__ = ()
+
+    def token(self, position: int | None = None) -> None:
+        pass
+
+    def enter(self, position: int | None = None) -> None:
+        pass
+
+    def leave(self) -> None:
+        pass
+
+    def expand(self, characters: int, position: int | None = None) -> None:
+        pass
+
+
+NOOP_PARSE_METER = _NoopParseMeter()
+
+
+def start_parse_meter(
+    limits: ParseBudget | None, source: str
+) -> ParseMeter | _NoopParseMeter:
+    """The meter a parser should thread for ``limits`` (no-op for None)."""
+    if limits is None:
+        return NOOP_PARSE_METER
+    return limits.start_parse(source)
 
 
 class BudgetMeter:

@@ -253,6 +253,34 @@ class MetricsRegistry:
         if result.partial is not None:
             self.absorb_partial(result.partial)
 
+    def absorb_audit(self, report) -> None:
+        """Fold one :class:`~repro.audit.findings.CorpusReport` in.
+
+        Counters per finding kind (``audit.findings.<kind>``) plus the
+        run-shape counters (documents, restored, quarantined, aborted)
+        and a per-document duration histogram (restored documents are
+        excluded — their recorded durations belong to the original
+        run), so ``--metrics`` covers audit runs exactly like matrix
+        runs.
+        """
+        self.counter("audit.documents").inc(len(report.documents))
+        if report.restored_documents:
+            self.counter("audit.restored_documents").inc(
+                report.restored_documents
+            )
+        for kind, count in sorted(report.finding_counts().items()):
+            self.counter(f"audit.findings.{kind}").inc(count)
+        if report.quarantined:
+            self.counter("audit.quarantined").inc(len(report.quarantined))
+        if report.aborted:
+            self.counter("audit.aborted").inc()
+        for document in report.documents:
+            if not document.restored:
+                self.histogram("audit.document_ms").observe(
+                    document.elapsed_ms
+                )
+        self.gauge("audit.elapsed_ms").set(report.elapsed_seconds * 1000.0)
+
     def absorb_caches(self) -> None:
         """Mirror the process-wide regex/DFA cache counters as gauges.
 
@@ -357,6 +385,9 @@ class _NoopMetricsRegistry:
         pass
 
     def absorb_result(self, result) -> None:
+        pass
+
+    def absorb_audit(self, report) -> None:
         pass
 
     def absorb_caches(self) -> None:

@@ -22,7 +22,8 @@ Examples from the paper: ``candidate``, ``exam``, ``toBePassed``,
 
 from __future__ import annotations
 
-from repro.errors import RegexParseError
+from repro.errors import DepthLimitError, ParseError, RegexParseError
+from repro.limits import HARD_NESTING_LIMIT, ParseBudget, start_parse_meter
 from repro.regex.ast import (
     AnySymbol,
     Concat,
@@ -44,7 +45,14 @@ _LABEL_CHARS = (
 class _Tokens:
     """Token stream over the regex source text."""
 
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str, limits: ParseBudget | None = None) -> None:
+        meter = start_parse_meter(limits, source)
+        # structural rail: recursive descent must stay clear of the
+        # interpreter's recursion limit even with limits=None
+        self.depth_cap = HARD_NESTING_LIMIT
+        if limits is not None and limits.max_depth is not None:
+            self.depth_cap = min(self.depth_cap, limits.max_depth)
+        self.depth = 0
         self.tokens: list[tuple[str, str, int]] = []
         index = 0
         while index < len(source):
@@ -73,6 +81,7 @@ class _Tokens:
                 self.tokens.append(("label", source[start:index], start))
             else:
                 raise RegexParseError(f"unexpected character {char!r}", index)
+            meter.token(index)
         self.position = 0
 
     def peek(self) -> tuple[str, str, int] | None:
@@ -87,25 +96,43 @@ class _Tokens:
         self.position += 1
         return token
 
+    def enter_group(self, position: int) -> None:
+        self.depth += 1
+        if self.depth > self.depth_cap:
+            raise DepthLimitError(
+                f"expression nesting exceeds depth limit {self.depth_cap}",
+                self.depth_cap,
+                position,
+            )
 
-def parse_regex(source: str) -> Regex:
+    def leave_group(self) -> None:
+        self.depth -= 1
+
+
+def parse_regex(source: str, limits: ParseBudget | None = None) -> Regex:
     """Parse the concrete syntax into a :class:`Regex` tree.
 
     Malformed input always surfaces as :class:`RegexParseError` (a
     :class:`~repro.errors.ParseError` with position and snippet) —
     never a bare ``ValueError``/``IndexError``; the fuzz suite holds
-    the parser to this contract.
+    the parser to this contract.  ``limits`` guards against hostile
+    input (size, token and nesting caps raising the structured
+    :class:`~repro.errors.ParseLimitError` family); independent of it,
+    group nesting is railed at :data:`~repro.limits.HARD_NESTING_LIMIT`
+    so parenthesis bombs can never surface ``RecursionError``.
     """
     try:
-        tokens = _Tokens(source)
+        tokens = _Tokens(source, limits)
         expression = _parse_union(tokens)
         trailing = tokens.peek()
         if trailing is not None:
             raise RegexParseError(
                 f"unexpected token {trailing[1]!r}", trailing[2]
             )
-    except RegexParseError as error:
+    except ParseError as error:
         raise error.with_snippet(source) from None
+    except RecursionError:
+        raise RegexParseError("expression nesting too deep") from None
     except (ValueError, IndexError, OverflowError) as error:
         raise RegexParseError(f"malformed regex: {error}") from error
     return expression
@@ -169,9 +196,11 @@ def _parse_atom(tokens: _Tokens) -> Regex:
     if kind == "op" and value == "~":
         return AnySymbol()
     if kind == "op" and value == "(":
+        tokens.enter_group(position)
         inner = _parse_union(tokens)
         closing = tokens.next()
         if closing[1] != ")":
             raise RegexParseError("expected ')'", closing[2])
+        tokens.leave_group()
         return inner
     raise RegexParseError(f"unexpected token {value!r}", position)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.errors import ParseError, SchemaError, SchemaParseError
+from repro.limits import ParseBudget, start_parse_meter
 from repro.regex.ast import Regex
 from repro.regex.dfa import DFA, compile_regex
 from repro.regex.parser import parse_regex
@@ -53,17 +54,26 @@ class Schema:
 
     @classmethod
     def from_rules(
-        cls, document_element: str, rules: Mapping[str, str | Regex]
+        cls,
+        document_element: str,
+        rules: Mapping[str, str | Regex],
+        limits: ParseBudget | None = None,
     ) -> "Schema":
-        """Build from concrete-syntax content models."""
+        """Build from concrete-syntax content models.
+
+        ``limits`` guards each content-model parse against hostile
+        text (see :func:`repro.regex.parser.parse_regex`).
+        """
         parsed = {
-            label: parse_regex(model) if isinstance(model, str) else model
+            label: (
+                parse_regex(model, limits) if isinstance(model, str) else model
+            )
             for label, model in rules.items()
         }
         return cls(document_element, parsed)
 
     @classmethod
-    def parse_text(cls, text: str) -> "Schema":
+    def parse_text(cls, text: str, limits: ParseBudget | None = None) -> "Schema":
         """Parse the schema text format used by files and the CLI.
 
         One rule per line, ``label := content-model``; the document
@@ -74,7 +84,16 @@ class Schema:
             session   := candidate*
             candidate := @IDN level exam* (toBePassed | firstJob-Year)
             level     := #text
+
+        ``limits`` guards untrusted schema text: the overall size, the
+        rule count (one token per rule) and every content model's
+        tokens/nesting, raising the structured
+        :class:`~repro.errors.ParseLimitError` family.
         """
+        try:
+            meter = start_parse_meter(limits, text)
+        except ParseError as error:
+            raise error.with_snippet(text) from None
         document_element: str | None = None
         rules: dict[str, str] = {}
         offset = 0
@@ -84,6 +103,10 @@ class Schema:
             line = raw.strip()
             if line.startswith("#") or not line:
                 continue
+            try:
+                meter.token(line_offset)
+            except ParseError as error:
+                raise error.with_snippet(text) from None
             if line.startswith("!document"):
                 document_element = line[len("!document") :].strip()
                 continue
@@ -107,7 +130,7 @@ class Schema:
         if document_element is None:
             document_element = next(iter(rules))
         try:
-            return cls.from_rules(document_element, rules)
+            return cls.from_rules(document_element, rules, limits)
         except ParseError:
             raise  # regex parse errors already carry position + snippet
         except SchemaError as error:

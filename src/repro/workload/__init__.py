@@ -20,6 +20,16 @@ from repro.workload.library import (
     library_schema,
     library_update_classes,
 )
+from repro.workload.packages import (
+    generate_package,
+    package_fds,
+    package_linear_fds,
+    package_schema,
+    package_schema_text,
+    package_update_classes,
+    write_package_corpus,
+    write_poison_corpus,
+)
 from repro.workload.random_docs import random_document
 from repro.workload.random_patterns import (
     random_functional_dependency,
@@ -36,6 +46,14 @@ __all__ = [
     "library_fds",
     "library_schema",
     "library_update_classes",
+    "generate_package",
+    "package_fds",
+    "package_linear_fds",
+    "package_schema",
+    "package_schema_text",
+    "package_update_classes",
+    "write_package_corpus",
+    "write_poison_corpus",
     "random_document",
     "random_functional_dependency",
     "random_pattern",

@@ -1,0 +1,328 @@
+"""A corpus-audit domain: OPC-style package manifests.
+
+Office-document containers (OPC — the zip-of-parts format behind
+``.docx``/``.xlsx``) describe their contents in an XML manifest: a
+content-types section (a default content type per extension plus
+per-part overrides), a parts list, and per-part relationships.  This
+module ships a closed schema of that shape, its natural FDs, update
+classes, a deterministic healthy-corpus generator and — the reason it
+lives here — a *poisoned*-corpus generator producing the adversarial
+files the hardened audit front end exists for: nesting bombs, oversize
+blobs, entity floods, malformed and schema-invalid manifests, and a
+mapping-flood document that exhausts a per-document analysis budget.
+
+Constraints (:func:`package_fds`):
+
+* ``uri-key`` — within a package, ``@uri`` identifies the part;
+* ``uri-content-type`` — ``@uri`` determines the part's content type;
+* ``extension-default`` — an extension determines its default content
+  type.
+
+Update classes (:func:`package_update_classes`): size refreshes
+(independent of all three), content-type rewrites (dangerous for
+``uri-content-type``), and relationship-target rewrites.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.fd.fd import FunctionalDependency
+from repro.fd.keys import relative_key
+from repro.fd.linear import LinearFD, translate_linear_fd
+from repro.schema.dtd import Schema
+from repro.update.update_class import UpdateClass
+from repro.xmlmodel.builder import attr, doc, elem
+from repro.xmlmodel.serializer import serialize_document
+from repro.xmlmodel.tree import XMLDocument
+from repro.xpath.translate import update_class_from_xpath
+
+_EXTENSIONS = (
+    ("xml", "application/xml"),
+    ("png", "image/png"),
+    ("bin", "application/octet-stream"),
+    ("txt", "text/plain"),
+)
+
+_PART_TYPES = (
+    "application/document+xml",
+    "application/styles+xml",
+    "image/png",
+    "application/octet-stream",
+)
+
+_REL_TYPES = ("image", "style", "hyperlink", "footnote")
+
+
+def package_schema() -> Schema:
+    """The manifest schema (closed, deterministic content models)."""
+    return Schema.from_rules(
+        document_element="package",
+        rules={
+            "package": "@name contentTypes parts",
+            "contentTypes": "default default* override*",
+            "default": "@extension @contentType",
+            "override": "@partName @contentType",
+            "parts": "part*",
+            "part": "@uri @contentType @size relationship*",
+            "relationship": "@id @type @target",
+        },
+    )
+
+
+def package_fds() -> list[FunctionalDependency]:
+    """The manifest's constraint set (see the module docstring)."""
+    uri_key = relative_key(
+        "/package/parts", "part", ["@uri"], name="uri-key"
+    )
+    uri_content_type = translate_linear_fd(
+        LinearFD.build(
+            context="/package/parts",
+            conditions=["part/@uri"],
+            target="part/@contentType",
+            name="uri-content-type",
+        )
+    )
+    extension_default = translate_linear_fd(
+        LinearFD.build(
+            context="/package/contentTypes",
+            conditions=["default/@extension"],
+            target="default/@contentType",
+            name="extension-default",
+        )
+    )
+    return [uri_key, uri_content_type, extension_default]
+
+
+def package_update_classes() -> dict[str, UpdateClass]:
+    """Named update classes over manifests."""
+    return {
+        "size-refresh": update_class_from_xpath(
+            "/package/parts/part/@size", name="size-refresh"
+        ),
+        "content-type-rewrite": update_class_from_xpath(
+            "/package/parts/part/@contentType", name="content-type-rewrite"
+        ),
+        "relationship-retarget": update_class_from_xpath(
+            "/package/parts/part/relationship/@target",
+            name="relationship-retarget",
+        ),
+    }
+
+
+def generate_package(
+    parts: int,
+    seed: int = 0,
+    name: str = "pack",
+    violate_uri_key: int = 0,
+    violate_extension_default: int = 0,
+) -> XMLDocument:
+    """One schema-valid manifest with ``parts`` parts.
+
+    ``violate_uri_key`` duplicates that many part URIs with *differing*
+    content types (breaking both ``uri-key`` and ``uri-content-type``);
+    ``violate_extension_default`` adds that many conflicting default
+    declarations (breaking ``extension-default``).  Deterministic in
+    ``(parts, seed, ...)``.
+    """
+    rng = random.Random(seed)
+    defaults = [
+        elem(
+            "default",
+            attr("extension", extension),
+            attr("contentType", content_type),
+        )
+        for extension, content_type in _EXTENSIONS
+    ]
+    for index in range(violate_extension_default):
+        extension, _ = _EXTENSIONS[index % len(_EXTENSIONS)]
+        defaults.append(
+            elem(
+                "default",
+                attr("extension", extension),
+                attr("contentType", "application/conflicting"),
+            )
+        )
+    overrides = [
+        elem(
+            "override",
+            attr("partName", f"/special/{index}.bin"),
+            attr("contentType", rng.choice(_PART_TYPES)),
+        )
+        for index in range(min(3, parts))
+    ]
+    part_nodes = []
+    for index in range(parts):
+        relationships = [
+            elem(
+                "relationship",
+                attr("id", f"r{index}-{rel}"),
+                attr("type", rng.choice(_REL_TYPES)),
+                attr("target", f"/media/{rng.randrange(1000)}.png"),
+            )
+            for rel in range(rng.randrange(3))
+        ]
+        part_nodes.append(
+            elem(
+                "part",
+                attr("uri", f"/content/part{index}.xml"),
+                attr("contentType", rng.choice(_PART_TYPES)),
+                attr("size", str(rng.randrange(1, 1 << 20))),
+                *relationships,
+            )
+        )
+    for index in range(violate_uri_key):
+        part_nodes.append(
+            elem(
+                "part",
+                attr("uri", f"/content/part{index % max(1, parts)}.xml"),
+                attr("contentType", "application/duplicate"),
+                attr("size", "0"),
+            )
+        )
+    return doc(
+        elem(
+            "package",
+            attr("name", name),
+            elem("contentTypes", *defaults, *overrides),
+            elem("parts", *part_nodes),
+        )
+    )
+
+
+def package_schema_text() -> str:
+    """The schema in the CLI's file format (for ``--schema``)."""
+    return "\n".join(
+        [
+            "!document package",
+            "package := @name contentTypes parts",
+            "contentTypes := default default* override*",
+            "default := @extension @contentType",
+            "override := @partName @contentType",
+            "parts := part*",
+            "part := @uri @contentType @size relationship*",
+            "relationship := @id @type @target",
+            "",
+        ]
+    )
+
+
+def package_linear_fds() -> list[str]:
+    """The FD set in the CLI's linear syntax (for repeated ``--fd``)."""
+    return [
+        "(/package/parts, ((part/@uri) -> part/@contentType))",
+        "(/package/contentTypes, ((default/@extension) -> default/@contentType))",
+    ]
+
+
+# ----------------------------------------------------------------------
+# corpus writers (audit fixtures: CI smoke job, tests, bench)
+# ----------------------------------------------------------------------
+
+
+def write_package_corpus(
+    directory: str | os.PathLike,
+    documents: int = 8,
+    parts: int = 12,
+    seed: int = 0,
+    violations_every: int = 0,
+) -> list[str]:
+    """Write a healthy corpus of manifests; returns the file paths.
+
+    With ``violations_every=N > 0`` every N-th document carries FD
+    violations (still well-formed and schema-valid content-wise except
+    the duplicate parts) — *warning*-severity findings, useful for
+    exercising exit code 2 without any error-severity finding.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for index in range(documents):
+        violate = bool(violations_every) and index % violations_every == (
+            violations_every - 1
+        )
+        document = generate_package(
+            parts,
+            seed=seed + index,
+            name=f"pack{index}",
+            violate_uri_key=2 if violate else 0,
+        )
+        path = os.path.join(directory, f"package{index:03d}.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize_document(document, indent=1))
+        paths.append(path)
+    return paths
+
+
+def write_poison_corpus(
+    directory: str | os.PathLike,
+    oversized_bytes: int = 1 << 16,
+    bomb_depth: int = 4000,
+    entity_references: int = 4000,
+) -> dict[str, str]:
+    """Write the adversarial fixture set; returns ``{kind: path}``.
+
+    Each file trips exactly one audit defence (sizes are configurable
+    so tests stay fast with tightened guards):
+
+    * ``malformed`` — mismatched tags (``parse-error``);
+    * ``depth-bomb`` — nesting past any sane depth guard
+      (``budget-exhausted``, dimension ``depth``);
+    * ``oversized`` — a single huge attribute value
+      (``budget-exhausted``, dimension ``input-bytes``, under a
+      ``max_input_bytes`` below ``oversized_bytes``);
+    * ``entities`` — a reference flood (``budget-exhausted``,
+      dimension ``entity-expansion`` or ``tokens`` depending on which
+      guard is tighter);
+    * ``truncated-utf8`` — bytes cut mid multi-byte sequence
+      (``parse-error`` at the decode step);
+    * ``schema-invalid`` — well-formed, wrong shape
+      (``schema-violation``);
+    * ``budget-blower`` — schema-valid with a pathological number of
+      FD pattern mappings (``budget-exhausted`` under a small
+      ``max_explored`` analysis budget).
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: dict[str, str] = {}
+
+    def emit(kind: str, name: str, data: bytes) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        written[kind] = path
+
+    emit(
+        "malformed",
+        "malformed.xml",
+        b"<package name='p'><contentTypes></package>",
+    )
+    emit(
+        "depth-bomb",
+        "depth-bomb.xml",
+        b"<a>" * bomb_depth + b"</a>" * bomb_depth,
+    )
+    emit(
+        "oversized",
+        "oversized.xml",
+        b"<package name='" + b"x" * oversized_bytes + b"'/>",
+    )
+    emit(
+        "entities",
+        "entities.xml",
+        b"<p>" + b"&amp;" * entity_references + b"</p>",
+    )
+    emit("truncated-utf8", "truncated-utf8.xml", "<p>café</p>".encode()[:-2])
+    emit(
+        "schema-invalid",
+        "schema-invalid.xml",
+        b"<package name='p'><bogus/></package>",
+    )
+    # many parts sharing one uri under one context: the FD check must
+    # enumerate every mapping, so a small state cap trips deterministically
+    flood = generate_package(0, name="flood", violate_uri_key=64)
+    emit(
+        "budget-blower",
+        "budget-blower.xml",
+        serialize_document(flood, indent=1).encode(),
+    )
+    return written

@@ -13,7 +13,8 @@ leaves (Figure 1).
 
 from __future__ import annotations
 
-from repro.errors import XMLParseError, source_snippet
+from repro.errors import ParseError, XMLParseError, source_snippet
+from repro.limits import NOOP_PARSE_METER, ParseBudget, start_parse_meter
 from repro.xmlmodel.builder import attr, text
 from repro.xmlmodel.tree import XMLDocument, XMLNode
 
@@ -34,9 +35,10 @@ _NAME_CHARS = _NAME_START | set("0123456789.-")
 class _Scanner:
     """Cursor over the raw XML text with small lookahead helpers."""
 
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str, meter=NOOP_PARSE_METER) -> None:
         self.source = source
         self.pos = 0
+        self.meter = meter
 
     def at_end(self) -> bool:
         return self.pos >= len(self.source)
@@ -79,7 +81,7 @@ class _Scanner:
         return self.source[start : self.pos]
 
 
-def _decode_entities(raw: str, offset: int) -> str:
+def _decode_entities(raw: str, offset: int, meter=NOOP_PARSE_METER) -> str:
     """Replace ``&name;`` and ``&#N;`` references in character data."""
     if "&" not in raw:
         return raw
@@ -105,12 +107,14 @@ def _decode_entities(raw: str, offset: int) -> str:
                 else:
                     code = int(name[1:])
                 pieces.append(chr(code))
+                meter.expand(1, offset + index)
             except (ValueError, OverflowError):
                 raise XMLParseError(
                     f"invalid character reference &{name};", offset + index
                 ) from None
         elif name in _ENTITIES:
             pieces.append(_ENTITIES[name])
+            meter.expand(1, offset + index)
         else:
             raise XMLParseError(f"unknown entity {name!r}", offset + index)
         index = end + 1
@@ -137,6 +141,7 @@ def _parse_attributes(scanner: _Scanner, element: XMLNode) -> None:
         if scanner.at_end() or scanner.peek() in ">/":
             return
         name = scanner.read_name()
+        scanner.meter.token(scanner.pos)
         scanner.skip_whitespace()
         scanner.expect("=")
         scanner.skip_whitespace()
@@ -146,7 +151,9 @@ def _parse_attributes(scanner: _Scanner, element: XMLNode) -> None:
         scanner.advance()
         start = scanner.pos
         raw = scanner.read_until(quote)
-        element.append_child(attr(name, _decode_entities(raw, start)))
+        element.append_child(
+            attr(name, _decode_entities(raw, start, scanner.meter))
+        )
 
 
 def _read_open_tag(scanner: _Scanner) -> tuple[XMLNode, bool]:
@@ -156,6 +163,7 @@ def _read_open_tag(scanner: _Scanner) -> tuple[XMLNode, bool]:
     """
     scanner.expect("<")
     name = scanner.read_name()
+    scanner.meter.token(scanner.pos)
     element = XMLNode(name)
     _parse_attributes(scanner, element)
     scanner.skip_whitespace()
@@ -172,8 +180,11 @@ def _parse_element(scanner: _Scanner, keep_whitespace: bool) -> XMLNode:
     Iterative (explicit stack of open elements), so arbitrarily deep
     documents parse without hitting the interpreter recursion limit.
     """
+    meter = scanner.meter
+    meter.enter(scanner.pos)
     root, closed = _read_open_tag(scanner)
     if closed:
+        meter.leave()
         return root
     stack: list[XMLNode] = [root]
     buffers: list[list[str]] = [[]]
@@ -205,6 +216,7 @@ def _parse_element(scanner: _Scanner, keep_whitespace: bool) -> XMLNode:
             scanner.expect(">")
             stack.pop()
             buffers.pop()
+            meter.leave()
         elif scanner.startswith("<!--"):
             flush()
             scanner.advance(4)
@@ -218,31 +230,49 @@ def _parse_element(scanner: _Scanner, keep_whitespace: bool) -> XMLNode:
             scanner.read_until("?>")
         elif scanner.startswith("<"):
             flush()
+            meter.enter(scanner.pos)
             child, child_closed = _read_open_tag(scanner)
             stack[-1].append_child(child)
-            if not child_closed:
+            if child_closed:
+                meter.leave()
+            else:
                 stack.append(child)
                 buffers.append([])
         else:
             start = scanner.pos
             while not scanner.at_end() and scanner.peek() != "<":
                 scanner.advance()
+            meter.token(scanner.pos)
             buffers[-1].append(
-                _decode_entities(scanner.source[start : scanner.pos], start)
+                _decode_entities(
+                    scanner.source[start : scanner.pos], start, meter
+                )
             )
     return root
 
 
-def parse_fragment(source: str, keep_whitespace: bool = False) -> XMLNode:
+def parse_fragment(
+    source: str,
+    keep_whitespace: bool = False,
+    limits: ParseBudget | None = None,
+) -> XMLNode:
     """Parse a single element (with its subtree) from XML text.
 
     Malformed input always surfaces as :class:`XMLParseError` (a
     :class:`~repro.errors.ParseError` with position and snippet) —
     never a bare ``ValueError``/``IndexError`` from the scanner's
     internals.  The fuzz suite holds the parser to this contract.
+
+    ``limits`` guards the parse against hostile input: oversized text,
+    nesting bombs, token floods and entity-expansion floods raise the
+    structured :class:`~repro.errors.ParseLimitError` family instead of
+    exhausting memory.  ``limits=None`` (the default) parses exactly as
+    before — the element loop is iterative, so even unguarded parses
+    never hit ``RecursionError`` on deep documents.
     """
     scanner = _Scanner(source)
     try:
+        scanner.meter = start_parse_meter(limits, source)
         _skip_misc(scanner)
         if scanner.startswith("<!DOCTYPE"):
             raise XMLParseError(
@@ -254,7 +284,7 @@ def parse_fragment(source: str, keep_whitespace: bool = False) -> XMLNode:
             raise XMLParseError(
                 "trailing content after document element", scanner.pos
             )
-    except XMLParseError as error:
+    except ParseError as error:
         raise error.with_snippet(source) from None
     except (ValueError, IndexError, OverflowError) as error:
         # belt and braces: any scanner slip on adversarial input is
@@ -267,11 +297,18 @@ def parse_fragment(source: str, keep_whitespace: bool = False) -> XMLNode:
     return element
 
 
-def parse_document(source: str, keep_whitespace: bool = False) -> XMLDocument:
+def parse_document(
+    source: str,
+    keep_whitespace: bool = False,
+    limits: ParseBudget | None = None,
+) -> XMLDocument:
     """Parse XML text into a document rooted at the reserved ``'/'`` node.
 
     Whitespace-only text nodes are dropped unless ``keep_whitespace`` is
     set, matching the data-centric reading of the paper's documents.
+    ``limits`` guards against hostile input (see :func:`parse_fragment`).
     """
-    element = parse_fragment(source, keep_whitespace=keep_whitespace)
+    element = parse_fragment(
+        source, keep_whitespace=keep_whitespace, limits=limits
+    )
     return XMLDocument.from_document_element(element)

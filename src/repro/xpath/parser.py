@@ -14,7 +14,13 @@ exactly the positive, navigation-only fragment the paper refers to.
 
 from __future__ import annotations
 
-from repro.errors import XPathParseError, source_snippet
+from repro.errors import DepthLimitError, ParseError, XPathParseError, source_snippet
+from repro.limits import (
+    HARD_NESTING_LIMIT,
+    NOOP_PARSE_METER,
+    ParseBudget,
+    start_parse_meter,
+)
 from repro.xpath.ast import Axis, LocationPath, Step, WILDCARD_TEST
 
 _NAME_START = set(
@@ -26,9 +32,26 @@ _NAME_CHARS = set(
 
 
 class _Cursor:
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str, meter=NOOP_PARSE_METER) -> None:
         self.source = source
         self.pos = 0
+        self.meter = meter
+        # structural rail: predicate recursion must stay clear of the
+        # interpreter's recursion limit even with limits=None
+        self.depth_cap = HARD_NESTING_LIMIT
+        self.depth = 0
+
+    def enter_predicate(self, position: int) -> None:
+        self.depth += 1
+        if self.depth > self.depth_cap:
+            raise DepthLimitError(
+                f"predicate nesting exceeds depth limit {self.depth_cap}",
+                self.depth_cap,
+                position,
+            )
+
+    def leave_predicate(self) -> None:
+        self.depth -= 1
 
     def at_end(self) -> bool:
         return self.pos >= len(self.source)
@@ -55,22 +78,34 @@ class _Cursor:
         return self.source[start : self.pos]
 
 
-def parse_xpath(source: str) -> LocationPath:
+def parse_xpath(
+    source: str, limits: ParseBudget | None = None
+) -> LocationPath:
     """Parse an absolute or relative positive CoreXPath expression.
 
     Malformed input always surfaces as :class:`XPathParseError` (a
     :class:`~repro.errors.ParseError` with position and snippet) —
     never a bare ``ValueError``/``IndexError``; the fuzz suite holds
-    the parser to this contract.
+    the parser to this contract.  ``limits`` guards against hostile
+    input (size, step-token and nesting caps raising the structured
+    :class:`~repro.errors.ParseLimitError` family); independent of it,
+    predicate nesting is railed at
+    :data:`~repro.limits.HARD_NESTING_LIMIT` so bracket bombs can never
+    surface ``RecursionError``.
     """
     stripped = source.strip()
     cursor = _Cursor(stripped)
     try:
+        cursor.meter = start_parse_meter(limits, stripped)
+        if limits is not None and limits.max_depth is not None:
+            cursor.depth_cap = min(cursor.depth_cap, limits.max_depth)
         path = _parse_path(cursor, allow_relative=True)
         if not cursor.at_end():
             raise XPathParseError("unexpected trailing input", cursor.pos)
-    except XPathParseError as error:
+    except ParseError as error:
         raise error.with_snippet(stripped) from None
+    except RecursionError:
+        raise XPathParseError("predicate nesting too deep") from None
     except (ValueError, IndexError, OverflowError) as error:
         raise XPathParseError(
             f"malformed XPath: {error}",
@@ -110,12 +145,15 @@ def _parse_step(cursor: _Cursor, axis: Axis) -> Step:
         test = WILDCARD_TEST
     else:
         test = cursor.read_name()
+    cursor.meter.token(cursor.pos)
     predicates: list[LocationPath] = []
     while cursor.take("["):
+        cursor.enter_predicate(cursor.pos)
         inner = _parse_path(cursor, allow_relative=True)
         predicates.append(
             LocationPath(inner.steps, absolute=False)
         )
         if not cursor.take("]"):
             raise XPathParseError("unterminated predicate", cursor.pos)
+        cursor.leave_predicate()
     return Step(axis, test, tuple(predicates))

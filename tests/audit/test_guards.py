@@ -1,0 +1,200 @@
+"""The untrusted-input guard layer: ParseBudget across all four parsers.
+
+Includes the depth-10k regression pins: before the guard layer, deeply
+nested input could reach the interpreter's ``RecursionError`` inside
+the recursive-descent parsers; now every parser either handles it
+iteratively (XML) or refuses it structurally at the
+:data:`~repro.limits.HARD_NESTING_LIMIT` rail — with or without a
+budget.
+"""
+
+import pytest
+
+from repro.errors import (
+    DepthLimitError,
+    EntityExpansionLimitError,
+    InputSizeLimitError,
+    ParseError,
+    ParseLimitError,
+    TokenLimitError,
+)
+from repro.limits import HARD_NESTING_LIMIT, ParseBudget
+from repro.regex.parser import parse_regex
+from repro.schema.dtd import Schema
+from repro.xmlmodel.parser import parse_document, parse_fragment
+from repro.xpath.parser import parse_xpath
+
+DEPTH_10K = 10_000
+
+
+# ----------------------------------------------------------------------
+# the RecursionError regression pins (satellite: depth-10k, all parsers)
+# ----------------------------------------------------------------------
+
+
+class TestDepth10kNeverRecursionError:
+    def test_xml_depth_10k_parses_iteratively(self):
+        """The XML element parser is iterative: 10k levels just parse."""
+        document = parse_document("<a>" * DEPTH_10K + "</a>" * DEPTH_10K)
+        depth = 0
+        node = document.root.children[0]
+        while node.children:
+            node = node.children[0]
+            depth += 1
+        assert depth == DEPTH_10K - 1
+
+    def test_xml_depth_10k_under_budget_is_refused_structurally(self):
+        with pytest.raises(DepthLimitError):
+            parse_document(
+                "<a>" * DEPTH_10K + "</a>" * DEPTH_10K,
+                limits=ParseBudget(max_depth=1000),
+            )
+
+    def test_regex_depth_10k_is_refused_structurally(self):
+        with pytest.raises(DepthLimitError) as excinfo:
+            parse_regex("(" * DEPTH_10K + "a" + ")" * DEPTH_10K)
+        assert excinfo.value.limit == HARD_NESTING_LIMIT
+
+    def test_xpath_depth_10k_is_refused_structurally(self):
+        with pytest.raises(DepthLimitError) as excinfo:
+            parse_xpath("/a" + "[b" * DEPTH_10K + "]" * DEPTH_10K)
+        assert excinfo.value.limit == HARD_NESTING_LIMIT
+
+    def test_schema_depth_10k_is_refused_structurally(self):
+        """Schema content models route through the regex rail."""
+        with pytest.raises(DepthLimitError):
+            Schema.parse_text(
+                "a := " + "(" * DEPTH_10K + "b" + ")" * DEPTH_10K
+            )
+
+    def test_rail_leaves_legitimate_nesting_alone(self):
+        parse_regex("(" * 150 + "a" + ")" * 150)
+        parse_xpath("/a" + "[b" * 150 + "]" * 150)
+
+
+# ----------------------------------------------------------------------
+# per-dimension guards
+# ----------------------------------------------------------------------
+
+
+class TestInputSizeGuard:
+    def test_oversized_input_is_refused_before_scanning(self):
+        with pytest.raises(InputSizeLimitError) as excinfo:
+            parse_document("<a/>" * 1000, limits=ParseBudget(max_input_bytes=100))
+        assert excinfo.value.dimension == "input-bytes"
+        assert excinfo.value.limit == 100
+
+    def test_size_guard_applies_to_every_parser(self):
+        limits = ParseBudget(max_input_bytes=8)
+        for parse, source in [
+            (parse_document, "<aaaa></aaaa>"),
+            (parse_regex, "a b c d e f"),
+            (parse_xpath, "/a/b/c/d/e"),
+            (Schema.parse_text, "a := #text\nb := #text"),
+        ]:
+            with pytest.raises(InputSizeLimitError):
+                parse(source, limits=limits)
+
+    def test_input_under_the_cap_parses(self):
+        parse_document("<a/>", limits=ParseBudget(max_input_bytes=100))
+
+
+class TestDepthGuard:
+    def test_budget_depth_tighter_than_rail_wins(self):
+        with pytest.raises(DepthLimitError) as excinfo:
+            parse_regex("(" * 50 + "a" + ")" * 50, limits=ParseBudget(max_depth=10))
+        assert excinfo.value.limit == 10
+
+    def test_xml_budget_depth(self):
+        with pytest.raises(DepthLimitError):
+            parse_document("<a>" * 20 + "</a>" * 20, limits=ParseBudget(max_depth=5))
+        parse_document("<a>" * 5 + "</a>" * 5, limits=ParseBudget(max_depth=5))
+
+
+class TestTokenGuard:
+    def test_xml_token_flood_is_refused(self):
+        source = "<a " + " ".join(f'x{i}="v"' for i in range(1000)) + "/>"
+        with pytest.raises(TokenLimitError):
+            parse_document(source, limits=ParseBudget(max_tokens=100))
+
+    def test_regex_token_flood_is_refused(self):
+        with pytest.raises(TokenLimitError):
+            parse_regex("a " * 1000, limits=ParseBudget(max_tokens=100))
+
+    def test_xpath_step_flood_is_refused(self):
+        with pytest.raises(TokenLimitError):
+            parse_xpath("/" + "/".join(["s"] * 1000), limits=ParseBudget(max_tokens=100))
+
+    def test_schema_rule_flood_is_refused(self):
+        text = "\n".join(f"e{i} := #text" for i in range(1000))
+        with pytest.raises(TokenLimitError):
+            Schema.parse_text(text, limits=ParseBudget(max_tokens=100))
+
+
+class TestEntityExpansionGuard:
+    def test_reference_flood_is_refused(self):
+        # tiny ratio so the flood trips the allowance despite each
+        # reference expanding to a single character
+        source = "<a>" + "&amp;" * 5000 + "</a>"
+        with pytest.raises(EntityExpansionLimitError):
+            parse_document(source, limits=ParseBudget(max_entity_expansion=0.01))
+
+    def test_ratio_at_least_one_never_trips_legitimate_documents(self):
+        source = "<a>x &amp; y &#65; &quot;q&quot;</a>"
+        document = parse_document(source, limits=ParseBudget(max_entity_expansion=1.0))
+        assert 'x & y A "q"' in document.root.children[0].children[0].value
+
+
+# ----------------------------------------------------------------------
+# cross-cutting contracts
+# ----------------------------------------------------------------------
+
+
+class TestGuardContracts:
+    def test_limit_errors_are_parse_errors_with_position_and_snippet(self):
+        """The CLI boundary and the audit classifier both rely on the
+        family being ParseError (one-line rendering) and carrying the
+        exceeded dimension."""
+        with pytest.raises(ParseError) as excinfo:
+            parse_document(
+                "<a>" * 50 + "</a>" * 50, limits=ParseBudget(max_depth=10)
+            )
+        error = excinfo.value
+        assert isinstance(error, ParseLimitError)
+        assert error.dimension == "depth"
+        assert error.position is not None
+        assert error.snippet is not None
+
+    def test_none_limits_change_nothing(self):
+        """limits=None takes the historical path: same tree either way."""
+        source = '<r a="1"><x>t &amp; u</x><y/></r>'
+        from repro.xmlmodel.serializer import serialize_document
+
+        bare = serialize_document(parse_document(source))
+        guarded = serialize_document(
+            parse_document(source, limits=ParseBudget.default())
+        )
+        assert bare == guarded
+
+    def test_default_budget_accepts_realistic_documents(self):
+        from repro.workload.packages import generate_package
+        from repro.xmlmodel.serializer import serialize_document
+
+        text = serialize_document(generate_package(50, seed=3), indent=1)
+        parse_document(text, limits=ParseBudget.default())
+
+    def test_fragment_entry_point_is_guarded_too(self):
+        with pytest.raises(DepthLimitError):
+            parse_fragment(
+                "<a>" * 30 + "</a>" * 30, limits=ParseBudget(max_depth=10)
+            )
+
+    def test_parse_budget_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ParseBudget(max_depth=-1)
+        with pytest.raises(ReproError):
+            ParseBudget(max_entity_expansion=0)
+        assert ParseBudget().unbounded
+        assert not ParseBudget.default().unbounded

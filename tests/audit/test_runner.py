@@ -1,0 +1,295 @@
+"""The corpus runner: per-document fault isolation end to end.
+
+The acceptance criterion of the audit front end is pinned here:
+auditing a poisoned corpus completes with structured per-document
+findings, and the healthy documents' verdicts are **bit-for-bit
+identical** to auditing the healthy documents alone.
+"""
+
+import json
+
+import pytest
+
+import repro.audit.runner as runner_module
+from repro.audit import AuditOptions, audit_corpus
+from repro.audit.findings import (
+    BUDGET_EXHAUSTED,
+    DEPENDENT_UPDATE,
+    FD_VIOLATION,
+    INTERNAL_ERROR,
+    PARSE_ERROR,
+    SCHEMA_VIOLATION,
+)
+from repro.errors import ResumeMismatchError
+from repro.limits import Budget, ParseBudget
+from repro.workload.packages import (
+    package_fds,
+    package_schema,
+    package_update_classes,
+    write_package_corpus,
+    write_poison_corpus,
+)
+
+#: guards tight enough that every poison fixture trips while every
+#: healthy fixture passes
+TIGHT_GUARDS = ParseBudget(
+    max_input_bytes=1 << 16,
+    max_depth=200,
+    max_tokens=50_000,
+    max_entity_expansion=0.05,
+)
+
+
+def _options(**overrides) -> AuditOptions:
+    base = dict(
+        schema=package_schema(),
+        fds=tuple(package_fds()[1:2]),  # uri-content-type
+        update_classes=(package_update_classes()["content-type-rewrite"],),
+        parse_budget=TIGHT_GUARDS,
+        # the poison flood charges 64 mapping-states; healthy 4-part
+        # manifests stay well under this
+        budget=Budget(max_explored_states=64),
+    )
+    base.update(overrides)
+    return AuditOptions(**base)
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    healthy = write_package_corpus(tmp_path / "healthy", documents=3, parts=4)
+    poison = write_poison_corpus(
+        tmp_path / "poison",
+        oversized_bytes=1 << 17,
+        bomb_depth=1000,
+        entity_references=5000,
+    )
+    return healthy, poison
+
+
+def _kinds_by_path(report):
+    return {
+        doc.path: sorted(f.kind for f in doc.findings)
+        for doc in report.documents
+    }
+
+
+class TestFaultIsolation:
+    def test_poisoned_corpus_completes_with_per_document_findings(
+        self, corpus
+    ):
+        healthy, poison = corpus
+        report = audit_corpus(
+            healthy + sorted(poison.values()), _options()
+        )
+        kinds = _kinds_by_path(report)
+        assert kinds[poison["malformed"]] == [PARSE_ERROR]
+        assert kinds[poison["depth-bomb"]] == [BUDGET_EXHAUSTED]
+        assert kinds[poison["oversized"]] == [BUDGET_EXHAUSTED]
+        assert kinds[poison["entities"]] == [BUDGET_EXHAUSTED]
+        assert kinds[poison["truncated-utf8"]] == [PARSE_ERROR]
+        assert SCHEMA_VIOLATION in kinds[poison["schema-invalid"]]
+        assert BUDGET_EXHAUSTED in kinds[poison["budget-blower"]]
+        # the healthy documents were fully analyzed regardless
+        for path in healthy:
+            assert report.documents[
+                [d.path for d in report.documents].index(path)
+            ].status in ("ok", "flagged")
+        assert not report.aborted
+        assert report.exit_code() == 2
+
+    def test_healthy_verdicts_bit_for_bit_identical(self, corpus):
+        """THE acceptance criterion."""
+        healthy, poison = corpus
+        mixed = audit_corpus(healthy + sorted(poison.values()), _options())
+        alone = audit_corpus(list(healthy), _options())
+
+        def canonical(report, paths):
+            documents = []
+            for doc in report.documents:
+                if doc.path in paths:
+                    rendered = doc.to_json_dict()
+                    rendered.pop("elapsed_ms")  # wall-clock, not verdict
+                    documents.append(rendered)
+            return json.dumps(documents, sort_keys=True)
+
+        assert canonical(mixed, set(healthy)) == canonical(
+            alone, set(healthy)
+        )
+
+    def test_oversized_is_refused_from_stat_alone(self, corpus, monkeypatch):
+        """The byte-size guard must not read the file."""
+        healthy, poison = corpus
+        real_open = open
+
+        def guarded_open(path, *args, **kwargs):
+            if str(path) == poison["oversized"]:
+                raise AssertionError("oversized file was opened")
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", guarded_open)
+        report = audit_corpus([poison["oversized"]], _options())
+        assert _kinds_by_path(report)[poison["oversized"]] == [
+            BUDGET_EXHAUSTED
+        ]
+
+    def test_internal_error_is_contained_and_quarantined(
+        self, corpus, monkeypatch
+    ):
+        healthy, poison = corpus
+        victim = healthy[1]
+        real = runner_module._schema_findings
+
+        def exploding(path, schema, document, cap):
+            if path == victim:
+                raise RuntimeError("synthetic analyzer crash")
+            return real(path, schema, document, cap)
+
+        monkeypatch.setattr(runner_module, "_schema_findings", exploding)
+        report = audit_corpus(list(healthy), _options())
+        kinds = _kinds_by_path(report)
+        assert kinds[victim] == [INTERNAL_ERROR]
+        assert report.quarantined == [victim]
+        for path in healthy:
+            if path != victim:
+                assert INTERNAL_ERROR not in kinds[path]
+
+    def test_fd_and_exposure_findings(self, tmp_path):
+        flagged = write_package_corpus(
+            tmp_path, documents=2, parts=4, violations_every=1
+        )
+        report = audit_corpus(list(flagged), _options())
+        kinds = {k for doc in report.documents for k in _kinds_by_path(report)[doc.path]}
+        all_kinds = {
+            f.kind for f in report.iter_findings()
+        }
+        assert FD_VIOLATION in all_kinds
+        assert DEPENDENT_UPDATE in all_kinds
+        assert report.exit_code() == 2
+        assert kinds  # corpus non-empty
+
+    def test_clean_corpus_exits_zero(self, tmp_path):
+        healthy = write_package_corpus(tmp_path, documents=2, parts=3)
+        options = _options(update_classes=())
+        report = audit_corpus(list(healthy), options)
+        assert report.clean
+        assert report.exit_code() == 0
+        assert all(doc.status == "ok" for doc in report.documents)
+        assert all(doc.schema_valid for doc in report.documents)
+
+
+class TestMaxErrors:
+    def test_cap_aborts_cleanly_with_partial_summary(self, corpus):
+        healthy, poison = corpus
+        report = audit_corpus(
+            sorted(poison.values()) + list(healthy),
+            _options(max_errors=1),
+        )
+        assert report.aborted
+        assert report.exit_code() == 3
+        # partial: some documents audited, not all
+        assert 0 < len(report.documents) < len(poison) + len(healthy)
+        # what was audited is fully reported
+        assert all(doc.findings is not None for doc in report.documents)
+
+    def test_cap_not_reached_reports_normally(self, corpus):
+        healthy, _ = corpus
+        report = audit_corpus(list(healthy), _options(max_errors=5))
+        assert not report.aborted
+
+    def test_notices_and_warnings_do_not_count_against_the_cap(
+        self, tmp_path
+    ):
+        flagged = write_package_corpus(
+            tmp_path, documents=3, parts=3, violations_every=1
+        )
+        (tmp_path / "extra.txt").write_text("skip me")
+        report = audit_corpus([str(tmp_path)], _options(max_errors=0))
+        assert not report.aborted
+        assert report.exit_code() == 2  # warnings still surface
+
+
+class TestCheckpointResume:
+    def test_resume_restores_deterministic_documents(self, corpus, tmp_path):
+        healthy, poison = corpus
+        paths = list(healthy) + [poison["malformed"], poison["depth-bomb"]]
+        ck = str(tmp_path / "ck")
+        first = audit_corpus(paths, _options(checkpoint_dir=ck))
+        second = audit_corpus(
+            paths, _options(checkpoint_dir=ck, resume=True)
+        )
+        # healthy + malformed restore; the budget-exhausted bomb re-audits
+        assert second.restored_documents == len(healthy) + 1
+        assert json.dumps(
+            [
+                {**d.to_json_dict(), "elapsed_ms": 0}
+                for d in first.documents
+            ],
+            sort_keys=True,
+        ) == json.dumps(
+            [
+                {**d.to_json_dict(), "elapsed_ms": 0}
+                for d in second.documents
+            ],
+            sort_keys=True,
+        )
+
+    def test_resume_refuses_changed_corpus(self, corpus, tmp_path):
+        healthy, _ = corpus
+        ck = str(tmp_path / "ck")
+        audit_corpus(list(healthy), _options(checkpoint_dir=ck))
+        with open(healthy[0], "a", encoding="utf-8") as handle:
+            handle.write("\n")
+        with pytest.raises(ResumeMismatchError):
+            audit_corpus(
+                list(healthy), _options(checkpoint_dir=ck, resume=True)
+            )
+
+    def test_resume_refuses_changed_configuration(self, corpus, tmp_path):
+        healthy, _ = corpus
+        ck = str(tmp_path / "ck")
+        audit_corpus(list(healthy), _options(checkpoint_dir=ck))
+        with pytest.raises(ResumeMismatchError):
+            audit_corpus(
+                list(healthy),
+                _options(checkpoint_dir=ck, resume=True, max_violations=1),
+            )
+
+    def test_aborted_run_resumes_into_the_remainder(self, corpus, tmp_path):
+        healthy, poison = corpus
+        paths = sorted(poison.values()) + list(healthy)
+        ck = str(tmp_path / "ck")
+        partial = audit_corpus(
+            paths, _options(checkpoint_dir=ck, max_errors=1)
+        )
+        assert partial.aborted
+        finished = audit_corpus(
+            paths, _options(checkpoint_dir=ck, resume=True)
+        )
+        assert not finished.aborted
+        assert len(finished.documents) == len(paths)
+
+
+class TestReportShape:
+    def test_json_round_trip(self, corpus):
+        healthy, poison = corpus
+        report = audit_corpus(
+            list(healthy) + [poison["malformed"]], _options()
+        )
+        rendered = json.loads(json.dumps(report.to_json_dict()))
+        assert rendered["summary"]["documents"] == len(healthy) + 1
+        assert rendered["summary"]["exit_code"] == report.exit_code()
+        kinds = rendered["summary"]["finding_counts"]
+        assert kinds.get("parse-error") == 1
+
+    def test_describe_lists_every_finding(self, corpus):
+        healthy, poison = corpus
+        report = audit_corpus([poison["malformed"]], _options())
+        text = report.describe()
+        assert "parse-error" in text
+        assert poison["malformed"] in text
+
+    def test_independence_summary_present_when_updates_given(self, corpus):
+        healthy, _ = corpus
+        report = audit_corpus(list(healthy), _options())
+        assert report.independence is not None
+        assert "risky pair" in report.independence["summary"]

@@ -1,0 +1,158 @@
+"""Corpus discovery: the walk never aborts, everything becomes a finding.
+
+Satellite coverage: unreadable files/directories, symlink cycles,
+empty directories, non-XML extensions, mixed-encoding (binary) files —
+each produces exactly one structured finding and the walk continues.
+"""
+
+import os
+
+import pytest
+
+from repro.audit import discover_corpus
+from repro.audit.findings import (
+    EMPTY_INPUT,
+    IO_ERROR,
+    SKIPPED_FILE,
+    SYMLINK_LOOP,
+)
+
+
+def _write(path, text="<a/>"):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return str(path)
+
+
+def _kinds(walk):
+    return sorted(finding.kind for finding in walk.findings)
+
+
+class TestDiscovery:
+    def test_explicit_files_and_directory_scan(self, tmp_path):
+        one = _write(tmp_path / "one.xml")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        two = _write(sub / "two.xml")
+        walk = discover_corpus([one, str(sub)])
+        assert walk.documents == sorted([one, two])
+        assert walk.findings == []
+
+    def test_deterministic_order_and_dedup(self, tmp_path):
+        b = _write(tmp_path / "b.xml")
+        a = _write(tmp_path / "a.xml")
+        walk = discover_corpus([b, a, str(tmp_path), a])
+        assert walk.documents == [a, b]
+
+    def test_non_recursive_scans_one_level(self, tmp_path):
+        _write(tmp_path / "top.xml")
+        nested = tmp_path / "deep"
+        nested.mkdir()
+        _write(nested / "below.xml")
+        shallow = discover_corpus([str(tmp_path)])
+        deep = discover_corpus([str(tmp_path)], recursive=True)
+        assert len(shallow.documents) == 1
+        assert len(deep.documents) == 2
+
+    def test_explicit_file_ignores_extension_filter(self, tmp_path):
+        odd = _write(tmp_path / "manifest.dat")
+        walk = discover_corpus([odd])
+        assert walk.documents == [odd]
+        assert walk.findings == []
+
+
+class TestToleratedTrouble:
+    def test_missing_path_is_an_io_error_finding(self, tmp_path):
+        present = _write(tmp_path / "here.xml")
+        walk = discover_corpus(
+            [str(tmp_path / "gone.xml"), present]
+        )
+        assert walk.documents == [present]
+        assert _kinds(walk) == [IO_ERROR]
+
+    def test_non_xml_extension_is_a_skipped_file_notice(self, tmp_path):
+        _write(tmp_path / "doc.xml")
+        _write(tmp_path / "notes.txt", "plain")
+        walk = discover_corpus([str(tmp_path)])
+        assert len(walk.documents) == 1
+        (finding,) = walk.findings
+        assert finding.kind == SKIPPED_FILE
+        assert finding.severity == "notice"
+        assert finding.path.endswith("notes.txt")
+
+    def test_binary_mixed_encoding_file_is_still_discovered(self, tmp_path):
+        """Discovery is by name only — undecodable bytes surface later
+        as one parse-error finding from the runner, not a walk abort."""
+        path = tmp_path / "binary.xml"
+        path.write_bytes(b"\xff\xfe<a/>\xc3")
+        walk = discover_corpus([str(tmp_path)])
+        assert walk.documents == [str(path)]
+
+    def test_empty_directory_is_an_empty_input_notice(self, tmp_path):
+        walk = discover_corpus([str(tmp_path)])
+        assert walk.documents == []
+        (finding,) = walk.findings
+        assert finding.kind == EMPTY_INPUT
+
+    def test_directory_with_only_skipped_files_is_also_empty_input(
+        self, tmp_path
+    ):
+        _write(tmp_path / "readme.md", "x")
+        walk = discover_corpus([str(tmp_path)])
+        assert walk.documents == []
+        assert _kinds(walk) == [EMPTY_INPUT, SKIPPED_FILE]
+
+    def test_unreadable_directory_is_an_io_error_finding(
+        self, tmp_path, monkeypatch
+    ):
+        """Root ignores permission bits, so simulate EACCES directly."""
+        good = tmp_path / "good"
+        good.mkdir()
+        kept = _write(good / "kept.xml")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        _write(bad / "lost.xml")
+        real_scandir = os.scandir
+
+        def scandir(path="."):
+            if os.path.normpath(str(path)) == str(bad):
+                raise PermissionError(13, "Permission denied", str(bad))
+            return real_scandir(path)
+
+        monkeypatch.setattr(os, "scandir", scandir)
+        walk = discover_corpus([str(good), str(bad)])
+        assert walk.documents == [kept]
+        assert any(
+            f.kind == IO_ERROR and f.path == str(bad) for f in walk.findings
+        )
+
+    def test_symlink_cycle_is_reported_once_and_not_followed(self, tmp_path):
+        top = tmp_path / "top"
+        sub = top / "sub"
+        sub.mkdir(parents=True)
+        kept = _write(sub / "doc.xml")
+        try:
+            os.symlink(str(top), str(sub / "loop"))
+        except OSError:
+            pytest.skip("platform cannot create directory symlinks")
+        walk = discover_corpus([str(top)], recursive=True)
+        assert walk.documents == [kept]
+        loops = [f for f in walk.findings if f.kind == SYMLINK_LOOP]
+        assert len(loops) == 1
+        assert loops[0].severity == "notice"
+
+    def test_mutual_symlink_cycle_terminates(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        _write(a / "one.xml")
+        _write(b / "two.xml")
+        try:
+            os.symlink(str(b), str(a / "to_b"))
+            os.symlink(str(a), str(b / "to_a"))
+        except OSError:
+            pytest.skip("platform cannot create directory symlinks")
+        walk = discover_corpus([str(tmp_path)], recursive=True)
+        assert len(walk.documents) == 2
+        assert all(f.kind == SYMLINK_LOOP for f in walk.findings)

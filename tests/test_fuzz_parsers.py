@@ -122,3 +122,103 @@ def test_parse_errors_carry_position_and_snippet():
     assert excinfo.value.position is not None
     assert excinfo.value.snippet is not None
     assert "near" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# adversarial corpora: crafted hostile inputs, guarded and unguarded
+# ----------------------------------------------------------------------
+#
+# Where the mutation fuzz covers the malformed-input space statistically,
+# these inputs are *engineered* against the parsers' resource use: deep
+# nesting (stack), megabyte-scale attribute values (memory/time),
+# pathological entity strings (expansion floods), and truncated
+# multi-byte UTF-8.  Under guards (a ParseBudget) they must surface as
+# the structured ParseLimitError family; unguarded they must still obey
+# the only-ParseError contract.
+
+from repro.errors import ParseLimitError  # noqa: E402
+from repro.limits import ParseBudget  # noqa: E402
+
+GUARDS = ParseBudget(
+    max_input_bytes=1 << 20,
+    max_depth=200,
+    max_tokens=100_000,
+    max_entity_expansion=4.0,
+)
+
+ADVERSARIAL_DOCUMENTS = [
+    "<a>" * 10_000 + "</a>" * 10_000,  # deep nesting
+    "<a>" * 10_000,  # deep nesting, truncated
+    '<a b="' + "x" * 2_000_000 + '"/>',  # megabyte-scale attribute value
+    "<a>" + "&amp;" * 50_000 + "</a>",  # entity flood
+    "<a>" + "&#65;" * 50_000 + "</a>",  # character-reference flood
+    "<a>&amp" + ";" * 3 + "&bogus;&#xZZ;&#; &#999999999;</a>",  # broken refs
+    b"<p>caf\xc3</p>".decode("utf-8", errors="surrogateescape"),
+    "<a " + " ".join(f'x{i}="v"' for i in range(60_000)) + "/>",  # attr flood
+]
+
+ADVERSARIAL_REGEXES = [
+    "(" * 10_000 + "a" + ")" * 10_000,
+    "(" * 10_000,
+    "a " * 500_000,
+    "a" + "*" * 10_000,
+]
+
+ADVERSARIAL_XPATHS = [
+    "/a" + "[b" * 10_000 + "]" * 10_000,
+    "/a" + "[b" * 10_000,
+    "/" + "/".join("step" for _ in range(300_000)),
+]
+
+ADVERSARIAL_SCHEMAS = [
+    "a := " + "(" * 10_000 + "b" + ")" * 10_000,
+    "\n".join(f"e{i} := #text" for i in range(200_000)),
+]
+
+
+def _assert_only_parse_errors(parse, sources, limits):
+    for source in sources:
+        try:
+            if limits is None:
+                parse(source)
+            else:
+                parse(source, limits=limits)
+        except ParseError:
+            pass
+        except Exception as error:  # pragma: no cover - the failure path
+            pytest.fail(
+                f"{parse.__name__} leaked {type(error).__name__}: {error!r} "
+                f"on adversarial input of {len(source)} chars"
+            )
+
+
+@pytest.mark.parametrize(
+    "parse, sources",
+    [
+        (parse_document, ADVERSARIAL_DOCUMENTS),
+        (parse_regex, ADVERSARIAL_REGEXES),
+        (parse_xpath, ADVERSARIAL_XPATHS),
+        (Schema.parse_text, ADVERSARIAL_SCHEMAS),
+    ],
+    ids=["xml", "regex", "xpath", "schema"],
+)
+@pytest.mark.parametrize("guarded", [False, True], ids=["bare", "guarded"])
+def test_adversarial_inputs_only_raise_parse_errors(parse, sources, guarded):
+    _assert_only_parse_errors(parse, sources, GUARDS if guarded else None)
+
+
+def test_guards_refuse_adversarial_inputs_structurally():
+    """Under guards, each engineered input trips a ParseLimitError (not
+    merely any ParseError): the audit front end classifies these as
+    budget findings, so the subclass matters."""
+    cases = [
+        (parse_document, "<a>" * 10_000 + "</a>" * 10_000),
+        (parse_document, '<a b="' + "x" * 2_000_000 + '"/>'),
+        (parse_document, "<a>" + "&amp;" * 900_000 + "</a>"),
+        (parse_regex, "(" * 10_000 + "a" + ")" * 10_000),
+        (parse_xpath, "/a" + "[b" * 10_000 + "]" * 10_000),
+        (Schema.parse_text, "a := " + "(" * 10_000 + "b" + ")" * 10_000),
+    ]
+    for parse, source in cases:
+        with pytest.raises(ParseLimitError):
+            parse(source, limits=GUARDS)

@@ -1,0 +1,139 @@
+"""The OPC-style package-manifest workload pack."""
+
+import os
+
+from repro.fd.satisfaction import check_fd
+from repro.independence.matrix import check_independence_matrix
+from repro.schema.dtd import Schema
+from repro.workload.packages import (
+    generate_package,
+    package_fds,
+    package_linear_fds,
+    package_schema,
+    package_schema_text,
+    package_update_classes,
+    write_package_corpus,
+    write_poison_corpus,
+)
+from repro.fd.linear import LinearFD
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize_document
+
+
+class TestGenerator:
+    def test_packages_are_schema_valid(self):
+        schema = package_schema()
+        for parts in (0, 1, 12):
+            assert schema.is_valid(generate_package(parts, seed=parts))
+
+    def test_violating_packages_stay_schema_valid(self):
+        schema = package_schema()
+        assert schema.is_valid(
+            generate_package(
+                4, violate_uri_key=2, violate_extension_default=2
+            )
+        )
+
+    def test_deterministic_in_seed(self):
+        one = serialize_document(generate_package(6, seed=9))
+        two = serialize_document(generate_package(6, seed=9))
+        other = serialize_document(generate_package(6, seed=10))
+        assert one == two
+        assert one != other
+
+    def test_round_trips_through_the_parser(self):
+        text = serialize_document(generate_package(5, seed=1), indent=1)
+        assert package_schema().is_valid(parse_document(text))
+
+
+class TestConstraints:
+    def test_healthy_package_satisfies_all_fds(self):
+        document = generate_package(8, seed=2)
+        for fd in package_fds():
+            assert check_fd(fd, document).satisfied, fd.name
+
+    def test_uri_key_knob_breaks_exactly_the_uri_fds(self):
+        document = generate_package(4, seed=2, violate_uri_key=1)
+        uri_key, uri_content_type, extension_default = package_fds()
+        assert not check_fd(uri_key, document).satisfied
+        assert not check_fd(uri_content_type, document).satisfied
+        assert check_fd(extension_default, document).satisfied
+
+    def test_extension_default_knob(self):
+        document = generate_package(4, seed=2, violate_extension_default=1)
+        uri_key, _, extension_default = package_fds()
+        assert check_fd(uri_key, document).satisfied
+        assert not check_fd(extension_default, document).satisfied
+
+    def test_size_refresh_is_independent_content_rewrite_is_not(self):
+        updates = package_update_classes()
+        matrix = check_independence_matrix(
+            [package_fds()[1]],  # uri-content-type
+            [updates["size-refresh"], updates["content-type-rewrite"]],
+            schema=package_schema(),
+        )
+        verdicts = {
+            (
+                matrix.row_names[cell.row],
+                matrix.column_names[cell.column],
+            ): cell.verdict.name
+            for row in matrix.cells
+            for cell in row
+        }
+        assert verdicts[("uri-content-type", "size-refresh")] == "INDEPENDENT"
+        assert (
+            verdicts[("uri-content-type", "content-type-rewrite")]
+            != "INDEPENDENT"
+        )
+
+
+class TestCliForms:
+    def test_schema_text_parses_to_the_same_schema(self):
+        parsed = Schema.parse_text(package_schema_text())
+        assert parsed.is_valid(generate_package(3))
+        assert not parsed.is_valid(
+            parse_document("<package name='p'><bogus/></package>")
+        )
+
+    def test_linear_fds_parse_and_match_the_builders(self):
+        for text in package_linear_fds():
+            LinearFD.parse(text, name="t")
+
+
+class TestCorpusWriters:
+    def test_package_corpus_files(self, tmp_path):
+        paths = write_package_corpus(tmp_path, documents=4, parts=3)
+        assert len(paths) == 4
+        assert all(os.path.exists(p) and p.endswith(".xml") for p in paths)
+        schema = package_schema()
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                assert schema.is_valid(parse_document(handle.read()))
+
+    def test_violations_every_marks_the_right_documents(self, tmp_path):
+        paths = write_package_corpus(
+            tmp_path, documents=4, parts=3, violations_every=2
+        )
+        uri_key = package_fds()[0]
+        flagged = [
+            not check_fd(uri_key, parse_document(open(p).read())).satisfied
+            for p in paths
+        ]
+        assert flagged == [False, True, False, True]
+
+    def test_poison_corpus_covers_every_kind(self, tmp_path):
+        written = write_poison_corpus(tmp_path)
+        assert set(written) == {
+            "malformed",
+            "depth-bomb",
+            "oversized",
+            "entities",
+            "truncated-utf8",
+            "schema-invalid",
+            "budget-blower",
+        }
+        assert all(os.path.exists(path) for path in written.values())
+        # the budget blower is itself schema-valid — it attacks the
+        # analysis stage, not the parser
+        with open(written["budget-blower"], encoding="utf-8") as handle:
+            assert package_schema().is_valid(parse_document(handle.read()))
