@@ -1,0 +1,167 @@
+"""T16 — corpus store: bulk-load throughput and the warm-reopen win.
+
+The store's amortization claim: parsing and FD-indexing a corpus is
+paid once — a reopened store answers corpus-wide FD checks from
+persisted index state, with no parse and no re-indexing.  This bench
+measures that claim at corpus scale (10^4 documents in the full run):
+
+* **bulk load** — documents/second shredding an on-disk XML corpus
+  into SQLite with chunked transactions;
+* **sha-skip reload** — re-running the same load; every document is
+  recognized by content digest and skipped (the crash-resume path);
+* **cold check** — ``check_fd_corpus`` on the freshly loaded store:
+  every (document, FD) builds and persists an index;
+* **warm reopen check** — the store is closed, reopened from the
+  SQLite file, and checked again: answered from persisted state only.
+
+The hard floor asserted here (and re-checked in CI from the JSON):
+the warm reopen check is at least **5x** the cold check's docs/s at
+the largest corpus size, with verdict counts identical cold vs warm.
+
+Results go to ``BENCH_T16.json`` (override via ``BENCH_T16_JSON``).
+``BENCH_QUICK=1`` shrinks the sweep to ~600 documents; every
+correctness assertion runs in both modes.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.store import CorpusStore, SqliteBackend
+from repro.workload.library import generate_library, library_fds
+from repro.xmlmodel.serializer import serialize_document
+
+from benchmarks.conftest import emit_table
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+#: corpus sizes swept (documents per corpus)
+SIZES = (600,) if QUICK else (2_000, 10_000)
+#: the reopen floor the issue demands, enforced at the largest size
+WARM_SPEEDUP_FLOOR = 5.0
+CHUNK_SIZE = 256
+
+
+def _write_corpus(directory: Path, documents: int) -> Path:
+    directory.mkdir(parents=True)
+    for index in range(documents):
+        document = generate_library(
+            books=1 + index % 2,
+            seed=index,
+            violate_key=1 if index % 97 == 0 else 0,
+        )
+        (directory / f"doc{index:05d}.xml").write_text(
+            serialize_document(document), encoding="utf-8"
+        )
+    return directory
+
+
+def _measure_corpus(documents: int, tmp_path: Path) -> dict:
+    corpus = _write_corpus(tmp_path / f"corpus-{documents}", documents)
+    db_path = tmp_path / f"store-{documents}.db"
+    fds = library_fds()[:2]
+
+    store = CorpusStore(SqliteBackend(db_path))
+    load = store.load_paths(
+        [str(corpus)], recursive=True, chunk_size=CHUNK_SIZE
+    )
+    assert load.loaded == documents and load.errors == 0
+
+    reload_report = store.load_paths(
+        [str(corpus)], recursive=True, chunk_size=CHUNK_SIZE
+    )
+    assert reload_report.unchanged == documents
+    assert reload_report.loaded == 0
+
+    started = time.perf_counter()
+    cold = store.check_fd_corpus(fds)
+    cold_seconds = time.perf_counter() - started
+    assert cold.index_hits == 0
+    assert cold.indexed_documents == documents * len(fds)
+    store.close()
+
+    # the reopen: a fresh process image as far as SQLite is concerned
+    reopened = CorpusStore(SqliteBackend(db_path))
+    started = time.perf_counter()
+    warm = reopened.check_fd_corpus(fds)
+    warm_seconds = time.perf_counter() - started
+    assert warm.index_hits == documents * len(fds)
+    assert warm.indexed_documents == 0
+    reopened.close()
+
+    # verdicts are identical cold vs warm — the state is the answer
+    assert (warm.satisfied_count, warm.violated_count) == (
+        cold.satisfied_count,
+        cold.violated_count,
+    )
+    assert cold.unknown_count == warm.unknown_count == 0
+
+    return {
+        "documents": documents,
+        "load_docs_per_s": load.docs_per_second,
+        "reload_docs_per_s": reload_report.docs_per_second,
+        "cold_check_ms": cold_seconds * 1000,
+        "cold_docs_per_s": documents / cold_seconds,
+        "warm_check_ms": warm_seconds * 1000,
+        "warm_docs_per_s": documents / warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "violated": cold.violated_count,
+        "verdicts_equal": True,
+    }
+
+
+def bench_t16_report(benchmark, tmp_path):
+    records = [_measure_corpus(size, tmp_path) for size in SIZES]
+
+    largest = records[-1]
+    assert largest["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm reopen only {largest['warm_speedup']:.1f}x the cold check "
+        f"at {largest['documents']} documents (floor: "
+        f"{WARM_SPEEDUP_FLOOR}x)"
+    )
+
+    emit_table(
+        "T16: corpus store at scale (SQLite, 2 FDs per document)",
+        [
+            "docs",
+            "load docs/s",
+            "reload docs/s",
+            "cold check (ms)",
+            "warm check (ms)",
+            "warm speedup",
+        ],
+        [
+            [
+                record["documents"],
+                f"{record['load_docs_per_s']:.0f}",
+                f"{record['reload_docs_per_s']:.0f}",
+                f"{record['cold_check_ms']:.1f}",
+                f"{record['warm_check_ms']:.1f}",
+                f"{record['warm_speedup']:.1f}x",
+            ]
+            for record in records
+        ],
+    )
+
+    payload = {
+        "experiment": "T16",
+        "quick": QUICK,
+        "chunk_size": CHUNK_SIZE,
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+        "configs": records,
+    }
+    target = Path(
+        os.environ.get(
+            "BENCH_T16_JSON",
+            Path(__file__).resolve().parent.parent / "BENCH_T16.json",
+        )
+    )
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"# wrote {target}")
+
+    benchmark.pedantic(
+        lambda: _measure_corpus(100, tmp_path / "timed"),
+        rounds=1,
+        iterations=1,
+    )

@@ -206,6 +206,9 @@ class DocumentReport:
     fd_mappings: int = 0
     schema_valid: bool | None = None
     restored: bool = False
+    #: None = no corpus store attached; True = the document body came
+    #: from the store's cached parse (no re-parse); False = store miss
+    store_hit: bool | None = None
 
     @classmethod
     def from_findings(
@@ -234,6 +237,7 @@ class DocumentReport:
             "fd_checked": self.fd_checked,
             "fd_mappings": self.fd_mappings,
             "schema_valid": self.schema_valid,
+            "store_hit": self.store_hit,
             "findings": [finding.to_json_dict() for finding in self.findings],
         }
 
@@ -251,6 +255,7 @@ class DocumentReport:
             fd_mappings=document.get("fd_mappings", 0),
             schema_valid=document.get("schema_valid"),
             restored=restored,
+            store_hit=document.get("store_hit"),
         )
 
 
@@ -301,6 +306,16 @@ class CorpusReport:
         )
 
     @property
+    def store_parse_hits(self) -> int:
+        """Documents answered from the corpus store's cached parse."""
+        return sum(1 for d in self.documents if d.store_hit is True)
+
+    @property
+    def store_parse_misses(self) -> int:
+        """Documents a store was attached for but had to be re-parsed."""
+        return sum(1 for d in self.documents if d.store_hit is False)
+
+    @property
     def clean(self) -> bool:
         """No error or warning findings (notices do not count)."""
         return self.error_count == 0 and self.warning_count == 0
@@ -331,6 +346,8 @@ class CorpusReport:
                 "finding_counts": self.finding_counts(),
                 "aborted": self.aborted,
                 "exit_code": self.exit_code(),
+                "store_parse_hits": self.store_parse_hits,
+                "store_parse_misses": self.store_parse_misses,
             },
         }
 
@@ -343,9 +360,11 @@ class CorpusReport:
         status = "ABORTED (max-errors cap)" if self.aborted else (
             "CLEAN" if self.clean else "FINDINGS"
         )
+        store_hits = self.store_parse_hits
         lines = [
             f"audit: {status} — {len(self.documents)} document(s)"
             + (f", {self.restored_documents} restored" if self.restored_documents else "")
+            + (f", {store_hits} from store" if store_hits else "")
             + (f"; {rendered}" if rendered else "")
         ]
         if self.independence is not None:

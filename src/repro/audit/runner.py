@@ -90,6 +90,10 @@ class AuditOptions:
     strategy: str = "auto"
     checkpoint_dir: str | None = None
     resume: bool = False
+    #: an open :class:`~repro.store.corpus.CorpusStore`; documents whose
+    #: raw sha256 matches a stored document reuse its cached parse
+    #: instead of re-parsing (the store is only read, never written)
+    store: object | None = None
 
 
 def _fingerprint_file(path: str) -> str:
@@ -351,11 +355,31 @@ def _audit_document(
                 )
             )
             return DocumentReport.from_findings(path, findings)
-        try:
-            document = parse_document(text, limits=options.parse_budget)
-        except ParseError as error:
-            findings.append(Finding.from_parse_error(path, error))
-            return DocumentReport.from_findings(path, findings)
+        document = None
+        store_hit: bool | None = None
+        if options.store is not None:
+            # the store lookup is name-agnostic: any stored document
+            # with the same raw-content digest serves, so a corpus
+            # loaded under different path roots still hits
+            store_hit = False
+            try:
+                cached = options.store.get_document_by_sha(
+                    hashlib.sha256(raw).hexdigest()
+                )
+            except Exception:
+                cached = None  # a damaged store degrades to a re-parse
+            if cached is not None:
+                document = cached[1]
+                store_hit = True
+        if document is None:
+            try:
+                document = parse_document(text, limits=options.parse_budget)
+            except ParseError as error:
+                findings.append(Finding.from_parse_error(path, error))
+                report = DocumentReport.from_findings(path, findings)
+                report.store_hit = store_hit
+                return report
+        report.store_hit = store_hit
         if options.schema is not None:
             schema_findings = _schema_findings(
                 path, options.schema, document, options.max_violations
@@ -385,6 +409,7 @@ def _audit_document(
         fd_checked=report.fd_checked,
         fd_mappings=report.fd_mappings,
         schema_valid=report.schema_valid,
+        store_hit=report.store_hit,
     )
     final.elapsed_ms = elapsed_ms
     return final

@@ -351,6 +351,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _run_audit(args: argparse.Namespace) -> int:
     import json
+    from contextlib import ExitStack
 
     from repro.audit import AuditOptions, audit_corpus
 
@@ -373,20 +374,27 @@ def _run_audit(args: argparse.Namespace) -> int:
         schema = Schema.parse_text(
             Path(args.schema).read_text(), limits=parse_budget
         )
-    options = AuditOptions(
-        schema=schema,
-        fds=tuple(fds),
-        update_classes=tuple(update_classes),
-        parse_budget=parse_budget,
-        budget=_budget_from_args(args),
-        recursive=args.recursive,
-        max_errors=args.max_errors,
-        max_violations=args.max_violations,
-        strategy=args.strategy,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-    )
-    report = audit_corpus(args.paths, options)
+    with ExitStack() as stack:
+        store = None
+        if getattr(args, "store", None):
+            from repro.store import CorpusStore
+
+            store = stack.enter_context(CorpusStore.open(args.store))
+        options = AuditOptions(
+            schema=schema,
+            fds=tuple(fds),
+            update_classes=tuple(update_classes),
+            parse_budget=parse_budget,
+            budget=_budget_from_args(args),
+            recursive=args.recursive,
+            max_errors=args.max_errors,
+            max_violations=args.max_violations,
+            strategy=args.strategy,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            store=store,
+        )
+        report = audit_corpus(args.paths, options)
     print(report.describe())
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -520,6 +528,148 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         debug_hooks=args.debug_hooks,
     )
     return run_daemon(config)
+
+
+def _json_out(args: argparse.Namespace, payload: dict) -> None:
+    if getattr(args, "json_out", None):
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"# report written to {args.json_out}", file=sys.stderr)
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    # same tracer-installation pattern as independence/audit
+    if getattr(args, "trace_out", None):
+        from repro.obs.trace import JsonlSpanExporter, Tracer, install_tracer
+
+        tracer = Tracer(JsonlSpanExporter(args.trace_out))
+        previous = install_tracer(tracer)
+        try:
+            return _run_corpus(args)
+        finally:
+            install_tracer(previous)
+            tracer.close()
+    return _run_corpus(args)
+
+
+def _run_corpus(args: argparse.Namespace) -> int:
+    from repro.store import CorpusStore
+
+    registry = None
+    if getattr(args, "metrics", None):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    with CorpusStore.open(args.store) as store:
+        if args.corpus_action == "load":
+            report = store.load_paths(
+                args.paths,
+                recursive=args.recursive,
+                parse_budget=_parse_budget_from_args(args),
+                chunk_size=args.chunk_size,
+            )
+            print(f"corpus load: {report.describe()}")
+            for finding in report.findings:
+                print(f"  {finding.describe()}")
+            _json_out(args, report.to_json_dict())
+            if registry is not None:
+                registry.absorb_corpus_load(report)
+                _print_metrics(registry)
+            return 0 if report.errors == 0 else 2
+
+        if args.corpus_action == "check-fd":
+            fds = [
+                translate_linear_fd(
+                    LinearFD.parse(text, name=f"fd{index + 1}")
+                )
+                for index, text in enumerate(args.fd)
+            ]
+            report = store.check_fd_corpus(
+                fds,
+                budget=_budget_from_args(args),
+                max_violations=args.max_violations,
+                use_index=not args.no_index,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+            print(f"corpus check-fd: {report.describe()}")
+            for check in report.documents:
+                if check.status != "satisfied":
+                    bad = ", ".join(
+                        f"{name}={verdict}"
+                        for name, verdict in sorted(check.verdicts.items())
+                        if verdict != "satisfied"
+                    )
+                    print(f"  {check.name}: {check.status} ({bad})")
+            _json_out(args, report.to_json_dict())
+            if registry is not None:
+                registry.absorb_corpus_check(report)
+                _print_metrics(registry)
+            if report.unknown_count:
+                return EXIT_UNKNOWN
+            return 0 if report.violated_count == 0 else 2
+
+        if args.corpus_action == "apply":
+            from repro.update.apply import Update
+            from repro.update.operations import set_text
+
+            updates = []
+            for index, spec in enumerate(args.set):
+                xpath, separator, value = spec.partition("=")
+                if not separator:
+                    print(
+                        f"error: --set needs XPATH=VALUE, got {spec!r}",
+                        file=sys.stderr,
+                    )
+                    return 64
+                updates.append(
+                    Update(
+                        update_class_from_xpath(
+                            xpath, name=f"u{index + 1}"
+                        ),
+                        set_text(value),
+                        name=f"set{index + 1}",
+                    )
+                )
+            fds = [
+                translate_linear_fd(
+                    LinearFD.parse(text, name=f"fd{index + 1}")
+                )
+                for index, text in enumerate(args.fd or [])
+            ]
+            schema = _load_schema(args.schema) if args.schema else None
+            report = store.apply_guarded_corpus(
+                updates,
+                fds=fds,
+                schema=schema,
+                strategy=args.strategy,
+                budget=_budget_from_args(args),
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+            print(f"corpus apply: {report.describe()}")
+            for outcome in report.documents:
+                if not outcome.committed:
+                    why = (
+                        "schema violation"
+                        if outcome.schema_violation
+                        else "FD " + ", ".join(outcome.failed_fd_names)
+                    )
+                    print(f"  {outcome.name}: rolled back ({why})")
+            _json_out(args, report.to_json_dict())
+            if registry is not None:
+                registry.absorb_corpus_apply(report)
+                _print_metrics(registry)
+            return 0 if report.rolled_back_count == 0 else 2
+
+        # action == "stats"
+        stats = store.stats()
+        for key, value in sorted(stats.items()):
+            print(f"{key}: {value}")
+        _json_out(args, stats)
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -838,7 +988,155 @@ def build_parser() -> argparse.ArgumentParser:
         help="print audit.* metrics (documents, findings by kind, "
         "quarantined, per-document duration) to stderr",
     )
+    audit.add_argument(
+        "--store",
+        default=None,
+        metavar="LOCATION",
+        help="corpus store to reuse cached parses from (sqlite file "
+        "path or ':memory:'); documents whose content sha256 matches "
+        "a stored document skip re-parsing — the store is read-only "
+        "for the audit",
+    )
     audit.set_defaults(handler=_cmd_audit)
+
+    corpus = commands.add_parser(
+        "corpus",
+        help="corpus store operations: bulk-load documents into a "
+        "pluggable (in-memory/SQLite) store, check FDs across the "
+        "whole corpus with persisted index state, apply guarded "
+        "update batches, and inspect store statistics",
+    )
+    corpus_actions = corpus.add_subparsers(
+        dest="corpus_action", required=True
+    )
+
+    def _corpus_common(sub, budget: bool = True) -> None:
+        sub.add_argument(
+            "store",
+            help="store location: a sqlite database file path, or "
+            "':memory:' for an in-process store (postgres:// is "
+            "recognized but requires a driver)",
+        )
+        sub.add_argument(
+            "--json-out",
+            default=None,
+            metavar="FILE.json",
+            help="also write the structured report as JSON",
+        )
+        sub.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="FILE.jsonl",
+            help="write a JSONL span trace (corpus.load / corpus.check "
+            "/ corpus.apply spans)",
+        )
+        sub.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print corpus.* metrics to stderr",
+        )
+        if budget:
+            sub.add_argument(
+                "--budget-ms", type=float, default=None, metavar="MS"
+            )
+            sub.add_argument(
+                "--max-explored", type=int, default=None, metavar="N"
+            )
+
+    corpus_load = corpus_actions.add_parser(
+        "load",
+        help="bulk-load XML files/directories into the store (chunked "
+        "transactions; unchanged files are skipped by content sha256, "
+        "so re-running after a crash completes the load)",
+    )
+    _corpus_common(corpus_load, budget=False)
+    corpus_load.add_argument("paths", nargs="+")
+    corpus_load.add_argument("--recursive", action="store_true")
+    corpus_load.add_argument(
+        "--chunk-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="documents per committed transaction (default: 64)",
+    )
+    corpus_load.add_argument(
+        "--resume",
+        action="store_true",
+        help="accepted for symmetry: a load is idempotent and "
+        "incremental, so resuming IS re-running",
+    )
+    for flag, kind in (
+        ("--max-input-bytes", int),
+        ("--max-depth", int),
+        ("--max-tokens", int),
+    ):
+        corpus_load.add_argument(flag, type=kind, default=None, metavar="N")
+    corpus_load.add_argument(
+        "--max-entity-expansion", type=float, default=None, metavar="RATIO"
+    )
+    corpus_load.add_argument("--no-parse-guards", action="store_true")
+    corpus_load.set_defaults(handler=_cmd_corpus)
+
+    corpus_check = corpus_actions.add_parser(
+        "check-fd",
+        help="check linear-syntax FDs on every stored document; "
+        "unchanged documents answer from their persisted FD index "
+        "(exit 0 all satisfied / 2 violations / 3 unknown)",
+    )
+    _corpus_common(corpus_check)
+    corpus_check.add_argument(
+        "--fd", required=True, action="append", help="repeatable"
+    )
+    corpus_check.add_argument(
+        "--max-violations", type=int, default=5, metavar="N"
+    )
+    corpus_check.add_argument(
+        "--no-index",
+        action="store_true",
+        help="ignore (and do not write) persisted FD index state",
+    )
+    corpus_check.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR"
+    )
+    corpus_check.add_argument("--resume", action="store_true")
+    corpus_check.set_defaults(handler=_cmd_corpus)
+
+    corpus_apply = corpus_actions.add_parser(
+        "apply",
+        help="apply a guarded update batch to every stored document: "
+        "one independence matrix certifies the batch corpus-wide, "
+        "each document revalidates only the uncertified pairs "
+        "(exit 0 all committed / 2 some rolled back)",
+    )
+    _corpus_common(corpus_apply)
+    corpus_apply.add_argument(
+        "--set",
+        required=True,
+        action="append",
+        metavar="XPATH=VALUE",
+        help="set the text of the nodes selected by XPATH; repeatable "
+        "(the updates form one atomic per-document batch)",
+    )
+    corpus_apply.add_argument(
+        "--fd", action="append", help="guard FD; repeatable"
+    )
+    corpus_apply.add_argument("--schema")
+    corpus_apply.add_argument(
+        "--strategy",
+        choices=["auto", "lazy", "eager"],
+        default="auto",
+    )
+    corpus_apply.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR"
+    )
+    corpus_apply.add_argument("--resume", action="store_true")
+    corpus_apply.set_defaults(handler=_cmd_corpus)
+
+    corpus_stats = corpus_actions.add_parser(
+        "stats", help="print store row counts"
+    )
+    _corpus_common(corpus_stats, budget=False)
+    corpus_stats.set_defaults(handler=_cmd_corpus)
 
     stream = commands.add_parser(
         "stream-check",

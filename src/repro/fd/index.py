@@ -234,6 +234,18 @@ class FDIndex:
         """Group keys with more than one distinct target key."""
         return sorted(self._violating_groups, key=repr)
 
+    def group_table(self) -> dict[tuple, dict]:
+        """The materialized groups: ``group_key -> {target_key: count}``.
+
+        Returns copies; the snapshot is what
+        :class:`~repro.store.fdstate.FDIndexState` persists, so a
+        reloaded state can be compared field-for-field against a
+        freshly built index.
+        """
+        return {
+            key: dict(counter) for key, counter in self._groups.items()
+        }
+
     # ------------------------------------------------------------------
     # incremental maintenance
     # ------------------------------------------------------------------

@@ -281,6 +281,41 @@ class MetricsRegistry:
                 )
         self.gauge("audit.elapsed_ms").set(report.elapsed_seconds * 1000.0)
 
+    def absorb_corpus_load(self, report) -> None:
+        """Fold one :class:`~repro.store.corpus.CorpusLoadReport` in."""
+        self.counter("corpus.load.documents").inc(report.documents_seen)
+        self.counter("corpus.load.loaded").inc(report.loaded)
+        self.counter("corpus.load.unchanged").inc(report.unchanged)
+        self.counter("corpus.load.errors").inc(report.errors)
+        self.counter("corpus.load.chunks").inc(report.chunks_committed)
+        self.gauge("corpus.load.docs_per_second").set(report.docs_per_second)
+        self.gauge("corpus.load.elapsed_ms").set(
+            report.elapsed_seconds * 1000.0
+        )
+
+    def absorb_corpus_check(self, report) -> None:
+        """Fold one :class:`~repro.store.corpus.CorpusCheckReport` in."""
+        self.counter("corpus.check.documents").inc(len(report.documents))
+        self.counter("corpus.check.satisfied").inc(report.satisfied_count)
+        self.counter("corpus.check.violated").inc(report.violated_count)
+        self.counter("corpus.check.unknown").inc(report.unknown_count)
+        self.counter("corpus.check.index_hits").inc(report.index_hits)
+        self.counter("corpus.check.indexed").inc(report.indexed_documents)
+        self.gauge("corpus.check.elapsed_ms").set(
+            report.elapsed_seconds * 1000.0
+        )
+
+    def absorb_corpus_apply(self, report) -> None:
+        """Fold one :class:`~repro.store.corpus.CorpusApplyReport` in."""
+        self.counter("corpus.apply.documents").inc(len(report.documents))
+        self.counter("corpus.apply.committed").inc(report.committed_count)
+        self.counter("corpus.apply.rolled_back").inc(report.rolled_back_count)
+        self.counter("corpus.apply.checks_run").inc(report.checks_run)
+        self.counter("corpus.apply.checks_skipped").inc(report.checks_skipped)
+        self.gauge("corpus.apply.elapsed_ms").set(
+            report.elapsed_seconds * 1000.0
+        )
+
     def absorb_caches(self) -> None:
         """Mirror the process-wide regex/DFA cache counters as gauges.
 
@@ -388,6 +423,15 @@ class _NoopMetricsRegistry:
         pass
 
     def absorb_audit(self, report) -> None:
+        pass
+
+    def absorb_corpus_load(self, report) -> None:
+        pass
+
+    def absorb_corpus_check(self, report) -> None:
+        pass
+
+    def absorb_corpus_apply(self, report) -> None:
         pass
 
     def absorb_caches(self) -> None:

@@ -1,0 +1,51 @@
+"""Pluggable corpus storage (the DBnonRelational encoding, persisted).
+
+The package splits into four layers:
+
+* :mod:`repro.store.encoding` — document <-> node/edge/attr rows;
+* :mod:`repro.store.backend` — the :class:`StorageBackend` contract and
+  the :func:`open_backend` location factory (plus the
+  :mod:`~repro.store.memory`, :mod:`~repro.store.sqlite` and stubbed
+  :mod:`~repro.store.postgres` implementations behind it);
+* :mod:`repro.store.fdstate` — persistable FD index snapshots;
+* :mod:`repro.store.corpus` — :class:`CorpusStore`, the corpus-scale
+  load / check-FD / guarded-apply operations.
+"""
+
+from repro.store.backend import StorageBackend, open_backend
+from repro.store.corpus import (
+    CorpusApplyReport,
+    CorpusCheckReport,
+    CorpusLoadReport,
+    CorpusStore,
+    DocumentApply,
+    DocumentCheck,
+    open_corpus,
+)
+from repro.store.encoding import (
+    DocumentRows,
+    decode_document,
+    encode_document,
+)
+from repro.store.fdstate import FDIndexState, fingerprint_fd
+from repro.store.memory import MemoryBackend
+from repro.store.sqlite import SqliteBackend
+
+__all__ = [
+    "CorpusApplyReport",
+    "CorpusCheckReport",
+    "CorpusLoadReport",
+    "CorpusStore",
+    "DocumentApply",
+    "DocumentCheck",
+    "DocumentRows",
+    "FDIndexState",
+    "MemoryBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "decode_document",
+    "encode_document",
+    "fingerprint_fd",
+    "open_backend",
+    "open_corpus",
+]

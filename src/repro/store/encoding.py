@@ -1,0 +1,155 @@
+"""The relational node/edge/attr encoding of XML documents.
+
+Documents are shredded into three generic relations, the encoding of
+the ``DBnonRelational`` line of work (a generic node/edge/attribute
+schema instead of one table per element type):
+
+``nodes``
+    one row per element or text node — ``(node_id, kind, label,
+    value)``, where ``kind`` is ``"e"`` (element, ``value`` is
+    ``None``) or ``"t"`` (text, ``label`` is ``#text``).  The document
+    root (the reserved ``"/"`` element) is node 0.
+
+``edges``
+    one row per element/text child — ``(parent_id, child_id,
+    position)``.  ``position`` is the child's index in the *full*
+    children list of the parent (attribute children included), so
+    document order — including the attribute-before-content discipline
+    the serializer enforces — survives the round trip exactly.
+
+``attrs``
+    one row per attribute node — ``(owner_id, position, name,
+    value)``; ``name`` is stored without the ``@`` sigil, per the
+    relational idiom.  Attribute nodes never get a ``nodes`` row: the
+    three relations partition the tree.
+
+Node ids are preorder ranks (root = 0), so the encoding of a document
+is a pure function of its shape — two value-equal documents produce
+identical row sets, which is what lets the differential suite demand
+bit-for-bit equality across storage backends.
+
+:func:`encode_document` and :func:`decode_document` are exact inverses
+on every document the tree model admits (the property suite drives
+this over random documents); a row set that does not describe a tree
+(dangling parents, duplicate positions) is rejected with
+:class:`~repro.errors.StoreError` rather than decoded into something
+silently wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import StoreError
+from repro.xmlmodel.tree import (
+    ATTRIBUTE_PREFIX,
+    NodeType,
+    XMLDocument,
+    XMLNode,
+)
+
+KIND_ELEMENT = "e"
+KIND_TEXT = "t"
+
+NodeRow = tuple[int, str, str, str | None]
+EdgeRow = tuple[int, int, int]
+AttrRow = tuple[int, int, str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class DocumentRows:
+    """The three relations of one shredded document."""
+
+    nodes: tuple[NodeRow, ...]
+    edges: tuple[EdgeRow, ...]
+    attrs: tuple[AttrRow, ...]
+
+    @property
+    def node_count(self) -> int:
+        """Total tree nodes (element + text + attribute)."""
+        return len(self.nodes) + len(self.attrs)
+
+
+def encode_document(document: XMLDocument) -> DocumentRows:
+    """Shred a document into its node/edge/attr rows (preorder ids)."""
+    nodes: list[NodeRow] = []
+    edges: list[EdgeRow] = []
+    attrs: list[AttrRow] = []
+    next_id = 0
+    # (node, parent_id, position); explicit stack keeps deep trees safe,
+    # children pushed reversed so ids come out in preorder
+    stack: list[tuple[XMLNode, int, int]] = [(document.root, -1, 0)]
+    while stack:
+        node, parent_id, position = stack.pop()
+        if node.node_type is NodeType.ATTRIBUTE:
+            attrs.append(
+                (parent_id, position, node.label[1:], node.value or "")
+            )
+            continue
+        node_id = next_id
+        next_id += 1
+        if parent_id >= 0:
+            edges.append((parent_id, node_id, position))
+        if node.node_type is NodeType.TEXT:
+            nodes.append((node_id, KIND_TEXT, node.label, node.value or ""))
+            continue
+        nodes.append((node_id, KIND_ELEMENT, node.label, None))
+        for index in range(len(node.children) - 1, -1, -1):
+            stack.append((node.children[index], node_id, index))
+    edges.sort()
+    attrs.sort()
+    return DocumentRows(
+        nodes=tuple(nodes), edges=tuple(edges), attrs=tuple(attrs)
+    )
+
+
+def decode_document(rows: DocumentRows) -> XMLDocument:
+    """Rebuild the document a row set encodes (inverse of encode)."""
+    by_id: dict[int, XMLNode] = {}
+    for node_id, kind, label, value in rows.nodes:
+        if node_id in by_id:
+            raise StoreError(f"duplicate node id {node_id} in stored rows")
+        if kind == KIND_ELEMENT:
+            by_id[node_id] = XMLNode(label)
+        elif kind == KIND_TEXT:
+            by_id[node_id] = XMLNode(label, value=value or "")
+        else:
+            raise StoreError(f"unknown stored node kind {kind!r}")
+    if 0 not in by_id:
+        raise StoreError("stored rows carry no root node (id 0)")
+    # children of each parent: merge edge rows and attr rows by position
+    children: dict[int, list[tuple[int, XMLNode]]] = {}
+    for parent_id, child_id, position in rows.edges:
+        child = by_id.get(child_id)
+        if child is None or parent_id not in by_id:
+            raise StoreError(
+                f"edge ({parent_id}, {child_id}) references a missing node"
+            )
+        children.setdefault(parent_id, []).append((position, child))
+    for owner_id, position, name, value in rows.attrs:
+        if owner_id not in by_id:
+            raise StoreError(
+                f"attribute {name!r} references missing node {owner_id}"
+            )
+        children.setdefault(owner_id, []).append(
+            (position, XMLNode(ATTRIBUTE_PREFIX + name, value=value))
+        )
+    for parent_id, slots in children.items():
+        slots.sort(key=lambda entry: entry[0])
+        positions = [position for position, _ in slots]
+        if positions != list(range(len(positions))):
+            raise StoreError(
+                f"child positions of node {parent_id} are not contiguous: "
+                f"{positions}"
+            )
+        parent = by_id[parent_id]
+        for _, child in slots:
+            parent.append_child(child)
+    orphans = [
+        node_id
+        for node_id, node in by_id.items()
+        if node.parent is None and node_id != 0
+    ]
+    if orphans:
+        raise StoreError(f"stored rows leave orphan nodes: {sorted(orphans)}")
+    return XMLDocument(by_id[0])

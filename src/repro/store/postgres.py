@@ -1,0 +1,60 @@
+"""The optional Postgres backend — a structured-degradation stub.
+
+The node/edge/attr encoding was designed for a generic relational
+schema and runs unchanged on Postgres, but this repository must not
+grow a hard dependency on a database driver.  The rule (same as every
+optional integration here): *the import is gated, and its absence
+degrades with a structured error*, never an ``ImportError`` traceback.
+
+:func:`open_postgres` therefore:
+
+* looks for a driver (``psycopg`` then ``psycopg2``) at call time;
+* without one, raises :class:`~repro.errors.StoreBackendUnavailable`
+  carrying the backend name, the reason, and the remedy — which the
+  CLI renders as a one-line actionable diagnostic;
+* with one present it still refuses, explicitly, because the wire
+  implementation is not written yet — an honest
+  ``StoreBackendUnavailable`` instead of silently falling back to a
+  different engine the operator did not ask for.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from repro.errors import StoreBackendUnavailable
+
+#: driver modules probed, in preference order
+_DRIVERS = ("psycopg", "psycopg2")
+
+
+def _find_driver() -> str | None:
+    for module_name in _DRIVERS:
+        if importlib.util.find_spec(module_name) is not None:
+            return module_name
+    return None
+
+
+def open_postgres(location: str):
+    """Resolve a ``postgres://`` location (see the module docstring).
+
+    Always raises :class:`StoreBackendUnavailable`; the two arms exist
+    so the operator learns the *actual* blocker for their environment.
+    """
+    driver = _find_driver()
+    if driver is None:
+        raise StoreBackendUnavailable(
+            backend="postgres",
+            reason="no driver module is installed "
+            f"(looked for: {', '.join(_DRIVERS)})",
+            hint="install psycopg (or psycopg2) and re-run, or use the "
+            "sqlite backend: pass a database file path instead of "
+            f"{location.split('://', 1)[0]}://",
+        )
+    raise StoreBackendUnavailable(
+        backend="postgres",
+        reason=f"driver {driver!r} is installed but the postgres corpus "
+        "backend is not implemented in this build",
+        hint="use the sqlite backend (pass a database file path); the "
+        "node/edge/attr schema is engine-portable",
+    )

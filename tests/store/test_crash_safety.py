@@ -1,0 +1,163 @@
+"""Crash safety of the chunked bulk load, driven for real.
+
+A subprocess bulk-loads a 24-file corpus into a SQLite store with a
+small chunk size and an injected per-document delay (the same kind of
+test hook the matrix crash harness uses).  The parent polls the store
+until at least one chunk is durably committed, SIGKILLs the child
+mid-load, and asserts the two durability claims:
+
+* the reopened store contains *exactly* a committed-chunk prefix of
+  the corpus — a whole number of chunks, in walker order, nothing
+  torn in between;
+* re-running the same load completes the corpus and the final store
+  is bit-for-bit identical to an uninterrupted reference load (the
+  committed prefix is skipped by digest, not re-parsed).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.store import CorpusStore, MemoryBackend, SqliteBackend
+from repro.workload.library import generate_library
+from repro.xmlmodel.serializer import serialize_document
+
+DOCUMENTS = 24
+CHUNK_SIZE = 4
+
+CHILD_SOURCE = """
+import sys
+
+from repro.store import CorpusStore
+
+store = CorpusStore.open(sys.argv[1])
+store.load_paths(
+    [sys.argv[2]],
+    recursive=True,
+    chunk_size=%d,
+    _per_document_delay_seconds=0.08,
+)
+store.close()
+""" % CHUNK_SIZE
+
+
+def _write_corpus(directory) -> list[str]:
+    directory.mkdir()
+    paths = []
+    for index in range(DOCUMENTS):
+        document = generate_library(books=1 + index % 3, seed=index)
+        path = directory / f"doc{index:03d}.xml"
+        path.write_text(serialize_document(document), encoding="utf-8")
+        paths.append(os.path.normpath(str(path)))
+    return sorted(paths)
+
+
+def _committed_documents(db_path) -> list[str]:
+    """Names durably committed so far (WAL reader, own connection)."""
+    try:
+        connection = sqlite3.connect(str(db_path), timeout=0.25)
+        try:
+            rows = connection.execute(
+                "SELECT name FROM documents ORDER BY name"
+            ).fetchall()
+        finally:
+            connection.close()
+    except sqlite3.Error:
+        return []
+    return [name for (name,) in rows]
+
+
+def test_sigkill_mid_load_leaves_committed_chunk_prefix(tmp_path):
+    corpus_paths = _write_corpus(tmp_path / "corpus")
+    db_path = tmp_path / "store.db"
+
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            CHILD_SOURCE,
+            str(db_path),
+            str(tmp_path / "corpus"),
+        ],
+        env={
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+                + (
+                    [os.environ["PYTHONPATH"]]
+                    if "PYTHONPATH" in os.environ
+                    else []
+                )
+            ),
+        },
+    )
+    try:
+        # wait until at least one whole chunk is durably committed,
+        # then SIGKILL the child mid-load
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if len(_committed_documents(db_path)) >= CHUNK_SIZE:
+                break
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child exited early with {child.returncode} before a "
+                    f"chunk was committed"
+                )
+            time.sleep(0.02)
+        else:
+            pytest.fail("child never committed a chunk within the deadline")
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    # --- claim 1: exactly a committed-chunk prefix survives -----------
+    survivor = SqliteBackend(db_path)
+    try:
+        names = [name for name, _ in survivor.list_documents()]
+    finally:
+        survivor.close()
+    assert 0 < len(names) < DOCUMENTS, (
+        "the kill must land mid-load: some chunks committed, some not"
+    )
+    assert len(names) % CHUNK_SIZE == 0, (
+        f"{len(names)} documents survived — not a whole number of "
+        f"{CHUNK_SIZE}-document chunks; a torn chunk was committed"
+    )
+    assert names == corpus_paths[: len(names)], (
+        "the surviving documents are not the walker-order prefix"
+    )
+    committed_before_resume = len(names)
+
+    # --- claim 2: re-running the load completes it bit-for-bit --------
+    resumed = CorpusStore(SqliteBackend(db_path))
+    try:
+        report = resumed.load_paths(
+            [str(tmp_path / "corpus")], recursive=True, chunk_size=CHUNK_SIZE
+        )
+        assert report.errors == 0
+        # the committed prefix is recognized by digest, never re-parsed
+        assert report.unchanged == committed_before_resume
+        assert report.loaded == DOCUMENTS - committed_before_resume
+        resumed_dump = resumed.backend.dump()
+    finally:
+        resumed.close()
+
+    reference = CorpusStore(MemoryBackend())
+    try:
+        reference_report = reference.load_paths(
+            [str(tmp_path / "corpus")], recursive=True, chunk_size=CHUNK_SIZE
+        )
+        assert reference_report.loaded == DOCUMENTS
+        assert resumed_dump == reference.backend.dump()
+    finally:
+        reference.close()
